@@ -1,0 +1,114 @@
+// Experiment E-SW-K — Theorem 5.4: on UL-constrained metrics the paper's
+// small worlds coincide with Kleinberg's group-structures model
+// (STRUCTURES): (a) O(log n) greedy hops, (b) the routing is greedy (the
+// 5.2(b) rule essentially never takes a non-greedy step), (c) degree
+// Θ(log^2 n), (d) Pr[v is a contact of u] = Θ(log n)/x_uv.
+//
+// For (d) we bucket node pairs by x_uv and report the empirical contact
+// frequency times x_uv / log n — the theorem predicts a roughly constant
+// row across buckets.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "metric/euclidean.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "smallworld/group_structures.h"
+#include "smallworld/pruned_model.h"
+#include "smallworld/rings_model.h"
+
+namespace ron {
+namespace {
+
+void contact_distribution(const ProximityIndex& prox, std::size_t trials,
+                          CsvWriter* csv) {
+  // Empirical Pr[v in contacts(u)] over independent STRUCTURES samples,
+  // bucketed by log2(x_uv).
+  const std::size_t n = prox.n();
+  const double log_n = std::log2(static_cast<double>(n));
+  const int buckets = static_cast<int>(log_n) + 1;
+  std::vector<double> hit(buckets, 0.0), cnt(buckets, 0.0);
+  GroupStructuresParams params;
+  for (std::size_t s = 0; s < trials; ++s) {
+    GroupStructuresSmallWorld model(prox, params, 500 + s);
+    for (NodeId u = 0; u < n; u += 7) {
+      auto c = model.contacts(u);
+      for (NodeId v = 0; v < n; v += 5) {
+        if (u == v) continue;
+        const double x = model.x_uv(u, v);
+        const int b = std::min(buckets - 1,
+                               static_cast<int>(std::log2(x)));
+        cnt[b] += 1.0;
+        if (std::binary_search(c.begin(), c.end(), v)) hit[b] += 1.0;
+      }
+    }
+  }
+  ConsoleTable table({"x_uv bucket", "pairs", "Pr[contact]",
+                      "Pr * x_uv / log n (should be ~const)"});
+  for (int b = 0; b < buckets; ++b) {
+    if (cnt[b] < 1.0) continue;
+    const double p = hit[b] / cnt[b];
+    const double x_mid = std::pow(2.0, b + 0.5);
+    table.add_row({"2^" + std::to_string(b) + "..2^" + std::to_string(b + 1),
+                   fmt_int(static_cast<std::uint64_t>(cnt[b])),
+                   fmt_double(p, 4), fmt_double(p * x_mid / log_n, 3)});
+    if (csv != nullptr) {
+      csv->add_row({"bucket-" + std::to_string(b), std::to_string(p),
+                    std::to_string(p * x_mid / log_n)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace ron
+
+int main() {
+  using namespace ron;
+  print_banner(std::cout, "E-SW-K",
+               "Theorem 5.4 — equivalence with STRUCTURES [32] on "
+               "UL-constrained metrics",
+               "16x16 grid metric; 30 independent contact-graph samples for "
+               "the distribution check; 1000 queries per model");
+  auto metric = grid_metric(16, 16);
+  ProximityIndex prox(metric);
+  NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
+                                          std::log2(prox.aspect_ratio()))) +
+                                          1));
+  MeasureView mu(prox, doubling_measure(nets));
+  const double log_n = std::log2(256.0);
+
+  std::cout << "\n(a)+(b)+(c): hops, greediness, degree on the grid\n";
+  ConsoleTable table({"model", "out-deg max/avg", "deg/log^2 n",
+                      "hops mean/p99/max", "non-greedy", "failures"});
+  auto add = [&](const SmallWorldModel& model) {
+    const SwStats stats = evaluate_model(model, 1000, 17, 100000);
+    table.add_row({model.name(),
+                   fmt_int(model.max_out_degree()) + " / " +
+                       fmt_double(model.avg_out_degree(), 1),
+                   fmt_double(model.avg_out_degree() / (log_n * log_n), 2),
+                   fmt_hops_cell(stats.hops), fmt_int(stats.total_nongreedy),
+                   fmt_int(stats.failures)});
+  };
+  GroupStructuresParams gp;
+  gp.c = 3.0;
+  GroupStructuresSmallWorld structures(prox, gp, 19);
+  add(structures);
+  RingsSmallWorld rings(prox, mu, RingsModelParams{}, 19);
+  add(rings);
+  PrunedSmallWorld pruned(prox, mu, PrunedModelParams{}, 19);
+  add(pruned);
+  table.print(std::cout);
+
+  std::cout << "\n(d): contact probability vs 1/x_uv (STRUCTURES)\n";
+  CsvWriter csv("bench_group_structures.csv",
+                {"bucket", "pr_contact", "normalized"});
+  contact_distribution(prox, 30, &csv);
+  std::cout << "\nCSV written to bench_group_structures.csv\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark): construction costs of the substrates
+// and schemes. Not a paper artifact — engineering due diligence so
+// downstream users know what building each structure costs.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/neighbor_system.h"
+#include "labeling/triangulation.h"
+#include "metric/euclidean.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "net/packing.h"
+#include "routing/basic_scheme.h"
+
+namespace ron {
+namespace {
+
+void BM_ProximityIndex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  for (auto _ : state) {
+    ProximityIndex prox(metric);
+    benchmark::DoNotOptimize(prox.dmin());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProximityIndex)->Arg(128)->Arg(256)->Arg(512)->Complexity();
+
+void BM_NetHierarchy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  ProximityIndex prox(metric);
+  const int l_max =
+      static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1;
+  for (auto _ : state) {
+    NetHierarchy nets(prox, l_max);
+    benchmark::DoNotOptimize(nets.members(0).size());
+  }
+}
+BENCHMARK(BM_NetHierarchy)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DoublingMeasure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  ProximityIndex prox(metric);
+  const int l_max =
+      static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1;
+  NetHierarchy nets(prox, l_max);
+  for (auto _ : state) {
+    auto mu = doubling_measure(nets);
+    benchmark::DoNotOptimize(mu[0]);
+  }
+}
+BENCHMARK(BM_DoublingMeasure)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_EpsMuPacking(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  ProximityIndex prox(metric);
+  MeasureView mu(prox, counting_measure(n));
+  for (auto _ : state) {
+    EpsMuPacking packing(mu, 0.125);
+    benchmark::DoNotOptimize(packing.balls().size());
+  }
+}
+BENCHMARK(BM_EpsMuPacking)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_NeighborSystem(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  ProximityIndex prox(metric);
+  for (auto _ : state) {
+    NeighborSystem sys(prox, 0.25);
+    benchmark::DoNotOptimize(sys.num_levels());
+  }
+}
+BENCHMARK(BM_NeighborSystem)->Arg(96)->Arg(192);
+
+void BM_Triangulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto metric = random_cube_metric(n, 2, 3);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  for (auto _ : state) {
+    Triangulation tri(sys);
+    benchmark::DoNotOptimize(tri.order());
+  }
+}
+BENCHMARK(BM_Triangulation)->Arg(96)->Arg(192);
+
+void BM_BasicSchemeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto g = random_geometric_graph(n, 0.15, 5);
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric metric(apsp, "spm");
+  ProximityIndex prox(metric);
+  for (auto _ : state) {
+    BasicRoutingScheme scheme(prox, g, apsp, 0.25);
+    benchmark::DoNotOptimize(scheme.header_bits());
+  }
+}
+BENCHMARK(BM_BasicSchemeBuild)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace ron
+
+BENCHMARK_MAIN();

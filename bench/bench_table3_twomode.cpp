@@ -1,0 +1,96 @@
+// Experiment T3 — reproduces Table 3: the mode M1 / mode M2 storage split of
+// Theorem B.1's two-mode routing scheme, plus how often M2 actually fires
+// and the stretch both modes deliver.
+//
+// Paper's Table 3 (asymptotic):
+//   mode M1: (1/δ)^O(α) (φ log n)(log Dout) table bits, O(α φ log n) header
+//   mode M2: 2^O(α) (N_δ log n)(log Dout) table bits, N_δ ceil(log Dout) hdr
+// We report the measured per-mode bits, the observed N_δ, and the M2 switch
+// rate on graphs with and without strong scale gaps (M2 exists precisely
+// for the gap case — Lemma B.5).
+#include <iostream>
+#include <memory>
+
+#include "analysis/report.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/neighbor_system.h"
+#include "metric/proximity.h"
+#include "routing/twomode_scheme.h"
+
+namespace ron {
+namespace {
+
+void run(const std::string& name, WeightedGraph g, CsvWriter* csv) {
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric metric(apsp, "spm");
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.125);
+  TwoModeScheme scheme(sys, g, apsp);
+
+  std::uint64_t m1_max = 0, m2_max = 0;
+  double m1_avg = 0.0, m2_avg = 0.0;
+  TwoModeSizes hdr = scheme.mode_sizes(0);
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    const TwoModeSizes s = scheme.mode_sizes(u);
+    m1_max = std::max(m1_max, s.m1_table_bits);
+    m2_max = std::max(m2_max, s.m2_table_bits);
+    m1_avg += static_cast<double>(s.m1_table_bits);
+    m2_avg += static_cast<double>(s.m2_table_bits);
+  }
+  m1_avg /= static_cast<double>(prox.n());
+  m2_avg /= static_cast<double>(prox.n());
+
+  scheme.m2_switches = 0;
+  const RoutingStats stats = evaluate_scheme(scheme, prox, 2000, 13);
+
+  std::cout << "\n--- graph: " << name << " (n=" << g.n()
+            << ", N_delta=" << scheme.hop_bound() << ") ---\n";
+  ConsoleTable table(
+      {"mode", "table bits max/avg", "header bits", "notes"});
+  table.add_row({"M1 (landmark zooming)", fmt_size_cell(m1_max, m1_avg),
+                 fmt_bits(hdr.m1_header_bits),
+                 "zeta maps + friends label"});
+  table.add_row({"M2 (packing-ball trees)", fmt_size_cell(m2_max, m2_avg),
+                 fmt_bits(hdr.m2_header_bits),
+                 "stored " + fmt_int(scheme.hop_bound()) +
+                     "-hop (1+d) paths + id ranges"});
+  table.print(std::cout);
+  std::cout << "stretch p50/max: " << fmt_stretch_cell(stats)
+            << "  | hops mean/p99/max: " << fmt_hops_cell(stats.hops)
+            << "  | M2 switch rate: "
+            << fmt_double(100.0 * static_cast<double>(scheme.m2_switches) /
+                              static_cast<double>(stats.queries),
+                          1)
+            << "%\n";
+  if (csv != nullptr) {
+    csv->add_row({name, std::to_string(g.n()), std::to_string(m1_max),
+                  std::to_string(m2_max),
+                  std::to_string(hdr.m1_header_bits),
+                  std::to_string(hdr.m2_header_bits),
+                  std::to_string(scheme.hop_bound()),
+                  std::to_string(stats.stretch.max),
+                  std::to_string(scheme.m2_switches)});
+  }
+}
+
+}  // namespace
+}  // namespace ron
+
+int main() {
+  using namespace ron;
+  print_banner(std::cout, "T3",
+               "Table 3 — Theorem B.1 mode M1 vs M2 space requirements",
+               "geometric graph n=128; grid 10x10; ring-of-cliques 12x8 "
+               "(scale gaps exercise M2); 2000 queries each");
+  CsvWriter csv("bench_table3.csv",
+                {"graph", "n", "m1_table_max", "m2_table_max", "m1_header",
+                 "m2_header", "n_delta", "max_stretch", "m2_switches"});
+  run("geometric-128", random_geometric_graph(128, 0.13, 17), &csv);
+  run("grid-10x10", grid_graph(10, 10, 0.2, 19), &csv);
+  run("ring-of-cliques-12x8", ring_of_cliques(12, 8, 20.0), &csv);
+  std::cout << "\nCSV written to bench_table3.csv\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: compact routing in a network whose shortest-path metric is
+// doubling (paper §2). A 20x20 sensor-grid with perturbed link delays:
+// full shortest-path tables cost Ω(n log n) bits per node; the Theorem 2.1
+// scheme routes within stretch 1+delta from tables that store only rings,
+// translation functions and first-hop pointers, with ~40-bit headers.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "metric/proximity.h"
+#include "routing/basic_scheme.h"
+#include "routing/full_table_scheme.h"
+#include "routing/global_id_scheme.h"
+
+int main() {
+  using namespace ron;
+  std::cout << "== compact (1+delta)-stretch routing on a sensor grid ==\n";
+  auto g = grid_graph(20, 20, /*perturb=*/0.3, /*seed=*/5);
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric gm(apsp, "spm");
+  ProximityIndex prox(gm);
+  const double delta = 0.25;
+
+  FullTableScheme full(g, apsp);
+  GlobalIdScheme gid(prox, g, apsp, delta);
+  BasicRoutingScheme basic(prox, g, apsp, delta);
+
+  ConsoleTable table({"scheme", "stretch max", "table bits/node (max)",
+                      "label bits", "header bits"});
+  for (const RoutingScheme* s :
+       {static_cast<const RoutingScheme*>(&full),
+        static_cast<const RoutingScheme*>(&gid),
+        static_cast<const RoutingScheme*>(&basic)}) {
+    const SchemeSizes sizes = measure_sizes(*s);
+    const RoutingStats stats = evaluate_scheme(*s, prox, 1000, 17);
+    table.add_row({s->name(), fmt_double(stats.stretch.max, 3),
+                   fmt_bits(sizes.max_table_bits),
+                   fmt_bits(sizes.max_label_bits),
+                   fmt_bits(sizes.header_bits)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nroute 0 -> 399 step by step header/table interplay:\n";
+  const RouteResult r = basic.route(0, 399, 100000);
+  std::cout << "  delivered = " << r.delivered << ", hops = " << r.hops
+            << ", path length = " << r.path_length << ", stretch = "
+            << r.stretch << "\n";
+  std::cout << "\nNote: at n=400 the K^2 log K translation tables exceed the "
+               "full table — the paper's win is the header/label size and "
+               "the asymptotic table scaling; see EXPERIMENTS.md.\n";
+  return 0;
+}

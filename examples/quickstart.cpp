@@ -1,0 +1,71 @@
+// Quickstart: build a metric, the rings-of-neighbors substrate, and use all
+// four of the paper's constructions end to end.
+//
+//   $ ./example_quickstart
+//
+// Walks through: (1) a doubling metric + proximity index, (2) a
+// (0,delta)-triangulation estimating distances from labels alone
+// (Theorem 3.2), (3) compact (1+delta)-stretch routing on a graph
+// (Theorem 2.1), and (4) a searchable small world (Theorem 5.2(a)).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/neighbor_system.h"
+#include "labeling/triangulation.h"
+#include "metric/euclidean.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "routing/basic_scheme.h"
+#include "smallworld/rings_model.h"
+
+int main() {
+  using namespace ron;
+  std::cout << "== rings of neighbors: quickstart ==\n\n";
+
+  // (1) A doubling metric: 128 random points in the plane.
+  auto metric = random_cube_metric(128, 2, /*seed=*/42);
+  ProximityIndex prox(metric);
+  std::cout << "metric: " << metric.name() << ", n = " << prox.n()
+            << ", aspect ratio Δ = " << prox.aspect_ratio() << "\n";
+
+  // (2) Theorem 3.2: a (0, 1/4)-triangulation. Every node gets a label;
+  // any two labels sandwich the true distance within 1 + O(delta).
+  const double delta = 0.25;
+  NeighborSystem sys(prox, delta);
+  Triangulation tri(sys);
+  std::cout << "\ntriangulation order (beacons per label): " << tri.order()
+            << "\n";
+  const NodeId a = 3, b = 77;
+  const TriBounds est = triangulate(tri.label(a), tri.label(b));
+  std::cout << "estimate d(" << a << "," << b << "): [" << est.lower << ", "
+            << est.upper << "]  true = " << prox.dist(a, b) << "\n";
+
+  // (3) Theorem 2.1: compact low-stretch routing over a geometric graph.
+  auto g = random_geometric_graph(128, 0.15, /*seed=*/7);
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric gm(apsp, "spm");
+  ProximityIndex gprox(gm);
+  BasicRoutingScheme scheme(gprox, g, apsp, delta);
+  const RouteResult r = scheme.route(5, 99, 100000);
+  std::cout << "\nrouting 5 -> 99: delivered = " << r.delivered
+            << ", hops = " << r.hops << ", stretch = " << r.stretch << "\n"
+            << "  header: " << scheme.header_bits() << " bits vs "
+            << "full-table " << (gprox.n() - 1) * 7 << "+ bits/node\n";
+
+  // (4) Theorem 5.2(a): a searchable small world; greedy routing finds any
+  // target in O(log n) hops using only local contact lists.
+  NetHierarchy nets(prox, static_cast<int>(
+                              std::ceil(std::log2(prox.aspect_ratio()))) + 1);
+  MeasureView mu(prox, doubling_measure(nets));
+  RingsSmallWorld world(prox, mu, RingsModelParams{}, /*seed=*/1);
+  const SwRouteResult q = route_query(world, 5, 99, 10000);
+  std::cout << "\nsmall world 5 -> 99: delivered = " << q.delivered
+            << " in " << q.hops << " hops (log2 n = "
+            << std::log2(static_cast<double>(prox.n())) << ")\n";
+  std::cout << "\nDone. See DESIGN.md for the full map of paper -> code.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "analysis/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace ron {
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& paper_artifact,
+                  const std::string& workload) {
+  os << "\n================================================================\n"
+     << "Experiment " << experiment_id << " — reproduces: " << paper_artifact
+     << "\nWorkload: " << workload
+     << "\n================================================================\n";
+}
+
+std::string fmt_size_cell(std::uint64_t max_bits, double avg_bits) {
+  std::ostringstream os;
+  os << fmt_bits(max_bits) << " / "
+     << fmt_bits(static_cast<std::uint64_t>(avg_bits));
+  return os.str();
+}
+
+std::string fmt_stretch_cell(const RoutingStats& stats) {
+  std::ostringstream os;
+  os << fmt_double(stats.stretch.p50, 3) << " / "
+     << fmt_double(stats.stretch.max, 3);
+  if (stats.failures > 0) os << " (fail " << stats.failures << ")";
+  return os.str();
+}
+
+std::string fmt_hops_cell(const Summary& hops) {
+  std::ostringstream os;
+  os << fmt_double(hops.mean, 1) << " / " << fmt_double(hops.p99, 1) << " / "
+     << fmt_double(hops.max, 0);
+  return os.str();
+}
+
+}  // namespace ron

@@ -1,0 +1,28 @@
+// Shared reporting helpers for the bench harnesses: experiment banners that
+// tie each binary to its paper artifact, and row formatters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/scheme.h"
+#include "smallworld/model.h"
+
+namespace ron {
+
+/// Prints a banner identifying the experiment and the paper artifact it
+/// regenerates (mirrors the per-experiment index in DESIGN.md).
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& paper_artifact,
+                  const std::string& workload);
+
+/// "max/avg" bit-size cell.
+std::string fmt_size_cell(std::uint64_t max_bits, double avg_bits);
+
+/// "p50/max (fail k)" stretch cell.
+std::string fmt_stretch_cell(const RoutingStats& stats);
+
+/// "mean/p99/max" hops cell.
+std::string fmt_hops_cell(const Summary& hops);
+
+}  // namespace ron

@@ -1,0 +1,45 @@
+#include "common/bits.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+int floor_log2(std::uint64_t x) {
+  RON_CHECK(x >= 1);
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+int ceil_log2(std::uint64_t x) {
+  RON_CHECK(x >= 1);
+  int f = floor_log2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+std::uint64_t bits_for_index(std::uint64_t k) {
+  RON_CHECK(k >= 1);
+  int b = ceil_log2(k);
+  return b < 1 ? 1 : static_cast<std::uint64_t>(b);
+}
+
+std::uint64_t bits_for_value(std::uint64_t max_value) {
+  return bits_for_index(max_value + 1);
+}
+
+int floor_log2_real(double x) {
+  RON_CHECK(x > 0.0 && std::isfinite(x), "floor_log2_real domain");
+  return static_cast<int>(std::floor(std::log2(x)));
+}
+
+int ceil_log2_real(double x) {
+  RON_CHECK(x > 0.0 && std::isfinite(x), "ceil_log2_real domain");
+  return static_cast<int>(std::ceil(std::log2(x)));
+}
+
+}  // namespace ron

@@ -1,0 +1,33 @@
+// Bit-size accounting helpers.
+//
+// All "table size", "label size" and "header size" figures reported by this
+// library are computed from the encodings the paper specifies (⌈log K⌉-bit
+// ring indices, ⌈log Dout⌉-bit first-hop pointers, ...), not from sizeof() of
+// in-memory structs. These helpers centralize the arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace ron {
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (returns 0 for x == 1).
+int ceil_log2(std::uint64_t x);
+
+/// Bits needed to index one of k items (k >= 1). A 1-item index still costs
+/// one bit in a serialized record, matching the paper's ⌈log k⌉ convention
+/// rounded up to at least 1.
+std::uint64_t bits_for_index(std::uint64_t k);
+
+/// Bits needed to store an integer value in [0, max_value].
+std::uint64_t bits_for_value(std::uint64_t max_value);
+
+/// floor(log2(x)) for positive real x (may be negative for x < 1).
+int floor_log2_real(double x);
+
+/// ceil(log2(x)) for positive real x.
+int ceil_log2_real(double x);
+
+}  // namespace ron

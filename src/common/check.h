@@ -1,0 +1,42 @@
+// Always-on invariant checking.
+//
+// The constructions in this library are intricate (zooming sequences, host
+// enumerations, translation maps); a silently violated invariant would
+// invalidate every measurement downstream. RON_CHECK therefore stays enabled
+// in all build types and throws ron::Error with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ron {
+
+/// Exception thrown on invariant violations and invalid arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RON_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ron
+
+// RON_CHECK(cond) or RON_CHECK(cond, streamable << message)
+#define RON_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream ron_check_os_;                                   \
+      ron_check_os_ << "" __VA_ARGS__;                                    \
+      ::ron::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                  ron_check_os_.str());                   \
+    }                                                                     \
+  } while (false)

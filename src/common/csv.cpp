@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  RON_CHECK(columns_ > 0);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  RON_CHECK(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace ron

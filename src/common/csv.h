@@ -1,0 +1,25 @@
+// Minimal CSV writer; benches dump their raw series next to the console
+// tables so results can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ron {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace ron

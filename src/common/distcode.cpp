@@ -1,0 +1,48 @@
+#include "common/distcode.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+DistanceCodec::DistanceCodec(Dist dmin, Dist dmax, double rel_error) {
+  RON_CHECK(dmin > 0.0 && std::isfinite(dmin), "DistanceCodec: dmin > 0");
+  RON_CHECK(dmax >= dmin && std::isfinite(dmax), "DistanceCodec: dmax range");
+  RON_CHECK(rel_error > 0.0 && rel_error < 1.0, "DistanceCodec: rel_error");
+  // A mantissa of m bits on [2^e, 2^{e+1}) gives spacing 2^{e-m}, i.e.
+  // relative rounding error at most 2^{-m}. Choose m = ceil(log2(1/eps)).
+  mantissa_bits_ = ceil_log2_real(1.0 / rel_error);
+  if (mantissa_bits_ < 1) mantissa_bits_ = 1;
+  rel_error_ = std::pow(2.0, -mantissa_bits_);
+  min_exp_ = floor_log2_real(dmin);
+  // round_up may push a value just below 2^{k+1} over the binade boundary.
+  max_exp_ = floor_log2_real(dmax) + 1;
+  exponent_bits_ = static_cast<int>(
+      bits_for_value(static_cast<std::uint64_t>(max_exp_ - min_exp_)));
+}
+
+Dist DistanceCodec::quantize(Dist d, bool up) const {
+  if (d == 0.0) return 0.0;
+  RON_CHECK(d > 0.0 && std::isfinite(d), "quantize: d must be >= 0, finite");
+  int e = floor_log2_real(d);
+  if (e < min_exp_) e = min_exp_;
+  const double base = std::ldexp(1.0, e);  // 2^e <= d (unless clamped)
+  const double step = std::ldexp(1.0, e - mantissa_bits_);
+  double q = d / step;
+  double m = up ? std::ceil(q) : std::round(q);
+  double v = m * step;
+  // Stay representable: mantissa overflow rolls into the next binade, which
+  // the exponent range accommodates by construction.
+  (void)base;
+  return v;
+}
+
+Dist DistanceCodec::round_up(Dist d) const { return quantize(d, /*up=*/true); }
+
+Dist DistanceCodec::round_nearest(Dist d) const {
+  return quantize(d, /*up=*/false);
+}
+
+}  // namespace ron

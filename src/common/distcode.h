@@ -1,0 +1,48 @@
+// Mantissa/exponent distance quantization (paper §3, proof of Theorem 3.4).
+//
+// Distance labels store each distance as an O(log 1/δ)-bit mantissa plus an
+// O(log log Δ)-bit exponent. The codec below reproduces that encoding and can
+// round up (non-contracting, used for the D+ upper-bound estimates and for the
+// non-contracting label distance D of Theorem 4.1) or to nearest.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ron {
+
+class DistanceCodec {
+ public:
+  /// A codec able to represent distances in [dmin, dmax] with relative
+  /// rounding error at most `rel_error` (e.g. δ/8 for a (1+δ) scheme).
+  /// dmin and dmax must be positive and finite with dmin <= dmax.
+  DistanceCodec(Dist dmin, Dist dmax, double rel_error);
+
+  /// Smallest representable value >= d (clamps into the representable range;
+  /// d must lie in [0, dmax]). encode of 0 is 0 (zero has a reserved code).
+  Dist round_up(Dist d) const;
+
+  /// Nearest representable value (ties up).
+  Dist round_nearest(Dist d) const;
+
+  /// Bits per encoded distance: mantissa + exponent + 1 flag bit for zero.
+  std::uint64_t bits() const { return mantissa_bits_ + exponent_bits_ + 1; }
+
+  int mantissa_bits() const { return mantissa_bits_; }
+  int exponent_bits() const { return exponent_bits_; }
+
+  /// Max multiplicative error of round_up: round_up(d) <= (1+eps)*d.
+  double max_relative_error() const { return rel_error_; }
+
+ private:
+  Dist quantize(Dist d, bool up) const;
+
+  int mantissa_bits_ = 0;
+  int exponent_bits_ = 0;
+  int min_exp_ = 0;
+  int max_exp_ = 0;
+  double rel_error_ = 0.0;
+};
+
+}  // namespace ron

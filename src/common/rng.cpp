@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace ron {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  RON_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RON_CHECK(w >= 0.0, "negative weight");
+    total += w;
+  }
+  RON_CHECK(total > 0.0, "weighted_index with all-zero weights");
+  double x = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t k,
+                                                         std::size_t n) {
+  RON_CHECK(k <= n, "sample_without_replacement: k > n");
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace ron

@@ -1,0 +1,95 @@
+// Deterministic random number generation.
+//
+// Every randomized construction in the library takes an explicit seed and is
+// fully reproducible. Rng::fork(tag) derives independent sub-streams so that
+// per-node sampling does not depend on iteration order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ron {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : seed_(splitmix(seed)), engine_(seed_) {}
+
+  /// Independent sub-stream keyed by (this stream's seed, tag).
+  Rng fork(std::uint64_t tag) const {
+    return Rng(splitmix(seed_ ^ (0x9e3779b97f4a7c15ULL * (tag + 1))), 0);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    RON_CHECK(lo <= hi);
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform size_t index in [0, n).
+  std::size_t index(std::size_t n) {
+    RON_CHECK(n > 0, "index() over empty range");
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Uniformly pick an element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> xs) {
+    RON_CHECK(!xs.empty(), "pick() from empty span");
+    return xs[index(xs.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    return pick(std::span<const T>(xs));
+  }
+
+  /// Index sampled proportionally to non-negative weights (not all zero).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::swap(xs[i - 1], xs[index(i)]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n); k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t k,
+                                                      std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  explicit Rng(std::uint64_t raw, int) : seed_(raw), engine_(raw) {}
+
+  static std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ron

@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * (static_cast<double>(sorted.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  s.p50 = sorted_percentile(values, 0.50);
+  s.p90 = sorted_percentile(values, 0.90);
+  s.p99 = sorted_percentile(values, 0.99);
+  return s;
+}
+
+double percentile(std::vector<double> values, double q) {
+  RON_CHECK(q >= 0.0 && q <= 1.0, "percentile: q in [0,1]");
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, q);
+}
+
+std::string Summary::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << "n=" << count << " min=" << min << " p50=" << p50 << " mean=" << mean
+     << " p90=" << p90 << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+}  // namespace ron

@@ -1,0 +1,28 @@
+// Small summary-statistics helpers used by tests and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ron {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  std::string to_string(int precision = 3) const;
+};
+
+/// Summarize a sample (empty input yields a zero Summary).
+Summary summarize(std::vector<double> values);
+
+/// Percentile by nearest-rank on a sorted copy; q in [0,1].
+double percentile(std::vector<double> values, double q);
+
+}  // namespace ron

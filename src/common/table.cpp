@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ron {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RON_CHECK(!headers_.empty());
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  RON_CHECK(cells.size() == headers_.size(),
+            "row width " << cells.size() << " != header width "
+                         << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " | ";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_int(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int digits = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (digits > 0 && digits % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++digits;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_bits(std::uint64_t bits) {
+  std::ostringstream os;
+  if (bits < 1000) {
+    os << bits << " b";
+  } else if (bits < 1000 * 1000) {
+    os << std::fixed << std::setprecision(1)
+       << static_cast<double>(bits) / 1000.0 << " Kb";
+  } else {
+    os << std::fixed << std::setprecision(2)
+       << static_cast<double>(bits) / 1e6 << " Mb";
+  }
+  return os.str();
+}
+
+}  // namespace ron

@@ -1,0 +1,29 @@
+// Fixed-width console tables. The bench binaries print their results in the
+// same row/column shape as the paper's Tables 1-3; this is the formatter.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ron {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_int(std::uint64_t v);
+std::string fmt_bits(std::uint64_t bits);  // "1.2 Kb" style, base 1000
+
+}  // namespace ron

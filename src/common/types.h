@@ -1,0 +1,21 @@
+// Fundamental vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ron {
+
+/// Index of a node in a metric space / graph. Nodes are always 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Distances are doubles throughout; metrics are expected to be finite,
+/// symmetric, and to satisfy the triangle inequality.
+using Dist = double;
+
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::infinity();
+
+}  // namespace ron

@@ -1,0 +1,113 @@
+#include "core/rings.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+RingsOfNeighbors::RingsOfNeighbors(std::size_t n) : rings_(n) {
+  RON_CHECK(n >= 1);
+}
+
+void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
+  RON_CHECK(u < rings_.size());
+  std::sort(ring.members.begin(), ring.members.end());
+  ring.members.erase(std::unique(ring.members.begin(), ring.members.end()),
+                     ring.members.end());
+  for (NodeId v : ring.members) {
+    RON_CHECK(v < rings_.size(), "ring member out of range");
+  }
+  rings_[u].push_back(std::move(ring));
+}
+
+std::span<const Ring> RingsOfNeighbors::rings(NodeId u) const {
+  RON_CHECK(u < rings_.size());
+  return rings_[u];
+}
+
+std::vector<NodeId> RingsOfNeighbors::all_neighbors(NodeId u) const {
+  RON_CHECK(u < rings_.size());
+  std::vector<NodeId> all;
+  for (const Ring& r : rings_[u]) {
+    all.insert(all.end(), r.members.begin(), r.members.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::size_t RingsOfNeighbors::out_degree(NodeId u) const {
+  return all_neighbors(u).size();
+}
+
+std::size_t RingsOfNeighbors::max_out_degree() const {
+  std::size_t d = 0;
+  for (NodeId u = 0; u < rings_.size(); ++u) {
+    d = std::max(d, out_degree(u));
+  }
+  return d;
+}
+
+double RingsOfNeighbors::avg_out_degree() const {
+  std::size_t total = 0;
+  for (NodeId u = 0; u < rings_.size(); ++u) total += out_degree(u);
+  return static_cast<double>(total) / static_cast<double>(rings_.size());
+}
+
+std::uint64_t RingsOfNeighbors::pointer_bits(NodeId u) const {
+  return out_degree(u) * bits_for_index(rings_.size());
+}
+
+Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
+                              std::size_t min_ball_size, std::size_t count,
+                              Rng& rng) {
+  RON_CHECK(min_ball_size >= 1 && min_ball_size <= prox.n());
+  const Dist r = prox.kth_radius(u, min_ball_size);
+  auto ball = prox.ball(u, r);
+  Ring ring;
+  ring.scale = static_cast<double>(ball.size());
+  ring.members.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ring.members.push_back(ball[rng.index(ball.size())].v);
+  }
+  std::sort(ring.members.begin(), ring.members.end());
+  ring.members.erase(
+      std::unique(ring.members.begin(), ring.members.end()),
+      ring.members.end());
+  return ring;
+}
+
+Ring sample_measure_ball_ring(const MeasureView& mu, NodeId u, Dist radius,
+                              std::size_t count, Rng& rng) {
+  auto ball = mu.prox().ball(u, radius);
+  RON_CHECK(!ball.empty(), "empty ball at radius " << radius);
+  std::vector<double> weights;
+  weights.reserve(ball.size());
+  for (const auto& nb : ball) weights.push_back(mu.weight(nb.v));
+  Ring ring;
+  ring.scale = radius;
+  ring.members.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ring.members.push_back(ball[rng.weighted_index(weights)].v);
+  }
+  std::sort(ring.members.begin(), ring.members.end());
+  ring.members.erase(
+      std::unique(ring.members.begin(), ring.members.end()),
+      ring.members.end());
+  return ring;
+}
+
+Ring net_intersection_ring(const ProximityIndex& prox, NodeId u, Dist radius,
+                           std::span<const NodeId> net_members) {
+  Ring ring;
+  ring.scale = radius;
+  for (NodeId p : net_members) {
+    if (prox.dist(u, p) <= radius) ring.members.push_back(p);
+  }
+  std::sort(ring.members.begin(), ring.members.end());
+  return ring;
+}
+
+}  // namespace ron

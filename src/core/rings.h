@@ -1,0 +1,80 @@
+// Rings of neighbors — the paper's unifying data structure (§1).
+//
+// Every node u stores pointers to some nodes ("neighbors"), partitioned into
+// rings: for an increasing sequence of balls {B_i} around u, the i-th ring's
+// neighbors lie inside B_i. The radii and the selection rule are
+// application-specific; the paper combines two canonical collections:
+//
+//   (1) ball CARDINALITIES grow exponentially and the i-ring neighbors are
+//       uniform on the node set of B_i (the X-type rings of §3 and §5);
+//   (2) ball RADII grow exponentially and the i-ring neighbors are
+//       distributed "uniformly in space", i.e. by a doubling measure, or are
+//       the net points of a 2^i-net (the Y-type rings).
+//
+// RingsOfNeighbors is the shared container (with honest bit accounting);
+// the free functions below are the selection policies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+
+namespace ron {
+
+struct Ring {
+  /// Application-specific scale annotation (ball radius or cardinality).
+  double scale = 0.0;
+  /// Neighbor nodes; unique within the ring, sorted by id.
+  std::vector<NodeId> members;
+};
+
+class RingsOfNeighbors {
+ public:
+  explicit RingsOfNeighbors(std::size_t n);
+
+  std::size_t n() const { return rings_.size(); }
+
+  /// Appends a ring to node u (members are deduped and sorted).
+  void add_ring(NodeId u, Ring ring);
+
+  std::span<const Ring> rings(NodeId u) const;
+
+  /// Distinct neighbors of u across all rings, sorted by id.
+  std::vector<NodeId> all_neighbors(NodeId u) const;
+
+  /// Number of distinct neighbors (the out-degree of the overlay).
+  std::size_t out_degree(NodeId u) const;
+
+  std::size_t max_out_degree() const;
+  double avg_out_degree() const;
+
+  /// Bits to store u's neighbor pointers as global node ids
+  /// (#neighbors * ceil(log2 n) — the paper's baseline encoding).
+  std::uint64_t pointer_bits(NodeId u) const;
+
+ private:
+  std::vector<std::vector<Ring>> rings_;
+};
+
+/// Policy (1): `count` nodes sampled uniformly (with replacement, then
+/// deduped) from the smallest ball around u holding >= min_ball_size nodes.
+Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
+                              std::size_t min_ball_size, std::size_t count,
+                              Rng& rng);
+
+/// Policy (2a): `count` nodes sampled from B_u(radius) with probability
+/// mu(.)/mu(B) (deduped).
+Ring sample_measure_ball_ring(const MeasureView& mu, NodeId u, Dist radius,
+                              std::size_t count, Rng& rng);
+
+/// Policy (2b): all net points of `net_members` inside B_u(radius)
+/// (deterministic net-intersection ring, as in Theorem 2.1).
+Ring net_intersection_ring(const ProximityIndex& prox, NodeId u, Dist radius,
+                           std::span<const NodeId> net_members);
+
+}  // namespace ron

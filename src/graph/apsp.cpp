@@ -1,0 +1,40 @@
+#include "graph/apsp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ron {
+
+Apsp::Apsp(const WeightedGraph& g) : n_(g.n()) {
+  dist_.resize(n_ * n_);
+  hop_.resize(n_ * n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    SsspResult sssp = dijkstra(g, u);
+    auto fh = first_hops(g, u, sssp);
+    for (NodeId v = 0; v < n_; ++v) {
+      RON_CHECK(u == v || sssp.dist[v] != kInfDist,
+                "graph is not strongly connected: " << u << " cannot reach "
+                                                    << v);
+      dist_[static_cast<std::size_t>(u) * n_ + v] = sssp.dist[v];
+      hop_[static_cast<std::size_t>(u) * n_ + v] = fh[v];
+    }
+  }
+  // Symmetrize away floating-point noise: d(u->v) and d(v->u) along the same
+  // undirected path differ only by summation order. Take the min when the
+  // two directions agree to relative 1e-6 (a genuinely directed graph is
+  // left untouched).
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = u + 1; v < n_; ++v) {
+      Dist& duv = dist_[static_cast<std::size_t>(u) * n_ + v];
+      Dist& dvu = dist_[static_cast<std::size_t>(v) * n_ + u];
+      if (duv == dvu) continue;
+      const Dist diff = duv > dvu ? duv - dvu : dvu - duv;
+      if (diff <= 1e-6 * (duv + dvu)) {
+        duv = dvu = std::min(duv, dvu);
+      }
+    }
+  }
+}
+
+}  // namespace ron

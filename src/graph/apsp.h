@@ -1,0 +1,39 @@
+// All-pairs shortest paths: distance matrix plus the full first-hop matrix.
+//
+// first_hop(u, t) is the ⌈log Dout⌉-bit pointer stored in routing tables;
+// the simulator also uses it as the ground truth "some shortest path"
+// forwarding rule.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace ron {
+
+class Apsp {
+ public:
+  /// Runs Dijkstra from every node; requires the graph to be strongly
+  /// connected (throws otherwise).
+  explicit Apsp(const WeightedGraph& g);
+
+  std::size_t n() const { return n_; }
+
+  Dist dist(NodeId u, NodeId v) const {
+    return dist_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  /// Index into out_edges(u) of the first edge of a shortest u->t path
+  /// (kInvalidEdge when u == t).
+  EdgeIndex first_hop(NodeId u, NodeId t) const {
+    return hop_[static_cast<std::size_t>(u) * n_ + t];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<Dist> dist_;
+  std::vector<EdgeIndex> hop_;
+};
+
+}  // namespace ron

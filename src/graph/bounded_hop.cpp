@@ -1,0 +1,107 @@
+#include "graph/bounded_hop.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ron {
+
+BoundedHopResult bounded_hop_paths(const WeightedGraph& g, NodeId target,
+                                   const std::vector<Dist>& exact_dist,
+                                   double delta, std::uint32_t max_hops) {
+  const std::size_t n = g.n();
+  RON_CHECK(target < n && exact_dist.size() == n);
+  RON_CHECK(delta >= 0.0);
+  BoundedHopResult r;
+  r.best_dist.assign(n, kInfDist);
+  r.hops.assign(n, max_hops + 1);
+  r.next.assign(n, kInvalidNode);
+  // dist_h[v]: best length of a <= h-hop path v -> target. Iterate h upward,
+  // recording the first h at which dist_h[v] <= (1+delta) d(v, target).
+  std::vector<Dist> cur(n, kInfDist);
+  cur[target] = 0.0;
+  r.best_dist[target] = 0.0;
+  r.hops[target] = 0;
+  std::vector<Dist> next_round(n);
+  for (std::uint32_t h = 1; h <= max_hops; ++h) {
+    next_round = cur;
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      auto edges = g.out_edges(u);
+      for (const Edge& e : edges) {
+        const Dist cand = e.weight + cur[e.to];
+        if (cand < next_round[u]) {
+          next_round[u] = cand;
+          changed = true;
+          // Track successor achieving the current best bounded-hop length.
+          if (r.hops[u] > max_hops) r.next[u] = e.to;
+        }
+      }
+    }
+    cur.swap(next_round);
+    for (NodeId u = 0; u < n; ++u) {
+      if (r.hops[u] <= max_hops) continue;
+      // The 1e-9 relative slack absorbs summation-order rounding between
+      // this Bellman-Ford and the Dijkstra that produced exact_dist.
+      if (cur[u] <= (1.0 + delta) * exact_dist[u] * (1.0 + 1e-9)) {
+        r.hops[u] = h;
+        r.best_dist[u] = cur[u];
+      }
+    }
+    if (!changed) break;
+  }
+  // Re-derive a consistent successor function from the final cur[] values:
+  // next[u] = argmin over edges of (w + cur[to]). Monotone descent in cur
+  // guarantees loop-free reconstruction.
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == target) continue;
+    Dist best = kInfDist;
+    for (const Edge& e : g.out_edges(u)) {
+      const Dist cand = e.weight + cur[e.to];
+      if (cand < best) {
+        best = cand;
+        r.next[u] = e.to;
+      }
+    }
+    if (r.hops[u] <= max_hops) r.best_dist[u] = best;
+  }
+  return r;
+}
+
+std::vector<NodeId> bounded_hop_path(const BoundedHopResult& r, NodeId v,
+                                     NodeId target) {
+  RON_CHECK(v < r.hops.size());
+  RON_CHECK(r.hops[v] < r.hops.size() + 1 && r.best_dist[v] != kInfDist,
+            "no bounded-hop path recorded for node " << v);
+  std::vector<NodeId> path{v};
+  NodeId cur = v;
+  std::size_t guard = 0;
+  while (cur != target) {
+    cur = r.next[cur];
+    RON_CHECK(cur != kInvalidNode, "broken successor chain");
+    path.push_back(cur);
+    RON_CHECK(++guard <= r.hops.size(), "successor chain has a cycle");
+  }
+  return path;
+}
+
+std::uint32_t estimate_hop_bound(const WeightedGraph& g,
+                                 const std::vector<NodeId>& sample_targets,
+                                 const std::vector<std::vector<Dist>>& dists,
+                                 double delta, std::uint32_t max_hops) {
+  RON_CHECK(sample_targets.size() == dists.size());
+  std::uint32_t worst = 0;
+  for (std::size_t i = 0; i < sample_targets.size(); ++i) {
+    auto r = bounded_hop_paths(g, sample_targets[i], dists[i], delta,
+                               max_hops);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      RON_CHECK(r.hops[v] <= max_hops,
+                "node " << v << " needs more than " << max_hops
+                        << " hops for stretch " << 1.0 + delta);
+      worst = std::max(worst, r.hops[v]);
+    }
+  }
+  return worst;
+}
+
+}  // namespace ron

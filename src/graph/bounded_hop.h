@@ -1,0 +1,46 @@
+// Hop-bounded near-shortest paths.
+//
+// Theorem 4.2 / B.1 assumes every node pair is connected by a (1+δ)-stretch
+// path with at most N_δ hops; mode M2 stores such a path per assigned target.
+// bounded_hop_paths() computes, from a single target t, the minimum hop count
+// h(v) such that some <= h(v)-hop v->t path has length <= (1+δ) d(v,t), plus
+// the predecessor structure to reconstruct those paths. (Bellman-Ford layers;
+// O(H * m) per target.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ron {
+
+struct BoundedHopResult {
+  /// best_dist[v] = length of the best path found from v to the target under
+  /// the hop budget at which v first met the stretch goal.
+  std::vector<Dist> best_dist;
+  /// hops[v] = minimal hop count achieving stretch <= 1+delta (0 for the
+  /// target itself; max_hops+1 if the goal was not met within the budget).
+  std::vector<std::uint32_t> hops;
+  /// next[v] = successor of v on the stored v->target path.
+  std::vector<NodeId> next;
+};
+
+/// `exact_dist[v]` must hold d(v, target) (from Apsp).
+BoundedHopResult bounded_hop_paths(const WeightedGraph& g, NodeId target,
+                                   const std::vector<Dist>& exact_dist,
+                                   double delta, std::uint32_t max_hops);
+
+/// Reconstructs v -> ... -> target from `next` (throws if v never met the
+/// stretch goal).
+std::vector<NodeId> bounded_hop_path(const BoundedHopResult& r, NodeId v,
+                                     NodeId target);
+
+/// N_delta for the whole graph: max over sampled targets of max over v of
+/// hops[v]. Used to report the Theorem B.1 parameter.
+std::uint32_t estimate_hop_bound(const WeightedGraph& g,
+                                 const std::vector<NodeId>& sample_targets,
+                                 const std::vector<std::vector<Dist>>& dists,
+                                 double delta, std::uint32_t max_hops);
+
+}  // namespace ron

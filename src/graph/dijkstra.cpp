@@ -1,0 +1,80 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace ron {
+
+SsspResult dijkstra(const WeightedGraph& g, NodeId source) {
+  RON_CHECK(source < g.n());
+  const std::size_t n = g.n();
+  SsspResult r;
+  r.dist.assign(n, kInfDist);
+  r.parent.assign(n, kInvalidNode);
+  r.parent_edge.assign(n, kInvalidEdge);
+  using Item = std::pair<Dist, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    auto edges = g.out_edges(u);
+    for (EdgeIndex e = 0; e < edges.size(); ++e) {
+      const Edge& edge = edges[e];
+      const Dist nd = d + edge.weight;
+      if (nd < r.dist[edge.to]) {
+        r.dist[edge.to] = nd;
+        r.parent[edge.to] = u;
+        r.parent_edge[edge.to] = e;
+        pq.emplace(nd, edge.to);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<EdgeIndex> first_hops(const WeightedGraph& g, NodeId source,
+                                  const SsspResult& sssp) {
+  const std::size_t n = g.n();
+  RON_CHECK(sssp.dist.size() == n);
+  std::vector<EdgeIndex> fh(n, kInvalidEdge);
+  // Process nodes in order of increasing distance so that a node's first hop
+  // can be copied from its parent (unless its parent is the source).
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return sssp.dist[a] < sssp.dist[b];
+  });
+  for (NodeId v : order) {
+    if (v == source || sssp.parent[v] == kInvalidNode) continue;
+    if (sssp.parent[v] == source) {
+      fh[v] = sssp.parent_edge[v];
+    } else {
+      fh[v] = fh[sssp.parent[v]];
+      RON_CHECK(fh[v] != kInvalidEdge, "first-hop propagation broke");
+    }
+  }
+  return fh;
+}
+
+std::vector<NodeId> shortest_path(NodeId source, NodeId t,
+                                  const SsspResult& sssp) {
+  std::vector<NodeId> path;
+  if (t >= sssp.dist.size() || sssp.dist[t] == kInfDist) return path;
+  NodeId cur = t;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    if (cur == source) break;
+    cur = sssp.parent[cur];
+  }
+  RON_CHECK(!path.empty() && path.back() == source,
+            "path reconstruction did not reach the source");
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ron

@@ -1,0 +1,32 @@
+// Single-source shortest paths with first-hop extraction.
+//
+// Routing tables store, per neighbor v of u, the "first-hop pointer": the
+// index of the first edge of some shortest u->v path (proof of Theorem 2.1).
+// first_hops() computes that pointer for every target of one Dijkstra run.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ron {
+
+struct SsspResult {
+  std::vector<Dist> dist;          // dist[v] = d(source, v); inf if unreachable
+  std::vector<NodeId> parent;      // predecessor on a shortest path; source's
+                                   // parent is kInvalidNode
+  std::vector<EdgeIndex> parent_edge;  // edge index at parent[v] leading to v
+};
+
+SsspResult dijkstra(const WeightedGraph& g, NodeId source);
+
+/// first_hop[t] = index (into out_edges(source)) of the first edge of a
+/// shortest source->t path; kInvalidEdge for t == source or unreachable t.
+std::vector<EdgeIndex> first_hops(const WeightedGraph& g, NodeId source,
+                                  const SsspResult& sssp);
+
+/// Reconstructs the node sequence source -> ... -> t (empty if unreachable).
+std::vector<NodeId> shortest_path(NodeId source, NodeId t,
+                                  const SsspResult& sssp);
+
+}  // namespace ron

@@ -1,0 +1,94 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+
+namespace ron {
+
+WeightedGraph grid_graph(std::size_t width, std::size_t height,
+                         double perturb, std::uint64_t seed) {
+  RON_CHECK(width >= 1 && height >= 1 && width * height >= 2);
+  RON_CHECK(perturb >= 0.0);
+  Rng rng(seed);
+  WeightedGraph g(width * height, "grid-graph");
+  auto id = [&](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  auto w = [&]() { return perturb > 0.0 ? 1.0 + rng.uniform(0.0, perturb) : 1.0; };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_undirected_edge(id(x, y), id(x + 1, y), w());
+      if (y + 1 < height) g.add_undirected_edge(id(x, y), id(x, y + 1), w());
+    }
+  }
+  return g;
+}
+
+WeightedGraph cycle_graph(std::size_t n) {
+  RON_CHECK(n >= 3);
+  WeightedGraph g(n, "cycle");
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_undirected_edge(u, static_cast<NodeId>((u + 1) % n), 1.0);
+  }
+  return g;
+}
+
+namespace {
+bool is_connected(const WeightedGraph& g) {
+  auto sssp = dijkstra(g, 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (sssp.dist[v] == kInfDist) return false;
+  }
+  return true;
+}
+}  // namespace
+
+WeightedGraph random_geometric_graph(std::size_t n, double radius,
+                                     std::uint64_t seed, double side) {
+  RON_CHECK(n >= 2 && radius > 0.0 && side > 0.0);
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, side);
+    y[i] = rng.uniform(0.0, side);
+  }
+  double r = radius;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    WeightedGraph g(n, "random-geometric");
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double dx = x[u] - x[v];
+        const double dy = y[u] - y[v];
+        const double d = std::sqrt(dx * dx + dy * dy);
+        if (d <= r && d > 0.0) g.add_undirected_edge(u, v, d);
+      }
+    }
+    if (is_connected(g)) return g;
+    r *= 1.4;
+  }
+  RON_CHECK(false, "random_geometric_graph failed to connect; radius too small");
+}
+
+WeightedGraph ring_of_cliques(std::size_t k, std::size_t m,
+                              double bridge_weight) {
+  RON_CHECK(k >= 3 && m >= 2 && bridge_weight > 0.0);
+  WeightedGraph g(k * m, "ring-of-cliques");
+  auto id = [&](std::size_t clique, std::size_t member) {
+    return static_cast<NodeId>(clique * m + member);
+  };
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        g.add_undirected_edge(id(c, i), id(c, j), 1.0);
+      }
+    }
+    g.add_undirected_edge(id(c, 0), id((c + 1) % k, 0), bridge_weight);
+  }
+  return g;
+}
+
+}  // namespace ron

@@ -1,0 +1,31 @@
+// Graph generators whose shortest-path metrics are doubling.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ron {
+
+/// width x height 4-neighbor grid; unit weights unless `perturb` > 0, in
+/// which case weights are 1 + U[0, perturb) (keeps the metric doubling,
+/// breaks ties). Undirected.
+WeightedGraph grid_graph(std::size_t width, std::size_t height,
+                         double perturb = 0.0, std::uint64_t seed = 0);
+
+/// Cycle on n nodes with unit weights. Undirected.
+WeightedGraph cycle_graph(std::size_t n);
+
+/// Random geometric graph: n points uniform in [0, side]^2, edge between
+/// points within `radius`, weight = Euclidean distance. Retries with a larger
+/// radius until connected (up to a doubling cap). Undirected.
+WeightedGraph random_geometric_graph(std::size_t n, double radius,
+                                     std::uint64_t seed, double side = 1.0);
+
+/// k cliques of m nodes arranged on a cycle; intra-clique edges of weight 1,
+/// one inter-clique "bridge" edge of weight `bridge_weight` between
+/// consecutive cliques. A natural two-scale doubling graph. Undirected.
+WeightedGraph ring_of_cliques(std::size_t k, std::size_t m,
+                              double bridge_weight = 10.0);
+
+}  // namespace ron

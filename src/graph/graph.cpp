@@ -1,0 +1,45 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+WeightedGraph::WeightedGraph(std::size_t n, std::string name)
+    : n_(n), adj_(n), name_(std::move(name)) {
+  RON_CHECK(n_ >= 1);
+}
+
+void WeightedGraph::add_edge(NodeId u, NodeId v, Dist weight) {
+  RON_CHECK(u < n_ && v < n_, "edge endpoint out of range");
+  RON_CHECK(u != v, "self-loops are not allowed");
+  RON_CHECK(weight > 0.0 && std::isfinite(weight),
+            "edge weight must be positive and finite");
+  adj_[u].push_back(Edge{v, weight});
+  ++num_edges_;
+}
+
+void WeightedGraph::add_undirected_edge(NodeId u, NodeId v, Dist weight) {
+  add_edge(u, v, weight);
+  add_edge(v, u, weight);
+}
+
+std::span<const Edge> WeightedGraph::out_edges(NodeId u) const {
+  RON_CHECK(u < n_);
+  return adj_[u];
+}
+
+std::size_t WeightedGraph::max_out_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+const Edge& WeightedGraph::edge(NodeId u, EdgeIndex e) const {
+  RON_CHECK(u < n_ && e < adj_[u].size(), "edge index out of range");
+  return adj_[u][e];
+}
+
+}  // namespace ron

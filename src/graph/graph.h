@@ -1,0 +1,59 @@
+// Weighted directed graph with positive edge weights.
+//
+// Routing schemes (paper §2, §4) run on weighted graphs whose shortest-path
+// metric is doubling. Undirected graphs are represented as two directed
+// edges. Out-edges of a node are indexed 0..out_degree-1; that index is the
+// enumeration phi_u of outgoing links used for ⌈log Dout⌉-bit first-hop
+// pointers (proof of Theorem 2.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ron {
+
+struct Edge {
+  NodeId to;
+  Dist weight;
+};
+
+/// Index of an out-edge within its node's adjacency list.
+using EdgeIndex = std::uint32_t;
+inline constexpr EdgeIndex kInvalidEdge = 0xffffffffu;
+
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n, std::string name = "graph");
+
+  std::size_t n() const { return n_; }
+  const std::string& name() const { return name_; }
+
+  /// Adds a directed edge u -> v. Weight must be positive and finite.
+  void add_edge(NodeId u, NodeId v, Dist weight);
+
+  /// Adds both u -> v and v -> u.
+  void add_undirected_edge(NodeId u, NodeId v, Dist weight);
+
+  std::span<const Edge> out_edges(NodeId u) const;
+
+  std::size_t out_degree(NodeId u) const { return adj_[u].size(); }
+
+  /// Max out-degree over all nodes (the paper's Dout).
+  std::size_t max_out_degree() const;
+
+  std::size_t num_edges() const { return num_edges_; }
+
+  const Edge& edge(NodeId u, EdgeIndex e) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t num_edges_ = 0;
+  std::string name_;
+};
+
+}  // namespace ron

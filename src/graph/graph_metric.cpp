@@ -1,0 +1,16 @@
+#include "graph/graph_metric.h"
+
+#include "common/check.h"
+
+namespace ron {
+
+GraphMetric::GraphMetric(std::shared_ptr<const Apsp> apsp, std::string name)
+    : apsp_(std::move(apsp)), name_(std::move(name)) {
+  RON_CHECK(apsp_ != nullptr);
+}
+
+GraphMetric::GraphMetric(const WeightedGraph& g)
+    : apsp_(std::make_shared<Apsp>(g)),
+      name_("spm(" + g.name() + ")") {}
+
+}  // namespace ron

@@ -1,0 +1,37 @@
+// Shortest-path metric of a weighted graph (the paper's "doubling graph"
+// setting: a graph whose induced shortest-path metric has low doubling
+// dimension).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/apsp.h"
+#include "metric/metric_space.h"
+
+namespace ron {
+
+class GraphMetric final : public MetricSpace {
+ public:
+  /// Takes shared ownership of an already-computed APSP so routing schemes
+  /// can reuse the same matrices for first-hop pointers.
+  GraphMetric(std::shared_ptr<const Apsp> apsp, std::string name);
+
+  /// Convenience: computes APSP internally.
+  explicit GraphMetric(const WeightedGraph& g);
+
+  std::size_t n() const override { return apsp_->n(); }
+  Dist distance(NodeId u, NodeId v) const override {
+    return apsp_->dist(u, v);
+  }
+  std::string name() const override { return name_; }
+
+  const Apsp& apsp() const { return *apsp_; }
+  std::shared_ptr<const Apsp> apsp_ptr() const { return apsp_; }
+
+ private:
+  std::shared_ptr<const Apsp> apsp_;
+  std::string name_;
+};
+
+}  // namespace ron

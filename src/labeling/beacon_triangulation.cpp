@@ -1,0 +1,50 @@
+#include "labeling/beacon_triangulation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/nets.h"
+
+namespace ron {
+
+BeaconTriangulation::BeaconTriangulation(const ProximityIndex& prox,
+                                         std::size_t k,
+                                         BeaconPlacement placement,
+                                         std::uint64_t seed) {
+  const std::size_t n = prox.n();
+  RON_CHECK(k >= 1 && k <= n, "beacon count must be in [1, n]");
+  Rng rng(seed);
+  if (placement == BeaconPlacement::kUniformRandom) {
+    for (std::size_t i : rng.sample_without_replacement(k, n)) {
+      beacons_.push_back(static_cast<NodeId>(i));
+    }
+  } else {
+    // Coarsest net with >= k points, then trim uniformly at random.
+    std::vector<NodeId> net;
+    for (Dist r = prox.dmax(); r >= prox.dmin() / 2.0; r /= 2.0) {
+      net = greedy_net(prox, r);
+      if (net.size() >= k) break;
+    }
+    RON_CHECK(net.size() >= k, "could not find a net with k points");
+    rng.shuffle(net);
+    net.resize(k);
+    beacons_ = std::move(net);
+  }
+  std::sort(beacons_.begin(), beacons_.end());
+  labels_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    labels_[u].beacons = beacons_;
+    labels_[u].dist.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      labels_[u].dist[i] = prox.dist(u, beacons_[i]);
+    }
+  }
+}
+
+const TriangulationLabel& BeaconTriangulation::label(NodeId u) const {
+  RON_CHECK(u < labels_.size());
+  return labels_[u];
+}
+
+}  // namespace ron

@@ -1,0 +1,37 @@
+// Common-beacon-set triangulation — the [33, 50] baseline.
+//
+// All nodes share one beacon set S (k nodes); the label of u is the vector
+// of distances to S. This is the GNP/IDMaps-style construction the paper's
+// Theorem 3.2 improves on: with a shared beacon set an eps-fraction of node
+// pairs can violate D+/D- <= 1 + delta, whereas the per-node rings of
+// Theorem 3.2 achieve eps = 0. The bench measures that failing fraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/triangulation.h"
+#include "metric/proximity.h"
+
+namespace ron {
+
+enum class BeaconPlacement {
+  kUniformRandom,  // k beacons sampled without replacement
+  kNet,            // a greedy net thinned/padded to k beacons
+};
+
+class BeaconTriangulation {
+ public:
+  BeaconTriangulation(const ProximityIndex& prox, std::size_t k,
+                      BeaconPlacement placement, std::uint64_t seed);
+
+  const TriangulationLabel& label(NodeId u) const;
+  std::size_t order() const { return beacons_.size(); }
+  const std::vector<NodeId>& beacons() const { return beacons_; }
+
+ private:
+  std::vector<NodeId> beacons_;
+  std::vector<TriangulationLabel> labels_;
+};
+
+}  // namespace ron

@@ -1,0 +1,226 @@
+#include "labeling/distance_labels.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+
+/// Sorted-range lookup: z such that (x, y, z) is a triple of `zeta`, or
+/// UINT32_MAX ("null") if absent.
+constexpr std::uint32_t kNull = 0xffffffffu;
+
+std::uint32_t zeta_lookup(const std::vector<DlsTriple>& zeta, std::uint32_t x,
+                          std::uint32_t y) {
+  auto it = std::lower_bound(
+      zeta.begin(), zeta.end(), std::make_pair(x, y),
+      [](const DlsTriple& t, const std::pair<std::uint32_t, std::uint32_t>& k) {
+        return t.x != k.first ? t.x < k.first : t.y < k.second;
+      });
+  if (it == zeta.end() || it->x != x || it->y != y) return kNull;
+  return it->z;
+}
+
+/// All triples of `zeta` with first coordinate x (a contiguous run).
+std::pair<std::size_t, std::size_t> zeta_row(const std::vector<DlsTriple>& zeta,
+                                             std::uint32_t x) {
+  auto lo = std::lower_bound(zeta.begin(), zeta.end(), x,
+                             [](const DlsTriple& t, std::uint32_t xx) {
+                               return t.x < xx;
+                             });
+  auto hi = std::upper_bound(zeta.begin(), zeta.end(), x,
+                             [](std::uint32_t xx, const DlsTriple& t) {
+                               return xx < t.x;
+                             });
+  return {static_cast<std::size_t>(lo - zeta.begin()),
+          static_cast<std::size_t>(hi - zeta.begin())};
+}
+
+/// Walks b's zooming chain through both labels, joining zeta rows at every
+/// level to harvest common-neighbor candidates. `upper` is improved in
+/// place; returns the number of candidates seen.
+std::size_t walk_chain(const DlsLabel& a, const DlsLabel& b, Dist& upper) {
+  std::size_t candidates = 0;
+  // phi-index of the current chain element f_{b,j} in a's and b's labels.
+  std::uint32_t ia = b.zoom0;
+  std::uint32_t ib = b.zoom0;  // level-0 host enumerations coincide
+  const std::size_t levels = b.zoom.size();  // chain advances levels times
+  for (std::size_t j = 0;; ++j) {
+    RON_CHECK(ia < a.host_dist.size() && ib < b.host_dist.size(),
+              "chain index out of range");
+    // The chain element itself is a common neighbor.
+    upper = std::min(upper, a.host_dist[ia] + b.host_dist[ib]);
+    ++candidates;
+    if (j >= levels || j >= a.zeta.size() || j >= b.zeta.size()) break;
+    // Join the two zeta rows on y: every shared y identifies a node that is
+    // a virtual neighbor of f_{b,j} and an N(j+1)-neighbor of both ends.
+    auto [alo, ahi] = zeta_row(a.zeta[j], ia);
+    auto [blo, bhi] = zeta_row(b.zeta[j], ib);
+    std::size_t p = alo, q = blo;
+    while (p < ahi && q < bhi) {
+      if (a.zeta[j][p].y < b.zeta[j][q].y) {
+        ++p;
+      } else if (a.zeta[j][p].y > b.zeta[j][q].y) {
+        ++q;
+      } else {
+        const std::uint32_t za = a.zeta[j][p].z;
+        const std::uint32_t zb = b.zeta[j][q].z;
+        RON_CHECK(za < a.host_dist.size() && zb < b.host_dist.size());
+        upper = std::min(upper, a.host_dist[za] + b.host_dist[zb]);
+        ++candidates;
+        ++p;
+        ++q;
+      }
+    }
+    // Advance the chain: f_{b,j+1} is given as a psi-index into T_{f_{b,j}}.
+    const std::uint32_t y = b.zoom[j];
+    const std::uint32_t na = zeta_lookup(a.zeta[j], ia, y);
+    const std::uint32_t nb = zeta_lookup(b.zeta[j], ib, y);
+    if (na == kNull || nb == kNull) break;
+    ia = na;
+    ib = nb;
+  }
+  return candidates;
+}
+
+}  // namespace
+
+DistanceLabeling::DistanceLabeling(const NeighborSystem& sys)
+    : codec_(sys.prox().dmin(), 2.0 * sys.prox().dmax(),
+             sys.delta() / 8.0) {
+  const ProximityIndex& prox = sys.prox();
+  const std::size_t n = prox.n();
+  const int levels = sys.num_levels();
+  id_bits_ = bits_for_index(n);
+
+  // psi width: the virtual enumeration of any node.
+  std::size_t max_t = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    max_t = std::max(max_t, sys.virtual_set(v).size());
+  }
+  psi_bits_ = bits_for_index(max_t);
+
+  // Per-node phi (host index) lookup tables.
+  std::vector<std::unordered_map<NodeId, std::uint32_t>> phi(n);
+  for (NodeId u = 0; u < n; ++u) {
+    auto hosts = sys.host_set(u);
+    phi[u].reserve(hosts.size());
+    for (std::uint32_t k = 0; k < hosts.size(); ++k) {
+      phi[u].emplace(hosts[k], k);
+    }
+  }
+  auto psi_of = [&](NodeId v, NodeId w) -> std::uint32_t {
+    auto tv = sys.virtual_set(v);
+    auto it = std::lower_bound(tv.begin(), tv.end(), w);
+    if (it == tv.end() || *it != w) return kNull;
+    return static_cast<std::uint32_t>(it - tv.begin());
+  };
+
+  labels_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    DlsLabel& lab = labels_[u];
+    lab.id = u;
+    auto hosts = sys.host_set(u);
+    lab.host_dist.resize(hosts.size());
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+      lab.host_dist[k] = codec_.round_up(prox.dist(u, hosts[k]));
+    }
+
+    // Per-level N(i) = X_{u,i} ∪ Y_{u,i}, sorted by id.
+    std::vector<std::vector<NodeId>> N(levels);
+    for (int i = 0; i < levels; ++i) {
+      auto xs = sys.X(u, i);
+      auto ys = sys.Y(u, i);
+      N[i].assign(xs.begin(), xs.end());
+      N[i].insert(N[i].end(), ys.begin(), ys.end());
+      std::sort(N[i].begin(), N[i].end());
+      N[i].erase(std::unique(N[i].begin(), N[i].end()), N[i].end());
+    }
+
+    // Translation maps zeta_{u,i} for i in [0, levels-2].
+    lab.zeta.resize(levels > 1 ? levels - 1 : 0);
+    for (int i = 0; i + 1 < levels; ++i) {
+      auto& zeta = lab.zeta[i];
+      for (NodeId v : N[i]) {
+        auto tv = sys.virtual_set(v);
+        // Intersect N(i+1) with T_v (both sorted).
+        std::size_t p = 0, q = 0;
+        const auto& next = N[i + 1];
+        while (p < next.size() && q < tv.size()) {
+          if (next[p] < tv[q]) {
+            ++p;
+          } else if (next[p] > tv[q]) {
+            ++q;
+          } else {
+            zeta.push_back(DlsTriple{phi[u].at(v),
+                                     static_cast<std::uint32_t>(q),
+                                     phi[u].at(next[p])});
+            ++p;
+            ++q;
+          }
+        }
+      }
+      std::sort(zeta.begin(), zeta.end(),
+                [](const DlsTriple& a, const DlsTriple& b) {
+                  if (a.x != b.x) return a.x < b.x;
+                  if (a.y != b.y) return a.y < b.y;
+                  return a.z < b.z;
+                });
+    }
+
+    // Zooming sequence encoding.
+    const NodeId f0 = sys.f(u, 0);
+    auto it0 = phi[u].find(f0);
+    RON_CHECK(it0 != phi[u].end(), "f_{u,0} must be a host neighbor");
+    lab.zoom0 = it0->second;
+    lab.zoom.resize(levels > 1 ? levels - 1 : 0);
+    for (int i = 0; i + 1 < levels; ++i) {
+      const NodeId fi = sys.f(u, i);
+      const NodeId fn = sys.f(u, i + 1);
+      const std::uint32_t y = psi_of(fi, fn);
+      RON_CHECK(y != kNull,
+                "Claim 3.5(c) violated: f_{u,i+1} not a virtual neighbor of "
+                "f_{u,i} (u=" << u << ", i=" << i << ")");
+      lab.zoom[i] = y;
+    }
+  }
+}
+
+const DlsLabel& DistanceLabeling::label(NodeId u) const {
+  RON_CHECK(u < labels_.size());
+  return labels_[u];
+}
+
+DlsEstimate DistanceLabeling::estimate(const DlsLabel& a, const DlsLabel& b) {
+  DlsEstimate out;
+  if (a.id == b.id) {
+    out.upper = 0.0;
+    out.candidates = 1;
+    return out;
+  }
+  out.candidates += walk_chain(a, b, out.upper);
+  out.candidates += walk_chain(b, a, out.upper);
+  RON_CHECK(out.upper < kInfDist, "decode produced no common neighbor");
+  return out;
+}
+
+std::uint64_t DistanceLabeling::label_bits(NodeId u) const {
+  RON_CHECK(u < labels_.size());
+  const DlsLabel& lab = labels_[u];
+  const std::uint64_t phi_bits = bits_for_index(
+      std::max<std::size_t>(lab.host_dist.size(), 2));
+  std::uint64_t bits = id_bits_;
+  bits += lab.host_dist.size() * codec_.bits();
+  for (const auto& zeta : lab.zeta) {
+    bits += zeta.size() * (2 * phi_bits + psi_bits_);
+  }
+  bits += phi_bits;                        // zoom0
+  bits += lab.zoom.size() * psi_bits_;     // psi chain
+  return bits;
+}
+
+}  // namespace ron

@@ -1,0 +1,80 @@
+// (1+delta)-approximate distance labeling (Theorem 3.4).
+//
+// The label of node u consists of:
+//   - quantized distances to its host neighbors H_u = X_u ∪ Y_u, stored as an
+//     array indexed by the host enumeration phi_u (an O(log 1/δ)-bit mantissa
+//     and O(log log Δ)-bit exponent per distance — never a global node id);
+//   - translation maps zeta_{u,i} with entries
+//         zeta_{u,i}(phi_u(v), psi_v(w)) = phi_u(w)
+//     for v in N(i) = X_{u,i} ∪ Y_{u,i} and w in N(i+1) ∩ T_v, where T_v is
+//     the set of *virtual neighbors* of v and psi_v its enumeration;
+//   - the zooming sequence f_u, encoded as phi_u(f_{u,0}) (the level-0 host
+//     enumeration is common to all nodes) followed by the index of each
+//     f_{u,i+1} in the virtual enumeration of f_{u,i} (Claim 3.5(c));
+//   - the node's global id (the paper's "WLOG L_u contains ID(u)").
+//
+// Decoding a pair (L_u, L_v) identifies common neighbors WITHOUT global ids:
+// it walks both zooming sequences, translating each chain element through
+// both labels' zeta maps, and at every level joins the two maps' rows to
+// enumerate nodes that are simultaneously virtual neighbors of the chain
+// element and (X/Y)-neighbors of both endpoints. The proof guarantees that
+// some identified common neighbor w0 lies within delta*d of u or v, so the
+// best upper bound min(d_uw + d_vw) is a (1+O(delta))-approximation of d.
+// Only the upper bound is returned: with rounded distances the difference
+// |d'_uw - d'_vw| is not a valid lower bound (the paper's footnote 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distcode.h"
+#include "labeling/neighbor_system.h"
+
+namespace ron {
+
+struct DlsTriple {
+  std::uint32_t x;  // phi_u(v)
+  std::uint32_t y;  // psi_v(w)
+  std::uint32_t z;  // phi_u(w)
+};
+
+struct DlsLabel {
+  std::uint32_t id = 0;                       // ceil(log n)-bit node id
+  std::vector<Dist> host_dist;                // indexed by phi_u, rounded up
+  std::vector<std::vector<DlsTriple>> zeta;   // per level i, sorted by (x,y)
+  std::uint32_t zoom0 = 0;                    // phi(f_{u,0}), common level-0
+  std::vector<std::uint32_t> zoom;            // psi-chain, length levels-1
+};
+
+struct DlsEstimate {
+  Dist upper = kInfDist;        // the distance estimate (non-contracting)
+  std::size_t candidates = 0;   // common neighbors identified
+};
+
+class DistanceLabeling {
+ public:
+  explicit DistanceLabeling(const NeighborSystem& sys);
+
+  std::size_t n() const { return labels_.size(); }
+  const DlsLabel& label(NodeId u) const;
+
+  /// Label-only decoding; symmetric in its arguments. Returns 0 for equal
+  /// ids. The upper bound always satisfies d <= upper <= (1+O(delta)) d.
+  static DlsEstimate estimate(const DlsLabel& a, const DlsLabel& b);
+
+  /// Honest payload bits of u's label under the paper's encoding.
+  std::uint64_t label_bits(NodeId u) const;
+
+  const DistanceCodec& codec() const { return codec_; }
+
+  /// Width of a psi (virtual-enumeration) index: ceil(log2 max_u |T_u|).
+  std::uint64_t psi_bits() const { return psi_bits_; }
+
+ private:
+  DistanceCodec codec_;
+  std::uint64_t psi_bits_ = 0;
+  std::uint64_t id_bits_ = 0;
+  std::vector<DlsLabel> labels_;
+};
+
+}  // namespace ron

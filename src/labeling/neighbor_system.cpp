@@ -1,0 +1,240 @@
+#include "labeling/neighbor_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+void sort_unique(std::vector<NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+}  // namespace
+
+NeighborSystem::NeighborSystem(const ProximityIndex& prox, double delta,
+                               NeighborProfile profile)
+    : prox_(prox), delta_(delta), profile_(profile) {
+  RON_CHECK(delta_ > 0.0 && delta_ < 0.5, "delta must be in (0, 1/2)");
+  RON_CHECK(profile_.y_ball_factor >= 1.0 && profile_.y_net_divisor > 0.0 &&
+                profile_.z_net_divisor > 0.0,
+            "invalid neighbor profile");
+  // The zooming element f_{u,i} (a member of the 2^floor(log2(r/4))-net)
+  // must lie in the Y_i ring's finer net: delta*r/divisor <= r/4.
+  RON_CHECK(delta_ <= profile_.y_net_divisor / 4.0 + 1e-12,
+            "profile requires delta <= y_net_divisor / 4 (got delta="
+                << delta_ << ", divisor=" << profile_.y_net_divisor << ")");
+  num_levels_ = prox_.num_levels();
+  num_z_scales_ = prox_.num_scales();
+  // l_max covers the largest radius any construction touches:
+  // 12 r_{u,i} / delta <= 12 dmax / delta.
+  const int l_max = std::max(
+      1, ceil_log2_real(12.0 * prox_.aspect_ratio() / delta_) + 1);
+  nets_ = std::make_unique<NetHierarchy>(prox_, l_max);
+  counting_ = std::make_unique<MeasureView>(
+      prox_, counting_measure(prox_.n()));
+  packings_.resize(num_levels_);
+  for (int i = 0; i < num_levels_; ++i) {
+    packings_[i] =
+        std::make_unique<EpsMuPacking>(*counting_, std::ldexp(1.0, -i));
+  }
+  build_levels();
+  build_z_sets();
+  build_host_and_virtual();
+}
+
+void NeighborSystem::build_levels() {
+  const std::size_t n = prox_.n();
+  const std::size_t cells = n * static_cast<std::size_t>(num_levels_);
+  r_.resize(cells);
+  x_.resize(cells);
+  y_.resize(cells);
+  nearest_x_.assign(cells, kInvalidNode);
+  f_.resize(cells);
+  y_level_.resize(cells);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i < num_levels_; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(u) * num_levels_ + i;
+      // i = 0 -> d_max convention (see header).
+      const Dist rui = (i == 0) ? prox_.dmax() : prox_.level_radius(u, i);
+      r_[idx] = rui;
+      RON_CHECK(rui > 0.0, "r_{u,i} must be positive (duplicate points?)");
+
+      // X_i-neighbors: centers of packing balls fitting inside B_u(r_{u,i-1}).
+      const Dist rprev = r_prev(u, i);
+      Dist best_x = kInfDist;
+      for (const PackingBall& b : packings_[i]->balls()) {
+        const Dist reach = prox_.dist(u, b.center) + b.radius;
+        if (reach <= rprev) {
+          x_[idx].push_back(b.center);
+          const Dist d = prox_.dist(u, b.center);
+          if (d < best_x) {
+            best_x = d;
+            nearest_x_[idx] = b.center;
+          }
+        }
+      }
+      sort_unique(x_[idx]);
+
+      // Y_i-neighbors: B_u(factor * r / delta) ∩ G_j (paper: factor 12,
+      // spacing scale delta*r/4).
+      const int j =
+          nets_->level_for_radius(delta_ * rui / profile_.y_net_divisor);
+      y_level_[idx] = j;
+      y_[idx] = nets_->members_in_ball(
+          j, u, profile_.y_ball_factor * rui / delta_);
+      sort_unique(y_[idx]);
+
+      // Zooming element f_{u,i}: nearest member of G_l, l = log2(r/4).
+      // l >= y_level (the ctor enforces delta <= y_net_divisor/4), and nets
+      // are nested coarse-inside-fine, so f lands inside the Y ring.
+      const int l = nets_->level_for_radius(rui / 4.0);
+      const NodeId fu = nets_->nearest_member(l, u);
+      f_[idx] = fu;
+      // Sanity: f_{u,i} is a Y_i-neighbor of u (nets are nested and
+      // d(u, f) <= r/4 <= 12 r / delta). At worst the nearest G_l member is
+      // spacing(l) <= r/4 away, except when l was clamped to 0 — then
+      // G_0 = V and f = u at distance 0.
+      RON_CHECK(std::binary_search(y_[idx].begin(), y_[idx].end(), fu),
+                "f_{u,i} must be a Y_i-neighbor (u=" << u << ", i=" << i
+                                                     << ")");
+    }
+  }
+}
+
+void NeighborSystem::build_z_sets() {
+  const std::size_t n = prox_.n();
+  z_.resize(n * static_cast<std::size_t>(num_z_scales_));
+  z_all_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int j = 1; j <= num_z_scales_; ++j) {
+      const std::size_t idx =
+          static_cast<std::size_t>(u) * num_z_scales_ + (j - 1);
+      const Dist radius = prox_.dmin() * std::ldexp(1.0, j);
+      const int l = nets_->level_for_radius(
+          std::max(radius * delta_ / profile_.z_net_divisor,
+                   prox_.dmin() / 2.0));
+      z_[idx] = nets_->members_in_ball(l, u, radius);
+      sort_unique(z_[idx]);
+      z_all_[u].insert(z_all_[u].end(), z_[idx].begin(), z_[idx].end());
+    }
+    sort_unique(z_all_[u]);
+  }
+}
+
+void NeighborSystem::build_host_and_virtual() {
+  const std::size_t n = prox_.n();
+  x_all_.resize(n);
+  host_.resize(n);
+  virtual_.resize(n);
+  // Common level-0 prefix: X_{u,0} and Y_{u,0} coincide across nodes by the
+  // i = 0 -> d_max convention; fix their sorted union once.
+  std::vector<NodeId> level0(X(0, 0).begin(), X(0, 0).end());
+  level0.insert(level0.end(), Y(0, 0).begin(), Y(0, 0).end());
+  sort_unique(level0);
+  std::vector<bool> in_level0(n, false);
+  for (NodeId v : level0) in_level0[v] = true;
+
+  for (NodeId u = 0; u < n; ++u) {
+    RON_CHECK(std::equal(X(u, 0).begin(), X(u, 0).end(), X(0, 0).begin(),
+                         X(0, 0).end()),
+              "X_{u,0} must coincide across nodes");
+    RON_CHECK(std::equal(Y(u, 0).begin(), Y(u, 0).end(), Y(0, 0).begin(),
+                         Y(0, 0).end()),
+              "Y_{u,0} must coincide across nodes");
+    std::vector<NodeId> rest;
+    for (int i = 0; i < num_levels_; ++i) {
+      for (NodeId v : X(u, i)) {
+        if (i > 0) x_all_[u].push_back(v);
+        if (!in_level0[v]) rest.push_back(v);
+      }
+      for (NodeId v : Y(u, i)) {
+        if (!in_level0[v]) rest.push_back(v);
+      }
+    }
+    x_all_[u].insert(x_all_[u].end(), X(u, 0).begin(), X(u, 0).end());
+    sort_unique(x_all_[u]);
+    sort_unique(rest);
+    host_[u] = level0;
+    host_[u].insert(host_[u].end(), rest.begin(), rest.end());
+
+    // T_u = X_u ∪ Z_u ∪ (∪_{v in X_u} Z_v).
+    std::vector<NodeId> t(x_all_[u]);
+    t.insert(t.end(), z_all_[u].begin(), z_all_[u].end());
+    for (NodeId v : x_all_[u]) {
+      t.insert(t.end(), z_all_[v].begin(), z_all_[v].end());
+    }
+    sort_unique(t);
+    virtual_[u] = std::move(t);
+  }
+}
+
+const EpsMuPacking& NeighborSystem::packing(int i) const {
+  RON_CHECK(i >= 0 && i < num_levels_);
+  return *packings_[i];
+}
+
+Dist NeighborSystem::r(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return r_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+Dist NeighborSystem::r_prev(NodeId u, int i) const {
+  RON_CHECK(i >= 0);
+  return i == 0 ? kInfDist : r(u, i - 1);
+}
+
+std::span<const NodeId> NeighborSystem::X(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return x_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+std::span<const NodeId> NeighborSystem::Y(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return y_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+NodeId NeighborSystem::nearest_x(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return nearest_x_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+NodeId NeighborSystem::f(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return f_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+int NeighborSystem::y_level(NodeId u, int i) const {
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  return y_level_[static_cast<std::size_t>(u) * num_levels_ + i];
+}
+
+std::span<const NodeId> NeighborSystem::Z(NodeId u, int j) const {
+  RON_CHECK(u < prox_.n() && j >= 1 && j <= num_z_scales_);
+  return z_[static_cast<std::size_t>(u) * num_z_scales_ + (j - 1)];
+}
+
+std::span<const NodeId> NeighborSystem::Z_all(NodeId u) const {
+  RON_CHECK(u < prox_.n());
+  return z_all_[u];
+}
+
+std::span<const NodeId> NeighborSystem::X_all(NodeId u) const {
+  RON_CHECK(u < prox_.n());
+  return x_all_[u];
+}
+
+std::span<const NodeId> NeighborSystem::host_set(NodeId u) const {
+  RON_CHECK(u < prox_.n());
+  return host_[u];
+}
+
+std::span<const NodeId> NeighborSystem::virtual_set(NodeId u) const {
+  RON_CHECK(u < prox_.n());
+  return virtual_[u];
+}
+
+}  // namespace ron

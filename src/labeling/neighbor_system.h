@@ -1,0 +1,135 @@
+// The §3 neighbor system shared by Theorems 3.2, 3.4 and Appendix B.
+//
+// For a metric with proximity index `prox` and a quality parameter
+// delta in (0, 1/2), this class materializes, for every node u and every
+// level i in [log n] (with r_{u,i} = r_u(2^-i)):
+//
+//   X_i-neighbors  — centers h_B of packing balls B in F_i with
+//                    d(u, h_B) + r_B <= r_{u,i-1}, where F_i is the
+//                    (2^-i, counting-measure)-packing of Lemma A.1
+//                    (Appendix B's strengthened membership test);
+//   Y_i-neighbors  — nodes of B_u(12 r_{u,i} / delta) ∩ G_j with
+//                    j = max(0, floor(log2(delta r_{u,i} / 4))), over the
+//                    nested 2^j-nets G_j;
+//   f_{u,i}        — the zooming sequence: a node of G_l,
+//                    l = floor(log2(r_{u,i}/4)), within r_{u,i}/4 of u
+//                    (we take the nearest net member);
+//   Z_{u,j}        — B_u(2^j) ∩ G_l with l = max(0, floor(log2(2^j
+//                    delta/64))) for j in [1, logΔ], feeding the virtual
+//                    neighbor sets T_u of Theorem 3.4.
+//
+// Boundary conventions (see DESIGN.md): scale logs are normalized by d_min;
+// r_{u,-1} = +infinity; and at i = 0 the radius r_{u,0} (which the paper
+// notes lies in [Δ/2, Δ] for every u) is replaced by the diameter d_max
+// uniformly, which makes X_{u,0}, Y_{u,0} and the level used by f_{u,0}
+// literally identical across nodes — the coincidence the paper's host
+// enumerations rely on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "net/packing.h"
+
+namespace ron {
+
+/// Ring-size constants. The paper's values make the Theorem 3.2/3.4 proofs
+/// go through verbatim; the lean profile shrinks the rings by constant
+/// factors (the guarantees then hold empirically, not by proof — the
+/// bench_triangulation ablation quantifies the trade-off). delta is a
+/// separate argument.
+struct NeighborProfile {
+  double y_ball_factor = 12.0;   // Y ring ball radius = factor * r / delta
+  double y_net_divisor = 4.0;    // Y net spacing scale  = delta * r / divisor
+  double z_net_divisor = 64.0;   // Z net spacing scale  = delta * 2^j / divisor
+
+  static NeighborProfile paper() { return NeighborProfile{}; }
+  static NeighborProfile lean() { return NeighborProfile{3.0, 1.0, 8.0}; }
+};
+
+class NeighborSystem {
+ public:
+  NeighborSystem(const ProximityIndex& prox, double delta,
+                 NeighborProfile profile = NeighborProfile::paper());
+
+  const ProximityIndex& prox() const { return prox_; }
+  double delta() const { return delta_; }
+  const NeighborProfile& profile() const { return profile_; }
+
+  /// Levels i in [0, num_levels): ceil(log2 n).
+  int num_levels() const { return num_levels_; }
+
+  /// Z-scales j in [1, num_z_scales]: floor(log2 Δ) + 1.
+  int num_z_scales() const { return num_z_scales_; }
+
+  const NetHierarchy& nets() const { return *nets_; }
+  const EpsMuPacking& packing(int i) const;
+
+  /// r_{u,i} with the i = 0 -> d_max convention.
+  Dist r(NodeId u, int i) const;
+  /// r_{u,i-1}; +infinity at i = 0.
+  Dist r_prev(NodeId u, int i) const;
+
+  std::span<const NodeId> X(NodeId u, int i) const;  // sorted by id
+  std::span<const NodeId> Y(NodeId u, int i) const;  // sorted by id
+
+  /// Nearest X_i-neighbor of u (x_{u,i} in Appendix B); kInvalidNode if the
+  /// X_i ring is empty.
+  NodeId nearest_x(NodeId u, int i) const;
+
+  /// Zooming sequence element f_{u,i}.
+  NodeId f(NodeId u, int i) const;
+
+  /// Net level j used for the Y_i ring of u.
+  int y_level(NodeId u, int i) const;
+
+  /// Z_{u,j} for j in [1, num_z_scales] (computed on construction).
+  std::span<const NodeId> Z(NodeId u, int j) const;
+
+  /// Union of Z_{u,j} over all j, sorted by id.
+  std::span<const NodeId> Z_all(NodeId u) const;
+
+  /// X_u = union over i of X_{u,i}, sorted by id.
+  std::span<const NodeId> X_all(NodeId u) const;
+
+  /// Host neighbor set H_u = X_u ∪ Y_u (all levels), with the level-0 part
+  /// forming a common prefix across all nodes (shared enumeration).
+  std::span<const NodeId> host_set(NodeId u) const;
+
+  /// Virtual neighbor set T_u = X_u ∪ Z_u ∪ (∪_{v in X_u} Z_v), sorted.
+  std::span<const NodeId> virtual_set(NodeId u) const;
+
+ private:
+  void build_levels();
+  void build_z_sets();
+  void build_host_and_virtual();
+
+  const ProximityIndex& prox_;
+  double delta_;
+  NeighborProfile profile_;
+  int num_levels_;
+  int num_z_scales_;
+  std::unique_ptr<NetHierarchy> nets_;
+  std::vector<std::unique_ptr<EpsMuPacking>> packings_;  // per level i
+  std::unique_ptr<MeasureView> counting_;
+
+  // Indexed [u * num_levels + i].
+  std::vector<Dist> r_;
+  std::vector<std::vector<NodeId>> x_;
+  std::vector<std::vector<NodeId>> y_;
+  std::vector<NodeId> nearest_x_;
+  std::vector<NodeId> f_;
+  std::vector<int> y_level_;
+  // Indexed [u * num_z_scales + (j-1)].
+  std::vector<std::vector<NodeId>> z_;
+  std::vector<std::vector<NodeId>> z_all_;
+  std::vector<std::vector<NodeId>> x_all_;
+  std::vector<std::vector<NodeId>> host_;
+  std::vector<std::vector<NodeId>> virtual_;
+};
+
+}  // namespace ron

@@ -1,0 +1,78 @@
+#include "labeling/triangulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+TriBounds triangulate(const TriangulationLabel& a,
+                      const TriangulationLabel& b) {
+  TriBounds out;
+  out.lower = 0.0;
+  out.upper = kInfDist;
+  std::size_t i = 0, j = 0;
+  while (i < a.beacons.size() && j < b.beacons.size()) {
+    if (a.beacons[i] < b.beacons[j]) {
+      ++i;
+    } else if (a.beacons[i] > b.beacons[j]) {
+      ++j;
+    } else {
+      const Dist da = a.dist[i];
+      const Dist db = b.dist[j];
+      out.upper = std::min(out.upper, da + db);
+      out.lower = std::max(out.lower, std::abs(da - db));
+      ++out.common;
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Triangulation::Triangulation(const NeighborSystem& sys) {
+  const ProximityIndex& prox = sys.prox();
+  const std::size_t n = prox.n();
+  labels_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    auto hosts = sys.host_set(u);
+    // host_set places the common level-0 block first; beacons must be
+    // id-sorted for the two-pointer intersection.
+    TriangulationLabel& lab = labels_[u];
+    lab.beacons.assign(hosts.begin(), hosts.end());
+    std::sort(lab.beacons.begin(), lab.beacons.end());
+    lab.dist.resize(lab.beacons.size());
+    for (std::size_t k = 0; k < lab.beacons.size(); ++k) {
+      lab.dist[k] = prox.dist(u, lab.beacons[k]);
+    }
+  }
+}
+
+const TriangulationLabel& Triangulation::label(NodeId u) const {
+  RON_CHECK(u < labels_.size());
+  return labels_[u];
+}
+
+std::size_t Triangulation::order() const {
+  std::size_t k = 0;
+  for (const auto& lab : labels_) k = std::max(k, lab.beacons.size());
+  return k;
+}
+
+double Triangulation::avg_order() const {
+  std::size_t total = 0;
+  for (const auto& lab : labels_) total += lab.beacons.size();
+  return static_cast<double>(total) / static_cast<double>(labels_.size());
+}
+
+std::uint64_t Triangulation::label_bits(NodeId u,
+                                        const DistanceCodec& codec) const {
+  RON_CHECK(u < labels_.size());
+  const std::uint64_t per_beacon =
+      bits_for_index(labels_.size()) + codec.bits();
+  return labels_[u].beacons.size() * per_beacon;
+}
+
+}  // namespace ron

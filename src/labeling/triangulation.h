@@ -1,0 +1,65 @@
+// (0, delta)-triangulation (Theorem 3.2).
+//
+// A triangulation of order k labels each node u with distances to a beacon
+// set S_u of at most k nodes. For a pair (u, v) the labels give
+//   D+ = min_b (d_ub + d_vb)   and   D- = max_b |d_ub - d_vb|
+// over common beacons b in S_u ∩ S_v; always D- <= d_uv <= D+. The scheme is
+// a (0, delta)-triangulation if D+/D- <= 1 + O(delta) for EVERY pair — the
+// paper's improvement over common-beacon-set schemes [33, 50], which fail on
+// an eps-fraction of pairs.
+//
+// Theorem 3.2: every metric of doubling dimension alpha has a
+// (0, delta)-triangulation of order (1/delta)^O(alpha) * log n, namely
+// S_u = X_u ∪ Y_u from the NeighborSystem. The proof guarantees a common
+// beacon within delta * d_uv of u or v, hence
+//   D+ <= (1 + 2 delta) d  and  D- >= (1 - 2 delta) d.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distcode.h"
+#include "labeling/neighbor_system.h"
+
+namespace ron {
+
+struct TriangulationLabel {
+  std::vector<NodeId> beacons;  // sorted by id
+  std::vector<Dist> dist;       // dist[k] = d(u, beacons[k])
+};
+
+struct TriBounds {
+  Dist lower = 0.0;
+  Dist upper = kInfDist;
+  std::size_t common = 0;  // number of common beacons
+
+  bool valid() const { return common > 0; }
+  double ratio() const { return lower > 0.0 ? upper / lower : kInfDist; }
+};
+
+/// Pure label-to-label estimation (shared with the beacon baseline).
+TriBounds triangulate(const TriangulationLabel& a,
+                      const TriangulationLabel& b);
+
+class Triangulation {
+ public:
+  explicit Triangulation(const NeighborSystem& sys);
+
+  const TriangulationLabel& label(NodeId u) const;
+
+  std::size_t n() const { return labels_.size(); }
+
+  /// Order of the triangulation: max beacons per node.
+  std::size_t order() const;
+  double avg_order() const;
+
+  /// Bits of u's label in the paper's corollary encoding (the DLS matching
+  /// Mendel & Har-Peled [44]): per beacon a ceil(log n)-bit id plus a
+  /// mantissa/exponent distance code.
+  std::uint64_t label_bits(NodeId u, const DistanceCodec& codec) const;
+
+ private:
+  std::vector<TriangulationLabel> labels_;
+};
+
+}  // namespace ron

@@ -1,0 +1,38 @@
+#include "metric/clustered.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+EuclideanMetric clustered_metric(const ClusteredParams& p,
+                                 std::uint64_t seed) {
+  RON_CHECK(p.clusters >= 1 && p.per_cluster >= 1 && p.dim >= 1);
+  RON_CHECK(p.subclusters >= 1);
+  RON_CHECK(p.world_side > p.cluster_side && p.cluster_side > p.subcluster_side,
+            "scales must be separated: world > cluster > subcluster");
+  Rng rng(seed);
+  std::vector<double> pts;
+  pts.reserve(p.clusters * p.per_cluster * p.dim);
+  std::vector<double> center(p.dim), sub(p.dim);
+  for (std::size_t c = 0; c < p.clusters; ++c) {
+    for (std::size_t k = 0; k < p.dim; ++k) {
+      center[k] = rng.uniform(0.0, p.world_side);
+    }
+    // Second-level group anchors inside this cluster.
+    std::vector<double> anchors(p.subclusters * p.dim);
+    for (double& a : anchors) a = rng.uniform(0.0, p.cluster_side);
+    for (std::size_t i = 0; i < p.per_cluster; ++i) {
+      const std::size_t g = rng.index(p.subclusters);
+      for (std::size_t k = 0; k < p.dim; ++k) {
+        pts.push_back(center[k] + anchors[g * p.dim + k] +
+                      rng.uniform(0.0, p.subcluster_side));
+      }
+    }
+  }
+  return EuclideanMetric(std::move(pts), p.dim, 2.0, "clustered");
+}
+
+}  // namespace ron

@@ -1,0 +1,30 @@
+// Hierarchically clustered point clouds — the synthetic stand-in for Internet
+// latency matrices (see DESIGN.md "Substitutions").
+//
+// Real latency data (the motivation of [33, 50]) is proprietary; a two-level
+// transit-stub-style cloud reproduces its relevant structure for our purposes:
+// low doubling dimension, strong local clustering, and a wide spread of
+// distance scales.
+#pragma once
+
+#include <cstdint>
+
+#include "metric/euclidean.h"
+
+namespace ron {
+
+struct ClusteredParams {
+  std::size_t clusters = 16;       // top-level "autonomous systems"
+  std::size_t per_cluster = 32;    // nodes per cluster
+  std::size_t dim = 3;             // embedding dimension
+  double world_side = 10000.0;     // span of cluster centers
+  double cluster_side = 100.0;     // span of points around their center
+  double subcluster_side = 5.0;    // second-level jitter ("LANs")
+  std::size_t subclusters = 4;     // second-level groups per cluster
+};
+
+/// Generates clusters*per_cluster points. Deterministic in `seed`.
+EuclideanMetric clustered_metric(const ClusteredParams& params,
+                                 std::uint64_t seed);
+
+}  // namespace ron

@@ -1,0 +1,43 @@
+#include "metric/dense_metric.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+DenseMetric::DenseMetric(std::size_t n, std::vector<Dist> matrix,
+                         std::string name)
+    : n_(n), matrix_(std::move(matrix)), name_(std::move(name)) {
+  RON_CHECK(n_ >= 1);
+  RON_CHECK(matrix_.size() == n_ * n_, "matrix size must be n*n");
+  check_axioms();
+}
+
+DenseMetric::DenseMetric(std::size_t n,
+                         const std::function<Dist(NodeId, NodeId)>& dist_fn,
+                         std::string name)
+    : n_(n), matrix_(n * n), name_(std::move(name)) {
+  RON_CHECK(n_ >= 1);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      matrix_[static_cast<std::size_t>(u) * n_ + v] = dist_fn(u, v);
+    }
+  }
+  check_axioms();
+}
+
+void DenseMetric::check_axioms() const {
+  for (NodeId u = 0; u < n_; ++u) {
+    RON_CHECK(distance(u, u) == 0.0, "nonzero diagonal at " << u);
+    for (NodeId v = u + 1; v < n_; ++v) {
+      const Dist duv = distance(u, v);
+      RON_CHECK(std::isfinite(duv) && duv > 0.0,
+                "invalid distance at (" << u << "," << v << ")");
+      RON_CHECK(duv == distance(v, u),
+                "asymmetric distance at (" << u << "," << v << ")");
+    }
+  }
+}
+
+}  // namespace ron

@@ -1,0 +1,39 @@
+// Explicit n x n distance-matrix metric.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace ron {
+
+class DenseMetric final : public MetricSpace {
+ public:
+  /// From a row-major n*n matrix. Checks symmetry and the zero diagonal;
+  /// the triangle inequality is the caller's responsibility (use
+  /// validate_metric in tests).
+  DenseMetric(std::size_t n, std::vector<Dist> matrix,
+              std::string name = "dense");
+
+  /// From a distance callback evaluated on all pairs.
+  DenseMetric(std::size_t n,
+              const std::function<Dist(NodeId, NodeId)>& dist_fn,
+              std::string name = "dense");
+
+  std::size_t n() const override { return n_; }
+  Dist distance(NodeId u, NodeId v) const override {
+    return matrix_[static_cast<std::size_t>(u) * n_ + v];
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  void check_axioms() const;
+
+  std::size_t n_;
+  std::vector<Dist> matrix_;
+  std::string name_;
+};
+
+}  // namespace ron

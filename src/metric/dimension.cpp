@@ -1,0 +1,92 @@
+#include "metric/dimension.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+namespace {
+
+/// Greedy cover of the nodes of `ball` with balls of radius r/2 (Lemma 1.1
+/// with k = 1): pick any remaining node, claim everything within r/2 of it.
+std::size_t greedy_half_cover_size(const ProximityIndex& prox,
+                                   std::span<const ProximityIndex::Neighbor> ball,
+                                   Dist half_r) {
+  std::vector<NodeId> remaining;
+  remaining.reserve(ball.size());
+  for (const auto& nb : ball) remaining.push_back(nb.v);
+  std::size_t covers = 0;
+  while (!remaining.empty()) {
+    const NodeId c = remaining.front();
+    ++covers;
+    std::vector<NodeId> next;
+    next.reserve(remaining.size());
+    for (NodeId v : remaining) {
+      if (prox.dist(c, v) > half_r) next.push_back(v);
+    }
+    remaining.swap(next);
+  }
+  return covers;
+}
+
+}  // namespace
+
+DimensionEstimate estimate_doubling_dimension(const ProximityIndex& prox,
+                                              std::size_t center_samples,
+                                              std::uint64_t seed) {
+  RON_CHECK(center_samples >= 1);
+  Rng rng(seed);
+  DimensionEstimate est;
+  double sum = 0.0;
+  const std::size_t n = prox.n();
+  const std::size_t picks = std::min(center_samples, n);
+  auto centers = rng.sample_without_replacement(picks, n);
+  for (std::size_t ci : centers) {
+    const NodeId u = static_cast<NodeId>(ci);
+    // Dyadic radii from dmin to the diameter.
+    for (Dist r = prox.dmin() * 2.0; r <= prox.dmax() * 2.0; r *= 2.0) {
+      auto b = prox.ball(u, r);
+      if (b.size() < 2) continue;
+      const std::size_t covers = greedy_half_cover_size(prox, b, r / 2.0);
+      const double alpha = std::log2(static_cast<double>(covers));
+      est.dimension = std::max(est.dimension, alpha);
+      sum += alpha;
+      ++est.samples;
+    }
+  }
+  est.mean = est.samples > 0 ? sum / static_cast<double>(est.samples) : 0.0;
+  return est;
+}
+
+DimensionEstimate estimate_grid_dimension(const ProximityIndex& prox,
+                                          std::size_t center_samples,
+                                          std::uint64_t seed) {
+  RON_CHECK(center_samples >= 1);
+  Rng rng(seed);
+  DimensionEstimate est;
+  double sum = 0.0;
+  const std::size_t n = prox.n();
+  const std::size_t picks = std::min(center_samples, n);
+  auto centers = rng.sample_without_replacement(picks, n);
+  for (std::size_t ci : centers) {
+    const NodeId u = static_cast<NodeId>(ci);
+    for (Dist r = prox.dmin() * 2.0; r <= prox.dmax() * 2.0; r *= 2.0) {
+      const std::size_t big = prox.ball_size(u, r);
+      const std::size_t small = prox.ball_size(u, r / 2.0);
+      if (small == 0 || big < 2) continue;
+      const double alpha =
+          std::log2(static_cast<double>(big) / static_cast<double>(small));
+      est.dimension = std::max(est.dimension, alpha);
+      sum += alpha;
+      ++est.samples;
+    }
+  }
+  est.mean = est.samples > 0 ? sum / static_cast<double>(est.samples) : 0.0;
+  return est;
+}
+
+}  // namespace ron

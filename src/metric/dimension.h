@@ -1,0 +1,36 @@
+// Empirical dimensionality estimators.
+//
+// Doubling dimension (paper §1): infimum of alpha such that every set of
+// diameter d is covered by 2^alpha sets of diameter d/2. We estimate it by
+// greedily covering sampled balls B_u(r) with balls of radius r/2 (the
+// Lemma 1.1 construction) and reporting log2 of the worst cover size.
+//
+// Grid dimension (footnote 2): smallest alpha with |B_u(r)| <=
+// 2^alpha * |B_u(r/2)| for all balls. The geometric line separates the two:
+// its doubling dimension is O(1) but its grid dimension is Θ(log n).
+#pragma once
+
+#include <cstdint>
+
+#include "metric/proximity.h"
+
+namespace ron {
+
+struct DimensionEstimate {
+  double dimension = 0.0;   // sup over sampled balls
+  double mean = 0.0;        // mean over sampled balls
+  std::size_t samples = 0;
+};
+
+/// Doubling dimension via greedy half-radius covers of sampled balls.
+/// Samples `center_samples` centers x all dyadic radii.
+DimensionEstimate estimate_doubling_dimension(const ProximityIndex& prox,
+                                              std::size_t center_samples,
+                                              std::uint64_t seed);
+
+/// Grid (ball-growth) dimension via |B(u,r)| / |B(u,r/2)| ratios.
+DimensionEstimate estimate_grid_dimension(const ProximityIndex& prox,
+                                          std::size_t center_samples,
+                                          std::uint64_t seed);
+
+}  // namespace ron

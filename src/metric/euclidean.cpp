@@ -1,0 +1,71 @@
+#include "metric/euclidean.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+EuclideanMetric::EuclideanMetric(std::vector<double> points, std::size_t dim,
+                                 double p, std::string name)
+    : points_(std::move(points)),
+      dim_(dim),
+      p_(p),
+      name_(std::move(name)) {
+  RON_CHECK(dim_ >= 1);
+  RON_CHECK(!points_.empty() && points_.size() % dim_ == 0,
+            "points size must be a multiple of dim");
+  RON_CHECK(p_ >= 1.0, "l_p norm needs p >= 1");
+  n_ = points_.size() / dim_;
+}
+
+Dist EuclideanMetric::distance(NodeId u, NodeId v) const {
+  const double* a = point(u);
+  const double* b = point(v);
+  if (std::isinf(p_)) {
+    double m = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) {
+      m = std::max(m, std::abs(a[k] - b[k]));
+    }
+    return m;
+  }
+  if (p_ == 2.0) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const double d = a[k] - b[k];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
+  double s = 0.0;
+  for (std::size_t k = 0; k < dim_; ++k) {
+    s += std::pow(std::abs(a[k] - b[k]), p_);
+  }
+  return std::pow(s, 1.0 / p_);
+}
+
+EuclideanMetric random_cube_metric(std::size_t n, std::size_t dim,
+                                   std::uint64_t seed, double side) {
+  RON_CHECK(n >= 1 && dim >= 1 && side > 0.0);
+  Rng rng(seed);
+  std::vector<double> pts(n * dim);
+  for (double& x : pts) x = rng.uniform(0.0, side);
+  return EuclideanMetric(std::move(pts), dim, 2.0, "random-cube");
+}
+
+EuclideanMetric grid_metric(std::size_t width, std::size_t height) {
+  RON_CHECK(width >= 1 && height >= 1);
+  std::vector<double> pts;
+  pts.reserve(width * height * 2);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      pts.push_back(static_cast<double>(x));
+      pts.push_back(static_cast<double>(y));
+    }
+  }
+  return EuclideanMetric(std::move(pts), 2, 2.0, "grid");
+}
+
+}  // namespace ron

@@ -1,0 +1,47 @@
+// Euclidean (l_p) point-set metrics and generators.
+//
+// Constant-dimensional l_p point sets are the motivating special case of
+// doubling metrics (paper §1): doubling dimension is k + O(1) for
+// k-dimensional point sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace ron {
+
+class EuclideanMetric final : public MetricSpace {
+ public:
+  /// `points` is row-major: n rows of `dim` coordinates. `p` is the norm
+  /// exponent (2.0 = Euclidean; std::numeric_limits<double>::infinity() for
+  /// l_inf).
+  EuclideanMetric(std::vector<double> points, std::size_t dim, double p = 2.0,
+                  std::string name = "euclidean");
+
+  std::size_t n() const override { return n_; }
+  Dist distance(NodeId u, NodeId v) const override;
+  std::string name() const override { return name_; }
+
+  std::size_t dim() const { return dim_; }
+  const double* point(NodeId u) const { return &points_[u * dim_]; }
+
+ private:
+  std::vector<double> points_;
+  std::size_t n_;
+  std::size_t dim_;
+  double p_;
+  std::string name_;
+};
+
+/// n points uniform in the cube [0, side]^dim.
+EuclideanMetric random_cube_metric(std::size_t n, std::size_t dim,
+                                   std::uint64_t seed, double side = 1000.0);
+
+/// width x height integer grid in the plane (unit spacing), a UL-constrained
+/// doubling metric with alpha ~= 2.
+EuclideanMetric grid_metric(std::size_t width, std::size_t height);
+
+}  // namespace ron

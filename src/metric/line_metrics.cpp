@@ -1,0 +1,51 @@
+#include "metric/line_metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+GeometricLineMetric::GeometricLineMetric(std::size_t n, double base)
+    : n_(n), base_(base) {
+  RON_CHECK(n_ >= 2, "geometric line needs >= 2 points");
+  RON_CHECK(base_ > 1.0 && base_ <= 2.0, "base must be in (1, 2]");
+  const double top = static_cast<double>(n_ - 1) * std::log2(base_);
+  RON_CHECK(top < 1020.0,
+            "base^(n-1) would overflow double; reduce n or base");
+  coords_.resize(n_);
+  double x = 1.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    coords_[i] = x;
+    x *= base_;
+  }
+  name_ = "geometric-line(b=" + std::to_string(base_) + ")";
+}
+
+Dist GeometricLineMetric::distance(NodeId u, NodeId v) const {
+  return std::abs(coords_[u] - coords_[v]);
+}
+
+UniformLineMetric::UniformLineMetric(std::size_t n, double spacing)
+    : n_(n), spacing_(spacing) {
+  RON_CHECK(n_ >= 1 && spacing_ > 0.0);
+}
+
+Dist UniformLineMetric::distance(NodeId u, NodeId v) const {
+  const double du = static_cast<double>(u);
+  const double dv = static_cast<double>(v);
+  return std::abs(du - dv) * spacing_;
+}
+
+RingMetric::RingMetric(std::size_t n, double spacing)
+    : n_(n), spacing_(spacing) {
+  RON_CHECK(n_ >= 3 && spacing_ > 0.0);
+}
+
+Dist RingMetric::distance(NodeId u, NodeId v) const {
+  const std::size_t a = u < v ? v - u : u - v;
+  const std::size_t b = n_ - a;
+  return static_cast<double>(a < b ? a : b) * spacing_;
+}
+
+}  // namespace ron

@@ -1,0 +1,66 @@
+// One-dimensional metrics, including the paper's canonical hard instance.
+//
+// The geometric ("exponential") line {b^0, b^1, ..., b^(n-1)} is the paper's
+// running example of a doubling metric whose aspect ratio Δ is exponential in
+// n while the doubling dimension stays constant (§1). It is the instance on
+// which the O(log n)-hop small worlds of Theorem 5.2 separate from the naive
+// O(log Δ)-hop construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace ron {
+
+/// Points x_i = base^i on the real line, i in [n]. base must be in (1, 2] and
+/// base^(n-1) must fit in a double.
+class GeometricLineMetric final : public MetricSpace {
+ public:
+  GeometricLineMetric(std::size_t n, double base = 2.0);
+
+  std::size_t n() const override { return n_; }
+  Dist distance(NodeId u, NodeId v) const override;
+  std::string name() const override { return name_; }
+
+  double coordinate(NodeId u) const { return coords_[u]; }
+  double base() const { return base_; }
+
+ private:
+  std::size_t n_;
+  double base_;
+  std::vector<double> coords_;
+  std::string name_;
+};
+
+/// Points 0, s, 2s, ... on the line (doubling dimension 1, aspect ratio n-1).
+class UniformLineMetric final : public MetricSpace {
+ public:
+  explicit UniformLineMetric(std::size_t n, double spacing = 1.0);
+
+  std::size_t n() const override { return n_; }
+  Dist distance(NodeId u, NodeId v) const override;
+  std::string name() const override { return "uniform-line"; }
+
+ private:
+  std::size_t n_;
+  double spacing_;
+};
+
+/// n points evenly spaced on a circle, with arc-length (cycle) distance.
+class RingMetric final : public MetricSpace {
+ public:
+  explicit RingMetric(std::size_t n, double spacing = 1.0);
+
+  std::size_t n() const override { return n_; }
+  Dist distance(NodeId u, NodeId v) const override;
+  std::string name() const override { return "ring"; }
+
+ private:
+  std::size_t n_;
+  double spacing_;
+};
+
+}  // namespace ron

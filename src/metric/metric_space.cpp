@@ -1,0 +1,39 @@
+#include "metric/metric_space.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+void validate_metric(const MetricSpace& m, bool check_triangle,
+                     double tolerance) {
+  const std::size_t n = m.n();
+  RON_CHECK(n >= 1, "metric must be non-empty");
+  for (NodeId u = 0; u < n; ++u) {
+    RON_CHECK(m.distance(u, u) == 0.0, "d(u,u) != 0 at u=" << u);
+    for (NodeId v = u + 1; v < n; ++v) {
+      const Dist duv = m.distance(u, v);
+      const Dist dvu = m.distance(v, u);
+      RON_CHECK(std::isfinite(duv) && duv > 0.0,
+                "d(" << u << "," << v << ") = " << duv << " invalid");
+      RON_CHECK(duv == dvu, "asymmetric distance at (" << u << "," << v << ")");
+    }
+  }
+  if (!check_triangle) return;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const Dist duv = m.distance(u, v);
+      for (NodeId w = 0; w < n; ++w) {
+        if (w == u || w == v) continue;
+        const Dist viaw = m.distance(u, w) + m.distance(w, v);
+        RON_CHECK(duv <= viaw + tolerance,
+                  "triangle inequality violated: d(" << u << "," << v << ")="
+                      << duv << " > " << viaw << " via " << w);
+      }
+    }
+  }
+}
+
+}  // namespace ron

@@ -1,0 +1,34 @@
+// Abstract finite metric space.
+//
+// All constructions in the paper take a finite metric (V, d) — either given
+// explicitly or induced by the shortest paths of a weighted graph. Nodes are
+// indices 0..n-1; distance() must be symmetric, zero exactly on the diagonal,
+// and satisfy the triangle inequality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace ron {
+
+class MetricSpace {
+ public:
+  virtual ~MetricSpace() = default;
+
+  virtual std::size_t n() const = 0;
+
+  /// d(u, v). Must be finite, symmetric, with d(u,v) = 0 iff u == v.
+  virtual Dist distance(NodeId u, NodeId v) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exhaustively validates metric axioms (O(n^3) for the triangle inequality;
+/// intended for tests and small inputs). Throws ron::Error on violation.
+/// `tolerance` absorbs floating-point slack in the triangle check.
+void validate_metric(const MetricSpace& m, bool check_triangle = true,
+                     double tolerance = 1e-9);
+
+}  // namespace ron

@@ -1,0 +1,85 @@
+#include "metric/proximity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+ProximityIndex::ProximityIndex(const MetricSpace& metric)
+    : metric_(metric), n_(metric.n()) {
+  RON_CHECK(n_ >= 2, "ProximityIndex needs >= 2 nodes");
+  rows_.resize(n_ * n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    Neighbor* r = &rows_[static_cast<std::size_t>(u) * n_];
+    for (NodeId v = 0; v < n_; ++v) {
+      r[v] = Neighbor{metric_.distance(u, v), v};
+    }
+    std::sort(r, r + n_, [](const Neighbor& a, const Neighbor& b) {
+      if (a.d != b.d) return a.d < b.d;
+      return a.v < b.v;
+    });
+    RON_CHECK(r[0].v == u && r[0].d == 0.0,
+              "row must start with (0, u); duplicate points?");
+    RON_CHECK(r[1].d > 0.0, "duplicate point detected at node " << u);
+    dmin_ = std::min(dmin_, r[1].d);
+    dmax_ = std::max(dmax_, r[n_ - 1].d);
+  }
+  num_levels_ = std::max(1, ceil_log2(n_));
+  num_scales_ = std::max(1, floor_log2_real(aspect_ratio()) + 1);
+}
+
+std::span<const ProximityIndex::Neighbor> ProximityIndex::row(NodeId u) const {
+  RON_CHECK(u < n_);
+  return {&rows_[static_cast<std::size_t>(u) * n_], n_};
+}
+
+std::span<const ProximityIndex::Neighbor> ProximityIndex::ball(NodeId u,
+                                                               Dist r) const {
+  auto rw = row(u);
+  if (r < 0.0) return rw.subspan(0, 0);
+  // Last index with d <= r (closed ball).
+  auto it = std::upper_bound(
+      rw.begin(), rw.end(), r,
+      [](Dist rr, const Neighbor& nb) { return rr < nb.d; });
+  return rw.subspan(0, static_cast<std::size_t>(it - rw.begin()));
+}
+
+Dist ProximityIndex::kth_radius(NodeId u, std::size_t k) const {
+  RON_CHECK(k >= 1 && k <= n_, "kth_radius: k out of range");
+  return row(u)[k - 1].d;
+}
+
+Dist ProximityIndex::rank_radius(NodeId u, double eps) const {
+  RON_CHECK(eps > 0.0 && eps <= 1.0, "rank_radius: eps in (0,1]");
+  auto k = static_cast<std::size_t>(
+      std::ceil(eps * static_cast<double>(n_) - 1e-12));
+  if (k < 1) k = 1;
+  if (k > n_) k = n_;
+  return kth_radius(u, k);
+}
+
+Dist ProximityIndex::level_radius(NodeId u, int i) const {
+  RON_CHECK(i >= 0, "level_radius: i >= 0 (use level_radius_prev for i-1)");
+  const double eps = std::ldexp(1.0, -i);  // 2^-i
+  if (eps >= 1.0) return kth_radius(u, n_);
+  return rank_radius(u, eps);
+}
+
+NodeId ProximityIndex::nearest_in(NodeId u,
+                                  std::span<const NodeId> candidates) const {
+  NodeId best = kInvalidNode;
+  Dist best_d = kInfDist;
+  for (NodeId v : candidates) {
+    const Dist d = dist(u, v);
+    if (d < best_d || (d == best_d && v < best)) {
+      best = v;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace ron

@@ -1,0 +1,88 @@
+// ProximityIndex: precomputed ball/rank queries over a finite metric.
+//
+// Every construction in the paper repeatedly asks three questions about a
+// metric: "which nodes lie in the closed ball B_u(r)?", "what is r_u(eps),
+// the radius of the smallest ball around u with at least eps*n nodes?"
+// (written r_{u,i} = r_u(2^-i) throughout §3 and §5), and "what are Δ and
+// d_min?". The index answers all of them from per-node distance-sorted rows.
+//
+// Complexity: O(n^2 log n) build time, O(n^2) memory — the intended regime is
+// the paper's laptop-scale simulation (n up to a few thousand).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/metric_space.h"
+
+namespace ron {
+
+class ProximityIndex {
+ public:
+  struct Neighbor {
+    Dist d;
+    NodeId v;
+  };
+
+  explicit ProximityIndex(const MetricSpace& metric);
+
+  const MetricSpace& metric() const { return metric_; }
+  std::size_t n() const { return n_; }
+
+  Dist dist(NodeId u, NodeId v) const { return metric_.distance(u, v); }
+
+  /// Row of (distance, node) pairs sorted by distance; row[0] is (0, u).
+  std::span<const Neighbor> row(NodeId u) const;
+
+  /// Nodes in the closed ball B_u(r), as a prefix of row(u).
+  std::span<const Neighbor> ball(NodeId u, Dist r) const;
+
+  std::size_t ball_size(NodeId u, Dist r) const { return ball(u, r).size(); }
+
+  /// Distance from u to its k-th nearest node counting u itself
+  /// (k = 1 gives 0). Requires 1 <= k <= n.
+  Dist kth_radius(NodeId u, std::size_t k) const;
+
+  /// r_u(eps): radius of the smallest closed ball around u containing at
+  /// least eps*n nodes (eps in (0, 1]); implemented as kth_radius with
+  /// k = ceil(eps * n).
+  Dist rank_radius(NodeId u, double eps) const;
+
+  /// r_{u,i} = r_u(2^-i) for i >= 0 (k = ceil(n / 2^i), clamped to >= 1).
+  Dist level_radius(NodeId u, int i) const;
+
+  /// r_{u,i-1} with the paper's boundary convention r_{u,-1} = +infinity.
+  Dist level_radius_prev(NodeId u, int i) const {
+    return i == 0 ? kInfDist : level_radius(u, i - 1);
+  }
+
+  /// Nearest node to u among `candidates` (ties to the lower id);
+  /// kInvalidNode if the set is empty. `candidates` need not be sorted.
+  NodeId nearest_in(NodeId u, std::span<const NodeId> candidates) const;
+
+  /// Smallest positive pairwise distance.
+  Dist dmin() const { return dmin_; }
+  /// Diameter.
+  Dist dmax() const { return dmax_; }
+  /// Aspect ratio Δ = dmax / dmin.
+  double aspect_ratio() const { return dmax_ / dmin_; }
+
+  /// Number of levels "i in [log n]": ceil(log2 n), at least 1.
+  int num_levels() const { return num_levels_; }
+
+  /// Number of distance scales "j in [log Δ]": floor(log2 Δ) + 1, at least 1.
+  int num_scales() const { return num_scales_; }
+
+ private:
+  const MetricSpace& metric_;
+  std::size_t n_;
+  std::vector<Neighbor> rows_;  // n_ consecutive sorted rows of length n_
+  Dist dmin_ = kInfDist;
+  Dist dmax_ = 0.0;
+  int num_levels_ = 1;
+  int num_scales_ = 1;
+};
+
+}  // namespace ron

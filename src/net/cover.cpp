@@ -1,0 +1,25 @@
+#include "net/cover.h"
+
+#include "common/check.h"
+
+namespace ron {
+
+std::vector<NodeId> greedy_cover(const ProximityIndex& prox,
+                                 std::span<const NodeId> set, Dist r) {
+  RON_CHECK(r >= 0.0);
+  std::vector<NodeId> remaining(set.begin(), set.end());
+  std::vector<NodeId> centers;
+  while (!remaining.empty()) {
+    const NodeId c = remaining.front();
+    centers.push_back(c);
+    std::vector<NodeId> next;
+    next.reserve(remaining.size());
+    for (NodeId v : remaining) {
+      if (prox.dist(c, v) > r) next.push_back(v);
+    }
+    remaining.swap(next);
+  }
+  return centers;
+}
+
+}  // namespace ron

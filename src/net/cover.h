@@ -1,0 +1,23 @@
+// Greedy ball covers (Lemma 1.1).
+//
+// In a metric of doubling dimension alpha, any set of diameter d can be
+// covered by 2^(alpha*k) balls of radius d/2^k; the constructive proof is the
+// greedy algorithm implemented here (select any remaining node, claim its
+// ball, repeat). Used by the (eps,mu)-packing descent and by the doubling
+// dimension estimator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metric/proximity.h"
+
+namespace ron {
+
+/// Centers of a greedy cover of `set` with balls of radius r; every element
+/// of `set` is within r of some returned center, and the centers belong to
+/// `set` and are pairwise > r apart.
+std::vector<NodeId> greedy_cover(const ProximityIndex& prox,
+                                 std::span<const NodeId> set, Dist r);
+
+}  // namespace ron

@@ -1,0 +1,109 @@
+#include "net/doubling_measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+std::vector<double> doubling_measure(const NetHierarchy& nets) {
+  const ProximityIndex& prox = nets.prox();
+  const std::size_t n = prox.n();
+  const int top = nets.l_max();
+  // mass[v] = measure currently assigned to net point v at the level being
+  // processed. Start at the top level with equal mass per root.
+  std::vector<double> mass(n, 0.0);
+  auto roots = nets.members(top);
+  RON_CHECK(!roots.empty());
+  for (NodeId r : roots) {
+    mass[r] = 1.0 / static_cast<double>(roots.size());
+  }
+  // Push mass down: each level-(l-1) member attaches to its nearest level-l
+  // member; every level-l parent splits equally among its children. A net
+  // point is always its own child (nearest at distance 0), so mass flows
+  // down the chain.
+  std::vector<double> next_mass(n);
+  std::vector<std::uint32_t> child_count(n);
+  for (int l = top; l >= 1; --l) {
+    std::fill(next_mass.begin(), next_mass.end(), 0.0);
+    std::fill(child_count.begin(), child_count.end(), 0u);
+    auto fine = nets.members(l - 1);
+    for (NodeId q : fine) {
+      ++child_count[nets.nearest_member(l, q)];
+    }
+    for (NodeId q : fine) {
+      const NodeId p = nets.nearest_member(l, q);
+      RON_CHECK(child_count[p] > 0);
+      next_mass[q] += mass[p] / static_cast<double>(child_count[p]);
+    }
+    mass.swap(next_mass);
+  }
+  // Level 0 contains every node, so `mass` is now a full distribution.
+  double total = 0.0;
+  for (double m : mass) total += m;
+  RON_CHECK(std::abs(total - 1.0) < 1e-9, "measure mass leaked: " << total);
+  return mass;
+}
+
+std::vector<double> counting_measure(std::size_t n) {
+  RON_CHECK(n >= 1);
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+MeasureView::MeasureView(const ProximityIndex& prox,
+                         std::span<const double> weights)
+    : prox_(prox), weights_(weights.begin(), weights.end()) {
+  const std::size_t n = prox_.n();
+  RON_CHECK(weights_.size() == n, "one weight per node required");
+  for (double w : weights_) RON_CHECK(w >= 0.0, "negative weight");
+  prefix_.resize(n * n);
+  for (NodeId u = 0; u < n; ++u) {
+    auto row = prox_.row(u);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += weights_[row[k].v];
+      prefix_[static_cast<std::size_t>(u) * n + k] = acc;
+    }
+  }
+}
+
+double MeasureView::ball_measure(NodeId u, Dist r) const {
+  const std::size_t k = prox_.ball_size(u, r);
+  if (k == 0) return 0.0;
+  return prefix_[static_cast<std::size_t>(u) * prox_.n() + (k - 1)];
+}
+
+Dist MeasureView::rank_radius(NodeId u, double eps) const {
+  const std::size_t n = prox_.n();
+  RON_CHECK(eps > 0.0, "rank_radius: eps must be positive");
+  const double* pre = &prefix_[static_cast<std::size_t>(u) * n];
+  RON_CHECK(eps <= pre[n - 1] + 1e-12,
+            "rank_radius: eps exceeds total mass around node " << u);
+  // First k with prefix >= eps (tolerate fp slack on the last element).
+  auto it = std::lower_bound(pre, pre + n, eps - 1e-15);
+  std::size_t k = static_cast<std::size_t>(it - pre);
+  if (k >= n) k = n - 1;
+  return prox_.row(u)[k].d;
+}
+
+double MeasureView::doubling_ratio(std::size_t center_samples,
+                                   std::uint64_t seed) const {
+  Rng rng(seed);
+  const std::size_t n = prox_.n();
+  double worst = 1.0;
+  auto centers =
+      rng.sample_without_replacement(std::min(center_samples, n), n);
+  for (std::size_t ci : centers) {
+    const NodeId u = static_cast<NodeId>(ci);
+    for (Dist r = prox_.dmin(); r <= prox_.dmax() * 2.0; r *= 2.0) {
+      const double small = ball_measure(u, r / 2.0);
+      const double big = ball_measure(u, r);
+      if (small > 0.0) worst = std::max(worst, big / small);
+    }
+  }
+  return worst;
+}
+
+}  // namespace ron

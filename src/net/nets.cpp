@@ -1,0 +1,111 @@
+#include "net/nets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+std::vector<NodeId> greedy_net(const ProximityIndex& prox, Dist r,
+                               std::span<const NodeId> initial) {
+  RON_CHECK(r > 0.0);
+  const std::size_t n = prox.n();
+  std::vector<NodeId> net(initial.begin(), initial.end());
+  // Track, for every node, the distance to the closest net point seen so
+  // far; a candidate joins the net iff that distance is >= r.
+  std::vector<Dist> to_net(n, kInfDist);
+  auto absorb = [&](NodeId p) {
+    // Only nodes within r of p can be excluded by p; walk its ball.
+    for (const auto& nb : prox.ball(p, r)) {
+      to_net[nb.v] = std::min(to_net[nb.v], nb.d);
+    }
+  };
+  for (NodeId p : net) absorb(p);
+  for (NodeId v = 0; v < n; ++v) {
+    if (to_net[v] < r) continue;  // some net point strictly closer than r
+    net.push_back(v);
+    absorb(v);
+  }
+  std::sort(net.begin(), net.end());
+  return net;
+}
+
+NetHierarchy::NetHierarchy(const ProximityIndex& prox, int l_max)
+    : prox_(prox), l_max_(l_max) {
+  RON_CHECK(l_max_ >= 0);
+  const std::size_t n = prox_.n();
+  members_.resize(l_max_ + 1);
+  is_member_.assign(l_max_ + 1, std::vector<bool>(n, false));
+  nearest_.assign(l_max_ + 1, std::vector<NodeId>(n, kInvalidNode));
+  nearest_dist_.assign(l_max_ + 1, std::vector<Dist>(n, kInfDist));
+  // Top-down so that coarser nets seed finer ones (nesting).
+  std::vector<NodeId> coarser;
+  for (int l = l_max_; l >= 0; --l) {
+    members_[l] = greedy_net(prox_, spacing(l), coarser);
+    coarser = members_[l];
+    for (NodeId p : members_[l]) is_member_[l][p] = true;
+    // Nearest net member per node (O(n * |net|) via net members' balls).
+    for (NodeId p : members_[l]) {
+      // Every node's nearest member is within spacing(l) (covering), so
+      // scanning each member's spacing-ball touches all relevant pairs.
+      for (const auto& nb : prox_.ball(p, spacing(l))) {
+        if (nb.d < nearest_dist_[l][nb.v] ||
+            (nb.d == nearest_dist_[l][nb.v] && p < nearest_[l][nb.v])) {
+          nearest_dist_[l][nb.v] = nb.d;
+          nearest_[l][nb.v] = p;
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      RON_CHECK(nearest_[l][v] != kInvalidNode,
+                "net covering property failed at level " << l);
+    }
+  }
+}
+
+Dist NetHierarchy::spacing(int l) const {
+  RON_CHECK(l >= 0 && l <= l_max_);
+  return prox_.dmin() * std::ldexp(1.0, l);
+}
+
+bool NetHierarchy::is_member(int l, NodeId v) const {
+  RON_CHECK(l >= 0 && l <= l_max_ && v < prox_.n());
+  return is_member_[l][v];
+}
+
+std::span<const NodeId> NetHierarchy::members(int l) const {
+  RON_CHECK(l >= 0 && l <= l_max_);
+  return members_[l];
+}
+
+NodeId NetHierarchy::nearest_member(int l, NodeId u) const {
+  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n());
+  return nearest_[l][u];
+}
+
+Dist NetHierarchy::nearest_member_dist(int l, NodeId u) const {
+  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n());
+  return nearest_dist_[l][u];
+}
+
+std::vector<NodeId> NetHierarchy::members_in_ball(int l, NodeId u,
+                                                  Dist R) const {
+  RON_CHECK(l >= 0 && l <= l_max_);
+  std::vector<NodeId> out;
+  for (const auto& nb : prox_.ball(u, R)) {
+    if (is_member_[l][nb.v]) out.push_back(nb.v);
+  }
+  return out;
+}
+
+int NetHierarchy::level_for_radius(Dist r) const {
+  RON_CHECK(r > 0.0);
+  int l = floor_log2_real(r / prox_.dmin());
+  if (l < 0) l = 0;
+  if (l > l_max_) l = l_max_;
+  return l;
+}
+
+}  // namespace ron

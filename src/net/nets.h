@@ -1,0 +1,66 @@
+// r-nets and nested net hierarchies (paper §1.1).
+//
+// An r-net is a set S with (i) every node within distance r of S and
+// (ii) net points pairwise >= r apart. The paper's constructions use a nested
+// sequence G_{logΔ} ⊂ ... ⊂ G_1 ⊂ G_0 of 2^j-nets (proof of Theorem 3.2).
+//
+// NetHierarchy builds one nested hierarchy with spacing(l) = dmin * 2^l for
+// l in [0, l_max]. Level 0 necessarily contains every node (all pairwise
+// distances are >= dmin), which realizes the paper's implicit bottom level:
+// zooming sequences terminate at the target itself, and greedy label-routing
+// can pick the target as its final intermediate target (see DESIGN.md
+// "Boundary conventions").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metric/proximity.h"
+
+namespace ron {
+
+/// Greedy r-net over all nodes, optionally seeded with `initial` (which must
+/// already be pairwise >= r apart; used for nesting). Nodes are considered in
+/// id order. Returns a sorted node list.
+std::vector<NodeId> greedy_net(const ProximityIndex& prox, Dist r,
+                               std::span<const NodeId> initial = {});
+
+class NetHierarchy {
+ public:
+  /// Builds nested nets for levels 0..l_max with spacing(l) = dmin * 2^l.
+  /// For the paper's scale range [logΔ], pass l_max = ceil(log2(Δ)); then
+  /// spacing(l_max) >= dmax and the top net has very few nodes.
+  NetHierarchy(const ProximityIndex& prox, int l_max);
+
+  int l_max() const { return l_max_; }
+  Dist spacing(int l) const;
+
+  bool is_member(int l, NodeId v) const;
+  std::span<const NodeId> members(int l) const;
+
+  /// The net point nearest to u at level l (ties to lower id) and its
+  /// distance. By the covering property the distance is <= spacing(l).
+  NodeId nearest_member(int l, NodeId u) const;
+  Dist nearest_member_dist(int l, NodeId u) const;
+
+  /// Members of level l inside the closed ball B_u(R), in increasing
+  /// distance from u.
+  std::vector<NodeId> members_in_ball(int l, NodeId u, Dist R) const;
+
+  /// The paper's "G_j with j = max(0, floor(log2 r))" idiom, normalized by
+  /// dmin: max(0, floor(log2(r / dmin))) clamped to [0, l_max]. Requires
+  /// r > 0.
+  int level_for_radius(Dist r) const;
+
+  const ProximityIndex& prox() const { return prox_; }
+
+ private:
+  const ProximityIndex& prox_;
+  int l_max_;
+  std::vector<std::vector<NodeId>> members_;      // per level, sorted
+  std::vector<std::vector<bool>> is_member_;      // per level
+  std::vector<std::vector<NodeId>> nearest_;      // per level, per node
+  std::vector<std::vector<Dist>> nearest_dist_;   // per level, per node
+};
+
+}  // namespace ron

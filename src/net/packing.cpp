@@ -1,0 +1,110 @@
+#include "net/packing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/cover.h"
+
+namespace ron {
+
+namespace {
+PackingBall make_ball(const MeasureView& mu, NodeId center, Dist radius) {
+  PackingBall b;
+  b.center = center;
+  b.radius = radius;
+  for (const auto& nb : mu.prox().ball(center, radius)) {
+    b.members.push_back(nb.v);
+    b.measure += mu.weight(nb.v);
+  }
+  std::sort(b.members.begin(), b.members.end());
+  return b;
+}
+}  // namespace
+
+PackingBall EpsMuPacking::descend(NodeId u, Dist r) const {
+  const ProximityIndex& prox = mu_.prox();
+  NodeId c = u;
+  Dist rho = r;
+  // Invariant: mu(B_c(rho)) >= eps. Each iteration halves rho, so the loop
+  // terminates once rho drops below the minimum distance.
+  while (true) {
+    auto ball = prox.ball(c, rho);
+    if (ball.size() <= 1) {
+      // Degenerate: a single node carrying measure >= eps.
+      return make_ball(mu_, c, 0.0);
+    }
+    std::vector<NodeId> members;
+    members.reserve(ball.size());
+    for (const auto& nb : ball) members.push_back(nb.v);
+    // Lemma 1.1 cover by balls of radius rho/8; take the heaviest.
+    auto centers = greedy_cover(prox, members, rho / 8.0);
+    NodeId best = centers.front();
+    double best_m = -1.0;
+    for (NodeId v : centers) {
+      const double m = mu_.ball_measure(v, rho / 8.0);
+      if (m > best_m) {
+        best_m = m;
+        best = v;
+      }
+    }
+    if (mu_.ball_measure(best, rho / 2.0) <= eps_) {
+      // best's rho/8-ball is "u-zooming": heavy, and its 4x inflation light.
+      return make_ball(mu_, best, rho / 8.0);
+    }
+    c = best;
+    rho /= 2.0;
+  }
+}
+
+EpsMuPacking::EpsMuPacking(const MeasureView& mu, double eps)
+    : mu_(mu), eps_(eps) {
+  RON_CHECK(eps_ > 0.0 && eps_ <= 1.0 + 1e-12, "eps in (0, 1]");
+  const ProximityIndex& prox = mu_.prox();
+  const std::size_t n = prox.n();
+  rank_radius_.resize(n);
+  std::vector<PackingBall> candidates;
+  candidates.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    rank_radius_[u] = mu_.rank_radius(u, eps_);
+    candidates.push_back(descend(u, rank_radius_[u]));
+  }
+  // Maximal disjoint subfamily, processed in node order (the proof's
+  // "consecutively going through all balls B_u").
+  std::vector<bool> taken(n, false);
+  for (auto& cand : candidates) {
+    bool disjoint = true;
+    for (NodeId v : cand.members) {
+      if (taken[v]) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    for (NodeId v : cand.members) taken[v] = true;
+    balls_.push_back(std::move(cand));
+  }
+  RON_CHECK(!balls_.empty());
+  // Certify every node (Lemma A.1's coverage guarantee).
+  cert_.assign(n, balls_.size());
+  for (NodeId u = 0; u < n; ++u) {
+    const Dist budget = 6.0 * rank_radius_[u] + 1e-12;
+    Dist best_slack = kInfDist;
+    for (std::size_t b = 0; b < balls_.size(); ++b) {
+      const Dist reach = prox.dist(u, balls_[b].center) + balls_[b].radius;
+      if (reach <= budget && reach < best_slack) {
+        best_slack = reach;
+        cert_[u] = b;
+      }
+    }
+    RON_CHECK(cert_[u] < balls_.size(),
+              "Lemma A.1 coverage failed for node " << u << " at eps "
+                                                    << eps_);
+  }
+}
+
+std::size_t EpsMuPacking::certified_ball(NodeId u) const {
+  RON_CHECK(u < cert_.size());
+  return cert_[u];
+}
+
+}  // namespace ron

@@ -1,0 +1,57 @@
+// (eps, mu)-packings (Lemma 3.1 / Lemma A.1).
+//
+// Given a probability measure mu and eps > 0, an (eps,mu)-packing is a family
+// F of disjoint balls, each of measure >= eps / 2^O(alpha), such that for
+// every node u some ball B_v(r) in F satisfies d(u,v) + r <= 6 r_u(eps)
+// (Lemma A.1's strengthened form: the ball, radius included, sits inside
+// B_u(6 r_u(eps))). The construction is the paper's zooming-ball descent:
+//
+//   start from B_u(r_u(eps)); cover the current ball B_c(rho) greedily with
+//   radius-rho/8 balls; move to the heaviest cover ball; stop when its
+//   4x-inflation has measure <= eps (a "u-zooming ball") or when the ball
+//   degenerates to a single heavy node. A maximal disjoint subfamily of the
+//   per-node candidates is the packing.
+//
+// Theorem 3.2 instantiates this with the counting measure for eps = 2^-i,
+// i in [log n]; those families F_i supply the X_i-neighbors. Appendix B
+// additionally uses the certified (h_B, r_B) pair per ball.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/doubling_measure.h"
+
+namespace ron {
+
+struct PackingBall {
+  NodeId center = kInvalidNode;  // h_B
+  Dist radius = 0.0;             // r_B
+  std::vector<NodeId> members;   // nodes of the ball, sorted by id
+  double measure = 0.0;          // mu(members)
+};
+
+class EpsMuPacking {
+ public:
+  EpsMuPacking(const MeasureView& mu, double eps);
+
+  double eps() const { return eps_; }
+  const std::vector<PackingBall>& balls() const { return balls_; }
+
+  /// Index into balls() of a ball certified for u: d(u, h) + r <= 6 r_u(eps).
+  std::size_t certified_ball(NodeId u) const;
+
+  /// r_u(eps) with respect to mu (cached from construction).
+  Dist rank_radius(NodeId u) const { return rank_radius_[u]; }
+
+ private:
+  PackingBall descend(NodeId u, Dist r) const;
+
+  const MeasureView& mu_;
+  double eps_;
+  std::vector<PackingBall> balls_;
+  std::vector<std::size_t> cert_;
+  std::vector<Dist> rank_radius_;
+};
+
+}  // namespace ron

@@ -1,0 +1,165 @@
+#include "routing/basic_scheme.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+std::vector<std::vector<std::uint32_t>> build_labels(const ScaleRings& rings) {
+  const std::size_t n = rings.prox().n();
+  const int J = rings.num_scales();
+  std::vector<std::vector<std::uint32_t>> labels(n);
+  for (NodeId t = 0; t < n; ++t) {
+    auto& lab = labels[t];
+    lab.resize(J);
+    lab[0] = rings.index_in_ring(t, 0, rings.f(t, 0));
+    RON_CHECK(lab[0] != kNullIndex, "f_{t,0} must lie in the common ring 0");
+    for (int j = 1; j < J; ++j) {
+      lab[j] = rings.index_in_ring(rings.f(t, j - 1), j, rings.f(t, j));
+      RON_CHECK(lab[j] != kNullIndex, "Claim 2.3 violated in label build");
+    }
+  }
+  return labels;
+}
+}  // namespace
+
+BasicRoutingScheme::BasicRoutingScheme(const ProximityIndex& prox,
+                                       const WeightedGraph& g,
+                                       std::shared_ptr<const Apsp> apsp,
+                                       double delta)
+    : prox_(prox),
+      graph_(&g),
+      apsp_(std::move(apsp)),
+      rings_(prox, delta),
+      labels_(build_labels(rings_)) {
+  RON_CHECK(g.n() == prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+}
+
+BasicRoutingScheme::BasicRoutingScheme(const ProximityIndex& prox,
+                                       double delta)
+    : prox_(prox), rings_(prox, delta), labels_(build_labels(rings_)) {}
+
+const std::vector<std::uint32_t>& BasicRoutingScheme::label_of(
+    NodeId t) const {
+  RON_CHECK(t < labels_.size());
+  return labels_[t];
+}
+
+std::uint32_t BasicRoutingScheme::zeta(NodeId u, int j, std::uint32_t a,
+                                       std::uint32_t b) const {
+  auto ring_u = rings_.ring(u, j);
+  if (a >= ring_u.size()) return kNullIndex;
+  const NodeId f = ring_u[a];
+  auto ring_f = rings_.ring(f, j + 1);
+  if (b >= ring_f.size()) return kNullIndex;
+  return rings_.index_in_ring(u, j + 1, ring_f[b]);
+}
+
+std::vector<std::uint32_t> BasicRoutingScheme::decode_chain(
+    NodeId u, const std::vector<std::uint32_t>& label) const {
+  // m_0 = n_{t,0} is valid at every node (ring 0 is common); extend while
+  // the translation function is non-null. The resulting chain length - 1 is
+  // exactly j_ut = max{ j : f_{t,i} in Y_{u,i} for all i <= j }.
+  std::vector<std::uint32_t> m;
+  m.push_back(label[0]);
+  for (int j = 0; j + 1 < rings_.num_scales(); ++j) {
+    const std::uint32_t next = zeta(u, j, m.back(), label[j + 1]);
+    if (next == kNullIndex) break;
+    m.push_back(next);
+  }
+  return m;
+}
+
+RouteResult BasicRoutingScheme::route(NodeId s, NodeId t,
+                                      std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  const auto& label = label_of(t);
+  RouteResult r;
+  NodeId cur = s;
+  int int_level = -1;  // no intermediate target yet
+  while (cur != t) {
+    if (r.hops >= max_hops) return r;  // undelivered
+    auto m = decode_chain(cur, label);
+    const int j_ut = static_cast<int>(m.size()) - 1;
+    NodeId w;
+    if (int_level < 0 || int_level > j_ut ||
+        rings_.ring(cur, int_level)[m[int_level]] == cur) {
+      // Select a new intermediate target at the deepest decodable scale.
+      // (Claim 2.4(b) guarantees int_level <= j_ut while in flight; the
+      // defensive recompute also covers the fresh-packet case.)
+      RON_CHECK(int_level <= j_ut, "Claim 2.4(b) violated in flight");
+      int_level = j_ut;
+      w = rings_.ring(cur, int_level)[m[int_level]];
+      RON_CHECK(w != cur || w == t,
+                "intermediate target stuck at current node");
+    } else {
+      w = rings_.ring(cur, int_level)[m[int_level]];
+    }
+    if (graph_ != nullptr) {
+      const EdgeIndex e = apsp_->first_hop(cur, w);
+      const Edge& edge = graph_->edge(cur, e);
+      r.path_length += edge.weight;
+      cur = edge.to;
+    } else {
+      r.path_length += prox_.dist(cur, w);
+      cur = w;
+    }
+    ++r.hops;
+  }
+  r.delivered = true;
+  const Dist d = prox_.dist(s, t);
+  r.stretch = (d == 0.0) ? 1.0 : r.path_length / d;
+  return r;
+}
+
+std::uint64_t BasicRoutingScheme::table_bits(NodeId u) const {
+  RON_CHECK(u < n());
+  const int J = rings_.num_scales();
+  std::uint64_t bits = 0;
+  // Translation functions: for each scale j, a |Y_{u,j}| x K_{j+1} table of
+  // ceil(log(|Y_{u,j+1}|+1))-bit entries (+1 for the null value).
+  for (int j = 0; j + 1 < J; ++j) {
+    const std::uint64_t rows = rings_.ring(u, j).size();
+    const std::uint64_t cols = rings_.max_ring_size(j + 1);
+    const std::uint64_t width =
+        bits_for_value(rings_.ring(u, j + 1).size());
+    bits += rows * cols * width;
+  }
+  // First-hop pointers to all neighbors (graph mode) or direct link ids
+  // (overlay mode: an index into the node's own out-link table).
+  const std::size_t degree = rings_.out_degree(u);
+  const std::uint64_t hop_bits =
+      graph_ != nullptr ? bits_for_index(graph_->max_out_degree())
+                        : bits_for_index(std::max<std::size_t>(degree, 2));
+  bits += degree * hop_bits;
+  // The node's own id (footnote 9).
+  bits += bits_for_index(n());
+  return bits;
+}
+
+std::uint64_t BasicRoutingScheme::label_bits(NodeId t) const {
+  RON_CHECK(t < n());
+  const int J = rings_.num_scales();
+  std::uint64_t bits = bits_for_index(n());  // ID(t), footnote 9
+  for (int j = 0; j < J; ++j) {
+    bits += bits_for_index(std::max<std::size_t>(rings_.max_ring_size(j), 2));
+  }
+  return bits;
+}
+
+std::uint64_t BasicRoutingScheme::header_bits() const {
+  std::uint64_t lab = 0;
+  for (NodeId t = 0; t < n(); ++t) lab = std::max(lab, label_bits(t));
+  // Label + current intermediate scale + "none" flag.
+  return lab + bits_for_value(rings_.num_scales()) + 1;
+}
+
+std::size_t BasicRoutingScheme::out_degree(NodeId u) const {
+  return graph_ == nullptr ? rings_.out_degree(u) : 0;
+}
+
+}  // namespace ron

@@ -1,0 +1,72 @@
+// Theorem 2.1: the basic (1+delta)-stretch routing scheme for doubling
+// graphs (the paper's short re-derivation of Chan-Gupta-Maggs-Zhou).
+//
+// Structures: scale rings Y_{u,j} (ScaleRings), zooming sequences f_t,
+// host enumerations phi_{u,j} (= id-order within each ring), translation
+// functions
+//   zeta_{u,j}(phi_{u,j}(f), phi_{f,j+1}(w)) = phi_{u,j+1}(w)
+// and ceil(log Dout)-bit first-hop pointers. The routing label of t encodes
+// its zooming sequence as ring indices: n_{t,0} = phi_{t,0}(f_{t,0}) (ring 0
+// is common to all nodes) and n_{t,j} = phi_{f_{t,j-1},j}(f_{t,j}).
+//
+// Packets carry (label of t, current intermediate scale); each node decodes
+// m_j = phi_{u,j}(f_{t,j}) by iterating the translation function (Claim 2.2)
+// and forwards along the first-hop pointer to the intermediate target. In
+// OVERLAY mode (§4.1) each stored neighbor is a direct link instead.
+//
+// Table bits are dominated by the translation functions (K^2 ceil(log K) per
+// scale); we account them per the paper's encoding without materializing
+// the K x K matrices (zeta is evaluated from the rings on demand, which is
+// bit-for-bit equivalent to the stored table).
+#pragma once
+
+#include <memory>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "routing/net_rings.h"
+#include "routing/scheme.h"
+
+namespace ron {
+
+class BasicRoutingScheme final : public RoutingScheme {
+ public:
+  /// Graph mode. `apsp` supplies the first-hop pointers for g.
+  BasicRoutingScheme(const ProximityIndex& prox, const WeightedGraph& g,
+                     std::shared_ptr<const Apsp> apsp, double delta);
+
+  /// Overlay mode ("routing on metrics"): neighbors are direct links.
+  BasicRoutingScheme(const ProximityIndex& prox, double delta);
+
+  std::string name() const override {
+    return graph_ ? "thm2.1-graph" : "thm2.1-overlay";
+  }
+  std::size_t n() const override { return prox_.n(); }
+  RouteResult route(NodeId s, NodeId t, std::size_t max_hops) const override;
+  std::uint64_t table_bits(NodeId u) const override;
+  std::uint64_t label_bits(NodeId t) const override;
+  std::uint64_t header_bits() const override;
+  std::size_t out_degree(NodeId u) const override;
+
+  const ScaleRings& rings() const { return rings_; }
+
+  /// zeta_{u,j}(a, b) per the paper; kNullIndex encodes null. Exposed for
+  /// the Figure 2 consistency tests.
+  std::uint32_t zeta(NodeId u, int j, std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  /// Decodes m_j = phi_{u,j}(f_{t,j}) for j = 0..j_ut (Claim 2.2).
+  std::vector<std::uint32_t> decode_chain(NodeId u,
+                                          const std::vector<std::uint32_t>&
+                                              label) const;
+
+  const std::vector<std::uint32_t>& label_of(NodeId t) const;
+
+  const ProximityIndex& prox_;
+  const WeightedGraph* graph_ = nullptr;  // null in overlay mode
+  std::shared_ptr<const Apsp> apsp_;      // graph mode only
+  ScaleRings rings_;
+  std::vector<std::vector<std::uint32_t>> labels_;  // n_{t,j} per target
+};
+
+}  // namespace ron

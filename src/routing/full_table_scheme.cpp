@@ -1,0 +1,48 @@
+#include "routing/full_table_scheme.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+FullTableScheme::FullTableScheme(const WeightedGraph& g,
+                                 std::shared_ptr<const Apsp> apsp)
+    : g_(g), apsp_(std::move(apsp)) {
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == g_.n());
+}
+
+RouteResult FullTableScheme::route(NodeId s, NodeId t,
+                                   std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  RouteResult r;
+  NodeId cur = s;
+  while (cur != t) {
+    if (r.hops >= max_hops) return r;  // not delivered
+    const EdgeIndex e = apsp_->first_hop(cur, t);
+    const Edge& edge = g_.edge(cur, e);
+    r.path_length += edge.weight;
+    cur = edge.to;
+    ++r.hops;
+  }
+  r.delivered = true;
+  const Dist d = apsp_->dist(s, t);
+  r.stretch = (s == t || d == 0.0) ? 1.0 : r.path_length / d;
+  return r;
+}
+
+std::uint64_t FullTableScheme::table_bits(NodeId u) const {
+  RON_CHECK(u < n());
+  // (n-1) entries of (target id, first-hop pointer).
+  return (n() - 1) *
+         (bits_for_index(n()) + bits_for_index(g_.max_out_degree()));
+}
+
+std::uint64_t FullTableScheme::label_bits(NodeId) const {
+  return bits_for_index(n());
+}
+
+std::uint64_t FullTableScheme::header_bits() const {
+  return bits_for_index(n());
+}
+
+}  // namespace ron

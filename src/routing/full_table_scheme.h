@@ -1,0 +1,31 @@
+// Trivial stretch-1 routing: every node stores the full first-hop table
+// (paper §1: "each node stores full routing table of the all-pairs shortest
+// paths algorithm ... Ω(n log n) bits, which does not scale"). The baseline
+// row for Table 1.
+#pragma once
+
+#include <memory>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "routing/scheme.h"
+
+namespace ron {
+
+class FullTableScheme final : public RoutingScheme {
+ public:
+  FullTableScheme(const WeightedGraph& g, std::shared_ptr<const Apsp> apsp);
+
+  std::string name() const override { return "full-table"; }
+  std::size_t n() const override { return g_.n(); }
+  RouteResult route(NodeId s, NodeId t, std::size_t max_hops) const override;
+  std::uint64_t table_bits(NodeId u) const override;
+  std::uint64_t label_bits(NodeId t) const override;
+  std::uint64_t header_bits() const override;
+
+ private:
+  const WeightedGraph& g_;
+  std::shared_ptr<const Apsp> apsp_;
+};
+
+}  // namespace ron

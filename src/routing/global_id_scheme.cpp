@@ -1,0 +1,96 @@
+#include "routing/global_id_scheme.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+GlobalIdScheme::GlobalIdScheme(const ProximityIndex& prox,
+                               const WeightedGraph& g,
+                               std::shared_ptr<const Apsp> apsp, double delta)
+    : prox_(prox), graph_(&g), apsp_(std::move(apsp)), rings_(prox, delta) {
+  RON_CHECK(g.n() == prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+}
+
+GlobalIdScheme::GlobalIdScheme(const ProximityIndex& prox, double delta)
+    : prox_(prox), rings_(prox, delta) {}
+
+int GlobalIdScheme::deepest_shared_scale(NodeId u, NodeId t) const {
+  // The label lists f_{t,j} by global id, so u can check ring membership
+  // directly: j_ut = max{ j : f_{t,i} in Y_{u,i} for all i <= j }.
+  int j = 0;
+  RON_CHECK(rings_.index_in_ring(u, 0, rings_.f(t, 0)) != kNullIndex,
+            "ring 0 must contain f_{t,0}");
+  while (j + 1 < rings_.num_scales() &&
+         rings_.index_in_ring(u, j + 1, rings_.f(t, j + 1)) != kNullIndex) {
+    ++j;
+  }
+  return j;
+}
+
+RouteResult GlobalIdScheme::route(NodeId s, NodeId t,
+                                  std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  RouteResult r;
+  NodeId cur = s;
+  int int_level = -1;
+  while (cur != t) {
+    if (r.hops >= max_hops) return r;
+    const int j_ut = deepest_shared_scale(cur, t);
+    NodeId w;
+    if (int_level < 0 || int_level > j_ut ||
+        rings_.f(t, int_level) == cur) {
+      RON_CHECK(int_level <= j_ut, "intermediate target lost in flight");
+      int_level = j_ut;
+      w = rings_.f(t, int_level);
+      RON_CHECK(w != cur, "intermediate target stuck");
+    } else {
+      w = rings_.f(t, int_level);
+    }
+    if (graph_ != nullptr) {
+      const EdgeIndex e = apsp_->first_hop(cur, w);
+      const Edge& edge = graph_->edge(cur, e);
+      r.path_length += edge.weight;
+      cur = edge.to;
+    } else {
+      r.path_length += prox_.dist(cur, w);
+      cur = w;
+    }
+    ++r.hops;
+  }
+  r.delivered = true;
+  const Dist d = prox_.dist(s, t);
+  r.stretch = (d == 0.0) ? 1.0 : r.path_length / d;
+  return r;
+}
+
+std::uint64_t GlobalIdScheme::table_bits(NodeId u) const {
+  RON_CHECK(u < n());
+  std::uint64_t bits = bits_for_index(n());  // own id
+  const std::uint64_t hop_bits =
+      graph_ != nullptr
+          ? bits_for_index(graph_->max_out_degree())
+          : bits_for_index(std::max<std::size_t>(rings_.out_degree(u), 2));
+  // Per ring entry: global id + first-hop pointer.
+  for (int j = 0; j < rings_.num_scales(); ++j) {
+    bits += rings_.ring(u, j).size() * (bits_for_index(n()) + hop_bits);
+  }
+  return bits;
+}
+
+std::uint64_t GlobalIdScheme::label_bits(NodeId) const {
+  // The zooming sequence by global ids, plus ID(t).
+  return (static_cast<std::uint64_t>(rings_.num_scales()) + 1) *
+         bits_for_index(n());
+}
+
+std::uint64_t GlobalIdScheme::header_bits() const {
+  return label_bits(0) + bits_for_value(rings_.num_scales()) + 1;
+}
+
+std::size_t GlobalIdScheme::out_degree(NodeId u) const {
+  return graph_ == nullptr ? rings_.out_degree(u) : 0;
+}
+
+}  // namespace ron

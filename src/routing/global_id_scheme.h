@@ -1,0 +1,47 @@
+// Talwar-style baseline: the same net hierarchy and zooming sequences as
+// Theorem 2.1, but neighbors and labels are referenced by global
+// ceil(log n)-bit node ids instead of host enumerations + translation
+// functions. This isolates exactly the factor the paper's translation trick
+// removes: labels cost (log n)(log Δ) bits instead of O(alpha log 1/delta)
+// (log Δ), and tables store id lists instead of K^2 log K translation
+// matrices. (Talwar [52] Table 1 row; also the "simplest way" strawman in
+// the proof of Theorem 2.1.)
+#pragma once
+
+#include <memory>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "routing/net_rings.h"
+#include "routing/scheme.h"
+
+namespace ron {
+
+class GlobalIdScheme final : public RoutingScheme {
+ public:
+  GlobalIdScheme(const ProximityIndex& prox, const WeightedGraph& g,
+                 std::shared_ptr<const Apsp> apsp, double delta);
+
+  /// Overlay mode.
+  GlobalIdScheme(const ProximityIndex& prox, double delta);
+
+  std::string name() const override {
+    return graph_ ? "global-id-graph" : "global-id-overlay";
+  }
+  std::size_t n() const override { return prox_.n(); }
+  RouteResult route(NodeId s, NodeId t, std::size_t max_hops) const override;
+  std::uint64_t table_bits(NodeId u) const override;
+  std::uint64_t label_bits(NodeId t) const override;
+  std::uint64_t header_bits() const override;
+  std::size_t out_degree(NodeId u) const override;
+
+ private:
+  int deepest_shared_scale(NodeId u, NodeId t) const;  // j_ut
+
+  const ProximityIndex& prox_;
+  const WeightedGraph* graph_ = nullptr;
+  std::shared_ptr<const Apsp> apsp_;
+  ScaleRings rings_;
+};
+
+}  // namespace ron

@@ -1,0 +1,137 @@
+#include "routing/label_scheme.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+LabelGuidedScheme::LabelGuidedScheme(const ProximityIndex& prox,
+                                     const WeightedGraph& g,
+                                     std::shared_ptr<const Apsp> apsp,
+                                     const DistanceLabeling& dls,
+                                     double delta)
+    : prox_(prox), graph_(&g), apsp_(std::move(apsp)), dls_(dls),
+      delta_(delta) {
+  RON_CHECK(g.n() == prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+  build(delta);
+}
+
+LabelGuidedScheme::LabelGuidedScheme(const ProximityIndex& prox,
+                                     const DistanceLabeling& dls,
+                                     double delta)
+    : prox_(prox), dls_(dls), delta_(delta) {
+  build(delta);
+}
+
+void LabelGuidedScheme::build(double delta) {
+  RON_CHECK(delta > 0.0 && delta < 2.0 / 3.0,
+            "need delta < 2/3 so that 1.5*delta < 1");
+  RON_CHECK(dls_.n() == prox_.n());
+  const int L = std::max(1, ceil_log2_real(prox_.aspect_ratio()));
+  NetHierarchy nets(prox_, L);
+  const std::size_t n = prox_.n();
+  neighbors_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> all;
+    for (int l = 0; l <= L; ++l) {
+      const Dist radius = 4.0 * nets.spacing(l) / delta;
+      auto members = nets.members_in_ball(l, u, radius);
+      all.insert(all.end(), members.begin(), members.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    all.erase(std::remove(all.begin(), all.end(), u), all.end());
+    neighbors_[u] = std::move(all);
+  }
+}
+
+std::span<const NodeId> LabelGuidedScheme::neighbors(NodeId u) const {
+  RON_CHECK(u < neighbors_.size());
+  return neighbors_[u];
+}
+
+bool LabelGuidedScheme::is_neighbor(NodeId u, NodeId v) const {
+  return std::binary_search(neighbors_[u].begin(), neighbors_[u].end(), v);
+}
+
+RouteResult LabelGuidedScheme::route(NodeId s, NodeId t,
+                                     std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  const DlsLabel& lt = dls_.label(t);
+  RouteResult r;
+  NodeId cur = s;
+  NodeId target_hint = kInvalidNode;  // the current intermediate target
+  while (cur != t) {
+    if (r.hops >= max_hops) return r;
+    if (target_hint == kInvalidNode || target_hint == cur) {
+      // Pick the neighbor whose label looks closest to t. The neighbor set
+      // always contains t itself once cur is close enough (level-0 net).
+      NodeId best = kInvalidNode;
+      Dist best_d = kInfDist;
+      for (NodeId v : neighbors_[cur]) {
+        const Dist dv = (v == t)
+                            ? 0.0
+                            : DistanceLabeling::estimate(dls_.label(v), lt)
+                                  .upper;
+        if (dv < best_d || (dv == best_d && v < best)) {
+          best = v;
+          best_d = dv;
+        }
+      }
+      RON_CHECK(best != kInvalidNode, "node " << cur << " has no neighbors");
+      target_hint = best;
+    } else {
+      // In flight towards target_hint; the induction in the proof
+      // guarantees it stays a neighbor of every node on the way.
+      RON_CHECK(is_neighbor(cur, target_hint),
+                "intermediate target " << target_hint
+                                       << " lost at node " << cur);
+    }
+    if (graph_ != nullptr) {
+      const EdgeIndex e = apsp_->first_hop(cur, target_hint);
+      const Edge& edge = graph_->edge(cur, e);
+      r.path_length += edge.weight;
+      cur = edge.to;
+    } else {
+      r.path_length += prox_.dist(cur, target_hint);
+      cur = target_hint;
+    }
+    ++r.hops;
+  }
+  r.delivered = true;
+  const Dist d = prox_.dist(s, t);
+  r.stretch = (d == 0.0) ? 1.0 : r.path_length / d;
+  return r;
+}
+
+std::uint64_t LabelGuidedScheme::table_bits(NodeId u) const {
+  RON_CHECK(u < n());
+  const std::uint64_t hop_bits =
+      graph_ != nullptr
+          ? bits_for_index(graph_->max_out_degree())
+          : bits_for_index(std::max<std::size_t>(neighbors_[u].size(), 2));
+  std::uint64_t bits = bits_for_index(n());  // own id
+  for (NodeId v : neighbors_[u]) {
+    bits += dls_.label_bits(v) + bits_for_index(n()) + hop_bits;
+  }
+  return bits;
+}
+
+std::uint64_t LabelGuidedScheme::label_bits(NodeId t) const {
+  return dls_.label_bits(t);  // the DLS label already carries ID(t)
+}
+
+std::uint64_t LabelGuidedScheme::header_bits() const {
+  std::uint64_t lab = 0;
+  for (NodeId t = 0; t < n(); ++t) lab = std::max(lab, label_bits(t));
+  return lab + bits_for_index(n()) + 1;  // + intermediate id + flag
+}
+
+std::size_t LabelGuidedScheme::out_degree(NodeId u) const {
+  return graph_ == nullptr ? neighbors_[u].size() : 0;
+}
+
+}  // namespace ron

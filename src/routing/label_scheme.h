@@ -1,0 +1,64 @@
+// Theorem 4.1: the "really simple" (1+delta)-stretch routing scheme built on
+// distance labels.
+//
+// Fix a 3/2-approximate DLS (Theorem 3.4 with delta_dls <= 1/6; the estimate
+// D(.,.) is non-contracting). For each level l, F_l is a 2^l-net (the nested
+// hierarchy; level 0 contains every node, which terminates greedy descent at
+// the target) and the l-level neighbors of u are F_l(u) = B_u(4*2^l/delta) ∩
+// F_l. The routing table of u stores, per neighbor v, the label L_v, its id,
+// and a first-hop pointer. A packet carries (L_t, current intermediate
+// target id). When a node must pick a new intermediate target it selects the
+// neighbor v minimizing D(L_v, L_t); the proof shows some neighbor lies
+// within delta*d of t, so the chosen one is within 1.5*delta*d and the
+// intermediate targets zoom geometrically onto t.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "labeling/distance_labels.h"
+#include "net/nets.h"
+#include "routing/scheme.h"
+
+namespace ron {
+
+class LabelGuidedScheme final : public RoutingScheme {
+ public:
+  /// Graph mode. `dls` must outlive the scheme; its approximation factor
+  /// gamma must satisfy gamma * delta < 1 (delta_dls <= 1/6 gives
+  /// gamma = 3/2, the theorem's setting).
+  LabelGuidedScheme(const ProximityIndex& prox, const WeightedGraph& g,
+                    std::shared_ptr<const Apsp> apsp,
+                    const DistanceLabeling& dls, double delta);
+
+  /// Overlay mode.
+  LabelGuidedScheme(const ProximityIndex& prox, const DistanceLabeling& dls,
+                    double delta);
+
+  std::string name() const override {
+    return graph_ ? "thm4.1-graph" : "thm4.1-overlay";
+  }
+  std::size_t n() const override { return prox_.n(); }
+  RouteResult route(NodeId s, NodeId t, std::size_t max_hops) const override;
+  std::uint64_t table_bits(NodeId u) const override;
+  std::uint64_t label_bits(NodeId t) const override;
+  std::uint64_t header_bits() const override;
+  std::size_t out_degree(NodeId u) const override;
+
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+ private:
+  void build(double delta);
+  bool is_neighbor(NodeId u, NodeId v) const;
+
+  const ProximityIndex& prox_;
+  const WeightedGraph* graph_ = nullptr;
+  std::shared_ptr<const Apsp> apsp_;
+  const DistanceLabeling& dls_;
+  double delta_;
+  std::vector<std::vector<NodeId>> neighbors_;  // sorted, excludes self
+};
+
+}  // namespace ron

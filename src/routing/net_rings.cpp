@@ -1,0 +1,82 @@
+#include "routing/net_rings.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+ScaleRings::ScaleRings(const ProximityIndex& prox, double delta)
+    : prox_(prox), delta_(delta) {
+  RON_CHECK(delta_ > 0.0 && delta_ < 1.0, "delta in (0,1)");
+  const int L = std::max(1, ceil_log2_real(prox_.aspect_ratio()));
+  J_ = L + 1;
+  nets_ = std::make_unique<NetHierarchy>(prox_, L);
+  const std::size_t n = prox_.n();
+  rings_.resize(n * static_cast<std::size_t>(J_));
+  f_.resize(n * static_cast<std::size_t>(J_));
+  max_ring_.assign(J_, 0);
+  for (int j = 0; j < J_; ++j) {
+    const int level = L - j;
+    const Dist radius = ring_radius(j);
+    for (NodeId u = 0; u < n; ++u) {
+      auto& ring = rings_[static_cast<std::size_t>(u) * J_ + j];
+      ring = nets_->members_in_ball(level, u, radius);
+      std::sort(ring.begin(), ring.end());
+      max_ring_[j] = std::max(max_ring_[j], ring.size());
+      // f_{u,j}: nearest net member; covering gives d <= spacing = Δ/2^j.
+      const NodeId fu = nets_->nearest_member(level, u);
+      f_[static_cast<std::size_t>(u) * J_ + j] = fu;
+      RON_CHECK(prox_.dist(u, fu) <= net_scale(j) + 1e-9,
+                "net covering radius violated");
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    // Ring 0 must coincide across nodes (radius covers the whole metric).
+    RON_CHECK(std::ranges::equal(ring(u, 0), ring(0, 0)),
+              "ring 0 must be common to all nodes");
+    // The last net contains every node, so zooming ends at the target.
+    RON_CHECK(f(u, J_ - 1) == u, "zooming sequence must end at the target");
+    // Claim 2.3: f_{t,j} is a j-ring neighbor of f_{t,j-1}.
+    for (int j = 1; j < J_; ++j) {
+      RON_CHECK(index_in_ring(f(u, j - 1), j, f(u, j)) != kNullIndex,
+                "Claim 2.3 violated at t=" << u << " j=" << j);
+    }
+  }
+}
+
+Dist ScaleRings::net_scale(int j) const {
+  RON_CHECK(j >= 0 && j < J_);
+  return nets_->spacing(J_ - 1 - j);
+}
+
+std::span<const NodeId> ScaleRings::ring(NodeId u, int j) const {
+  RON_CHECK(u < prox_.n() && j >= 0 && j < J_);
+  return rings_[static_cast<std::size_t>(u) * J_ + j];
+}
+
+std::uint32_t ScaleRings::index_in_ring(NodeId u, int j, NodeId w) const {
+  auto r = ring(u, j);
+  auto it = std::lower_bound(r.begin(), r.end(), w);
+  if (it == r.end() || *it != w) return kNullIndex;
+  return static_cast<std::uint32_t>(it - r.begin());
+}
+
+NodeId ScaleRings::f(NodeId t, int j) const {
+  RON_CHECK(t < prox_.n() && j >= 0 && j < J_);
+  return f_[static_cast<std::size_t>(t) * J_ + j];
+}
+
+std::size_t ScaleRings::out_degree(NodeId u) const {
+  std::vector<NodeId> all;
+  for (int j = 0; j < J_; ++j) {
+    auto r = ring(u, j);
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+}  // namespace ron

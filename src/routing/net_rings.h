@@ -1,0 +1,69 @@
+// Scale-indexed rings of neighbors for the Theorem 2.1 family of routing
+// schemes.
+//
+// For each scale index j in [0, J) (the paper's j in [log Δ]), G_j is a
+// (Δ/2^j)-net — realized as level L-j of the nested NetHierarchy, where
+// L = ceil(log2 Δ) — and the j-th ring of node u is
+//     Y_{u,j} = B_u(r_j) ∩ G_j,   r_j = 4 (Δ/2^j) / delta.
+// The zooming sequence of a target t is f_{t,j} = the nearest G_j member
+// (within Δ/2^j of t by the covering property); the last scale's net is all
+// nodes, so f_{t,J-1} = t and zooming terminates at the target.
+//
+// Claim 2.3 (checked at construction): f_{t,j} ∈ Y_{f_{t,j-1}, j}.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "metric/proximity.h"
+#include "net/nets.h"
+
+namespace ron {
+
+inline constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+class ScaleRings {
+ public:
+  ScaleRings(const ProximityIndex& prox, double delta);
+
+  const ProximityIndex& prox() const { return prox_; }
+  double delta() const { return delta_; }
+
+  /// Number of scales J (= ceil(log2 Δ) + 1).
+  int num_scales() const { return J_; }
+
+  /// The paper's Δ/2^j: net spacing at scale j.
+  Dist net_scale(int j) const;
+
+  /// Ring radius r_j = 4 (Δ/2^j) / delta.
+  Dist ring_radius(int j) const { return 4.0 * net_scale(j) / delta_; }
+
+  /// Y_{u,j}, sorted by node id (this order is the host enumeration
+  /// phi_{u,j}). Ring 0 is identical for every node.
+  std::span<const NodeId> ring(NodeId u, int j) const;
+
+  /// phi_{u,j}(w): index of w in Y_{u,j}, or kNullIndex.
+  std::uint32_t index_in_ring(NodeId u, int j, NodeId w) const;
+
+  /// Zooming element f_{t,j}; f_{t,J-1} == t.
+  NodeId f(NodeId t, int j) const;
+
+  /// Max |Y_{.,j}| over nodes (the paper's K at scale j).
+  std::size_t max_ring_size(int j) const { return max_ring_[j]; }
+
+  /// Distinct neighbors across rings (overlay out-degree).
+  std::size_t out_degree(NodeId u) const;
+
+ private:
+  const ProximityIndex& prox_;
+  double delta_;
+  int J_;
+  std::unique_ptr<NetHierarchy> nets_;
+  std::vector<std::vector<NodeId>> rings_;  // [u * J + j]
+  std::vector<NodeId> f_;                   // [t * J + j]
+  std::vector<std::size_t> max_ring_;
+};
+
+}  // namespace ron

@@ -1,0 +1,55 @@
+#include "routing/scheme.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+SchemeSizes measure_sizes(const RoutingScheme& scheme) {
+  SchemeSizes s;
+  s.header_bits = scheme.header_bits();
+  double table_total = 0.0, label_total = 0.0;
+  for (NodeId u = 0; u < scheme.n(); ++u) {
+    const std::uint64_t tb = scheme.table_bits(u);
+    const std::uint64_t lb = scheme.label_bits(u);
+    s.max_table_bits = std::max(s.max_table_bits, tb);
+    s.max_label_bits = std::max(s.max_label_bits, lb);
+    s.max_out_degree = std::max(s.max_out_degree, scheme.out_degree(u));
+    table_total += static_cast<double>(tb);
+    label_total += static_cast<double>(lb);
+  }
+  s.avg_table_bits = table_total / static_cast<double>(scheme.n());
+  s.avg_label_bits = label_total / static_cast<double>(scheme.n());
+  return s;
+}
+
+RoutingStats evaluate_scheme(const RoutingScheme& scheme,
+                             const ProximityIndex& prox, std::size_t pairs,
+                             std::uint64_t seed, std::size_t max_hops) {
+  RON_CHECK(scheme.n() == prox.n(), "scheme/metric size mismatch");
+  RON_CHECK(prox.n() >= 2);
+  Rng rng(seed);
+  std::vector<double> stretches, hops;
+  RoutingStats stats;
+  stats.queries = pairs;
+  for (std::size_t q = 0; q < pairs; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.index(prox.n()));
+    NodeId t = static_cast<NodeId>(rng.index(prox.n()));
+    while (t == s) t = static_cast<NodeId>(rng.index(prox.n()));
+    const RouteResult r = scheme.route(s, t, max_hops);
+    if (!r.delivered) {
+      ++stats.failures;
+      continue;
+    }
+    stretches.push_back(r.stretch);
+    hops.push_back(static_cast<double>(r.hops));
+  }
+  stats.stretch = summarize(std::move(stretches));
+  stats.hops = summarize(std::move(hops));
+  return stats;
+}
+
+}  // namespace ron

@@ -1,0 +1,83 @@
+// Routing scheme interfaces and the query driver.
+//
+// A routing scheme (paper §1) assigns every node a routing label and a
+// routing table; forwarding decisions depend only on the current node's
+// table and the packet header (which contains the target's label). The
+// simulator below drives real packets hop by hop; implementations must not
+// consult global state when forwarding — each class keeps only per-node
+// structures that a distributed deployment would store at that node, plus
+// read-only substrate (graph first-hop pointers = the local forwarding
+// tables the paper assumes).
+//
+// Two deployment modes (paper §4.1):
+//   - GRAPH mode: packets traverse the edges of a weighted graph; virtual
+//     links are realized by ceil(log Dout)-bit first-hop pointers.
+//   - OVERLAY mode ("routing schemes on metrics"): we are free to choose the
+//     edge set; each stored neighbor is a direct link and the out-degree
+//     becomes a reported parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "metric/proximity.h"
+
+namespace ron {
+
+struct RouteResult {
+  bool delivered = false;
+  std::size_t hops = 0;
+  Dist path_length = 0.0;
+  /// path_length / d(s,t); 1.0 when s == t.
+  double stretch = 1.0;
+};
+
+class RoutingScheme {
+ public:
+  virtual ~RoutingScheme() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t n() const = 0;
+
+  /// Routes one packet from s to t. `max_hops` guards against livelock;
+  /// delivery failure is reported, never silently looped.
+  virtual RouteResult route(NodeId s, NodeId t,
+                            std::size_t max_hops) const = 0;
+
+  /// Honest bit accounting per the paper's encodings.
+  virtual std::uint64_t table_bits(NodeId u) const = 0;
+  virtual std::uint64_t label_bits(NodeId t) const = 0;
+  virtual std::uint64_t header_bits() const = 0;  // max over packets
+
+  /// Overlay out-degree (0 for pure graph-mode schemes).
+  virtual std::size_t out_degree(NodeId u) const { (void)u; return 0; }
+};
+
+/// Aggregate sizes over all nodes.
+struct SchemeSizes {
+  std::uint64_t max_table_bits = 0;
+  double avg_table_bits = 0.0;
+  std::uint64_t max_label_bits = 0;
+  double avg_label_bits = 0.0;
+  std::uint64_t header_bits = 0;
+  std::size_t max_out_degree = 0;
+};
+
+SchemeSizes measure_sizes(const RoutingScheme& scheme);
+
+/// Routes `pairs` random (s != t) queries and aggregates stretch/hops.
+struct RoutingStats {
+  Summary stretch;
+  Summary hops;
+  std::size_t failures = 0;
+  std::size_t queries = 0;
+};
+
+RoutingStats evaluate_scheme(const RoutingScheme& scheme,
+                             const ProximityIndex& prox, std::size_t pairs,
+                             std::uint64_t seed,
+                             std::size_t max_hops = 1'000'000);
+
+}  // namespace ron

@@ -1,0 +1,609 @@
+#include "routing/twomode_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+constexpr std::uint32_t kNull = 0xffffffffu;
+}  // namespace
+
+TwoModeScheme::TwoModeScheme(const NeighborSystem& sys,
+                             const WeightedGraph& g,
+                             std::shared_ptr<const Apsp> apsp,
+                             std::uint32_t max_hops_nd)
+    : sys_(sys),
+      prox_(sys.prox()),
+      g_(g),
+      apsp_(std::move(apsp)),
+      delta_(sys.delta()),
+      delta_prime_(sys.delta() / (1.0 - sys.delta())),
+      codec_(prox_.dmin(), 2.0 * prox_.dmax(), sys.delta() / 8.0) {
+  RON_CHECK(g_.n() == prox_.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox_.n());
+  RON_CHECK(delta_ <= 0.125 + 1e-12,
+            "Theorem B.1 is proved for delta <= 1/8");
+  // Host sets (with their common level-0 prefix) come from the system.
+  host_.resize(prox_.n());
+  for (NodeId u = 0; u < prox_.n(); ++u) {
+    auto h = sys_.host_set(u);
+    host_[u].assign(h.begin(), h.end());
+  }
+  build_labels();
+  build_balls();
+  // Stored (1+delta)-stretch bounded-hop successors per target.
+  const std::size_t n = prox_.n();
+  to_target_.resize(n);
+  std::vector<Dist> dist_to(n);
+  for (NodeId t = 0; t < n; ++t) {
+    for (NodeId v = 0; v < n; ++v) dist_to[v] = apsp_->dist(v, t);
+    to_target_[t] = bounded_hop_paths(g_, t, dist_to, delta_, max_hops_nd);
+    for (NodeId v = 0; v < n; ++v) {
+      RON_CHECK(to_target_[t].hops[v] <= max_hops_nd,
+                "no (1+delta)-stretch path within N_delta hops; raise "
+                "max_hops_nd");
+      n_delta_ = std::max(n_delta_, to_target_[t].hops[v]);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Construction
+// --------------------------------------------------------------------------
+
+void TwoModeScheme::build_labels() {
+  const std::size_t n = prox_.n();
+  const int levels = sys_.num_levels();
+  labels_.resize(n);
+
+  auto psi_of = [&](NodeId v, NodeId w) -> std::uint32_t {
+    auto tv = sys_.virtual_set(v);
+    auto it = std::lower_bound(tv.begin(), tv.end(), w);
+    if (it == tv.end() || *it != w) return kNull;
+    return static_cast<std::uint32_t>(it - tv.begin());
+  };
+  auto phi_of = [&](NodeId u, NodeId w) -> std::uint32_t {
+    const auto& h = host_[u];
+    for (std::uint32_t k = 0; k < h.size(); ++k) {
+      if (h[k] == w) return k;
+    }
+    return kNull;
+  };
+
+  for (NodeId t = 0; t < n; ++t) {
+    Label& lab = labels_[t];
+    lab.id = t;
+    lab.friends.resize(levels);
+    lab.zoom0 = phi_of(t, sys_.f(t, 0));
+    RON_CHECK(lab.zoom0 != kNull);
+    lab.zoom.resize(levels - 1);
+    for (int i = 0; i + 1 < levels; ++i) {
+      lab.zoom[i] = psi_of(sys_.f(t, i), sys_.f(t, i + 1));
+      RON_CHECK(lab.zoom[i] != kNull, "Claim 3.5(c) violated");
+    }
+    // Friend slots per level i >= 1 (level-0 friends are identifiable via
+    // the common enumeration but can never satisfy (c4); see header).
+    for (int i = 1; i < levels; ++i) {
+      const NodeId f_prev = sys_.f(t, i - 1);
+      auto add_friend = [&](NodeId w, int j) {
+        if (w == kInvalidNode) return;
+        Friend fr;
+        fr.node = w;
+        fr.j = j;
+        fr.psi = psi_of(f_prev, w);
+        fr.dist_t = codec_.round_up(prox_.dist(t, w));
+        fr.rti = codec_.round_up(sys_.r(t, i));
+        lab.friends[i].push_back(fr);
+      };
+      // x_{t,i} ("j = infinity") first.
+      add_friend(sys_.nearest_x(t, i), -1);
+      // S_{t,i}: nearest net members y_{t,j} for j in J_{t,i}, decreasing j.
+      const Dist rti = sys_.r(t, i);
+      const int j_lo = std::max(
+          0, floor_log2_real(std::max(delta_ * rti / 4.0, 1e-300) /
+                             prox_.dmin()));
+      const int j_hi = std::min(
+          sys_.nets().l_max(),
+          ceil_log2_real(6.0 * rti / prox_.dmin()));
+      for (int j = j_hi; j >= j_lo; --j) {
+        add_friend(sys_.nets().nearest_member(j, t), j);
+      }
+    }
+  }
+}
+
+void TwoModeScheme::build_balls() {
+  const std::size_t n = prox_.n();
+  const int levels = sys_.num_levels();
+  balls_.resize(levels);
+  for (int i = 1; i < levels; ++i) {
+    const auto& packing = sys_.packing(i);
+    balls_[i].reserve(packing.balls().size());
+    for (const PackingBall& pb : packing.balls()) {
+      BallInfo info;
+      info.root = pb.center;
+      info.members = pb.members;  // sorted
+      info.bprime_radius = sys_.r(pb.center, i - 1);
+      // Tree: parent of m = the last B-member strictly before m on the
+      // first-hop walk root -> m (root's parent is itself).
+      const std::size_t bn = info.members.size();
+      info.parent.assign(bn, kInvalidNode);
+      std::vector<bool> is_member(n, false);
+      for (NodeId m : info.members) is_member[m] = true;
+      auto member_index = [&](NodeId m) {
+        auto it = std::lower_bound(info.members.begin(), info.members.end(),
+                                   m);
+        RON_CHECK(it != info.members.end() && *it == m);
+        return static_cast<std::size_t>(it - info.members.begin());
+      };
+      for (std::size_t k = 0; k < bn; ++k) {
+        const NodeId m = info.members[k];
+        if (m == info.root) {
+          info.parent[k] = info.root;
+          continue;
+        }
+        NodeId cur = info.root;
+        NodeId last_member = info.root;
+        while (cur != m) {
+          cur = g_.edge(cur, apsp_->first_hop(cur, m)).to;
+          if (cur != m && is_member[cur]) last_member = cur;
+        }
+        info.parent[k] = last_member;
+      }
+      // Leaf ranges: ids 0..n-1 split evenly over members in DFS order
+      // (each member's own leaf first, then its children's subtrees), so
+      // every tree link serves one contiguous id range.
+      std::vector<std::vector<std::size_t>> children(bn);
+      std::size_t root_k = member_index(info.root);
+      for (std::size_t k = 0; k < bn; ++k) {
+        if (k == root_k) continue;
+        children[member_index(info.parent[k])].push_back(k);
+      }
+      // DFS pre-order.
+      std::vector<std::size_t> order;
+      order.reserve(bn);
+      std::vector<std::size_t> stack{root_k};
+      while (!stack.empty()) {
+        const std::size_t k = stack.back();
+        stack.pop_back();
+        order.push_back(k);
+        for (auto it = children[k].rbegin(); it != children[k].rend();
+             ++it) {
+          stack.push_back(*it);
+        }
+      }
+      RON_CHECK(order.size() == bn, "ball tree is not connected");
+      info.assignee.assign(n, kInvalidNode);
+      const std::size_t base = n / bn;
+      std::size_t extra = n % bn;
+      std::size_t next_id = 0;
+      for (std::size_t k : order) {
+        std::size_t take = base + (extra > 0 ? 1 : 0);
+        if (extra > 0) --extra;
+        for (std::size_t c = 0; c < take; ++c) {
+          info.assignee[next_id++] = info.members[k];
+        }
+      }
+      RON_CHECK(next_id == n);
+      balls_[i].push_back(std::move(info));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Routing helpers
+// --------------------------------------------------------------------------
+
+std::vector<std::uint32_t> TwoModeScheme::identify_chain(
+    NodeId u, const Label& lt) const {
+  // Translate t's zooming chain into u's host enumeration, one psi step at
+  // a time: chain[i] = phi_u(f_{t,i}).
+  const int levels = sys_.num_levels();
+  std::vector<std::uint32_t> chain;
+  if (lt.zoom0 >= host_[u].size()) return chain;
+  chain.push_back(lt.zoom0);
+  for (int i = 0; i + 1 < levels; ++i) {
+    const NodeId f = host_[u][chain[i]];
+    auto tf = sys_.virtual_set(f);
+    if (lt.zoom[i] >= tf.size()) break;
+    const NodeId next = tf[lt.zoom[i]];
+    // next must be an (X ∪ Y)_{i+1}-neighbor of u for the translation map
+    // zeta_{u,i} to contain the entry.
+    const bool in_next_ring =
+        std::binary_search(sys_.X(u, i + 1).begin(), sys_.X(u, i + 1).end(),
+                           next) ||
+        std::binary_search(sys_.Y(u, i + 1).begin(), sys_.Y(u, i + 1).end(),
+                           next);
+    if (!in_next_ring) break;
+    std::uint32_t z = kNull;
+    const auto& h = host_[u];
+    for (std::uint32_t k = 0; k < h.size(); ++k) {
+      if (h[k] == next) {
+        z = k;
+        break;
+      }
+    }
+    if (z == kNull) break;
+    chain.push_back(z);
+  }
+  return chain;
+}
+
+bool TwoModeScheme::conditions_c4_c5(NodeId u, const Landmark& lm,
+                                     Dist rti) const {
+  const Dist duw = prox_.dist(u, lm.w);
+  if (duw <= 0.0) return false;
+  const Dist rui = sys_.r(u, lm.i);
+  const Dist rprev = sys_.r_prev(u, lm.i);
+  // (c4). The radius test uses the *target's* r_{t,i} (recovered from the
+  // label): the printed "6 r_{u,i}" is inconsistent with Claim B.2(b)'s own
+  // proof, which derives the x-candidate from the case r_{t,i} <= delta*d/6.
+  if (!(lm.dist_t <= delta_prime_ * duw)) return false;
+  if (lm.j < 0) {
+    if (!(6.0 * rti <= delta_prime_ * duw * (1.0 + 1e-9))) return false;
+  } else {
+    const int j_min = floor_log2_real(
+        std::max(duw * delta_ / (1.0 + delta_) / prox_.dmin(), 1e-300));
+    if (lm.j < j_min) return false;
+  }
+  // (c5): some beta in [1-delta', 1/(1-delta)) with
+  // r_{u,i} < 2 beta d_uw <= r_{u,i-1}.
+  const double lo = std::max(2.0 * (1.0 - delta_prime_) * duw,
+                             rui * (1.0 + 1e-12));
+  const double hi = std::min(2.0 * duw / (1.0 - delta_) * (1.0 - 1e-12),
+                             static_cast<double>(rprev));
+  return lo <= hi;
+}
+
+TwoModeScheme::Landmark TwoModeScheme::find_good_landmark(
+    NodeId u, const Label& lt) const {
+  auto chain = identify_chain(u, lt);
+  Landmark none;
+  const int levels = sys_.num_levels();
+  for (int i = 1; i < levels && i <= static_cast<int>(chain.size()); ++i) {
+    const NodeId f = host_[u][chain[i - 1]];
+    for (const Friend& fr : lt.friends[i]) {
+      if (fr.psi == kNull) continue;  // not a virtual neighbor of f (c1)
+      auto tf = sys_.virtual_set(f);
+      if (fr.psi >= tf.size()) continue;
+      const NodeId w = tf[fr.psi];
+      // (c2): membership in the right ring of u, and j inside J_{u,i}.
+      if (fr.j < 0) {
+        if (!std::binary_search(sys_.X(u, i).begin(), sys_.X(u, i).end(), w))
+          continue;
+      } else {
+        const Dist rui = sys_.r(u, i);
+        const int j_lo = std::max(
+            0, floor_log2_real(
+                   std::max(delta_ * rui / 4.0, 1e-300) / prox_.dmin()));
+        const int j_hi = std::min(sys_.nets().l_max(),
+                                  ceil_log2_real(6.0 * rui / prox_.dmin()));
+        if (fr.j < j_lo || fr.j > j_hi) continue;
+        if (!std::binary_search(sys_.Y(u, i).begin(), sys_.Y(u, i).end(), w))
+          continue;
+      }
+      Landmark lm;
+      lm.w = w;
+      lm.i = i;
+      lm.j = fr.j;
+      lm.dist_t = fr.dist_t;
+      if (conditions_c4_c5(u, lm, fr.rti)) return lm;
+    }
+  }
+  return none;
+}
+
+TwoModeScheme::Landmark TwoModeScheme::find_landmark(NodeId u,
+                                                     const Label& lt, int i,
+                                                     int j) const {
+  Landmark none;
+  auto chain = identify_chain(u, lt);
+  if (static_cast<int>(chain.size()) < i) return none;  // (c3) fails
+  const NodeId f = host_[u][chain[i - 1]];
+  for (const Friend& fr : lt.friends[i]) {
+    if (fr.j != j || fr.psi == kNull) continue;
+    auto tf = sys_.virtual_set(f);
+    if (fr.psi >= tf.size()) return none;
+    const NodeId w = tf[fr.psi];
+    // (c2) at the in-flight node.
+    if (j < 0) {
+      if (!std::binary_search(sys_.X(u, i).begin(), sys_.X(u, i).end(), w))
+        return none;
+    } else {
+      if (!std::binary_search(sys_.Y(u, i).begin(), sys_.Y(u, i).end(), w))
+        return none;
+    }
+    Landmark lm;
+    lm.w = w;
+    lm.i = i;
+    lm.j = j;
+    lm.dist_t = fr.dist_t;
+    return lm;
+  }
+  return none;
+}
+
+NodeId TwoModeScheme::step_toward(NodeId cur, NodeId w,
+                                  RouteResult& r) const {
+  const EdgeIndex e = apsp_->first_hop(cur, w);
+  const Edge& edge = g_.edge(cur, e);
+  r.path_length += edge.weight;
+  ++r.hops;
+  return edge.to;
+}
+
+bool TwoModeScheme::run_mode2(NodeId u, NodeId t, std::size_t max_hops,
+                              RouteResult& r) const {
+  ++m2_switches;
+  const int levels = sys_.num_levels();
+  // Choose i: prefer the Lemma B.5 gap; fall back to the deepest level
+  // whose certified ball's B' still contains t.
+  const Dist d = prox_.dist(u, t);
+  int pick = -1;
+  for (int i = 1; i < levels; ++i) {
+    if (6.0 * sys_.r(u, i) / delta_ < (4.0 / 3.0) * d &&
+        (4.0 / 3.0) * d <= sys_.r_prev(u, i)) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick < 0) {
+    for (int i = levels - 1; i >= 1; --i) {
+      const auto& packing = sys_.packing(i);
+      const auto& info = balls_[i][packing.certified_ball(u)];
+      if (prox_.dist(info.root, t) <= info.bprime_radius + 1e-9) {
+        pick = i;
+        break;
+      }
+    }
+  }
+  RON_CHECK(pick >= 1, "mode M2 could not select a level");
+  const auto& packing = sys_.packing(pick);
+  const BallInfo& info = balls_[pick][packing.certified_ball(u)];
+  RON_CHECK(prox_.dist(info.root, t) <= info.bprime_radius + 1e-9,
+            "target escaped B' in mode M2");
+  // Leg 1: to the ball root via first-hop pointers.
+  NodeId cur = u;
+  while (cur != info.root) {
+    if (r.hops >= max_hops) return false;
+    cur = step_toward(cur, info.root, r);
+  }
+  // Leg 2: descend the tree to v_t = assignee of ID(t): walk the tree path
+  // root -> v_t (each tree edge realized by first-hop forwarding).
+  const NodeId vt = info.assignee[t];
+  RON_CHECK(vt != kInvalidNode);
+  std::vector<NodeId> up_path;  // v_t -> ... -> root over tree parents
+  {
+    NodeId m = vt;
+    auto member_index = [&](NodeId mm) {
+      auto it = std::lower_bound(info.members.begin(), info.members.end(),
+                                 mm);
+      RON_CHECK(it != info.members.end() && *it == mm);
+      return static_cast<std::size_t>(it - info.members.begin());
+    };
+    std::size_t guard = 0;
+    while (m != info.root) {
+      up_path.push_back(m);
+      m = info.parent[member_index(m)];
+      RON_CHECK(++guard <= info.members.size(), "tree parent cycle");
+    }
+  }
+  for (auto it = up_path.rbegin(); it != up_path.rend(); ++it) {
+    while (cur != *it) {
+      if (r.hops >= max_hops) return false;
+      cur = step_toward(cur, *it, r);
+    }
+  }
+  // Leg 3: v_t writes its stored bounded-hop path into the header; the
+  // packet follows it to t.
+  const BoundedHopResult& bh = to_target_[t];
+  while (cur != t) {
+    if (r.hops >= max_hops) return false;
+    const NodeId next = bh.next[cur];
+    RON_CHECK(next != kInvalidNode, "stored path broken");
+    // Cheapest parallel edge cur -> next.
+    Dist w = kInfDist;
+    for (const Edge& e : g_.out_edges(cur)) {
+      if (e.to == next) w = std::min(w, e.weight);
+    }
+    RON_CHECK(w != kInfDist, "stored path uses a non-edge");
+    r.path_length += w;
+    ++r.hops;
+    cur = next;
+  }
+  return true;
+}
+
+RouteResult TwoModeScheme::route(NodeId s, NodeId t,
+                                 std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  const Label& lt = labels_[t];
+  RouteResult r;
+  NodeId cur = s;
+  int int_i = -1, int_j = -2;  // -2 = "no intermediate target"
+  Dist dest = 0.0;
+  while (cur != t) {
+    if (r.hops >= max_hops) return r;
+    Landmark lm;
+    if (int_j == -2) {
+      lm = find_good_landmark(cur, lt);
+      if (lm.w == kInvalidNode) {
+        r.delivered = run_mode2(cur, t, max_hops, r);
+        break;
+      }
+      int_i = lm.i;
+      int_j = lm.j;
+      dest = prox_.dist(cur, lm.w);
+    } else {
+      lm = find_landmark(cur, lt, int_i, int_j);
+      if (lm.w == kInvalidNode) {
+        r.delivered = run_mode2(cur, t, max_hops, r);
+        break;
+      }
+    }
+    const NodeId w = lm.w;
+    if (w == cur) {
+      // Reached the landmark; pick a fresh one next iteration.
+      int_j = -2;
+      continue;
+    }
+    const NodeId next = step_toward(cur, w, r);
+    // Header-nulling rule: close enough to the landmark (or arrived).
+    if (prox_.dist(cur, w) - prox_.dist(cur, next) <=
+            2.0 * delta_prime_ * dest ||
+        next == w) {
+      int_j = -2;
+    }
+    cur = next;
+  }
+  if (cur == t) r.delivered = true;
+  if (r.delivered) {
+    const Dist d = prox_.dist(s, t);
+    r.stretch = (d == 0.0) ? 1.0 : r.path_length / d;
+  }
+  return r;
+}
+
+RouteResult TwoModeScheme::route_force_m2(NodeId s, NodeId t,
+                                          std::size_t max_hops) const {
+  RON_CHECK(s < n() && t < n());
+  RouteResult r;
+  if (s == t) {
+    r.delivered = true;
+    return r;
+  }
+  r.delivered = run_mode2(s, t, max_hops, r);
+  if (r.delivered) {
+    const Dist d = prox_.dist(s, t);
+    r.stretch = (d == 0.0) ? 1.0 : r.path_length / d;
+  }
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// Bit accounting
+// --------------------------------------------------------------------------
+
+TwoModeSizes TwoModeScheme::mode_sizes(NodeId u) const {
+  RON_CHECK(u < n());
+  TwoModeSizes s;
+  const int levels = sys_.num_levels();
+  // psi width (max virtual set), phi width (max host set).
+  std::size_t max_t = 1, max_h = 2;
+  for (NodeId v = 0; v < n(); ++v) {
+    max_t = std::max(max_t, sys_.virtual_set(v).size());
+    max_h = std::max(max_h, host_[v].size());
+  }
+  const std::uint64_t psi_bits = bits_for_index(max_t);
+  const std::uint64_t phi_bits = bits_for_index(max_h);
+  const std::uint64_t id_bits = bits_for_index(n());
+  const std::uint64_t hop_bits = bits_for_index(g_.max_out_degree());
+
+  // --- M1 table: label + radii + neighbor distances + zeta maps + hops.
+  std::uint64_t m1 = label_bits(u);
+  m1 += static_cast<std::uint64_t>(levels) * codec_.bits();  // radii
+  m1 += host_[u].size() * (codec_.bits() + hop_bits);
+  for (int i = 0; i + 1 < levels; ++i) {
+    // zeta_{u,i} triples: (phi, psi, phi) per entry; entry count =
+    // |N(i)| x |N(i+1) ∩ T_v| as in the DLS — recomputed here.
+    std::uint64_t triples = 0;
+    std::vector<NodeId> next(sys_.X(u, i + 1).begin(),
+                             sys_.X(u, i + 1).end());
+    next.insert(next.end(), sys_.Y(u, i + 1).begin(),
+                sys_.Y(u, i + 1).end());
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    auto count_for = [&](NodeId v) {
+      auto tv = sys_.virtual_set(v);
+      std::size_t p = 0, q = 0, c = 0;
+      while (p < next.size() && q < tv.size()) {
+        if (next[p] < tv[q]) ++p;
+        else if (next[p] > tv[q]) ++q;
+        else { ++c; ++p; ++q; }
+      }
+      return c;
+    };
+    for (NodeId v : sys_.X(u, i)) triples += count_for(v);
+    for (NodeId v : sys_.Y(u, i)) triples += count_for(v);
+    m1 += triples * (2 * phi_bits + psi_bits);
+  }
+  s.m1_table_bits = m1;
+
+  // --- M2 table: per level, u's share of its packing ball's storage.
+  std::uint64_t m2 = 0;
+  for (int i = 1; i < levels; ++i) {
+    for (const BallInfo& info : balls_[i]) {
+      if (!std::binary_search(info.members.begin(), info.members.end(), u))
+        continue;
+      // Tree ranges: one (2 log n)-bit range per tree link + own leaf.
+      std::size_t nchildren = 0;
+      auto member_index = [&](NodeId mm) {
+        auto it = std::lower_bound(info.members.begin(), info.members.end(),
+                                   mm);
+        return static_cast<std::size_t>(it - info.members.begin());
+      };
+      for (std::size_t k = 0; k < info.members.size(); ++k) {
+        if (info.members[k] != u && info.parent[k] == u) ++nchildren;
+      }
+      m2 += (nchildren + 1) * 2 * id_bits;
+      // Stored bounded-hop paths for assigned targets inside B'.
+      for (NodeId t = 0; t < n(); ++t) {
+        if (info.assignee[t] != u) continue;
+        if (prox_.dist(info.root, t) > info.bprime_radius) continue;
+        m2 += to_target_[t].hops[u] * hop_bits;
+      }
+      (void)member_index;
+    }
+  }
+  s.m2_table_bits = m2;
+
+  // --- headers.
+  std::uint64_t lab = 0;
+  for (NodeId t = 0; t < n(); ++t) lab = std::max(lab, label_bits(t));
+  s.m1_header_bits = lab + bits_for_value(levels) +
+                     bits_for_value(sys_.nets().l_max() + 1) + codec_.bits() +
+                     2;
+  s.m2_header_bits = static_cast<std::uint64_t>(n_delta_) * hop_bits +
+                     id_bits + 2;
+  return s;
+}
+
+std::uint64_t TwoModeScheme::table_bits(NodeId u) const {
+  const TwoModeSizes s = mode_sizes(u);
+  return s.m1_table_bits + s.m2_table_bits;
+}
+
+std::uint64_t TwoModeScheme::label_bits(NodeId t) const {
+  RON_CHECK(t < n());
+  const Label& lab = labels_[t];
+  std::size_t max_t = 1;
+  for (NodeId v = 0; v < n(); ++v) {
+    max_t = std::max(max_t, sys_.virtual_set(v).size());
+  }
+  const std::uint64_t psi_bits = bits_for_index(max_t);
+  const std::uint64_t scale_bits = bits_for_value(sys_.nets().l_max() + 1);
+  std::uint64_t bits = bits_for_index(n());  // ID(t)
+  std::size_t max_h = 2;
+  for (NodeId v = 0; v < n(); ++v) max_h = std::max(max_h, host_[v].size());
+  bits += bits_for_index(max_h);            // zoom0
+  bits += lab.zoom.size() * psi_bits;       // zoom chain
+  for (const auto& level : lab.friends) {
+    // Per friend: psi index + quantized distance + its scale j; plus the
+    // J interval bounds per level.
+    bits += 2 * scale_bits;
+    bits += level.size() * (psi_bits + codec_.bits() + scale_bits);
+  }
+  return bits;
+}
+
+std::uint64_t TwoModeScheme::header_bits() const {
+  const TwoModeSizes s = mode_sizes(0);
+  return std::max(s.m1_header_bits, s.m2_header_bits);
+}
+
+}  // namespace ron

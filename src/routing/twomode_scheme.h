@@ -1,0 +1,153 @@
+// Theorem 4.2 / B.1: the two-mode (1+delta)-stretch routing scheme — the
+// culmination of the paper's techniques (rings + zooming sequences +
+// first-hop pointers + host/virtual enumerations + packing-ball trees).
+//
+// Mode M1 elaborates Theorem 2.1's intermediate-target routing: a node u
+// holding a packet for t identifies a "u-good" landmark w — a friend of t
+// (the nearest X_i-neighbor x_{t,i}, or a nearest net point y_{t,j} with
+// j in the window J_{t,i}) that is simultaneously a neighbor of u and a
+// virtual neighbor of f_{t,i-1}, satisfying the goodness conditions
+// (c1)-(c5) — and routes toward it via first-hop pointers. Landmarks are
+// identified through the label's psi-indices and the node's translation
+// maps, never by global id.
+//
+// When no landmark exists, Lemma B.5 guarantees a gap
+// 6 r_{u,i}/delta < (4/3) d_ut <= r_{u,i-1}; mode M2 exploits it: the
+// certified packing ball B in F_i near u (Lemma A.1) collectively stores
+// routes to every node of B' = B(h_B, r_{h,i-1}) ∋ t. The packet is routed
+// to h_B, descends B's shortest-path tree following ID-range labels to the
+// member v_t responsible for ID(t), and v_t writes its stored
+// (1+delta)-stretch, <= N_delta-hop path to t into the header.
+//
+// The scheme runs on weighted graphs (Table 3's setting). Bit accounting
+// reports M1 and M2 storage separately, reproducing Table 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/distcode.h"
+#include "graph/apsp.h"
+#include "graph/bounded_hop.h"
+#include "graph/graph.h"
+#include "labeling/neighbor_system.h"
+#include "routing/scheme.h"
+
+namespace ron {
+
+struct TwoModeSizes {
+  std::uint64_t m1_table_bits = 0;
+  std::uint64_t m2_table_bits = 0;
+  std::uint64_t m1_header_bits = 0;
+  std::uint64_t m2_header_bits = 0;
+};
+
+class TwoModeScheme final : public RoutingScheme {
+ public:
+  /// `sys` supplies the §3 structures (delta comes from it); `max_hops_nd`
+  /// caps the bounded-hop search for the stored M2 paths (N_delta).
+  TwoModeScheme(const NeighborSystem& sys, const WeightedGraph& g,
+                std::shared_ptr<const Apsp> apsp,
+                std::uint32_t max_hops_nd = 4096);
+
+  std::string name() const override { return "thmB.1-twomode"; }
+  std::size_t n() const override { return prox_.n(); }
+  RouteResult route(NodeId s, NodeId t, std::size_t max_hops) const override;
+  std::uint64_t table_bits(NodeId u) const override;
+  std::uint64_t label_bits(NodeId t) const override;
+  std::uint64_t header_bits() const override;
+
+  /// Per-mode storage split (Table 3).
+  TwoModeSizes mode_sizes(NodeId u) const;
+
+  /// N_delta actually observed over the stored paths.
+  std::uint32_t hop_bound() const { return n_delta_; }
+
+  /// Fraction bookkeeping: how many of the routed queries entered M2.
+  mutable std::size_t m2_switches = 0;
+
+  /// Routes forcing mode M2 from the start (exercises the packing-ball
+  /// machinery even on instances where M1 never fails).
+  RouteResult route_force_m2(NodeId s, NodeId t, std::size_t max_hops) const;
+
+ private:
+  struct Friend {
+    NodeId node = kInvalidNode;
+    int j = -1;                       // net scale; -1 encodes "x" (j = inf)
+    std::uint32_t psi = 0xffffffffu;  // psi_{f_{t,i-1}}(node); null allowed
+    Dist dist_t = 0.0;                // quantized d(node, t)
+    Dist rti = 0.0;                   // quantized r_{t,i} (x-friends only;
+                                      // the J_{t,i} window encodes it)
+  };
+
+  struct Label {
+    NodeId id = kInvalidNode;
+    // Per level i: candidate friends (x_{t,i} first, then S_{t,i} by
+    // decreasing j), the zooming psi-chain, and quantized distances.
+    std::vector<std::vector<Friend>> friends;  // [levels]
+    std::uint32_t zoom0 = 0;                   // common level-0 host index
+    std::vector<std::uint32_t> zoom;           // psi chain, length levels-1
+  };
+
+  struct BallInfo {
+    NodeId root = kInvalidNode;      // h_B
+    std::vector<NodeId> members;     // sorted
+    std::vector<NodeId> parent;      // tree parent per member (root: self)
+    std::vector<NodeId> assignee;    // per target id in [0,n): the member
+                                     // storing the route (kInvalidNode if
+                                     // the id falls outside B')
+    Dist bprime_radius = 0.0;        // r_{h,i-1}
+  };
+
+  // --- construction -------------------------------------------------------
+  void build_labels();
+  void build_balls();
+
+  // --- routing helpers ------------------------------------------------------
+  /// Identifies phi_u-indices of the chain f_{t,0..imax}; stops when a
+  /// translation fails. Returns host indices per level.
+  std::vector<std::uint32_t> identify_chain(NodeId u, const Label& lt) const;
+
+  struct Landmark {
+    NodeId w = kInvalidNode;
+    int i = -1;
+    int j = -1;   // -1 = the x-candidate ("j = infinity")
+    Dist dist_t = 0.0;
+  };
+
+  /// Claim B.3(a): search for a u-good landmark.
+  Landmark find_good_landmark(NodeId u, const Label& lt) const;
+  /// Claim B.3(b): re-identify the (u,i,j)-landmark while in flight.
+  Landmark find_landmark(NodeId u, const Label& lt, int i, int j) const;
+
+  bool conditions_c4_c5(NodeId u, const Landmark& lm, Dist rti) const;
+
+  /// Mode M2 from node u (appends hops/length to r); returns true if
+  /// delivered within the hop budget.
+  bool run_mode2(NodeId u, NodeId t, std::size_t max_hops,
+                 RouteResult& r) const;
+
+  /// One first-hop step toward w.
+  NodeId step_toward(NodeId cur, NodeId w, RouteResult& r) const;
+
+  const NeighborSystem& sys_;
+  const ProximityIndex& prox_;
+  const WeightedGraph& g_;
+  std::shared_ptr<const Apsp> apsp_;
+  double delta_;
+  double delta_prime_;  // delta / (1 - delta)
+  DistanceCodec codec_;
+  std::vector<Label> labels_;
+  // Host enumeration per node (sorted host set with common level-0 prefix,
+  // as in the DLS) and psi = index into sys_.virtual_set.
+  std::vector<std::vector<NodeId>> host_;
+  // balls_[i] = assignment info for every ball of F_i; ball_of_[u*levels+i]
+  // = index of u's certified ball.
+  std::vector<std::vector<BallInfo>> balls_;
+  // Stored (1+delta)-stretch bounded-hop successor structure per target.
+  std::vector<BoundedHopResult> to_target_;
+  std::uint32_t n_delta_ = 0;
+};
+
+}  // namespace ron

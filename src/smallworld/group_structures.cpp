@@ -1,0 +1,53 @@
+#include "smallworld/group_structures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+GroupStructuresSmallWorld::GroupStructuresSmallWorld(
+    const ProximityIndex& prox, const GroupStructuresParams& params,
+    std::uint64_t seed)
+    : prox_(prox) {
+  RON_CHECK(params.c > 0.0);
+  const std::size_t n = prox_.n();
+  const double log_n = std::log2(static_cast<double>(n));
+  const auto k =
+      static_cast<std::size_t>(std::ceil(params.c * log_n * log_n));
+  contacts_.resize(n);
+  Rng root(seed);
+  std::vector<double> weights(n);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = root.fork(u);
+    for (NodeId v = 0; v < n; ++v) {
+      weights[v] = v == u ? 0.0 : 1.0 / x_uv(u, v);
+    }
+    auto& c = contacts_[u];
+    c.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      c.push_back(static_cast<NodeId>(rng.weighted_index(weights)));
+    }
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+}
+
+double GroupStructuresSmallWorld::x_uv(NodeId u, NodeId v) const {
+  const Dist d = prox_.dist(u, v);
+  return static_cast<double>(
+      std::min(prox_.ball_size(u, d), prox_.ball_size(v, d)));
+}
+
+std::span<const NodeId> GroupStructuresSmallWorld::contacts(NodeId u) const {
+  RON_CHECK(u < contacts_.size());
+  return contacts_[u];
+}
+
+NodeId GroupStructuresSmallWorld::next_hop(NodeId u, NodeId t) const {
+  return greedy_next_hop(metric(), contacts(u), u, t);
+}
+
+}  // namespace ron

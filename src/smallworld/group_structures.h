@@ -1,0 +1,45 @@
+// STRUCTURES — Kleinberg's group-structure small world [32] applied to
+// metric balls (§5.2). Each node u draws Theta(log^2 n) contacts from the
+// distribution pi_u(v) = c1 / x_uv, where x_uv is the smallest cardinality
+// of a ball containing both u and v; greedy routing.
+//
+// Theorem 5.4: on UL-constrained metrics the Theorem 5.2 models share this
+// model's degree, contact distribution (Pr[v contact of u] =
+// Theta(log n)/x_uv) and greedy behavior. We implement x_uv as
+// min(|B_u(d_uv)|, |B_v(d_uv)|), within a constant factor of the smallest
+// covering ball on UL-constrained metrics (observation (ii) in the proof of
+// Theorem 5.4); see DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/proximity.h"
+#include "smallworld/model.h"
+
+namespace ron {
+
+struct GroupStructuresParams {
+  double c = 1.0;  // contacts per node = ceil(c * log2(n)^2)
+};
+
+class GroupStructuresSmallWorld final : public SmallWorldModel {
+ public:
+  GroupStructuresSmallWorld(const ProximityIndex& prox,
+                            const GroupStructuresParams& params,
+                            std::uint64_t seed);
+
+  std::string name() const override { return "structures[32]"; }
+  const MetricSpace& metric() const override { return prox_.metric(); }
+  std::span<const NodeId> contacts(NodeId u) const override;
+  NodeId next_hop(NodeId u, NodeId t) const override;
+
+  /// x_uv as implemented (for the Theorem 5.4(d) distribution checks).
+  double x_uv(NodeId u, NodeId v) const;
+
+ private:
+  const ProximityIndex& prox_;
+  std::vector<std::vector<NodeId>> contacts_;
+};
+
+}  // namespace ron

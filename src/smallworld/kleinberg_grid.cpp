@@ -1,0 +1,105 @@
+#include "smallworld/kleinberg_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+TorusMetric::TorusMetric(std::size_t side) : side_(side) {
+  RON_CHECK(side_ >= 2);
+}
+
+Dist TorusMetric::distance(NodeId u, NodeId v) const {
+  const std::size_t ux = u % side_, uy = u / side_;
+  const std::size_t vx = v % side_, vy = v / side_;
+  const std::size_t dx = ux > vx ? ux - vx : vx - ux;
+  const std::size_t dy = uy > vy ? uy - vy : vy - uy;
+  return static_cast<Dist>(std::min(dx, side_ - dx) +
+                           std::min(dy, side_ - dy));
+}
+
+KleinbergGrid::KleinbergGrid(std::size_t side, std::size_t q,
+                             std::uint64_t seed)
+    : metric_(side) {
+  RON_CHECK(q >= 1);
+  const std::size_t n = metric_.n();
+  contacts_.resize(n);
+  Rng root(seed);
+  auto id = [&](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>((y % side) * side + (x % side));
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = root.fork(u);
+    const std::size_t x = u % side, y = u / side;
+    auto& c = contacts_[u];
+    c.push_back(id(x + 1, y));
+    c.push_back(id(x + side - 1, y));
+    c.push_back(id(x, y + 1));
+    c.push_back(id(x, y + side - 1));
+    for (std::size_t k = 0; k < q; ++k) {
+      c.push_back(sample_long_contact(u, rng));
+    }
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    c.erase(std::remove(c.begin(), c.end(), u), c.end());
+  }
+}
+
+NodeId KleinbergGrid::sample_long_contact(NodeId u, Rng& rng) const {
+  // Pr[v] ∝ d(u,v)^{-2}: sample a radius r with Pr ∝ (#nodes at distance r)
+  // * r^{-2} ~ r^{-1} (harmonic), then a uniform node at that L1 radius.
+  const std::size_t side = metric_.side();
+  const auto max_r = static_cast<std::size_t>(side);  // torus diameter ~ side
+  // Harmonic sampling of r in [1, max_r].
+  const double H = std::log(static_cast<double>(max_r)) + 1.0;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double target = rng.uniform(0.0, H);
+    const auto r = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(max_r),
+                         std::floor(std::exp(target))));
+    if (r < 1) continue;
+    // Uniform point on the L1 circle of radius r around u (4r lattice
+    // points), then validity check against torus wrap duplicates.
+    const std::size_t k = rng.index(4 * r);
+    const std::size_t quadrant = k / r;
+    const std::size_t off = k % r;
+    const auto dx = static_cast<long long>(off);
+    const auto dy = static_cast<long long>(r - off);
+    long long ox = 0, oy = 0;
+    switch (quadrant) {
+      case 0: ox = dx; oy = dy; break;
+      case 1: ox = dy; oy = -dx; break;
+      case 2: ox = -dx; oy = -dy; break;
+      default: ox = -dy; oy = dx; break;
+    }
+    const std::size_t x = u % side, y = u / side;
+    const auto s = static_cast<long long>(side);
+    const auto nx = static_cast<std::size_t>(
+        ((static_cast<long long>(x) + ox) % s + s) % s);
+    const auto ny = static_cast<std::size_t>(
+        ((static_cast<long long>(y) + oy) % s + s) % s);
+    const NodeId v = static_cast<NodeId>(ny * side + nx);
+    if (v == u) continue;
+    // Accept only if the torus distance matches the intended radius (wrap
+    // can shorten it); rejection keeps the distribution ∝ d^{-2}.
+    if (metric_.distance(u, v) == static_cast<Dist>(r)) return v;
+  }
+  // Fallback: a uniformly random distinct node (vanishingly rare).
+  NodeId v = u;
+  while (v == u) v = static_cast<NodeId>(rng.index(metric_.n()));
+  return v;
+}
+
+std::span<const NodeId> KleinbergGrid::contacts(NodeId u) const {
+  RON_CHECK(u < contacts_.size());
+  return contacts_[u];
+}
+
+NodeId KleinbergGrid::next_hop(NodeId u, NodeId t) const {
+  return greedy_next_hop(metric_, contacts(u), u, t);
+}
+
+}  // namespace ron

@@ -1,0 +1,48 @@
+// Kleinberg's original grid small world [30] — the baseline Theorem 5.5
+// generalizes. Self-contained (no ProximityIndex): an s x s torus with
+// Manhattan distance, 4 local contacts per node, and q long-range contacts
+// sampled with Pr[v] proportional to d(u,v)^{-2} (the uniquely searchable
+// exponent). Greedy routing finds O(log^2 n)-hop paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/metric_space.h"
+#include "smallworld/model.h"
+
+namespace ron {
+
+/// Manhattan (L1) metric on an s x s torus.
+class TorusMetric final : public MetricSpace {
+ public:
+  explicit TorusMetric(std::size_t side);
+  std::size_t n() const override { return side_ * side_; }
+  Dist distance(NodeId u, NodeId v) const override;
+  std::string name() const override { return "torus-l1"; }
+  std::size_t side() const { return side_; }
+
+ private:
+  std::size_t side_;
+};
+
+class KleinbergGrid final : public SmallWorldModel {
+ public:
+  /// q long-range contacts per node (Kleinberg's model has q = 1).
+  KleinbergGrid(std::size_t side, std::size_t q, std::uint64_t seed);
+
+  std::string name() const override { return "kleinberg-grid"; }
+  const MetricSpace& metric() const override { return metric_; }
+  std::span<const NodeId> contacts(NodeId u) const override;
+  NodeId next_hop(NodeId u, NodeId t) const override;
+
+ private:
+  NodeId sample_long_contact(NodeId u, Rng& rng) const;
+
+  TorusMetric metric_;
+  std::vector<std::vector<NodeId>> contacts_;
+};
+
+}  // namespace ron

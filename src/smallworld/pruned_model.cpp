@@ -1,0 +1,137 @@
+#include "smallworld/pruned_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+PrunedSmallWorld::PrunedSmallWorld(const ProximityIndex& prox,
+                                   const MeasureView& mu,
+                                   const PrunedModelParams& params,
+                                   std::uint64_t seed)
+    : prox_(prox), params_(params) {
+  RON_CHECK(&mu.prox() == &prox);
+  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0);
+  const std::size_t n = prox_.n();
+  const double log_n = std::log2(static_cast<double>(n));
+  const double log_delta =
+      std::max(1.0, std::log2(prox_.aspect_ratio()));
+  const double x = std::sqrt(log_delta);
+  const double jmax = (3.0 * x + 3.0) * std::log2(std::max(2.0, log_delta));
+  const auto x_samples =
+      static_cast<std::size_t>(std::ceil(params_.c_x * log_n));
+  const auto y_samples =
+      static_cast<std::size_t>(std::ceil(params_.c_y * log_n));
+
+  contacts_.resize(n);
+  z_contacts_.resize(n);
+  Rng root(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = root.fork(u);
+    std::vector<NodeId> all;
+    std::size_t slots = 0;
+
+    // X-type (identical to Theorem 5.2(a)).
+    for (int i = 0; i < prox_.num_levels(); ++i) {
+      const auto k = static_cast<std::size_t>(
+          std::ceil(std::ldexp(static_cast<double>(n), -i)));
+      Ring ring = sample_uniform_ball_ring(
+          prox_, u, std::max<std::size_t>(k, 1), x_samples, rng);
+      all.insert(all.end(), ring.members.begin(), ring.members.end());
+      slots += x_samples;
+    }
+
+    // Pruned Y-type: only scales r_{u,i} * 2^j strictly inside the
+    // (r_{u,i+1}, r_{u,i-1}) window.
+    for (int i = 0; i < prox_.num_levels(); ++i) {
+      const Dist rui = prox_.level_radius(u, i);
+      if (rui <= 0.0) continue;
+      const Dist r_next = prox_.level_radius(u, i + 1);
+      const Dist r_prev = prox_.level_radius_prev(u, i);
+      for (int j = -static_cast<int>(jmax); j <= static_cast<int>(jmax);
+           ++j) {
+        const Dist radius = rui * std::ldexp(1.0, j);
+        if (!(r_next < radius && radius < r_prev)) continue;
+        Ring ring = sample_measure_ball_ring(mu, u, radius, y_samples, rng);
+        all.insert(all.end(), ring.members.begin(), ring.members.end());
+        slots += y_samples;
+      }
+    }
+
+    // Z-type annuli rho_j = 2^((1+1/x)^j).
+    double exponent = 1.0 + 1.0 / x;  // (1+1/x)^j for j = 1
+    Dist rho_prev = prox_.dmin() * 2.0;  // rho_0 = 2 (normalized)
+    while (exponent <= log_delta + 1.0) {
+      const Dist rho = prox_.dmin() * std::pow(2.0, exponent);
+      // Annulus B_u(rho) \ B_u(rho_prev).
+      auto outer = prox_.ball(u, rho);
+      const std::size_t inner = prox_.ball_size(u, rho_prev);
+      NodeId z = kInvalidNode;
+      if (outer.size() > inner) {
+        z = outer[inner + rng.index(outer.size() - inner)].v;
+      } else if (outer.size() < n) {
+        // Empty annulus: the closest node outside B_u(rho).
+        z = prox_.row(u)[outer.size()].v;
+      }
+      if (z != kInvalidNode) {
+        all.push_back(z);
+        z_contacts_[u].push_back(z);
+      }
+      ++slots;
+      rho_prev = rho;
+      exponent *= 1.0 + 1.0 / x;
+    }
+    max_ring_slots_ = std::max(max_ring_slots_, slots);
+
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    all.erase(std::remove(all.begin(), all.end(), u), all.end());
+    contacts_[u] = std::move(all);
+  }
+}
+
+std::span<const NodeId> PrunedSmallWorld::contacts(NodeId u) const {
+  RON_CHECK(u < contacts_.size());
+  return contacts_[u];
+}
+
+std::size_t PrunedSmallWorld::z_contact_count(NodeId u) const {
+  RON_CHECK(u < z_contacts_.size());
+  return z_contacts_[u].size();
+}
+
+bool PrunedSmallWorld::has_near_contact(NodeId u, NodeId t) const {
+  const Dist dut = prox_.dist(u, t);
+  for (NodeId c : contacts_[u]) {
+    if (prox_.dist(c, t) <= dut / 4.0) return true;
+  }
+  return false;
+}
+
+NodeId PrunedSmallWorld::next_hop(NodeId u, NodeId t) const {
+  const Dist dut = prox_.dist(u, t);
+  if (has_near_contact(u, t)) {
+    return greedy_next_hop(metric(), contacts(u), u, t);
+  }
+  // Non-greedy step (**): farthest contact v with d(u,v) <= d(u,t).
+  NodeId best = kInvalidNode;
+  Dist best_d = -1.0;
+  for (NodeId c : contacts_[u]) {
+    const Dist duc = prox_.dist(u, c);
+    if (duc <= dut && duc > best_d) {
+      best_d = duc;
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool PrunedSmallWorld::is_greedy_step(NodeId u, NodeId v, NodeId t) const {
+  (void)v;
+  return has_near_contact(u, t);
+}
+
+}  // namespace ron

@@ -1,0 +1,65 @@
+// Theorem 5.2(b): the pruned small world with out-degree
+// 2^O(alpha) (log^2 n) sqrt(log Δ) (log log Δ) and the paper's non-greedy
+// strongly local routing rule — to our knowledge the first such rule in the
+// literature.
+//
+// Contacts of u (with x = sqrt(log Δ)):
+//   X-type: as in Theorem 5.2(a);
+//   pruned Y-type: for each i in [log n] and signed j with
+//       |j| <= (3x+3) log log Δ  and  r_{u,i+1} < r_{u,i} 2^j < r_{u,i-1},
+//     c_y log n nodes sampled from B_u(r_{u,i} 2^j) by the doubling measure
+//     — only the scales aligned with the local cardinality profile survive,
+//     which is what breaks the Θ(log Δ) out-degree barrier;
+//   Z-type: with rho_j = 2^((1+1/x)^j), one node per non-empty annulus
+//     B_u(rho_j) \ B_u(rho_{j-1}), sampled uniformly (else the closest node
+//     outside B_u(rho_j), per the paper).
+//
+// Routing: if some contact is within d(u,t)/4 of t, act greedily (choose
+// the contact closest to t); otherwise take the non-greedy step (**):
+// choose the contact v FARTHEST from u subject to d(u,v) <= d(u,t) — escape
+// the locally sparse neighborhood without overshooting the target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rings.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "smallworld/model.h"
+
+namespace ron {
+
+struct PrunedModelParams {
+  double c_x = 2.0;
+  double c_y = 2.0;
+};
+
+class PrunedSmallWorld final : public SmallWorldModel {
+ public:
+  PrunedSmallWorld(const ProximityIndex& prox, const MeasureView& mu,
+                   const PrunedModelParams& params, std::uint64_t seed);
+
+  std::string name() const override { return "thm5.2b(pruned)"; }
+  const MetricSpace& metric() const override { return prox_.metric(); }
+  std::span<const NodeId> contacts(NodeId u) const override;
+  NodeId next_hop(NodeId u, NodeId t) const override;
+  bool is_greedy_step(NodeId u, NodeId v, NodeId t) const override;
+
+  std::size_t z_contact_count(NodeId u) const;
+
+  /// Max ring slots over nodes — the quantity Theorem 5.2(b) bounds by
+  /// 2^O(alpha)(log^2 n) sqrt(log Δ)(log log Δ).
+  std::size_t max_ring_slots() const { return max_ring_slots_; }
+
+ private:
+  bool has_near_contact(NodeId u, NodeId t) const;
+
+  const ProximityIndex& prox_;
+  PrunedModelParams params_;
+  std::vector<std::vector<NodeId>> contacts_;
+  std::vector<std::vector<NodeId>> z_contacts_;  // subset, for reporting
+  std::size_t max_ring_slots_ = 0;
+};
+
+}  // namespace ron

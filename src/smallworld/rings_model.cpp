@@ -1,0 +1,58 @@
+#include "smallworld/rings_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ron {
+
+RingsSmallWorld::RingsSmallWorld(const ProximityIndex& prox,
+                                 const MeasureView& mu,
+                                 const RingsModelParams& params,
+                                 std::uint64_t seed)
+    : prox_(prox), params_(params), rings_(prox.n()) {
+  RON_CHECK(&mu.prox() == &prox, "measure must be over the same metric");
+  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0);
+  const std::size_t n = prox_.n();
+  const double log_n = std::log2(static_cast<double>(n));
+  const auto x_samples =
+      static_cast<std::size_t>(std::ceil(params_.c_x * log_n));
+  const auto y_samples =
+      static_cast<std::size_t>(std::ceil(params_.c_y * log_n));
+  Rng root(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = root.fork(u);
+    if (params_.with_x) {
+      for (int i = 0; i < prox_.num_levels(); ++i) {
+        const auto k = static_cast<std::size_t>(
+            std::ceil(std::ldexp(static_cast<double>(n), -i)));
+        rings_.add_ring(
+            u, sample_uniform_ball_ring(prox_, u, std::max<std::size_t>(k, 1),
+                                        x_samples, rng));
+      }
+    }
+    for (int j = 0; j <= prox_.num_scales(); ++j) {
+      const Dist radius = prox_.dmin() * std::ldexp(1.0, j);
+      rings_.add_ring(
+          u, sample_measure_ball_ring(mu, u, radius, y_samples, rng));
+    }
+  }
+  contacts_.resize(n);
+  for (NodeId u = 0; u < n; ++u) contacts_[u] = rings_.all_neighbors(u);
+  ring_slots_ =
+      (params_.with_x ? static_cast<std::size_t>(prox_.num_levels()) *
+                            x_samples
+                      : 0) +
+      static_cast<std::size_t>(prox_.num_scales() + 1) * y_samples;
+}
+
+std::span<const NodeId> RingsSmallWorld::contacts(NodeId u) const {
+  RON_CHECK(u < contacts_.size());
+  return contacts_[u];
+}
+
+NodeId RingsSmallWorld::next_hop(NodeId u, NodeId t) const {
+  return greedy_next_hop(metric(), contacts(u), u, t);
+}
+
+}  // namespace ron

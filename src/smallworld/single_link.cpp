@@ -1,0 +1,76 @@
+#include "smallworld/single_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/rings.h"
+
+namespace ron {
+
+SingleLinkSmallWorld::SingleLinkSmallWorld(const WeightedGraph& local,
+                                           const ProximityIndex& prox,
+                                           const MeasureView& mu,
+                                           std::uint64_t seed)
+    : prox_(prox) {
+  RON_CHECK(local.n() == prox.n());
+  RON_CHECK(&mu.prox() == &prox);
+  const std::size_t n = prox_.n();
+  contacts_.resize(n);
+  long_contact_.resize(n);
+  Rng root(seed);
+  const int scales = prox_.num_scales();
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = root.fork(u);
+    // Local contacts from the graph.
+    for (const Edge& e : local.out_edges(u)) contacts_[u].push_back(e.to);
+    // One long-range contact: scale j uniform in [log Δ], then a
+    // mu-weighted draw from B_u(2^j) \ {u} (a self-link would waste the
+    // node's only long-range slot; fall back to the nearest neighbor when
+    // the ball is a singleton).
+    const int j = static_cast<int>(rng.index(static_cast<std::size_t>(
+        std::max(1, scales))));
+    const Dist radius = prox_.dmin() * std::ldexp(1.0, j + 1);
+    auto ball = prox_.ball(u, radius);
+    std::vector<double> weights;
+    weights.reserve(ball.size());
+    double total = 0.0;
+    for (const auto& nb : ball) {
+      const double w = nb.v == u ? 0.0 : mu.weight(nb.v);
+      weights.push_back(w);
+      total += w;
+    }
+    if (total > 0.0) {
+      long_contact_[u] = ball[rng.weighted_index(weights)].v;
+    } else {
+      long_contact_[u] = prox_.row(u)[1].v;  // nearest neighbor
+    }
+    contacts_[u].push_back(long_contact_[u]);
+    std::sort(contacts_[u].begin(), contacts_[u].end());
+    contacts_[u].erase(
+        std::unique(contacts_[u].begin(), contacts_[u].end()),
+        contacts_[u].end());
+    contacts_[u].erase(
+        std::remove(contacts_[u].begin(), contacts_[u].end(), u),
+        contacts_[u].end());
+  }
+}
+
+std::span<const NodeId> SingleLinkSmallWorld::contacts(NodeId u) const {
+  RON_CHECK(u < contacts_.size());
+  return contacts_[u];
+}
+
+NodeId SingleLinkSmallWorld::long_range_contact(NodeId u) const {
+  RON_CHECK(u < long_contact_.size());
+  return long_contact_[u];
+}
+
+NodeId SingleLinkSmallWorld::next_hop(NodeId u, NodeId t) const {
+  // Greedy over local + long contacts; local edges always offer progress
+  // (some neighbor lies on a shortest u->t path).
+  return greedy_next_hop(metric(), contacts(u), u, t);
+}
+
+}  // namespace ron

@@ -1,0 +1,39 @@
+// Theorem 5.5: the single-link-per-node setting (§5.3, Kleinberg's original
+// regime [30]). Given a graph of local contacts whose shortest-path metric
+// is doubling, every node receives EXACTLY ONE long-range contact: pick a
+// scale j uniformly from [log Δ], then sample from B_u(2^j) by the doubling
+// measure. Greedy routing (over local + long contacts, distances in the
+// graph metric) completes every query in 2^O(alpha) log^2 Δ hops w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "smallworld/model.h"
+
+namespace ron {
+
+class SingleLinkSmallWorld final : public SmallWorldModel {
+ public:
+  /// `prox` must index the shortest-path metric of `local`; `mu` a doubling
+  /// measure view over it.
+  SingleLinkSmallWorld(const WeightedGraph& local, const ProximityIndex& prox,
+                       const MeasureView& mu, std::uint64_t seed);
+
+  std::string name() const override { return "thm5.5(single-link)"; }
+  const MetricSpace& metric() const override { return prox_.metric(); }
+  std::span<const NodeId> contacts(NodeId u) const override;
+  NodeId next_hop(NodeId u, NodeId t) const override;
+
+  NodeId long_range_contact(NodeId u) const;
+
+ private:
+  const ProximityIndex& prox_;
+  std::vector<std::vector<NodeId>> contacts_;  // local neighbors + 1 long
+  std::vector<NodeId> long_contact_;
+};
+
+}  // namespace ron

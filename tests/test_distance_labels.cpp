@@ -1,0 +1,168 @@
+// Tests for Theorem 3.4's (1+delta)-approximate distance labeling: the
+// label-only decoder must sandwich the true distance on every pair, the
+// zooming/translation machinery must be self-consistent, and label sizes
+// must follow the O_{alpha,delta}(log n)(log log Delta) shape on the
+// geometric line (the regime the theorem targets).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "labeling/distance_labels.h"
+#include "labeling/neighbor_system.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+
+namespace ron {
+namespace {
+
+void check_all_pairs_dls(const MetricSpace& metric, double delta,
+                         double slack) {
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, delta);
+  DistanceLabeling dls(sys);
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    for (NodeId v = u + 1; v < prox.n(); ++v) {
+      const Dist d = prox.dist(u, v);
+      const auto est = DistanceLabeling::estimate(dls.label(u), dls.label(v));
+      EXPECT_GE(est.upper, d - 1e-9)
+          << "estimate contracted for (" << u << "," << v << ")";
+      EXPECT_LE(est.upper, (1.0 + slack * delta) * d + 1e-9)
+          << "estimate too loose for (" << u << "," << v << ") d=" << d;
+    }
+  }
+}
+
+// The proof gives upper <= (1 + 2 delta) d before quantization; the codec
+// adds at most delta/8 twice. slack = 3 covers both with margin.
+TEST(DistanceLabeling, GuaranteeOnEuclideanCloud) {
+  auto metric = random_cube_metric(64, 2, 41);
+  check_all_pairs_dls(metric, 0.25, 3.0);
+}
+
+TEST(DistanceLabeling, GuaranteeOnGeometricLine) {
+  GeometricLineMetric metric(48, 2.0);
+  check_all_pairs_dls(metric, 0.25, 3.0);
+}
+
+TEST(DistanceLabeling, GuaranteeOnClusteredMetric) {
+  ClusteredParams p;
+  p.clusters = 5;
+  p.per_cluster = 10;
+  auto metric = clustered_metric(p, 19);
+  check_all_pairs_dls(metric, 0.25, 3.0);
+}
+
+TEST(DistanceLabeling, GuaranteeTighterDelta) {
+  auto metric = random_cube_metric(48, 2, 43);
+  check_all_pairs_dls(metric, 0.125, 3.0);
+}
+
+TEST(DistanceLabeling, SelfEstimateIsZero) {
+  auto metric = random_cube_metric(32, 2, 7);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  DistanceLabeling dls(sys);
+  const auto est = DistanceLabeling::estimate(dls.label(5), dls.label(5));
+  EXPECT_EQ(est.upper, 0.0);
+}
+
+TEST(DistanceLabeling, EstimateIsSymmetric) {
+  auto metric = random_cube_metric(48, 2, 13);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  DistanceLabeling dls(sys);
+  for (NodeId u = 0; u < prox.n(); u += 5) {
+    for (NodeId v = u + 1; v < prox.n(); v += 7) {
+      const auto ab = DistanceLabeling::estimate(dls.label(u), dls.label(v));
+      const auto ba = DistanceLabeling::estimate(dls.label(v), dls.label(u));
+      EXPECT_DOUBLE_EQ(ab.upper, ba.upper);
+    }
+  }
+}
+
+TEST(DistanceLabeling, QuantizedDistancesAreRoundedUp) {
+  auto metric = random_cube_metric(40, 2, 3);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  DistanceLabeling dls(sys);
+  for (NodeId u = 0; u < prox.n(); u += 3) {
+    auto hosts = sys.host_set(u);
+    const auto& lab = dls.label(u);
+    ASSERT_EQ(lab.host_dist.size(), hosts.size());
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+      const Dist true_d = prox.dist(u, hosts[k]);
+      EXPECT_GE(lab.host_dist[k], true_d - 1e-12);
+      EXPECT_LE(lab.host_dist[k],
+                true_d * (1.0 + dls.codec().max_relative_error()) + 1e-12);
+    }
+  }
+}
+
+TEST(DistanceLabeling, ZetaTriplesAreConsistent) {
+  // Every triple (x, y, z) of zeta_{u,i} must satisfy the definition:
+  // x = phi_u(v) for some v in N(i), y = psi_v(w), z = phi_u(w), and the
+  // distances stored at x and z match d(u,v), d(u,w) up to rounding.
+  auto metric = random_cube_metric(48, 2, 29);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  DistanceLabeling dls(sys);
+  for (NodeId u = 0; u < prox.n(); u += 11) {
+    auto hosts = sys.host_set(u);
+    const auto& lab = dls.label(u);
+    for (std::size_t i = 0; i < lab.zeta.size(); ++i) {
+      for (const auto& t : lab.zeta[i]) {
+        ASSERT_LT(t.x, hosts.size());
+        ASSERT_LT(t.z, hosts.size());
+        const NodeId v = hosts[t.x];
+        const NodeId w = hosts[t.z];
+        auto tv = sys.virtual_set(v);
+        ASSERT_LT(t.y, tv.size());
+        EXPECT_EQ(tv[t.y], w) << "psi mismatch";
+      }
+    }
+  }
+}
+
+TEST(DistanceLabeling, LabelBitsAccounting) {
+  auto metric = random_cube_metric(40, 2, 3);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  DistanceLabeling dls(sys);
+  for (NodeId u = 0; u < prox.n(); u += 13) {
+    const auto& lab = dls.label(u);
+    std::uint64_t triples = 0;
+    for (const auto& z : lab.zeta) triples += z.size();
+    // The accounting must be monotone in the structure sizes and at least
+    // the distance-array payload.
+    EXPECT_GE(dls.label_bits(u),
+              lab.host_dist.size() * dls.codec().bits());
+    EXPECT_GE(dls.label_bits(u), triples * dls.psi_bits());
+  }
+}
+
+TEST(DistanceLabeling, LineLabelsGrowSlowly) {
+  // On the geometric line, label payloads must grow far slower than the
+  // trivial n * (distance code) labeling.
+  const double delta = 0.25;
+  std::vector<std::size_t> ns{32, 64, 128};
+  std::vector<double> avg_bits;
+  for (auto n : ns) {
+    GeometricLineMetric metric(n, 1.5);
+    ProximityIndex prox(metric);
+    NeighborSystem sys(prox, delta);
+    DistanceLabeling dls(sys);
+    double total = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      total += static_cast<double>(dls.label_bits(u));
+    }
+    avg_bits.push_back(total / static_cast<double>(n));
+  }
+  // Quadrupling n (and Delta^2!) should much less than quadruple the label.
+  EXPECT_LT(avg_bits[2], 3.0 * avg_bits[0]);
+}
+
+}  // namespace
+}  // namespace ron

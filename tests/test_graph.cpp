@@ -1,0 +1,208 @@
+// Tests for the graph substrate: construction, Dijkstra + first hops, APSP,
+// bounded-hop near-shortest paths, generators, and the graph metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/apsp.h"
+#include "graph/bounded_hop.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "metric/dimension.h"
+#include "metric/metric_space.h"
+#include "metric/proximity.h"
+
+namespace ron {
+namespace {
+
+TEST(Graph, BuildAndQuery) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_undirected_edge(1, 2, 3.0);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);  // 1 -> 2 only; 0 -> 1 is one-way
+  EXPECT_EQ(g.max_out_degree(), 1u);
+  EXPECT_EQ(g.edge(0, 0).to, 1u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), Error);   // self loop
+  EXPECT_THROW(g.add_edge(0, 3, 1.0), Error);   // out of range
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), Error);   // non-positive weight
+  EXPECT_THROW(g.add_edge(0, 1, -2.0), Error);
+}
+
+TEST(Dijkstra, PathLengthsOnCycle) {
+  auto g = cycle_graph(10);
+  auto sssp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sssp.dist[5], 5.0);
+  EXPECT_DOUBLE_EQ(sssp.dist[7], 3.0);  // around the other way
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  auto g = grid_graph(5, 5);
+  auto sssp = dijkstra(g, 0);
+  auto path = shortest_path(0, 24, sssp);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 24u);
+  EXPECT_EQ(path.size(), 9u);  // 8 hops on the unit grid
+  // Consecutive nodes must be adjacent.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool adjacent = false;
+    for (const Edge& e : g.out_edges(path[i])) {
+      if (e.to == path[i + 1]) adjacent = true;
+    }
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+TEST(Dijkstra, FirstHopsFollowShortestPaths) {
+  auto g = random_geometric_graph(100, 0.18, /*seed=*/3);
+  const NodeId src = 17;
+  auto sssp = dijkstra(g, src);
+  auto fh = first_hops(g, src, sssp);
+  for (NodeId t = 0; t < g.n(); ++t) {
+    if (t == src) {
+      EXPECT_EQ(fh[t], kInvalidEdge);
+      continue;
+    }
+    const Edge& e = g.edge(src, fh[t]);
+    // Going through the first hop must lie on a shortest path:
+    // d(src,t) = w(src,v) + d(v,t).
+    auto from_v = dijkstra(g, e.to);
+    EXPECT_NEAR(sssp.dist[t], e.weight + from_v.dist[t], 1e-9);
+  }
+}
+
+TEST(Apsp, MatchesPerSourceDijkstra) {
+  auto g = random_geometric_graph(60, 0.25, /*seed=*/5);
+  Apsp apsp(g);
+  for (NodeId u = 0; u < g.n(); u += 7) {
+    auto sssp = dijkstra(g, u);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_DOUBLE_EQ(apsp.dist(u, v), sssp.dist[v]);
+    }
+  }
+}
+
+TEST(Apsp, ThrowsOnDisconnected) {
+  WeightedGraph g(4);
+  g.add_undirected_edge(0, 1, 1.0);
+  g.add_undirected_edge(2, 3, 1.0);
+  EXPECT_THROW(Apsp a(g), Error);
+}
+
+TEST(GraphMetric, IsAValidMetric) {
+  auto g = random_geometric_graph(50, 0.25, /*seed=*/9);
+  GraphMetric m(g);
+  validate_metric(m);
+  EXPECT_EQ(m.n(), 50u);
+}
+
+TEST(GraphMetric, GridGraphMetricIsDoubling) {
+  auto g = grid_graph(12, 12, /*perturb=*/0.1, /*seed=*/2);
+  GraphMetric m(g);
+  ProximityIndex prox(m);
+  auto est = estimate_doubling_dimension(prox, 20, 4);
+  EXPECT_LT(est.dimension, 5.0);
+}
+
+TEST(Generators, RingOfCliquesShape) {
+  auto g = ring_of_cliques(4, 5, 10.0);
+  EXPECT_EQ(g.n(), 20u);
+  GraphMetric m(g);
+  // Within a clique: distance 1. Between adjacent cliques' anchors: 10.
+  EXPECT_DOUBLE_EQ(m.distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.distance(0, 5), 10.0);
+  validate_metric(m);
+}
+
+TEST(Generators, GeometricGraphIsConnected) {
+  auto g = random_geometric_graph(200, 0.05, /*seed=*/1);  // radius autogrows
+  auto sssp = dijkstra(g, 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_NE(sssp.dist[v], kInfDist);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-hop near-shortest paths (the Theorem B.1 substrate)
+// ---------------------------------------------------------------------------
+
+class BoundedHopTest : public ::testing::Test {
+ protected:
+  BoundedHopTest()
+      : g_(random_geometric_graph(80, 0.2, 11)), apsp_(g_) {}
+
+  std::vector<Dist> dist_to(NodeId t) const {
+    std::vector<Dist> d(g_.n());
+    for (NodeId v = 0; v < g_.n(); ++v) d[v] = apsp_.dist(v, t);
+    return d;
+  }
+
+  WeightedGraph g_;
+  Apsp apsp_;
+};
+
+TEST_F(BoundedHopTest, ZeroDeltaEqualsShortest) {
+  const NodeId t = 40;
+  auto r = bounded_hop_paths(g_, t, dist_to(t), 0.0, 200);
+  for (NodeId v = 0; v < g_.n(); ++v) {
+    ASSERT_LE(r.hops[v], 200u);
+    EXPECT_NEAR(r.best_dist[v], apsp_.dist(v, t), 1e-9);
+  }
+}
+
+TEST_F(BoundedHopTest, PathsMeetStretchAndHopCounts) {
+  const NodeId t = 7;
+  const double delta = 0.25;
+  auto r = bounded_hop_paths(g_, t, dist_to(t), delta, 200);
+  for (NodeId v = 0; v < g_.n(); ++v) {
+    if (v == t) continue;
+    auto path = bounded_hop_path(r, v, t);
+    EXPECT_EQ(path.front(), v);
+    EXPECT_EQ(path.back(), t);
+    // Path length within stretch, measured edge by edge.
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      bool found = false;
+      for (const Edge& e : g_.out_edges(path[i])) {
+        if (e.to == path[i + 1]) {
+          len += e.weight;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "non-edge on reconstructed path";
+    }
+    EXPECT_LE(len, (1.0 + delta) * apsp_.dist(v, t) + 1e-9);
+  }
+}
+
+TEST_F(BoundedHopTest, LargerDeltaNeedsFewerHops) {
+  const NodeId t = 25;
+  auto tight = bounded_hop_paths(g_, t, dist_to(t), 0.01, 200);
+  auto loose = bounded_hop_paths(g_, t, dist_to(t), 0.5, 200);
+  std::uint64_t tight_total = 0, loose_total = 0;
+  for (NodeId v = 0; v < g_.n(); ++v) {
+    tight_total += tight.hops[v];
+    loose_total += loose.hops[v];
+  }
+  EXPECT_LE(loose_total, tight_total);
+}
+
+TEST_F(BoundedHopTest, EstimateHopBound) {
+  std::vector<NodeId> targets{3, 30, 60};
+  std::vector<std::vector<Dist>> dists;
+  for (NodeId t : targets) dists.push_back(dist_to(t));
+  const auto nd = estimate_hop_bound(g_, targets, dists, 0.25, 200);
+  EXPECT_GE(nd, 1u);
+  EXPECT_LE(nd, 200u);
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,156 @@
+// End-to-end integration tests: all four problem families built over the
+// same metric, cross-checked against each other and against ground truth —
+// including metrics with heavy distance ties (integer grids) and degenerate
+// sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/distance_labels.h"
+#include "labeling/neighbor_system.h"
+#include "labeling/triangulation.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "routing/basic_scheme.h"
+#include "routing/label_scheme.h"
+#include "routing/twomode_scheme.h"
+#include "smallworld/rings_model.h"
+
+namespace ron {
+namespace {
+
+TEST(Integration, AllFourFamiliesOnOneClusteredMetric) {
+  ClusteredParams p;
+  p.clusters = 6;
+  p.per_cluster = 10;
+  auto metric = clustered_metric(p, 77);
+  ProximityIndex prox(metric);
+  const double delta = 0.125;
+  NeighborSystem sys(prox, delta);
+
+  // Labeling family.
+  Triangulation tri(sys);
+  DistanceLabeling dls(sys);
+  // Small-world family.
+  NetHierarchy nets(
+      prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
+  MeasureView mu(prox, doubling_measure(nets));
+  RingsSmallWorld world(prox, mu, RingsModelParams{}, 3);
+  // Routing family (overlay mode shares the metric).
+  BasicRoutingScheme route(prox, delta);
+
+  for (NodeId u = 0; u < prox.n(); u += 5) {
+    for (NodeId v = 1; v < prox.n(); v += 7) {
+      if (u == v) continue;
+      const Dist d = prox.dist(u, v);
+      // Triangulation and DLS agree with the metric and with each other.
+      const TriBounds tb = triangulate(tri.label(u), tri.label(v));
+      const auto de = DistanceLabeling::estimate(dls.label(u), dls.label(v));
+      EXPECT_LE(tb.lower, d + 1e-9);
+      EXPECT_GE(tb.upper, d - 1e-9);
+      EXPECT_GE(de.upper, d - 1e-9);
+      EXPECT_GE(de.upper, tb.lower - 1e-9);
+      // The DLS upper bound cannot beat the best exact-distance beacon.
+      EXPECT_GE(de.upper + 1e-9, tb.upper / (1.0 + 3.0 * delta));
+      // Routing delivers within stretch.
+      const RouteResult rr = route.route(u, v, 100000);
+      ASSERT_TRUE(rr.delivered);
+      EXPECT_LE(rr.stretch, 1.0 + 3.0 * delta + 1e-9);
+      // Small world delivers.
+      const SwRouteResult sw = route_query(world, u, v, 10000);
+      ASSERT_TRUE(sw.delivered);
+    }
+  }
+}
+
+TEST(Integration, TiedDistancesGridMetric) {
+  // Integer grids produce massive distance ties; every construction must
+  // tolerate them (no strictness assumptions).
+  auto metric = grid_metric(8, 8);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  Triangulation tri(sys);
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    for (NodeId v = u + 1; v < prox.n(); ++v) {
+      const TriBounds b = triangulate(tri.label(u), tri.label(v));
+      ASSERT_TRUE(b.valid());
+      const Dist d = prox.dist(u, v);
+      EXPECT_LE(b.lower, d + 1e-9);
+      EXPECT_GE(b.upper, d - 1e-9);
+      EXPECT_LE(b.upper, (1.0 + 2.0 * 0.25) * d + 1e-9);
+    }
+  }
+}
+
+TEST(Integration, TinyMetrics) {
+  // n = 2 and n = 3 exercise every boundary convention at once.
+  for (std::size_t n : {2u, 3u}) {
+    auto metric = random_cube_metric(n, 2, 5 + n);
+    ProximityIndex prox(metric);
+    NeighborSystem sys(prox, 0.25);
+    Triangulation tri(sys);
+    DistanceLabeling dls(sys);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const Dist d = prox.dist(u, v);
+        const TriBounds b = triangulate(tri.label(u), tri.label(v));
+        EXPECT_GE(b.upper, d - 1e-9);
+        const auto e = DistanceLabeling::estimate(dls.label(u), dls.label(v));
+        EXPECT_GE(e.upper, d - 1e-9);
+        EXPECT_LE(e.upper, 2.0 * d + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Integration, RoutingSchemesAgreeOnDelivery) {
+  // All routing schemes over the same graph deliver everything; compact
+  // schemes may take longer paths but never fail.
+  auto g = random_geometric_graph(32, 0.3, 41);
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric gm(apsp, "spm");
+  ProximityIndex prox(gm);
+  NeighborSystem sys(prox, 0.125);
+  DistanceLabeling dls(sys);
+  BasicRoutingScheme basic(prox, g, apsp, 0.125);
+  LabelGuidedScheme label(prox, g, apsp, dls, 0.125);
+  TwoModeScheme twomode(sys, g, apsp);
+  for (NodeId s = 0; s < prox.n(); s += 3) {
+    for (NodeId t = 1; t < prox.n(); t += 5) {
+      if (s == t) continue;
+      EXPECT_TRUE(basic.route(s, t, 100000).delivered);
+      EXPECT_TRUE(label.route(s, t, 100000).delivered);
+      EXPECT_TRUE(twomode.route(s, t, 100000).delivered);
+    }
+  }
+}
+
+TEST(Integration, DeterminismAcrossRebuilds) {
+  // Same seed -> byte-identical structures and identical routing outcomes.
+  auto metric = random_cube_metric(48, 2, 9);
+  ProximityIndex prox(metric);
+  NetHierarchy nets(
+      prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
+  MeasureView mu(prox, doubling_measure(nets));
+  RingsSmallWorld m1(prox, mu, RingsModelParams{}, 1234);
+  RingsSmallWorld m2(prox, mu, RingsModelParams{}, 1234);
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    ASSERT_TRUE(std::ranges::equal(m1.contacts(u), m2.contacts(u)));
+  }
+  RingsSmallWorld m3(prox, mu, RingsModelParams{}, 4321);
+  bool any_diff = false;
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    if (!std::ranges::equal(m1.contacts(u), m3.contacts(u))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,108 @@
+// Additional property sweeps and small-unit coverage: distance codec across
+// parameter grids, torus metric axioms, report formatting, and hop-bound
+// estimation glue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/report.h"
+#include "common/check.h"
+#include "common/distcode.h"
+#include "common/rng.h"
+#include "metric/metric_space.h"
+#include "smallworld/kleinberg_grid.h"
+
+namespace ron {
+namespace {
+
+// --- DistanceCodec parameter sweep -----------------------------------------
+
+struct CodecCase {
+  double dmin;
+  double dmax;
+  double rel;
+};
+
+class CodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecSweep, RoundUpSandwichHolds) {
+  const CodecCase c = GetParam();
+  DistanceCodec codec(c.dmin, c.dmax, c.rel);
+  Rng rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    const double d =
+        std::exp(rng.uniform(std::log(c.dmin), std::log(c.dmax)));
+    const double q = codec.round_up(d);
+    ASSERT_GE(q, d) << "contraction at d=" << d;
+    ASSERT_LE(q, d * (1.0 + c.rel) + 1e-12) << "too coarse at d=" << d;
+  }
+}
+
+TEST_P(CodecSweep, BitsScaleWithParameters) {
+  const CodecCase c = GetParam();
+  DistanceCodec codec(c.dmin, c.dmax, c.rel);
+  // mantissa ~ log(1/rel); exponent ~ log log(dmax/dmin).
+  EXPECT_GE(codec.mantissa_bits(), std::log2(1.0 / c.rel) - 1.0);
+  EXPECT_LE(codec.mantissa_bits(), std::log2(1.0 / c.rel) + 2.0);
+  const double scales = std::log2(c.dmax / c.dmin) + 2.0;
+  EXPECT_LE(codec.exponent_bits(), std::log2(scales + 2.0) + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodecSweep,
+    ::testing::Values(CodecCase{1.0, 10.0, 0.5}, CodecCase{1.0, 1e3, 0.1},
+                      CodecCase{0.01, 1e6, 0.03},
+                      CodecCase{1.0, 1e150, 0.25},   // super-poly Δ
+                      CodecCase{1e-3, 1e3, 0.01}));
+
+TEST(DistanceCodec, RejectsBadParameters) {
+  EXPECT_THROW(DistanceCodec(0.0, 1.0, 0.1), Error);
+  EXPECT_THROW(DistanceCodec(2.0, 1.0, 0.1), Error);
+  EXPECT_THROW(DistanceCodec(1.0, 2.0, 0.0), Error);
+  EXPECT_THROW(DistanceCodec(1.0, 2.0, 1.5), Error);
+}
+
+// --- Torus metric -----------------------------------------------------------
+
+TEST(TorusMetric, SatisfiesMetricAxioms) {
+  TorusMetric m(6);
+  validate_metric(m);
+}
+
+TEST(TorusMetric, WrapsSymmetrically) {
+  TorusMetric m(10);
+  // Distance from corner to corner wraps to 2, not 18.
+  EXPECT_DOUBLE_EQ(m.distance(0, 99), 2.0);
+  // Max distance on the 10-torus is 5+5.
+  double dmax = 0.0;
+  for (NodeId v = 0; v < m.n(); ++v) dmax = std::max(dmax, m.distance(0, v));
+  EXPECT_DOUBLE_EQ(dmax, 10.0);
+}
+
+// --- report formatting -------------------------------------------------------
+
+TEST(Report, BannerMentionsArtifact) {
+  std::ostringstream os;
+  print_banner(os, "T9", "Table 9 — imaginary", "toy workload");
+  EXPECT_NE(os.str().find("Table 9"), std::string::npos);
+  EXPECT_NE(os.str().find("T9"), std::string::npos);
+}
+
+TEST(Report, Cells) {
+  EXPECT_EQ(fmt_size_cell(2000, 1000.0), "2.0 Kb / 1.0 Kb");
+  RoutingStats stats;
+  stats.stretch.p50 = 1.0;
+  stats.stretch.max = 1.25;
+  EXPECT_EQ(fmt_stretch_cell(stats), "1.000 / 1.250");
+  stats.failures = 3;
+  EXPECT_NE(fmt_stretch_cell(stats).find("fail 3"), std::string::npos);
+  Summary hops;
+  hops.mean = 4.25;
+  hops.p99 = 9.0;
+  hops.max = 12.0;
+  EXPECT_EQ(fmt_hops_cell(hops), "4.2 / 9.0 / 12");
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,217 @@
+// Tests for the §3 NeighborSystem: the paper's structural claims about
+// X/Y neighbors, zooming sequences (Claims 3.3, 3.5, 3.6) and the host /
+// virtual neighbor sets of Theorem 3.4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "labeling/neighbor_system.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+
+namespace ron {
+namespace {
+
+bool contains(std::span<const NodeId> sorted, NodeId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+class NeighborSystemTest : public ::testing::Test {
+ protected:
+  NeighborSystemTest()
+      : metric_(random_cube_metric(96, 2, 17)),
+        prox_(metric_),
+        sys_(prox_, /*delta=*/0.25) {}
+
+  EuclideanMetric metric_;
+  ProximityIndex prox_;
+  NeighborSystem sys_;
+};
+
+TEST_F(NeighborSystemTest, RadiiMatchDefinition) {
+  for (NodeId u = 0; u < prox_.n(); u += 13) {
+    EXPECT_EQ(sys_.r(u, 0), prox_.dmax());  // the i=0 convention
+    for (int i = 1; i < sys_.num_levels(); ++i) {
+      EXPECT_EQ(sys_.r(u, i), prox_.level_radius(u, i));
+    }
+    EXPECT_EQ(sys_.r_prev(u, 0), kInfDist);
+  }
+}
+
+TEST_F(NeighborSystemTest, Claim33_RadiiAreOneLipschitz) {
+  // |r_{u,i} - r_{v,i}| <= d(u,v) for every pair and level.
+  for (NodeId u = 0; u < prox_.n(); u += 11) {
+    for (NodeId v = 0; v < prox_.n(); v += 7) {
+      for (int i = 0; i < sys_.num_levels(); ++i) {
+        EXPECT_LE(std::abs(sys_.r(u, i) - sys_.r(v, i)),
+                  prox_.dist(u, v) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, XNeighborsFitInPreviousBall) {
+  for (NodeId u = 0; u < prox_.n(); u += 9) {
+    for (int i = 1; i < sys_.num_levels(); ++i) {
+      for (NodeId h : sys_.X(u, i)) {
+        // h is the center of some ball in F_i with d(u,h) + r <= r_{u,i-1};
+        // in particular d(u, h) <= r_{u,i-1}.
+        EXPECT_LE(prox_.dist(u, h), sys_.r_prev(u, i) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, Level0SetsCoincide) {
+  for (NodeId u = 1; u < prox_.n(); u += 19) {
+    EXPECT_TRUE(std::ranges::equal(sys_.X(u, 0), sys_.X(0, 0)));
+    EXPECT_TRUE(std::ranges::equal(sys_.Y(u, 0), sys_.Y(0, 0)));
+  }
+}
+
+TEST_F(NeighborSystemTest, YNeighborsInBallAndNet) {
+  for (NodeId u = 0; u < prox_.n(); u += 9) {
+    for (int i = 0; i < sys_.num_levels(); ++i) {
+      const Dist R = 12.0 * sys_.r(u, i) / sys_.delta();
+      const int j = sys_.y_level(u, i);
+      for (NodeId w : sys_.Y(u, i)) {
+        EXPECT_LE(prox_.dist(u, w), R + 1e-9);
+        EXPECT_TRUE(sys_.nets().is_member(j, w));
+      }
+      // And the ring is complete: every net member in the ball is present.
+      for (NodeId w : sys_.nets().members_in_ball(j, u, R)) {
+        EXPECT_TRUE(contains(sys_.Y(u, i), w));
+      }
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, ZoomingSequenceProperties) {
+  // f_{u,i} lies within r_{u,i}/4 of u and is a Y_i-neighbor of u.
+  for (NodeId u = 0; u < prox_.n(); ++u) {
+    for (int i = 0; i < sys_.num_levels(); ++i) {
+      const NodeId fu = sys_.f(u, i);
+      EXPECT_LE(prox_.dist(u, fu), sys_.r(u, i) / 4.0 + 1e-9);
+      EXPECT_TRUE(contains(sys_.Y(u, i), fu));
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, Claim35c_NextZoomIsVirtualNeighborOfPrevious) {
+  // f_{u,i} is a virtual neighbor of f_{u,i-1} for every u and i >= 1.
+  for (NodeId u = 0; u < prox_.n(); u += 5) {
+    for (int i = 1; i < sys_.num_levels(); ++i) {
+      const NodeId prev = sys_.f(u, i - 1);
+      EXPECT_TRUE(contains(sys_.virtual_set(prev), sys_.f(u, i)))
+          << "u=" << u << " i=" << i;
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, Claim36_ZoomElementsAreSharedNeighbors) {
+  // For any pair (u, v), pick i with r_{u,i} < (2+delta) d <= r_{u,i-1};
+  // then for j <= i-1, f_{v,j} is a Y_j-neighbor of u (and vice versa).
+  const double delta = sys_.delta();
+  for (NodeId u = 0; u < prox_.n(); u += 7) {
+    for (NodeId v = 1; v < prox_.n(); v += 11) {
+      if (u == v) continue;
+      const Dist d = prox_.dist(u, v);
+      const Dist rd = (1.0 + delta) * d;
+      int i = 0;
+      while (i < sys_.num_levels() && sys_.r(u, i) >= rd + d) ++i;
+      for (int j = 0; j < std::min(i, sys_.num_levels()); ++j) {
+        EXPECT_TRUE(contains(sys_.Y(u, j), sys_.f(v, j)))
+            << "u=" << u << " v=" << v << " j=" << j << " i=" << i;
+        EXPECT_TRUE(contains(sys_.Y(v, j), sys_.f(u, j)));
+      }
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, HostSetSharedPrefix) {
+  // The host sets of any two nodes start with the same level-0 block.
+  auto h0 = sys_.host_set(0);
+  std::vector<NodeId> level0(sys_.X(0, 0).begin(), sys_.X(0, 0).end());
+  level0.insert(level0.end(), sys_.Y(0, 0).begin(), sys_.Y(0, 0).end());
+  std::sort(level0.begin(), level0.end());
+  level0.erase(std::unique(level0.begin(), level0.end()), level0.end());
+  for (NodeId u = 0; u < prox_.n(); u += 23) {
+    auto h = sys_.host_set(u);
+    ASSERT_GE(h.size(), level0.size());
+    for (std::size_t k = 0; k < level0.size(); ++k) {
+      EXPECT_EQ(h[k], level0[k]);
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, HostSetContainsAllXY) {
+  for (NodeId u = 0; u < prox_.n(); u += 13) {
+    std::vector<NodeId> host_sorted(sys_.host_set(u).begin(),
+                                    sys_.host_set(u).end());
+    std::sort(host_sorted.begin(), host_sorted.end());
+    for (int i = 0; i < sys_.num_levels(); ++i) {
+      for (NodeId w : sys_.X(u, i)) {
+        EXPECT_TRUE(std::binary_search(host_sorted.begin(), host_sorted.end(),
+                                       w));
+      }
+      for (NodeId w : sys_.Y(u, i)) {
+        EXPECT_TRUE(std::binary_search(host_sorted.begin(), host_sorted.end(),
+                                       w));
+      }
+    }
+  }
+}
+
+TEST_F(NeighborSystemTest, VirtualSetDefinition) {
+  // T_u = X_u ∪ Z_u ∪ (∪_{v in X_u} Z_v), elementwise.
+  for (NodeId u = 0; u < prox_.n(); u += 17) {
+    std::vector<NodeId> expect(sys_.X_all(u).begin(), sys_.X_all(u).end());
+    expect.insert(expect.end(), sys_.Z_all(u).begin(), sys_.Z_all(u).end());
+    for (NodeId v : sys_.X_all(u)) {
+      expect.insert(expect.end(), sys_.Z_all(v).begin(), sys_.Z_all(v).end());
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_TRUE(std::ranges::equal(sys_.virtual_set(u), expect));
+  }
+}
+
+TEST_F(NeighborSystemTest, ZSetsAreBallNetIntersections) {
+  for (NodeId u = 0; u < prox_.n(); u += 29) {
+    for (int j = 1; j <= sys_.num_z_scales(); j += 3) {
+      const Dist radius = prox_.dmin() * std::ldexp(1.0, j);
+      for (NodeId w : sys_.Z(u, j)) {
+        EXPECT_LE(prox_.dist(u, w), radius + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(NeighborSystem, RejectsBadDelta) {
+  auto metric = random_cube_metric(16, 2, 1);
+  ProximityIndex prox(metric);
+  EXPECT_THROW(NeighborSystem(prox, 0.0), Error);
+  EXPECT_THROW(NeighborSystem(prox, 0.5), Error);
+  EXPECT_THROW(NeighborSystem(prox, -0.1), Error);
+}
+
+TEST(NeighborSystem, WorksOnGeometricLine) {
+  // The super-polynomial aspect-ratio regime.
+  GeometricLineMetric metric(48, 2.0);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);
+  EXPECT_EQ(sys.num_levels(), 6);           // ceil(log2 48)
+  EXPECT_GE(sys.num_z_scales(), 40);        // logΔ ~ n
+  for (NodeId u = 0; u < prox.n(); ++u) {
+    for (int i = 0; i < sys.num_levels(); ++i) {
+      EXPECT_FALSE(sys.Y(u, i).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,133 @@
+// Tests for the generic rings-of-neighbors container and its three
+// selection policies (§1's "unifying technique").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/rings.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+
+namespace ron {
+namespace {
+
+TEST(RingsContainer, AddAndQuery) {
+  RingsOfNeighbors rings(10);
+  rings.add_ring(0, Ring{1.0, {3, 5, 3, 7}});  // dupes removed
+  rings.add_ring(0, Ring{2.0, {5, 9}});
+  ASSERT_EQ(rings.rings(0).size(), 2u);
+  EXPECT_EQ(rings.rings(0)[0].members.size(), 3u);  // {3,5,7}
+  auto all = rings.all_neighbors(0);
+  EXPECT_EQ(all, (std::vector<NodeId>{3, 5, 7, 9}));
+  EXPECT_EQ(rings.out_degree(0), 4u);
+  EXPECT_EQ(rings.out_degree(1), 0u);
+  EXPECT_EQ(rings.max_out_degree(), 4u);
+  EXPECT_NEAR(rings.avg_out_degree(), 0.4, 1e-12);
+  EXPECT_EQ(rings.pointer_bits(0), 4u * 4u);  // 4 ids x ceil(log2 10)
+}
+
+TEST(RingsContainer, RejectsBadMembers) {
+  RingsOfNeighbors rings(4);
+  EXPECT_THROW(rings.add_ring(0, Ring{1.0, {7}}), Error);
+  EXPECT_THROW(rings.add_ring(9, Ring{1.0, {1}}), Error);
+}
+
+class RingPolicyTest : public ::testing::Test {
+ protected:
+  RingPolicyTest()
+      : metric_(random_cube_metric(80, 2, 13)),
+        prox_(metric_),
+        nets_(prox_, 12),
+        mu_(prox_, doubling_measure(nets_)),
+        rng_(5) {}
+  EuclideanMetric metric_;
+  ProximityIndex prox_;
+  NetHierarchy nets_;
+  MeasureView mu_;
+  Rng rng_;
+};
+
+TEST_F(RingPolicyTest, UniformBallRingStaysInBall) {
+  const NodeId u = 7;
+  const std::size_t min_size = 20;
+  Ring ring = sample_uniform_ball_ring(prox_, u, min_size, 30, rng_);
+  const Dist r = prox_.kth_radius(u, min_size);
+  for (NodeId v : ring.members) {
+    EXPECT_LE(prox_.dist(u, v), r);
+  }
+  EXPECT_GE(ring.scale, static_cast<double>(min_size));
+}
+
+TEST_F(RingPolicyTest, MeasureRingStaysInBallAndFollowsWeights) {
+  const NodeId u = 3;
+  const Dist radius = prox_.dmax() / 2.0;
+  Ring ring = sample_measure_ball_ring(mu_, u, radius, 40, rng_);
+  for (NodeId v : ring.members) {
+    EXPECT_LE(prox_.dist(u, v), radius);
+  }
+  // Zero-weight nodes are never sampled: build a measure concentrated on
+  // one node and verify.
+  std::vector<double> point_mass(prox_.n(), 0.0);
+  point_mass[11] = 1.0;
+  MeasureView spike(prox_, point_mass);
+  Ring spiked =
+      sample_measure_ball_ring(spike, 11, prox_.dmax() * 2.0, 10, rng_);
+  ASSERT_EQ(spiked.members.size(), 1u);
+  EXPECT_EQ(spiked.members[0], 11u);
+}
+
+TEST_F(RingPolicyTest, NetIntersectionRingIsExact) {
+  const NodeId u = 2;
+  const int level = 4;
+  const Dist radius = prox_.dmax() / 3.0;
+  Ring ring =
+      net_intersection_ring(prox_, u, radius, nets_.members(level));
+  for (NodeId p : nets_.members(level)) {
+    const bool inside = prox_.dist(u, p) <= radius;
+    const bool present =
+        std::binary_search(ring.members.begin(), ring.members.end(), p);
+    EXPECT_EQ(inside, present);
+  }
+}
+
+TEST_F(RingPolicyTest, SamplingIsDeterministicGivenSeed) {
+  Rng a(99), b(99);
+  Ring ra = sample_uniform_ball_ring(prox_, 5, 16, 10, a);
+  Ring rb = sample_uniform_ball_ring(prox_, 5, 16, 10, b);
+  EXPECT_EQ(ra.members, rb.members);
+}
+
+TEST(RingPolicies, TwoCanonicalCollections) {
+  // The paper's two canonical collections (§1, "The unifying technique"):
+  // cardinality-indexed uniform rings and radius-indexed measure rings.
+  // Build both on the exponential line and verify the radius rings give
+  // logΔ scales while cardinality rings give log n scales.
+  GeometricLineMetric metric(64, 2.0);
+  ProximityIndex prox(metric);
+  NetHierarchy nets(
+      prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
+  MeasureView mu(prox, doubling_measure(nets));
+  Rng rng(3);
+  RingsOfNeighbors rings(prox.n());
+  const NodeId u = 30;
+  for (int i = 0; i < prox.num_levels(); ++i) {
+    const auto k = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(std::ldexp(static_cast<double>(prox.n()), -i))));
+    rings.add_ring(u, sample_uniform_ball_ring(prox, u, k, 8, rng));
+  }
+  EXPECT_EQ(rings.rings(u).size(),
+            static_cast<std::size_t>(prox.num_levels()));
+  for (int j = 0; j <= prox.num_scales(); j += 8) {
+    rings.add_ring(u, sample_measure_ball_ring(
+                          mu, u, prox.dmin() * std::ldexp(1.0, j), 8, rng));
+  }
+  EXPECT_GT(rings.out_degree(u), 0u);
+}
+
+}  // namespace
+}  // namespace ron

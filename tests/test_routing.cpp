@@ -1,0 +1,261 @@
+// Tests for the routing schemes: delivery + (1+O(delta))-stretch on every
+// sampled pair (Theorems 2.1 and 4.1, graph and overlay modes), the
+// Figure 2 translation-function consistency, Claim 2.4 invariants, size
+// accounting, and the baselines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/distance_labels.h"
+#include "labeling/neighbor_system.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+#include "routing/basic_scheme.h"
+#include "routing/full_table_scheme.h"
+#include "routing/global_id_scheme.h"
+#include "routing/label_scheme.h"
+#include "routing/net_rings.h"
+
+namespace ron {
+namespace {
+
+struct GraphFixture {
+  explicit GraphFixture(WeightedGraph graph)
+      : g(std::move(graph)),
+        apsp(std::make_shared<Apsp>(g)),
+        metric(apsp, "spm"),
+        prox(metric) {}
+  WeightedGraph g;
+  std::shared_ptr<const Apsp> apsp;
+  GraphMetric metric;
+  ProximityIndex prox;
+};
+
+void expect_all_pairs_stretch(const RoutingScheme& scheme,
+                              const ProximityIndex& prox, double max_stretch,
+                              std::size_t max_hops = 1'000'00) {
+  for (NodeId s = 0; s < prox.n(); ++s) {
+    for (NodeId t = 0; t < prox.n(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = scheme.route(s, t, max_hops);
+      ASSERT_TRUE(r.delivered)
+          << scheme.name() << " failed " << s << "->" << t;
+      EXPECT_LE(r.stretch, max_stretch + 1e-9)
+          << scheme.name() << " stretch " << r.stretch << " on " << s << "->"
+          << t;
+      EXPECT_GE(r.stretch, 1.0 - 1e-9);
+    }
+  }
+}
+
+// --- ScaleRings ------------------------------------------------------------
+
+TEST(ScaleRings, StructuralInvariants) {
+  GraphFixture fx(grid_graph(7, 7, 0.2, 3));
+  ScaleRings rings(fx.prox, 0.25);
+  // Scales halve.
+  for (int j = 1; j < rings.num_scales(); ++j) {
+    EXPECT_DOUBLE_EQ(rings.net_scale(j), rings.net_scale(j - 1) / 2.0);
+  }
+  // Ring members are net members within the ring radius.
+  for (NodeId u = 0; u < fx.prox.n(); u += 5) {
+    for (int j = 0; j < rings.num_scales(); ++j) {
+      for (NodeId w : rings.ring(u, j)) {
+        EXPECT_LE(fx.prox.dist(u, w), rings.ring_radius(j) + 1e-9);
+      }
+    }
+  }
+  // Zooming sequence approaches the target at net-scale speed.
+  for (NodeId t = 0; t < fx.prox.n(); t += 7) {
+    for (int j = 0; j < rings.num_scales(); ++j) {
+      EXPECT_LE(fx.prox.dist(t, rings.f(t, j)), rings.net_scale(j) + 1e-9);
+    }
+    EXPECT_EQ(rings.f(t, rings.num_scales() - 1), t);
+  }
+}
+
+// --- Theorem 2.1 -----------------------------------------------------------
+
+class BasicSchemeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BasicSchemeTest, GridGraphAllPairs) {
+  const double delta = GetParam();
+  GraphFixture fx(grid_graph(6, 6, 0.2, 5));
+  BasicRoutingScheme scheme(fx.prox, fx.g, fx.apsp, delta);
+  // Claim 2.5: stretch 1 + O(delta); the constant from the proof's geometric
+  // series is (1+delta)/(1-delta) <= 1 + 3*delta for delta <= 1/4.
+  expect_all_pairs_stretch(scheme, fx.prox, 1.0 + 3.0 * delta);
+}
+
+TEST_P(BasicSchemeTest, GeometricGraphAllPairs) {
+  const double delta = GetParam();
+  GraphFixture fx(random_geometric_graph(48, 0.25, 11));
+  BasicRoutingScheme scheme(fx.prox, fx.g, fx.apsp, delta);
+  expect_all_pairs_stretch(scheme, fx.prox, 1.0 + 3.0 * delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, BasicSchemeTest,
+                         ::testing::Values(0.5, 0.25, 0.125));
+
+TEST(BasicScheme, OverlayModeAllPairs) {
+  auto metric = random_cube_metric(48, 2, 31);
+  ProximityIndex prox(metric);
+  BasicRoutingScheme scheme(prox, 0.25);
+  expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
+  EXPECT_GT(scheme.out_degree(0), 0u);
+}
+
+TEST(BasicScheme, OverlayOnGeometricLine) {
+  // Super-polynomial aspect ratio: still delivers with (1+O(delta)) stretch.
+  GeometricLineMetric metric(40, 2.0);
+  ProximityIndex prox(metric);
+  BasicRoutingScheme scheme(prox, 0.25);
+  expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
+}
+
+TEST(BasicScheme, Figure2_TranslationConsistency) {
+  // zeta_{u,j}(phi_{u,j}(f), phi_{f,j+1}(w)) = phi_{u,j+1}(w) whenever
+  // f in Y_{u,j} and w in Y_{u,j+1} ∩ Y_{f,j+1} — the Figure 2 triangle.
+  GraphFixture fx(grid_graph(5, 5, 0.2, 9));
+  BasicRoutingScheme scheme(fx.prox, fx.g, fx.apsp, 0.25);
+  const ScaleRings& rings = scheme.rings();
+  for (NodeId u = 0; u < fx.prox.n(); u += 3) {
+    for (int j = 0; j + 1 < rings.num_scales(); ++j) {
+      auto ru = rings.ring(u, j);
+      for (std::uint32_t a = 0; a < ru.size(); ++a) {
+        const NodeId f = ru[a];
+        auto rf = rings.ring(f, j + 1);
+        for (std::uint32_t b = 0; b < rf.size(); ++b) {
+          const NodeId w = rf[b];
+          const std::uint32_t z = scheme.zeta(u, j, a, b);
+          const std::uint32_t expect = rings.index_in_ring(u, j + 1, w);
+          EXPECT_EQ(z, expect);
+          if (z != kNullIndex) {
+            EXPECT_EQ(rings.ring(u, j + 1)[z], w);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BasicScheme, HeaderSmallerThanGlobalIdBaseline) {
+  // The whole point of host enumerations: labels/headers beat the
+  // (log n)(log Δ)-bit global-id encoding.
+  GraphFixture fx(random_geometric_graph(96, 0.2, 13));
+  BasicRoutingScheme basic(fx.prox, fx.g, fx.apsp, 0.25);
+  GlobalIdScheme gid(fx.prox, fx.g, fx.apsp, 0.25);
+  std::uint64_t basic_lab = 0, gid_lab = 0;
+  for (NodeId t = 0; t < fx.prox.n(); ++t) {
+    basic_lab = std::max(basic_lab, basic.label_bits(t));
+    gid_lab = std::max(gid_lab, gid.label_bits(t));
+  }
+  EXPECT_LT(basic_lab, gid_lab);
+}
+
+// --- Global-id baseline ----------------------------------------------------
+
+TEST(GlobalIdScheme, GridGraphAllPairs) {
+  GraphFixture fx(grid_graph(6, 6, 0.2, 5));
+  GlobalIdScheme scheme(fx.prox, fx.g, fx.apsp, 0.25);
+  expect_all_pairs_stretch(scheme, fx.prox, 1.0 + 3.0 * 0.25);
+}
+
+TEST(GlobalIdScheme, OverlayAllPairs) {
+  auto metric = random_cube_metric(40, 2, 21);
+  ProximityIndex prox(metric);
+  GlobalIdScheme scheme(prox, 0.25);
+  expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
+}
+
+// --- Full-table baseline ---------------------------------------------------
+
+TEST(FullTable, Stretch1AndSizes) {
+  GraphFixture fx(random_geometric_graph(40, 0.3, 7));
+  FullTableScheme scheme(fx.g, fx.apsp);
+  expect_all_pairs_stretch(scheme, fx.prox, 1.0);
+  // Table size is (n-1)(log n + log Dout) bits.
+  EXPECT_EQ(scheme.table_bits(0),
+            39u * (bits_for_index(40) +
+                   bits_for_index(fx.g.max_out_degree())));
+}
+
+// --- Theorem 4.1 -----------------------------------------------------------
+
+class LabelSchemeFixture {
+ public:
+  explicit LabelSchemeFixture(WeightedGraph graph)
+      : fx_(std::move(graph)),
+        sys_(fx_.prox, 1.0 / 6.0),
+        dls_(sys_) {}
+  GraphFixture& fx() { return fx_; }
+  const DistanceLabeling& dls() const { return dls_; }
+
+ private:
+  GraphFixture fx_;
+  NeighborSystem sys_;
+  DistanceLabeling dls_;
+};
+
+TEST(LabelScheme, GridGraphAllPairs) {
+  LabelSchemeFixture lf(grid_graph(6, 6, 0.2, 5));
+  LabelGuidedScheme scheme(lf.fx().prox, lf.fx().g, lf.fx().apsp, lf.dls(),
+                           0.25);
+  // Stretch (1 + 1.5 delta)/(1 - 1.5 delta) <= 1 + 5 delta for delta <= 1/4.
+  expect_all_pairs_stretch(scheme, lf.fx().prox, 1.0 + 5.0 * 0.25);
+}
+
+TEST(LabelScheme, GeometricGraphAllPairs) {
+  LabelSchemeFixture lf(random_geometric_graph(40, 0.25, 19));
+  LabelGuidedScheme scheme(lf.fx().prox, lf.fx().g, lf.fx().apsp, lf.dls(),
+                           0.25);
+  expect_all_pairs_stretch(scheme, lf.fx().prox, 1.0 + 5.0 * 0.25);
+}
+
+TEST(LabelScheme, OverlayAllPairs) {
+  auto metric = random_cube_metric(40, 2, 3);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 1.0 / 6.0);
+  DistanceLabeling dls(sys);
+  LabelGuidedScheme scheme(prox, dls, 0.25);
+  expect_all_pairs_stretch(scheme, prox, 1.0 + 5.0 * 0.25);
+}
+
+TEST(LabelScheme, RejectsTooLargeDelta) {
+  auto metric = random_cube_metric(20, 2, 3);
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 1.0 / 6.0);
+  DistanceLabeling dls(sys);
+  EXPECT_THROW(LabelGuidedScheme(prox, dls, 0.7), Error);
+}
+
+// --- Evaluation driver -----------------------------------------------------
+
+TEST(EvaluateScheme, AggregatesQueries) {
+  GraphFixture fx(grid_graph(5, 5, 0.2, 3));
+  FullTableScheme scheme(fx.g, fx.apsp);
+  const RoutingStats stats = evaluate_scheme(scheme, fx.prox, 200, 99);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.stretch.count, 200u);
+  EXPECT_NEAR(stats.stretch.max, 1.0, 1e-9);
+  EXPECT_GE(stats.hops.mean, 1.0);
+}
+
+TEST(MeasureSizes, ConsistentAggregates) {
+  GraphFixture fx(grid_graph(5, 5, 0.2, 3));
+  BasicRoutingScheme scheme(fx.prox, fx.g, fx.apsp, 0.25);
+  const SchemeSizes sizes = measure_sizes(scheme);
+  EXPECT_GE(sizes.max_table_bits, static_cast<std::uint64_t>(
+                                      sizes.avg_table_bits));
+  EXPECT_GE(sizes.max_label_bits, static_cast<std::uint64_t>(
+                                      sizes.avg_label_bits));
+  EXPECT_EQ(sizes.header_bits, scheme.header_bits());
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,264 @@
+// Tests for the §5 small-world models: delivery and hop bounds for
+// Theorems 5.2(a), 5.2(b) and 5.5, the Y-only foil, Kleinberg's grid, the
+// STRUCTURES baseline, and the Theorem 5.4 equivalence checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+#include "net/doubling_measure.h"
+#include "net/nets.h"
+#include "smallworld/group_structures.h"
+#include "smallworld/kleinberg_grid.h"
+#include "smallworld/pruned_model.h"
+#include "smallworld/rings_model.h"
+#include "smallworld/single_link.h"
+
+namespace ron {
+namespace {
+
+/// Bundles the substrate every §5 model needs.
+struct SwFixture {
+  explicit SwFixture(const MetricSpace& metric)
+      : prox(metric),
+        nets(prox, std::max(1, static_cast<int>(std::ceil(
+                                   std::log2(prox.aspect_ratio()))) + 1)),
+        mu(prox, doubling_measure(nets)) {}
+  ProximityIndex prox;
+  NetHierarchy nets;
+  MeasureView mu;
+};
+
+// --- Theorem 5.2(a) ---------------------------------------------------------
+
+TEST(RingsModel, DeliversOnEuclideanCloud) {
+  auto metric = random_cube_metric(128, 2, 51);
+  SwFixture fx(metric);
+  RingsSmallWorld model(fx.prox, fx.mu, RingsModelParams{}, 7);
+  const SwStats stats = evaluate_model(model, 400, 3, 200);
+  EXPECT_EQ(stats.failures, 0u);
+  // O(log n) hops with modest constants.
+  EXPECT_LE(stats.hops.max, 6.0 * std::log2(128.0));
+}
+
+TEST(RingsModel, OLogNHopsOnGeometricLine) {
+  // The headline claim: O(log n) hops even when log Δ = Θ(n).
+  GeometricLineMetric metric(160, 2.0);
+  SwFixture fx(metric);
+  RingsSmallWorld model(fx.prox, fx.mu, RingsModelParams{}, 11);
+  const SwStats stats = evaluate_model(model, 400, 5, 400);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_LE(stats.hops.max, 8.0 * std::log2(160.0));  // ~= 59 << n
+}
+
+TEST(RingsModel, YOnlyFoilIsSlowerOnGeometricLine) {
+  // Without the X rings the model is the "straightforward" O(log Δ)-hop
+  // construction; on the geometric line that is Θ(n) vs Θ(log n).
+  GeometricLineMetric metric(160, 2.0);
+  SwFixture fx(metric);
+  RingsModelParams full;
+  RingsModelParams y_only;
+  y_only.with_x = false;
+  RingsSmallWorld with_x(fx.prox, fx.mu, full, 11);
+  RingsSmallWorld without_x(fx.prox, fx.mu, y_only, 11);
+  const SwStats sx = evaluate_model(with_x, 300, 5, 2000);
+  const SwStats sy = evaluate_model(without_x, 300, 5, 2000);
+  EXPECT_EQ(sx.failures, 0u);
+  EXPECT_EQ(sy.failures, 0u);
+  EXPECT_GT(sy.hops.mean, 1.5 * sx.hops.mean);
+  EXPECT_GT(sy.hops.max, 2.0 * sx.hops.max);
+}
+
+TEST(RingsModel, AllQueriesNotJustAverage) {
+  // The theorem bounds the ACTUAL hop count w.h.p. for all queries; run
+  // every (s,t) pair on a small instance.
+  GeometricLineMetric metric(64, 2.0);
+  SwFixture fx(metric);
+  RingsSmallWorld model(fx.prox, fx.mu, RingsModelParams{}, 23);
+  for (NodeId s = 0; s < fx.prox.n(); ++s) {
+    for (NodeId t = 0; t < fx.prox.n(); ++t) {
+      if (s == t) continue;
+      const SwRouteResult r = route_query(model, s, t, 300);
+      ASSERT_TRUE(r.delivered) << s << "->" << t;
+      EXPECT_EQ(r.nongreedy_steps, 0u);  // greedy model
+    }
+  }
+}
+
+// --- Theorem 5.2(b) ---------------------------------------------------------
+
+TEST(PrunedModel, DeliversOnGeometricLine) {
+  GeometricLineMetric metric(160, 2.0);
+  SwFixture fx(metric);
+  PrunedSmallWorld model(fx.prox, fx.mu, PrunedModelParams{}, 13);
+  const SwStats stats = evaluate_model(model, 400, 7, 500);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_LE(stats.hops.max, 10.0 * std::log2(160.0));
+}
+
+TEST(PrunedModel, DeliversOnEuclideanCloud) {
+  auto metric = random_cube_metric(128, 2, 53);
+  SwFixture fx(metric);
+  PrunedSmallWorld model(fx.prox, fx.mu, PrunedModelParams{}, 17);
+  const SwStats stats = evaluate_model(model, 400, 9, 300);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(PrunedModel, LowerDegreeThanFullYOnBigAspectRatio) {
+  // The point of pruning: out-degree ~ sqrt(log Δ) polylog instead of
+  // ~ log Δ polylog. On the geometric line the gap must be visible.
+  GeometricLineMetric metric(192, 2.0);
+  SwFixture fx(metric);
+  RingsSmallWorld full(fx.prox, fx.mu, RingsModelParams{}, 3);
+  PrunedSmallWorld pruned(fx.prox, fx.mu, PrunedModelParams{}, 3);
+  EXPECT_LT(pruned.avg_out_degree(), full.avg_out_degree());
+}
+
+TEST(PrunedModel, NonGreedyStepsExistSomewhere) {
+  // The non-greedy rule (**) must actually fire on hard instances — a
+  // geometric line forces locally sparse neighborhoods.
+  GeometricLineMetric metric(96, 2.0);
+  SwFixture fx(metric);
+  PrunedModelParams lean;
+  lean.c_x = 0.1;  // thin rings make near contacts rarer
+  lean.c_y = 0.1;
+  PrunedSmallWorld model(fx.prox, fx.mu, lean, 29);
+  std::size_t nongreedy = 0;
+  for (NodeId s = 0; s < fx.prox.n(); s += 3) {
+    for (NodeId t = 0; t < fx.prox.n(); t += 5) {
+      if (s == t) continue;
+      const SwRouteResult r = route_query(model, s, t, 500);
+      nongreedy += r.nongreedy_steps;
+    }
+  }
+  EXPECT_GT(nongreedy, 0u);
+}
+
+// --- Theorem 5.5 -------------------------------------------------------------
+
+TEST(SingleLink, CycleDeliversInPolylog) {
+  auto g = cycle_graph(256);
+  GraphMetric gm(g);
+  SwFixture fx(gm);
+  SingleLinkSmallWorld model(g, fx.prox, fx.mu, 31);
+  // Exactly one long-range contact beyond the 2 cycle neighbors.
+  for (NodeId u = 0; u < fx.prox.n(); u += 37) {
+    EXPECT_LE(model.out_degree(u), 3u);
+    EXPECT_NE(model.long_range_contact(u), u);
+  }
+  const SwStats stats = evaluate_model(model, 300, 3, 5000);
+  EXPECT_EQ(stats.failures, 0u);
+  const double log_delta = std::log2(fx.prox.aspect_ratio());
+  // 2^O(alpha) log^2 Δ with a generous constant; far below n/4 = 64.
+  EXPECT_LE(stats.hops.mean, 3.0 * log_delta * log_delta);
+  EXPECT_LT(stats.hops.mean, 64.0);
+}
+
+TEST(SingleLink, GridDelivers) {
+  auto g = grid_graph(14, 14);
+  GraphMetric gm(g);
+  SwFixture fx(gm);
+  SingleLinkSmallWorld model(g, fx.prox, fx.mu, 41);
+  const SwStats stats = evaluate_model(model, 300, 5, 5000);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+// --- Kleinberg grid baseline --------------------------------------------------
+
+TEST(KleinbergGrid, TorusMetricSane) {
+  TorusMetric m(8);
+  EXPECT_EQ(m.n(), 64u);
+  EXPECT_DOUBLE_EQ(m.distance(0, 7), 1.0);   // wraps
+  EXPECT_DOUBLE_EQ(m.distance(0, 4), 4.0);
+  EXPECT_DOUBLE_EQ(m.distance(0, 8 * 4 + 4), 8.0);  // opposite corner
+}
+
+TEST(KleinbergGrid, GreedyPolylogHops) {
+  KleinbergGrid model(32, 1, 61);
+  const SwStats stats = evaluate_model(model, 400, 9, 4000);
+  EXPECT_EQ(stats.failures, 0u);
+  const double log_n = std::log2(1024.0);
+  EXPECT_LE(stats.hops.mean, 3.0 * log_n * log_n);
+  // Max degree: 4 local + 1 long.
+  EXPECT_LE(model.max_out_degree(), 5u);
+}
+
+TEST(KleinbergGrid, MoreLongLinksHelp) {
+  KleinbergGrid one(24, 1, 71);
+  KleinbergGrid four(24, 4, 71);
+  const SwStats s1 = evaluate_model(one, 300, 11, 4000);
+  const SwStats s4 = evaluate_model(four, 300, 11, 4000);
+  EXPECT_EQ(s4.failures, 0u);
+  EXPECT_LT(s4.hops.mean, s1.hops.mean);
+}
+
+// --- STRUCTURES + Theorem 5.4 -------------------------------------------------
+
+TEST(GroupStructures, DegreeIsLogSquared) {
+  auto metric = grid_metric(16, 16);
+  ProximityIndex prox(metric);
+  GroupStructuresSmallWorld model(prox, GroupStructuresParams{}, 81);
+  const double log_n = std::log2(256.0);
+  EXPECT_LE(model.max_out_degree(),
+            static_cast<std::size_t>(log_n * log_n) + 1);
+  EXPECT_GE(model.avg_out_degree(), 0.3 * log_n * log_n);  // dedup losses
+}
+
+TEST(GroupStructures, DeliversOnGridMetric) {
+  auto metric = grid_metric(16, 16);
+  ProximityIndex prox(metric);
+  // The w.h.p. guarantee needs a sufficient sampling constant: the final
+  // greedy step requires the target itself among the penultimate node's
+  // contacts (no guaranteed local links in STRUCTURES).
+  GroupStructuresParams params;
+  params.c = 3.0;
+  GroupStructuresSmallWorld model(prox, params, 83);
+  const SwStats stats = evaluate_model(model, 400, 13, 2000);
+  EXPECT_LE(stats.failures, 2u);
+  EXPECT_LE(stats.hops.mean, 4.0 * std::log2(256.0));
+}
+
+TEST(GroupStructures, ContactProbabilityTracksInverseBallSize) {
+  // Theorem 5.4(d): Pr[v is a contact of u] = Theta(log n)/x_uv. Compare
+  // the empirical frequency over seeds for near vs far pairs.
+  auto metric = grid_metric(12, 12);
+  ProximityIndex prox(metric);
+  const NodeId u = 5 * 12 + 5;
+  const NodeId near = u + 1;
+  const NodeId far = 11 * 12 + 11;
+  int near_hits = 0, far_hits = 0;
+  const int trials = 60;
+  for (int s = 0; s < trials; ++s) {
+    GroupStructuresSmallWorld model(prox, GroupStructuresParams{},
+                                    1000 + static_cast<std::uint64_t>(s));
+    auto c = model.contacts(u);
+    if (std::binary_search(c.begin(), c.end(), near)) ++near_hits;
+    if (std::binary_search(c.begin(), c.end(), far)) ++far_hits;
+  }
+  EXPECT_GT(near_hits, far_hits);
+}
+
+TEST(Theorem54, RingsModelGreedyOnULConstrainedMetric) {
+  // On a UL-constrained metric (the grid) the Theorem 5.2(b) router should
+  // essentially never take a non-greedy step (part (b) of Theorem 5.4).
+  auto metric = grid_metric(12, 12);
+  SwFixture fx(metric);
+  PrunedSmallWorld model(fx.prox, fx.mu, PrunedModelParams{}, 91);
+  std::size_t nongreedy = 0, total = 0;
+  const SwStats stats = evaluate_model(model, 300, 15, 1000);
+  EXPECT_EQ(stats.failures, 0u);
+  nongreedy = stats.total_nongreedy;
+  total = static_cast<std::size_t>(stats.hops.mean *
+                                   static_cast<double>(stats.queries));
+  EXPECT_LE(static_cast<double>(nongreedy),
+            0.02 * static_cast<double>(std::max<std::size_t>(total, 1)));
+}
+
+}  // namespace
+}  // namespace ron

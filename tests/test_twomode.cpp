@@ -1,0 +1,106 @@
+// Tests for Theorem 4.2 / B.1 — the two-mode routing scheme.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/neighbor_system.h"
+#include "metric/proximity.h"
+#include "routing/twomode_scheme.h"
+
+namespace ron {
+namespace {
+
+struct TwoModeFixture {
+  explicit TwoModeFixture(WeightedGraph graph, double delta = 0.125)
+      : g(std::move(graph)),
+        apsp(std::make_shared<Apsp>(g)),
+        metric(apsp, "spm"),
+        prox(metric),
+        sys(prox, delta),
+        scheme(sys, g, apsp) {}
+  WeightedGraph g;
+  std::shared_ptr<const Apsp> apsp;
+  GraphMetric metric;
+  ProximityIndex prox;
+  NeighborSystem sys;
+  TwoModeScheme scheme;
+};
+
+TEST(TwoMode, DeliversAllPairsOnGrid) {
+  TwoModeFixture fx(grid_graph(6, 6, 0.2, 7));
+  for (NodeId s = 0; s < fx.prox.n(); ++s) {
+    for (NodeId t = 0; t < fx.prox.n(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = fx.scheme.route(s, t, 100000);
+      ASSERT_TRUE(r.delivered) << s << "->" << t;
+      // Theorem B.1: stretch 1 + O(delta). delta = 1/8; allow constant 6.
+      EXPECT_LE(r.stretch, 1.0 + 6.0 * 0.125) << s << "->" << t;
+    }
+  }
+}
+
+TEST(TwoMode, DeliversAllPairsOnGeometricGraph) {
+  TwoModeFixture fx(random_geometric_graph(40, 0.25, 23));
+  for (NodeId s = 0; s < fx.prox.n(); ++s) {
+    for (NodeId t = 0; t < fx.prox.n(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = fx.scheme.route(s, t, 100000);
+      ASSERT_TRUE(r.delivered) << s << "->" << t;
+      EXPECT_LE(r.stretch, 1.0 + 6.0 * 0.125) << s << "->" << t;
+    }
+  }
+}
+
+TEST(TwoMode, RingOfCliquesDelivers) {
+  TwoModeFixture fx(ring_of_cliques(5, 6, 8.0));
+  const RoutingStats stats = evaluate_scheme(fx.scheme, fx.prox, 300, 3);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_LE(stats.stretch.max, 1.0 + 6.0 * 0.125);
+}
+
+TEST(TwoMode, ForcedM2DeliversEverywhere) {
+  // M1 rarely fails on benign instances, so exercise the packing-ball
+  // machinery directly: route every pair starting in mode M2.
+  TwoModeFixture fx(random_geometric_graph(36, 0.3, 29));
+  for (NodeId s = 0; s < fx.prox.n(); ++s) {
+    for (NodeId t = 0; t < fx.prox.n(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = fx.scheme.route_force_m2(s, t, 100000);
+      ASSERT_TRUE(r.delivered) << s << "->" << t;
+      EXPECT_GE(r.stretch, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(TwoMode, StoredPathsRespectHopBound) {
+  TwoModeFixture fx(random_geometric_graph(36, 0.3, 31));
+  EXPECT_GE(fx.scheme.hop_bound(), 1u);
+  EXPECT_LE(fx.scheme.hop_bound(), 4096u);
+}
+
+TEST(TwoMode, ModeSizesSplit) {
+  TwoModeFixture fx(grid_graph(5, 5, 0.2, 11));
+  for (NodeId u = 0; u < fx.prox.n(); u += 7) {
+    const TwoModeSizes s = fx.scheme.mode_sizes(u);
+    EXPECT_GT(s.m1_table_bits, 0u);
+    EXPECT_GT(s.m2_table_bits, 0u);
+    EXPECT_EQ(fx.scheme.table_bits(u), s.m1_table_bits + s.m2_table_bits);
+    EXPECT_GT(s.m1_header_bits, 0u);
+    EXPECT_GT(s.m2_header_bits, 0u);
+  }
+}
+
+TEST(TwoMode, RejectsLargeDelta) {
+  auto g = grid_graph(4, 4, 0.2, 3);
+  auto apsp = std::make_shared<Apsp>(g);
+  GraphMetric metric(apsp, "spm");
+  ProximityIndex prox(metric);
+  NeighborSystem sys(prox, 0.25);  // > 1/8
+  EXPECT_THROW(TwoModeScheme(sys, g, apsp), Error);
+}
+
+}  // namespace
+}  // namespace ron
