@@ -31,6 +31,27 @@ void BM_ProximityIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_ProximityIndex)->Arg(128)->Arg(256)->Arg(512)->Complexity();
 
+// Thread-count sweep for the same build: args are (n, num_threads), with
+// threads = 0 meaning "one per hardware core". Compare the threads=1 rows
+// against the rest to see the parallel-construction speedup on this machine.
+void BM_ProximityIndexThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  auto metric = random_cube_metric(n, 2, 3);
+  for (auto _ : state) {
+    ProximityIndex prox(metric, threads);
+    benchmark::DoNotOptimize(prox.dmin());
+  }
+}
+BENCHMARK(BM_ProximityIndexThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->UseRealTime();
+
 void BM_NetHierarchy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto metric = random_cube_metric(n, 2, 3);

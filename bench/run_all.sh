@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release and runs every bench target, emitting one
+# JSON line per bench (name, status, wall seconds, stdout bytes) to stdout
+# and to $OUT — the raw per-bench stdout is kept next to the binaries for
+# inspection. Intended for BENCH_*.json trajectory tracking across PRs.
+#
+# Usage: bench/run_all.sh [output.jsonl]
+#   BUILD_DIR=...   override the build directory (default: <repo>/build-bench)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-bench}"
+OUT="${1:-$ROOT/BENCH_RESULTS.jsonl}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DRON_BUILD_TESTS=OFF -DRON_BUILD_EXAMPLES=OFF >&2
+cmake --build "$BUILD" -j"$(nproc)" >&2
+
+: > "$OUT"
+shopt -s nullglob
+for exe in "$BUILD"/bench/bench_*; do
+  [ -x "$exe" ] && [ -f "$exe" ] || continue
+  name="$(basename "$exe")"
+  log="$BUILD/$name.stdout"
+  start="$(date +%s.%N)"
+  status=ok
+  "$exe" > "$log" 2>&1 || status=fail
+  end="$(date +%s.%N)"
+  secs="$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')"
+  bytes="$(wc -c < "$log" | tr -d ' ')"
+  printf '{"bench":"%s","status":"%s","seconds":%s,"stdout_bytes":%s}\n' \
+    "$name" "$status" "$secs" "$bytes" | tee -a "$OUT"
+done
+
+fails="$(grep -c '"status":"fail"' "$OUT" || true)"
+if [ "$fails" != "0" ]; then
+  echo "run_all.sh: $fails bench(es) failed — see $BUILD/*.stdout" >&2
+  exit 1
+fi

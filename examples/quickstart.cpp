@@ -66,6 +66,6 @@ int main() {
   std::cout << "\nsmall world 5 -> 99: delivered = " << q.delivered
             << " in " << q.hops << " hops (log2 n = "
             << std::log2(static_cast<double>(prox.n())) << ")\n";
-  std::cout << "\nDone. See DESIGN.md for the full map of paper -> code.\n";
+  std::cout << "\nDone. See README.md for the module map of paper -> code.\n";
   return 0;
 }

@@ -1,0 +1,23 @@
+# Runs an example binary end-to-end and fails if it exits non-zero or prints
+# nothing to stdout. Invoked by ctest as:
+#   cmake -DSMOKE_EXE=<path> -P smoke_test.cmake
+if(NOT DEFINED SMOKE_EXE)
+  message(FATAL_ERROR "smoke_test.cmake: pass -DSMOKE_EXE=<binary>")
+endif()
+
+execute_process(
+  COMMAND ${SMOKE_EXE}
+  OUTPUT_VARIABLE smoke_stdout
+  RESULT_VARIABLE smoke_rc)
+
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "${SMOKE_EXE} exited with status ${smoke_rc}")
+endif()
+
+string(STRIP "${smoke_stdout}" smoke_stripped)
+if(smoke_stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_EXE} produced empty stdout")
+endif()
+
+string(LENGTH "${smoke_stdout}" smoke_len)
+message(STATUS "${SMOKE_EXE}: exit 0, ${smoke_len} bytes of stdout")

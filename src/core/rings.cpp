@@ -1,13 +1,14 @@
 #include "core/rings.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/bits.h"
 #include "common/check.h"
 
 namespace ron {
 
-RingsOfNeighbors::RingsOfNeighbors(std::size_t n) : rings_(n) {
+RingsOfNeighbors::RingsOfNeighbors(std::size_t n) : rings_(n), neighbors_(n) {
   RON_CHECK(n >= 1);
 }
 
@@ -19,6 +20,15 @@ void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
   for (NodeId v : ring.members) {
     RON_CHECK(v < rings_.size(), "ring member out of range");
   }
+  std::vector<NodeId>& cache = neighbors_[u];
+  const std::size_t old_degree = cache.size();
+  std::vector<NodeId> merged;
+  merged.reserve(old_degree + ring.members.size());
+  std::set_union(cache.begin(), cache.end(), ring.members.begin(),
+                 ring.members.end(), std::back_inserter(merged));
+  cache = std::move(merged);
+  total_degree_ += cache.size() - old_degree;
+  max_degree_ = std::max(max_degree_, cache.size());
   rings_[u].push_back(std::move(ring));
 }
 
@@ -27,33 +37,13 @@ std::span<const Ring> RingsOfNeighbors::rings(NodeId u) const {
   return rings_[u];
 }
 
-std::vector<NodeId> RingsOfNeighbors::all_neighbors(NodeId u) const {
+const std::vector<NodeId>& RingsOfNeighbors::all_neighbors(NodeId u) const {
   RON_CHECK(u < rings_.size());
-  std::vector<NodeId> all;
-  for (const Ring& r : rings_[u]) {
-    all.insert(all.end(), r.members.begin(), r.members.end());
-  }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  return all;
+  return neighbors_[u];
 }
 
 std::size_t RingsOfNeighbors::out_degree(NodeId u) const {
   return all_neighbors(u).size();
-}
-
-std::size_t RingsOfNeighbors::max_out_degree() const {
-  std::size_t d = 0;
-  for (NodeId u = 0; u < rings_.size(); ++u) {
-    d = std::max(d, out_degree(u));
-  }
-  return d;
-}
-
-double RingsOfNeighbors::avg_out_degree() const {
-  std::size_t total = 0;
-  for (NodeId u = 0; u < rings_.size(); ++u) total += out_degree(u);
-  return static_cast<double>(total) / static_cast<double>(rings_.size());
 }
 
 std::uint64_t RingsOfNeighbors::pointer_bits(NodeId u) const {

@@ -44,14 +44,18 @@ class RingsOfNeighbors {
 
   std::span<const Ring> rings(NodeId u) const;
 
-  /// Distinct neighbors of u across all rings, sorted by id.
-  std::vector<NodeId> all_neighbors(NodeId u) const;
+  /// Distinct neighbors of u across all rings, sorted by id. O(1): served
+  /// from a cache maintained incrementally by add_ring.
+  const std::vector<NodeId>& all_neighbors(NodeId u) const;
 
-  /// Number of distinct neighbors (the out-degree of the overlay).
+  /// Number of distinct neighbors (the out-degree of the overlay). O(1).
   std::size_t out_degree(NodeId u) const;
 
-  std::size_t max_out_degree() const;
-  double avg_out_degree() const;
+  std::size_t max_out_degree() const { return max_degree_; }
+  double avg_out_degree() const {
+    return static_cast<double>(total_degree_) /
+           static_cast<double>(rings_.size());
+  }
 
   /// Bits to store u's neighbor pointers as global node ids
   /// (#neighbors * ceil(log2 n) — the paper's baseline encoding).
@@ -59,6 +63,11 @@ class RingsOfNeighbors {
 
  private:
   std::vector<std::vector<Ring>> rings_;
+  // Accounting caches, updated by add_ring. Degrees only grow (rings are
+  // append-only), so the max never needs recomputation.
+  std::vector<std::vector<NodeId>> neighbors_;  // sorted-unique union per node
+  std::size_t max_degree_ = 0;
+  std::uint64_t total_degree_ = 0;
 };
 
 /// Policy (1): `count` nodes sampled uniformly (with replacement, then

@@ -2,31 +2,93 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/check.h"
 
 namespace ron {
 
-ProximityIndex::ProximityIndex(const MetricSpace& metric)
+ProximityIndex::ProximityIndex(const MetricSpace& metric, unsigned num_threads)
     : metric_(metric), n_(metric.n()) {
   RON_CHECK(n_ >= 2, "ProximityIndex needs >= 2 nodes");
   rows_.resize(n_ * n_);
-  for (NodeId u = 0; u < n_; ++u) {
-    Neighbor* r = &rows_[static_cast<std::size_t>(u) * n_];
-    for (NodeId v = 0; v < n_; ++v) {
-      r[v] = Neighbor{metric_.distance(u, v), v};
+
+  // Each row only touches its own slice of rows_, so rows build
+  // independently; dmin/dmax are reduced per worker and merged after join.
+  auto build_rows = [this](NodeId begin, NodeId end, Dist& dmin_out,
+                           Dist& dmax_out) {
+    Dist dmin = kInfDist;
+    Dist dmax = 0.0;
+    for (NodeId u = begin; u < end; ++u) {
+      Neighbor* r = &rows_[static_cast<std::size_t>(u) * n_];
+      for (NodeId v = 0; v < n_; ++v) {
+        r[v] = Neighbor{metric_.distance(u, v), v};
+      }
+      std::sort(r, r + n_, [](const Neighbor& a, const Neighbor& b) {
+        if (a.d != b.d) return a.d < b.d;
+        return a.v < b.v;
+      });
+      RON_CHECK(r[0].v == u && r[0].d == 0.0,
+                "row must start with (0, u); duplicate points?");
+      RON_CHECK(r[1].d > 0.0, "duplicate point detected at node " << u);
+      dmin = std::min(dmin, r[1].d);
+      dmax = std::max(dmax, r[n_ - 1].d);
     }
-    std::sort(r, r + n_, [](const Neighbor& a, const Neighbor& b) {
-      if (a.d != b.d) return a.d < b.d;
-      return a.v < b.v;
-    });
-    RON_CHECK(r[0].v == u && r[0].d == 0.0,
-              "row must start with (0, u); duplicate points?");
-    RON_CHECK(r[1].d > 0.0, "duplicate point detected at node " << u);
-    dmin_ = std::min(dmin_, r[1].d);
-    dmax_ = std::max(dmax_, r[n_ - 1].d);
+    dmin_out = dmin;
+    dmax_out = dmax;
+  };
+
+  if (num_threads == 0) {
+    // Auto: one thread per core, except below a size where the whole build
+    // is microseconds of work and spawn/join would dominate. An explicit
+    // num_threads > 1 is always honored.
+    num_threads =
+        n_ < 256 ? 1 : std::max(1u, std::thread::hardware_concurrency());
   }
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, n_));
+
+  if (num_threads <= 1) {
+    build_rows(0, static_cast<NodeId>(n_), dmin_, dmax_);
+  } else {
+    const std::size_t chunk = (n_ + num_threads - 1) / num_threads;
+    std::vector<Dist> mins(num_threads, kInfDist);
+    std::vector<Dist> maxs(num_threads, 0.0);
+    std::vector<std::exception_ptr> errors(num_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    try {
+      for (unsigned t = 0; t < num_threads; ++t) {
+        const auto begin = static_cast<NodeId>(std::min(n_, t * chunk));
+        const auto end = static_cast<NodeId>(std::min(n_, (t + 1) * chunk));
+        workers.emplace_back([&, t, begin, end] {
+          try {
+            build_rows(begin, end, mins[t], maxs[t]);
+          } catch (...) {
+            errors[t] = std::current_exception();
+          }
+        });
+      }
+    } catch (...) {
+      // Thread spawn failed (resource limit): join what started, then
+      // propagate instead of letting ~thread() call std::terminate.
+      for (std::thread& w : workers) w.join();
+      throw;
+    }
+    for (std::thread& w : workers) w.join();
+    // RON_CHECK throws on invalid input (e.g. duplicate points); surface the
+    // first worker failure with its original message.
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    dmin_ = *std::min_element(mins.begin(), mins.end());
+    dmax_ = *std::max_element(maxs.begin(), maxs.end());
+  }
+
   num_levels_ = std::max(1, ceil_log2(n_));
   num_scales_ = std::max(1, floor_log2_real(aspect_ratio()) + 1);
 }
@@ -63,9 +125,14 @@ Dist ProximityIndex::rank_radius(NodeId u, double eps) const {
 
 Dist ProximityIndex::level_radius(NodeId u, int i) const {
   RON_CHECK(i >= 0, "level_radius: i >= 0 (use level_radius_prev for i-1)");
-  const double eps = std::ldexp(1.0, -i);  // 2^-i
-  if (eps >= 1.0) return kth_radius(u, n_);
-  return rank_radius(u, eps);
+  // k = ceil(n / 2^i) in exact integer arithmetic: floor((n-1) / 2^i) + 1
+  // for n >= 1. Once 2^i >= n the level holds a single node; shifting by
+  // >= the width of size_t is undefined, so clamp those i to k = 1.
+  std::size_t k = 1;
+  if (i < std::numeric_limits<std::size_t>::digits) {
+    k = ((n_ - 1) >> i) + 1;
+  }
+  return kth_radius(u, k);
 }
 
 NodeId ProximityIndex::nearest_in(NodeId u,

@@ -26,7 +26,13 @@ class ProximityIndex {
     NodeId v;
   };
 
-  explicit ProximityIndex(const MetricSpace& metric);
+  /// Builds the per-node distance-sorted rows. Row construction is
+  /// independent across nodes and runs on `num_threads` threads
+  /// (0 = one per hardware core, or serial for small metrics); results are
+  /// identical for any thread count. `metric.distance()` must be safe to
+  /// call concurrently.
+  explicit ProximityIndex(const MetricSpace& metric,
+                          unsigned num_threads = 0);
 
   const MetricSpace& metric() const { return metric_; }
   std::size_t n() const { return n_; }
@@ -47,10 +53,12 @@ class ProximityIndex {
 
   /// r_u(eps): radius of the smallest closed ball around u containing at
   /// least eps*n nodes (eps in (0, 1]); implemented as kth_radius with
-  /// k = ceil(eps * n).
+  /// k = ceil(eps * n). For the dyadic levels eps = 2^-i prefer
+  /// level_radius, which computes k in exact integer arithmetic.
   Dist rank_radius(NodeId u, double eps) const;
 
-  /// r_{u,i} = r_u(2^-i) for i >= 0 (k = ceil(n / 2^i), clamped to >= 1).
+  /// r_{u,i} = r_u(2^-i) for i >= 0, with k = ceil(n / 2^i) computed in
+  /// exact integer arithmetic (clamped to >= 1, so large i is fine).
   Dist level_radius(NodeId u, int i) const;
 
   /// r_{u,i-1} with the paper's boundary convention r_{u,-1} = +infinity.

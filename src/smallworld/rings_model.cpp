@@ -37,8 +37,6 @@ RingsSmallWorld::RingsSmallWorld(const ProximityIndex& prox,
           u, sample_measure_ball_ring(mu, u, radius, y_samples, rng));
     }
   }
-  contacts_.resize(n);
-  for (NodeId u = 0; u < n; ++u) contacts_[u] = rings_.all_neighbors(u);
   ring_slots_ =
       (params_.with_x ? static_cast<std::size_t>(prox_.num_levels()) *
                             x_samples
@@ -47,8 +45,7 @@ RingsSmallWorld::RingsSmallWorld(const ProximityIndex& prox,
 }
 
 std::span<const NodeId> RingsSmallWorld::contacts(NodeId u) const {
-  RON_CHECK(u < contacts_.size());
-  return contacts_[u];
+  return rings_.all_neighbors(u);
 }
 
 NodeId RingsSmallWorld::next_hop(NodeId u, NodeId t) const {

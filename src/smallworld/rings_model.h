@@ -53,8 +53,7 @@ class RingsSmallWorld final : public SmallWorldModel {
  private:
   const ProximityIndex& prox_;
   RingsModelParams params_;
-  RingsOfNeighbors rings_;
-  std::vector<std::vector<NodeId>> contacts_;  // flattened, deduped
+  RingsOfNeighbors rings_;  // contacts(u) serves its deduped neighbor cache
   std::size_t ring_slots_ = 0;
 };
 

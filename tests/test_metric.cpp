@@ -192,6 +192,52 @@ TEST_F(ProximityTest, LevelRadiusConventions) {
   }
 }
 
+TEST(Proximity, ParallelBuildMatchesSingleThreaded) {
+  // Rows, extrema, and derived counts must be bit-identical for any thread
+  // count (the build partitions rows; it never partitions work within a row).
+  auto metric = random_cube_metric(73, 3, 21);
+  ProximityIndex serial(metric, 1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    ProximityIndex parallel(metric, threads);
+    EXPECT_EQ(parallel.dmin(), serial.dmin());
+    EXPECT_EQ(parallel.dmax(), serial.dmax());
+    EXPECT_EQ(parallel.num_levels(), serial.num_levels());
+    EXPECT_EQ(parallel.num_scales(), serial.num_scales());
+    for (NodeId u = 0; u < serial.n(); ++u) {
+      auto rs = serial.row(u);
+      auto rp = parallel.row(u);
+      ASSERT_EQ(rp.size(), rs.size());
+      for (std::size_t k = 0; k < rs.size(); ++k) {
+        EXPECT_EQ(rp[k].v, rs[k].v);
+        EXPECT_EQ(rp[k].d, rs[k].d);
+      }
+    }
+  }
+}
+
+TEST(Proximity, LevelRadiusExactIntegerRanks) {
+  // level_radius must agree with the integer reference k_i = ceil(n / 2^i),
+  // computed here independently by iterated ceiling-halving
+  // (ceil(ceil(n/2)/2) == ceil(n/4), etc.), for every level and well past
+  // num_levels. Prime n exercises the non-divisible case on every level;
+  // power-of-two n exercises the exactly-divisible one.
+  for (std::size_t n : {97u, 128u}) {
+    auto metric = random_cube_metric(n, 2, 7);
+    ProximityIndex prox(metric);
+    std::size_t k_ref = n;
+    for (int i = 0; i <= prox.num_levels() + 4; ++i) {
+      for (NodeId u : {NodeId{0}, static_cast<NodeId>(n / 2),
+                       static_cast<NodeId>(n - 1)}) {
+        EXPECT_EQ(prox.level_radius(u, i), prox.kth_radius(u, k_ref))
+            << "n=" << n << " u=" << u << " i=" << i << " k=" << k_ref;
+      }
+      k_ref = (k_ref + 1) / 2;
+    }
+    // Far past the last level the ball degenerates to the node itself.
+    EXPECT_EQ(prox.level_radius(0, 1000), 0.0);
+  }
+}
+
 TEST_F(ProximityTest, AspectRatioAndScales) {
   EXPECT_GT(prox_.dmin(), 0.0);
   EXPECT_GT(prox_.dmax(), prox_.dmin());

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bits.h"
 #include "common/check.h"
 #include "core/rings.h"
 #include "metric/euclidean.h"
@@ -29,6 +30,51 @@ TEST(RingsContainer, AddAndQuery) {
   EXPECT_EQ(rings.max_out_degree(), 4u);
   EXPECT_NEAR(rings.avg_out_degree(), 0.4, 1e-12);
   EXPECT_EQ(rings.pointer_bits(0), 4u * 4u);  // 4 ids x ceil(log2 10)
+}
+
+// Recomputes u's distinct-neighbor set from the stored rings, independently
+// of the container's incremental accounting cache.
+std::vector<NodeId> brute_force_neighbors(const RingsOfNeighbors& rings,
+                                          NodeId u) {
+  std::vector<NodeId> all;
+  for (const Ring& r : rings.rings(u)) {
+    all.insert(all.end(), r.members.begin(), r.members.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+TEST(RingsContainer, AccountingConsistentAcrossIncrementalAddRing) {
+  const std::size_t n = 12;
+  RingsOfNeighbors rings(n);
+  // Interleave overlapping, disjoint, and empty rings across several nodes
+  // and re-check every accounting quantity against a from-scratch reference
+  // after each insertion.
+  const std::vector<std::pair<NodeId, std::vector<NodeId>>> additions = {
+      {0, {3, 5, 7}},   {0, {5, 9}},      {0, {}},
+      {1, {0}},         {1, {0, 1, 2}},   {4, {11, 11, 2}},
+      {0, {3, 5, 7}},  // exact duplicate ring: degree must not change
+      {4, {10}},        {11, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}},
+  };
+  double scale = 0.0;
+  for (const auto& [u, members] : additions) {
+    rings.add_ring(u, Ring{scale += 1.0, members});
+    std::size_t total = 0;
+    std::size_t max_deg = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto expected = brute_force_neighbors(rings, v);
+      EXPECT_EQ(rings.all_neighbors(v), expected);
+      EXPECT_EQ(rings.out_degree(v), expected.size());
+      EXPECT_EQ(rings.pointer_bits(v),
+                expected.size() * bits_for_index(n));
+      total += expected.size();
+      max_deg = std::max(max_deg, expected.size());
+    }
+    EXPECT_EQ(rings.max_out_degree(), max_deg);
+    EXPECT_NEAR(rings.avg_out_degree(),
+                static_cast<double>(total) / static_cast<double>(n), 1e-12);
+  }
 }
 
 TEST(RingsContainer, RejectsBadMembers) {
