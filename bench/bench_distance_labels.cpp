@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common/bits.h"
 
@@ -90,30 +91,39 @@ void run_metric(const std::string& name, const MetricSpace& metric,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-DLS",
                "Theorem 3.4 — distance labels, log log Δ dependence",
-               "geometric line: Δ-sweep at n=192 (base 1.1..1.5) and "
-               "n-sweep at base 1.3; Euclidean cloud n=192");
+               quick ? "quick mode: geoline n=96 base 1.3; Euclidean n=96"
+                     : "geometric line: Δ-sweep at n=192 (base 1.1..1.5) and "
+                       "n-sweep at base 1.3; Euclidean cloud n=192");
   CsvWriter csv("bench_distance_labels.csv",
                 {"metric", "n", "log_delta", "delta", "thm34_bits_max",
                  "corollary_bits_max", "trivial_bits", "worst_ratio"});
-  // (1) Δ-sweep at fixed n: log Δ spans ~27..112 while n stays 192.
-  for (double base : {1.1, 1.2, 1.3, 1.5}) {
-    GeometricLineMetric line(192, base);
+  const std::size_t sweep_n = quick ? 96 : 192;
+  // (1) Δ-sweep at fixed n: log Δ spans ~27..112 while n stays fixed.
+  const std::vector<double> bases =
+      quick ? std::vector<double>{1.3} : std::vector<double>{1.1, 1.2, 1.3,
+                                                             1.5};
+  for (double base : bases) {
+    GeometricLineMetric line(sweep_n, base);
     run_metric("geoline-b" + std::to_string(base).substr(0, 3), line, 0.25,
                &csv);
   }
   // (2) n-sweep.
-  for (std::size_t n : {96u, 192u, 384u}) {
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{96} : std::vector<std::size_t>{96, 192,
+                                                                      384};
+  for (std::size_t n : ns) {
     GeometricLineMetric line(n, 1.3);
     run_metric("geoline-n" + std::to_string(n), line, 0.25, &csv);
   }
   // (3) a dense cloud for reference (constants dominate here; see
   // EXPERIMENTS.md).
-  auto cloud = random_cube_metric(192, 2, 31);
-  run_metric("euclid-192", cloud, 0.25, &csv);
+  auto cloud = random_cube_metric(sweep_n, 2, 31);
+  run_metric("euclid-" + std::to_string(sweep_n), cloud, 0.25, &csv);
   std::cout << "\nCSV written to bench_distance_labels.csv\n";
   return 0;
 }

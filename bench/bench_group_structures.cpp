@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/report.h"
 #include "common/csv.h"
@@ -68,26 +69,31 @@ void contact_distribution(const ProximityIndex& prox, std::size_t trials,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-SW-K",
                "Theorem 5.4 — equivalence with STRUCTURES [32] on "
                "UL-constrained metrics",
-               "16x16 grid metric; 30 independent contact-graph samples for "
-               "the distribution check; 1000 queries per model");
-  auto metric = grid_metric(16, 16);
+               quick ? "quick mode: 10x10 grid; 5 samples; 200 queries"
+                     : "16x16 grid metric; 30 independent contact-graph "
+                       "samples for the distribution check; 1000 queries per "
+                       "model");
+  const std::size_t side = quick ? 10 : 16;
+  const std::size_t queries = quick ? 200 : 1000;
+  auto metric = grid_metric(side, side);
   ProximityIndex prox(metric);
   NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
                                           std::log2(prox.aspect_ratio()))) +
                                           1));
   MeasureView mu(prox, doubling_measure(nets));
-  const double log_n = std::log2(256.0);
+  const double log_n = std::log2(static_cast<double>(side * side));
 
   std::cout << "\n(a)+(b)+(c): hops, greediness, degree on the grid\n";
   ConsoleTable table({"model", "out-deg max/avg", "deg/log^2 n",
                       "hops mean/p99/max", "non-greedy", "failures"});
   auto add = [&](const SmallWorldModel& model) {
-    const SwStats stats = evaluate_model(model, 1000, 17, 100000);
+    const SwStats stats = evaluate_model(model, queries, 17, 100000);
     table.add_row({model.name(),
                    fmt_int(model.max_out_degree()) + " / " +
                        fmt_double(model.avg_out_degree(), 1),
@@ -108,7 +114,7 @@ int main() {
   std::cout << "\n(d): contact probability vs 1/x_uv (STRUCTURES)\n";
   CsvWriter csv("bench_group_structures.csv",
                 {"bucket", "pr_contact", "normalized"});
-  contact_distribution(prox, 30, &csv);
+  contact_distribution(prox, quick ? 5 : 30, &csv);
   std::cout << "\nCSV written to bench_group_structures.csv\n";
   return 0;
 }

@@ -1,0 +1,135 @@
+// Experiment E-ORACLE — serving throughput of the oracle subsystem.
+//
+// Claims checked (this is a systems bench, not a paper artifact — the paper
+// only argues the structures are small; here we measure that they are also
+// fast to serve):
+//   (1) round-trip fidelity: save -> load -> estimate is bit-identical to
+//       the in-memory labeling on EVERY pair of a full n^2 sweep;
+//   (2) batched QPS scales with the engine's worker threads (the headline
+//       figure is qps at 8 workers vs 1 — note the speedup is bounded by
+//       the machine's core count, which is stamped into the output);
+//   (3) a bounded LRU cache turns repeated traffic into hits.
+//
+// RON_BENCH_QUICK=1 (or --quick) shrinks the workload to CI-smoke size.
+#include <cmath>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "labeling/neighbor_system.h"
+#include "metric/clustered.h"
+#include "metric/proximity.h"
+#include "oracle/engine.h"
+#include "oracle/snapshot.h"
+
+namespace ron {
+namespace {
+
+double run_qps(const DistanceLabeling& labeling, unsigned threads,
+               std::size_t cache, std::span<const QueryPair> pairs,
+               std::size_t batch, std::size_t* hits = nullptr) {
+  OracleOptions opts;
+  opts.num_threads = threads;
+  opts.cache_capacity = cache;
+  OracleEngine engine(labeling, opts);
+  double seconds = 0.0;
+  if (hits != nullptr) *hits = 0;
+  for (std::size_t off = 0; off < pairs.size(); off += batch) {
+    const std::size_t count = std::min(batch, pairs.size() - off);
+    engine.estimate_batch(pairs.subspan(off, count));
+    seconds += engine.last_batch_stats().seconds;
+    if (hits != nullptr) *hits += engine.last_batch_stats().cache_hits;
+  }
+  return seconds > 0.0 ? static_cast<double>(pairs.size()) / seconds : 0.0;
+}
+
+}  // namespace
+}  // namespace ron
+
+int main(int argc, char** argv) {
+  using namespace ron;
+  const bool quick = bench_quick(argc, argv);
+  print_banner(std::cout, "E-ORACLE",
+               "oracle serving layer — snapshot fidelity and batched QPS",
+               quick ? "clustered metric n=96 (quick mode)"
+                     : "clustered metric n=480, 200k random queries");
+
+  ClusteredParams params;
+  params.per_cluster = 16;
+  params.clusters = quick ? 6 : 30;
+  auto metric = clustered_metric(params, /*seed=*/2025);
+  ProximityIndex prox(metric);
+  const double delta = 0.25;
+  NeighborSystem sys(prox, delta);
+  DistanceLabeling built(sys);
+  const std::size_t n = built.n();
+
+  // (1) Round-trip fidelity through the snapshot, full n^2 sweep.
+  const std::string snapshot = "bench_oracle_qps.snapshot.ron";
+  OracleMeta meta{metric.name(), n, 2025, delta};
+  save_oracle(meta, built, snapshot);
+  LoadedOracle loaded = load_oracle(snapshot);
+  std::size_t mismatches = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      const Dist a =
+          DistanceLabeling::estimate(built.label(u), built.label(v)).upper;
+      const Dist b = DistanceLabeling::estimate(loaded.labeling.label(u),
+                                                loaded.labeling.label(v))
+                         .upper;
+      if (a != b) ++mismatches;  // bit-identical, no tolerance
+    }
+  }
+  std::cout << "round trip: " << n * n << " pairs, " << mismatches
+            << " mismatches (save -> load -> estimate must be "
+               "bit-identical)\n\n";
+
+  // (2) Thread sweep on one shared random workload.
+  const std::size_t queries = quick ? 20000 : 200000;
+  const std::size_t batch = 8192;
+  Rng rng(99);
+  const std::vector<QueryPair> pairs = random_query_pairs(queries, n, rng);
+
+  CsvWriter csv("bench_oracle_qps.csv",
+                {"threads", "cache", "qps", "speedup", "cache_hits"});
+  ConsoleTable table({"workers", "qps", "speedup vs 1"});
+  double qps1 = 0.0;
+  double qps8 = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const double qps = run_qps(loaded.labeling, threads, 0, pairs, batch);
+    if (threads == 1) qps1 = qps;
+    if (threads == 8) qps8 = qps;
+    table.add_row({std::to_string(threads), fmt_double(qps, 0),
+                   fmt_double(qps / qps1, 2)});
+    csv.add_row({std::to_string(threads), "0", std::to_string(qps),
+                 std::to_string(qps / qps1), "0"});
+  }
+  table.print(std::cout);
+
+  // (3) Cache effectiveness: replay the same workload twice through a cache
+  // sized to hold it; the second pass should be nearly all hits.
+  std::vector<QueryPair> doubled(pairs.begin(), pairs.end());
+  doubled.insert(doubled.end(), pairs.begin(), pairs.end());
+  std::size_t hits = 0;
+  const double qps_cached =
+      run_qps(loaded.labeling, 8, 2 * queries, doubled, batch, &hits);
+  std::cout << "\n8 workers + LRU(" << 2 * queries << "): replayed workload, "
+            << hits << "/" << doubled.size() << " cache hits, "
+            << fmt_double(qps_cached, 0) << " qps\n";
+  csv.add_row({"8", std::to_string(2 * queries), std::to_string(qps_cached),
+               std::to_string(qps_cached / qps1), std::to_string(hits)});
+
+  std::cout << "\n{\"bench\":\"oracle_qps\",\"n\":" << n
+            << ",\"queries\":" << queries << ",\"quick\":" << (quick ? 1 : 0)
+            << ",\"roundtrip_mismatches\":" << mismatches
+            << ",\"qps_1\":" << qps1 << ",\"qps_8\":" << qps8
+            << ",\"speedup_8\":" << (qps1 > 0.0 ? qps8 / qps1 : 0.0)
+            << ",\"cached_qps\":" << qps_cached << ",\"cache_hits\":" << hits
+            << "}\n";
+  std::cout << "CSV written to bench_oracle_qps.csv\n";
+  return mismatches == 0 ? 0 : 1;
+}

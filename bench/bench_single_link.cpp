@@ -7,6 +7,7 @@
 // removing the long links (local-only routing) pays Θ(n) / Θ(sqrt n).
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/report.h"
 #include "common/csv.h"
@@ -49,28 +50,42 @@ void run_graph(const std::string& name, WeightedGraph g, std::size_t queries,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-SW-1",
                "Theorem 5.5 — one long-range contact per node, "
                "2^O(a) log^2 Δ greedy hops",
-               "cycles n in {256..1024}, grids up to 32x32; Kleinberg grid "
-               "[30] baseline; 1200 queries each");
+               quick ? "quick mode: cycle-256, grid-16, Kleinberg 16 q=1; "
+                       "300 queries each"
+                     : "cycles n in {256..1024}, grids up to 32x32; Kleinberg "
+                       "grid [30] baseline; 1200 queries each");
+  const std::size_t queries = quick ? 300 : 1200;
   CsvWriter csv("bench_single_link.csv",
                 {"graph", "n", "log_delta", "hops_mean", "hops_max",
                  "failures"});
-  for (std::size_t n : {256u, 512u, 1024u}) {
-    run_graph("cycle-" + std::to_string(n), cycle_graph(n), 1200, &csv);
+  const std::vector<std::size_t> cycle_ns =
+      quick ? std::vector<std::size_t>{256}
+            : std::vector<std::size_t>{256, 512, 1024};
+  for (std::size_t n : cycle_ns) {
+    run_graph("cycle-" + std::to_string(n), cycle_graph(n), queries, &csv);
   }
-  for (std::size_t side : {16u, 24u, 32u}) {
-    run_graph("grid-" + std::to_string(side), grid_graph(side, side), 1200,
+  const std::vector<std::size_t> grid_sides =
+      quick ? std::vector<std::size_t>{16}
+            : std::vector<std::size_t>{16, 24, 32};
+  for (std::size_t side : grid_sides) {
+    run_graph("grid-" + std::to_string(side), grid_graph(side, side), queries,
               &csv);
   }
   std::cout << "\nKleinberg grid [30] baseline (greedy, q long links):\n";
-  for (std::size_t side : {16u, 32u}) {
-    for (std::size_t q : {1u, 3u}) {
+  const std::vector<std::size_t> kg_sides =
+      quick ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 32};
+  const std::vector<std::size_t> kg_qs =
+      quick ? std::vector<std::size_t>{1} : std::vector<std::size_t>{1, 3};
+  for (std::size_t side : kg_sides) {
+    for (std::size_t q : kg_qs) {
       KleinbergGrid model(side, q, 17);
-      const SwStats stats = evaluate_model(model, 1200, 13, 1000000);
+      const SwStats stats = evaluate_model(model, queries, 13, 1000000);
       const double log_n =
           std::log2(static_cast<double>(side) * static_cast<double>(side));
       std::cout << "  torus " << side << "x" << side << " q=" << q

@@ -7,6 +7,7 @@
 // the non-greedy step (**) fires).
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/report.h"
 #include "common/csv.h"
@@ -70,17 +71,23 @@ void run_line(std::size_t n, std::size_t queries, CsvWriter* csv) {
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-SW-B",
                "Theorem 5.2(b) — out-degree sqrt(logΔ) with non-greedy "
                "strongly-local routing",
-               "geometric line n in {128, 256, 512}; 1500 queries each");
+               quick ? "quick mode: geometric line n=128; 300 queries"
+                     : "geometric line n in {128, 256, 512}; 1500 queries "
+                       "each");
   CsvWriter csv("bench_smallworld_degree.csv",
                 {"n", "log_delta", "model", "avg_out_degree", "ring_slots",
                  "hops_mean", "nongreedy", "failures"});
-  for (std::size_t n : {128u, 256u, 512u}) {
-    run_line(n, 1500, &csv);
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{128, 256, 512};
+  for (std::size_t n : ns) {
+    run_line(n, quick ? 300 : 1500, &csv);
   }
   std::cout << "\nCSV written to bench_smallworld_degree.csv\n";
   return 0;

@@ -9,6 +9,7 @@
 // story for why X-rings only matter at large Δ.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/report.h"
 #include "common/csv.h"
@@ -67,22 +68,30 @@ void run_metric(const std::string& name, const MetricSpace& metric,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-SW-A",
                "Theorem 5.2(a) — O(log n)-hop greedy small worlds vs the "
                "O(log Δ) Y-only foil",
-               "geometric line n in {128, 256, 512} (logΔ = Θ(n)); "
-               "Euclidean cloud n=512; 1500 queries each");
+               quick ? "quick mode: geometric line n=128; Euclidean cloud "
+                       "n=128; 300 queries each"
+                     : "geometric line n in {128, 256, 512} (logΔ = Θ(n)); "
+                       "Euclidean cloud n=512; 1500 queries each");
+  const std::size_t queries = quick ? 300 : 1500;
   CsvWriter csv("bench_smallworld_hops.csv",
                 {"metric", "n", "log_delta", "model", "max_out_degree",
                  "hops_mean", "hops_max", "failures"});
-  for (std::size_t n : {128u, 256u, 512u}) {
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{128, 256, 512};
+  for (std::size_t n : ns) {
     GeometricLineMetric line(n, 1.5);
-    run_metric("geoline-" + std::to_string(n), line, 1500, &csv);
+    run_metric("geoline-" + std::to_string(n), line, queries, &csv);
   }
-  auto cloud = random_cube_metric(512, 2, 41);
-  run_metric("euclid-512", cloud, 1500, &csv);
+  const std::size_t cloud_n = quick ? 128 : 512;
+  auto cloud = random_cube_metric(cloud_n, 2, 41);
+  run_metric("euclid-" + std::to_string(cloud_n), cloud, queries, &csv);
   std::cout << "\nCSV written to bench_smallworld_hops.csv\n";
   return 0;
 }

@@ -15,6 +15,7 @@
 // Ω(n log n) table bits for stretch 1.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common/bits.h"
 #include <memory>
@@ -96,23 +97,40 @@ void run_on_graph(const std::string& graph_name, WeightedGraph g,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "T1",
                "Table 1 — (1+delta)-stretch routing on doubling graphs",
-               "grid 16x16, random geometric n=256, ring-of-cliques 16x8; "
-               "2000 queries each");
+               quick ? "quick mode: grid 10x10, geometric n=96, "
+                       "ring-of-cliques 8x6; 300 queries each"
+                     : "grid 16x16, random geometric n=256, ring-of-cliques "
+                       "16x8; 2000 queries each");
+  const std::size_t queries = quick ? 300 : 2000;
   CsvWriter csv("bench_table1.csv",
                 {"graph", "delta", "scheme", "max_stretch", "max_table_bits",
                  "max_label_bits", "header_bits"});
-  for (double delta : {0.5, 0.25, 0.125}) {
-    run_on_graph("grid-16x16", grid_graph(16, 16, 0.2, 3), delta, 2000,
+  const std::vector<double> deltas =
+      quick ? std::vector<double>{0.25} : std::vector<double>{0.5, 0.25,
+                                                              0.125};
+  const std::size_t side = quick ? 10 : 16;
+  const std::string grid_name =
+      "grid-" + std::to_string(side) + "x" + std::to_string(side);
+  for (double delta : deltas) {
+    run_on_graph(grid_name, grid_graph(side, side, 0.2, 3), delta, queries,
                  &csv);
   }
-  run_on_graph("geometric-256", random_geometric_graph(256, 0.09, 5), 0.25,
-               2000, &csv);
-  run_on_graph("ring-of-cliques-16x8", ring_of_cliques(16, 8, 12.0), 0.25,
-               2000, &csv);
+  if (quick) {
+    run_on_graph("geometric-96", random_geometric_graph(96, 0.15, 5), 0.25,
+                 queries, &csv);
+    run_on_graph("ring-of-cliques-8x6", ring_of_cliques(8, 6, 12.0), 0.25,
+                 queries, &csv);
+  } else {
+    run_on_graph("geometric-256", random_geometric_graph(256, 0.09, 5), 0.25,
+                 queries, &csv);
+    run_on_graph("ring-of-cliques-16x8", ring_of_cliques(16, 8, 12.0), 0.25,
+                 queries, &csv);
+  }
   std::cout << "\nCSV written to bench_table1.csv\n";
   return 0;
 }

@@ -14,6 +14,7 @@
 // far below global-id headers.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/report.h"
 #include "common/csv.h"
@@ -77,23 +78,31 @@ void run_on_metric(const MetricSpace& metric, double delta,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "T2",
                "Table 2 — (1+delta)-stretch routing on doubling metrics",
-               "Euclidean clouds n in {256, 512, 1024}; geometric line "
-               "n=384 (logΔ ~ 0.58 n)");
+               quick ? "quick mode: Euclidean cloud n=128; geometric line "
+                       "n=128"
+                     : "Euclidean clouds n in {256, 512, 1024}; geometric "
+                       "line n=384 (logΔ ~ 0.58 n)");
+  const std::size_t queries = quick ? 300 : 2000;
   CsvWriter csv("bench_table2.csv",
                 {"metric", "n", "delta", "scheme", "max_out_degree",
                  "max_table_bits", "header_bits"});
-  for (std::size_t n : {256u, 512u, 1024u}) {
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{256, 512, 1024};
+  for (std::size_t n : ns) {
     auto metric = random_cube_metric(n, 2, 21 + n);
     // The Theorem 4.1 overlay needs the full DLS; keep it to n <= 256 where
     // the zeta maps stay affordable (see EXPERIMENTS.md on constants).
-    run_on_metric(metric, 0.25, 2000, /*with_label_scheme=*/n <= 256, &csv);
+    run_on_metric(metric, 0.25, queries, /*with_label_scheme=*/n <= 256,
+                  &csv);
   }
-  GeometricLineMetric line(384, 1.5);
-  run_on_metric(line, 0.25, 2000, /*with_label_scheme=*/true, &csv);
+  GeometricLineMetric line(quick ? 128 : 384, 1.5);
+  run_on_metric(line, 0.25, queries, /*with_label_scheme=*/true, &csv);
   std::cout << "\nCSV written to bench_table2.csv\n";
   return 0;
 }

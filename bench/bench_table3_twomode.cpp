@@ -79,18 +79,27 @@ void run(const std::string& name, WeightedGraph g, CsvWriter* csv) {
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "T3",
                "Table 3 — Theorem B.1 mode M1 vs M2 space requirements",
-               "geometric graph n=128; grid 10x10; ring-of-cliques 12x8 "
-               "(scale gaps exercise M2); 2000 queries each");
+               quick ? "quick mode: geometric n=64; grid 8x8; "
+                       "ring-of-cliques 6x6"
+                     : "geometric graph n=128; grid 10x10; ring-of-cliques "
+                       "12x8 (scale gaps exercise M2); 2000 queries each");
   CsvWriter csv("bench_table3.csv",
                 {"graph", "n", "m1_table_max", "m2_table_max", "m1_header",
                  "m2_header", "n_delta", "max_stretch", "m2_switches"});
-  run("geometric-128", random_geometric_graph(128, 0.13, 17), &csv);
-  run("grid-10x10", grid_graph(10, 10, 0.2, 19), &csv);
-  run("ring-of-cliques-12x8", ring_of_cliques(12, 8, 20.0), &csv);
+  if (quick) {
+    run("geometric-64", random_geometric_graph(64, 0.18, 17), &csv);
+    run("grid-8x8", grid_graph(8, 8, 0.2, 19), &csv);
+    run("ring-of-cliques-6x6", ring_of_cliques(6, 6, 20.0), &csv);
+  } else {
+    run("geometric-128", random_geometric_graph(128, 0.13, 17), &csv);
+    run("grid-10x10", grid_graph(10, 10, 0.2, 19), &csv);
+    run("ring-of-cliques-12x8", ring_of_cliques(12, 8, 20.0), &csv);
+  }
   std::cout << "\nCSV written to bench_table3.csv\n";
   return 0;
 }

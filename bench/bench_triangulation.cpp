@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common/bits.h"
 
@@ -128,31 +129,36 @@ void run_metric(const std::string& name, const MetricSpace& metric,
 }  // namespace
 }  // namespace ron
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
+  const bool quick = bench_quick(argc, argv);
   print_banner(std::cout, "E-TRI",
                "Theorem 3.2 — (0,delta)-triangulation vs common beacons",
-               "clustered transit-stub cloud, Euclidean cloud, geometric "
-               "line; order/quality per delta");
+               quick ? "quick mode: clustered/Euclidean/geoline n=96"
+                     : "clustered transit-stub cloud, Euclidean cloud, "
+                       "geometric line; order/quality per delta");
+  const std::size_t n = quick ? 96 : 256;
   CsvWriter csv("bench_triangulation.csv",
                 {"metric", "n", "delta", "scheme", "order", "worst_ratio",
                  "frac_bad"});
   {
     ClusteredParams p;
-    p.clusters = 16;
     p.per_cluster = 16;
+    p.clusters = n / p.per_cluster;
     auto metric = clustered_metric(p, 7);
-    for (double delta : {0.25, 0.125}) {
-      run_metric("clustered-256", metric, delta, &csv);
+    const std::vector<double> deltas =
+        quick ? std::vector<double>{0.25} : std::vector<double>{0.25, 0.125};
+    for (double delta : deltas) {
+      run_metric("clustered-" + std::to_string(n), metric, delta, &csv);
     }
   }
   {
-    auto metric = random_cube_metric(256, 2, 9);
-    run_metric("euclid-256", metric, 0.25, &csv);
+    auto metric = random_cube_metric(n, 2, 9);
+    run_metric("euclid-" + std::to_string(n), metric, 0.25, &csv);
   }
   {
-    GeometricLineMetric metric(256, 1.5);
-    run_metric("geoline-256", metric, 0.25, &csv);
+    GeometricLineMetric metric(n, 1.5);
+    run_metric("geoline-" + std::to_string(n), metric, 0.25, &csv);
   }
   std::cout << "\nCSV written to bench_triangulation.csv\n";
   return 0;

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
 # Builds the benchmarks in Release and runs every bench target, emitting one
-# JSON line per bench (name, status, wall seconds, stdout bytes) to stdout
-# and to $OUT — the raw per-bench stdout is kept next to the binaries for
-# inspection. Intended for BENCH_*.json trajectory tracking across PRs.
+# JSON line per bench (name, status, wall seconds, stdout bytes, git commit,
+# nproc) to stdout and to $OUT — the raw per-bench stdout is kept next to the
+# binaries for inspection. Also assembles a single $ARTIFACT JSON object
+# (commit, machine, per-bench results) for BENCH_*.json trajectory tracking
+# across PRs.
 #
 # Usage: bench/run_all.sh [output.jsonl]
-#   BUILD_DIR=...   override the build directory (default: <repo>/build-bench)
+#   BUILD_DIR=...        override the build directory (default: <repo>/build-bench)
+#   ARTIFACT=...         override the artifact path (default: <repo>/BENCH_RESULTS.json)
+#   RON_BENCH_QUICK=1    reduced-size smoke mode (propagated to every bench)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
 OUT="${1:-$ROOT/BENCH_RESULTS.jsonl}"
+ARTIFACT="${ARTIFACT:-$ROOT/BENCH_RESULTS.json}"
+
+COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+NPROC="$(nproc)"
+# Normalized to 0/1: quick mode is "set to anything but 0", and the raw
+# value would be invalid JSON in the artifact.
+if [ "${RON_BENCH_QUICK:-0}" != "0" ]; then QUICK=1; else QUICK=0; fi
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DRON_BUILD_TESTS=OFF -DRON_BUILD_EXAMPLES=OFF >&2
-cmake --build "$BUILD" -j"$(nproc)" >&2
+cmake --build "$BUILD" -j"$NPROC" >&2
 
 : > "$OUT"
 shopt -s nullglob
@@ -22,15 +33,38 @@ for exe in "$BUILD"/bench/bench_*; do
   [ -x "$exe" ] && [ -f "$exe" ] || continue
   name="$(basename "$exe")"
   log="$BUILD/$name.stdout"
+  args=()
+  # The paper benches read RON_BENCH_QUICK themselves; the google-benchmark
+  # micro benches need their knob passed explicitly.
+  if [ "$QUICK" = "1" ] && [[ "$name" == bench_micro_* ]]; then
+    args+=(--benchmark_min_time=0.05)
+  fi
   start="$(date +%s.%N)"
   status=ok
-  "$exe" > "$log" 2>&1 || status=fail
+  (cd "$BUILD" && "$exe" ${args[@]+"${args[@]}"}) > "$log" 2>&1 || status=fail
   end="$(date +%s.%N)"
   secs="$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')"
   bytes="$(wc -c < "$log" | tr -d ' ')"
-  printf '{"bench":"%s","status":"%s","seconds":%s,"stdout_bytes":%s}\n' \
-    "$name" "$status" "$secs" "$bytes" | tee -a "$OUT"
+  # Benches that print a machine-readable {...} summary line get it embedded
+  # verbatim, so headline numbers (e.g. oracle QPS) live in the artifact.
+  detail="$(grep -E '^\{.*\}$' "$log" | tail -1 || true)"
+  if [ -n "$detail" ]; then
+    printf '{"bench":"%s","status":"%s","seconds":%s,"stdout_bytes":%s,"commit":"%s","nproc":%s,"detail":%s}\n' \
+      "$name" "$status" "$secs" "$bytes" "$COMMIT" "$NPROC" "$detail" | tee -a "$OUT"
+  else
+    printf '{"bench":"%s","status":"%s","seconds":%s,"stdout_bytes":%s,"commit":"%s","nproc":%s}\n' \
+      "$name" "$status" "$secs" "$bytes" "$COMMIT" "$NPROC" | tee -a "$OUT"
+  fi
 done
+
+# One self-contained JSON artifact per run for the cross-PR trajectory.
+{
+  printf '{"commit":"%s","nproc":%s,"quick":%s,"benches":[\n' \
+    "$COMMIT" "$NPROC" "$QUICK"
+  sed '$!s/$/,/' "$OUT"
+  printf ']}\n'
+} > "$ARTIFACT"
+echo "artifact written to $ARTIFACT" >&2
 
 fails="$(grep -c '"status":"fail"' "$OUT" || true)"
 if [ "$fails" != "0" ]; then

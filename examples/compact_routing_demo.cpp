@@ -3,6 +3,12 @@
 // full shortest-path tables cost Ω(n log n) bits per node; the Theorem 2.1
 // scheme routes within stretch 1+delta from tables that store only rings,
 // translation functions and first-hop pointers, with ~40-bit headers.
+//
+// Usage: compact_routing_demo [n] [seed]  (defaults: n=400, seed=5; n is
+// rounded down to the nearest square grid)
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 
@@ -14,10 +20,16 @@
 #include "routing/full_table_scheme.h"
 #include "routing/global_id_scheme.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
   std::cout << "== compact (1+delta)-stretch routing on a sensor grid ==\n";
-  auto g = grid_graph(20, 20, /*perturb=*/0.3, /*seed=*/5);
+  const std::size_t n =
+      argc > 1 ? std::max(16ul, std::strtoul(argv[1], nullptr, 10)) : 400;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+  const std::size_t side =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  auto g = grid_graph(side, side, /*perturb=*/0.3, seed);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric gm(apsp, "spm");
   ProximityIndex prox(gm);
@@ -42,8 +54,10 @@ int main() {
   }
   table.print(std::cout);
 
-  std::cout << "\nroute 0 -> 399 step by step header/table interplay:\n";
-  const RouteResult r = basic.route(0, 399, 100000);
+  const NodeId last = static_cast<NodeId>(side * side - 1);
+  std::cout << "\nroute 0 -> " << last
+            << " step by step header/table interplay:\n";
+  const RouteResult r = basic.route(0, last, 100000);
   std::cout << "  delivered = " << r.delivered << ", hops = " << r.hops
             << ", path length = " << r.path_length << ", stretch = "
             << r.stretch << "\n";

@@ -6,7 +6,11 @@
 // pair of hosts estimates its round-trip distance from labels alone. The
 // common-beacon baseline fails on an eps-fraction of pairs (close pairs in
 // distant clusters); the Theorem 3.2 rings certify EVERY pair.
+//
+// Usage: latency_estimation [n] [seed]    (defaults: n=192, seed=2026;
+// n is rounded down to a multiple of the 16-host cluster size)
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
 #include "labeling/beacon_triangulation.h"
@@ -15,13 +19,17 @@
 #include "metric/clustered.h"
 #include "metric/proximity.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
   std::cout << "== latency estimation from node labels ==\n";
+  const std::size_t n =
+      argc > 1 ? std::max(32ul, std::strtoul(argv[1], nullptr, 10)) : 192;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2026;
   ClusteredParams params;
-  params.clusters = 12;
   params.per_cluster = 16;
-  auto metric = clustered_metric(params, /*seed=*/2026);
+  params.clusters = n / params.per_cluster;
+  auto metric = clustered_metric(params, seed);
   ProximityIndex prox(metric);
   const double delta = 0.25;
 

@@ -8,7 +8,11 @@
 // peer's own contact list. With X+Y rings (Theorem 5.2(a)) every lookup
 // takes O(log n) hops; with the naive Y-only rings it degrades to
 // Θ(log Δ) = Θ(n).
+//
+// Usage: p2p_object_location [n] [seed]   (defaults: n=256, seed=11)
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "metric/line_metrics.h"
@@ -17,10 +21,13 @@
 #include "net/nets.h"
 #include "smallworld/rings_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
   std::cout << "== p2p object location over rings of neighbors ==\n";
-  const std::size_t n = 256;
+  const std::size_t n =
+      argc > 1 ? std::max(8ul, std::strtoul(argv[1], nullptr, 10)) : 256;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
   GeometricLineMetric metric(n, 1.5);
   ProximityIndex prox(metric);
   std::cout << "peers: " << n << ", logΔ = "
@@ -29,10 +36,10 @@ int main() {
   NetHierarchy nets(prox, static_cast<int>(
                               std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));
-  RingsSmallWorld overlay(prox, mu, RingsModelParams{}, /*seed=*/11);
+  RingsSmallWorld overlay(prox, mu, RingsModelParams{}, seed);
   RingsModelParams naive_params;
   naive_params.with_x = false;
-  RingsSmallWorld naive(prox, mu, naive_params, /*seed=*/11);
+  RingsSmallWorld naive(prox, mu, naive_params, seed);
 
   // Locate 5 objects placed at far-away peers from peer 0.
   std::cout << "lookups from peer 0 (hops with X+Y vs Y-only):\n";

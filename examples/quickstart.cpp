@@ -1,13 +1,15 @@
 // Quickstart: build a metric, the rings-of-neighbors substrate, and use all
 // four of the paper's constructions end to end.
 //
-//   $ ./example_quickstart
+//   $ ./quickstart [n] [seed]        (defaults: n=128, seed=42)
 //
 // Walks through: (1) a doubling metric + proximity index, (2) a
 // (0,delta)-triangulation estimating distances from labels alone
 // (Theorem 3.2), (3) compact (1+delta)-stretch routing on a graph
 // (Theorem 2.1), and (4) a searchable small world (Theorem 5.2(a)).
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 
@@ -22,12 +24,16 @@
 #include "routing/basic_scheme.h"
 #include "smallworld/rings_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ron;
   std::cout << "== rings of neighbors: quickstart ==\n\n";
+  const std::size_t n =
+      argc > 1 ? std::max(16ul, std::strtoul(argv[1], nullptr, 10)) : 128;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
 
-  // (1) A doubling metric: 128 random points in the plane.
-  auto metric = random_cube_metric(128, 2, /*seed=*/42);
+  // (1) A doubling metric: n random points in the plane.
+  auto metric = random_cube_metric(n, 2, seed);
   ProximityIndex prox(metric);
   std::cout << "metric: " << metric.name() << ", n = " << prox.n()
             << ", aspect ratio Δ = " << prox.aspect_ratio() << "\n";
@@ -39,22 +45,31 @@ int main() {
   Triangulation tri(sys);
   std::cout << "\ntriangulation order (beacons per label): " << tri.order()
             << "\n";
-  const NodeId a = 3, b = 77;
+  const NodeId a = 3;
+  const NodeId b = static_cast<NodeId>(std::min<std::size_t>(77, n - 1));
   const TriBounds est = triangulate(tri.label(a), tri.label(b));
   std::cout << "estimate d(" << a << "," << b << "): [" << est.lower << ", "
             << est.upper << "]  true = " << prox.dist(a, b) << "\n";
 
   // (3) Theorem 2.1: compact low-stretch routing over a geometric graph.
-  auto g = random_geometric_graph(128, 0.15, /*seed=*/7);
+  const NodeId src = 5;
+  const NodeId dst = static_cast<NodeId>(std::min<std::size_t>(99, n - 1));
+  // (default run keeps the original graph seed so its output is unchanged)
+  auto g = random_geometric_graph(n, 0.15, argc > 2 ? seed + 7 : 7);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric gm(apsp, "spm");
   ProximityIndex gprox(gm);
   BasicRoutingScheme scheme(gprox, g, apsp, delta);
-  const RouteResult r = scheme.route(5, 99, 100000);
-  std::cout << "\nrouting 5 -> 99: delivered = " << r.delivered
+  const RouteResult r = scheme.route(src, dst, 100000);
+  std::cout << "\nrouting " << src << " -> " << dst
+            << ": delivered = " << r.delivered
             << ", hops = " << r.hops << ", stretch = " << r.stretch << "\n"
             << "  header: " << scheme.header_bits() << " bits vs "
-            << "full-table " << (gprox.n() - 1) * 7 << "+ bits/node\n";
+            << "full-table "
+            << (gprox.n() - 1) *
+                   static_cast<std::size_t>(
+                       std::ceil(std::log2(static_cast<double>(gprox.n()))))
+            << "+ bits/node\n";
 
   // (4) Theorem 5.2(a): a searchable small world; greedy routing finds any
   // target in O(log n) hops using only local contact lists.
@@ -62,8 +77,9 @@ int main() {
                               std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));
   RingsSmallWorld world(prox, mu, RingsModelParams{}, /*seed=*/1);
-  const SwRouteResult q = route_query(world, 5, 99, 10000);
-  std::cout << "\nsmall world 5 -> 99: delivered = " << q.delivered
+  const SwRouteResult q = route_query(world, src, dst, 10000);
+  std::cout << "\nsmall world " << src << " -> " << dst
+            << ": delivered = " << q.delivered
             << " in " << q.hops << " hops (log2 n = "
             << std::log2(static_cast<double>(prox.n())) << ")\n";
   std::cout << "\nDone. See README.md for the module map of paper -> code.\n";

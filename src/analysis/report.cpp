@@ -1,11 +1,21 @@
 #include "analysis/report.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 
 #include "common/table.h"
 
 namespace ron {
+
+bool bench_quick(int argc, char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  const char* env = std::getenv("RON_BENCH_QUICK");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
 
 void print_banner(std::ostream& os, const std::string& experiment_id,
                   const std::string& paper_artifact,

@@ -16,6 +16,12 @@ void print_banner(std::ostream& os, const std::string& experiment_id,
                   const std::string& paper_artifact,
                   const std::string& workload);
 
+/// True when benches should run reduced-size smoke workloads: RON_BENCH_QUICK
+/// is set to anything but "0" in the environment, or --quick was passed on
+/// the command line. CI smoke-runs every bench under this mode; full-size
+/// runs are the default.
+bool bench_quick(int argc = 0, char* const* argv = nullptr);
+
 /// "max/avg" bit-size cell.
 std::string fmt_size_cell(std::uint64_t max_bits, double avg_bits);
 

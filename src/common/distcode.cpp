@@ -23,6 +23,24 @@ DistanceCodec::DistanceCodec(Dist dmin, Dist dmax, double rel_error) {
       bits_for_value(static_cast<std::uint64_t>(max_exp_ - min_exp_)));
 }
 
+DistanceCodec DistanceCodec::from_parts(int mantissa_bits, int exponent_bits,
+                                        int min_exp, int max_exp,
+                                        double rel_error) {
+  RON_CHECK(mantissa_bits >= 1 && mantissa_bits <= 64,
+            "from_parts: mantissa_bits");
+  RON_CHECK(exponent_bits >= 0 && exponent_bits <= 16,
+            "from_parts: exponent_bits");
+  RON_CHECK(min_exp <= max_exp, "from_parts: exponent range");
+  RON_CHECK(rel_error > 0.0 && rel_error < 1.0, "from_parts: rel_error");
+  DistanceCodec c;
+  c.mantissa_bits_ = mantissa_bits;
+  c.exponent_bits_ = exponent_bits;
+  c.min_exp_ = min_exp;
+  c.max_exp_ = max_exp;
+  c.rel_error_ = rel_error;
+  return c;
+}
+
 Dist DistanceCodec::quantize(Dist d, bool up) const {
   if (d == 0.0) return 0.0;
   RON_CHECK(d > 0.0 && std::isfinite(d), "quantize: d must be >= 0, finite");

@@ -19,6 +19,12 @@ class DistanceCodec {
   /// dmin and dmax must be positive and finite with dmin <= dmax.
   DistanceCodec(Dist dmin, Dist dmax, double rel_error);
 
+  /// Rebuilds a codec from its serialized fields (snapshot loading). The
+  /// fields must describe a codec the public constructor could have produced;
+  /// throws ron::Error otherwise.
+  static DistanceCodec from_parts(int mantissa_bits, int exponent_bits,
+                                  int min_exp, int max_exp, double rel_error);
+
   /// Smallest representable value >= d (clamps into the representable range;
   /// d must lie in [0, dmax]). encode of 0 is 0 (zero has a reserved code).
   Dist round_up(Dist d) const;
@@ -31,11 +37,15 @@ class DistanceCodec {
 
   int mantissa_bits() const { return mantissa_bits_; }
   int exponent_bits() const { return exponent_bits_; }
+  int min_exp() const { return min_exp_; }
+  int max_exp() const { return max_exp_; }
 
   /// Max multiplicative error of round_up: round_up(d) <= (1+eps)*d.
   double max_relative_error() const { return rel_error_; }
 
  private:
+  DistanceCodec() = default;  // for from_parts
+
   Dist quantize(Dist d, bool up) const;
 
   int mantissa_bits_ = 0;

@@ -31,6 +31,8 @@ struct Ring {
   double scale = 0.0;
   /// Neighbor nodes; unique within the ring, sorted by id.
   std::vector<NodeId> members;
+
+  friend bool operator==(const Ring&, const Ring&) = default;
 };
 
 class RingsOfNeighbors {

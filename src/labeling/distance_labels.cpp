@@ -190,6 +190,42 @@ DistanceLabeling::DistanceLabeling(const NeighborSystem& sys)
   }
 }
 
+DistanceLabeling DistanceLabeling::from_parts(DistanceCodec codec,
+                                              std::uint64_t psi_bits,
+                                              std::uint64_t id_bits,
+                                              std::vector<DlsLabel> labels) {
+  RON_CHECK(!labels.empty(), "from_parts: no labels");
+  RON_CHECK(psi_bits >= 1 && psi_bits <= 64, "from_parts: psi_bits");
+  RON_CHECK(id_bits >= 1 && id_bits <= 32, "from_parts: id_bits");
+  for (std::size_t u = 0; u < labels.size(); ++u) {
+    const DlsLabel& lab = labels[u];
+    RON_CHECK(lab.id == u, "from_parts: label " << u << " carries id "
+                                                << lab.id);
+    RON_CHECK(!lab.host_dist.empty(), "from_parts: empty host array at "
+                                          << u);
+    RON_CHECK(lab.zoom0 < lab.host_dist.size(),
+              "from_parts: zoom0 out of range at " << u);
+    for (const auto& zeta : lab.zeta) {
+      for (const DlsTriple& t : zeta) {
+        RON_CHECK(t.x < lab.host_dist.size() && t.z < lab.host_dist.size(),
+                  "from_parts: zeta phi index out of range at " << u);
+      }
+      // zeta_lookup/zeta_row binary-search on (x, y); an unsorted level
+      // would be UB and silently wrong estimates, so reject it here.
+      RON_CHECK(std::is_sorted(zeta.begin(), zeta.end(),
+                               [](const DlsTriple& a, const DlsTriple& b) {
+                                 return a.x != b.x ? a.x < b.x : a.y < b.y;
+                               }),
+                "from_parts: zeta level not sorted by (x, y) at " << u);
+    }
+  }
+  DistanceLabeling dls(codec);
+  dls.psi_bits_ = psi_bits;
+  dls.id_bits_ = id_bits;
+  dls.labels_ = std::move(labels);
+  return dls;
+}
+
 const DlsLabel& DistanceLabeling::label(NodeId u) const {
   RON_CHECK(u < labels_.size());
   return labels_[u];

@@ -36,6 +36,8 @@ struct DlsTriple {
   std::uint32_t x;  // phi_u(v)
   std::uint32_t y;  // psi_v(w)
   std::uint32_t z;  // phi_u(w)
+
+  friend bool operator==(const DlsTriple&, const DlsTriple&) = default;
 };
 
 struct DlsLabel {
@@ -44,6 +46,8 @@ struct DlsLabel {
   std::vector<std::vector<DlsTriple>> zeta;   // per level i, sorted by (x,y)
   std::uint32_t zoom0 = 0;                    // phi(f_{u,0}), common level-0
   std::vector<std::uint32_t> zoom;            // psi-chain, length levels-1
+
+  friend bool operator==(const DlsLabel&, const DlsLabel&) = default;
 };
 
 struct DlsEstimate {
@@ -54,6 +58,15 @@ struct DlsEstimate {
 class DistanceLabeling {
  public:
   explicit DistanceLabeling(const NeighborSystem& sys);
+
+  /// Rebuilds a labeling from its serialized parts (snapshot loading). The
+  /// labels are taken verbatim; `labels[u].id` must equal u (estimates are
+  /// computed between labels, so a permuted load would silently answer for
+  /// the wrong pairs). Throws ron::Error on malformed parts.
+  static DistanceLabeling from_parts(DistanceCodec codec,
+                                     std::uint64_t psi_bits,
+                                     std::uint64_t id_bits,
+                                     std::vector<DlsLabel> labels);
 
   std::size_t n() const { return labels_.size(); }
   const DlsLabel& label(NodeId u) const;
@@ -70,7 +83,12 @@ class DistanceLabeling {
   /// Width of a psi (virtual-enumeration) index: ceil(log2 max_u |T_u|).
   std::uint64_t psi_bits() const { return psi_bits_; }
 
+  /// Width of the global node id stored in every label: ceil(log2 n).
+  std::uint64_t id_bits() const { return id_bits_; }
+
  private:
+  explicit DistanceLabeling(DistanceCodec codec) : codec_(codec) {}
+
   DistanceCodec codec_;
   std::uint64_t psi_bits_ = 0;
   std::uint64_t id_bits_ = 0;

@@ -1,0 +1,183 @@
+#include "oracle/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace ron {
+
+std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
+                                          Rng& rng) {
+  std::vector<QueryPair> pairs(count);
+  for (auto& p : pairs) {
+    p = {static_cast<NodeId>(rng.index(n)), static_cast<NodeId>(rng.index(n))};
+  }
+  return pairs;
+}
+
+bool OracleEngine::LruShard::get(std::uint64_t key, Dist& out) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);  // refresh recency
+  out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void OracleEngine::LruShard::put(std::uint64_t key, Dist value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    it->second->second = value;
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+  order_.emplace_front(key, value);
+  map_.emplace(key, order_.begin());
+}
+
+OracleEngine::OracleEngine(DistanceLabeling labeling, OracleOptions opts)
+    : labeling_(std::move(labeling)) {
+  if (opts.num_threads != 0) {
+    RON_CHECK(opts.num_threads <= 256,
+              "OracleEngine: " << opts.num_threads << " threads");
+    workers_ = opts.num_threads;
+  } else {
+    // Auto mode: one per hardware thread, clamped (not rejected) on very
+    // large hosts.
+    workers_ = std::min(256u, std::max(1u,
+                                       std::thread::hardware_concurrency()));
+  }
+  // Per-worker cache shards; at least one entry each when caching is on.
+  const std::size_t per_shard =
+      opts.cache_capacity == 0
+          ? 0
+          : std::max<std::size_t>(1, opts.cache_capacity / workers_);
+  cache_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) cache_.emplace_back(per_shard);
+  shard_index_.resize(workers_);
+  if (workers_ > 1) {
+    pool_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      pool_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+OracleEngine::~OracleEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+Dist OracleEngine::estimate(NodeId u, NodeId v) const {
+  RON_CHECK(u < n() && v < n(), "estimate: node id out of range");
+  return DistanceLabeling::estimate(labeling_.label(u), labeling_.label(v))
+      .upper;
+}
+
+void OracleEngine::worker_main(unsigned w) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    auto pairs = batch_pairs_;
+    std::vector<Dist>* results = batch_results_;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      process_shard(w, pairs, *results);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err != nullptr && batch_error_ == nullptr) batch_error_ = err;
+    if (--remaining_ == 0) cv_done_.notify_one();
+  }
+}
+
+void OracleEngine::process_shard(unsigned w, std::span<const QueryPair> pairs,
+                                 std::vector<Dist>& results) {
+  LruShard& cache = cache_[w];
+  for (std::uint32_t i : shard_index_[w]) {
+    const auto [u, v] = pairs[i];
+    const std::uint64_t key = pair_key(u, v);
+    Dist d;
+    if (cache.enabled() && cache.get(key, d)) {
+      results[i] = d;
+      continue;
+    }
+    d = DistanceLabeling::estimate(labeling_.label(u), labeling_.label(v))
+            .upper;
+    if (cache.enabled()) cache.put(key, d);
+    results[i] = d;
+  }
+}
+
+std::vector<Dist> OracleEngine::estimate_batch(
+    std::span<const QueryPair> pairs) {
+  RON_CHECK(pairs.size() < (1ull << 32), "estimate_batch: batch too large");
+  for (const auto& [u, v] : pairs) {
+    RON_CHECK(u < n() && v < n(), "estimate_batch: node id out of range ("
+                                      << u << "," << v << "), n=" << n());
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  // Shard by source node: all queries from one source land on one worker
+  // (and one cache shard), so a hot source stays cache-local.
+  for (auto& idx : shard_index_) idx.clear();
+  for (std::uint32_t i = 0; i < pairs.size(); ++i) {
+    shard_index_[pairs[i].first % workers_].push_back(i);
+  }
+  for (LruShard& shard : cache_) shard.reset_hits();
+
+  std::vector<Dist> results(pairs.size(), kInfDist);
+  if (workers_ == 1) {
+    process_shard(0, pairs, results);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      batch_pairs_ = pairs;
+      batch_results_ = &results;
+      batch_error_ = nullptr;
+      remaining_ = workers_;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    batch_results_ = nullptr;
+    if (batch_error_ != nullptr) {
+      std::exception_ptr err = batch_error_;
+      batch_error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  last_.queries = pairs.size();
+  last_.seconds = elapsed.count();
+  last_.qps = last_.seconds > 0.0
+                  ? static_cast<double>(pairs.size()) / last_.seconds
+                  : 0.0;
+  last_.cache_hits = 0;
+  for (const LruShard& shard : cache_) last_.cache_hits += shard.hits();
+  ++totals_.batches;
+  totals_.queries += last_.queries;
+  totals_.seconds += last_.seconds;
+  totals_.cache_hits += last_.cache_hits;
+  return results;
+}
+
+}  // namespace ron

@@ -1,0 +1,146 @@
+// OracleEngine: the query-serving half of the oracle subsystem.
+//
+// A loaded DistanceLabeling is immutable, and DistanceLabeling::estimate is a
+// pure function of two labels — so serving parallelizes embarrassingly. The
+// engine owns the snapshot plus a fixed pool of worker threads and answers
+// *batched* estimate queries: a batch is sharded by source node across the
+// workers (pair i goes to worker source % W), each worker writes its answers
+// into disjoint slots of the shared result vector, and an optional
+// bounded-LRU result cache is split into per-worker shards so cache lookups
+// never take a lock. Results are bit-identical to calling
+// DistanceLabeling::estimate serially, for any thread count and any cache
+// size.
+//
+// Threading contract: batches are submitted from one dispatcher thread at a
+// time (the engine is the concurrency). Workers park on a condition variable
+// between batches; the pool is joined on destruction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <list>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "labeling/distance_labels.h"
+
+namespace ron {
+
+/// One distance query: (source, target) node ids.
+using QueryPair = std::pair<NodeId, NodeId>;
+
+/// `count` uniform random query pairs over [0, n) — the shared synthetic
+/// workload generator of the QPS bench, the CLI's bench subcommand and the
+/// engine tests.
+std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
+                                          Rng& rng);
+
+struct OracleOptions {
+  /// Worker threads; 0 = one per hardware core.
+  unsigned num_threads = 1;
+  /// Total LRU result-cache entries across all worker shards; 0 disables
+  /// the cache.
+  std::size_t cache_capacity = 0;
+};
+
+/// Measurements of one estimate_batch call.
+struct BatchStats {
+  std::size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;  // queries / seconds
+  std::size_t cache_hits = 0;
+};
+
+/// Running totals across the engine's lifetime.
+struct EngineTotals {
+  std::size_t batches = 0;
+  std::size_t queries = 0;
+  double seconds = 0.0;
+  std::size_t cache_hits = 0;
+};
+
+class OracleEngine {
+ public:
+  explicit OracleEngine(DistanceLabeling labeling, OracleOptions opts = {});
+  ~OracleEngine();
+
+  OracleEngine(const OracleEngine&) = delete;
+  OracleEngine& operator=(const OracleEngine&) = delete;
+
+  std::size_t n() const { return labeling_.n(); }
+  unsigned num_workers() const { return workers_; }
+  const DistanceLabeling& labeling() const { return labeling_; }
+
+  /// Single query (validated); computed inline, bypassing pool and cache.
+  Dist estimate(NodeId u, NodeId v) const;
+
+  /// Answers every pair; results[i] corresponds to pairs[i]. Node ids are
+  /// validated up front (throws ron::Error). Updates last_batch_stats().
+  std::vector<Dist> estimate_batch(std::span<const QueryPair> pairs);
+
+  const BatchStats& last_batch_stats() const { return last_; }
+  const EngineTotals& totals() const { return totals_; }
+
+ private:
+  /// One worker's private slice of the result cache. Keyed by the unordered
+  /// pair (estimates are symmetric); classic list+map LRU.
+  class LruShard {
+   public:
+    explicit LruShard(std::size_t capacity) : capacity_(capacity) {}
+
+    bool enabled() const { return capacity_ > 0; }
+    bool get(std::uint64_t key, Dist& out);
+    void put(std::uint64_t key, Dist value);
+    std::size_t hits() const { return hits_; }
+    void reset_hits() { hits_ = 0; }
+
+   private:
+    std::size_t capacity_;
+    std::size_t hits_ = 0;
+    std::list<std::pair<std::uint64_t, Dist>> order_;  // front = most recent
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, Dist>>::iterator>
+        map_;
+  };
+
+  static std::uint64_t pair_key(NodeId u, NodeId v) {
+    const NodeId lo = u < v ? u : v;
+    const NodeId hi = u < v ? v : u;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  void worker_main(unsigned w);
+  void process_shard(unsigned w, std::span<const QueryPair> pairs,
+                     std::vector<Dist>& results);
+
+  DistanceLabeling labeling_;
+  unsigned workers_ = 1;
+  std::vector<LruShard> cache_;  // one shard per worker
+
+  // Pool state (guarded by mu_). Batches publish {pairs, results, shard
+  // index lists}, bump generation_ and wait for remaining_ to hit zero.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> pool_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  // First exception a worker hit this batch; rethrown to the dispatcher so
+  // a malformed query/snapshot surfaces as ron::Error, never std::terminate.
+  std::exception_ptr batch_error_;
+  std::span<const QueryPair> batch_pairs_;
+  std::vector<Dist>* batch_results_ = nullptr;
+  std::vector<std::vector<std::uint32_t>> shard_index_;  // per worker
+
+  BatchStats last_;
+  EngineTotals totals_;
+};
+
+}  // namespace ron

@@ -1,0 +1,419 @@
+#include "oracle/snapshot.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "oracle/wire.h"
+
+namespace ron {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+constexpr std::uint8_t kMagic[8] = {'R', 'O', 'N', 'S', 'N', 'A', 'P', '\n'};
+
+bool kind_is_known(std::uint32_t k) {
+  return k >= static_cast<std::uint32_t>(SnapshotKind::kRings) &&
+         k <= static_cast<std::uint32_t>(SnapshotKind::kOracle);
+}
+
+void write_snapshot(SnapshotKind kind, const WireWriter& payload,
+                    const std::string& path) {
+  WireWriter header;
+  for (std::uint8_t b : kMagic) header.u8(b);
+  header.u32(kSnapshotVersion);
+  header.u32(static_cast<std::uint32_t>(kind));
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload.bytes()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RON_CHECK(out.good(), "snapshot: cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(header.bytes().data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload.bytes().data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  RON_CHECK(out.good(), "snapshot: short write to " << path);
+}
+
+/// Reads and fully validates the file: magic, version, known kind, exact
+/// payload length (truncation AND trailing bytes) and checksum. Returns the
+/// whole file's bytes — the payload is the subspan after kHeaderBytes
+/// (payload_view below), kept in place to avoid doubling peak memory on
+/// large snapshots. Fills `info`.
+std::vector<std::uint8_t> read_snapshot(const std::string& path,
+                                        SnapshotInfo& info) {
+  std::ifstream in(path, std::ios::binary);
+  RON_CHECK(in.good(), "snapshot: cannot open " << path);
+  // Single sized read; istreambuf_iterator would go byte-at-a-time, which
+  // matters at serving-snapshot sizes.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  RON_CHECK(size >= 0, "snapshot: cannot stat " << path);
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    RON_CHECK(in.gcount() == size, "snapshot: short read from " << path);
+  }
+  RON_CHECK(bytes.size() >= kHeaderBytes,
+            "snapshot: " << path << " is " << bytes.size()
+                         << " bytes, smaller than the header");
+  RON_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+            "snapshot: " << path << " has wrong magic (not a RON snapshot)");
+  WireReader header(std::span(bytes.data() + sizeof(kMagic),
+                              kHeaderBytes - sizeof(kMagic)));
+  info.version = header.u32();
+  RON_CHECK(info.version == kSnapshotVersion,
+            "snapshot: " << path << " has format version " << info.version
+                         << ", this build reads " << kSnapshotVersion);
+  const std::uint32_t kind = header.u32();
+  RON_CHECK(kind_is_known(kind),
+            "snapshot: " << path << " has unknown section kind " << kind);
+  info.kind = static_cast<SnapshotKind>(kind);
+  info.payload_bytes = header.u64();
+  const std::uint64_t want_sum = header.u64();
+  RON_CHECK(bytes.size() - kHeaderBytes == info.payload_bytes,
+            "snapshot: " << path << " payload is "
+                         << bytes.size() - kHeaderBytes
+                         << " bytes, header promises " << info.payload_bytes
+                         << " (truncated or trailing garbage)");
+  info.checksum =
+      fnv1a64(std::span<const std::uint8_t>(bytes).subspan(kHeaderBytes));
+  RON_CHECK(info.checksum == want_sum,
+            "snapshot: " << path << " checksum mismatch (corrupt payload)");
+  return bytes;
+}
+
+std::span<const std::uint8_t> payload_view(
+    const std::vector<std::uint8_t>& file) {
+  return std::span<const std::uint8_t>(file).subspan(kHeaderBytes);
+}
+
+std::vector<std::uint8_t> read_snapshot_of_kind(const std::string& path,
+                                                SnapshotKind want) {
+  SnapshotInfo info;
+  std::vector<std::uint8_t> file = read_snapshot(path, info);
+  RON_CHECK(info.kind == want,
+            "snapshot: " << path << " holds section kind "
+                         << static_cast<std::uint32_t>(info.kind)
+                         << ", expected "
+                         << static_cast<std::uint32_t>(want));
+  return file;
+}
+
+void write_node_list(WireWriter& w, std::span<const NodeId> xs) {
+  w.u64(xs.size());
+  for (NodeId v : xs) w.u32(v);
+}
+
+/// Node list with every id validated against n (kInvalidNode rejected).
+std::vector<NodeId> read_node_list(WireReader& r, std::size_t n,
+                                   const char* what) {
+  const std::uint64_t count = r.read_count(sizeof(NodeId), what);
+  std::vector<NodeId> xs;
+  xs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const NodeId v = r.u32();
+    RON_CHECK(v < n, "snapshot: " << what << " id " << v
+                                  << " out of range (n=" << n << ")");
+    xs.push_back(v);
+  }
+  return xs;
+}
+
+std::uint32_t int_to_u32(int v) {
+  return static_cast<std::uint32_t>(static_cast<std::int32_t>(v));
+}
+int u32_to_int(std::uint32_t v) {
+  return static_cast<int>(static_cast<std::int32_t>(v));
+}
+
+// The labeling payload is shared between the kDistanceLabeling section and
+// the kOracle bundle.
+void write_labeling_payload(WireWriter& w, const DistanceLabeling& dls) {
+  const DistanceCodec& codec = dls.codec();
+  w.u32(static_cast<std::uint32_t>(codec.mantissa_bits()));
+  w.u32(static_cast<std::uint32_t>(codec.exponent_bits()));
+  w.u32(int_to_u32(codec.min_exp()));
+  w.u32(int_to_u32(codec.max_exp()));
+  w.f64(codec.max_relative_error());
+  w.u64(dls.psi_bits());
+  w.u64(dls.id_bits());
+  w.u64(dls.n());
+  for (NodeId u = 0; u < dls.n(); ++u) {
+    const DlsLabel& lab = dls.label(u);
+    w.u32(lab.id);
+    w.u64(lab.host_dist.size());
+    for (Dist d : lab.host_dist) w.f64(d);
+    w.u64(lab.zeta.size());
+    for (const auto& zeta : lab.zeta) {
+      w.u64(zeta.size());
+      for (const DlsTriple& t : zeta) {
+        w.u32(t.x);
+        w.u32(t.y);
+        w.u32(t.z);
+      }
+    }
+    w.u32(lab.zoom0);
+    w.u64(lab.zoom.size());
+    for (std::uint32_t y : lab.zoom) w.u32(y);
+  }
+}
+
+DistanceLabeling read_labeling_payload(WireReader& r) {
+  const int mantissa_bits = u32_to_int(r.u32());
+  const int exponent_bits = u32_to_int(r.u32());
+  const int min_exp = u32_to_int(r.u32());
+  const int max_exp = u32_to_int(r.u32());
+  const double rel_error = r.f64();
+  DistanceCodec codec = DistanceCodec::from_parts(
+      mantissa_bits, exponent_bits, min_exp, max_exp, rel_error);
+  const std::uint64_t psi_bits = r.u64();
+  const std::uint64_t id_bits = r.u64();
+  // A label is at least id + host count + zeta count + zoom0 + zoom count.
+  const std::uint64_t n = r.read_count(4 + 8 + 8 + 4 + 8, "label");
+  RON_CHECK(n >= 1, "snapshot: labeling with zero nodes");
+  std::vector<DlsLabel> labels(static_cast<std::size_t>(n));
+  for (std::uint64_t u = 0; u < n; ++u) {
+    DlsLabel& lab = labels[static_cast<std::size_t>(u)];
+    lab.id = r.u32();
+    const std::uint64_t hosts = r.read_count(sizeof(double), "host distance");
+    lab.host_dist.resize(static_cast<std::size_t>(hosts));
+    for (auto& d : lab.host_dist) {
+      d = r.f64();
+      RON_CHECK(std::isfinite(d) && d >= 0.0,
+                "snapshot: host distance not finite/non-negative");
+    }
+    const std::uint64_t levels = r.read_count(sizeof(std::uint64_t), "zeta");
+    lab.zeta.resize(static_cast<std::size_t>(levels));
+    for (auto& zeta : lab.zeta) {
+      const std::uint64_t triples =
+          r.read_count(3 * sizeof(std::uint32_t), "zeta triple");
+      zeta.resize(static_cast<std::size_t>(triples));
+      for (DlsTriple& t : zeta) {
+        t.x = r.u32();
+        t.y = r.u32();
+        t.z = r.u32();
+      }
+    }
+    lab.zoom0 = r.u32();
+    const std::uint64_t zooms =
+        r.read_count(sizeof(std::uint32_t), "zoom entry");
+    lab.zoom.resize(static_cast<std::size_t>(zooms));
+    for (auto& y : lab.zoom) y = r.u32();
+  }
+  // from_parts re-validates ids, zoom0 and zeta indices against host sizes.
+  return DistanceLabeling::from_parts(codec, psi_bits, id_bits,
+                                      std::move(labels));
+}
+
+void write_meta(WireWriter& w, const OracleMeta& meta) {
+  w.str(meta.metric_name);
+  w.u64(meta.n);
+  w.u64(meta.seed);
+  w.f64(meta.delta);
+}
+
+OracleMeta read_meta(WireReader& r) {
+  OracleMeta meta;
+  meta.metric_name = r.str();
+  meta.n = r.u64();
+  meta.seed = r.u64();
+  meta.delta = r.f64();
+  return meta;
+}
+
+}  // namespace
+
+SnapshotInfo inspect_snapshot(const std::string& path) {
+  SnapshotInfo info;
+  read_snapshot(path, info);
+  return info;
+}
+
+std::uint32_t peek_snapshot_kind(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  // Layout written by write_snapshot: magic[8], version u32, kind u32.
+  std::uint8_t hdr[sizeof(kMagic) + 2 * sizeof(std::uint32_t)];
+  if (!in.read(reinterpret_cast<char*>(hdr), sizeof(hdr))) return 0;
+  if (std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0) return 0;
+  std::uint32_t kind = 0;
+  for (std::size_t i = 0; i < sizeof(std::uint32_t); ++i) {
+    kind |= static_cast<std::uint32_t>(hdr[sizeof(kMagic) + 4 + i]) << (8 * i);
+  }
+  return kind;
+}
+
+void save_rings(const RingsOfNeighbors& rings, const std::string& path) {
+  WireWriter w;
+  w.u64(rings.n());
+  for (NodeId u = 0; u < rings.n(); ++u) {
+    auto rs = rings.rings(u);
+    w.u64(rs.size());
+    for (const Ring& ring : rs) {
+      w.f64(ring.scale);
+      write_node_list(w, ring.members);
+    }
+  }
+  write_snapshot(SnapshotKind::kRings, w, path);
+}
+
+RingsOfNeighbors load_rings(const std::string& path) {
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kRings);
+  WireReader r(payload_view(file));
+  const std::uint64_t n = r.read_count(sizeof(std::uint64_t), "node");
+  RON_CHECK(n >= 1 && n <= kInvalidNode, "snapshot: rings node count " << n);
+  RingsOfNeighbors rings(static_cast<std::size_t>(n));
+  for (std::uint64_t u = 0; u < n; ++u) {
+    const std::uint64_t num_rings =
+        r.read_count(sizeof(double) + sizeof(std::uint64_t), "ring");
+    for (std::uint64_t k = 0; k < num_rings; ++k) {
+      Ring ring;
+      ring.scale = r.f64();
+      ring.members =
+          read_node_list(r, static_cast<std::size_t>(n), "ring member");
+      // add_ring re-sorts, dedups and rebuilds the degree caches, so the
+      // loaded accounting is recomputed rather than trusted.
+      rings.add_ring(static_cast<NodeId>(u), std::move(ring));
+    }
+  }
+  r.expect_done();
+  return rings;
+}
+
+void save_neighbor_system(const NeighborSystem& sys, const std::string& path) {
+  const std::size_t n = sys.prox().n();
+  const int levels = sys.num_levels();
+  const int zscales = sys.num_z_scales();
+  WireWriter w;
+  w.u64(n);
+  w.f64(sys.delta());
+  w.f64(sys.profile().y_ball_factor);
+  w.f64(sys.profile().y_net_divisor);
+  w.f64(sys.profile().z_net_divisor);
+  w.u32(static_cast<std::uint32_t>(levels));
+  w.u32(static_cast<std::uint32_t>(zscales));
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i < levels; ++i) {
+      w.f64(sys.r(u, i));
+      w.u32(sys.nearest_x(u, i));  // may be kInvalidNode
+      w.u32(sys.f(u, i));
+      w.u32(int_to_u32(sys.y_level(u, i)));
+      write_node_list(w, sys.X(u, i));
+      write_node_list(w, sys.Y(u, i));
+    }
+    for (int j = 1; j <= zscales; ++j) write_node_list(w, sys.Z(u, j));
+    write_node_list(w, sys.Z_all(u));
+    write_node_list(w, sys.X_all(u));
+    write_node_list(w, sys.host_set(u));
+    write_node_list(w, sys.virtual_set(u));
+  }
+  write_snapshot(SnapshotKind::kNeighborSystem, w, path);
+}
+
+NeighborSystemSnapshot load_neighbor_system(const std::string& path) {
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kNeighborSystem);
+  WireReader r(payload_view(file));
+  NeighborSystemSnapshot s;
+  const std::uint64_t n = r.read_count(sizeof(std::uint64_t), "node");
+  RON_CHECK(n >= 1 && n <= kInvalidNode,
+            "snapshot: neighbor system node count " << n);
+  s.n_ = static_cast<std::size_t>(n);
+  s.delta_ = r.f64();
+  RON_CHECK(s.delta_ > 0.0 && s.delta_ < 1.0,
+            "snapshot: delta " << s.delta_ << " outside (0,1)");
+  s.profile_.y_ball_factor = r.f64();
+  s.profile_.y_net_divisor = r.f64();
+  s.profile_.z_net_divisor = r.f64();
+  s.num_levels_ = u32_to_int(r.u32());
+  s.num_z_scales_ = u32_to_int(r.u32());
+  RON_CHECK(s.num_levels_ >= 1 && s.num_levels_ <= 64,
+            "snapshot: level count " << s.num_levels_);
+  RON_CHECK(s.num_z_scales_ >= 1 && s.num_z_scales_ <= 4096,
+            "snapshot: z-scale count " << s.num_z_scales_);
+  const std::size_t per_level = s.n_ * static_cast<std::size_t>(s.num_levels_);
+  s.r_.reserve(per_level);
+  s.nearest_x_.reserve(per_level);
+  s.f_.reserve(per_level);
+  s.y_level_.reserve(per_level);
+  s.x_.reserve(per_level);
+  s.y_.reserve(per_level);
+  for (std::size_t u = 0; u < s.n_; ++u) {
+    for (int i = 0; i < s.num_levels_; ++i) {
+      const Dist radius = r.f64();
+      RON_CHECK(std::isfinite(radius) && radius >= 0.0,
+                "snapshot: level radius not finite/non-negative");
+      s.r_.push_back(radius);
+      const NodeId nearest = r.u32();
+      RON_CHECK(nearest < s.n_ || nearest == kInvalidNode,
+                "snapshot: nearest_x out of range");
+      s.nearest_x_.push_back(nearest);
+      const NodeId fu = r.u32();
+      RON_CHECK(fu < s.n_, "snapshot: zooming node out of range");
+      s.f_.push_back(fu);
+      const int ylev = u32_to_int(r.u32());
+      RON_CHECK(ylev >= 0 && ylev <= 4096, "snapshot: y_level " << ylev);
+      s.y_level_.push_back(ylev);
+      s.x_.push_back(read_node_list(r, s.n_, "X member"));
+      s.y_.push_back(read_node_list(r, s.n_, "Y member"));
+    }
+    for (int j = 1; j <= s.num_z_scales_; ++j) {
+      s.z_.push_back(read_node_list(r, s.n_, "Z member"));
+    }
+    s.z_all_.push_back(read_node_list(r, s.n_, "Z_all member"));
+    s.x_all_.push_back(read_node_list(r, s.n_, "X_all member"));
+    s.host_.push_back(read_node_list(r, s.n_, "host member"));
+    s.virtual_.push_back(read_node_list(r, s.n_, "virtual member"));
+  }
+  r.expect_done();
+  return s;
+}
+
+void save_labeling(const DistanceLabeling& dls, const std::string& path) {
+  WireWriter w;
+  write_labeling_payload(w, dls);
+  write_snapshot(SnapshotKind::kDistanceLabeling, w, path);
+}
+
+DistanceLabeling load_labeling(const std::string& path) {
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kDistanceLabeling);
+  WireReader r(payload_view(file));
+  DistanceLabeling dls = read_labeling_payload(r);
+  r.expect_done();
+  return dls;
+}
+
+void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
+                 const std::string& path) {
+  RON_CHECK(meta.n == dls.n(),
+            "save_oracle: meta.n " << meta.n << " != labeling n " << dls.n());
+  WireWriter w;
+  write_meta(w, meta);
+  write_labeling_payload(w, dls);
+  write_snapshot(SnapshotKind::kOracle, w, path);
+}
+
+LoadedOracle load_oracle(const std::string& path, SnapshotInfo* info) {
+  SnapshotInfo local;
+  const std::vector<std::uint8_t> file = read_snapshot(path, local);
+  RON_CHECK(local.kind == SnapshotKind::kOracle,
+            "snapshot: " << path << " holds section kind "
+                         << static_cast<std::uint32_t>(local.kind)
+                         << ", expected an oracle bundle");
+  if (info != nullptr) *info = local;
+  WireReader r(payload_view(file));
+  OracleMeta meta = read_meta(r);
+  DistanceLabeling dls = read_labeling_payload(r);
+  r.expect_done();
+  RON_CHECK(meta.n == dls.n(),
+            "snapshot: oracle meta.n " << meta.n << " != labeling n "
+                                       << dls.n());
+  return LoadedOracle{std::move(meta), std::move(dls)};
+}
+
+}  // namespace ron

@@ -1,0 +1,166 @@
+// Versioned, checksummed snapshots of the paper's structures.
+//
+// The constructions are expensive relative to queries (a DistanceLabeling
+// over a few thousand nodes takes seconds to build and microseconds to
+// query), so the serving story is: build once, snapshot to disk, load into
+// any number of serving processes. One file holds one section:
+//
+//   [magic "RONSNAP\n"] [u32 format version] [u32 section kind]
+//   [u64 payload size] [u64 FNV-1a checksum of payload] [payload]
+//
+// Loads validate magic, version, kind, exact length and checksum before
+// parsing, and the parse itself bounds-checks every count and index, so a
+// truncated, bit-flipped or mislabeled file throws ron::Error instead of
+// corrupting the serving process.
+//
+// RingsOfNeighbors and DistanceLabeling load back as the live classes
+// (queries on the loaded object are bit-identical to the builder's).
+// NeighborSystem is a *builder* — it holds references to the ProximityIndex
+// and net machinery it was derived from — so it loads as
+// NeighborSystemSnapshot: the same read accessors over the materialized
+// rings, without the construction-time machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/rings.h"
+#include "labeling/distance_labels.h"
+#include "labeling/neighbor_system.h"
+
+namespace ron {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : std::uint32_t {
+  kRings = 1,
+  kNeighborSystem = 2,
+  kDistanceLabeling = 3,
+  kOracle = 4,  // serving bundle: metadata + distance labeling
+};
+
+/// Header fields of a snapshot file, validated (magic/version/length/
+/// checksum) but with the payload left unparsed.
+struct SnapshotInfo {
+  SnapshotKind kind = SnapshotKind::kRings;
+  std::uint32_t version = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+SnapshotInfo inspect_snapshot(const std::string& path);
+
+/// Header-only peek at the section kind (reads 16 bytes, no validation).
+/// Returns 0 for unreadable/short files or non-snapshot magic — callers
+/// wanting errors should follow up with inspect_snapshot/load. Lives here so
+/// it cannot drift from the header layout the save path writes.
+std::uint32_t peek_snapshot_kind(const std::string& path);
+
+// --- RingsOfNeighbors ------------------------------------------------------
+
+void save_rings(const RingsOfNeighbors& rings, const std::string& path);
+RingsOfNeighbors load_rings(const std::string& path);
+
+// --- NeighborSystem --------------------------------------------------------
+
+/// The read-only view of a NeighborSystem that snapshots preserve: every
+/// per-node accessor of the live class (the construction inputs — proximity
+/// index, nets, packings — are not part of the snapshot).
+class NeighborSystemSnapshot {
+ public:
+  std::size_t n() const { return n_; }
+  double delta() const { return delta_; }
+  const NeighborProfile& profile() const { return profile_; }
+  int num_levels() const { return num_levels_; }
+  int num_z_scales() const { return num_z_scales_; }
+
+  Dist r(NodeId u, int i) const { return r_[idx(u, i)]; }
+  std::span<const NodeId> X(NodeId u, int i) const { return x_[idx(u, i)]; }
+  std::span<const NodeId> Y(NodeId u, int i) const { return y_[idx(u, i)]; }
+  NodeId nearest_x(NodeId u, int i) const { return nearest_x_[idx(u, i)]; }
+  NodeId f(NodeId u, int i) const { return f_[idx(u, i)]; }
+  int y_level(NodeId u, int i) const { return y_level_[idx(u, i)]; }
+
+  std::span<const NodeId> Z(NodeId u, int j) const { return z_[zidx(u, j)]; }
+  std::span<const NodeId> Z_all(NodeId u) const { return z_all_[check_u(u)]; }
+  std::span<const NodeId> X_all(NodeId u) const { return x_all_[check_u(u)]; }
+  std::span<const NodeId> host_set(NodeId u) const {
+    return host_[check_u(u)];
+  }
+  std::span<const NodeId> virtual_set(NodeId u) const {
+    return virtual_[check_u(u)];
+  }
+
+ private:
+  friend NeighborSystemSnapshot load_neighbor_system(const std::string&);
+
+  std::size_t check_u(NodeId u) const {
+    RON_CHECK(u < n_);
+    return u;
+  }
+  std::size_t idx(NodeId u, int i) const {
+    RON_CHECK(u < n_ && i >= 0 && i < num_levels_);
+    return u * static_cast<std::size_t>(num_levels_) +
+           static_cast<std::size_t>(i);
+  }
+  std::size_t zidx(NodeId u, int j) const {
+    RON_CHECK(u < n_ && j >= 1 && j <= num_z_scales_);
+    return u * static_cast<std::size_t>(num_z_scales_) +
+           static_cast<std::size_t>(j - 1);
+  }
+
+  std::size_t n_ = 0;
+  double delta_ = 0.0;
+  NeighborProfile profile_;
+  int num_levels_ = 0;
+  int num_z_scales_ = 0;
+  std::vector<Dist> r_;
+  std::vector<std::vector<NodeId>> x_;
+  std::vector<std::vector<NodeId>> y_;
+  std::vector<NodeId> nearest_x_;
+  std::vector<NodeId> f_;
+  std::vector<int> y_level_;
+  std::vector<std::vector<NodeId>> z_;
+  std::vector<std::vector<NodeId>> z_all_;
+  std::vector<std::vector<NodeId>> x_all_;
+  std::vector<std::vector<NodeId>> host_;
+  std::vector<std::vector<NodeId>> virtual_;
+};
+
+void save_neighbor_system(const NeighborSystem& sys, const std::string& path);
+NeighborSystemSnapshot load_neighbor_system(const std::string& path);
+
+// --- DistanceLabeling ------------------------------------------------------
+
+void save_labeling(const DistanceLabeling& dls, const std::string& path);
+DistanceLabeling load_labeling(const std::string& path);
+
+// --- Oracle serving bundle -------------------------------------------------
+
+/// Provenance carried alongside the labeling so `ron_oracle info` can say
+/// what a snapshot contains without rebuilding anything.
+struct OracleMeta {
+  std::string metric_name;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0;
+  double delta = 0.0;
+
+  friend bool operator==(const OracleMeta&, const OracleMeta&) = default;
+};
+
+struct LoadedOracle {
+  OracleMeta meta;
+  DistanceLabeling labeling;
+};
+
+void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
+                 const std::string& path);
+/// `info`, when non-null, receives the validated header fields — a combined
+/// inspect+load in one read of the file.
+LoadedOracle load_oracle(const std::string& path,
+                         SnapshotInfo* info = nullptr);
+
+}  // namespace ron

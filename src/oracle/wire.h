@@ -1,0 +1,123 @@
+// Little-endian wire primitives for the snapshot format.
+//
+// Snapshots must load safely from untrusted bytes: a truncated download, a
+// bit-flipped disk block or a file of the wrong kind has to surface as
+// ron::Error, never as UB or an unbounded allocation. WireWriter builds a
+// payload in memory; WireReader is a bounds-checked cursor over loaded bytes
+// — every read validates the remaining length first, and every count that
+// sizes an allocation is validated against the bytes that could possibly
+// back it (see read_count).
+//
+// All integers are fixed-width little-endian; doubles travel as their IEEE
+// bit pattern (round trips are bit-identical, which the serving layer's
+// "save → load → estimate is bit-identical" invariant relies on).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ron {
+
+/// FNV-1a 64-bit checksum (the snapshot header's corruption detector; this
+/// guards against accidental damage, not adversaries).
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u64) byte string.
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  /// A non-owning cursor; `bytes` must outlive the reader.
+  explicit WireReader(std::span<const std::uint8_t> bytes) : data_(bytes) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return data_[pos_++];
+  }
+  std::uint32_t u32() { return get_le<std::uint32_t>("u32"); }
+  std::uint64_t u64() { return get_le<std::uint64_t>("u64"); }
+  double f64() { return std::bit_cast<double>(get_le<std::uint64_t>("f64")); }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len, "str body");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  /// An element count that will size an allocation: rejected unless
+  /// count * min_elem_bytes still fits in the unread payload, so a corrupt
+  /// header cannot request a multi-gigabyte reserve.
+  std::uint64_t read_count(std::size_t min_elem_bytes, const char* what) {
+    const std::uint64_t count = u64();
+    RON_CHECK(min_elem_bytes == 0 ||
+                  count <= remaining() / min_elem_bytes,
+              "snapshot: implausible " << what << " count " << count
+                                       << " (" << remaining()
+                                       << " bytes left)");
+    return count;
+  }
+
+  /// Loads must consume the payload exactly; trailing garbage is corruption.
+  void expect_done() const {
+    RON_CHECK(done(), "snapshot: " << remaining() << " trailing bytes");
+  }
+
+ private:
+  void need(std::uint64_t n, const char* what) const {
+    RON_CHECK(n <= remaining(), "snapshot truncated reading " << what << " ("
+                                    << n << " bytes wanted, " << remaining()
+                                    << " left)");
+  }
+
+  template <typename T>
+  T get_le(const char* what) {
+    need(sizeof(T), what);
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ron

@@ -1,0 +1,441 @@
+// Tests for the oracle serving subsystem: snapshot round trips must be
+// lossless for all three structures, every corruption mode (truncation, bit
+// flips, wrong magic/kind/version, trailing bytes) must throw ron::Error
+// instead of corrupting the process, and the batched engine must answer
+// bit-identically to the serial decoder for every thread count and cache
+// configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "labeling/distance_labels.h"
+#include "labeling/neighbor_system.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/proximity.h"
+#include "oracle/engine.h"
+#include "oracle/snapshot.h"
+#include "oracle/wire.h"
+
+namespace ron {
+namespace {
+
+/// Unique-ish temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "ron_oracle_" + tag +
+              ".snapshot") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- wire primitives -------------------------------------------------------
+
+TEST(Wire, RoundTripsScalars) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-0.1);
+  w.str("rings");
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f64(), -0.1);  // bit-exact
+  EXPECT_EQ(r.str(), "rings");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedReadThrows) {
+  WireWriter w;
+  w.u32(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u32(), Error);
+}
+
+TEST(Wire, ImplausibleCountThrows) {
+  WireWriter w;
+  w.u64(1u << 20);  // promises a million elements, provides none
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.read_count(4, "test element"), Error);
+}
+
+// --- fixtures --------------------------------------------------------------
+
+RingsOfNeighbors make_rings(std::size_t n) {
+  RingsOfNeighbors rings(n);
+  Rng rng(17);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i < 3; ++i) {
+      Ring ring;
+      ring.scale = std::pow(2.0, i) * 1.5;
+      for (int k = 0; k < 4; ++k) {
+        ring.members.push_back(static_cast<NodeId>(rng.index(n)));
+      }
+      rings.add_ring(u, std::move(ring));
+    }
+  }
+  return rings;
+}
+
+struct LabelingFixture {
+  LabelingFixture()
+      : metric(random_cube_metric(48, 2, 23)),
+        prox(metric),
+        sys(prox, 0.25),
+        dls(sys) {}
+  EuclideanMetric metric;
+  ProximityIndex prox;
+  NeighborSystem sys;
+  DistanceLabeling dls;
+};
+
+// --- round trips -----------------------------------------------------------
+
+TEST(SnapshotRings, RoundTripIsLossless) {
+  const RingsOfNeighbors rings = make_rings(40);
+  TempFile file("rings");
+  save_rings(rings, file.path());
+  const RingsOfNeighbors loaded = load_rings(file.path());
+  ASSERT_EQ(loaded.n(), rings.n());
+  EXPECT_EQ(loaded.max_out_degree(), rings.max_out_degree());
+  EXPECT_EQ(loaded.avg_out_degree(), rings.avg_out_degree());
+  for (NodeId u = 0; u < rings.n(); ++u) {
+    auto a = rings.rings(u);
+    auto b = loaded.rings(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(rings.all_neighbors(u), loaded.all_neighbors(u));
+    EXPECT_EQ(rings.pointer_bits(u), loaded.pointer_bits(u));
+  }
+}
+
+TEST(SnapshotNeighborSystem, RoundTripIsLossless) {
+  LabelingFixture fx;
+  TempFile file("nsys");
+  save_neighbor_system(fx.sys, file.path());
+  const NeighborSystemSnapshot s = load_neighbor_system(file.path());
+  ASSERT_EQ(s.n(), fx.prox.n());
+  EXPECT_EQ(s.delta(), fx.sys.delta());
+  EXPECT_EQ(s.profile().y_ball_factor, fx.sys.profile().y_ball_factor);
+  ASSERT_EQ(s.num_levels(), fx.sys.num_levels());
+  ASSERT_EQ(s.num_z_scales(), fx.sys.num_z_scales());
+  auto eq_span = [](std::span<const NodeId> a, std::span<const NodeId> b) {
+    return std::vector<NodeId>(a.begin(), a.end()) ==
+           std::vector<NodeId>(b.begin(), b.end());
+  };
+  for (NodeId u = 0; u < s.n(); ++u) {
+    for (int i = 0; i < s.num_levels(); ++i) {
+      EXPECT_EQ(s.r(u, i), fx.sys.r(u, i));
+      EXPECT_EQ(s.nearest_x(u, i), fx.sys.nearest_x(u, i));
+      EXPECT_EQ(s.f(u, i), fx.sys.f(u, i));
+      EXPECT_EQ(s.y_level(u, i), fx.sys.y_level(u, i));
+      EXPECT_TRUE(eq_span(s.X(u, i), fx.sys.X(u, i)));
+      EXPECT_TRUE(eq_span(s.Y(u, i), fx.sys.Y(u, i)));
+    }
+    for (int j = 1; j <= s.num_z_scales(); ++j) {
+      EXPECT_TRUE(eq_span(s.Z(u, j), fx.sys.Z(u, j)));
+    }
+    EXPECT_TRUE(eq_span(s.Z_all(u), fx.sys.Z_all(u)));
+    EXPECT_TRUE(eq_span(s.X_all(u), fx.sys.X_all(u)));
+    EXPECT_TRUE(eq_span(s.host_set(u), fx.sys.host_set(u)));
+    EXPECT_TRUE(eq_span(s.virtual_set(u), fx.sys.virtual_set(u)));
+  }
+}
+
+TEST(SnapshotLabeling, RoundTripEstimatesAreBitIdentical) {
+  LabelingFixture fx;
+  TempFile file("labeling");
+  save_labeling(fx.dls, file.path());
+  const DistanceLabeling loaded = load_labeling(file.path());
+  ASSERT_EQ(loaded.n(), fx.dls.n());
+  EXPECT_EQ(loaded.psi_bits(), fx.dls.psi_bits());
+  EXPECT_EQ(loaded.id_bits(), fx.dls.id_bits());
+  EXPECT_EQ(loaded.codec().bits(), fx.dls.codec().bits());
+  for (NodeId u = 0; u < fx.dls.n(); ++u) {
+    EXPECT_EQ(loaded.label(u), fx.dls.label(u));
+    EXPECT_EQ(loaded.label_bits(u), fx.dls.label_bits(u));
+  }
+  for (NodeId u = 0; u < fx.dls.n(); ++u) {
+    for (NodeId v = 0; v < fx.dls.n(); ++v) {
+      const Dist a =
+          DistanceLabeling::estimate(fx.dls.label(u), fx.dls.label(v)).upper;
+      const Dist b =
+          DistanceLabeling::estimate(loaded.label(u), loaded.label(v)).upper;
+      EXPECT_EQ(a, b) << "estimate differs for (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(SnapshotOracle, BundleRoundTripsMetaAndLabels) {
+  LabelingFixture fx;
+  TempFile file("oracle");
+  const OracleMeta meta{"euclid-48", fx.dls.n(), 23, 0.25};
+  save_oracle(meta, fx.dls, file.path());
+  const SnapshotInfo info = inspect_snapshot(file.path());
+  EXPECT_EQ(info.kind, SnapshotKind::kOracle);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  const LoadedOracle loaded = load_oracle(file.path());
+  EXPECT_EQ(loaded.meta, meta);
+  for (NodeId u = 0; u < fx.dls.n(); ++u) {
+    EXPECT_EQ(loaded.labeling.label(u), fx.dls.label(u));
+  }
+}
+
+// --- corruption robustness -------------------------------------------------
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  SnapshotCorruption() : file_("corrupt") {
+    save_labeling(fx_.dls, file_.path());
+    bytes_ = slurp(file_.path());
+    EXPECT_GT(bytes_.size(), 64u);
+  }
+
+  LabelingFixture fx_;
+  TempFile file_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(SnapshotCorruption, WrongMagicRejected) {
+  bytes_[0] = 'X';
+  dump(file_.path(), bytes_);
+  EXPECT_THROW(load_labeling(file_.path()), Error);
+}
+
+TEST_F(SnapshotCorruption, UnsupportedVersionRejected) {
+  bytes_[8] = 99;  // version field follows the 8-byte magic
+  dump(file_.path(), bytes_);
+  EXPECT_THROW(load_labeling(file_.path()), Error);
+}
+
+TEST_F(SnapshotCorruption, WrongKindRejected) {
+  TempFile rings_file("wrongkind");
+  save_rings(make_rings(8), rings_file.path());
+  EXPECT_THROW(load_labeling(rings_file.path()), Error);
+  // ...but the generic inspector still reads its header.
+  EXPECT_EQ(inspect_snapshot(rings_file.path()).kind, SnapshotKind::kRings);
+}
+
+TEST_F(SnapshotCorruption, TruncationRejectedAtEveryPrefix) {
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{31}, std::size_t{32},
+        bytes_.size() / 2, bytes_.size() - 1}) {
+    dump(file_.path(),
+         std::vector<char>(bytes_.begin(), bytes_.begin() + keep));
+    EXPECT_THROW(load_labeling(file_.path()), Error) << "prefix " << keep;
+  }
+}
+
+TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
+  bytes_.push_back('\0');
+  dump(file_.path(), bytes_);
+  EXPECT_THROW(load_labeling(file_.path()), Error);
+}
+
+TEST_F(SnapshotCorruption, BitFlipsAnywhereInPayloadRejected) {
+  // Flip one bit at ~40 offsets spread across the payload; the checksum
+  // must catch every one of them (the header length/kind fields are covered
+  // by the other tests). Bounded offsets keep the test fast — the checksum
+  // treats all positions identically anyway.
+  const std::size_t step = std::max<std::size_t>(97, bytes_.size() / 40);
+  for (std::size_t pos = 32; pos < bytes_.size(); pos += step) {
+    std::vector<char> corrupt = bytes_;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    dump(file_.path(), corrupt);
+    EXPECT_THROW(load_labeling(file_.path()), Error) << "offset " << pos;
+  }
+}
+
+TEST_F(SnapshotCorruption, MissingFileRejected) {
+  EXPECT_THROW(load_labeling("/nonexistent/ron.snapshot"), Error);
+}
+
+// --- engine ----------------------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static std::vector<QueryPair> random_pairs(std::size_t count, std::size_t n,
+                                             std::uint64_t seed) {
+    Rng rng(seed);
+    return random_query_pairs(count, n, rng);
+  }
+
+  LabelingFixture fx_;
+};
+
+TEST_F(EngineTest, BatchMatchesSerialForEveryThreadCount) {
+  const std::vector<QueryPair> pairs = random_pairs(500, fx_.dls.n(), 3);
+  std::vector<Dist> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    expected.push_back(
+        DistanceLabeling::estimate(fx_.dls.label(u), fx_.dls.label(v)).upper);
+  }
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    for (std::size_t cache : {std::size_t{0}, std::size_t{64}}) {
+      OracleEngine engine(fx_.dls, OracleOptions{threads, cache});
+      EXPECT_EQ(engine.num_workers(), threads);
+      const std::vector<Dist> got = engine.estimate_batch(pairs);
+      EXPECT_EQ(got, expected) << threads << " threads, cache " << cache;
+    }
+  }
+}
+
+TEST_F(EngineTest, SingleQueryMatchesBatch) {
+  OracleEngine engine(fx_.dls, OracleOptions{2, 0});
+  const std::vector<QueryPair> pairs = {{0, 5}, {7, 7}, {40, 3}};
+  const std::vector<Dist> batch = engine.estimate_batch(pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(engine.estimate(pairs[i].first, pairs[i].second), batch[i]);
+  }
+  EXPECT_EQ(batch[1], 0.0);  // self pair
+}
+
+TEST_F(EngineTest, OutOfRangeIdsRejected) {
+  OracleEngine engine(fx_.dls, OracleOptions{2, 0});
+  const std::vector<QueryPair> pairs = {
+      {0, static_cast<NodeId>(fx_.dls.n())}};
+  EXPECT_THROW(engine.estimate_batch(pairs), Error);
+  EXPECT_THROW(engine.estimate(static_cast<NodeId>(fx_.dls.n()), 0), Error);
+}
+
+TEST_F(EngineTest, CacheHitsOnRepeatedQueries) {
+  OracleEngine engine(fx_.dls, OracleOptions{4, 1024});
+  const std::vector<QueryPair> pairs = random_pairs(200, fx_.dls.n(), 9);
+  engine.estimate_batch(pairs);
+  const std::size_t first_hits = engine.last_batch_stats().cache_hits;
+  const std::vector<Dist> again = engine.estimate_batch(pairs);
+  // Replay: every query hits (same shard, same key, capacity not exceeded).
+  EXPECT_EQ(engine.last_batch_stats().cache_hits, pairs.size());
+  std::vector<Dist> expected;
+  for (const auto& [u, v] : pairs) {
+    expected.push_back(
+        DistanceLabeling::estimate(fx_.dls.label(u), fx_.dls.label(v)).upper);
+  }
+  EXPECT_EQ(again, expected);
+  EXPECT_LT(first_hits, pairs.size());
+}
+
+TEST_F(EngineTest, SymmetricPairsShareCacheEntries) {
+  // (u,v) and (v,u) have the same source shard only when u%W == v%W; use
+  // one worker so the normalized key always lands in the same shard.
+  OracleEngine engine(fx_.dls, OracleOptions{1, 64});
+  const std::vector<QueryPair> forward = {{1, 2}, {3, 4}};
+  const std::vector<QueryPair> reversed = {{2, 1}, {4, 3}};
+  const std::vector<Dist> a = engine.estimate_batch(forward);
+  const std::vector<Dist> b = engine.estimate_batch(reversed);
+  EXPECT_EQ(engine.last_batch_stats().cache_hits, reversed.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EngineTest, LruEvictsLeastRecentlyUsed) {
+  // Capacity 2 on one worker: querying a third distinct pair evicts the
+  // oldest; re-querying it then misses (no hit counted).
+  OracleEngine engine(fx_.dls, OracleOptions{1, 2});
+  auto run_one = [&](NodeId u, NodeId v) {
+    const std::vector<QueryPair> one = {{u, v}};
+    engine.estimate_batch(one);
+    return engine.last_batch_stats().cache_hits;
+  };
+  EXPECT_EQ(run_one(0, 1), 0u);
+  EXPECT_EQ(run_one(0, 2), 0u);
+  EXPECT_EQ(run_one(0, 1), 1u);  // still cached, refreshes recency
+  EXPECT_EQ(run_one(0, 3), 0u);  // evicts (0,2), the least recently used
+  EXPECT_EQ(run_one(0, 2), 0u);  // miss: was evicted (this evicts (0,1))
+  EXPECT_EQ(run_one(0, 3), 1u);  // survived both evictions
+}
+
+TEST_F(EngineTest, StatsAccumulate) {
+  OracleEngine engine(fx_.dls, OracleOptions{2, 0});
+  const std::vector<QueryPair> pairs = random_pairs(100, fx_.dls.n(), 5);
+  engine.estimate_batch(pairs);
+  engine.estimate_batch(pairs);
+  EXPECT_EQ(engine.last_batch_stats().queries, pairs.size());
+  EXPECT_GT(engine.last_batch_stats().qps, 0.0);
+  EXPECT_EQ(engine.totals().batches, 2u);
+  EXPECT_EQ(engine.totals().queries, 2 * pairs.size());
+  EXPECT_GT(engine.totals().seconds, 0.0);
+}
+
+TEST_F(EngineTest, EmptyBatchIsFine) {
+  OracleEngine engine(fx_.dls, OracleOptions{2, 0});
+  const std::vector<QueryPair> none;
+  EXPECT_TRUE(engine.estimate_batch(none).empty());
+  EXPECT_EQ(engine.last_batch_stats().queries, 0u);
+}
+
+TEST(DistanceLabelingParts, UnsortedZetaRejected) {
+  // zeta_lookup binary-searches each level on (x, y); from_parts must
+  // reject an unsorted level instead of letting estimates go silently wrong.
+  DistanceCodec codec(1.0, 10.0, 0.1);
+  std::vector<DlsLabel> labels(2);
+  for (std::uint32_t u = 0; u < 2; ++u) {
+    labels[u].id = u;
+    labels[u].host_dist = {1.0, 2.0};
+    labels[u].zoom0 = 0;
+  }
+  labels[0].zeta = {{DlsTriple{1, 0, 0}, DlsTriple{0, 0, 1}}};  // unsorted
+  EXPECT_THROW(
+      DistanceLabeling::from_parts(codec, 1, 1, std::move(labels)), Error);
+}
+
+TEST(EngineErrors, WorkerExceptionSurfacesAsError) {
+  // A label pair that passes per-label validation but trips walk_chain's
+  // cross-label RON_CHECK (b's zoom0 exceeds a's host array): the throw
+  // happens on a pool worker and must reach the dispatcher as ron::Error —
+  // not std::terminate — leaving the engine usable.
+  DistanceCodec codec(1.0, 10.0, 0.1);
+  std::vector<DlsLabel> labels(2);
+  labels[0].id = 0;
+  labels[0].host_dist = {1.0};
+  labels[0].zoom0 = 0;
+  labels[1].id = 1;
+  labels[1].host_dist = {1.0, 2.0, 3.0};
+  labels[1].zoom0 = 2;  // valid for label 1, out of range for label 0
+  OracleEngine engine(
+      DistanceLabeling::from_parts(codec, 1, 1, std::move(labels)),
+      OracleOptions{2, 0});
+  const std::vector<QueryPair> bad = {{0, 1}};
+  EXPECT_THROW(engine.estimate_batch(bad), Error);
+  const std::vector<QueryPair> self = {{1, 1}};  // equal ids short-circuit
+  EXPECT_EQ(engine.estimate_batch(self), std::vector<Dist>{0.0});
+}
+
+TEST_F(EngineTest, ServesLoadedSnapshotIdenticallyToBuilder) {
+  TempFile file("engine");
+  const OracleMeta meta{"euclid-48", fx_.dls.n(), 23, 0.25};
+  save_oracle(meta, fx_.dls, file.path());
+  LoadedOracle loaded = load_oracle(file.path());
+  OracleEngine built(fx_.dls, OracleOptions{2, 0});
+  OracleEngine served(std::move(loaded.labeling), OracleOptions{2, 0});
+  const std::vector<QueryPair> pairs = random_pairs(300, fx_.dls.n(), 11);
+  EXPECT_EQ(built.estimate_batch(pairs), served.estimate_batch(pairs));
+}
+
+}  // namespace
+}  // namespace ron

@@ -1,0 +1,42 @@
+# End-to-end exercise of the ron_oracle CLI: build -> info -> query -> bench.
+# Invoked by ctest as:
+#   cmake -DORACLE_EXE=<path> -DWORK_DIR=<dir> -P oracle_cli_test.cmake
+if(NOT DEFINED ORACLE_EXE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "oracle_cli_test.cmake: pass -DORACLE_EXE and -DWORK_DIR")
+endif()
+
+set(snapshot "${WORK_DIR}/oracle_cli_test.ron")
+
+function(run_step)
+  execute_process(
+    COMMAND ${ARGV}
+    OUTPUT_VARIABLE step_stdout
+    RESULT_VARIABLE step_rc)
+  if(NOT step_rc EQUAL 0)
+    message(FATAL_ERROR "'${ARGV}' exited with status ${step_rc}")
+  endif()
+  set(step_stdout "${step_stdout}" PARENT_SCOPE)
+endfunction()
+
+run_step(${ORACLE_EXE} build --out ${snapshot}
+  --metric euclid --n 64 --seed 5 --delta 0.25)
+
+run_step(${ORACLE_EXE} info ${snapshot})
+if(NOT step_stdout MATCHES "checksum .* \\(verified\\)")
+  message(FATAL_ERROR "info did not report a verified checksum:\n${step_stdout}")
+endif()
+
+# Space-separated pair list: semicolons are CMake list separators and would
+# be split by the COMMAND expansion below.
+run_step(${ORACLE_EXE} query ${snapshot} --pairs "0,5 12,63 7,7" --threads 2)
+if(NOT step_stdout MATCHES "7 7 0")
+  message(FATAL_ERROR "query did not answer 0 for the (7,7) self-pair:\n${step_stdout}")
+endif()
+
+run_step(${ORACLE_EXE} bench ${snapshot} --queries 2000 --batch 500
+  --threads 2 --cache 1024)
+if(NOT step_stdout MATCHES "\"qps\":")
+  message(FATAL_ERROR "bench did not report qps:\n${step_stdout}")
+endif()
+
+message(STATUS "ron_oracle build/info/query/bench all passed")

@@ -1,0 +1,309 @@
+// ron_oracle — build, inspect and serve distance-oracle snapshots.
+//
+// The end-to-end serving path of the oracle subsystem in one binary:
+//
+//   ron_oracle build --out cloud.ron --metric clustered --n 256 --delta 0.25
+//   ron_oracle info cloud.ron
+//   ron_oracle query cloud.ron --pairs "0,5;12,200;7,7"
+//   ron_oracle bench cloud.ron --queries 200000 --threads 8
+//
+// `build` runs generator -> ProximityIndex -> NeighborSystem ->
+// DistanceLabeling and snapshots the result; the other subcommands never
+// touch the metric again — they answer purely from the snapshot, which is
+// the point of the paper's labelings.
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "labeling/neighbor_system.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "metric/proximity.h"
+#include "oracle/engine.h"
+#include "oracle/snapshot.h"
+
+namespace ron {
+namespace {
+
+int usage(std::ostream& os) {
+  os << "usage:\n"
+        "  ron_oracle build --out FILE [--metric clustered|euclid|geoline|"
+        "grid]\n"
+        "                   [--n N] [--seed S] [--delta D]\n"
+        "  ron_oracle info FILE\n"
+        "  ron_oracle query FILE --pairs \"u,v;u,v;...\" [--threads T] "
+        "[--cache C]\n"
+        "  ron_oracle bench FILE [--queries Q] [--batch B] [--threads T] "
+        "[--cache C]\n";
+  return 2;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  RON_CHECK(ec == std::errc() && p == s.data() + s.size(),
+            "bad " << what << ": '" << s << "'");
+  return v;
+}
+
+double parse_f64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    RON_CHECK(pos == s.size(), "bad " << what << ": '" << s << "'");
+    return v;
+  } catch (const std::exception&) {
+    throw Error(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+/// "--flag value" option map over argv[first..).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        RON_CHECK(i + 1 < argc, "missing value for " << a);
+        flags_[a.substr(2)] = argv[++i];
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? dflt : it->second;
+  }
+  bool has(const std::string& key) const { return flags_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+std::unique_ptr<MetricSpace> make_metric(const std::string& kind,
+                                         std::size_t n, std::uint64_t seed) {
+  RON_CHECK(n >= 4 && n <= 100000, "metric size n=" << n);
+  if (kind == "clustered") {
+    ClusteredParams p;
+    p.per_cluster = 16;
+    // Round up to whole clusters so the snapshot never has fewer nodes than
+    // the user asked for (the effective n is printed by `build`).
+    p.clusters = (n + p.per_cluster - 1) / p.per_cluster;
+    return std::make_unique<EuclideanMetric>(clustered_metric(p, seed));
+  }
+  if (kind == "euclid") {
+    return std::make_unique<EuclideanMetric>(random_cube_metric(n, 2, seed));
+  }
+  if (kind == "geoline") {
+    return std::make_unique<GeometricLineMetric>(n, 1.3);
+  }
+  if (kind == "grid") {
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    auto g = grid_graph(side, side, /*perturb=*/0.3, seed);
+    return std::make_unique<GraphMetric>(g);
+  }
+  throw Error("unknown metric kind '" + kind +
+              "' (want clustered|euclid|geoline|grid)");
+}
+
+OracleOptions engine_options(const Args& args) {
+  OracleOptions opts;
+  opts.num_threads = static_cast<unsigned>(
+      parse_u64(args.get("threads", "1"), "--threads"));
+  opts.cache_capacity = static_cast<std::size_t>(
+      parse_u64(args.get("cache", "0"), "--cache"));
+  return opts;
+}
+
+void print_label_stats(std::ostream& os, const DistanceLabeling& dls) {
+  std::uint64_t max_bits = 0;
+  double avg_bits = 0.0;
+  for (NodeId u = 0; u < dls.n(); ++u) {
+    const std::uint64_t b = dls.label_bits(u);
+    max_bits = std::max(max_bits, b);
+    avg_bits += static_cast<double>(b);
+  }
+  avg_bits /= static_cast<double>(dls.n());
+  os << "  labels: n = " << dls.n() << ", bits max/avg = " << max_bits << "/"
+     << avg_bits << ", psi = " << dls.psi_bits() << " b, distance code = "
+     << dls.codec().bits() << " b\n";
+}
+
+int cmd_build(const Args& args) {
+  RON_CHECK(args.has("out"), "build: --out FILE is required");
+  const std::string out = args.get("out", "");
+  const std::string kind = args.get("metric", "clustered");
+  const std::size_t n =
+      static_cast<std::size_t>(parse_u64(args.get("n", "256"), "--n"));
+  const std::uint64_t seed = parse_u64(args.get("seed", "1"), "--seed");
+  const double delta = parse_f64(args.get("delta", "0.25"), "--delta");
+
+  auto metric = make_metric(kind, n, seed);
+  std::cout << "building oracle over " << metric->name()
+            << " (n = " << metric->n() << ", delta = " << delta << ")\n";
+  ProximityIndex prox(*metric);
+  NeighborSystem sys(prox, delta);
+  DistanceLabeling dls(sys);
+
+  OracleMeta meta;
+  meta.metric_name = metric->name();
+  meta.n = dls.n();
+  meta.seed = seed;
+  meta.delta = delta;
+  save_oracle(meta, dls, out);
+
+  const SnapshotInfo info = inspect_snapshot(out);
+  std::cout << "wrote " << out << " (" << info.payload_bytes
+            << " payload bytes, checksum " << std::hex << info.checksum
+            << std::dec << ")\n";
+  print_label_stats(std::cout, dls);
+  return 0;
+}
+
+void print_snapshot_header(const std::string& path, const SnapshotInfo& info) {
+  std::cout << "snapshot " << path << "\n  format version " << info.version
+            << ", section kind " << static_cast<std::uint32_t>(info.kind)
+            << ", payload " << info.payload_bytes << " bytes, checksum "
+            << std::hex << info.checksum << std::dec << " (verified)\n";
+}
+
+int cmd_info(const Args& args) {
+  RON_CHECK(args.positional().size() == 1, "info: exactly one snapshot file");
+  const std::string path = args.positional()[0];
+  // Header peek picks the path so each case does ONE full read; the
+  // follow-up inspect/load performs the real validation.
+  if (peek_snapshot_kind(path) !=
+      static_cast<std::uint32_t>(SnapshotKind::kOracle)) {
+    print_snapshot_header(path, inspect_snapshot(path));
+    return 0;
+  }
+  SnapshotInfo info;
+  const LoadedOracle oracle = load_oracle(path, &info);
+  print_snapshot_header(path, info);
+  std::cout << "  built from: " << oracle.meta.metric_name
+            << " (n = " << oracle.meta.n << ", seed = " << oracle.meta.seed
+            << ", delta = " << oracle.meta.delta << ")\n";
+  print_label_stats(std::cout, oracle.labeling);
+  return 0;
+}
+
+/// "u,v;u,v" (spaces also accepted as pair separators).
+std::vector<QueryPair> parse_pairs(const std::string& spec) {
+  std::vector<QueryPair> pairs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    if (spec[pos] == ';' || spec[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    std::size_t semi = spec.find_first_of("; ", pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string item = spec.substr(pos, semi - pos);
+    const std::size_t comma = item.find(',');
+    RON_CHECK(comma != std::string::npos,
+              "--pairs item '" << item << "' is not 'u,v'");
+    pairs.emplace_back(
+        static_cast<NodeId>(parse_u64(item.substr(0, comma), "pair source")),
+        static_cast<NodeId>(parse_u64(item.substr(comma + 1), "pair target")));
+    pos = semi + 1;
+  }
+  RON_CHECK(!pairs.empty(), "--pairs is empty");
+  return pairs;
+}
+
+int cmd_query(const Args& args) {
+  RON_CHECK(args.positional().size() == 1,
+            "query: exactly one snapshot file");
+  RON_CHECK(args.has("pairs"), "query: --pairs \"u,v;u,v\" is required");
+  LoadedOracle oracle = load_oracle(args.positional()[0]);
+  OracleEngine engine(std::move(oracle.labeling), engine_options(args));
+  const std::vector<QueryPair> pairs = parse_pairs(args.get("pairs", ""));
+  const std::vector<Dist> est = engine.estimate_batch(pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::cout << pairs[i].first << " " << pairs[i].second << " " << est[i]
+              << "\n";
+  }
+  const BatchStats& stats = engine.last_batch_stats();
+  std::cout << "# " << stats.queries << " queries in "
+            << stats.seconds * 1e3 << " ms (" << stats.qps << " qps, "
+            << stats.cache_hits << " cache hits, " << engine.num_workers()
+            << " workers)\n";
+  return 0;
+}
+
+int cmd_bench(const Args& args) {
+  RON_CHECK(args.positional().size() == 1,
+            "bench: exactly one snapshot file");
+  LoadedOracle oracle = load_oracle(args.positional()[0]);
+  const std::size_t queries = static_cast<std::size_t>(
+      parse_u64(args.get("queries", "100000"), "--queries"));
+  const std::size_t batch = static_cast<std::size_t>(
+      parse_u64(args.get("batch", "8192"), "--batch"));
+  RON_CHECK(batch >= 1, "--batch must be >= 1");
+  const std::size_t n = oracle.labeling.n();
+  OracleEngine engine(std::move(oracle.labeling), engine_options(args));
+
+  Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
+  std::size_t done = 0;
+  double seconds = 0.0;
+  std::size_t hits = 0;
+  while (done < queries) {
+    const std::size_t count = std::min(batch, queries - done);
+    const std::vector<QueryPair> pairs = random_query_pairs(count, n, rng);
+    engine.estimate_batch(pairs);
+    seconds += engine.last_batch_stats().seconds;
+    hits += engine.last_batch_stats().cache_hits;
+    done += count;
+  }
+  std::cout << "{\"tool\":\"ron_oracle bench\",\"n\":" << n
+            << ",\"queries\":" << done << ",\"batch\":" << batch
+            << ",\"threads\":" << engine.num_workers()
+            << ",\"cache_hits\":" << hits << ",\"seconds\":" << seconds
+            << ",\"qps\":" << (seconds > 0.0
+                                   ? static_cast<double>(done) / seconds
+                                   : 0.0)
+            << "}\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (cmd == "build") return cmd_build(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "bench") return cmd_bench(args);
+  if (cmd == "--help" || cmd == "help") return usage(std::cout);
+  std::cerr << "ron_oracle: unknown subcommand '" << cmd << "'\n";
+  return usage(std::cerr);
+}
+
+}  // namespace
+}  // namespace ron
+
+int main(int argc, char** argv) {
+  try {
+    return ron::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "ron_oracle: " << e.what() << "\n";
+    return 1;
+  }
+}
