@@ -1,11 +1,12 @@
 // Scenario: object location in a peer-to-peer overlay (the paper's §5 /
-// Meridian [57] motivation).
+// Meridian [57] motivation), served by the src/location/ subsystem.
 //
 // Peers live in a latency space with a super-polynomial aspect ratio (a
 // geometric line — think of a chain of data centers at exponentially
-// growing distances). Each peer keeps rings of neighbors; to locate the
-// peer holding an object, greedy routing walks the overlay using only each
-// peer's own contact list. With X+Y rings (Theorem 5.2(a)) every lookup
+// growing distances). Objects are published into an ObjectDirectory with a
+// few replicas each; LocationService answers locate(querier, object) by
+// walking the overlay greedily toward the nearest copy using only each
+// peer's own ring contacts. With X+Y rings (Theorem 5.2(a)) every lookup
 // takes O(log n) hops; with the naive Y-only rings it degrades to
 // Θ(log Δ) = Θ(n).
 //
@@ -14,12 +15,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "common/rng.h"
+#include "location/location_service.h"
+#include "location/object_directory.h"
 #include "metric/line_metrics.h"
 #include "metric/proximity.h"
-#include "net/doubling_measure.h"
-#include "net/nets.h"
-#include "smallworld/rings_model.h"
 
 int main(int argc, char** argv) {
   using namespace ron;
@@ -33,34 +36,83 @@ int main(int argc, char** argv) {
   std::cout << "peers: " << n << ", logΔ = "
             << std::log2(prox.aspect_ratio()) << " (super-polynomial)\n\n";
 
-  NetHierarchy nets(prox, static_cast<int>(
-                              std::ceil(std::log2(prox.aspect_ratio()))) + 1);
-  MeasureView mu(prox, doubling_measure(nets));
-  RingsSmallWorld overlay(prox, mu, RingsModelParams{}, seed);
+  // One overlay per ring profile; the service walks whichever it is given.
+  // The foil borrows the first overlay's nets+measure (profile-independent).
+  LocationOverlay overlay(prox, RingsModelParams{}, seed);
   RingsModelParams naive_params;
   naive_params.with_x = false;
-  RingsSmallWorld naive(prox, mu, naive_params, seed);
+  LocationOverlay naive(overlay.measure(), naive_params, seed);
 
-  // Locate 5 objects placed at far-away peers from peer 0.
-  std::cout << "lookups from peer 0 (hops with X+Y vs Y-only):\n";
-  for (NodeId holder : {n - 1, n / 2, n / 3, 7 * n / 8, 1ul}) {
-    const auto fast = route_query(overlay, 0, static_cast<NodeId>(holder),
-                                  10000);
-    const auto slow = route_query(naive, 0, static_cast<NodeId>(holder),
-                                  10000);
-    std::cout << "  object at peer " << holder << ": " << fast.hops
-              << " hops vs " << slow.hops << " hops\n";
+  // Publish 5 single-copy objects at far-away peers, plus a replicated one.
+  ObjectDirectory dir(n);
+  const std::vector<NodeId> far_holders = {
+      static_cast<NodeId>(n - 1), static_cast<NodeId>(n / 2),
+      static_cast<NodeId>(n / 3), static_cast<NodeId>(7 * n / 8), 1};
+  for (std::size_t k = 0; k < far_holders.size(); ++k) {
+    dir.publish("shard" + std::to_string(k), far_holders[k]);
   }
-  // Aggregate over random lookups.
-  const SwStats s_fast = evaluate_model(overlay, 500, 3, 10000);
-  const SwStats s_slow = evaluate_model(naive, 500, 3, 10000);
-  std::cout << "\n500 random lookups:\n"
-            << "  X+Y rings   (thm 5.2a): mean " << s_fast.hops.mean
-            << " hops, max " << s_fast.hops.max << ", failures "
-            << s_fast.failures << "\n"
-            << "  Y-only foil          : mean " << s_slow.hops.mean
-            << " hops, max " << s_slow.hops.max << ", failures "
+  Rng rng(seed);
+  dir.publish_random("replicated-index", 3, rng);
+
+  LocationService fast(prox, overlay.rings(), dir);
+  LocationService slow(prox, naive.rings(), dir);
+
+  std::cout << "lookups from peer 0 (X+Y vs Y-only):\n";
+  for (std::size_t k = 0; k < far_holders.size(); ++k) {
+    const std::string name = "shard" + std::to_string(k);
+    const LocateResult a = fast.locate(0, name);
+    const LocateResult b = slow.locate(0, name);
+    std::cout << "  " << name << " at peer " << far_holders[k] << ": "
+              << a.hops << " hops (stretch " << a.route_stretch << ") vs "
+              << b.hops << " hops\n";
+  }
+
+  // Aggregate over random lookups across all published objects.
+  const std::size_t lookups = 500;
+  auto aggregate = [&](const LocationService& svc) {
+    Rng query_rng(seed + 1);
+    std::size_t hops = 0;
+    std::size_t max_hops = 0;
+    std::size_t failures = 0;
+    double max_stretch = 0.0;
+    for (std::size_t q = 0; q < lookups; ++q) {
+      const NodeId querier = static_cast<NodeId>(query_rng.index(n));
+      const ObjectId obj =
+          static_cast<ObjectId>(query_rng.index(dir.num_objects()));
+      const LocateResult r = svc.locate(querier, obj);
+      if (!r.found) {
+        ++failures;
+        continue;
+      }
+      hops += r.hops;
+      max_hops = std::max(max_hops, r.hops);
+      max_stretch = std::max(max_stretch, r.route_stretch);
+    }
+    struct Agg {
+      double mean_hops;
+      std::size_t max_hops;
+      std::size_t failures;
+      double max_stretch;
+    };
+    const std::size_t delivered = lookups - failures;
+    return Agg{delivered == 0 ? 0.0
+                              : static_cast<double>(hops) /
+                                    static_cast<double>(delivered),
+               max_hops, failures, max_stretch};
+  };
+  const auto s_fast = aggregate(fast);
+  const auto s_slow = aggregate(slow);
+  std::cout << "\n" << lookups << " random lookups:\n"
+            << "  X+Y rings   (thm 5.2a): mean " << s_fast.mean_hops
+            << " hops, max " << s_fast.max_hops << ", max stretch "
+            << s_fast.max_stretch << ", failures " << s_fast.failures << "\n"
+            << "  Y-only foil          : mean " << s_slow.mean_hops
+            << " hops, max " << s_slow.max_hops << ", failures "
             << s_slow.failures << "\n"
-            << "log2(n) = " << std::log2(static_cast<double>(n)) << "\n";
-  return 0;
+            << "log2(n) = " << std::log2(static_cast<double>(n))
+            << ", hop bound = " << location_hop_bound(n) << "\n";
+  return s_fast.failures == 0 &&
+                 s_fast.max_hops <= location_hop_bound(n)
+             ? 0
+             : 1;
 }

@@ -1,6 +1,9 @@
 # Runs an example binary end-to-end and fails if it exits non-zero or prints
-# nothing to stdout. Invoked by ctest as:
-#   cmake -DSMOKE_EXE=<path> -P smoke_test.cmake
+# nothing to stdout. An optional SMOKE_MATCH regex pins the output *shape*
+# (e.g. "hops .stretch" for the object-location demo), so an example that
+# still exits 0 but stops printing its numbers fails the smoke. Invoked by
+# ctest as:
+#   cmake -DSMOKE_EXE=<path> [-DSMOKE_MATCH=<regex>] -P smoke_test.cmake
 if(NOT DEFINED SMOKE_EXE)
   message(FATAL_ERROR "smoke_test.cmake: pass -DSMOKE_EXE=<binary>")
 endif()
@@ -17,6 +20,11 @@ endif()
 string(STRIP "${smoke_stdout}" smoke_stripped)
 if(smoke_stripped STREQUAL "")
   message(FATAL_ERROR "${SMOKE_EXE} produced empty stdout")
+endif()
+
+if(DEFINED SMOKE_MATCH AND NOT smoke_stdout MATCHES "${SMOKE_MATCH}")
+  message(FATAL_ERROR
+    "${SMOKE_EXE} stdout does not match '${SMOKE_MATCH}':\n${smoke_stdout}")
 endif()
 
 string(LENGTH "${smoke_stdout}" smoke_len)

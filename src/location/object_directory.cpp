@@ -1,0 +1,103 @@
+#include "location/object_directory.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ron {
+
+ObjectDirectory::ObjectDirectory(std::size_t n) : n_(n) {
+  RON_CHECK(n >= 1 && n <= kInvalidNode, "ObjectDirectory: n=" << n);
+}
+
+std::size_t ObjectDirectory::check_obj(ObjectId obj) const {
+  RON_CHECK(obj < names_.size(), "ObjectDirectory: object id " << obj
+                                     << " out of range ("
+                                     << names_.size() << " objects)");
+  return obj;
+}
+
+ObjectId ObjectDirectory::declare(const std::string& name) {
+  RON_CHECK(!name.empty(), "ObjectDirectory: empty object name");
+  auto [it, inserted] =
+      index_.try_emplace(name, static_cast<ObjectId>(names_.size()));
+  if (inserted) {
+    RON_CHECK(names_.size() < kInvalidObject,
+              "ObjectDirectory: too many objects");
+    names_.push_back(name);
+    holders_.emplace_back();
+  }
+  return it->second;
+}
+
+ObjectId ObjectDirectory::publish(const std::string& name, NodeId holder) {
+  RON_CHECK(holder < n_, "ObjectDirectory: holder " << holder
+                             << " out of range (n=" << n_ << ")");
+  const ObjectId obj = declare(name);
+  std::vector<NodeId>& hs = holders_[obj];
+  const auto pos = std::lower_bound(hs.begin(), hs.end(), holder);
+  if (pos == hs.end() || *pos != holder) {
+    hs.insert(pos, holder);
+    ++total_replicas_;
+  }
+  return obj;
+}
+
+ObjectId ObjectDirectory::publish(const std::string& name,
+                                  std::span<const NodeId> holders) {
+  RON_CHECK(!holders.empty(), "ObjectDirectory: publish with no holders");
+  ObjectId obj = kInvalidObject;
+  for (NodeId v : holders) obj = publish(name, v);
+  return obj;
+}
+
+ObjectId ObjectDirectory::publish_random(const std::string& name,
+                                         std::size_t replicas, Rng& rng) {
+  RON_CHECK(replicas >= 1 && replicas <= n_,
+            "ObjectDirectory: " << replicas << " replicas over n=" << n_);
+  ObjectId obj = kInvalidObject;
+  for (std::size_t i : rng.sample_without_replacement(replicas, n_)) {
+    obj = publish(name, static_cast<NodeId>(i));
+  }
+  return obj;
+}
+
+bool ObjectDirectory::unpublish(const std::string& name, NodeId holder) {
+  const ObjectId obj = find(name);
+  if (obj == kInvalidObject) return false;
+  std::vector<NodeId>& hs = holders_[obj];
+  const auto pos = std::lower_bound(hs.begin(), hs.end(), holder);
+  if (pos == hs.end() || *pos != holder) return false;
+  hs.erase(pos);
+  --total_replicas_;
+  return true;
+}
+
+std::size_t ObjectDirectory::unpublish_all(const std::string& name) {
+  const ObjectId obj = find(name);
+  if (obj == kInvalidObject) return 0;
+  const std::size_t removed = holders_[obj].size();
+  total_replicas_ -= removed;
+  holders_[obj].clear();
+  return removed;
+}
+
+ObjectId ObjectDirectory::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidObject : it->second;
+}
+
+const std::string& ObjectDirectory::name(ObjectId obj) const {
+  return names_[check_obj(obj)];
+}
+
+std::span<const NodeId> ObjectDirectory::holders(ObjectId obj) const {
+  return holders_[check_obj(obj)];
+}
+
+bool ObjectDirectory::is_holder(ObjectId obj, NodeId v) const {
+  const std::vector<NodeId>& hs = holders_[check_obj(obj)];
+  return std::binary_search(hs.begin(), hs.end(), v);
+}
+
+}  // namespace ron

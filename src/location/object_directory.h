@@ -1,0 +1,93 @@
+// ObjectDirectory: the publish side of the paper's object-location scenario.
+//
+// The paper's title promises distance estimation *and* object location; §5
+// (and the Meridian motivation it cites) frames the latter as: copies of an
+// object live at some set of nodes, and a querier must reach the nearest
+// copy by walking the overlay. The directory is the global publish state —
+// object name -> the set of holder nodes (replicas). It is deliberately a
+// plain, snapshot-friendly value type: LocationService consumes it
+// read-only, and the oracle subsystem persists it as its own snapshot kind.
+//
+// Ids: every published name gets a dense ObjectId in insertion order, stable
+// across unpublish (slots are never reused within one directory's lifetime).
+// Holder sets are kept sorted and unique so membership checks are O(log k)
+// and snapshots are canonical (same publish history => identical bytes).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ron {
+
+/// Dense index of a published object within one directory.
+using ObjectId = std::uint32_t;
+
+/// Sentinel for "no such object".
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+class ObjectDirectory {
+ public:
+  /// Directory over nodes 0..n-1; holder ids are validated against n.
+  explicit ObjectDirectory(std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::size_t num_objects() const { return names_.size(); }
+
+  /// Total replicas across all objects (an object with k holders counts k).
+  std::size_t total_replicas() const { return total_replicas_; }
+
+  /// Registers `name` with no holders yet (no-op if it exists). Snapshot
+  /// loading needs this to round-trip fully-unpublished objects; publish()
+  /// calls it implicitly. The name must be non-empty.
+  ObjectId declare(const std::string& name);
+
+  /// Publishes a copy of `name` at `holder`, creating the object on first
+  /// use. Re-publishing an existing (name, holder) pair is a no-op. Returns
+  /// the object's id.
+  ObjectId publish(const std::string& name, NodeId holder);
+
+  /// Publishes a copy at every node of `holders`.
+  ObjectId publish(const std::string& name, std::span<const NodeId> holders);
+
+  /// Publishes `replicas` copies at distinct random nodes (the synthetic
+  /// workload used by the bench and the CLI). Requires replicas <= n.
+  ObjectId publish_random(const std::string& name, std::size_t replicas,
+                          Rng& rng);
+
+  /// Removes the copy at `holder`; returns false if (name, holder) was not
+  /// published. An object may end up with zero holders — it stays resolvable
+  /// by id/name but locate() reports it unreachable.
+  bool unpublish(const std::string& name, NodeId holder);
+
+  /// Removes every copy of `name`; returns the number of copies removed.
+  std::size_t unpublish_all(const std::string& name);
+
+  /// Id of `name`, or kInvalidObject.
+  ObjectId find(const std::string& name) const;
+
+  const std::string& name(ObjectId obj) const;
+
+  /// Holder nodes of `obj`, sorted by id.
+  std::span<const NodeId> holders(ObjectId obj) const;
+
+  bool is_holder(ObjectId obj, NodeId v) const;
+
+ private:
+  std::size_t check_obj(ObjectId obj) const;
+
+  std::size_t n_;
+  std::size_t total_replicas_ = 0;
+  std::vector<std::string> names_;              // indexed by ObjectId
+  std::vector<std::vector<NodeId>> holders_;    // sorted unique, per object
+  std::unordered_map<std::string, ObjectId> index_;
+};
+
+}  // namespace ron

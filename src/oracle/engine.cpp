@@ -16,32 +16,7 @@ std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
   return pairs;
 }
 
-bool OracleEngine::LruShard::get(std::uint64_t key, Dist& out) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return false;
-  order_.splice(order_.begin(), order_, it->second);  // refresh recency
-  out = it->second->second;
-  ++hits_;
-  return true;
-}
-
-void OracleEngine::LruShard::put(std::uint64_t key, Dist value) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    order_.splice(order_.begin(), order_, it->second);
-    it->second->second = value;
-    return;
-  }
-  if (map_.size() >= capacity_) {
-    map_.erase(order_.back().first);
-    order_.pop_back();
-  }
-  order_.emplace_front(key, value);
-  map_.emplace(key, order_.begin());
-}
-
-OracleEngine::OracleEngine(DistanceLabeling labeling, OracleOptions opts)
-    : labeling_(std::move(labeling)) {
+OracleEngine::OracleEngine(OracleOptions opts) {
   if (opts.num_threads != 0) {
     RON_CHECK(opts.num_threads <= 256,
               "OracleEngine: " << opts.num_threads << " threads");
@@ -53,19 +28,27 @@ OracleEngine::OracleEngine(DistanceLabeling labeling, OracleOptions opts)
                                        std::thread::hardware_concurrency()));
   }
   // Per-worker cache shards; at least one entry each when caching is on.
-  const std::size_t per_shard =
+  cache_capacity_per_shard_ =
       opts.cache_capacity == 0
           ? 0
           : std::max<std::size_t>(1, opts.cache_capacity / workers_);
-  cache_.reserve(workers_);
-  for (unsigned w = 0; w < workers_; ++w) cache_.emplace_back(per_shard);
-  shard_index_.resize(workers_);
-  if (workers_ > 1) {
-    pool_.reserve(workers_);
-    for (unsigned w = 0; w < workers_; ++w) {
-      pool_.emplace_back([this, w] { worker_main(w); });
-    }
+  estimate_cache_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    estimate_cache_.emplace_back(cache_capacity_per_shard_);
   }
+  shard_index_.resize(workers_);
+  start_pool();
+}
+
+OracleEngine::OracleEngine(DistanceLabeling labeling, OracleOptions opts)
+    : OracleEngine(opts) {
+  labeling_ = std::move(labeling);
+}
+
+OracleEngine::OracleEngine(const LocationService& svc, OracleOptions opts,
+                           LocateOptions locate_opts)
+    : OracleEngine(opts) {
+  attach_location(svc, locate_opts);
 }
 
 OracleEngine::~OracleEngine() {
@@ -77,10 +60,56 @@ OracleEngine::~OracleEngine() {
   for (std::thread& t : pool_) t.join();
 }
 
+std::size_t OracleEngine::n() const {
+  if (labeling_.has_value()) return labeling_->n();
+  RON_CHECK(location_ != nullptr, "OracleEngine: no snapshot state");
+  return location_->n();
+}
+
+const DistanceLabeling& OracleEngine::labeling() const {
+  RON_CHECK(labeling_.has_value(), "OracleEngine: no labeling attached");
+  return *labeling_;
+}
+
+void OracleEngine::attach_location(const LocationService& svc,
+                                   LocateOptions locate_opts) {
+  RON_CHECK(location_ == nullptr,
+            "OracleEngine: location service already attached");
+  RON_CHECK(!labeling_.has_value() || labeling_->n() == svc.n(),
+            "OracleEngine: labeling over " << labeling_->n()
+                                           << " nodes, location over "
+                                           << svc.n());
+  location_ = &svc;
+  locate_opts_ = locate_opts;
+  locate_cache_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    locate_cache_.emplace_back(cache_capacity_per_shard_);
+  }
+}
+
+const LocationService& OracleEngine::location() const {
+  RON_CHECK(location_ != nullptr, "OracleEngine: no location service");
+  return *location_;
+}
+
+void OracleEngine::start_pool() {
+  if (workers_ > 1) {
+    pool_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      pool_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
 Dist OracleEngine::estimate(NodeId u, NodeId v) const {
-  RON_CHECK(u < n() && v < n(), "estimate: node id out of range");
-  return DistanceLabeling::estimate(labeling_.label(u), labeling_.label(v))
-      .upper;
+  const DistanceLabeling& dls = labeling();
+  RON_CHECK(u < dls.n() && v < dls.n(), "estimate: node id out of range");
+  return DistanceLabeling::estimate(dls.label(u), dls.label(v)).upper;
+}
+
+LocateResult OracleEngine::locate(NodeId querier, ObjectId obj) const {
+  const LocationService& svc = location();
+  return svc.locate(querier, obj, locate_opts_);
 }
 
 void OracleEngine::worker_main(unsigned w) {
@@ -90,12 +119,13 @@ void OracleEngine::worker_main(unsigned w) {
     cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
-    auto pairs = batch_pairs_;
-    std::vector<Dist>* results = batch_results_;
+    // Copy the shard function so it survives the unlocked region even if
+    // the dispatcher publishes the next batch before this worker reawakens.
+    auto fn = batch_fn_;
     lk.unlock();
     std::exception_ptr err;
     try {
-      process_shard(w, pairs, *results);
+      fn(w);
     } catch (...) {
       err = std::current_exception();
     }
@@ -105,9 +135,11 @@ void OracleEngine::worker_main(unsigned w) {
   }
 }
 
-void OracleEngine::process_shard(unsigned w, std::span<const QueryPair> pairs,
-                                 std::vector<Dist>& results) {
-  LruShard& cache = cache_[w];
+void OracleEngine::process_estimate_shard(unsigned w,
+                                          std::span<const QueryPair> pairs,
+                                          std::vector<Dist>& results) {
+  const DistanceLabeling& dls = *labeling_;
+  LruShard<Dist>& cache = estimate_cache_[w];
   for (std::uint32_t i : shard_index_[w]) {
     const auto [u, v] = pairs[i];
     const std::uint64_t key = pair_key(u, v);
@@ -116,38 +148,56 @@ void OracleEngine::process_shard(unsigned w, std::span<const QueryPair> pairs,
       results[i] = d;
       continue;
     }
-    d = DistanceLabeling::estimate(labeling_.label(u), labeling_.label(v))
-            .upper;
+    d = DistanceLabeling::estimate(dls.label(u), dls.label(v)).upper;
     if (cache.enabled()) cache.put(key, d);
     results[i] = d;
   }
 }
 
-std::vector<Dist> OracleEngine::estimate_batch(
-    std::span<const QueryPair> pairs) {
-  RON_CHECK(pairs.size() < (1ull << 32), "estimate_batch: batch too large");
-  for (const auto& [u, v] : pairs) {
-    RON_CHECK(u < n() && v < n(), "estimate_batch: node id out of range ("
-                                      << u << "," << v << "), n=" << n());
+void OracleEngine::process_locate_shard(unsigned w,
+                                        std::span<const LocateQuery> queries,
+                                        std::vector<LocateResult>& results) {
+  const LocationService& svc = *location_;
+  LruShard<LocateResult>& cache = locate_cache_[w];
+  for (std::uint32_t i : shard_index_[w]) {
+    const auto [querier, obj] = queries[i];
+    const std::uint64_t key = locate_key(querier, obj);
+    LocateResult r;
+    if (cache.enabled() && cache.get(key, r)) {
+      results[i] = r;
+      continue;
+    }
+    r = svc.locate(querier, obj, locate_opts_);
+    if (cache.enabled()) cache.put(key, r);
+    results[i] = r;
   }
+}
+
+std::size_t OracleEngine::cache_hits() const {
+  std::size_t hits = 0;
+  for (const auto& shard : estimate_cache_) hits += shard.hits();
+  for (const auto& shard : locate_cache_) hits += shard.hits();
+  return hits;
+}
+
+template <typename SourceOf>
+void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
+                             const std::function<void(unsigned)>& shard_fn) {
   const auto start = std::chrono::steady_clock::now();
 
   // Shard by source node: all queries from one source land on one worker
   // (and one cache shard), so a hot source stays cache-local.
   for (auto& idx : shard_index_) idx.clear();
-  for (std::uint32_t i = 0; i < pairs.size(); ++i) {
-    shard_index_[pairs[i].first % workers_].push_back(i);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    shard_index_[source_of(i) % workers_].push_back(i);
   }
-  for (LruShard& shard : cache_) shard.reset_hits();
 
-  std::vector<Dist> results(pairs.size(), kInfDist);
   if (workers_ == 1) {
-    process_shard(0, pairs, results);
+    shard_fn(0);
   } else {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      batch_pairs_ = pairs;
-      batch_results_ = &results;
+      batch_fn_ = shard_fn;
       batch_error_ = nullptr;
       remaining_ = workers_;
       ++generation_;
@@ -155,7 +205,7 @@ std::vector<Dist> OracleEngine::estimate_batch(
     cv_start_.notify_all();
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] { return remaining_ == 0; });
-    batch_results_ = nullptr;
+    batch_fn_ = nullptr;
     if (batch_error_ != nullptr) {
       std::exception_ptr err = batch_error_;
       batch_error_ = nullptr;
@@ -166,17 +216,58 @@ std::vector<Dist> OracleEngine::estimate_batch(
 
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  last_.queries = pairs.size();
+  last_.queries = count;
   last_.seconds = elapsed.count();
   last_.qps = last_.seconds > 0.0
-                  ? static_cast<double>(pairs.size()) / last_.seconds
+                  ? static_cast<double>(count) / last_.seconds
                   : 0.0;
-  last_.cache_hits = 0;
-  for (const LruShard& shard : cache_) last_.cache_hits += shard.hits();
+  last_.cache_hits = cache_hits();  // shards were reset at batch start
   ++totals_.batches;
   totals_.queries += last_.queries;
   totals_.seconds += last_.seconds;
   totals_.cache_hits += last_.cache_hits;
+}
+
+std::vector<Dist> OracleEngine::estimate_batch(
+    std::span<const QueryPair> pairs) {
+  const DistanceLabeling& dls = labeling();
+  RON_CHECK(pairs.size() < (1ull << 32), "estimate_batch: batch too large");
+  for (const auto& [u, v] : pairs) {
+    RON_CHECK(u < dls.n() && v < dls.n(),
+              "estimate_batch: node id out of range (" << u << "," << v
+                                                       << "), n=" << dls.n());
+  }
+  for (auto& shard : estimate_cache_) shard.reset_hits();
+  for (auto& shard : locate_cache_) shard.reset_hits();
+
+  std::vector<Dist> results(pairs.size(), kInfDist);
+  run_batch(pairs.size(), [&](std::uint32_t i) { return pairs[i].first; },
+            [this, pairs, &results](unsigned w) {
+              process_estimate_shard(w, pairs, results);
+            });
+  return results;
+}
+
+std::vector<LocateResult> OracleEngine::locate_batch(
+    std::span<const LocateQuery> queries) {
+  const LocationService& svc = location();
+  RON_CHECK(queries.size() < (1ull << 32), "locate_batch: batch too large");
+  const std::size_t objects = svc.directory().num_objects();
+  for (const auto& [querier, obj] : queries) {
+    RON_CHECK(querier < svc.n(), "locate_batch: querier " << querier
+                                     << " out of range, n=" << svc.n());
+    RON_CHECK(obj < objects, "locate_batch: object id "
+                                 << obj << " out of range ("
+                                 << objects << " objects)");
+  }
+  for (auto& shard : estimate_cache_) shard.reset_hits();
+  for (auto& shard : locate_cache_) shard.reset_hits();
+
+  std::vector<LocateResult> results(queries.size());
+  run_batch(queries.size(), [&](std::uint32_t i) { return queries[i].first; },
+            [this, queries, &results](unsigned w) {
+              process_locate_shard(w, queries, results);
+            });
   return results;
 }
 

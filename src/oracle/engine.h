@@ -1,26 +1,36 @@
 // OracleEngine: the query-serving half of the oracle subsystem.
 //
-// A loaded DistanceLabeling is immutable, and DistanceLabeling::estimate is a
-// pure function of two labels — so serving parallelizes embarrassingly. The
-// engine owns the snapshot plus a fixed pool of worker threads and answers
-// *batched* estimate queries: a batch is sharded by source node across the
-// workers (pair i goes to worker source % W), each worker writes its answers
-// into disjoint slots of the shared result vector, and an optional
-// bounded-LRU result cache is split into per-worker shards so cache lookups
-// never take a lock. Results are bit-identical to calling
-// DistanceLabeling::estimate serially, for any thread count and any cache
-// size.
+// The engine owns immutable snapshot state plus a fixed pool of worker
+// threads and answers *batched* queries of two kinds:
+//
+//   - estimate_batch: distance estimates from a loaded DistanceLabeling.
+//     DistanceLabeling::estimate is a pure function of two labels, so
+//     serving parallelizes embarrassingly.
+//   - locate_batch: nearest-copy object location through an attached
+//     LocationService (greedy ring-walks; LocationService is immutable and
+//     safe to share across threads).
+//
+// Both paths share the same machinery: a batch is sharded by source/querier
+// node across the workers (query i goes to worker source % W), each worker
+// writes its answers into disjoint slots of the shared result vector, and
+// an optional bounded-LRU result cache is split into per-worker shards so
+// cache lookups never take a lock (sharding by source keeps a hot source
+// cache-local). Results are bit-identical to running the queries serially,
+// for any thread count and any cache size.
 //
 // Threading contract: batches are submitted from one dispatcher thread at a
 // time (the engine is the concurrency). Workers park on a condition variable
-// between batches; the pool is joined on destruction.
+// between batches and run whatever shard function the dispatcher published;
+// the pool is joined on destruction.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -29,11 +39,15 @@
 
 #include "common/rng.h"
 #include "labeling/distance_labels.h"
+#include "location/location_service.h"
 
 namespace ron {
 
 /// One distance query: (source, target) node ids.
 using QueryPair = std::pair<NodeId, NodeId>;
+
+/// One location query: (querier node, published object id).
+using LocateQuery = std::pair<NodeId, ObjectId>;
 
 /// `count` uniform random query pairs over [0, n) — the shared synthetic
 /// workload generator of the QPS bench, the CLI's bench subcommand and the
@@ -44,12 +58,12 @@ std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
 struct OracleOptions {
   /// Worker threads; 0 = one per hardware core.
   unsigned num_threads = 1;
-  /// Total LRU result-cache entries across all worker shards; 0 disables
-  /// the cache.
+  /// LRU result-cache entries across all worker shards, per query kind
+  /// (estimate and locate caches are separate); 0 disables caching.
   std::size_t cache_capacity = 0;
 };
 
-/// Measurements of one estimate_batch call.
+/// Measurements of one estimate_batch/locate_batch call.
 struct BatchStats {
   std::size_t queries = 0;
   double seconds = 0.0;
@@ -57,7 +71,7 @@ struct BatchStats {
   std::size_t cache_hits = 0;
 };
 
-/// Running totals across the engine's lifetime.
+/// Running totals across the engine's lifetime (both query kinds).
 struct EngineTotals {
   std::size_t batches = 0;
   std::size_t queries = 0;
@@ -67,64 +81,138 @@ struct EngineTotals {
 
 class OracleEngine {
  public:
+  /// Distance-estimate serving from a loaded labeling.
   explicit OracleEngine(DistanceLabeling labeling, OracleOptions opts = {});
+
+  /// Locate-only serving: no labeling, queries answered via `svc` (borrowed;
+  /// must outlive the engine). `locate_opts` is fixed per engine so cached
+  /// results can never reflect a different walk configuration.
+  OracleEngine(const LocationService& svc, OracleOptions opts,
+               LocateOptions locate_opts = {});
+
   ~OracleEngine();
 
   OracleEngine(const OracleEngine&) = delete;
   OracleEngine& operator=(const OracleEngine&) = delete;
 
-  std::size_t n() const { return labeling_.n(); }
+  /// Node count of whichever snapshot state is present (labeling wins when
+  /// both are attached; attach_location enforces they agree).
+  std::size_t n() const;
   unsigned num_workers() const { return workers_; }
-  const DistanceLabeling& labeling() const { return labeling_; }
+
+  bool has_labeling() const { return labeling_.has_value(); }
+  const DistanceLabeling& labeling() const;
+
+  /// Attaches an object-location service to an estimate-serving engine
+  /// (borrowed; must outlive the engine, node count must match the
+  /// labeling's). The service's directory must not be mutated while
+  /// attached — locate results are cached.
+  void attach_location(const LocationService& svc,
+                       LocateOptions locate_opts = {});
+  bool has_location() const { return location_ != nullptr; }
+  const LocationService& location() const;
 
   /// Single query (validated); computed inline, bypassing pool and cache.
   Dist estimate(NodeId u, NodeId v) const;
+  LocateResult locate(NodeId querier, ObjectId obj) const;
 
   /// Answers every pair; results[i] corresponds to pairs[i]. Node ids are
   /// validated up front (throws ron::Error). Updates last_batch_stats().
   std::vector<Dist> estimate_batch(std::span<const QueryPair> pairs);
 
+  /// Answers every locate query; results[i] corresponds to queries[i].
+  /// Querier/object ids are validated up front (throws ron::Error). Updates
+  /// last_batch_stats().
+  std::vector<LocateResult> locate_batch(std::span<const LocateQuery> queries);
+
   const BatchStats& last_batch_stats() const { return last_; }
   const EngineTotals& totals() const { return totals_; }
 
  private:
-  /// One worker's private slice of the result cache. Keyed by the unordered
-  /// pair (estimates are symmetric); classic list+map LRU.
+  /// One worker's private slice of a result cache; classic list+map LRU.
+  template <typename Value>
   class LruShard {
    public:
     explicit LruShard(std::size_t capacity) : capacity_(capacity) {}
 
     bool enabled() const { return capacity_ > 0; }
-    bool get(std::uint64_t key, Dist& out);
-    void put(std::uint64_t key, Dist value);
+
+    bool get(std::uint64_t key, Value& out) {
+      auto it = map_.find(key);
+      if (it == map_.end()) return false;
+      order_.splice(order_.begin(), order_, it->second);  // refresh recency
+      out = it->second->second;
+      ++hits_;
+      return true;
+    }
+
+    void put(std::uint64_t key, Value value) {
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        order_.splice(order_.begin(), order_, it->second);
+        it->second->second = std::move(value);
+        return;
+      }
+      if (map_.size() >= capacity_) {
+        map_.erase(order_.back().first);
+        order_.pop_back();
+      }
+      order_.emplace_front(key, std::move(value));
+      map_.emplace(key, order_.begin());
+    }
+
     std::size_t hits() const { return hits_; }
     void reset_hits() { hits_ = 0; }
 
    private:
+    using Order = std::list<std::pair<std::uint64_t, Value>>;
     std::size_t capacity_;
     std::size_t hits_ = 0;
-    std::list<std::pair<std::uint64_t, Dist>> order_;  // front = most recent
-    std::unordered_map<std::uint64_t,
-                       std::list<std::pair<std::uint64_t, Dist>>::iterator>
-        map_;
+    Order order_;  // front = most recent
+    std::unordered_map<std::uint64_t, typename Order::iterator> map_;
   };
 
+  /// Estimates are symmetric, so their key is the unordered pair.
   static std::uint64_t pair_key(NodeId u, NodeId v) {
     const NodeId lo = u < v ? u : v;
     const NodeId hi = u < v ? v : u;
     return (static_cast<std::uint64_t>(lo) << 32) | hi;
   }
 
+  /// Locates are not symmetric: (querier, object id), distinct key spaces
+  /// because the caches are separate shards.
+  static std::uint64_t locate_key(NodeId querier, ObjectId obj) {
+    return (static_cast<std::uint64_t>(querier) << 32) | obj;
+  }
+
+  /// Pool/cache/shard setup shared by the public constructors; snapshot
+  /// state (labeling_ / location_) is attached afterwards by each of them.
+  explicit OracleEngine(OracleOptions opts);
+
+  void start_pool();
   void worker_main(unsigned w);
-  void process_shard(unsigned w, std::span<const QueryPair> pairs,
-                     std::vector<Dist>& results);
+  /// Shards `count` queries by `source_of(i) % workers`, publishes
+  /// `shard_fn` to the pool (or runs it inline for one worker), rethrows
+  /// the first worker error, and accounts stats for `count` queries.
+  template <typename SourceOf>
+  void run_batch(std::size_t count, SourceOf&& source_of,
+                 const std::function<void(unsigned)>& shard_fn);
+  void process_estimate_shard(unsigned w, std::span<const QueryPair> pairs,
+                              std::vector<Dist>& results);
+  void process_locate_shard(unsigned w, std::span<const LocateQuery> queries,
+                            std::vector<LocateResult>& results);
+  std::size_t cache_hits() const;
 
-  DistanceLabeling labeling_;
+  std::optional<DistanceLabeling> labeling_;
+  const LocationService* location_ = nullptr;
+  LocateOptions locate_opts_;
   unsigned workers_ = 1;
-  std::vector<LruShard> cache_;  // one shard per worker
+  std::size_t cache_capacity_per_shard_ = 0;
+  std::vector<LruShard<Dist>> estimate_cache_;        // one shard per worker
+  std::vector<LruShard<LocateResult>> locate_cache_;  // one shard per worker
 
-  // Pool state (guarded by mu_). Batches publish {pairs, results, shard
-  // index lists}, bump generation_ and wait for remaining_ to hit zero.
+  // Pool state (guarded by mu_). Batches publish the shard function, bump
+  // generation_ and wait for remaining_ to hit zero.
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
@@ -135,8 +223,7 @@ class OracleEngine {
   // First exception a worker hit this batch; rethrown to the dispatcher so
   // a malformed query/snapshot surfaces as ron::Error, never std::terminate.
   std::exception_ptr batch_error_;
-  std::span<const QueryPair> batch_pairs_;
-  std::vector<Dist>* batch_results_ = nullptr;
+  std::function<void(unsigned)> batch_fn_;
   std::vector<std::vector<std::uint32_t>> shard_index_;  // per worker
 
   BatchStats last_;

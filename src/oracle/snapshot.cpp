@@ -15,7 +15,7 @@ constexpr std::uint8_t kMagic[8] = {'R', 'O', 'N', 'S', 'N', 'A', 'P', '\n'};
 
 bool kind_is_known(std::uint32_t k) {
   return k >= static_cast<std::uint32_t>(SnapshotKind::kRings) &&
-         k <= static_cast<std::uint32_t>(SnapshotKind::kOracle);
+         k <= static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory);
 }
 
 void write_snapshot(SnapshotKind kind, const WireWriter& payload,
@@ -396,6 +396,61 @@ void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
   write_meta(w, meta);
   write_labeling_payload(w, dls);
   write_snapshot(SnapshotKind::kOracle, w, path);
+}
+
+void save_directory(const LocationMeta& meta, const ObjectDirectory& dir,
+                    const std::string& path) {
+  RON_CHECK(meta.n == dir.n(), "save_directory: meta.n " << meta.n
+                                   << " != directory n " << dir.n());
+  WireWriter w;
+  w.str(meta.metric_kind);
+  w.u64(meta.n);
+  w.u64(meta.metric_seed);
+  w.u64(meta.overlay_seed);
+  w.u64(dir.num_objects());
+  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
+    w.str(dir.name(obj));
+    write_node_list(w, dir.holders(obj));
+  }
+  write_snapshot(SnapshotKind::kObjectDirectory, w, path);
+}
+
+LoadedDirectory load_directory(const std::string& path, SnapshotInfo* info) {
+  SnapshotInfo local;
+  const std::vector<std::uint8_t> file = read_snapshot(path, local);
+  RON_CHECK(local.kind == SnapshotKind::kObjectDirectory,
+            "snapshot: " << path << " holds section kind "
+                         << static_cast<std::uint32_t>(local.kind)
+                         << ", expected an object directory");
+  if (info != nullptr) *info = local;
+  WireReader r(payload_view(file));
+  LocationMeta meta;
+  meta.metric_kind = r.str();
+  meta.n = r.u64();
+  RON_CHECK(meta.n >= 1 && meta.n <= kInvalidNode,
+            "snapshot: directory node count " << meta.n);
+  meta.metric_seed = r.u64();
+  meta.overlay_seed = r.u64();
+  ObjectDirectory dir(static_cast<std::size_t>(meta.n));
+  // Every object costs at least a name length + a holder count.
+  const std::uint64_t objects =
+      r.read_count(2 * sizeof(std::uint64_t), "object");
+  for (std::uint64_t i = 0; i < objects; ++i) {
+    const std::string name = r.str();
+    RON_CHECK(!name.empty(), "snapshot: empty object name");
+    RON_CHECK(dir.find(name) == kInvalidObject,
+              "snapshot: duplicate object name '" << name << "'");
+    // declare-then-publish keeps fully-unpublished objects (zero holders)
+    // loadable; publish re-sorts and dedups, so holder accounting is
+    // recomputed rather than trusted.
+    dir.declare(name);
+    for (NodeId v :
+         read_node_list(r, static_cast<std::size_t>(meta.n), "holder")) {
+      dir.publish(name, v);
+    }
+  }
+  r.expect_done();
+  return LoadedDirectory{std::move(meta), std::move(dir)};
 }
 
 LoadedOracle load_oracle(const std::string& path, SnapshotInfo* info) {

@@ -30,6 +30,7 @@
 #include "core/rings.h"
 #include "labeling/distance_labels.h"
 #include "labeling/neighbor_system.h"
+#include "location/object_directory.h"
 
 namespace ron {
 
@@ -39,7 +40,8 @@ enum class SnapshotKind : std::uint32_t {
   kRings = 1,
   kNeighborSystem = 2,
   kDistanceLabeling = 3,
-  kOracle = 4,  // serving bundle: metadata + distance labeling
+  kOracle = 4,           // serving bundle: metadata + distance labeling
+  kObjectDirectory = 5,  // object-location bundle: overlay recipe + directory
 };
 
 /// Header fields of a snapshot file, validated (magic/version/length/
@@ -162,5 +164,31 @@ void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
 /// inspect+load in one read of the file.
 LoadedOracle load_oracle(const std::string& path,
                          SnapshotInfo* info = nullptr);
+
+// --- Object-location bundle ------------------------------------------------
+
+/// The deterministic overlay recipe stored alongside the directory: with
+/// these four fields `ron_oracle locate` rebuilds the exact metric and X+Y
+/// rings the objects were published against (generators are pure functions
+/// of kind/n/seed), so a directory snapshot is self-contained.
+struct LocationMeta {
+  std::string metric_kind;  // generator kind: clustered|euclid|geoline|grid
+  std::uint64_t n = 0;
+  std::uint64_t metric_seed = 0;
+  std::uint64_t overlay_seed = 0;
+
+  friend bool operator==(const LocationMeta&, const LocationMeta&) = default;
+};
+
+struct LoadedDirectory {
+  LocationMeta meta;
+  ObjectDirectory directory;
+};
+
+/// meta.n must equal directory.n().
+void save_directory(const LocationMeta& meta, const ObjectDirectory& dir,
+                    const std::string& path);
+LoadedDirectory load_directory(const std::string& path,
+                               SnapshotInfo* info = nullptr);
 
 }  // namespace ron

@@ -1,15 +1,18 @@
 // Tests for the oracle serving subsystem: snapshot round trips must be
-// lossless for all three structures, every corruption mode (truncation, bit
-// flips, wrong magic/kind/version, trailing bytes) must throw ron::Error
-// instead of corrupting the process, and the batched engine must answer
-// bit-identically to the serial decoder for every thread count and cache
-// configuration.
+// lossless for every section kind, arbitrary corruption (a seeded
+// random-mutation fuzzer: byte flips, truncations, extensions, scrambled
+// windows) must throw ron::Error instead of crashing or corrupting the
+// process, committed golden fixtures pin the on-disk format bit-for-bit,
+// and the batched engine must answer bit-identically to the serial decoder
+// for every thread count and cache configuration.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "common/rng.h"
 #include "labeling/distance_labels.h"
 #include "labeling/neighbor_system.h"
+#include "location/object_directory.h"
 #include "metric/clustered.h"
 #include "metric/euclidean.h"
 #include "metric/proximity.h"
@@ -206,73 +210,263 @@ TEST(SnapshotOracle, BundleRoundTripsMetaAndLabels) {
   }
 }
 
-// --- corruption robustness -------------------------------------------------
+// --- corruption robustness: the random-mutation fuzzer ---------------------
+//
+// Replaces the old hand-picked corruption matrix: instead of enumerating the
+// failure modes we can think of, a seeded fuzzer applies random mutations
+// (multi-byte flips — which also hit the magic/version/kind/length/checksum
+// header fields, truncations, extensions, scrambled windows) to a valid
+// snapshot of EVERY section kind. Each mutated file must throw ron::Error —
+// never crash, hang or load garbage. The suite runs under ASan/UBSan in CI,
+// so out-of-bounds parses surface even when they would not misbehave here.
 
-class SnapshotCorruption : public ::testing::Test {
- protected:
-  SnapshotCorruption() : file_("corrupt") {
-    save_labeling(fx_.dls, file_.path());
-    bytes_ = slurp(file_.path());
-    EXPECT_GT(bytes_.size(), 64u);
+ObjectDirectory make_directory(std::size_t n) {
+  ObjectDirectory dir(n);
+  Rng rng(29);
+  for (std::size_t k = 0; k < 6; ++k) {
+    dir.publish_random("obj" + std::to_string(k), 1 + k % 3, rng);
   }
+  dir.declare("unpublished");
+  return dir;
+}
 
-  LabelingFixture fx_;
-  TempFile file_;
-  std::vector<char> bytes_;
+/// One fuzz target: a valid snapshot file of one kind plus the loader the
+/// serving path would use for it.
+struct FuzzTarget {
+  const char* name;
+  std::function<void(const std::string&)> save;
+  std::function<void(const std::string&)> load;
 };
 
-TEST_F(SnapshotCorruption, WrongMagicRejected) {
-  bytes_[0] = 'X';
-  dump(file_.path(), bytes_);
-  EXPECT_THROW(load_labeling(file_.path()), Error);
+std::vector<FuzzTarget> fuzz_targets(const LabelingFixture& fx) {
+  return {
+      {"rings", [](const std::string& p) { save_rings(make_rings(24), p); },
+       [](const std::string& p) { load_rings(p); }},
+      {"neighbor_system",
+       [&fx](const std::string& p) { save_neighbor_system(fx.sys, p); },
+       [](const std::string& p) { load_neighbor_system(p); }},
+      {"labeling",
+       [&fx](const std::string& p) { save_labeling(fx.dls, p); },
+       [](const std::string& p) { load_labeling(p); }},
+      {"oracle",
+       [&fx](const std::string& p) {
+         save_oracle(OracleMeta{"euclid-48", fx.dls.n(), 23, 0.25}, fx.dls,
+                     p);
+       },
+       [](const std::string& p) { load_oracle(p); }},
+      {"directory",
+       [](const std::string& p) {
+         save_directory(LocationMeta{"geoline", 32, 3, 7},
+                        make_directory(32), p);
+       },
+       [](const std::string& p) { load_directory(p); }},
+  };
 }
 
-TEST_F(SnapshotCorruption, UnsupportedVersionRejected) {
-  bytes_[8] = 99;  // version field follows the 8-byte magic
-  dump(file_.path(), bytes_);
-  EXPECT_THROW(load_labeling(file_.path()), Error);
+/// Applies one random mutation; guaranteed to change the bytes.
+std::vector<char> mutate(const std::vector<char>& original, Rng& rng) {
+  std::vector<char> bytes = original;
+  switch (rng.index(4)) {
+    case 0: {  // flip 1..4 bytes anywhere (header and payload alike)
+      const std::size_t flips = 1 + rng.index(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t pos = rng.index(bytes.size());
+        bytes[pos] = static_cast<char>(
+            bytes[pos] ^ static_cast<char>(1 + rng.index(255)));
+      }
+      // Two flips on the same position with the same mask cancel; force a
+      // change so the identity never masquerades as a mutation.
+      if (bytes == original) bytes[0] = static_cast<char>(bytes[0] ^ 0x01);
+      break;
+    }
+    case 1: {  // truncate to a random prefix (possibly empty)
+      bytes.resize(rng.index(bytes.size()));
+      break;
+    }
+    case 2: {  // append 1..16 random trailing bytes
+      const std::size_t extra = 1 + rng.index(16);
+      for (std::size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<char>(rng.index(256)));
+      }
+      break;
+    }
+    default: {  // scramble a random window of 1..32 bytes
+      const std::size_t start = rng.index(bytes.size());
+      const std::size_t len =
+          std::min(1 + rng.index(32), bytes.size() - start);
+      bool changed = false;
+      for (std::size_t i = start; i < start + len; ++i) {
+        const char b = static_cast<char>(rng.index(256));
+        changed = changed || b != bytes[i];
+        bytes[i] = b;
+      }
+      if (!changed) bytes[start] = static_cast<char>(bytes[start] ^ 0x01);
+      break;
+    }
+  }
+  return bytes;
 }
 
-TEST_F(SnapshotCorruption, WrongKindRejected) {
+TEST(SnapshotFuzz, RandomMutationsAlwaysThrowRonError) {
+  constexpr std::size_t kMutationsPerKind = 1000;
+  LabelingFixture fx;
+  for (const FuzzTarget& target : fuzz_targets(fx)) {
+    TempFile file(std::string("fuzz_") + target.name);
+    target.save(file.path());
+    const std::vector<char> original = slurp(file.path());
+    ASSERT_GT(original.size(), 32u) << target.name;
+    // Sanity: the unmutated snapshot loads.
+    ASSERT_NO_THROW(target.load(file.path())) << target.name;
+
+    Rng rng(20260726);
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < kMutationsPerKind; ++i) {
+      dump(file.path(), mutate(original, rng));
+      try {
+        target.load(file.path());
+        ++failures;
+        ADD_FAILURE() << target.name << " mutation " << i
+                      << " loaded successfully";
+      } catch (const Error&) {
+        // expected: every mutation must surface as ron::Error
+      } catch (const std::exception& e) {
+        ++failures;
+        ADD_FAILURE() << target.name << " mutation " << i
+                      << " threw non-ron::Error: " << e.what();
+      }
+      if (failures > 5) break;  // corrupt format: stop the flood
+    }
+  }
+}
+
+// Deterministic cases the fuzzer covers only probabilistically: each header
+// gate (magic, version, exact length) hit by name, mislabeled sections (a
+// VALID file of another kind) and missing files. These pin the individual
+// checks, so one cannot be dropped while the others keep the fuzzer green.
+TEST(SnapshotCorruption, WrongMagicRejected) {
+  LabelingFixture fx;
+  TempFile file("magic");
+  save_labeling(fx.dls, file.path());
+  std::vector<char> bytes = slurp(file.path());
+  bytes[0] = 'X';
+  dump(file.path(), bytes);
+  EXPECT_THROW(load_labeling(file.path()), Error);
+}
+
+TEST(SnapshotCorruption, UnsupportedVersionRejected) {
+  LabelingFixture fx;
+  TempFile file("version");
+  save_labeling(fx.dls, file.path());
+  std::vector<char> bytes = slurp(file.path());
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  dump(file.path(), bytes);
+  EXPECT_THROW(load_labeling(file.path()), Error);
+}
+
+TEST(SnapshotCorruption, TrailingGarbageRejected) {
+  LabelingFixture fx;
+  TempFile file("trailing");
+  save_labeling(fx.dls, file.path());
+  std::vector<char> bytes = slurp(file.path());
+  bytes.push_back('\0');
+  dump(file.path(), bytes);
+  EXPECT_THROW(load_labeling(file.path()), Error);
+}
+
+TEST(SnapshotCorruption, WrongKindRejected) {
   TempFile rings_file("wrongkind");
   save_rings(make_rings(8), rings_file.path());
   EXPECT_THROW(load_labeling(rings_file.path()), Error);
+  EXPECT_THROW(load_directory(rings_file.path()), Error);
   // ...but the generic inspector still reads its header.
   EXPECT_EQ(inspect_snapshot(rings_file.path()).kind, SnapshotKind::kRings);
 }
 
-TEST_F(SnapshotCorruption, TruncationRejectedAtEveryPrefix) {
-  for (std::size_t keep :
-       {std::size_t{0}, std::size_t{7}, std::size_t{31}, std::size_t{32},
-        bytes_.size() / 2, bytes_.size() - 1}) {
-    dump(file_.path(),
-         std::vector<char>(bytes_.begin(), bytes_.begin() + keep));
-    EXPECT_THROW(load_labeling(file_.path()), Error) << "prefix " << keep;
-  }
-}
-
-TEST_F(SnapshotCorruption, TrailingGarbageRejected) {
-  bytes_.push_back('\0');
-  dump(file_.path(), bytes_);
-  EXPECT_THROW(load_labeling(file_.path()), Error);
-}
-
-TEST_F(SnapshotCorruption, BitFlipsAnywhereInPayloadRejected) {
-  // Flip one bit at ~40 offsets spread across the payload; the checksum
-  // must catch every one of them (the header length/kind fields are covered
-  // by the other tests). Bounded offsets keep the test fast — the checksum
-  // treats all positions identically anyway.
-  const std::size_t step = std::max<std::size_t>(97, bytes_.size() / 40);
-  for (std::size_t pos = 32; pos < bytes_.size(); pos += step) {
-    std::vector<char> corrupt = bytes_;
-    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
-    dump(file_.path(), corrupt);
-    EXPECT_THROW(load_labeling(file_.path()), Error) << "offset " << pos;
-  }
-}
-
-TEST_F(SnapshotCorruption, MissingFileRejected) {
+TEST(SnapshotCorruption, MissingFileRejected) {
   EXPECT_THROW(load_labeling("/nonexistent/ron.snapshot"), Error);
+}
+
+// --- golden snapshot fixtures ----------------------------------------------
+//
+// Committed files under tests/data/ pin the on-disk format: today's reader
+// must load them, and re-serializing the loaded object must reproduce the
+// committed bytes exactly. Any format change that breaks old snapshots (or
+// makes serialization non-canonical) fails here before it ships. The
+// fixtures are built from literals (no RNG) so they can be regenerated
+// deterministically on any platform:
+//   RON_REGEN_GOLDEN=1 ./test_oracle --gtest_filter='Golden*'
+
+RingsOfNeighbors golden_rings() {
+  RingsOfNeighbors rings(6);
+  rings.add_ring(0, Ring{1.0, {1, 2}});
+  rings.add_ring(0, Ring{2.5, {3, 4, 5}});
+  rings.add_ring(1, Ring{0.5, {}});          // empty ring survives
+  rings.add_ring(2, Ring{8.0, {5, 5, 0}});   // dedups to {0, 5}
+  rings.add_ring(5, Ring{0.125, {0}});
+  return rings;
+}
+
+LocationMeta golden_directory_meta() { return {"geoline", 10, 3, 7}; }
+
+ObjectDirectory golden_directory() {
+  ObjectDirectory dir(10);
+  dir.publish("alpha", std::vector<NodeId>{9, 1, 5});  // stored sorted
+  dir.publish("beta", 0);
+  dir.declare("empty");
+  return dir;
+}
+
+std::string golden_path(const std::string& file) {
+  return std::string(RON_TEST_DATA_DIR) + "/" + file;
+}
+
+/// Writes the fixture files when RON_REGEN_GOLDEN is set (a maintenance
+/// mode, skipped in normal runs).
+bool maybe_regen_golden() {
+  if (std::getenv("RON_REGEN_GOLDEN") == nullptr) return false;
+  save_rings(golden_rings(), golden_path("golden_rings_v1.snapshot"));
+  save_directory(golden_directory_meta(), golden_directory(),
+                 golden_path("golden_directory_v1.snapshot"));
+  return true;
+}
+
+TEST(GoldenSnapshot, RingsFixtureLoadsAndResavesBitIdentically) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_rings_v1.snapshot");
+  const RingsOfNeighbors loaded = load_rings(path);
+  const RingsOfNeighbors want = golden_rings();
+  ASSERT_EQ(loaded.n(), want.n());
+  for (NodeId u = 0; u < want.n(); ++u) {
+    auto a = want.rings(u);
+    auto b = loaded.rings(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  TempFile resaved("golden_rings");
+  save_rings(loaded, resaved.path());
+  EXPECT_EQ(slurp(resaved.path()), slurp(path))
+      << "serialization is no longer canonical for the v1 rings fixture";
+}
+
+TEST(GoldenSnapshot, DirectoryFixtureLoadsAndResavesBitIdentically) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_directory_v1.snapshot");
+  const LoadedDirectory loaded = load_directory(path);
+  EXPECT_EQ(loaded.meta, golden_directory_meta());
+  const ObjectDirectory want = golden_directory();
+  ASSERT_EQ(loaded.directory.n(), want.n());
+  ASSERT_EQ(loaded.directory.num_objects(), want.num_objects());
+  for (ObjectId obj = 0; obj < want.num_objects(); ++obj) {
+    EXPECT_EQ(loaded.directory.name(obj), want.name(obj));
+    const auto a = want.holders(obj);
+    const auto b = loaded.directory.holders(obj);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "object " << want.name(obj);
+  }
+  TempFile resaved("golden_dir");
+  save_directory(loaded.meta, loaded.directory, resaved.path());
+  EXPECT_EQ(slurp(resaved.path()), slurp(path))
+      << "serialization is no longer canonical for the v1 directory fixture";
 }
 
 // --- engine ----------------------------------------------------------------

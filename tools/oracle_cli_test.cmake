@@ -1,4 +1,6 @@
-# End-to-end exercise of the ron_oracle CLI: build -> info -> query -> bench.
+# End-to-end exercise of the ron_oracle CLI: build -> info -> query -> bench,
+# then publish -> info -> locate on every bundled metric (locate's exit
+# status itself enforces full delivery within the Theorem 5.2(a) hop bound).
 # Invoked by ctest as:
 #   cmake -DORACLE_EXE=<path> -DWORK_DIR=<dir> -P oracle_cli_test.cmake
 if(NOT DEFINED ORACLE_EXE OR NOT DEFINED WORK_DIR)
@@ -39,4 +41,32 @@ if(NOT step_stdout MATCHES "\"qps\":")
   message(FATAL_ERROR "bench did not report qps:\n${step_stdout}")
 endif()
 
-message(STATUS "ron_oracle build/info/query/bench all passed")
+# Object location round trip on all three bundled metrics: publish writes a
+# directory snapshot, locate reloads it, rebuilds the overlay from the
+# stored recipe and must deliver every lookup within the hop bound (its
+# exit status asserts that; run_step turns a violation into a failure).
+foreach(metric geoline clustered euclid)
+  set(dir_snapshot "${WORK_DIR}/oracle_cli_dir_${metric}.ron")
+  run_step(${ORACLE_EXE} publish --out ${dir_snapshot} --metric ${metric}
+    --n 96 --seed 5 --overlay-seed 11 --objects 8 --replicas 3)
+
+  run_step(${ORACLE_EXE} info ${dir_snapshot})
+  if(NOT step_stdout MATCHES "object directory: 8 objects")
+    message(FATAL_ERROR
+      "info did not describe the ${metric} directory:\n${step_stdout}")
+  endif()
+
+  run_step(${ORACLE_EXE} locate ${dir_snapshot} --queries 60 --threads 2
+    --cache 128 --seed 3)
+  if(NOT step_stdout MATCHES "# 60/60 located")
+    message(FATAL_ERROR
+      "locate did not deliver all ${metric} lookups:\n${step_stdout}")
+  endif()
+  if(NOT step_stdout MATCHES "holder [0-9]+ hops [0-9]+ nearest ")
+    message(FATAL_ERROR
+      "locate output shape changed (${metric}):\n${step_stdout}")
+  endif()
+endforeach()
+
+message(STATUS
+  "ron_oracle build/info/query/bench + publish/info/locate all passed")

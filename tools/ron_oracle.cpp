@@ -1,16 +1,21 @@
 // ron_oracle — build, inspect and serve distance-oracle snapshots.
 //
-// The end-to-end serving path of the oracle subsystem in one binary:
+// The end-to-end serving paths of the oracle subsystem in one binary:
 //
 //   ron_oracle build --out cloud.ron --metric clustered --n 256 --delta 0.25
 //   ron_oracle info cloud.ron
 //   ron_oracle query cloud.ron --pairs "0,5;12,200;7,7"
 //   ron_oracle bench cloud.ron --queries 200000 --threads 8
+//   ron_oracle publish --out dir.ron --metric geoline --n 256 --objects 16
+//   ron_oracle locate dir.ron --from "0;9" --object obj3
 //
 // `build` runs generator -> ProximityIndex -> NeighborSystem ->
-// DistanceLabeling and snapshots the result; the other subcommands never
-// touch the metric again — they answer purely from the snapshot, which is
-// the point of the paper's labelings.
+// DistanceLabeling and snapshots the result; `query`/`bench` never touch
+// the metric again — they answer purely from the snapshot, which is the
+// point of the paper's labelings. `publish` snapshots an object directory
+// together with its deterministic overlay recipe; `locate` replays the
+// recipe (generators are pure functions of kind/n/seed) and serves greedy
+// ring-walk lookups through the engine's worker pool.
 #include <algorithm>
 #include <charconv>
 #include <cstdint>
@@ -27,6 +32,8 @@
 #include "graph/generators.h"
 #include "graph/graph_metric.h"
 #include "labeling/neighbor_system.h"
+#include "location/location_service.h"
+#include "location/object_directory.h"
 #include "metric/clustered.h"
 #include "metric/euclidean.h"
 #include "metric/line_metrics.h"
@@ -46,7 +53,15 @@ int usage(std::ostream& os) {
         "  ron_oracle query FILE --pairs \"u,v;u,v;...\" [--threads T] "
         "[--cache C]\n"
         "  ron_oracle bench FILE [--queries Q] [--batch B] [--threads T] "
-        "[--cache C]\n";
+        "[--cache C]\n"
+        "  ron_oracle publish --out FILE [--metric KIND] [--n N] [--seed S]\n"
+        "                     [--overlay-seed O] [--objects K] "
+        "[--replicas R]\n"
+        "                     [--object NAME --holders \"u,v,...\"]\n"
+        "  ron_oracle locate FILE (--object NAME --from \"u;u;...\" | "
+        "--queries Q)\n"
+        "                    [--threads T] [--cache C] [--max-hops H] "
+        "[--seed S]\n";
   return 2;
 }
 
@@ -56,6 +71,15 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
   RON_CHECK(ec == std::errc() && p == s.data() + s.size(),
             "bad " << what << ": '" << s << "'");
   return v;
+}
+
+/// parse_u64 narrowed to a NodeId with an explicit range check — a plain
+/// static_cast would wrap 2^32 to node 0 and sail through the < n checks.
+NodeId parse_node(const std::string& s, const char* what) {
+  const std::uint64_t v = parse_u64(s, what);
+  RON_CHECK(v < kInvalidNode,
+            "bad " << what << ": " << v << " exceeds the node id range");
+  return static_cast<NodeId>(v);
 }
 
 double parse_f64(const std::string& s, const char* what) {
@@ -189,8 +213,20 @@ int cmd_info(const Args& args) {
   const std::string path = args.positional()[0];
   // Header peek picks the path so each case does ONE full read; the
   // follow-up inspect/load performs the real validation.
-  if (peek_snapshot_kind(path) !=
-      static_cast<std::uint32_t>(SnapshotKind::kOracle)) {
+  const std::uint32_t kind = peek_snapshot_kind(path);
+  if (kind == static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory)) {
+    SnapshotInfo info;
+    const LoadedDirectory dir = load_directory(path, &info);
+    print_snapshot_header(path, info);
+    std::cout << "  object directory: " << dir.directory.num_objects()
+              << " objects, " << dir.directory.total_replicas()
+              << " replicas\n  overlay recipe: " << dir.meta.metric_kind
+              << " (n = " << dir.meta.n << ", metric seed = "
+              << dir.meta.metric_seed << ", overlay seed = "
+              << dir.meta.overlay_seed << ")\n";
+    return 0;
+  }
+  if (kind != static_cast<std::uint32_t>(SnapshotKind::kOracle)) {
     print_snapshot_header(path, inspect_snapshot(path));
     return 0;
   }
@@ -219,9 +255,8 @@ std::vector<QueryPair> parse_pairs(const std::string& spec) {
     const std::size_t comma = item.find(',');
     RON_CHECK(comma != std::string::npos,
               "--pairs item '" << item << "' is not 'u,v'");
-    pairs.emplace_back(
-        static_cast<NodeId>(parse_u64(item.substr(0, comma), "pair source")),
-        static_cast<NodeId>(parse_u64(item.substr(comma + 1), "pair target")));
+    pairs.emplace_back(parse_node(item.substr(0, comma), "pair source"),
+                       parse_node(item.substr(comma + 1), "pair target"));
     pos = semi + 1;
   }
   RON_CHECK(!pairs.empty(), "--pairs is empty");
@@ -283,6 +318,164 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+/// "v,v,..." (or ';'/space separated) list of u64 values.
+std::vector<std::uint64_t> parse_u64_list(const std::string& spec,
+                                          const char* what) {
+  std::vector<std::uint64_t> values;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    if (spec[pos] == ',' || spec[pos] == ';' || spec[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = spec.find_first_of(",; ", pos);
+    if (end == std::string::npos) end = spec.size();
+    values.push_back(parse_u64(spec.substr(pos, end - pos), what));
+    pos = end;
+  }
+  RON_CHECK(!values.empty(), "empty " << what << " list");
+  return values;
+}
+
+int cmd_publish(const Args& args) {
+  RON_CHECK(args.has("out"), "publish: --out FILE is required");
+  const std::string out = args.get("out", "");
+  const std::string kind = args.get("metric", "clustered");
+  const std::size_t want_n =
+      static_cast<std::size_t>(parse_u64(args.get("n", "256"), "--n"));
+  const std::uint64_t seed = parse_u64(args.get("seed", "1"), "--seed");
+  const std::uint64_t overlay_seed =
+      parse_u64(args.get("overlay-seed", "7"), "--overlay-seed");
+  // Synthetic objects default to 16 — except when the user publishes an
+  // explicit --object, where silently adding obj0..obj15 would surprise.
+  const std::size_t objects = static_cast<std::size_t>(parse_u64(
+      args.get("objects", args.has("object") ? "0" : "16"), "--objects"));
+  const std::size_t replicas = static_cast<std::size_t>(
+      parse_u64(args.get("replicas", "3"), "--replicas"));
+
+  // The metric decides the effective n (clustered rounds up to whole
+  // clusters); the directory and the recipe both use that value so locate
+  // rebuilds the identical space.
+  auto metric = make_metric(kind, want_n, seed);
+  const std::size_t n = metric->n();
+  ObjectDirectory dir(n);
+  Rng rng(overlay_seed);
+  for (std::size_t k = 0; k < objects; ++k) {
+    dir.publish_random("obj" + std::to_string(k), replicas, rng);
+  }
+  if (args.has("object")) {
+    RON_CHECK(args.has("holders"),
+              "publish: --object requires --holders \"u,v,...\"");
+    const std::string name = args.get("object", "");
+    RON_CHECK(dir.find(name) == kInvalidObject,
+              "publish: --object '" << name << "' collides with a synthetic "
+              "object name (objN); pick another name or --objects 0");
+    for (std::uint64_t v :
+         parse_u64_list(args.get("holders", ""), "--holders node")) {
+      RON_CHECK(v < kInvalidNode, "bad --holders node: " << v
+                                      << " exceeds the node id range");
+      dir.publish(name, static_cast<NodeId>(v));
+    }
+  }
+  RON_CHECK(dir.num_objects() > 0, "publish: nothing to publish "
+                                   "(--objects 0 and no --object)");
+
+  LocationMeta meta;
+  meta.metric_kind = kind;
+  meta.n = n;
+  meta.metric_seed = seed;
+  meta.overlay_seed = overlay_seed;
+  save_directory(meta, dir, out);
+  const SnapshotInfo info = inspect_snapshot(out);
+  std::cout << "published " << dir.num_objects() << " objects ("
+            << dir.total_replicas() << " replicas) over " << kind
+            << " n = " << n << "\nwrote " << out << " ("
+            << info.payload_bytes << " payload bytes, checksum " << std::hex
+            << info.checksum << std::dec << ")\n";
+  return 0;
+}
+
+int cmd_locate(const Args& args) {
+  RON_CHECK(args.positional().size() == 1,
+            "locate: exactly one directory snapshot file");
+  const LoadedDirectory loaded = load_directory(args.positional()[0]);
+  const LocationMeta& meta = loaded.meta;
+  auto metric = make_metric(meta.metric_kind,
+                            static_cast<std::size_t>(meta.n),
+                            meta.metric_seed);
+  RON_CHECK(metric->n() == meta.n,
+            "locate: rebuilt metric has n = " << metric->n()
+                                              << ", snapshot recipe says "
+                                              << meta.n);
+  ProximityIndex prox(*metric);
+  LocationOverlay overlay(prox, RingsModelParams{}, meta.overlay_seed);
+  LocationService svc(prox, overlay.rings(), loaded.directory);
+
+  LocateOptions locate_opts;
+  locate_opts.max_hops = static_cast<std::size_t>(
+      parse_u64(args.get("max-hops", "10000"), "--max-hops"));
+  OracleEngine engine(svc, engine_options(args), locate_opts);
+
+  std::vector<LocateQuery> queries;
+  if (args.has("object")) {
+    RON_CHECK(args.has("from"), "locate: --object requires --from "
+                                "\"u;u;...\"");
+    const ObjectId obj = loaded.directory.find(args.get("object", ""));
+    RON_CHECK(obj != kInvalidObject, "locate: object '"
+                                         << args.get("object", "")
+                                         << "' is not in the directory");
+    for (std::uint64_t u :
+         parse_u64_list(args.get("from", ""), "--from node")) {
+      RON_CHECK(u < kInvalidNode, "bad --from node: " << u
+                                      << " exceeds the node id range");
+      queries.emplace_back(static_cast<NodeId>(u), obj);
+    }
+  } else {
+    RON_CHECK(args.has("queries"),
+              "locate: pass --object NAME --from \"u;...\" or --queries Q");
+    const std::size_t count = static_cast<std::size_t>(
+        parse_u64(args.get("queries", "0"), "--queries"));
+    RON_CHECK(count >= 1, "--queries must be >= 1");
+    Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
+    for (std::size_t q = 0; q < count; ++q) {
+      queries.emplace_back(
+          static_cast<NodeId>(rng.index(svc.n())),
+          static_cast<ObjectId>(
+              rng.index(loaded.directory.num_objects())));
+    }
+  }
+
+  const std::vector<LocateResult> results = engine.locate_batch(queries);
+  const std::size_t hop_bound = location_hop_bound(svc.n());
+  std::size_t found = 0;
+  std::size_t max_hops = 0;
+  double max_stretch = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LocateResult& r = results[i];
+    std::cout << queries[i].first << " "
+              << loaded.directory.name(queries[i].second) << " ";
+    if (!r.found) {
+      std::cout << "NOT-FOUND hops " << r.hops << "\n";
+      continue;
+    }
+    ++found;
+    max_hops = std::max(max_hops, r.hops);
+    max_stretch = std::max(max_stretch, r.route_stretch);
+    std::cout << "holder " << r.holder << " hops " << r.hops
+              << " nearest " << r.nearest_dist << " stretch "
+              << r.route_stretch << "\n";
+  }
+  const BatchStats& stats = engine.last_batch_stats();
+  std::cout << "# " << found << "/" << results.size() << " located in "
+            << stats.seconds * 1e3 << " ms (" << stats.qps << " qps, "
+            << stats.cache_hits << " cache hits, " << engine.num_workers()
+            << " workers); max hops " << max_hops << " (bound " << hop_bound
+            << "), max stretch " << max_stretch << "\n";
+  // Exit status enforces the Theorem 5.2(a) instantiation end-to-end: every
+  // delivered walk inside the hop bound, and every walk delivered.
+  return found == results.size() && max_hops <= hop_bound ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr);
   const std::string cmd = argv[1];
@@ -291,6 +484,8 @@ int run(int argc, char** argv) {
   if (cmd == "info") return cmd_info(args);
   if (cmd == "query") return cmd_query(args);
   if (cmd == "bench") return cmd_bench(args);
+  if (cmd == "publish") return cmd_publish(args);
+  if (cmd == "locate") return cmd_locate(args);
   if (cmd == "--help" || cmd == "help") return usage(std::cout);
   std::cerr << "ron_oracle: unknown subcommand '" << cmd << "'\n";
   return usage(std::cerr);
