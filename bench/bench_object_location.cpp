@@ -15,7 +15,6 @@
 // RON_BENCH_QUICK=1 (or --quick) shrinks the workload to CI-smoke size.
 #include <algorithm>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,18 +25,16 @@
 #include "common/table.h"
 #include "location/location_service.h"
 #include "location/object_directory.h"
-#include "metric/clustered.h"
-#include "metric/euclidean.h"
-#include "metric/line_metrics.h"
 #include "metric/proximity.h"
 #include "oracle/engine.h"
+#include "scenario/scenario_builder.h"
 
 namespace ron {
 namespace {
 
 struct MetricCase {
   std::string key;
-  std::unique_ptr<MetricSpace> metric;
+  std::string spec;  // ScenarioSpec string, overlay_seed pinned to 41
 };
 
 struct CaseResult {
@@ -78,11 +75,14 @@ double run_locate_qps(const LocationService& svc, unsigned threads,
   return seconds > 0.0 ? static_cast<double>(queries.size()) / seconds : 0.0;
 }
 
-CaseResult run_case(const std::string& key, const MetricSpace& metric,
+CaseResult run_case(const std::string& key, const std::string& spec,
                     std::size_t objects, std::size_t replicas,
                     std::size_t num_queries, std::size_t batch) {
-  ProximityIndex prox(metric);
-  LocationOverlay overlay(prox, RingsModelParams{}, /*seed=*/41);
+  // The scenario builder replaces the metric -> nets -> measure -> rings
+  // assembly this bench used to repeat inline.
+  ScenarioBuilder scenario(ScenarioSpec::parse(spec));
+  const ProximityIndex& prox = scenario.prox();
+  const LocationOverlay& overlay = scenario.overlay();
   ObjectDirectory dir(prox.n());
   Rng rng(97);
   for (std::size_t k = 0; k < objects; ++k) {
@@ -142,17 +142,16 @@ int main(int argc, char** argv) {
   const std::size_t batch = 1024;
 
   std::vector<MetricCase> cases;
-  cases.push_back(
-      {"geoline", std::make_unique<GeometricLineMetric>(quick ? 64 : 256,
-                                                        1.3)});
-  ClusteredParams cp;
-  cp.per_cluster = 16;
-  cp.clusters = quick ? 6 : 30;
-  cases.push_back({"clustered", std::make_unique<EuclideanMetric>(
-                                    clustered_metric(cp, /*seed=*/2026))});
-  cases.push_back(
-      {"euclid", std::make_unique<EuclideanMetric>(random_cube_metric(
-                     quick ? 96 : 512, 2, /*seed=*/2026))});
+  cases.push_back({"geoline",
+                   "metric=geoline,base=1.3,seed=1,overlay_seed=41,n=" +
+                       std::to_string(quick ? 64 : 256)});
+  cases.push_back({"clustered",
+                   "metric=clustered,per_cluster=16,seed=2026,"
+                   "overlay_seed=41,n=" +
+                       std::to_string(16 * (quick ? 6 : 30))});
+  cases.push_back({"euclid",
+                   "metric=euclid,seed=2026,overlay_seed=41,n=" +
+                       std::to_string(quick ? 96 : 512)});
 
   CsvWriter csv("bench_object_location.csv",
                 {"metric", "n", "hops_mean", "hops_p99", "hops_max",
@@ -162,7 +161,7 @@ int main(int argc, char** argv) {
                       "max stretch", "qps (8w)", "cached qps"});
   std::vector<CaseResult> results;
   for (const MetricCase& c : cases) {
-    CaseResult r = run_case(c.key, *c.metric, objects, replicas, num_queries,
+    CaseResult r = run_case(c.key, c.spec, objects, replicas, num_queries,
                             batch);
     table.add_row({r.key, std::to_string(r.n), fmt_hops_cell(r.hops),
                    std::to_string(r.hop_bound), fmt_double(r.max_stretch, 3),
@@ -178,11 +177,13 @@ int main(int argc, char** argv) {
 
   // (4) The Y-only foil on the geometric line: Θ(log Δ) hops vs O(log n).
   const std::size_t foil_n = quick ? 64 : 256;
-  GeometricLineMetric foil_metric(foil_n, 1.3);
-  ProximityIndex foil_prox(foil_metric);
+  ScenarioBuilder foil_scenario(ScenarioSpec::parse(
+      "metric=geoline,base=1.3,seed=1,overlay_seed=41,n=" +
+      std::to_string(foil_n)));
+  const ProximityIndex& foil_prox = foil_scenario.prox();
   RingsModelParams y_only;
   y_only.with_x = false;
-  LocationOverlay xy(foil_prox, RingsModelParams{}, 41);
+  const LocationOverlay& xy = foil_scenario.overlay();
   LocationOverlay yo(xy.measure(), y_only, 41);  // shares the nets+measure
   // Single-replica objects: the walk must cover the full querier-to-copy
   // distance, which is where the Y-only hop count blows up with log Δ.

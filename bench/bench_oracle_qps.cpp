@@ -20,11 +20,9 @@
 #include "common/csv.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "labeling/neighbor_system.h"
-#include "metric/clustered.h"
-#include "metric/proximity.h"
 #include "oracle/engine.h"
 #include "oracle/snapshot.h"
+#include "scenario/scenario_builder.h"
 
 namespace ron {
 namespace {
@@ -58,20 +56,15 @@ int main(int argc, char** argv) {
                quick ? "clustered metric n=96 (quick mode)"
                      : "clustered metric n=480, 200k random queries");
 
-  ClusteredParams params;
-  params.per_cluster = 16;
-  params.clusters = quick ? 6 : 30;
-  auto metric = clustered_metric(params, /*seed=*/2025);
-  ProximityIndex prox(metric);
-  const double delta = 0.25;
-  NeighborSystem sys(prox, delta);
-  DistanceLabeling built(sys);
+  ScenarioBuilder builder(ScenarioSpec::parse(
+      "metric=clustered,seed=2025,per_cluster=16,n=" +
+      std::to_string(16 * (quick ? 6 : 30))));
+  const DistanceLabeling& built = builder.labeling();
   const std::size_t n = built.n();
 
   // (1) Round-trip fidelity through the snapshot, full n^2 sweep.
   const std::string snapshot = "bench_oracle_qps.snapshot.ron";
-  OracleMeta meta{metric.name(), n, 2025, delta};
-  save_oracle(meta, built, snapshot);
+  save_oracle(builder.spec(), builder.metric().name(), built, snapshot);
   LoadedOracle loaded = load_oracle(snapshot);
   std::size_t mismatches = 0;
   for (NodeId u = 0; u < n; ++u) {

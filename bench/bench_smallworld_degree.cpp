@@ -12,10 +12,8 @@
 #include "analysis/report.h"
 #include "common/csv.h"
 #include "common/table.h"
-#include "metric/line_metrics.h"
 #include "metric/proximity.h"
-#include "net/doubling_measure.h"
-#include "net/nets.h"
+#include "scenario/scenario_builder.h"
 #include "smallworld/pruned_model.h"
 #include "smallworld/rings_model.h"
 
@@ -23,12 +21,13 @@ namespace ron {
 namespace {
 
 void run_line(std::size_t n, std::size_t queries, CsvWriter* csv) {
-  GeometricLineMetric metric(n, 1.5);
-  ProximityIndex prox(metric);
-  NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
-                                          std::log2(prox.aspect_ratio()))) +
-                                          1));
-  MeasureView mu(prox, doubling_measure(nets));
+  // The scenario spec owns the metric -> nets -> measure -> rings chain
+  // (overlay_seed=3 pins the historical sampling seed).
+  ScenarioBuilder scenario(ScenarioSpec::parse(
+      "metric=geoline,base=1.5,seed=1,overlay_seed=3,n=" +
+      std::to_string(n)));
+  const ProximityIndex& prox = scenario.prox();
+  const MeasureView& mu = scenario.overlay().measure();
   const double log_delta = std::log2(prox.aspect_ratio());
   std::cout << "\n--- geoline n=" << n << " (logΔ="
             << fmt_double(log_delta, 0)
@@ -37,7 +36,7 @@ void run_line(std::size_t n, std::size_t queries, CsvWriter* csv) {
   ConsoleTable table({"model", "out-deg max/avg", "ring slots",
                       "hops mean/p99/max", "non-greedy steps", "failures"});
 
-  RingsSmallWorld full(prox, mu, RingsModelParams{}, 3);
+  const RingsSmallWorld& full = scenario.overlay().model();
   PrunedSmallWorld pruned(prox, mu, PrunedModelParams{}, 3);
   // The materialized degree saturates at n once slots >= n (contacts are a
   // deduped set); the theorem's out-degree is the SLOT count, reported

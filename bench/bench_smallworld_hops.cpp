@@ -14,23 +14,22 @@
 #include "analysis/report.h"
 #include "common/csv.h"
 #include "common/table.h"
-#include "metric/euclidean.h"
-#include "metric/line_metrics.h"
 #include "metric/proximity.h"
-#include "net/doubling_measure.h"
-#include "net/nets.h"
+#include "scenario/scenario_builder.h"
 #include "smallworld/rings_model.h"
 
 namespace ron {
 namespace {
 
-void run_metric(const std::string& name, const MetricSpace& metric,
+/// One scenario spec (overlay_seed=7 pins the historical sampling seed)
+/// replaces the inline metric -> nets -> measure -> rings assembly this
+/// bench used to repeat.
+void run_metric(const std::string& name, const std::string& spec,
                 std::size_t queries, CsvWriter* csv) {
-  ProximityIndex prox(metric);
-  NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
-                                          std::log2(prox.aspect_ratio()))) +
-                                          1));
-  MeasureView mu(prox, doubling_measure(nets));
+  ScenarioBuilder scenario(
+      ScenarioSpec::parse(spec + ",overlay_seed=7"));
+  const ProximityIndex& prox = scenario.prox();
+  const MeasureView& mu = scenario.overlay().measure();
   const double log_n = std::log2(static_cast<double>(prox.n()));
   const double log_delta = std::log2(prox.aspect_ratio());
   std::cout << "\n--- " << name << " (n=" << prox.n() << ", log n="
@@ -55,9 +54,7 @@ void run_metric(const std::string& name, const MetricSpace& metric,
                     std::to_string(stats.failures)});
     }
   };
-  RingsModelParams full;
-  RingsSmallWorld with_x(prox, mu, full, 7);
-  add(with_x);
+  add(scenario.overlay().model());  // X+Y (Theorem 5.2(a))
   RingsModelParams y_only;
   y_only.with_x = false;
   RingsSmallWorld without_x(prox, mu, y_only, 7);
@@ -86,12 +83,14 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::size_t>{128}
             : std::vector<std::size_t>{128, 256, 512};
   for (std::size_t n : ns) {
-    GeometricLineMetric line(n, 1.5);
-    run_metric("geoline-" + std::to_string(n), line, queries, &csv);
+    run_metric("geoline-" + std::to_string(n),
+               "metric=geoline,base=1.5,seed=1,n=" + std::to_string(n),
+               queries, &csv);
   }
   const std::size_t cloud_n = quick ? 128 : 512;
-  auto cloud = random_cube_metric(cloud_n, 2, 41);
-  run_metric("euclid-" + std::to_string(cloud_n), cloud, queries, &csv);
+  run_metric("euclid-" + std::to_string(cloud_n),
+             "metric=euclid,seed=41,n=" + std::to_string(cloud_n), queries,
+             &csv);
   std::cout << "\nCSV written to bench_smallworld_hops.csv\n";
   return 0;
 }

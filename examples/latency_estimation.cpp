@@ -14,10 +14,9 @@
 #include <iostream>
 
 #include "labeling/beacon_triangulation.h"
-#include "labeling/neighbor_system.h"
 #include "labeling/triangulation.h"
-#include "metric/clustered.h"
 #include "metric/proximity.h"
+#include "scenario/scenario_builder.h"
 
 int main(int argc, char** argv) {
   using namespace ron;
@@ -26,15 +25,16 @@ int main(int argc, char** argv) {
       argc > 1 ? std::max(32ul, std::strtoul(argv[1], nullptr, 10)) : 192;
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2026;
-  ClusteredParams params;
-  params.per_cluster = 16;
-  params.clusters = n / params.per_cluster;
-  auto metric = clustered_metric(params, seed);
-  ProximityIndex prox(metric);
-  const double delta = 0.25;
+  // The whole transit-stub pipeline from one spec (n is rounded down to
+  // whole 16-host clusters to keep the historical workload size).
+  ScenarioBuilder scenario(ScenarioSpec::parse(
+      "metric=clustered,per_cluster=16,n=" +
+      std::to_string(std::max<std::size_t>(16, n - n % 16)) +
+      ",seed=" + std::to_string(seed)));
+  const ProximityIndex& prox = scenario.prox();
+  const double delta = scenario.spec().delta;
 
-  NeighborSystem sys(prox, delta);
-  Triangulation tri(sys);
+  Triangulation tri(scenario.neighbor_system());
   BeaconTriangulation beacons(prox, 16, BeaconPlacement::kUniformRandom, 9);
 
   std::size_t tri_bad = 0, beacon_bad = 0, pairs = 0;

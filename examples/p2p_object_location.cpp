@@ -21,8 +21,8 @@
 #include "common/rng.h"
 #include "location/location_service.h"
 #include "location/object_directory.h"
-#include "metric/line_metrics.h"
 #include "metric/proximity.h"
+#include "scenario/scenario_builder.h"
 
 int main(int argc, char** argv) {
   using namespace ron;
@@ -31,14 +31,19 @@ int main(int argc, char** argv) {
       argc > 1 ? std::max(8ul, std::strtoul(argv[1], nullptr, 10)) : 256;
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
-  GeometricLineMetric metric(n, 1.5);
-  ProximityIndex prox(metric);
+  // The metric + X+Y overlay come from one scenario spec (the same string
+  // `ron_oracle publish/locate --scenario` takes).
+  ScenarioBuilder scenario(ScenarioSpec::parse(
+      "metric=geoline,base=1.5,n=" + std::to_string(n) +
+      ",seed=" + std::to_string(seed) +
+      ",overlay_seed=" + std::to_string(seed)));
+  const ProximityIndex& prox = scenario.prox();
   std::cout << "peers: " << n << ", logΔ = "
             << std::log2(prox.aspect_ratio()) << " (super-polynomial)\n\n";
 
   // One overlay per ring profile; the service walks whichever it is given.
   // The foil borrows the first overlay's nets+measure (profile-independent).
-  LocationOverlay overlay(prox, RingsModelParams{}, seed);
+  const LocationOverlay& overlay = scenario.overlay();
   RingsModelParams naive_params;
   naive_params.with_x = false;
   LocationOverlay naive(overlay.measure(), naive_params, seed);

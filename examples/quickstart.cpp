@@ -15,14 +15,10 @@
 
 #include "graph/generators.h"
 #include "graph/graph_metric.h"
-#include "labeling/neighbor_system.h"
 #include "labeling/triangulation.h"
-#include "metric/euclidean.h"
 #include "metric/proximity.h"
-#include "net/doubling_measure.h"
-#include "net/nets.h"
 #include "routing/basic_scheme.h"
-#include "smallworld/rings_model.h"
+#include "scenario/scenario_builder.h"
 
 int main(int argc, char** argv) {
   using namespace ron;
@@ -32,17 +28,22 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
 
-  // (1) A doubling metric: n random points in the plane.
-  auto metric = random_cube_metric(n, 2, seed);
-  ProximityIndex prox(metric);
-  std::cout << "metric: " << metric.name() << ", n = " << prox.n()
-            << ", aspect ratio Δ = " << prox.aspect_ratio() << "\n";
+  // (1) One scenario spec names the whole pipeline: a doubling metric
+  // (n random points in the plane), its proximity index, and every
+  // construction below. This is the same spec string `ron_oracle
+  // --scenario` takes and snapshots embed.
+  ScenarioBuilder scenario(ScenarioSpec::parse(
+      "metric=euclid,overlay_seed=1,n=" + std::to_string(n) +
+      ",seed=" + std::to_string(seed)));
+  const ProximityIndex& prox = scenario.prox();
+  std::cout << "metric: " << scenario.metric().name() << ", n = " << prox.n()
+            << ", aspect ratio Δ = " << prox.aspect_ratio() << "\n"
+            << "scenario: " << scenario.spec().to_string() << "\n";
 
   // (2) Theorem 3.2: a (0, 1/4)-triangulation. Every node gets a label;
   // any two labels sandwich the true distance within 1 + O(delta).
-  const double delta = 0.25;
-  NeighborSystem sys(prox, delta);
-  Triangulation tri(sys);
+  const double delta = scenario.spec().delta;
+  Triangulation tri(scenario.neighbor_system());
   std::cout << "\ntriangulation order (beacons per label): " << tri.order()
             << "\n";
   const NodeId a = 3;
@@ -72,12 +73,11 @@ int main(int argc, char** argv) {
             << "+ bits/node\n";
 
   // (4) Theorem 5.2(a): a searchable small world; greedy routing finds any
-  // target in O(log n) hops using only local contact lists.
-  NetHierarchy nets(prox, static_cast<int>(
-                              std::ceil(std::log2(prox.aspect_ratio()))) + 1);
-  MeasureView mu(prox, doubling_measure(nets));
-  RingsSmallWorld world(prox, mu, RingsModelParams{}, /*seed=*/1);
-  const SwRouteResult q = route_query(world, src, dst, 10000);
+  // target in O(log n) hops using only local contact lists. The builder
+  // owns the nets -> doubling measure -> X+Y rings chain (overlay_seed=1
+  // in the spec above).
+  const SwRouteResult q =
+      route_query(scenario.overlay().model(), src, dst, 10000);
   std::cout << "\nsmall world " << src << " -> " << dst
             << ": delivered = " << q.delivered
             << " in " << q.hops << " hops (log2 n = "

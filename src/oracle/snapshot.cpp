@@ -18,14 +18,62 @@ bool kind_is_known(std::uint32_t k) {
          k <= static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory);
 }
 
+void check_writable_version(std::uint32_t version) {
+  RON_CHECK(version == kSnapshotVersion || version == kSnapshotVersionV1,
+            "snapshot: cannot write format version " << version);
+}
+
+/// The v1 writer gate must never lose recipe information silently: every
+/// spec field the legacy format cannot carry has to be at its default (for
+/// any genuinely-v1 artifact it is). Otherwise a downgraded file would
+/// load with a different recipe than it was built from — for a directory
+/// that means locate rebuilds the wrong overlay with no error anywhere.
+void check_v1_representable(const ScenarioSpec& spec, bool keeps_family,
+                            bool keeps_delta, bool keeps_overlay_seed,
+                            const char* what) {
+  const ScenarioSpec dflt;
+  const bool ok =
+      (keeps_family || spec.family.empty()) &&
+      (keeps_delta || spec.delta == dflt.delta) &&
+      (keeps_overlay_seed || spec.overlay_seed == dflt.overlay_seed) &&
+      spec.c_x == dflt.c_x && spec.c_y == dflt.c_y &&
+      spec.with_x == dflt.with_x && spec.params.empty();
+  RON_CHECK(ok, "snapshot: v1 " << what << " format cannot carry this "
+                "scenario spec (" << spec.to_string() << ") — non-default "
+                "fields would be silently dropped; write v2 or reset them");
+}
+
+/// When the spec names a family it is a real recipe and must agree with the
+/// artifact's node count; an empty family ("unknown provenance") may keep
+/// its default n.
+void check_spec_n(const ScenarioSpec& spec, std::size_t artifact_n,
+                  const char* what) {
+  RON_CHECK(spec.family.empty() || spec.n == artifact_n,
+            "snapshot: scenario spec n=" << spec.n << " != " << what
+                                         << " n=" << artifact_n);
+}
+
+/// v1 checksums cover the payload alone; v2 folds the header's version and
+/// kind fields in front, so a bit-flip that relabels a v2 file (downgrades
+/// its version or swaps its kind while leaving the payload intact) fails
+/// the checksum instead of gambling on the wrong parser rejecting it.
+std::uint64_t snapshot_checksum(std::uint32_t version, SnapshotKind kind,
+                                std::span<const std::uint8_t> payload) {
+  if (version < kSnapshotVersion) return fnv1a64(payload);
+  WireWriter prefix;
+  prefix.u32(version);
+  prefix.u32(static_cast<std::uint32_t>(kind));
+  return fnv1a64_continue(fnv1a64(prefix.bytes()), payload);
+}
+
 void write_snapshot(SnapshotKind kind, const WireWriter& payload,
-                    const std::string& path) {
+                    const std::string& path, std::uint32_t version) {
   WireWriter header;
   for (std::uint8_t b : kMagic) header.u8(b);
-  header.u32(kSnapshotVersion);
+  header.u32(version);
   header.u32(static_cast<std::uint32_t>(kind));
   header.u64(payload.size());
-  header.u64(fnv1a64(payload.bytes()));
+  header.u64(snapshot_checksum(version, kind, payload.bytes()));
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   RON_CHECK(out.good(), "snapshot: cannot open " << path << " for writing");
@@ -37,11 +85,11 @@ void write_snapshot(SnapshotKind kind, const WireWriter& payload,
   RON_CHECK(out.good(), "snapshot: short write to " << path);
 }
 
-/// Reads and fully validates the file: magic, version, known kind, exact
-/// payload length (truncation AND trailing bytes) and checksum. Returns the
-/// whole file's bytes — the payload is the subspan after kHeaderBytes
-/// (payload_view below), kept in place to avoid doubling peak memory on
-/// large snapshots. Fills `info`.
+/// Reads and fully validates the file: magic, known version, known kind,
+/// exact payload length (truncation AND trailing bytes) and checksum.
+/// Returns the whole file's bytes — the payload is the subspan after
+/// kHeaderBytes (payload_view below), kept in place to avoid doubling peak
+/// memory on large snapshots. Fills `info`.
 std::vector<std::uint8_t> read_snapshot(const std::string& path,
                                         SnapshotInfo& info) {
   std::ifstream in(path, std::ios::binary);
@@ -65,9 +113,11 @@ std::vector<std::uint8_t> read_snapshot(const std::string& path,
   WireReader header(std::span(bytes.data() + sizeof(kMagic),
                               kHeaderBytes - sizeof(kMagic)));
   info.version = header.u32();
-  RON_CHECK(info.version == kSnapshotVersion,
+  RON_CHECK(info.version == kSnapshotVersion ||
+                info.version == kSnapshotVersionV1,
             "snapshot: " << path << " has format version " << info.version
-                         << ", this build reads " << kSnapshotVersion);
+                         << ", this build reads " << kSnapshotVersionV1
+                         << " and " << kSnapshotVersion);
   const std::uint32_t kind = header.u32();
   RON_CHECK(kind_is_known(kind),
             "snapshot: " << path << " has unknown section kind " << kind);
@@ -79,8 +129,9 @@ std::vector<std::uint8_t> read_snapshot(const std::string& path,
                          << bytes.size() - kHeaderBytes
                          << " bytes, header promises " << info.payload_bytes
                          << " (truncated or trailing garbage)");
-  info.checksum =
-      fnv1a64(std::span<const std::uint8_t>(bytes).subspan(kHeaderBytes));
+  info.checksum = snapshot_checksum(
+      info.version, info.kind,
+      std::span<const std::uint8_t>(bytes).subspan(kHeaderBytes));
   RON_CHECK(info.checksum == want_sum,
             "snapshot: " << path << " checksum mismatch (corrupt payload)");
   return bytes;
@@ -92,8 +143,8 @@ std::span<const std::uint8_t> payload_view(
 }
 
 std::vector<std::uint8_t> read_snapshot_of_kind(const std::string& path,
-                                                SnapshotKind want) {
-  SnapshotInfo info;
+                                                SnapshotKind want,
+                                                SnapshotInfo& info) {
   std::vector<std::uint8_t> file = read_snapshot(path, info);
   RON_CHECK(info.kind == want,
             "snapshot: " << path << " holds section kind "
@@ -101,6 +152,13 @@ std::vector<std::uint8_t> read_snapshot_of_kind(const std::string& path,
                          << ", expected "
                          << static_cast<std::uint32_t>(want));
   return file;
+}
+
+/// Payload prefix shared by every v2 section: the embedded scenario. v1
+/// sections have no prefix; the loader synthesizes an empty-family spec
+/// (kOracle/kObjectDirectory override it from their legacy metas).
+ScenarioSpec read_spec_prefix(WireReader& r, std::uint32_t version) {
+  return version >= kSnapshotVersion ? read_spec(r) : ScenarioSpec{};
 }
 
 void write_node_list(WireWriter& w, std::span<const NodeId> xs) {
@@ -209,20 +267,82 @@ DistanceLabeling read_labeling_payload(WireReader& r) {
                                       std::move(labels));
 }
 
-void write_meta(WireWriter& w, const OracleMeta& meta) {
-  w.str(meta.metric_name);
-  w.u64(meta.n);
-  w.u64(meta.seed);
-  w.f64(meta.delta);
+// --- legacy (v1) meta blocks ----------------------------------------------
+//
+// Version 1 carried per-kind provenance structs instead of a spec. The
+// loaders translate them into an equivalent ScenarioSpec; the version-gated
+// writers translate back so v1 bytes stay reproducible bit-for-bit.
+
+void write_oracle_meta_v1(WireWriter& w, const ScenarioSpec& spec,
+                          const std::string& metric_name) {
+  w.str(metric_name);
+  w.u64(spec.n);
+  w.u64(spec.seed);
+  w.f64(spec.delta);
 }
 
-OracleMeta read_meta(WireReader& r) {
-  OracleMeta meta;
-  meta.metric_name = r.str();
-  meta.n = r.u64();
-  meta.seed = r.u64();
-  meta.delta = r.f64();
-  return meta;
+void read_oracle_meta_v1(WireReader& r, ScenarioSpec& spec,
+                         std::string& metric_name) {
+  metric_name = r.str();
+  spec.family.clear();  // v1 oracle bundles never named their family
+  spec.n = r.u64();
+  RON_CHECK(spec.n >= 1, "snapshot: oracle meta n must be >= 1");
+  spec.seed = r.u64();
+  spec.delta = r.f64();
+  RON_CHECK(std::isfinite(spec.delta) && spec.delta > 0.0 && spec.delta < 1.0,
+            "snapshot: oracle meta delta " << spec.delta << " outside (0,1)");
+}
+
+void write_directory_meta_v1(WireWriter& w, const ScenarioSpec& spec) {
+  w.str(spec.family);
+  w.u64(spec.n);
+  w.u64(spec.seed);
+  w.u64(spec.overlay_seed);
+}
+
+ScenarioSpec read_directory_meta_v1(WireReader& r) {
+  // v1 directories always rebuilt their overlay with the default ring
+  // profile and delta, so the synthesized spec's defaults are exact.
+  ScenarioSpec spec;
+  spec.family = r.str();
+  RON_CHECK(!spec.family.empty() && spec.family.size() <= 64,
+            "snapshot: directory metric kind of " << spec.family.size()
+                                                  << " bytes");
+  spec.n = r.u64();
+  RON_CHECK(spec.n >= 1 && spec.n <= kInvalidNode,
+            "snapshot: directory node count " << spec.n);
+  spec.seed = r.u64();
+  spec.overlay_seed = r.u64();
+  return spec;
+}
+
+void write_directory_payload(WireWriter& w, const ObjectDirectory& dir) {
+  w.u64(dir.num_objects());
+  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
+    w.str(dir.name(obj));
+    write_node_list(w, dir.holders(obj));
+  }
+}
+
+ObjectDirectory read_directory_payload(WireReader& r, std::size_t n) {
+  ObjectDirectory dir(n);
+  // Every object costs at least a name length + a holder count.
+  const std::uint64_t objects =
+      r.read_count(2 * sizeof(std::uint64_t), "object");
+  for (std::uint64_t i = 0; i < objects; ++i) {
+    const std::string name = r.str();
+    RON_CHECK(!name.empty(), "snapshot: empty object name");
+    RON_CHECK(dir.find(name) == kInvalidObject,
+              "snapshot: duplicate object name '" << name << "'");
+    // declare-then-publish keeps fully-unpublished objects (zero holders)
+    // loadable; publish re-sorts and dedups, so holder accounting is
+    // recomputed rather than trusted.
+    dir.declare(name);
+    for (NodeId v : read_node_list(r, n, "holder")) {
+      dir.publish(name, v);
+    }
+  }
+  return dir;
 }
 
 }  // namespace
@@ -246,8 +366,16 @@ std::uint32_t peek_snapshot_kind(const std::string& path) {
   return kind;
 }
 
-void save_rings(const RingsOfNeighbors& rings, const std::string& path) {
+void save_rings(const RingsOfNeighbors& rings, const std::string& path,
+                const ScenarioSpec& spec, std::uint32_t version) {
+  check_writable_version(version);
+  check_spec_n(spec, rings.n(), "rings");
   WireWriter w;
+  if (version >= kSnapshotVersion) {
+    write_spec(w, spec);
+  } else {
+    check_v1_representable(spec, false, false, false, "rings");
+  }
   w.u64(rings.n());
   for (NodeId u = 0; u < rings.n(); ++u) {
     auto rs = rings.rings(u);
@@ -257,13 +385,18 @@ void save_rings(const RingsOfNeighbors& rings, const std::string& path) {
       write_node_list(w, ring.members);
     }
   }
-  write_snapshot(SnapshotKind::kRings, w, path);
+  write_snapshot(SnapshotKind::kRings, w, path, version);
 }
 
-RingsOfNeighbors load_rings(const std::string& path) {
+RingsOfNeighbors load_rings(const std::string& path, ScenarioSpec* spec,
+                            SnapshotInfo* info) {
+  SnapshotInfo local;
   const std::vector<std::uint8_t> file =
-      read_snapshot_of_kind(path, SnapshotKind::kRings);
+      read_snapshot_of_kind(path, SnapshotKind::kRings, local);
+  if (info != nullptr) *info = local;
   WireReader r(payload_view(file));
+  const ScenarioSpec embedded = read_spec_prefix(r, local.version);
+  if (spec != nullptr) *spec = embedded;
   const std::uint64_t n = r.read_count(sizeof(std::uint64_t), "node");
   RON_CHECK(n >= 1 && n <= kInvalidNode, "snapshot: rings node count " << n);
   RingsOfNeighbors rings(static_cast<std::size_t>(n));
@@ -281,14 +414,25 @@ RingsOfNeighbors load_rings(const std::string& path) {
     }
   }
   r.expect_done();
+  check_spec_n(embedded, rings.n(), "rings");
   return rings;
 }
 
-void save_neighbor_system(const NeighborSystem& sys, const std::string& path) {
+void save_neighbor_system(const NeighborSystem& sys, const std::string& path,
+                          const ScenarioSpec& spec, std::uint32_t version) {
+  check_writable_version(version);
   const std::size_t n = sys.prox().n();
+  check_spec_n(spec, n, "neighbor system");
   const int levels = sys.num_levels();
   const int zscales = sys.num_z_scales();
   WireWriter w;
+  if (version >= kSnapshotVersion) {
+    write_spec(w, spec);
+  } else {
+    // delta lives in the neighbor-system payload itself, so only the spec's
+    // other fields would be lost.
+    check_v1_representable(spec, false, true, false, "neighbor system");
+  }
   w.u64(n);
   w.f64(sys.delta());
   w.f64(sys.profile().y_ball_factor);
@@ -311,13 +455,19 @@ void save_neighbor_system(const NeighborSystem& sys, const std::string& path) {
     write_node_list(w, sys.host_set(u));
     write_node_list(w, sys.virtual_set(u));
   }
-  write_snapshot(SnapshotKind::kNeighborSystem, w, path);
+  write_snapshot(SnapshotKind::kNeighborSystem, w, path, version);
 }
 
-NeighborSystemSnapshot load_neighbor_system(const std::string& path) {
+NeighborSystemSnapshot load_neighbor_system(const std::string& path,
+                                            ScenarioSpec* spec,
+                                            SnapshotInfo* info) {
+  SnapshotInfo local;
   const std::vector<std::uint8_t> file =
-      read_snapshot_of_kind(path, SnapshotKind::kNeighborSystem);
+      read_snapshot_of_kind(path, SnapshotKind::kNeighborSystem, local);
+  if (info != nullptr) *info = local;
   WireReader r(payload_view(file));
+  const ScenarioSpec embedded = read_spec_prefix(r, local.version);
+  if (spec != nullptr) *spec = embedded;
   NeighborSystemSnapshot s;
   const std::uint64_t n = r.read_count(sizeof(std::uint64_t), "node");
   RON_CHECK(n >= 1 && n <= kInvalidNode,
@@ -370,105 +520,116 @@ NeighborSystemSnapshot load_neighbor_system(const std::string& path) {
     s.virtual_.push_back(read_node_list(r, s.n_, "virtual member"));
   }
   r.expect_done();
+  check_spec_n(embedded, s.n_, "neighbor system");
   return s;
 }
 
-void save_labeling(const DistanceLabeling& dls, const std::string& path) {
+void save_labeling(const DistanceLabeling& dls, const std::string& path,
+                   const ScenarioSpec& spec, std::uint32_t version) {
+  check_writable_version(version);
+  check_spec_n(spec, dls.n(), "labeling");
   WireWriter w;
+  if (version >= kSnapshotVersion) {
+    write_spec(w, spec);
+  } else {
+    check_v1_representable(spec, false, false, false, "labeling");
+  }
   write_labeling_payload(w, dls);
-  write_snapshot(SnapshotKind::kDistanceLabeling, w, path);
+  write_snapshot(SnapshotKind::kDistanceLabeling, w, path, version);
 }
 
-DistanceLabeling load_labeling(const std::string& path) {
+DistanceLabeling load_labeling(const std::string& path, ScenarioSpec* spec,
+                               SnapshotInfo* info) {
+  SnapshotInfo local;
   const std::vector<std::uint8_t> file =
-      read_snapshot_of_kind(path, SnapshotKind::kDistanceLabeling);
+      read_snapshot_of_kind(path, SnapshotKind::kDistanceLabeling, local);
+  if (info != nullptr) *info = local;
   WireReader r(payload_view(file));
+  const ScenarioSpec embedded = read_spec_prefix(r, local.version);
+  if (spec != nullptr) *spec = embedded;
   DistanceLabeling dls = read_labeling_payload(r);
   r.expect_done();
+  check_spec_n(embedded, dls.n(), "labeling");
   return dls;
 }
 
-void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
-                 const std::string& path) {
-  RON_CHECK(meta.n == dls.n(),
-            "save_oracle: meta.n " << meta.n << " != labeling n " << dls.n());
+void save_oracle(const ScenarioSpec& spec, const std::string& metric_name,
+                 const DistanceLabeling& dls, const std::string& path,
+                 std::uint32_t version) {
+  check_writable_version(version);
+  RON_CHECK(spec.n == dls.n(),
+            "save_oracle: spec n " << spec.n << " != labeling n " << dls.n());
   WireWriter w;
-  write_meta(w, meta);
+  if (version >= kSnapshotVersion) {
+    write_spec(w, spec);
+    w.str(metric_name);
+  } else {
+    check_v1_representable(spec, false, true, false, "oracle");
+    write_oracle_meta_v1(w, spec, metric_name);
+  }
   write_labeling_payload(w, dls);
-  write_snapshot(SnapshotKind::kOracle, w, path);
-}
-
-void save_directory(const LocationMeta& meta, const ObjectDirectory& dir,
-                    const std::string& path) {
-  RON_CHECK(meta.n == dir.n(), "save_directory: meta.n " << meta.n
-                                   << " != directory n " << dir.n());
-  WireWriter w;
-  w.str(meta.metric_kind);
-  w.u64(meta.n);
-  w.u64(meta.metric_seed);
-  w.u64(meta.overlay_seed);
-  w.u64(dir.num_objects());
-  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
-    w.str(dir.name(obj));
-    write_node_list(w, dir.holders(obj));
-  }
-  write_snapshot(SnapshotKind::kObjectDirectory, w, path);
-}
-
-LoadedDirectory load_directory(const std::string& path, SnapshotInfo* info) {
-  SnapshotInfo local;
-  const std::vector<std::uint8_t> file = read_snapshot(path, local);
-  RON_CHECK(local.kind == SnapshotKind::kObjectDirectory,
-            "snapshot: " << path << " holds section kind "
-                         << static_cast<std::uint32_t>(local.kind)
-                         << ", expected an object directory");
-  if (info != nullptr) *info = local;
-  WireReader r(payload_view(file));
-  LocationMeta meta;
-  meta.metric_kind = r.str();
-  meta.n = r.u64();
-  RON_CHECK(meta.n >= 1 && meta.n <= kInvalidNode,
-            "snapshot: directory node count " << meta.n);
-  meta.metric_seed = r.u64();
-  meta.overlay_seed = r.u64();
-  ObjectDirectory dir(static_cast<std::size_t>(meta.n));
-  // Every object costs at least a name length + a holder count.
-  const std::uint64_t objects =
-      r.read_count(2 * sizeof(std::uint64_t), "object");
-  for (std::uint64_t i = 0; i < objects; ++i) {
-    const std::string name = r.str();
-    RON_CHECK(!name.empty(), "snapshot: empty object name");
-    RON_CHECK(dir.find(name) == kInvalidObject,
-              "snapshot: duplicate object name '" << name << "'");
-    // declare-then-publish keeps fully-unpublished objects (zero holders)
-    // loadable; publish re-sorts and dedups, so holder accounting is
-    // recomputed rather than trusted.
-    dir.declare(name);
-    for (NodeId v :
-         read_node_list(r, static_cast<std::size_t>(meta.n), "holder")) {
-      dir.publish(name, v);
-    }
-  }
-  r.expect_done();
-  return LoadedDirectory{std::move(meta), std::move(dir)};
+  write_snapshot(SnapshotKind::kOracle, w, path, version);
 }
 
 LoadedOracle load_oracle(const std::string& path, SnapshotInfo* info) {
   SnapshotInfo local;
-  const std::vector<std::uint8_t> file = read_snapshot(path, local);
-  RON_CHECK(local.kind == SnapshotKind::kOracle,
-            "snapshot: " << path << " holds section kind "
-                         << static_cast<std::uint32_t>(local.kind)
-                         << ", expected an oracle bundle");
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kOracle, local);
   if (info != nullptr) *info = local;
   WireReader r(payload_view(file));
-  OracleMeta meta = read_meta(r);
+  ScenarioSpec spec;
+  std::string metric_name;
+  if (local.version >= kSnapshotVersion) {
+    spec = read_spec(r);
+    metric_name = r.str();
+  } else {
+    read_oracle_meta_v1(r, spec, metric_name);
+  }
   DistanceLabeling dls = read_labeling_payload(r);
   r.expect_done();
-  RON_CHECK(meta.n == dls.n(),
-            "snapshot: oracle meta.n " << meta.n << " != labeling n "
-                                       << dls.n());
-  return LoadedOracle{std::move(meta), std::move(dls)};
+  RON_CHECK(spec.n == dls.n(), "snapshot: oracle spec n "
+                                   << spec.n << " != labeling n "
+                                   << dls.n());
+  return LoadedOracle{std::move(spec), std::move(metric_name),
+                      std::move(dls)};
+}
+
+void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
+                    const std::string& path, std::uint32_t version) {
+  check_writable_version(version);
+  RON_CHECK(!spec.family.empty(),
+            "save_directory: the scenario spec must name a metric family "
+            "(the stored recipe is what locate rebuilds from)");
+  RON_CHECK(spec.n == dir.n(), "save_directory: spec n " << spec.n
+                                   << " != directory n " << dir.n());
+  WireWriter w;
+  if (version >= kSnapshotVersion) {
+    write_spec(w, spec);
+  } else {
+    check_v1_representable(spec, true, false, true, "directory");
+    write_directory_meta_v1(w, spec);
+  }
+  write_directory_payload(w, dir);
+  write_snapshot(SnapshotKind::kObjectDirectory, w, path, version);
+}
+
+LoadedDirectory load_directory(const std::string& path, SnapshotInfo* info) {
+  SnapshotInfo local;
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kObjectDirectory, local);
+  if (info != nullptr) *info = local;
+  WireReader r(payload_view(file));
+  ScenarioSpec spec = local.version >= kSnapshotVersion
+                          ? read_spec(r)
+                          : read_directory_meta_v1(r);
+  RON_CHECK(!spec.family.empty(),
+            "snapshot: directory recipe is missing its metric family");
+  RON_CHECK(spec.n <= kInvalidNode,
+            "snapshot: directory node count " << spec.n);
+  ObjectDirectory dir =
+      read_directory_payload(r, static_cast<std::size_t>(spec.n));
+  r.expect_done();
+  return LoadedDirectory{std::move(spec), std::move(dir)};
 }
 
 }  // namespace ron

@@ -6,7 +6,20 @@
 // any number of serving processes. One file holds one section:
 //
 //   [magic "RONSNAP\n"] [u32 format version] [u32 section kind]
-//   [u64 payload size] [u64 FNV-1a checksum of payload] [payload]
+//   [u64 payload size] [u64 FNV-1a checksum] [payload]
+//
+// The checksum covers the payload; in version 2 it additionally covers the
+// version and kind header fields, so flipping a v2 file's version or kind
+// label fails the checksum instead of reaching the wrong parser.
+//
+// Format version 2 (current): every section kind embeds the ScenarioSpec
+// the artifact was built from as a payload prefix, so any snapshot is a
+// self-describing recipe — `ron_oracle info` prints the spec back and
+// `locate` rebuilds the exact metric and overlay from it. Version 1 files
+// (which carried either no recipe or the old OracleMeta/LocationMeta
+// structs) still load: the loaders synthesize an equivalent spec, and every
+// save function takes a version gate so v1 bytes can be reproduced
+// bit-identically (the committed golden fixtures pin both formats).
 //
 // Loads validate magic, version, kind, exact length and checksum before
 // parsing, and the parse itself bounds-checks every count and index, so a
@@ -31,17 +44,21 @@
 #include "labeling/distance_labels.h"
 #include "labeling/neighbor_system.h"
 #include "location/object_directory.h"
+#include "scenario/scenario_spec.h"
 
 namespace ron {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current write format (spec-carrying) and the legacy format the loaders
+/// still accept and the writers can still emit through their version gate.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 
 enum class SnapshotKind : std::uint32_t {
   kRings = 1,
   kNeighborSystem = 2,
   kDistanceLabeling = 3,
-  kOracle = 4,           // serving bundle: metadata + distance labeling
-  kObjectDirectory = 5,  // object-location bundle: overlay recipe + directory
+  kOracle = 4,           // serving bundle: scenario + distance labeling
+  kObjectDirectory = 5,  // object-location bundle: scenario + directory
 };
 
 /// Header fields of a snapshot file, validated (magic/version/length/
@@ -61,10 +78,27 @@ SnapshotInfo inspect_snapshot(const std::string& path);
 /// it cannot drift from the header layout the save path writes.
 std::uint32_t peek_snapshot_kind(const std::string& path);
 
+// Save functions: `spec` is the scenario the artifact was built from and is
+// embedded in v2 payloads. Writing with version = kSnapshotVersionV1
+// reproduces the legacy bytes (the spec is reduced to the old meta fields
+// for the oracle/directory kinds and dropped for the rest); the gate throws
+// if the spec holds information the v1 format cannot carry — a downgrade
+// never silently loses recipe fields. When the spec names a family, spec.n
+// must match the artifact's node count.
+//
+// Load functions: `spec`/`info` out-parameters (when non-null) receive the
+// embedded or synthesized scenario and the validated header fields. A v1
+// file yields a spec with an empty family (unknown provenance) except for
+// directories, whose v1 meta carried the full recipe.
+
 // --- RingsOfNeighbors ------------------------------------------------------
 
-void save_rings(const RingsOfNeighbors& rings, const std::string& path);
-RingsOfNeighbors load_rings(const std::string& path);
+void save_rings(const RingsOfNeighbors& rings, const std::string& path,
+                const ScenarioSpec& spec = {},
+                std::uint32_t version = kSnapshotVersion);
+RingsOfNeighbors load_rings(const std::string& path,
+                            ScenarioSpec* spec = nullptr,
+                            SnapshotInfo* info = nullptr);
 
 // --- NeighborSystem --------------------------------------------------------
 
@@ -97,7 +131,9 @@ class NeighborSystemSnapshot {
   }
 
  private:
-  friend NeighborSystemSnapshot load_neighbor_system(const std::string&);
+  friend NeighborSystemSnapshot load_neighbor_system(const std::string&,
+                                                     ScenarioSpec*,
+                                                     SnapshotInfo*);
 
   std::size_t check_u(NodeId u) const {
     RON_CHECK(u < n_);
@@ -132,34 +168,38 @@ class NeighborSystemSnapshot {
   std::vector<std::vector<NodeId>> virtual_;
 };
 
-void save_neighbor_system(const NeighborSystem& sys, const std::string& path);
-NeighborSystemSnapshot load_neighbor_system(const std::string& path);
+void save_neighbor_system(const NeighborSystem& sys, const std::string& path,
+                          const ScenarioSpec& spec = {},
+                          std::uint32_t version = kSnapshotVersion);
+NeighborSystemSnapshot load_neighbor_system(const std::string& path,
+                                            ScenarioSpec* spec = nullptr,
+                                            SnapshotInfo* info = nullptr);
 
 // --- DistanceLabeling ------------------------------------------------------
 
-void save_labeling(const DistanceLabeling& dls, const std::string& path);
-DistanceLabeling load_labeling(const std::string& path);
+void save_labeling(const DistanceLabeling& dls, const std::string& path,
+                   const ScenarioSpec& spec = {},
+                   std::uint32_t version = kSnapshotVersion);
+DistanceLabeling load_labeling(const std::string& path,
+                               ScenarioSpec* spec = nullptr,
+                               SnapshotInfo* info = nullptr);
 
 // --- Oracle serving bundle -------------------------------------------------
 
-/// Provenance carried alongside the labeling so `ron_oracle info` can say
-/// what a snapshot contains without rebuilding anything.
-struct OracleMeta {
-  std::string metric_name;
-  std::uint64_t n = 0;
-  std::uint64_t seed = 0;
-  double delta = 0.0;
-
-  friend bool operator==(const OracleMeta&, const OracleMeta&) = default;
-};
-
 struct LoadedOracle {
-  OracleMeta meta;
+  /// Build recipe. A v1 file cannot name its metric family: the spec then
+  /// has an empty family and only n/seed/delta filled from the old meta.
+  ScenarioSpec spec;
+  /// Display name of the metric the labeling was built over (provenance for
+  /// `ron_oracle info`; the spec, not this name, is the rebuild recipe).
+  std::string metric_name;
   DistanceLabeling labeling;
 };
 
-void save_oracle(const OracleMeta& meta, const DistanceLabeling& dls,
-                 const std::string& path);
+/// spec.n must equal dls.n().
+void save_oracle(const ScenarioSpec& spec, const std::string& metric_name,
+                 const DistanceLabeling& dls, const std::string& path,
+                 std::uint32_t version = kSnapshotVersion);
 /// `info`, when non-null, receives the validated header fields — a combined
 /// inspect+load in one read of the file.
 LoadedOracle load_oracle(const std::string& path,
@@ -167,27 +207,19 @@ LoadedOracle load_oracle(const std::string& path,
 
 // --- Object-location bundle ------------------------------------------------
 
-/// The deterministic overlay recipe stored alongside the directory: with
-/// these four fields `ron_oracle locate` rebuilds the exact metric and X+Y
-/// rings the objects were published against (generators are pure functions
-/// of kind/n/seed), so a directory snapshot is self-contained.
-struct LocationMeta {
-  std::string metric_kind;  // generator kind: clustered|euclid|geoline|grid
-  std::uint64_t n = 0;
-  std::uint64_t metric_seed = 0;
-  std::uint64_t overlay_seed = 0;
-
-  friend bool operator==(const LocationMeta&, const LocationMeta&) = default;
-};
-
 struct LoadedDirectory {
-  LocationMeta meta;
+  /// The deterministic overlay recipe: rebuilding the spec through a
+  /// ScenarioBuilder reproduces the exact metric and X+Y rings the objects
+  /// were published against, so a directory snapshot is self-contained.
+  ScenarioSpec spec;
   ObjectDirectory directory;
 };
 
-/// meta.n must equal directory.n().
-void save_directory(const LocationMeta& meta, const ObjectDirectory& dir,
-                    const std::string& path);
+/// spec.n must equal directory.n() and spec.family must be non-empty (a
+/// directory without a rebuildable recipe cannot serve locates).
+void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
+                    const std::string& path,
+                    std::uint32_t version = kSnapshotVersion);
 LoadedDirectory load_directory(const std::string& path,
                                SnapshotInfo* info = nullptr);
 

@@ -2,13 +2,17 @@
 
 namespace ron {
 
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+std::uint64_t fnv1a64_continue(std::uint64_t state,
+                               std::span<const std::uint8_t> bytes) {
   for (std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
+    state ^= b;
+    state *= 0x100000001b3ULL;
   }
-  return h;
+  return state;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  return fnv1a64_continue(kFnv1a64Basis, bytes);
 }
 
 }  // namespace ron

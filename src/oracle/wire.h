@@ -25,8 +25,15 @@
 namespace ron {
 
 /// FNV-1a 64-bit checksum (the snapshot header's corruption detector; this
-/// guards against accidental damage, not adversaries).
+/// guards against accidental damage, not adversaries). The _continue form
+/// chains over multiple spans: fnv1a64(a+b) ==
+/// fnv1a64_continue(fnv1a64(a), b) — the snapshot layer uses it to fold the
+/// header's version/kind fields into the v2 checksum domain without
+/// materializing a concatenated buffer.
+inline constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+std::uint64_t fnv1a64_continue(std::uint64_t state,
+                               std::span<const std::uint8_t> bytes);
 
 class WireWriter {
  public:

@@ -1,0 +1,249 @@
+#include "scenario/metric_registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/graph_metric.h"
+#include "metric/clustered.h"
+#include "metric/euclidean.h"
+#include "metric/line_metrics.h"
+#include "smallworld/kleinberg_grid.h"
+
+namespace ron {
+
+namespace {
+
+/// Reads a resolved parameter as a size_t (declared integer params are
+/// validated as whole numbers before the factory runs).
+std::size_t as_size(const ResolvedParams& params, const std::string& key) {
+  return static_cast<std::size_t>(params.at(key));
+}
+
+/// Smallest side with side * side >= n (grid-shaped families round up).
+std::size_t square_side(std::uint64_t n) {
+  std::size_t side = 1;
+  while (side * side < n) ++side;
+  return side;
+}
+
+ParamSpec integer_param(std::string key, double dflt, double lo, double hi,
+                        std::string help) {
+  return ParamSpec{std::move(key), dflt, lo, hi, std::move(help),
+                   /*integer=*/true};
+}
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() {
+  register_family(MetricFamily{
+      "geoline",
+      "geometric line b^0..b^(n-1): constant doubling dimension, aspect "
+      "ratio exponential in n (the paper's hard instance)",
+      {{"base", 1.3, 1.0000001, 2.0, "growth factor b"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        return std::make_unique<GeometricLineMetric>(
+            static_cast<std::size_t>(spec.n), p.at("base"));
+      }});
+  register_family(MetricFamily{
+      "uniline",
+      "uniformly spaced points on the line (aspect ratio n-1)",
+      {{"spacing", 1.0, 1e-9, 1e9, "gap between consecutive points"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        return std::make_unique<UniformLineMetric>(
+            static_cast<std::size_t>(spec.n), p.at("spacing"));
+      }});
+  register_family(MetricFamily{
+      "ring",
+      "points evenly spaced on a circle with arc-length distance",
+      {{"spacing", 1.0, 1e-9, 1e9, "arc length between neighbors"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        return std::make_unique<RingMetric>(static_cast<std::size_t>(spec.n),
+                                            p.at("spacing"));
+      }});
+  register_family(MetricFamily{
+      "clustered",
+      "two-level transit-stub point cloud (synthetic Internet latency); n "
+      "rounds up to whole clusters",
+      {integer_param("per_cluster", 16, 1, 4096, "nodes per cluster"),
+       integer_param("dim", 3, 1, 16, "embedding dimension"),
+       integer_param("subclusters", 4, 1, 64, "second-level groups"),
+       {"world_side", 10000.0, 1e-6, 1e12, "span of cluster centers"},
+       {"cluster_side", 100.0, 0.0, 1e12, "span within a cluster"},
+       {"subcluster_side", 5.0, 0.0, 1e12, "second-level jitter"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        ClusteredParams cp;
+        cp.per_cluster = as_size(p, "per_cluster");
+        cp.clusters = (spec.n + cp.per_cluster - 1) / cp.per_cluster;
+        cp.dim = as_size(p, "dim");
+        cp.subclusters = as_size(p, "subclusters");
+        cp.world_side = p.at("world_side");
+        cp.cluster_side = p.at("cluster_side");
+        cp.subcluster_side = p.at("subcluster_side");
+        return std::make_unique<EuclideanMetric>(
+            clustered_metric(cp, spec.seed));
+      }});
+  register_family(MetricFamily{
+      "euclid",
+      "n points uniform in the cube [0, side]^dim",
+      {integer_param("dim", 2, 1, 16, "dimension"),
+       {"side", 1000.0, 1e-9, 1e12, "cube side length"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        return std::make_unique<EuclideanMetric>(
+            random_cube_metric(static_cast<std::size_t>(spec.n),
+                               as_size(p, "dim"), spec.seed, p.at("side")));
+      }});
+  register_family(MetricFamily{
+      "grid",
+      "shortest-path metric of a perturbed square grid graph; n rounds up "
+      "to the next square",
+      {{"perturb", 0.3, 0.0, 0.999, "edge weights 1 + U[0, perturb)"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        const std::size_t side = square_side(spec.n);
+        return std::make_unique<GraphMetric>(
+            grid_graph(side, side, p.at("perturb"), spec.seed));
+      }});
+  register_family(MetricFamily{
+      "geograph",
+      "shortest-path metric of a connected random geometric graph in the "
+      "unit square",
+      {{"radius", 0.15, 1e-9, 1e6, "initial connection radius"},
+       {"side", 1.0, 1e-9, 1e6, "square side length"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        return std::make_unique<GraphMetric>(random_geometric_graph(
+            static_cast<std::size_t>(spec.n), p.at("radius"), spec.seed,
+            p.at("side")));
+      }});
+  register_family(MetricFamily{
+      "cliques",
+      "shortest-path metric of >= 3 cliques on a cycle (two-scale doubling "
+      "graph); n rounds up to whole cliques",
+      {integer_param("per_clique", 8, 2, 1024, "nodes per clique"),
+       {"bridge_weight", 10.0, 1e-9, 1e9, "inter-clique edge weight"}},
+      [](const ScenarioSpec& spec, const ResolvedParams& p) {
+        const std::size_t m = as_size(p, "per_clique");
+        const std::size_t k =
+            std::max<std::size_t>(3, (spec.n + m - 1) / m);
+        return std::make_unique<GraphMetric>(
+            ring_of_cliques(k, m, p.at("bridge_weight")));
+      }});
+  register_family(MetricFamily{
+      "torus",
+      "Manhattan metric on a square torus (Kleinberg's small-world grid); "
+      "n rounds up to the next square",
+      {},
+      [](const ScenarioSpec& spec, const ResolvedParams&) {
+        return std::make_unique<TorusMetric>(square_side(spec.n));
+      }});
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+void MetricRegistry::register_family(MetricFamily family) {
+  // The 64-byte cap matches read_spec's wire validation: a registered
+  // family must always be embeddable in (and loadable from) a snapshot.
+  RON_CHECK(!family.key.empty() && family.key.size() <= 64,
+            "metric registry: family key must be 1..64 bytes");
+  RON_CHECK(static_cast<bool>(family.make),
+            "metric registry: family '" << family.key << "' has no factory");
+  for (std::size_t i = 0; i < family.params.size(); ++i) {
+    const ParamSpec& p = family.params[i];
+    RON_CHECK(!p.key.empty() && p.key.size() <= 64,
+              "metric registry: family '" << family.key
+                                          << "' param key must be 1..64 "
+                                             "bytes");
+    RON_CHECK(p.min_value <= p.dflt && p.dflt <= p.max_value,
+              "metric registry: " << family.key << " " << p.key
+                                  << " default outside its range");
+    for (std::size_t j = 0; j < i; ++j) {
+      RON_CHECK(family.params[j].key != p.key,
+                "metric registry: family '" << family.key
+                                            << "' declares param '" << p.key
+                                            << "' twice");
+    }
+  }
+  const std::string key = family.key;
+  RON_CHECK(families_.emplace(key, std::move(family)).second,
+            "metric registry: family '" << key << "' already registered");
+}
+
+bool MetricRegistry::has(const std::string& key) const {
+  return families_.find(key) != families_.end();
+}
+
+const MetricFamily& MetricRegistry::family(const std::string& key) const {
+  auto it = families_.find(key);
+  if (it == families_.end()) {
+    std::string known;
+    for (const auto& [k, f] : families_) {
+      if (!known.empty()) known += "|";
+      known += k;
+    }
+    throw Error("scenario: unknown metric family '" + key + "' (known: " +
+                known + ")");
+  }
+  return it->second;
+}
+
+std::vector<const MetricFamily*> MetricRegistry::families() const {
+  std::vector<const MetricFamily*> out;
+  out.reserve(families_.size());
+  for (const auto& [k, f] : families_) out.push_back(&f);  // map = sorted
+  return out;
+}
+
+ResolvedParams MetricRegistry::resolve_params(const ScenarioSpec& spec) const {
+  const MetricFamily& fam = family(spec.family);
+  ResolvedParams resolved;
+  for (const ParamSpec& p : fam.params) resolved[p.key] = p.dflt;
+  for (const auto& [key, value] : spec.params) {
+    const ParamSpec* param = nullptr;
+    for (const ParamSpec& p : fam.params) {
+      if (p.key == key) {
+        param = &p;
+        break;
+      }
+    }
+    if (param == nullptr) {
+      std::string accepted;
+      for (const ParamSpec& p : fam.params) {
+        if (!accepted.empty()) accepted += "|";
+        accepted += p.key;
+      }
+      throw Error("scenario: metric family '" + spec.family +
+                  "' does not take parameter '" + key + "' (accepts: " +
+                  (accepted.empty() ? "none" : accepted) + ")");
+    }
+    RON_CHECK(value >= param->min_value && value <= param->max_value,
+              "scenario: " << spec.family << " param '" << key << "="
+                           << value << "' out of range ["
+                           << param->min_value << ", " << param->max_value
+                           << "]");
+    RON_CHECK(!param->integer || value == std::floor(value),
+              "scenario: " << spec.family << " param '" << key << "="
+                           << value << "' must be an integer");
+    resolved[key] = value;
+  }
+  return resolved;
+}
+
+std::unique_ptr<MetricSpace> MetricRegistry::make(
+    const ScenarioSpec& spec) const {
+  const MetricFamily& fam = family(spec.family);
+  RON_CHECK(spec.n >= 4 && spec.n <= 100000,
+            "scenario: metric size n=" << spec.n
+                                       << " outside [4, 100000]");
+  const ResolvedParams params = resolve_params(spec);
+  std::unique_ptr<MetricSpace> metric = fam.make(spec, params);
+  RON_CHECK(metric != nullptr && metric->n() >= spec.n,
+            "scenario: family '" << spec.family
+                                 << "' produced fewer nodes than n="
+                                 << spec.n);
+  return metric;
+}
+
+}  // namespace ron

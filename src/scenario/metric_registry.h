@@ -1,0 +1,86 @@
+// MetricRegistry: string-keyed factories for every metric family.
+//
+// The registry is the pluggability seam of the scenario API: a metric
+// family is a key, a table of accepted numeric parameters (with defaults
+// and ranges), and a deterministic factory (pure function of n, seed and
+// the resolved parameters). Everything downstream — the ScenarioBuilder,
+// the ron_oracle CLI, snapshot recipes — resolves families through here, so
+// adding a workload is one register_family call instead of an edit in every
+// consumer.
+//
+// Validation contract (the error paths are tested table-driven): an unknown
+// family key, an unknown parameter for a family, and an out-of-range
+// parameter value all throw ron::Error naming the offending token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "scenario/scenario_spec.h"
+
+namespace ron {
+
+/// One accepted parameter of a metric family.
+struct ParamSpec {
+  std::string key;
+  double dflt = 0.0;
+  double min_value = 0.0;  // inclusive
+  double max_value = 0.0;  // inclusive
+  std::string help;
+  bool integer = false;  // whole-number values only (counts, dimensions)
+};
+
+/// Fully-defaulted parameter values for one build, keyed like spec.params.
+using ResolvedParams = std::map<std::string, double>;
+
+struct MetricFamily {
+  std::string key;
+  std::string help;
+  std::vector<ParamSpec> params;
+  /// Must be deterministic in (spec.n, spec.seed, params) and may round
+  /// spec.n up to the family's natural granularity (the caller reads the
+  /// effective count off the returned metric).
+  std::function<std::unique_ptr<MetricSpace>(const ScenarioSpec& spec,
+                                             const ResolvedParams& params)>
+      make;
+};
+
+class MetricRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in families
+  /// (geoline, uniline, ring, clustered, euclid, grid, geograph, cliques,
+  /// torus). New families registered here are visible to every consumer.
+  static MetricRegistry& global();
+
+  /// Registry with only the built-ins (for tests that must not see — or
+  /// pollute — global registrations).
+  MetricRegistry();
+
+  /// Throws if the key is empty or already registered.
+  void register_family(MetricFamily family);
+
+  bool has(const std::string& key) const;
+
+  /// Throws ron::Error listing the known keys when `key` is unknown.
+  const MetricFamily& family(const std::string& key) const;
+
+  /// All families, sorted by key.
+  std::vector<const MetricFamily*> families() const;
+
+  /// Validates spec.params against the family table (unknown key /
+  /// out-of-range value throw with the offending token) and fills defaults.
+  ResolvedParams resolve_params(const ScenarioSpec& spec) const;
+
+  /// resolve_params + the family factory, with the shared n range check.
+  std::unique_ptr<MetricSpace> make(const ScenarioSpec& spec) const;
+
+ private:
+  std::map<std::string, MetricFamily> families_;
+};
+
+}  // namespace ron

@@ -1,0 +1,60 @@
+#include "scenario/scenario_builder.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+ScenarioBuilder::ScenarioBuilder(const ScenarioSpec& spec,
+                                 unsigned num_threads,
+                                 const MetricRegistry& registry)
+    : spec_(spec) {
+  metric_ = registry.make(spec_);
+  spec_.n = metric_->n();  // canonical: families may round n up
+  prox_ = std::make_unique<ProximityIndex>(*metric_, num_threads);
+}
+
+const NeighborSystem& ScenarioBuilder::neighbor_system() {
+  if (sys_ == nullptr) {
+    sys_ = std::make_unique<NeighborSystem>(*prox_, spec_.delta);
+  }
+  return *sys_;
+}
+
+const DistanceLabeling& ScenarioBuilder::labeling() {
+  if (labeling_ == nullptr) {
+    labeling_ = std::make_unique<DistanceLabeling>(neighbor_system());
+  }
+  return *labeling_;
+}
+
+DistanceLabeling ScenarioBuilder::take_labeling() {
+  labeling();  // ensure built
+  DistanceLabeling out = std::move(*labeling_);
+  labeling_.reset();
+  return out;
+}
+
+const LocationOverlay& ScenarioBuilder::overlay() {
+  if (overlay_ == nullptr) {
+    overlay_ = std::make_unique<LocationOverlay>(*prox_, spec_.ring_params(),
+                                                 spec_.overlay_seed);
+  }
+  return *overlay_;
+}
+
+ObjectDirectory ScenarioBuilder::make_directory(std::size_t objects,
+                                                std::size_t replicas,
+                                                std::uint64_t seed) const {
+  RON_CHECK(objects >= 1, "scenario: directory needs >= 1 object");
+  ObjectDirectory dir(prox_->n());
+  Rng rng(seed);
+  for (std::size_t k = 0; k < objects; ++k) {
+    dir.publish_random("obj" + std::to_string(k), replicas, rng);
+  }
+  return dir;
+}
+
+}  // namespace ron

@@ -297,14 +297,15 @@ TEST(SnapshotDirectory, RoundTripIsLossless) {
   dir.declare("empty");  // zero holders must survive the round trip
   Rng rng(13);
   dir.publish_random("gamma", 5, rng);
-  const LocationMeta meta{"geoline", 20, 3, 7};
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("metric=geoline,n=20,seed=3,overlay_seed=7");
   TempFile file("dir");
-  save_directory(meta, dir, file.path());
+  save_directory(spec, dir, file.path());
 
   const SnapshotInfo info = inspect_snapshot(file.path());
   EXPECT_EQ(info.kind, SnapshotKind::kObjectDirectory);
   const LoadedDirectory loaded = load_directory(file.path());
-  EXPECT_EQ(loaded.meta, meta);
+  EXPECT_EQ(loaded.spec, spec);
   ASSERT_EQ(loaded.directory.n(), dir.n());
   ASSERT_EQ(loaded.directory.num_objects(), dir.num_objects());
   EXPECT_EQ(loaded.directory.total_replicas(), dir.total_replicas());
@@ -316,21 +317,22 @@ TEST(SnapshotDirectory, RoundTripIsLossless) {
   }
 }
 
-TEST(SnapshotDirectory, MismatchedMetaRejectedOnSave) {
+TEST(SnapshotDirectory, MismatchedSpecRejectedOnSave) {
   ObjectDirectory dir(10);
   dir.publish("a", 0);
   TempFile file("dirbad");
-  EXPECT_THROW(save_directory(LocationMeta{"geoline", 11, 0, 0}, dir,
-                              file.path()),
-               Error);
+  EXPECT_THROW(
+      save_directory(ScenarioSpec::parse("metric=geoline,n=11,seed=0"), dir,
+                     file.path()),
+      Error);
 }
 
 TEST(SnapshotDirectory, WrongKindRejected) {
-  LocationMeta meta{"geoline", 4, 0, 0};
+  const ScenarioSpec spec = ScenarioSpec::parse("metric=geoline,n=4,seed=0");
   ObjectDirectory dir(4);
   dir.publish("a", 2);
   TempFile file("dirkind");
-  save_directory(meta, dir, file.path());
+  save_directory(spec, dir, file.path());
   EXPECT_THROW(load_labeling(file.path()), Error);
   EXPECT_THROW(load_oracle(file.path()), Error);
 }

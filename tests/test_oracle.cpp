@@ -118,6 +118,16 @@ struct LabelingFixture {
   DistanceLabeling dls;
 };
 
+ObjectDirectory make_directory(std::size_t n) {
+  ObjectDirectory dir(n);
+  Rng rng(29);
+  for (std::size_t k = 0; k < 6; ++k) {
+    dir.publish_random("obj" + std::to_string(k), 1 + k % 3, rng);
+  }
+  dir.declare("unpublished");
+  return dir;
+}
+
 // --- round trips -----------------------------------------------------------
 
 TEST(SnapshotRings, RoundTripIsLossless) {
@@ -195,19 +205,120 @@ TEST(SnapshotLabeling, RoundTripEstimatesAreBitIdentical) {
   }
 }
 
-TEST(SnapshotOracle, BundleRoundTripsMetaAndLabels) {
+/// The spec the LabelingFixture's metric corresponds to (n = 48, seed 23).
+ScenarioSpec fixture_spec() {
+  return ScenarioSpec::parse("metric=euclid,n=48,seed=23");
+}
+
+TEST(SnapshotOracle, BundleRoundTripsSpecAndLabels) {
   LabelingFixture fx;
   TempFile file("oracle");
-  const OracleMeta meta{"euclid-48", fx.dls.n(), 23, 0.25};
-  save_oracle(meta, fx.dls, file.path());
+  const ScenarioSpec spec = fixture_spec();
+  save_oracle(spec, "euclid-48", fx.dls, file.path());
   const SnapshotInfo info = inspect_snapshot(file.path());
   EXPECT_EQ(info.kind, SnapshotKind::kOracle);
   EXPECT_EQ(info.version, kSnapshotVersion);
   const LoadedOracle loaded = load_oracle(file.path());
-  EXPECT_EQ(loaded.meta, meta);
+  EXPECT_EQ(loaded.spec, spec);
+  EXPECT_EQ(loaded.metric_name, "euclid-48");
   for (NodeId u = 0; u < fx.dls.n(); ++u) {
     EXPECT_EQ(loaded.labeling.label(u), fx.dls.label(u));
   }
+}
+
+TEST(SnapshotOracle, V1WriterGateRoundTripsWithoutFamily) {
+  // The v1 format cannot carry a family; the gate accepts only a
+  // family-less spec (see RefusesLossyV1Saves), and writing through it
+  // preserves n/seed/delta and the display name, with the file actually
+  // version 1 on disk.
+  LabelingFixture fx;
+  TempFile file("oracle_v1");
+  ScenarioSpec spec;  // no family: exactly what a v1 oracle can express
+  spec.n = fx.dls.n();
+  spec.seed = 23;
+  save_oracle(spec, "euclid-48", fx.dls, file.path(), kSnapshotVersionV1);
+  SnapshotInfo info;
+  const LoadedOracle loaded = load_oracle(file.path(), &info);
+  EXPECT_EQ(info.version, kSnapshotVersionV1);
+  EXPECT_TRUE(loaded.spec.family.empty());
+  EXPECT_EQ(loaded.spec.n, fx.dls.n());
+  EXPECT_EQ(loaded.spec.seed, 23u);
+  EXPECT_EQ(loaded.spec.delta, 0.25);
+  EXPECT_EQ(loaded.metric_name, "euclid-48");
+}
+
+TEST(SnapshotSpec, RefusesLossyV1Saves) {
+  // The v1 writer gate must throw — not silently drop — when the spec
+  // carries fields the legacy format cannot represent. A dropped ring
+  // profile would make a downgraded directory's locate rebuild the wrong
+  // overlay with no error anywhere.
+  LabelingFixture fx;
+  TempFile file("v1_lossy");
+  // rings/labeling v1 carry no recipe at all: any named family is loss.
+  EXPECT_THROW(save_rings(make_rings(48), file.path(), fixture_spec(),
+                          kSnapshotVersionV1),
+               Error);
+  EXPECT_THROW(save_labeling(fx.dls, file.path(), fixture_spec(),
+                             kSnapshotVersionV1),
+               Error);
+  // oracle v1 keeps n/seed/delta but not the family.
+  EXPECT_THROW(save_oracle(fixture_spec(), "euclid-48", fx.dls, file.path(),
+                           kSnapshotVersionV1),
+               Error);
+  // directory v1 keeps family/n/seed/overlay_seed but not the ring profile
+  // or family params.
+  ScenarioSpec foil =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3,with_x=0");
+  EXPECT_THROW(
+      save_directory(foil, make_directory(32), file.path(),
+                     kSnapshotVersionV1),
+      Error);
+  ScenarioSpec with_param =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3,base=1.25");
+  EXPECT_THROW(
+      save_directory(with_param, make_directory(32), file.path(),
+                     kSnapshotVersionV1),
+      Error);
+  // ...while the representable subset still writes v1 bytes fine.
+  save_directory(ScenarioSpec::parse("metric=geoline,n=32,seed=3"),
+                 make_directory(32), file.path(), kSnapshotVersionV1);
+  EXPECT_EQ(inspect_snapshot(file.path()).version, kSnapshotVersionV1);
+}
+
+TEST(SnapshotSpec, EmbeddedSpecComesBackFromEveryKind) {
+  // The tentpole invariant: all snapshot kinds carry the scenario. (The
+  // oracle/directory kinds are covered by their bundle tests above/below.)
+  LabelingFixture fx;
+  const ScenarioSpec spec = fixture_spec();
+  TempFile rings_file("spec_rings");
+  save_rings(make_rings(48), rings_file.path(), spec);
+  ScenarioSpec got;
+  load_rings(rings_file.path(), &got);
+  EXPECT_EQ(got, spec);
+  TempFile nsys_file("spec_nsys");
+  save_neighbor_system(fx.sys, nsys_file.path(), spec);
+  got = ScenarioSpec{};
+  load_neighbor_system(nsys_file.path(), &got);
+  EXPECT_EQ(got, spec);
+  TempFile lab_file("spec_labeling");
+  save_labeling(fx.dls, lab_file.path(), spec);
+  got = ScenarioSpec{};
+  SnapshotInfo info;
+  load_labeling(lab_file.path(), &got, &info);
+  EXPECT_EQ(got, spec);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+}
+
+TEST(SnapshotSpec, MismatchedSpecNRejectedOnSave) {
+  // A named family makes the spec a real recipe; its n must match the
+  // artifact (empty-family specs are provenance-free and exempt).
+  const RingsOfNeighbors rings = make_rings(8);
+  TempFile file("spec_mismatch");
+  EXPECT_THROW(
+      save_rings(rings, file.path(),
+                 ScenarioSpec::parse("metric=geoline,n=9,seed=1")),
+      Error);
+  save_rings(rings, file.path());  // empty family, default n: fine
 }
 
 // --- corruption robustness: the random-mutation fuzzer ---------------------
@@ -220,16 +331,6 @@ TEST(SnapshotOracle, BundleRoundTripsMetaAndLabels) {
 // never crash, hang or load garbage. The suite runs under ASan/UBSan in CI,
 // so out-of-bounds parses surface even when they would not misbehave here.
 
-ObjectDirectory make_directory(std::size_t n) {
-  ObjectDirectory dir(n);
-  Rng rng(29);
-  for (std::size_t k = 0; k < 6; ++k) {
-    dir.publish_random("obj" + std::to_string(k), 1 + k % 3, rng);
-  }
-  dir.declare("unpublished");
-  return dir;
-}
-
 /// One fuzz target: a valid snapshot file of one kind plus the loader the
 /// serving path would use for it.
 struct FuzzTarget {
@@ -239,25 +340,36 @@ struct FuzzTarget {
 };
 
 std::vector<FuzzTarget> fuzz_targets(const LabelingFixture& fx) {
+  // Every target saves with a non-empty embedded spec (v2), so the fuzzer
+  // also mutates the spec prefix and its parser's validation paths.
+  const ScenarioSpec spec24 =
+      ScenarioSpec::parse("metric=geoline,n=24,seed=3,base=1.25");
+  const ScenarioSpec spec32 =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3,overlay_seed=7");
   return {
-      {"rings", [](const std::string& p) { save_rings(make_rings(24), p); },
+      {"rings",
+       [spec24](const std::string& p) {
+         save_rings(make_rings(24), p, spec24);
+       },
        [](const std::string& p) { load_rings(p); }},
       {"neighbor_system",
-       [&fx](const std::string& p) { save_neighbor_system(fx.sys, p); },
+       [&fx](const std::string& p) {
+         save_neighbor_system(fx.sys, p, fixture_spec());
+       },
        [](const std::string& p) { load_neighbor_system(p); }},
       {"labeling",
-       [&fx](const std::string& p) { save_labeling(fx.dls, p); },
+       [&fx](const std::string& p) {
+         save_labeling(fx.dls, p, fixture_spec());
+       },
        [](const std::string& p) { load_labeling(p); }},
       {"oracle",
        [&fx](const std::string& p) {
-         save_oracle(OracleMeta{"euclid-48", fx.dls.n(), 23, 0.25}, fx.dls,
-                     p);
+         save_oracle(fixture_spec(), "euclid-48", fx.dls, p);
        },
        [](const std::string& p) { load_oracle(p); }},
       {"directory",
-       [](const std::string& p) {
-         save_directory(LocationMeta{"geoline", 32, 3, 7},
-                        make_directory(32), p);
+       [spec32](const std::string& p) {
+         save_directory(spec32, make_directory(32), p);
        },
        [](const std::string& p) { load_directory(p); }},
   };
@@ -363,6 +475,37 @@ TEST(SnapshotCorruption, UnsupportedVersionRejected) {
   EXPECT_THROW(load_labeling(file.path()), Error);
 }
 
+TEST(SnapshotCorruption, VersionDowngradeFlipRejected) {
+  // A v2 file whose version field is flipped to 1 must NOT be parsed as a
+  // v1 payload: the v2 checksum domain includes the version field, so the
+  // flip is caught before any payload parsing. One target per kind.
+  LabelingFixture fx;
+  const auto flip_version_to_v1 = [](const std::string& path) {
+    std::vector<char> bytes = slurp(path);
+    bytes[8] = 1;  // version field follows the 8-byte magic
+    dump(path, bytes);
+  };
+  for (const FuzzTarget& target : fuzz_targets(fx)) {
+    TempFile file(std::string("downgrade_") + target.name);
+    target.save(file.path());
+    flip_version_to_v1(file.path());
+    EXPECT_THROW(target.load(file.path()), Error) << target.name;
+  }
+}
+
+TEST(SnapshotCorruption, KindRelabelFlipRejected) {
+  // Same idea for the kind field: relabeling a v2 rings file as a labeling
+  // section fails the checksum even before the kind gate (in v1 the gate
+  // alone had to catch it — and still does, see WrongKindRejected).
+  TempFile file("kindflip");
+  save_rings(make_rings(8), file.path());
+  std::vector<char> bytes = slurp(file.path());
+  bytes[12] = 3;  // kind field: kRings -> kDistanceLabeling
+  dump(file.path(), bytes);
+  EXPECT_THROW(inspect_snapshot(file.path()), Error);
+  EXPECT_THROW(load_labeling(file.path()), Error);
+}
+
 TEST(SnapshotCorruption, TrailingGarbageRejected) {
   LabelingFixture fx;
   TempFile file("trailing");
@@ -406,7 +549,24 @@ RingsOfNeighbors golden_rings() {
   return rings;
 }
 
-LocationMeta golden_directory_meta() { return {"geoline", 10, 3, 7}; }
+/// The spec a loaded v1 directory fixture must synthesize (the old
+/// LocationMeta {"geoline", 10, 3, 7} translated field by field).
+ScenarioSpec golden_directory_spec_v1() {
+  return ScenarioSpec::parse("metric=geoline,n=10,seed=3,overlay_seed=7");
+}
+
+/// v2 fixture specs exercise every spec wire field: non-default delta,
+/// ring factors, the Y-only flag and a family parameter (exact binary
+/// doubles, so the fixtures are platform-independent).
+ScenarioSpec golden_rings_spec_v2() {
+  return ScenarioSpec::parse("metric=geoline,n=6,seed=3,base=1.25");
+}
+
+ScenarioSpec golden_directory_spec_v2() {
+  return ScenarioSpec::parse(
+      "metric=geoline,n=10,seed=3,delta=0.375,overlay_seed=7,c_x=3,c_y=1.5,"
+      "with_x=0,base=1.25");
+}
 
 ObjectDirectory golden_directory() {
   ObjectDirectory dir(10);
@@ -420,20 +580,7 @@ std::string golden_path(const std::string& file) {
   return std::string(RON_TEST_DATA_DIR) + "/" + file;
 }
 
-/// Writes the fixture files when RON_REGEN_GOLDEN is set (a maintenance
-/// mode, skipped in normal runs).
-bool maybe_regen_golden() {
-  if (std::getenv("RON_REGEN_GOLDEN") == nullptr) return false;
-  save_rings(golden_rings(), golden_path("golden_rings_v1.snapshot"));
-  save_directory(golden_directory_meta(), golden_directory(),
-                 golden_path("golden_directory_v1.snapshot"));
-  return true;
-}
-
-TEST(GoldenSnapshot, RingsFixtureLoadsAndResavesBitIdentically) {
-  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
-  const std::string path = golden_path("golden_rings_v1.snapshot");
-  const RingsOfNeighbors loaded = load_rings(path);
+void check_golden_rings(const RingsOfNeighbors& loaded) {
   const RingsOfNeighbors want = golden_rings();
   ASSERT_EQ(loaded.n(), want.n());
   for (NodeId u = 0; u < want.n(); ++u) {
@@ -442,31 +589,95 @@ TEST(GoldenSnapshot, RingsFixtureLoadsAndResavesBitIdentically) {
     ASSERT_EQ(a.size(), b.size()) << "node " << u;
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
   }
-  TempFile resaved("golden_rings");
-  save_rings(loaded, resaved.path());
-  EXPECT_EQ(slurp(resaved.path()), slurp(path))
-      << "serialization is no longer canonical for the v1 rings fixture";
 }
 
-TEST(GoldenSnapshot, DirectoryFixtureLoadsAndResavesBitIdentically) {
-  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
-  const std::string path = golden_path("golden_directory_v1.snapshot");
-  const LoadedDirectory loaded = load_directory(path);
-  EXPECT_EQ(loaded.meta, golden_directory_meta());
+void check_golden_directory(const ObjectDirectory& loaded) {
   const ObjectDirectory want = golden_directory();
-  ASSERT_EQ(loaded.directory.n(), want.n());
-  ASSERT_EQ(loaded.directory.num_objects(), want.num_objects());
+  ASSERT_EQ(loaded.n(), want.n());
+  ASSERT_EQ(loaded.num_objects(), want.num_objects());
   for (ObjectId obj = 0; obj < want.num_objects(); ++obj) {
-    EXPECT_EQ(loaded.directory.name(obj), want.name(obj));
+    EXPECT_EQ(loaded.name(obj), want.name(obj));
     const auto a = want.holders(obj);
-    const auto b = loaded.directory.holders(obj);
+    const auto b = loaded.holders(obj);
     EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
         << "object " << want.name(obj);
   }
-  TempFile resaved("golden_dir");
-  save_directory(loaded.meta, loaded.directory, resaved.path());
+}
+
+/// Writes the fixture files when RON_REGEN_GOLDEN is set (a maintenance
+/// mode, skipped in normal runs). The v1 files go through the version gate,
+/// so regeneration can never silently upgrade them.
+bool maybe_regen_golden() {
+  if (std::getenv("RON_REGEN_GOLDEN") == nullptr) return false;
+  save_rings(golden_rings(), golden_path("golden_rings_v1.snapshot"),
+             ScenarioSpec{}, kSnapshotVersionV1);
+  save_directory(golden_directory_spec_v1(), golden_directory(),
+                 golden_path("golden_directory_v1.snapshot"),
+                 kSnapshotVersionV1);
+  save_rings(golden_rings(), golden_path("golden_rings_v2.snapshot"),
+             golden_rings_spec_v2());
+  save_directory(golden_directory_spec_v2(), golden_directory(),
+                 golden_path("golden_directory_v2.snapshot"));
+  return true;
+}
+
+TEST(GoldenSnapshot, RingsV1LoadsAndResavesBitIdenticallyThroughGate) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_rings_v1.snapshot");
+  ScenarioSpec spec;
+  SnapshotInfo info;
+  const RingsOfNeighbors loaded = load_rings(path, &spec, &info);
+  EXPECT_EQ(info.version, kSnapshotVersionV1);
+  EXPECT_TRUE(spec.family.empty()) << "v1 rings carry no recipe";
+  check_golden_rings(loaded);
+  TempFile resaved("golden_rings");
+  save_rings(loaded, resaved.path(), ScenarioSpec{}, kSnapshotVersionV1);
   EXPECT_EQ(slurp(resaved.path()), slurp(path))
-      << "serialization is no longer canonical for the v1 directory fixture";
+      << "the v1 writer gate no longer reproduces the v1 rings bytes";
+}
+
+TEST(GoldenSnapshot, DirectoryV1LoadsAndResavesBitIdenticallyThroughGate) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_directory_v1.snapshot");
+  SnapshotInfo info;
+  const LoadedDirectory loaded = load_directory(path, &info);
+  EXPECT_EQ(info.version, kSnapshotVersionV1);
+  EXPECT_EQ(loaded.spec, golden_directory_spec_v1());
+  check_golden_directory(loaded.directory);
+  TempFile resaved("golden_dir");
+  save_directory(loaded.spec, loaded.directory, resaved.path(),
+                 kSnapshotVersionV1);
+  EXPECT_EQ(slurp(resaved.path()), slurp(path))
+      << "the v1 writer gate no longer reproduces the v1 directory bytes";
+}
+
+TEST(GoldenSnapshot, RingsV2LoadsAndResavesBitIdentically) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_rings_v2.snapshot");
+  ScenarioSpec spec;
+  SnapshotInfo info;
+  const RingsOfNeighbors loaded = load_rings(path, &spec, &info);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(spec, golden_rings_spec_v2());
+  check_golden_rings(loaded);
+  TempFile resaved("golden_rings_v2");
+  save_rings(loaded, resaved.path(), spec);
+  EXPECT_EQ(slurp(resaved.path()), slurp(path))
+      << "serialization is no longer canonical for the v2 rings fixture";
+}
+
+TEST(GoldenSnapshot, DirectoryV2LoadsAndResavesBitIdentically) {
+  if (maybe_regen_golden()) GTEST_SKIP() << "regenerated fixtures";
+  const std::string path = golden_path("golden_directory_v2.snapshot");
+  SnapshotInfo info;
+  const LoadedDirectory loaded = load_directory(path, &info);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(loaded.spec, golden_directory_spec_v2());
+  check_golden_directory(loaded.directory);
+  TempFile resaved("golden_dir_v2");
+  save_directory(loaded.spec, loaded.directory, resaved.path());
+  EXPECT_EQ(slurp(resaved.path()), slurp(path))
+      << "serialization is no longer canonical for the v2 directory fixture";
 }
 
 // --- engine ----------------------------------------------------------------
@@ -622,8 +833,7 @@ TEST(EngineErrors, WorkerExceptionSurfacesAsError) {
 
 TEST_F(EngineTest, ServesLoadedSnapshotIdenticallyToBuilder) {
   TempFile file("engine");
-  const OracleMeta meta{"euclid-48", fx_.dls.n(), 23, 0.25};
-  save_oracle(meta, fx_.dls, file.path());
+  save_oracle(fixture_spec(), "euclid-48", fx_.dls, file.path());
   LoadedOracle loaded = load_oracle(file.path());
   OracleEngine built(fx_.dls, OracleOptions{2, 0});
   OracleEngine served(std::move(loaded.labeling), OracleOptions{2, 0});

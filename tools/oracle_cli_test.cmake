@@ -21,11 +21,14 @@ function(run_step)
 endfunction()
 
 run_step(${ORACLE_EXE} build --out ${snapshot}
-  --metric euclid --n 64 --seed 5 --delta 0.25)
+  --scenario "metric=euclid,n=64,seed=5")
 
 run_step(${ORACLE_EXE} info ${snapshot})
 if(NOT step_stdout MATCHES "checksum .* \\(verified\\)")
   message(FATAL_ERROR "info did not report a verified checksum:\n${step_stdout}")
+endif()
+if(NOT step_stdout MATCHES "scenario: metric=euclid,n=64,seed=5")
+  message(FATAL_ERROR "info did not print the embedded spec:\n${step_stdout}")
 endif()
 
 # Space-separated pair list: semicolons are CMake list separators and would
@@ -47,8 +50,9 @@ endif()
 # exit status asserts that; run_step turns a violation into a failure).
 foreach(metric geoline clustered euclid)
   set(dir_snapshot "${WORK_DIR}/oracle_cli_dir_${metric}.ron")
-  run_step(${ORACLE_EXE} publish --out ${dir_snapshot} --metric ${metric}
-    --n 96 --seed 5 --overlay-seed 11 --objects 8 --replicas 3)
+  run_step(${ORACLE_EXE} publish --out ${dir_snapshot}
+    --scenario "metric=${metric},n=96,seed=5,overlay_seed=11"
+    --objects 8 --replicas 3)
 
   run_step(${ORACLE_EXE} info ${dir_snapshot})
   if(NOT step_stdout MATCHES "object directory: 8 objects")

@@ -1,25 +1,35 @@
-// ron_oracle — build, inspect and serve distance-oracle snapshots.
+// ron_oracle — build, inspect and serve scenario snapshots.
 //
-// The end-to-end serving paths of the oracle subsystem in one binary:
+// Every subcommand that needs a construction takes the same uniform
+// `--scenario "metric=FAMILY,n=N,seed=S,..."` spec (the grammar is printed
+// by --help and documented in README.md); the spec is embedded in every
+// snapshot it writes, so `info` can print it back and `locate` can rebuild
+// the exact metric and overlay from the file alone:
 //
-//   ron_oracle build --out cloud.ron --metric clustered --n 256 --delta 0.25
+//   ron_oracle build --scenario "metric=clustered,n=256" --out cloud.ron
+//   ron_oracle build --scenario "metric=torus,n=100" --kind rings --out r.ron
 //   ron_oracle info cloud.ron
 //   ron_oracle query cloud.ron --pairs "0,5;12,200;7,7"
 //   ron_oracle bench cloud.ron --queries 200000 --threads 8
-//   ron_oracle publish --out dir.ron --metric geoline --n 256 --objects 16
+//   ron_oracle bench --scenario "metric=euclid,n=128" --queries 50000
+//   ron_oracle publish --scenario "metric=geoline,n=256" --out dir.ron
 //   ron_oracle locate dir.ron --from "0;9" --object obj3
 //
-// `build` runs generator -> ProximityIndex -> NeighborSystem ->
-// DistanceLabeling and snapshots the result; `query`/`bench` never touch
-// the metric again — they answer purely from the snapshot, which is the
-// point of the paper's labelings. `publish` snapshots an object directory
-// together with its deterministic overlay recipe; `locate` replays the
-// recipe (generators are pure functions of kind/n/seed) and serves greedy
-// ring-walk lookups through the engine's worker pool.
+// `build` runs the ScenarioBuilder pipeline (metric -> proximity ->
+// neighbor system -> labeling, or the Theorem 5.2(a) overlay) and snapshots
+// any artifact kind; `query`/`bench FILE` never touch the metric again —
+// they answer purely from the snapshot, which is the point of the paper's
+// labelings. `publish` snapshots an object directory together with its
+// scenario recipe; `locate` replays the recipe (builders are pure functions
+// of the spec) and serves greedy ring-walk lookups through the engine's
+// worker pool.
+//
+// Exit codes: 0 success, 1 runtime failure (ron::Error), 2 usage error
+// (unknown subcommand, unknown or malformed flag — usage is printed).
 #include <algorithm>
 #include <charconv>
 #include <cstdint>
-#include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <span>
@@ -29,39 +39,61 @@
 
 #include "common/check.h"
 #include "common/rng.h"
-#include "graph/generators.h"
-#include "graph/graph_metric.h"
-#include "labeling/neighbor_system.h"
 #include "location/location_service.h"
 #include "location/object_directory.h"
-#include "metric/clustered.h"
-#include "metric/euclidean.h"
-#include "metric/line_metrics.h"
-#include "metric/proximity.h"
 #include "oracle/engine.h"
 #include "oracle/snapshot.h"
+#include "scenario/metric_registry.h"
+#include "scenario/scenario_builder.h"
 
 namespace ron {
 namespace {
 
+/// Malformed command line (vs a runtime Error): main prints usage and
+/// exits 2.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
 int usage(std::ostream& os) {
   os << "usage:\n"
-        "  ron_oracle build --out FILE [--metric clustered|euclid|geoline|"
-        "grid]\n"
-        "                   [--n N] [--seed S] [--delta D]\n"
+        "  ron_oracle build --scenario SPEC --out FILE\n"
+        "                   [--kind oracle|rings|labeling|neighbor-system|"
+        "directory]\n"
+        "                   [--objects K] [--replicas R] [--threads T]\n"
         "  ron_oracle info FILE\n"
         "  ron_oracle query FILE --pairs \"u,v;u,v;...\" [--threads T] "
         "[--cache C]\n"
-        "  ron_oracle bench FILE [--queries Q] [--batch B] [--threads T] "
-        "[--cache C]\n"
-        "  ron_oracle publish --out FILE [--metric KIND] [--n N] [--seed S]\n"
-        "                     [--overlay-seed O] [--objects K] "
+        "  ron_oracle bench (FILE | --scenario SPEC) [--queries Q] "
+        "[--batch B]\n"
+        "                   [--threads T] [--cache C] [--seed S]\n"
+        "  ron_oracle publish --scenario SPEC --out FILE [--objects K] "
         "[--replicas R]\n"
         "                     [--object NAME --holders \"u,v,...\"]\n"
         "  ron_oracle locate FILE (--object NAME --from \"u;u;...\" | "
         "--queries Q)\n"
-        "                    [--threads T] [--cache C] [--max-hops H] "
-        "[--seed S]\n";
+        "                    [--scenario SPEC] [--threads T] [--cache C]\n"
+        "                    [--max-hops H] [--seed S]\n"
+        "\n"
+        "scenario spec grammar (key=value, comma separated):\n"
+        "  metric=FAMILY (required), n=N, seed=S, delta=D, overlay_seed=O,\n"
+        "  c_x=CX, c_y=CY, with_x=0|1, plus per-family parameters\n"
+        "metric families:\n";
+  for (const MetricFamily* fam : MetricRegistry::global().families()) {
+    os << "  " << fam->key;
+    if (!fam->params.empty()) {
+      os << " (";
+      bool first = true;
+      for (const ParamSpec& p : fam->params) {
+        if (!first) os << ", ";
+        first = false;
+        os << p.key << "=" << p.dflt;
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
   return 2;
 }
 
@@ -82,29 +114,48 @@ NodeId parse_node(const std::string& s, const char* what) {
   return static_cast<NodeId>(v);
 }
 
-double parse_f64(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    RON_CHECK(pos == s.size(), "bad " << what << ": '" << s << "'");
-    return v;
-  } catch (const std::exception&) {
-    throw Error(std::string("bad ") + what + ": '" + s + "'");
-  }
-}
-
-/// "--flag value" option map over argv[first..).
+/// "--flag value" option map over argv[first..). Each subcommand declares
+/// its accepted flags and positional arity up front (expect_known /
+/// expect_positionals), so a typo'd flag is a usage error instead of being
+/// silently ignored.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
-        RON_CHECK(i + 1 < argc, "missing value for " << a);
-        flags_[a.substr(2)] = argv[++i];
+        if (i + 1 >= argc) {
+          throw UsageError("missing value for " + a);
+        }
+        const std::string key = a.substr(2);
+        if (key.empty() || flags_.count(key) > 0) {
+          throw UsageError(key.empty() ? "malformed flag '--'"
+                                       : "duplicate flag --" + key);
+        }
+        flags_[key] = argv[++i];
       } else {
         positional_.push_back(std::move(a));
       }
+    }
+  }
+
+  /// Throws UsageError for any flag outside `known`.
+  void expect_known(std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : flags_) {
+      bool ok = false;
+      for (const char* k : known) ok = ok || key == k;
+      if (!ok) {
+        throw UsageError("unknown flag --" + key);
+      }
+    }
+  }
+
+  /// Throws UsageError unless exactly `count` positionals were given.
+  void expect_positionals(std::size_t count, const char* what) const {
+    if (positional_.size() != count) {
+      throw UsageError(std::string("expected ") + what + ", got " +
+                       std::to_string(positional_.size()) +
+                       " positional argument(s)");
     }
   }
 
@@ -120,37 +171,21 @@ class Args {
   std::vector<std::string> positional_;
 };
 
-std::unique_ptr<MetricSpace> make_metric(const std::string& kind,
-                                         std::size_t n, std::uint64_t seed) {
-  RON_CHECK(n >= 4 && n <= 100000, "metric size n=" << n);
-  if (kind == "clustered") {
-    ClusteredParams p;
-    p.per_cluster = 16;
-    // Round up to whole clusters so the snapshot never has fewer nodes than
-    // the user asked for (the effective n is printed by `build`).
-    p.clusters = (n + p.per_cluster - 1) / p.per_cluster;
-    return std::make_unique<EuclideanMetric>(clustered_metric(p, seed));
+ScenarioSpec require_scenario(const Args& args, const char* cmd) {
+  if (!args.has("scenario")) {
+    throw UsageError(std::string(cmd) + ": --scenario SPEC is required");
   }
-  if (kind == "euclid") {
-    return std::make_unique<EuclideanMetric>(random_cube_metric(n, 2, seed));
-  }
-  if (kind == "geoline") {
-    return std::make_unique<GeometricLineMetric>(n, 1.3);
-  }
-  if (kind == "grid") {
-    std::size_t side = 1;
-    while (side * side < n) ++side;
-    auto g = grid_graph(side, side, /*perturb=*/0.3, seed);
-    return std::make_unique<GraphMetric>(g);
-  }
-  throw Error("unknown metric kind '" + kind +
-              "' (want clustered|euclid|geoline|grid)");
+  return ScenarioSpec::parse(args.get("scenario", ""));
+}
+
+unsigned thread_count(const Args& args) {
+  return static_cast<unsigned>(parse_u64(args.get("threads", "1"),
+                                         "--threads"));
 }
 
 OracleOptions engine_options(const Args& args) {
   OracleOptions opts;
-  opts.num_threads = static_cast<unsigned>(
-      parse_u64(args.get("threads", "1"), "--threads"));
+  opts.num_threads = thread_count(args);
   opts.cache_capacity = static_cast<std::size_t>(
       parse_u64(args.get("cache", "0"), "--cache"));
   return opts;
@@ -170,34 +205,118 @@ void print_label_stats(std::ostream& os, const DistanceLabeling& dls) {
      << dls.codec().bits() << " b\n";
 }
 
-int cmd_build(const Args& args) {
-  RON_CHECK(args.has("out"), "build: --out FILE is required");
-  const std::string out = args.get("out", "");
-  const std::string kind = args.get("metric", "clustered");
-  const std::size_t n =
-      static_cast<std::size_t>(parse_u64(args.get("n", "256"), "--n"));
-  const std::uint64_t seed = parse_u64(args.get("seed", "1"), "--seed");
-  const double delta = parse_f64(args.get("delta", "0.25"), "--delta");
+void print_scenario_line(std::ostream& os, const ScenarioSpec& spec) {
+  if (spec.family.empty()) {
+    os << "  scenario: (none — v1 snapshot without an embedded recipe)\n";
+  } else {
+    os << "  scenario: " << spec.to_string() << "\n";
+  }
+}
 
-  auto metric = make_metric(kind, n, seed);
-  std::cout << "building oracle over " << metric->name()
-            << " (n = " << metric->n() << ", delta = " << delta << ")\n";
-  ProximityIndex prox(*metric);
-  NeighborSystem sys(prox, delta);
-  DistanceLabeling dls(sys);
-
-  OracleMeta meta;
-  meta.metric_name = metric->name();
-  meta.n = dls.n();
-  meta.seed = seed;
-  meta.delta = delta;
-  save_oracle(meta, dls, out);
-
+void print_wrote(const std::string& out) {
   const SnapshotInfo info = inspect_snapshot(out);
-  std::cout << "wrote " << out << " (" << info.payload_bytes
-            << " payload bytes, checksum " << std::hex << info.checksum
-            << std::dec << ")\n";
-  print_label_stats(std::cout, dls);
+  std::cout << "wrote " << out << " (format v" << info.version << ", "
+            << info.payload_bytes << " payload bytes, checksum " << std::hex
+            << info.checksum << std::dec << ")\n";
+}
+
+/// "v;v;..." (or ','/space separated) list of node ids.
+std::vector<NodeId> parse_node_list(const std::string& spec,
+                                    const char* what) {
+  std::vector<NodeId> values;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    if (spec[pos] == ',' || spec[pos] == ';' || spec[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = spec.find_first_of(",; ", pos);
+    if (end == std::string::npos) end = spec.size();
+    values.push_back(parse_node(spec.substr(pos, end - pos), what));
+    pos = end;
+  }
+  RON_CHECK(!values.empty(), "empty " << what << " list");
+  return values;
+}
+
+ObjectDirectory build_directory(const ScenarioBuilder& builder,
+                                const Args& args) {
+  // Synthetic objects default to 16 — except when the user publishes an
+  // explicit --object, where silently adding obj0..obj15 would surprise.
+  const std::size_t objects = static_cast<std::size_t>(parse_u64(
+      args.get("objects", args.has("object") ? "0" : "16"), "--objects"));
+  const std::size_t replicas = static_cast<std::size_t>(
+      parse_u64(args.get("replicas", "3"), "--replicas"));
+  ObjectDirectory dir =
+      objects > 0 ? builder.make_directory(objects, replicas)
+                  : ObjectDirectory(builder.n());
+  if (args.has("object")) {
+    RON_CHECK(args.has("holders"),
+              "publish: --object requires --holders \"u,v,...\"");
+    const std::string name = args.get("object", "");
+    RON_CHECK(dir.find(name) == kInvalidObject,
+              "publish: --object '" << name << "' collides with a synthetic "
+              "object name (objN); pick another name or --objects 0");
+    for (NodeId v : parse_node_list(args.get("holders", ""),
+                                    "--holders node")) {
+      dir.publish(name, v);
+    }
+  }
+  RON_CHECK(dir.num_objects() > 0, "publish: nothing to publish "
+                                   "(--objects 0 and no --object)");
+  return dir;
+}
+
+int cmd_build(const Args& args) {
+  args.expect_known({"scenario", "out", "kind", "objects", "replicas",
+                     "threads"});
+  args.expect_positionals(0, "no positional arguments for build");
+  if (!args.has("out")) throw UsageError("build: --out FILE is required");
+  const std::string out = args.get("out", "");
+  const std::string kind = args.get("kind", "oracle");
+  if (kind != "directory") {
+    // The hardening contract: no flag is ever silently ignored.
+    for (const char* flag : {"objects", "replicas"}) {
+      if (args.has(flag)) {
+        throw UsageError(std::string("build: --") + flag +
+                         " only applies to --kind directory");
+      }
+    }
+  }
+  ScenarioBuilder builder(require_scenario(args, "build"),
+                          thread_count(args));
+  const ScenarioSpec& spec = builder.spec();
+  std::cout << "building " << kind << " over " << builder.metric().name()
+            << "\n  scenario: " << spec.to_string() << "\n";
+
+  if (kind == "oracle") {
+    save_oracle(spec, builder.metric().name(), builder.labeling(), out);
+    print_wrote(out);
+    print_label_stats(std::cout, builder.labeling());
+  } else if (kind == "labeling") {
+    save_labeling(builder.labeling(), out, spec);
+    print_wrote(out);
+    print_label_stats(std::cout, builder.labeling());
+  } else if (kind == "neighbor-system") {
+    save_neighbor_system(builder.neighbor_system(), out, spec);
+    print_wrote(out);
+  } else if (kind == "rings") {
+    save_rings(builder.rings(), out, spec);
+    print_wrote(out);
+    std::cout << "  rings: n = " << builder.rings().n()
+              << ", max out-degree " << builder.rings().max_out_degree()
+              << "\n";
+  } else if (kind == "directory") {
+    const ObjectDirectory dir = build_directory(builder, args);
+    save_directory(spec, dir, out);
+    print_wrote(out);
+    std::cout << "  directory: " << dir.num_objects() << " objects, "
+              << dir.total_replicas() << " replicas\n";
+  } else {
+    throw UsageError("build: unknown --kind '" + kind +
+                     "' (want oracle|rings|labeling|neighbor-system|"
+                     "directory)");
+  }
   return 0;
 }
 
@@ -209,35 +328,66 @@ void print_snapshot_header(const std::string& path, const SnapshotInfo& info) {
 }
 
 int cmd_info(const Args& args) {
-  RON_CHECK(args.positional().size() == 1, "info: exactly one snapshot file");
+  args.expect_known({});
+  args.expect_positionals(1, "info: exactly one snapshot file");
   const std::string path = args.positional()[0];
   // Header peek picks the path so each case does ONE full read; the
-  // follow-up inspect/load performs the real validation.
+  // follow-up load performs the real validation.
   const std::uint32_t kind = peek_snapshot_kind(path);
-  if (kind == static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory)) {
-    SnapshotInfo info;
-    const LoadedDirectory dir = load_directory(path, &info);
-    print_snapshot_header(path, info);
-    std::cout << "  object directory: " << dir.directory.num_objects()
-              << " objects, " << dir.directory.total_replicas()
-              << " replicas\n  overlay recipe: " << dir.meta.metric_kind
-              << " (n = " << dir.meta.n << ", metric seed = "
-              << dir.meta.metric_seed << ", overlay seed = "
-              << dir.meta.overlay_seed << ")\n";
-    return 0;
-  }
-  if (kind != static_cast<std::uint32_t>(SnapshotKind::kOracle)) {
-    print_snapshot_header(path, inspect_snapshot(path));
-    return 0;
-  }
   SnapshotInfo info;
-  const LoadedOracle oracle = load_oracle(path, &info);
-  print_snapshot_header(path, info);
-  std::cout << "  built from: " << oracle.meta.metric_name
-            << " (n = " << oracle.meta.n << ", seed = " << oracle.meta.seed
-            << ", delta = " << oracle.meta.delta << ")\n";
-  print_label_stats(std::cout, oracle.labeling);
-  return 0;
+  ScenarioSpec spec;
+  switch (static_cast<SnapshotKind>(kind)) {
+    case SnapshotKind::kObjectDirectory: {
+      const LoadedDirectory dir = load_directory(path, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, dir.spec);
+      std::cout << "  object directory: " << dir.directory.num_objects()
+                << " objects, " << dir.directory.total_replicas()
+                << " replicas over n = " << dir.directory.n() << "\n";
+      return 0;
+    }
+    case SnapshotKind::kOracle: {
+      const LoadedOracle oracle = load_oracle(path, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, oracle.spec);
+      std::cout << "  built from: " << oracle.metric_name
+                << " (n = " << oracle.spec.n << ", seed = "
+                << oracle.spec.seed << ", delta = " << oracle.spec.delta
+                << ")\n";
+      print_label_stats(std::cout, oracle.labeling);
+      return 0;
+    }
+    case SnapshotKind::kRings: {
+      const RingsOfNeighbors rings = load_rings(path, &spec, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, spec);
+      std::cout << "  rings: n = " << rings.n() << ", max out-degree "
+                << rings.max_out_degree() << "\n";
+      return 0;
+    }
+    case SnapshotKind::kDistanceLabeling: {
+      const DistanceLabeling dls = load_labeling(path, &spec, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, spec);
+      print_label_stats(std::cout, dls);
+      return 0;
+    }
+    case SnapshotKind::kNeighborSystem: {
+      const NeighborSystemSnapshot sys =
+          load_neighbor_system(path, &spec, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, spec);
+      std::cout << "  neighbor system: n = " << sys.n() << ", delta = "
+                << sys.delta() << ", levels = " << sys.num_levels()
+                << ", z-scales = " << sys.num_z_scales() << "\n";
+      return 0;
+    }
+    default:
+      // Not a known kind from the peek: run the full validation for the
+      // real error message (bad magic, truncation, ...).
+      print_snapshot_header(path, inspect_snapshot(path));
+      return 0;
+  }
 }
 
 /// "u,v;u,v" (spaces also accepted as pair separators).
@@ -264,9 +414,11 @@ std::vector<QueryPair> parse_pairs(const std::string& spec) {
 }
 
 int cmd_query(const Args& args) {
-  RON_CHECK(args.positional().size() == 1,
-            "query: exactly one snapshot file");
-  RON_CHECK(args.has("pairs"), "query: --pairs \"u,v;u,v\" is required");
+  args.expect_known({"pairs", "threads", "cache"});
+  args.expect_positionals(1, "query: exactly one snapshot file");
+  if (!args.has("pairs")) {
+    throw UsageError("query: --pairs \"u,v;u,v\" is required");
+  }
   LoadedOracle oracle = load_oracle(args.positional()[0]);
   OracleEngine engine(std::move(oracle.labeling), engine_options(args));
   const std::vector<QueryPair> pairs = parse_pairs(args.get("pairs", ""));
@@ -284,16 +436,34 @@ int cmd_query(const Args& args) {
 }
 
 int cmd_bench(const Args& args) {
-  RON_CHECK(args.positional().size() == 1,
-            "bench: exactly one snapshot file");
-  LoadedOracle oracle = load_oracle(args.positional()[0]);
+  args.expect_known({"scenario", "queries", "batch", "threads", "cache",
+                     "seed"});
+  const bool from_spec = args.has("scenario");
+  if (from_spec) {
+    args.expect_positionals(0, "bench --scenario: no snapshot file");
+  } else {
+    args.expect_positionals(1,
+                            "bench: one snapshot file (or --scenario SPEC)");
+  }
+  // Either serve a snapshot from disk or build the scenario in memory —
+  // the same engine path either way.
+  DistanceLabeling labeling = [&] {
+    if (from_spec) {
+      ScenarioBuilder builder(require_scenario(args, "bench"),
+                              thread_count(args));
+      std::cout << "# built in-memory scenario: "
+                << builder.spec().to_string() << "\n";
+      return builder.take_labeling();
+    }
+    return load_oracle(args.positional()[0]).labeling;
+  }();
   const std::size_t queries = static_cast<std::size_t>(
       parse_u64(args.get("queries", "100000"), "--queries"));
   const std::size_t batch = static_cast<std::size_t>(
       parse_u64(args.get("batch", "8192"), "--batch"));
   RON_CHECK(batch >= 1, "--batch must be >= 1");
-  const std::size_t n = oracle.labeling.n();
-  OracleEngine engine(std::move(oracle.labeling), engine_options(args));
+  const std::size_t n = labeling.n();
+  OracleEngine engine(std::move(labeling), engine_options(args));
 
   Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
   std::size_t done = 0;
@@ -318,98 +488,42 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
-/// "v,v,..." (or ';'/space separated) list of u64 values.
-std::vector<std::uint64_t> parse_u64_list(const std::string& spec,
-                                          const char* what) {
-  std::vector<std::uint64_t> values;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    if (spec[pos] == ',' || spec[pos] == ';' || spec[pos] == ' ') {
-      ++pos;
-      continue;
-    }
-    std::size_t end = spec.find_first_of(",; ", pos);
-    if (end == std::string::npos) end = spec.size();
-    values.push_back(parse_u64(spec.substr(pos, end - pos), what));
-    pos = end;
-  }
-  RON_CHECK(!values.empty(), "empty " << what << " list");
-  return values;
-}
-
 int cmd_publish(const Args& args) {
-  RON_CHECK(args.has("out"), "publish: --out FILE is required");
+  args.expect_known({"scenario", "out", "objects", "replicas", "object",
+                     "holders", "threads"});
+  args.expect_positionals(0, "no positional arguments for publish");
+  if (!args.has("out")) throw UsageError("publish: --out FILE is required");
   const std::string out = args.get("out", "");
-  const std::string kind = args.get("metric", "clustered");
-  const std::size_t want_n =
-      static_cast<std::size_t>(parse_u64(args.get("n", "256"), "--n"));
-  const std::uint64_t seed = parse_u64(args.get("seed", "1"), "--seed");
-  const std::uint64_t overlay_seed =
-      parse_u64(args.get("overlay-seed", "7"), "--overlay-seed");
-  // Synthetic objects default to 16 — except when the user publishes an
-  // explicit --object, where silently adding obj0..obj15 would surprise.
-  const std::size_t objects = static_cast<std::size_t>(parse_u64(
-      args.get("objects", args.has("object") ? "0" : "16"), "--objects"));
-  const std::size_t replicas = static_cast<std::size_t>(
-      parse_u64(args.get("replicas", "3"), "--replicas"));
-
-  // The metric decides the effective n (clustered rounds up to whole
-  // clusters); the directory and the recipe both use that value so locate
-  // rebuilds the identical space.
-  auto metric = make_metric(kind, want_n, seed);
-  const std::size_t n = metric->n();
-  ObjectDirectory dir(n);
-  Rng rng(overlay_seed);
-  for (std::size_t k = 0; k < objects; ++k) {
-    dir.publish_random("obj" + std::to_string(k), replicas, rng);
-  }
-  if (args.has("object")) {
-    RON_CHECK(args.has("holders"),
-              "publish: --object requires --holders \"u,v,...\"");
-    const std::string name = args.get("object", "");
-    RON_CHECK(dir.find(name) == kInvalidObject,
-              "publish: --object '" << name << "' collides with a synthetic "
-              "object name (objN); pick another name or --objects 0");
-    for (std::uint64_t v :
-         parse_u64_list(args.get("holders", ""), "--holders node")) {
-      RON_CHECK(v < kInvalidNode, "bad --holders node: " << v
-                                      << " exceeds the node id range");
-      dir.publish(name, static_cast<NodeId>(v));
-    }
-  }
-  RON_CHECK(dir.num_objects() > 0, "publish: nothing to publish "
-                                   "(--objects 0 and no --object)");
-
-  LocationMeta meta;
-  meta.metric_kind = kind;
-  meta.n = n;
-  meta.metric_seed = seed;
-  meta.overlay_seed = overlay_seed;
-  save_directory(meta, dir, out);
-  const SnapshotInfo info = inspect_snapshot(out);
+  // The builder canonicalizes n (clustered rounds up to whole clusters
+  // etc.); the directory and the embedded recipe both use the effective
+  // count so locate rebuilds the identical space.
+  ScenarioBuilder builder(require_scenario(args, "publish"),
+                          thread_count(args));
+  const ObjectDirectory dir = build_directory(builder, args);
+  save_directory(builder.spec(), dir, out);
   std::cout << "published " << dir.num_objects() << " objects ("
-            << dir.total_replicas() << " replicas) over " << kind
-            << " n = " << n << "\nwrote " << out << " ("
-            << info.payload_bytes << " payload bytes, checksum " << std::hex
-            << info.checksum << std::dec << ")\n";
+            << dir.total_replicas() << " replicas)\n  scenario: "
+            << builder.spec().to_string() << "\n";
+  print_wrote(out);
   return 0;
 }
 
 int cmd_locate(const Args& args) {
-  RON_CHECK(args.positional().size() == 1,
-            "locate: exactly one directory snapshot file");
+  args.expect_known({"scenario", "object", "from", "queries", "threads",
+                     "cache", "max-hops", "seed"});
+  args.expect_positionals(1, "locate: exactly one directory snapshot file");
   const LoadedDirectory loaded = load_directory(args.positional()[0]);
-  const LocationMeta& meta = loaded.meta;
-  auto metric = make_metric(meta.metric_kind,
-                            static_cast<std::size_t>(meta.n),
-                            meta.metric_seed);
-  RON_CHECK(metric->n() == meta.n,
-            "locate: rebuilt metric has n = " << metric->n()
-                                              << ", snapshot recipe says "
-                                              << meta.n);
-  ProximityIndex prox(*metric);
-  LocationOverlay overlay(prox, RingsModelParams{}, meta.overlay_seed);
-  LocationService svc(prox, overlay.rings(), loaded.directory);
+  // The embedded recipe is the default; --scenario overrides it (e.g. to
+  // relocate the same directory over a different ring profile).
+  const ScenarioSpec spec = args.has("scenario")
+                                ? ScenarioSpec::parse(args.get("scenario", ""))
+                                : loaded.spec;
+  ScenarioBuilder builder(spec, thread_count(args));
+  RON_CHECK(builder.n() == loaded.directory.n(),
+            "locate: scenario rebuilds n = " << builder.n()
+                                             << ", snapshot directory has n = "
+                                             << loaded.directory.n());
+  LocationService svc(builder.prox(), builder.rings(), loaded.directory);
 
   LocateOptions locate_opts;
   locate_opts.max_hops = static_cast<std::size_t>(
@@ -424,15 +538,14 @@ int cmd_locate(const Args& args) {
     RON_CHECK(obj != kInvalidObject, "locate: object '"
                                          << args.get("object", "")
                                          << "' is not in the directory");
-    for (std::uint64_t u :
-         parse_u64_list(args.get("from", ""), "--from node")) {
-      RON_CHECK(u < kInvalidNode, "bad --from node: " << u
-                                      << " exceeds the node id range");
-      queries.emplace_back(static_cast<NodeId>(u), obj);
+    for (NodeId u : parse_node_list(args.get("from", ""), "--from node")) {
+      queries.emplace_back(u, obj);
     }
   } else {
-    RON_CHECK(args.has("queries"),
-              "locate: pass --object NAME --from \"u;...\" or --queries Q");
+    if (!args.has("queries")) {
+      throw UsageError(
+          "locate: pass --object NAME --from \"u;...\" or --queries Q");
+    }
     const std::size_t count = static_cast<std::size_t>(
         parse_u64(args.get("queries", "0"), "--queries"));
     RON_CHECK(count >= 1, "--queries must be >= 1");
@@ -479,6 +592,7 @@ int cmd_locate(const Args& args) {
 int run(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr);
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") return usage(std::cout), 0;
   Args args(argc, argv, 2);
   if (cmd == "build") return cmd_build(args);
   if (cmd == "info") return cmd_info(args);
@@ -486,9 +600,7 @@ int run(int argc, char** argv) {
   if (cmd == "bench") return cmd_bench(args);
   if (cmd == "publish") return cmd_publish(args);
   if (cmd == "locate") return cmd_locate(args);
-  if (cmd == "--help" || cmd == "help") return usage(std::cout);
-  std::cerr << "ron_oracle: unknown subcommand '" << cmd << "'\n";
-  return usage(std::cerr);
+  throw UsageError("unknown subcommand '" + cmd + "'");
 }
 
 }  // namespace
@@ -497,6 +609,9 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return ron::run(argc, argv);
+  } catch (const ron::UsageError& e) {
+    std::cerr << "ron_oracle: " << e.what() << "\n";
+    return ron::usage(std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "ron_oracle: " << e.what() << "\n";
     return 1;

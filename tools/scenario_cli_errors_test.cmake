@@ -1,0 +1,77 @@
+# CLI hardening contract: unknown subcommands and malformed flags must
+# print usage and exit nonzero (exit 2); runtime scenario errors (bad spec,
+# unknown family) must exit nonzero with the offending token in the
+# message. Pins the failure paths so they cannot regress to silently
+# ignored flags (the pre-redesign behavior).
+# Invoked by ctest as:
+#   cmake -DORACLE_EXE=<path> -DWORK_DIR=<dir> -P scenario_cli_errors_test.cmake
+if(NOT DEFINED ORACLE_EXE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "scenario_cli_errors_test.cmake: pass -DORACLE_EXE and -DWORK_DIR")
+endif()
+
+# expect_failure(<expected-rc> <want-usage TRUE|FALSE> <stderr-regex>
+#                <args...>): the command must exit with exactly
+# <expected-rc>, its stderr must match the regex, and the usage text must
+# (or must not) be printed.
+function(expect_failure want_rc want_usage want_err)
+  execute_process(
+    COMMAND ${ORACLE_EXE} ${ARGN}
+    OUTPUT_VARIABLE step_stdout
+    ERROR_VARIABLE step_stderr
+    RESULT_VARIABLE step_rc)
+  if(NOT step_rc EQUAL ${want_rc})
+    message(FATAL_ERROR "'ron_oracle ${ARGN}' exited ${step_rc}, expected "
+      "${want_rc}\nstderr: ${step_stderr}")
+  endif()
+  if(NOT step_stderr MATCHES "${want_err}")
+    message(FATAL_ERROR "'ron_oracle ${ARGN}' stderr did not match "
+      "'${want_err}':\n${step_stderr}")
+  endif()
+  if(want_usage AND NOT step_stderr MATCHES "usage:")
+    message(FATAL_ERROR "'ron_oracle ${ARGN}' did not print usage:\n"
+      "${step_stderr}")
+  endif()
+  if(NOT want_usage AND step_stderr MATCHES "usage:")
+    message(FATAL_ERROR "'ron_oracle ${ARGN}' dumped usage for a runtime "
+      "error:\n${step_stderr}")
+  endif()
+endfunction()
+
+# Usage errors (exit 2, usage text on stderr).
+expect_failure(2 TRUE "unknown subcommand 'frobnicate'" frobnicate)
+expect_failure(2 TRUE "unknown flag --bogus"
+  build --scenario "metric=euclid,n=32" --out "${WORK_DIR}/x.ron" --bogus v)
+expect_failure(2 TRUE "missing value for --out"
+  build --scenario "metric=euclid,n=32" --out)
+expect_failure(2 TRUE "--out FILE is required"
+  build --scenario "metric=euclid,n=32")
+expect_failure(2 TRUE "--scenario SPEC is required"
+  publish --out "${WORK_DIR}/x.ron")
+expect_failure(2 TRUE "unknown --kind 'sandwich'"
+  build --scenario "metric=euclid,n=32" --kind sandwich
+  --out "${WORK_DIR}/x.ron")
+expect_failure(2 TRUE "exactly one snapshot file" info)
+expect_failure(2 TRUE "--pairs .* is required" query "${WORK_DIR}/x.ron")
+expect_failure(2 TRUE "duplicate flag --n" build --n 4 --n 8)
+expect_failure(2 TRUE "--objects only applies to --kind directory"
+  build --scenario "metric=euclid,n=32" --kind oracle --objects 5
+  --out "${WORK_DIR}/x.ron")
+
+# Runtime scenario errors (exit 1, offending token named, no usage dump).
+expect_failure(1 FALSE "unknown metric family 'marshmallow'"
+  build --scenario "metric=marshmallow,n=32" --out "${WORK_DIR}/x.ron")
+expect_failure(1 FALSE "token 'n' is not key=value"
+  build --scenario "metric=euclid,n" --out "${WORK_DIR}/x.ron")
+expect_failure(1 FALSE "does not take parameter 'base'"
+  build --scenario "metric=euclid,n=32,base=1.5" --out "${WORK_DIR}/x.ron")
+expect_failure(1 FALSE "'base=9' out of range"
+  build --scenario "metric=geoline,n=32,base=9" --out "${WORK_DIR}/x.ron")
+expect_failure(1 FALSE "duplicate key 'n'"
+  build --scenario "metric=euclid,n=32,n=64" --out "${WORK_DIR}/x.ron")
+
+# An unreadable snapshot path is a runtime error, not a usage error.
+expect_failure(1 FALSE "cannot open" info "${WORK_DIR}/does_not_exist.ron")
+
+message(STATUS "ron_oracle failure paths all exit nonzero with the "
+  "expected diagnostics")
