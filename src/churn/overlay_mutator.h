@@ -1,0 +1,209 @@
+// OverlayMutator: incremental maintenance of the Theorem 5.2(a) overlay.
+//
+// Before this layer, every artifact the repo serves was a one-shot static
+// build: any node join/leave or object republish forced the whole
+// metric -> prox -> nets -> measure -> rings pipeline to rerun. The mutator
+// keeps the SAME universe metric (the ProximityIndex is immutable — churn
+// changes who participates, not where points live) and patches everything
+// derived from it locally around the touched node:
+//
+//   rings      leave(u) pulls u out of every ring that held it (via a
+//              maintained reverse index) and redraws one replacement per
+//              repaired ring with that ring's own policy, so ring
+//              populations keep their static-build density; u's own rings
+//              dissolve. join(u) redraws u's rings from the *active* balls
+//              (X-type: smallest ball with >= ceil(m/2^i) active nodes,
+//              m = live count; Y-type: measure-weighted ball of radius
+//              dmin*2^j) and pushes u into other nodes' rings with the
+//              probability the static sampler would have used, evicting a
+//              random member when a ring is at its sample budget so
+//              degrees stay bounded.
+//   nets       per-level membership is maintained exactly: removing a
+//              member promotes (greedily, nearest first) every active node
+//              it alone covered, which preserves both the covering radius
+//              and the >= spacing(l) packing per level. (The nesting chain
+//              G_l ⊆ G_{l-1} of the static hierarchy is NOT maintained —
+//              only per-level net properties, which is what the ring
+//              policies consume.)
+//   measure    the Theorem 1.3 doubling-measure weights are maintained by
+//              local mass transfer: a leaving node bequeaths its live mass
+//              to its nearest active neighbor, a joining node reclaims (up
+//              to) its static weight from its nearest active neighbor.
+//              Total mass is conserved exactly; the live weights are the
+//              conditional-measure heuristic the Y-ring sampler draws from.
+//   directory  leave(u) auto-unpublishes every copy held at u (a departed
+//              node cannot serve replicas); publish/unpublish apply
+//              strictly, and zero-holder objects are a defined state.
+//
+// Rebuild equivalence is of GUARANTEES, not bits: after any valid trace the
+// maintained overlay must still deliver every locate within
+// location_hop_bound(n) at route stretch < 2*hops, with degrees within a
+// constant factor of a fresh static build — the churn test shard soaks
+// exactly that, per metric family. (A distributional-identity claim would
+// require re-running the global sampler, i.e. a rebuild.)
+//
+// Determinism: all maintenance randomness comes from one Rng seeded with
+// the spec's churn_seed, drawn in strict op order — replaying the same
+// trace through a fresh mutator reproduces the same overlay bit-for-bit,
+// which is what lets a ChurnTrace travel in snapshots as a recipe.
+//
+// Serving: the mutator itself is single-threaded working state. commit()
+// freezes the current state into an immutable LocationEpoch (rings +
+// directory copies + a LocationService over them) that OracleEngine::apply
+// swaps in; in-flight batches keep the epoch they pinned.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "churn/churn_trace.h"
+#include "core/rings.h"
+#include "location/object_directory.h"
+#include "metric/proximity.h"
+#include "oracle/engine.h"
+#include "scenario/scenario_spec.h"
+#include "smallworld/rings_model.h"
+
+namespace ron {
+
+/// Maintenance work accounting (what "incremental" actually did).
+struct ChurnCounters {
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t publishes = 0;
+  std::size_t unpublishes = 0;
+  /// Replacement members redrawn after a removal left a ring short.
+  std::size_t ring_repairs = 0;
+  /// In-links pushed into other nodes' rings by join().
+  std::size_t inlink_inserts = 0;
+  /// Members evicted to respect a ring's sample budget.
+  std::size_t evictions = 0;
+  /// Net members promoted to repair covering after a member left.
+  std::size_t net_promotions = 0;
+};
+
+class OverlayMutator {
+ public:
+  /// Builds the static Theorem 5.2(a) overlay for `spec` over `prox`
+  /// (bit-identical to ScenarioBuilder's: nets over [log Δ] -> doubling
+  /// measure -> X+Y rings with spec.ring_params() and spec.overlay_seed)
+  /// and takes ownership of the publish state. `prox` is borrowed and must
+  /// outlive the mutator and every epoch it commits.
+  OverlayMutator(const ProximityIndex& prox, const ScenarioSpec& spec,
+                 ObjectDirectory initial);
+
+  std::size_t n() const { return prox_.n(); }
+  std::size_t active_count() const { return active_count_; }
+  bool is_active(NodeId u) const;
+  const ProximityIndex& prox() const { return prox_; }
+  const RingsOfNeighbors& rings() const { return rings_; }
+  const ObjectDirectory& directory() const { return directory_; }
+  const ChurnCounters& counters() const { return counters_; }
+
+  /// Live doubling-measure weight of u (0 for inactive nodes).
+  double weight(NodeId u) const;
+
+  /// Active members of the maintained level-l net, sorted by id.
+  std::span<const NodeId> net_members(int level) const;
+  int net_levels() const { return l_max_ + 1; }
+  Dist net_spacing(int level) const;
+
+  // --- mutations (strict: invalid ops throw ron::Error) ------------------
+
+  void join(NodeId u);
+  void leave(NodeId u);
+  void publish(const std::string& name, NodeId holder);
+  void unpublish(const std::string& name, NodeId holder);
+
+  /// Replays every op in order (trace.validate(n) first).
+  void apply(const ChurnTrace& trace);
+
+  /// Freezes the current state into an immutable serving epoch (epoch ids
+  /// increase monotonically per mutator, starting at 1).
+  std::shared_ptr<const LocationEpoch> commit();
+
+  /// Test hook: full O(n^2)-ish consistency audit — ring members are
+  /// active/sorted/unique and degree accounting exact, the reverse index
+  /// covers every in-link, net levels keep covering+packing over the
+  /// active set, measure mass is conserved and positive exactly on active
+  /// nodes, and directory holders are active. Throws ron::Error on any
+  /// violation.
+  void check_invariants() const;
+
+ private:
+  bool ring_is_x(std::size_t ring_index) const;
+  int x_level(std::size_t ring_index) const;
+  int y_scale(std::size_t ring_index) const;
+  Dist y_radius(int scale) const;
+  std::size_t ring_budget(std::size_t ring_index) const;
+  std::size_t rings_per_node() const { return rings_per_node_; }
+
+  NodeId nearest_active(NodeId u) const;  // excluding u itself
+  /// Active prefix of u's distance-sorted row up to the smallest active
+  /// ball of >= k nodes (u itself included).
+  void active_level_ball(NodeId u, int level, std::vector<NodeId>& out) const;
+  void active_radius_ball(NodeId u, Dist radius, std::vector<NodeId>& nodes,
+                          std::vector<double>& weights) const;
+
+  /// One fresh draw by the ring's policy (kInvalidNode if the active ball
+  /// is empty beyond u itself).
+  NodeId draw_one(NodeId u, std::size_t ring_index);
+  /// Redraws u's `ring_index`-th ring wholesale (join path).
+  void resample_own_ring(NodeId u, std::size_t ring_index);
+  /// Redraws one replacement into (v, ring_index) after a removal.
+  void repair_ring(NodeId v, std::size_t ring_index);
+  /// Inserts u into other nodes' rings with static-sampler probabilities.
+  void push_inlinks(NodeId u);
+  /// Membership insert that respects the ring budget by evicting a random
+  /// member first; returns false if u was already a member.
+  bool ring_add_with_budget(NodeId v, std::size_t ring_index, NodeId u);
+
+  bool ring_add(NodeId v, std::size_t ring_index, NodeId w);
+  void maybe_compact_inlinks(NodeId w);
+
+  void net_leave(NodeId u);
+  void net_join(NodeId u);
+  bool net_covered(int level, NodeId w) const;
+
+  const ProximityIndex& prox_;
+  RingsModelParams params_;
+  std::size_t x_samples_ = 0;  // per X ring, fixed from the universe size
+  std::size_t y_samples_ = 0;  // per Y ring
+  std::size_t rings_per_node_ = 0;
+  int l_max_ = 0;
+
+  RingsOfNeighbors rings_;
+  ObjectDirectory directory_;
+  std::vector<char> active_;
+  std::size_t active_count_ = 0;
+
+  std::vector<double> weights_;   // live (maintained) measure
+  std::vector<double> weights0_;  // static Theorem 1.3 measure, for rejoin
+
+  std::vector<std::vector<NodeId>> net_members_;  // per level, sorted
+  std::vector<std::vector<char>> net_is_member_;
+
+  // Reverse index: inlinks_[u] lists (v, ring_index) pairs whose ring may
+  // hold u. Entries are appended on insert and left stale on removal
+  // (consumers re-validate against rings_, and the list is compacted when
+  // it outgrows its high-water mark) — eager erasure would make every
+  // eviction O(in-degree).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> inlinks_;
+  std::vector<std::size_t> inlinks_compact_at_;
+
+  // Sampler scratch buffers (the mutator is single-threaded working state;
+  // reusing them keeps per-op allocations off the hot path).
+  std::vector<NodeId> scratch_nodes_;
+  std::vector<double> scratch_weights_;
+  std::vector<NodeId> scratch_push_;
+
+  Rng rng_;
+  std::uint64_t next_epoch_id_ = 1;
+  ChurnCounters counters_;
+};
+
+}  // namespace ron

@@ -1,0 +1,193 @@
+#include "churn/trace_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ron {
+
+namespace {
+
+/// The generator's private mirror of the state the ops will traverse.
+struct Mirror {
+  std::size_t n = 0;
+  std::vector<char> active;
+  std::size_t active_count = 0;
+  std::vector<std::string> names;                 // trace object table
+  std::vector<std::vector<NodeId>> holders;       // per object, sorted
+  std::size_t total_replicas = 0;
+
+  void remove_holder(std::size_t obj, NodeId v) {
+    auto& hs = holders[obj];
+    const auto pos = std::lower_bound(hs.begin(), hs.end(), v);
+    if (pos != hs.end() && *pos == v) {
+      hs.erase(pos);
+      --total_replicas;
+    }
+  }
+};
+
+NodeId pick_active(const Mirror& m, Rng& rng) {
+  while (true) {
+    const NodeId u = static_cast<NodeId>(rng.index(m.n));
+    if (m.active[u]) return u;
+  }
+}
+
+NodeId pick_inactive(const Mirror& m, Rng& rng) {
+  // The inactive fraction can be tiny; scan from a random start instead of
+  // rejection-sampling a potentially 1-in-n event.
+  const std::size_t start = rng.index(m.n);
+  for (std::size_t off = 0; off < m.n; ++off) {
+    const NodeId u = static_cast<NodeId>((start + off) % m.n);
+    if (!m.active[u]) return u;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+ChurnTrace generate_churn_trace(const OverlayMutator& state,
+                                const ChurnTraceParams& params,
+                                std::uint64_t seed) {
+  RON_CHECK(params.ops >= 1, "churn generator: ops must be >= 1");
+  RON_CHECK(params.p_join >= 0 && params.p_leave >= 0 &&
+                params.p_publish >= 0 && params.p_unpublish >= 0,
+            "churn generator: negative op weight");
+  const double weight_sum = params.p_join + params.p_leave +
+                            params.p_publish + params.p_unpublish;
+  RON_CHECK(weight_sum > 0, "churn generator: all op weights zero");
+  RON_CHECK(params.min_active_fraction > 0.0 &&
+                params.min_active_fraction <= 1.0,
+            "churn generator: min_active_fraction outside (0, 1]");
+
+  Mirror m;
+  m.n = state.n();
+  m.active.resize(m.n);
+  for (NodeId u = 0; u < m.n; ++u) {
+    m.active[u] = state.is_active(u) ? 1 : 0;
+    if (m.active[u]) ++m.active_count;
+  }
+  const ObjectDirectory& dir = state.directory();
+  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
+    m.names.push_back(dir.name(obj));
+    const auto hs = dir.holders(obj);
+    m.holders.emplace_back(hs.begin(), hs.end());
+    m.total_replicas += hs.size();
+  }
+
+  const double active_floor =
+      params.min_active_fraction * static_cast<double>(m.n);
+  std::size_t created = 0;
+
+  Rng rng(seed);
+  ChurnTrace trace;
+  trace.objects = m.names;
+
+  const auto try_join = [&]() -> bool {
+    const NodeId u = pick_inactive(m, rng);
+    if (u == kInvalidNode) return false;
+    m.active[u] = 1;
+    ++m.active_count;
+    trace.ops.push_back({ChurnOpKind::kJoin, u, kInvalidObject});
+    return true;
+  };
+
+  const auto try_leave = [&]() -> bool {
+    if (static_cast<double>(m.active_count) - 1.0 < active_floor) {
+      return false;
+    }
+    const NodeId u = pick_active(m, rng);
+    m.active[u] = 0;
+    --m.active_count;
+    // Mirror the mutator's auto-unpublish of the departed node's copies.
+    for (std::size_t obj = 0; obj < m.holders.size(); ++obj) {
+      m.remove_holder(obj, u);
+    }
+    trace.ops.push_back({ChurnOpKind::kLeave, u, kInvalidObject});
+    return true;
+  };
+
+  const auto try_publish = [&]() -> bool {
+    // Occasionally grow the pool with a fresh name (always publishable).
+    std::size_t obj = m.names.size();
+    if (created < params.max_objects &&
+        (m.names.empty() || rng.bernoulli(0.15))) {
+      std::string name;
+      do {
+        name = "churn_obj" + std::to_string(created++);
+      } while (std::find(m.names.begin(), m.names.end(), name) !=
+               m.names.end());
+      m.names.push_back(name);
+      m.holders.emplace_back();
+      trace.objects.push_back(name);
+    } else if (m.names.empty()) {
+      return false;
+    } else {
+      obj = rng.index(m.names.size());
+    }
+    // A bounded hunt for an active non-holder of some object.
+    for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+      const std::size_t o = attempt == 0 ? obj : rng.index(m.names.size());
+      if (m.holders[o].size() >= m.active_count) continue;
+      for (std::size_t tries = 0; tries < 16; ++tries) {
+        const NodeId v = pick_active(m, rng);
+        auto& hs = m.holders[o];
+        const auto pos = std::lower_bound(hs.begin(), hs.end(), v);
+        if (pos != hs.end() && *pos == v) continue;
+        hs.insert(pos, v);
+        ++m.total_replicas;
+        trace.ops.push_back(
+            {ChurnOpKind::kPublish, v, static_cast<ObjectId>(o)});
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto try_unpublish = [&]() -> bool {
+    if (m.total_replicas == 0) return false;
+    // The r-th replica in object order — exact and deterministic.
+    std::size_t r = rng.index(m.total_replicas);
+    for (std::size_t obj = 0; obj < m.holders.size(); ++obj) {
+      if (r >= m.holders[obj].size()) {
+        r -= m.holders[obj].size();
+        continue;
+      }
+      const NodeId v = m.holders[obj][r];
+      m.remove_holder(obj, v);
+      trace.ops.push_back(
+          {ChurnOpKind::kUnpublish, v, static_cast<ObjectId>(obj)});
+      return true;
+    }
+    return false;
+  };
+
+  const double cum_join = params.p_join / weight_sum;
+  const double cum_leave = cum_join + params.p_leave / weight_sum;
+  const double cum_publish = cum_leave + params.p_publish / weight_sum;
+
+  while (trace.ops.size() < params.ops) {
+    const double r = rng.uniform();
+    const int want = r < cum_join ? 0 : r < cum_leave ? 1
+                     : r < cum_publish ? 2 : 3;
+    bool done = false;
+    for (int spin = 0; spin < 4 && !done; ++spin) {
+      switch ((want + spin) % 4) {
+        case 0: done = try_join(); break;
+        case 1: done = try_leave(); break;
+        case 2: done = try_publish(); break;
+        case 3: done = try_unpublish(); break;
+      }
+    }
+    RON_CHECK(done, "churn generator: no feasible operation (n="
+                        << m.n << ", active=" << m.active_count << ")");
+  }
+  trace.validate(m.n);
+  return trace;
+}
+
+}  // namespace ron

@@ -1,0 +1,42 @@
+// Seeded synthetic churn workloads over a live overlay state.
+//
+// The generator mirrors the mutator's strict op semantics while it builds
+// the trace (it tracks its own copy of the active set and the holder sets),
+// so every emitted op is valid by construction: it never leaves an inactive
+// node, never drains the overlay below the configured active floor, never
+// re-publishes an existing copy, and never unpublishes a copy that is not
+// there. Determinism: the trace is a pure function of (state, params, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "churn/churn_trace.h"
+#include "churn/overlay_mutator.h"
+
+namespace ron {
+
+struct ChurnTraceParams {
+  std::size_t ops = 1000;
+  /// Op mix (weights; renormalized, infeasible kinds fall through to a
+  /// feasible one so the trace always reaches `ops` operations).
+  double p_join = 0.25;
+  double p_leave = 0.25;
+  double p_publish = 0.3;
+  double p_unpublish = 0.2;
+  /// leave() is suppressed when it would drop the active set below this
+  /// fraction of the universe — the guarantees soak wants heavy churn, not
+  /// a dead overlay.
+  double min_active_fraction = 0.5;
+  /// Object-name pool cap: publishes target the initial directory's names
+  /// plus up to this many generator-created "churn_objK" names.
+  std::size_t max_objects = 32;
+};
+
+/// Builds a trace of params.ops valid operations against the CURRENT state
+/// of `state` (apply it to that same state — or to a bit-identical replay —
+/// for the ops to remain valid).
+ChurnTrace generate_churn_trace(const OverlayMutator& state,
+                                const ChurnTraceParams& params,
+                                std::uint64_t seed);
+
+}  // namespace ron

@@ -11,7 +11,11 @@ namespace ron {
 
 namespace {
 double sorted_percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  // An empty sample has no percentiles: returning a number here would let a
+  // bench with zero samples report a fabricated p99=0 in its JSON artifact.
+  // summarize() short-circuits before reaching this, so its zero Summary
+  // (count=0) stays the one honest empty representation.
+  RON_CHECK(!sorted.empty(), "percentile of an empty sample");
   const double pos = q * (static_cast<double>(sorted.size()) - 1.0);
   const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
@@ -37,6 +41,7 @@ Summary summarize(std::vector<double> values) {
 
 double percentile(std::vector<double> values, double q) {
   RON_CHECK(q >= 0.0 && q <= 1.0, "percentile: q in [0,1]");
+  RON_CHECK(!values.empty(), "percentile of an empty sample");
   std::sort(values.begin(), values.end());
   return sorted_percentile(values, q);
 }

@@ -19,10 +19,14 @@ struct Summary {
   std::string to_string(int precision = 3) const;
 };
 
-/// Summarize a sample (empty input yields a zero Summary).
+/// Summarize a sample. An empty input yields a zero Summary whose count=0
+/// is the honest marker — JSON consumers (bench/run_all.sh artifacts) must
+/// key off `count`, never off the zeroed percentile fields.
 Summary summarize(std::vector<double> values);
 
-/// Percentile by nearest-rank on a sorted copy; q in [0,1].
+/// Percentile by nearest-rank on a sorted copy; q in [0,1]. Throws
+/// ron::Error on an empty sample — there is no percentile to report, and
+/// silently returning 0.0 would fabricate a p99=0 in bench artifacts.
 double percentile(std::vector<double> values, double q);
 
 }  // namespace ron

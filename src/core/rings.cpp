@@ -32,6 +32,85 @@ void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
   rings_[u].push_back(std::move(ring));
 }
 
+Ring& RingsOfNeighbors::ring_at(NodeId u, std::size_t ring_index) {
+  RON_CHECK(u < rings_.size());
+  RON_CHECK(ring_index < rings_[u].size(),
+            "ring index " << ring_index << " out of range (node " << u
+                          << " has " << rings_[u].size() << " rings)");
+  return rings_[u][ring_index];
+}
+
+void RingsOfNeighbors::recompute_max_degree() {
+  max_degree_ = 0;
+  for (const auto& cache : neighbors_) {
+    max_degree_ = std::max(max_degree_, cache.size());
+  }
+}
+
+bool RingsOfNeighbors::add_member(NodeId u, std::size_t ring_index, NodeId v) {
+  RON_CHECK(v < rings_.size(), "ring member out of range");
+  Ring& ring = ring_at(u, ring_index);
+  const auto pos = std::lower_bound(ring.members.begin(), ring.members.end(),
+                                    v);
+  if (pos != ring.members.end() && *pos == v) return false;
+  ring.members.insert(pos, v);
+  std::vector<NodeId>& cache = neighbors_[u];
+  const auto cpos = std::lower_bound(cache.begin(), cache.end(), v);
+  if (cpos == cache.end() || *cpos != v) {
+    cache.insert(cpos, v);
+    ++total_degree_;
+    max_degree_ = std::max(max_degree_, cache.size());
+  }
+  return true;
+}
+
+bool RingsOfNeighbors::remove_member(NodeId u, std::size_t ring_index,
+                                     NodeId v) {
+  Ring& ring = ring_at(u, ring_index);
+  const auto pos = std::lower_bound(ring.members.begin(), ring.members.end(),
+                                    v);
+  if (pos == ring.members.end() || *pos != v) return false;
+  ring.members.erase(pos);
+  // The cache keeps v while any other ring of u still holds it.
+  for (const Ring& other : rings_[u]) {
+    if (std::binary_search(other.members.begin(), other.members.end(), v)) {
+      return true;
+    }
+  }
+  std::vector<NodeId>& cache = neighbors_[u];
+  const auto cpos = std::lower_bound(cache.begin(), cache.end(), v);
+  RON_CHECK(cpos != cache.end() && *cpos == v, "neighbor cache out of sync");
+  const bool was_max = cache.size() == max_degree_;
+  cache.erase(cpos);
+  --total_degree_;
+  if (was_max) recompute_max_degree();
+  return true;
+}
+
+void RingsOfNeighbors::clear_members(NodeId u) {
+  RON_CHECK(u < rings_.size());
+  for (Ring& ring : rings_[u]) ring.members.clear();
+  std::vector<NodeId>& cache = neighbors_[u];
+  const bool was_max = cache.size() == max_degree_;
+  total_degree_ -= cache.size();
+  cache.clear();
+  if (was_max) recompute_max_degree();
+}
+
+void RingsOfNeighbors::set_ring_scale(NodeId u, std::size_t ring_index,
+                                      double scale) {
+  ring_at(u, ring_index).scale = scale;
+}
+
+bool RingsOfNeighbors::ring_contains(NodeId u, std::size_t ring_index,
+                                     NodeId v) const {
+  RON_CHECK(u < rings_.size());
+  RON_CHECK(ring_index < rings_[u].size(),
+            "ring index " << ring_index << " out of range");
+  const std::vector<NodeId>& ms = rings_[u][ring_index].members;
+  return std::binary_search(ms.begin(), ms.end(), v);
+}
+
 std::span<const Ring> RingsOfNeighbors::rings(NodeId u) const {
   RON_CHECK(u < rings_.size());
   return rings_[u];

@@ -12,7 +12,11 @@
 //       the net points of a 2^i-net (the Y-type rings).
 //
 // RingsOfNeighbors is the shared container (with honest bit accounting);
-// the free functions below are the selection policies.
+// the free functions below are the selection policies. Rings are appended
+// by the static builders and *patched in place* by the churn subsystem
+// (src/churn/): add_member/remove_member/clear_members keep the per-node
+// neighbor caches and the degree accounting exact under mutation, which is
+// what makes incremental overlay maintenance possible without a rebuild.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +48,29 @@ class RingsOfNeighbors {
   /// Appends a ring to node u (members are deduped and sorted).
   void add_ring(NodeId u, Ring ring);
 
+  std::size_t num_rings(NodeId u) const { return rings(u).size(); }
+
+  /// Inserts v into u's `ring_index`-th ring, keeping the ring and the
+  /// neighbor cache sorted. Returns false (no-op) if v is already a member.
+  bool add_member(NodeId u, std::size_t ring_index, NodeId v);
+
+  /// Removes v from u's `ring_index`-th ring. Returns false (no-op) if v is
+  /// not a member. The neighbor cache drops v only when no other ring of u
+  /// still holds it; the degree maxima are re-derived when the removal
+  /// shrinks the current maximum.
+  bool remove_member(NodeId u, std::size_t ring_index, NodeId v);
+
+  /// Empties every ring of u (ring count and scale annotations are kept, so
+  /// ring indices stay meaningful for later re-population). Used when a
+  /// node leaves the overlay.
+  void clear_members(NodeId u);
+
+  bool ring_contains(NodeId u, std::size_t ring_index, NodeId v) const;
+
+  /// Updates the scale annotation of u's `ring_index`-th ring (the churn
+  /// layer re-derives it when it re-populates a cleared ring).
+  void set_ring_scale(NodeId u, std::size_t ring_index, double scale);
+
   std::span<const Ring> rings(NodeId u) const;
 
   /// Distinct neighbors of u across all rings, sorted by id. O(1): served
@@ -64,9 +91,15 @@ class RingsOfNeighbors {
   std::uint64_t pointer_bits(NodeId u) const;
 
  private:
+  Ring& ring_at(NodeId u, std::size_t ring_index);
+  /// O(n) re-derivation of max_degree_; only needed when a mutation shrinks
+  /// the node currently holding the maximum (growth keeps the max exact
+  /// incrementally).
+  void recompute_max_degree();
+
   std::vector<std::vector<Ring>> rings_;
-  // Accounting caches, updated by add_ring. Degrees only grow (rings are
-  // append-only), so the max never needs recomputation.
+  // Accounting caches, updated by every mutation (add_ring, add_member,
+  // remove_member, clear_members) so the degree views stay O(1).
   std::vector<std::vector<NodeId>> neighbors_;  // sorted-unique union per node
   std::size_t max_degree_ = 0;
   std::uint64_t total_degree_ = 0;

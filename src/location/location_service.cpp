@@ -35,8 +35,14 @@ LocateResult LocationService::locate(NodeId querier, ObjectId obj,
                                      const LocateOptions& opts) const {
   RON_CHECK(querier < n(), "locate: querier " << querier << " out of range");
   const std::span<const NodeId> holders = directory_.holders(obj);
+  // Zero-holder contract (see object_directory.h): a live name whose every
+  // copy was unpublished has no nearest copy to walk to. Churn makes this
+  // routine, so it throws with the object's name instead of returning a
+  // found=false that would masquerade as a routing failure.
+  RON_CHECK(!holders.empty(), "locate: object '" << directory_.name(obj)
+                                  << "' has zero holders (every copy "
+                                     "unpublished)");
   LocateResult r;
-  if (holders.empty()) return r;  // every copy unpublished: unreachable
 
   // The directory/prox layer resolves the target copy; the walk below is
   // the strongly local part and must reach it through ring contacts only.

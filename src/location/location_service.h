@@ -92,8 +92,9 @@ class LocationService {
   const ProximityIndex& prox() const { return prox_; }
 
   /// Walks from `querier` to the nearest copy of `obj`. Throws ron::Error
-  /// for out-of-range ids; an unreachable or unpublished-everywhere object
-  /// yields found = false.
+  /// for out-of-range ids and for a zero-holder object (naming it — see the
+  /// contract in object_directory.h); a walk that stalls or exhausts
+  /// max_hops yields found = false.
   LocateResult locate(NodeId querier, ObjectId obj,
                       const LocateOptions& opts = {}) const;
 

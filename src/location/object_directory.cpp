@@ -73,6 +73,21 @@ bool ObjectDirectory::unpublish(const std::string& name, NodeId holder) {
   return true;
 }
 
+std::size_t ObjectDirectory::unpublish_holder(NodeId holder) {
+  RON_CHECK(holder < n_, "ObjectDirectory: holder " << holder
+                             << " out of range (n=" << n_ << ")");
+  std::size_t removed = 0;
+  for (std::vector<NodeId>& hs : holders_) {
+    const auto pos = std::lower_bound(hs.begin(), hs.end(), holder);
+    if (pos != hs.end() && *pos == holder) {
+      hs.erase(pos);
+      ++removed;
+    }
+  }
+  total_replicas_ -= removed;
+  return removed;
+}
+
 std::size_t ObjectDirectory::unpublish_all(const std::string& name) {
   const ObjectId obj = find(name);
   if (obj == kInvalidObject) return 0;

@@ -12,6 +12,19 @@
 // across unpublish (slots are never reused within one directory's lifetime).
 // Holder sets are kept sorted and unique so membership checks are O(log k)
 // and snapshots are canonical (same publish history => identical bytes).
+//
+// Zero-holder contract: unpublish/unpublish_all/unpublish_holder may leave
+// a live name mapped to an EMPTY holder set, and churn makes that state
+// routine (every copy of an object can leave the network). The defined
+// behavior everywhere is:
+//   - the object stays resolvable: find()/name()/holders() keep working,
+//     holders() returns an empty span, num_objects() still counts it;
+//   - LocationService::locate throws ron::Error naming the object — there
+//     is no nearest copy to walk to, and silently returning "not found"
+//     would be indistinguishable from a routing failure;
+//   - snapshots round-trip the empty holder set bit-identically (the
+//     kObjectDirectory payload declares the name, then publishes each
+//     holder — zero holders is just a zero-length list).
 #pragma once
 
 #include <cstdint>
@@ -63,12 +76,18 @@ class ObjectDirectory {
                           Rng& rng);
 
   /// Removes the copy at `holder`; returns false if (name, holder) was not
-  /// published. An object may end up with zero holders — it stays resolvable
-  /// by id/name but locate() reports it unreachable.
+  /// published. An object may end up with zero holders — see the
+  /// zero-holder contract above (resolvable, locate throws, snapshots
+  /// round-trip).
   bool unpublish(const std::string& name, NodeId holder);
 
   /// Removes every copy of `name`; returns the number of copies removed.
   std::size_t unpublish_all(const std::string& name);
+
+  /// Removes every copy held AT `holder` across all objects; returns the
+  /// number of copies removed. This is the churn layer's leave(node) hook —
+  /// a departed node cannot keep serving replicas. O(num_objects log k).
+  std::size_t unpublish_holder(NodeId holder);
 
   /// Id of `name`, or kInvalidObject.
   ObjectId find(const std::string& name) const;

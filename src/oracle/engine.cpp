@@ -33,9 +33,12 @@ OracleEngine::OracleEngine(OracleOptions opts) {
           ? 0
           : std::max<std::size_t>(1, opts.cache_capacity / workers_);
   estimate_cache_.reserve(workers_);
+  locate_cache_.reserve(workers_);
   for (unsigned w = 0; w < workers_; ++w) {
     estimate_cache_.emplace_back(cache_capacity_per_shard_);
+    locate_cache_.emplace_back(cache_capacity_per_shard_);
   }
+  locate_cache_epoch_.assign(workers_, 0);
   shard_index_.resize(workers_);
   start_pool();
 }
@@ -51,6 +54,13 @@ OracleEngine::OracleEngine(const LocationService& svc, OracleOptions opts,
   attach_location(svc, locate_opts);
 }
 
+OracleEngine::OracleEngine(std::shared_ptr<const LocationEpoch> epoch,
+                           OracleOptions opts, LocateOptions locate_opts)
+    : OracleEngine(opts) {
+  locate_opts_ = locate_opts;
+  set_epoch(std::move(epoch), /*require_new_id=*/false);
+}
+
 OracleEngine::~OracleEngine() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -62,8 +72,9 @@ OracleEngine::~OracleEngine() {
 
 std::size_t OracleEngine::n() const {
   if (labeling_.has_value()) return labeling_->n();
-  RON_CHECK(location_ != nullptr, "OracleEngine: no snapshot state");
-  return location_->n();
+  const auto epoch = current_epoch();
+  RON_CHECK(epoch != nullptr, "OracleEngine: no snapshot state");
+  return epoch->service->n();
 }
 
 const DistanceLabeling& OracleEngine::labeling() const {
@@ -71,25 +82,58 @@ const DistanceLabeling& OracleEngine::labeling() const {
   return *labeling_;
 }
 
-void OracleEngine::attach_location(const LocationService& svc,
-                                   LocateOptions locate_opts) {
-  RON_CHECK(location_ == nullptr,
-            "OracleEngine: location service already attached");
-  RON_CHECK(!labeling_.has_value() || labeling_->n() == svc.n(),
+std::shared_ptr<const LocationEpoch> OracleEngine::current_epoch() const {
+  std::lock_guard<std::mutex> lk(epoch_mu_);
+  return epoch_;
+}
+
+void OracleEngine::set_epoch(std::shared_ptr<const LocationEpoch> epoch,
+                             bool require_new_id) {
+  RON_CHECK(epoch != nullptr && epoch->service != nullptr,
+            "OracleEngine: epoch must carry a location service");
+  RON_CHECK(!labeling_.has_value() || labeling_->n() == epoch->service->n(),
             "OracleEngine: labeling over " << labeling_->n()
                                            << " nodes, location over "
-                                           << svc.n());
-  location_ = &svc;
-  locate_opts_ = locate_opts;
-  locate_cache_.reserve(workers_);
-  for (unsigned w = 0; w < workers_; ++w) {
-    locate_cache_.emplace_back(cache_capacity_per_shard_);
+                                           << epoch->service->n());
+  std::lock_guard<std::mutex> lk(epoch_mu_);
+  if (epoch_ != nullptr) {
+    RON_CHECK(epoch_->service->n() == epoch->service->n(),
+              "OracleEngine: epoch over " << epoch->service->n()
+                                          << " nodes, serving "
+                                          << epoch_->service->n());
+    // Cache shards are invalidated by id comparison, and a worker's tag
+    // can hold ANY previously served id — so applied ids must strictly
+    // increase (not merely differ), or an id reused across sources (e.g.
+    // epochs from two different mutators, both of which number from 1)
+    // could silently serve the old epoch's cached results.
+    RON_CHECK(!require_new_id || epoch->id > epoch_->id,
+              "OracleEngine: epoch id " << epoch->id
+                                        << " must exceed the current epoch's "
+                                        << epoch_->id);
   }
+  epoch_ = std::move(epoch);
+}
+
+void OracleEngine::attach_location(const LocationService& svc,
+                                   LocateOptions locate_opts) {
+  RON_CHECK(current_epoch() == nullptr,
+            "OracleEngine: location service already attached");
+  locate_opts_ = locate_opts;
+  auto epoch = std::make_shared<LocationEpoch>();
+  // Non-owning: the legacy contract is that `svc` outlives the engine.
+  epoch->service = std::shared_ptr<const LocationService>(
+      std::shared_ptr<void>(), &svc);
+  set_epoch(std::move(epoch), /*require_new_id=*/false);
+}
+
+void OracleEngine::apply(std::shared_ptr<const LocationEpoch> epoch) {
+  set_epoch(std::move(epoch), /*require_new_id=*/true);
 }
 
 const LocationService& OracleEngine::location() const {
-  RON_CHECK(location_ != nullptr, "OracleEngine: no location service");
-  return *location_;
+  const auto epoch = current_epoch();
+  RON_CHECK(epoch != nullptr, "OracleEngine: no location service");
+  return *epoch->service;
 }
 
 void OracleEngine::start_pool() {
@@ -108,8 +152,9 @@ Dist OracleEngine::estimate(NodeId u, NodeId v) const {
 }
 
 LocateResult OracleEngine::locate(NodeId querier, ObjectId obj) const {
-  const LocationService& svc = location();
-  return svc.locate(querier, obj, locate_opts_);
+  const auto epoch = current_epoch();
+  RON_CHECK(epoch != nullptr, "OracleEngine: no location service");
+  return epoch->service->locate(querier, obj, locate_opts_);
 }
 
 void OracleEngine::worker_main(unsigned w) {
@@ -155,10 +200,18 @@ void OracleEngine::process_estimate_shard(unsigned w,
 }
 
 void OracleEngine::process_locate_shard(unsigned w,
+                                        const LocationEpoch& epoch,
                                         std::span<const LocateQuery> queries,
                                         std::vector<LocateResult>& results) {
-  const LocationService& svc = *location_;
+  const LocationService& svc = *epoch.service;
   LruShard<LocateResult>& cache = locate_cache_[w];
+  // Epoch boundary: this shard is only ever touched by worker w during a
+  // batch, so the lazy clear is race-free even when apply() swapped the
+  // epoch while a previous batch was in flight.
+  if (locate_cache_epoch_[w] != epoch.id) {
+    cache.clear();
+    locate_cache_epoch_[w] = epoch.id;
+  }
   for (std::uint32_t i : shard_index_[w]) {
     const auto [querier, obj] = queries[i];
     const std::uint64_t key = locate_key(querier, obj);
@@ -250,7 +303,11 @@ std::vector<Dist> OracleEngine::estimate_batch(
 
 std::vector<LocateResult> OracleEngine::locate_batch(
     std::span<const LocateQuery> queries) {
-  const LocationService& svc = location();
+  // Pin the epoch for the whole batch: validation and serving must see the
+  // same directory even if apply() swaps the epoch mid-batch.
+  const std::shared_ptr<const LocationEpoch> epoch = current_epoch();
+  RON_CHECK(epoch != nullptr, "OracleEngine: no location service");
+  const LocationService& svc = *epoch->service;
   RON_CHECK(queries.size() < (1ull << 32), "locate_batch: batch too large");
   const std::size_t objects = svc.directory().num_objects();
   for (const auto& [querier, obj] : queries) {
@@ -265,8 +322,8 @@ std::vector<LocateResult> OracleEngine::locate_batch(
 
   std::vector<LocateResult> results(queries.size());
   run_batch(queries.size(), [&](std::uint32_t i) { return queries[i].first; },
-            [this, queries, &results](unsigned w) {
-              process_locate_shard(w, queries, results);
+            [this, &epoch, queries, &results](unsigned w) {
+              process_locate_shard(w, *epoch, queries, results);
             });
   return results;
 }

@@ -22,24 +22,32 @@
 // time (the engine is the concurrency). Workers park on a condition variable
 // between batches and run whatever shard function the dispatcher published;
 // the pool is joined on destruction.
+//
+// Epochs: location state is served through LocationEpoch bundles. apply()
+// swaps the current epoch atomically (it may be called from a maintenance
+// thread while a batch is in flight): every batch pins the epoch pointer it
+// started with, so in-flight locate queries keep answering from the old
+// epoch, and each worker's locate LRU shard is cleared the first time that
+// worker serves the new epoch — a cached pre-mutation result is never
+// served across an epoch boundary.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "labeling/distance_labels.h"
 #include "location/location_service.h"
+#include "oracle/lru.h"
 
 namespace ron {
 
@@ -79,6 +87,22 @@ struct EngineTotals {
   std::size_t cache_hits = 0;
 };
 
+/// One immutable generation of location-serving state. The shared_ptrs keep
+/// the rings/directory alive exactly as long as any batch (or the engine)
+/// still points at this epoch; `service` must be built over those same
+/// objects (and over a ProximityIndex that outlives every epoch — epochs
+/// share the metric, churn only rewrites overlay and directory state).
+/// The churn subsystem's OverlayMutator::commit() is the canonical factory.
+struct LocationEpoch {
+  /// Monotonically increasing generation tag; apply() requires each
+  /// applied id to exceed the previous one so per-worker cache
+  /// invalidation can key off it.
+  std::uint64_t id = 0;
+  std::shared_ptr<const RingsOfNeighbors> rings;      // may be null (legacy)
+  std::shared_ptr<const ObjectDirectory> directory;   // may be null (legacy)
+  std::shared_ptr<const LocationService> service;     // required
+};
+
 class OracleEngine {
  public:
   /// Distance-estimate serving from a loaded labeling.
@@ -88,6 +112,11 @@ class OracleEngine {
   /// must outlive the engine). `locate_opts` is fixed per engine so cached
   /// results can never reflect a different walk configuration.
   OracleEngine(const LocationService& svc, OracleOptions opts,
+               LocateOptions locate_opts = {});
+
+  /// Locate-only serving from an owned epoch (the dynamic-overlay entry
+  /// point: OverlayMutator::commit() -> this -> apply() for later epochs).
+  OracleEngine(std::shared_ptr<const LocationEpoch> epoch, OracleOptions opts,
                LocateOptions locate_opts = {});
 
   ~OracleEngine();
@@ -106,11 +135,28 @@ class OracleEngine {
   /// Attaches an object-location service to an estimate-serving engine
   /// (borrowed; must outlive the engine, node count must match the
   /// labeling's). The service's directory must not be mutated while
-  /// attached — locate results are cached.
+  /// attached — locate results are cached. Internally this wraps `svc` in a
+  /// non-owning epoch with id 0; apply() can later swap it for owned ones.
   void attach_location(const LocationService& svc,
                        LocateOptions locate_opts = {});
-  bool has_location() const { return location_ != nullptr; }
+
+  /// Swaps the serving epoch. Requires a complete epoch (non-null service)
+  /// over the same node count, with an id STRICTLY GREATER than the current
+  /// epoch's (worker cache tags hold previously served ids, so a reused id
+  /// — e.g. from a second mutator numbering its own commits from 1 — could
+  /// match a stale tag). Safe to call from a maintenance thread while
+  /// batches run:
+  /// in-flight batches finish against the epoch they pinned at submission,
+  /// and each worker's locate cache shard is invalidated lazily when it
+  /// first serves the new epoch. The fixed locate_opts are kept.
+  void apply(std::shared_ptr<const LocationEpoch> epoch);
+
+  bool has_location() const { return current_epoch() != nullptr; }
   const LocationService& location() const;
+
+  /// The live epoch (null when no location state is attached). Batches pin
+  /// their own copy, so this is a peek, not a serving handle.
+  std::shared_ptr<const LocationEpoch> current_epoch() const;
 
   /// Single query (validated); computed inline, bypassing pool and cache.
   Dist estimate(NodeId u, NodeId v) const;
@@ -129,49 +175,6 @@ class OracleEngine {
   const EngineTotals& totals() const { return totals_; }
 
  private:
-  /// One worker's private slice of a result cache; classic list+map LRU.
-  template <typename Value>
-  class LruShard {
-   public:
-    explicit LruShard(std::size_t capacity) : capacity_(capacity) {}
-
-    bool enabled() const { return capacity_ > 0; }
-
-    bool get(std::uint64_t key, Value& out) {
-      auto it = map_.find(key);
-      if (it == map_.end()) return false;
-      order_.splice(order_.begin(), order_, it->second);  // refresh recency
-      out = it->second->second;
-      ++hits_;
-      return true;
-    }
-
-    void put(std::uint64_t key, Value value) {
-      auto it = map_.find(key);
-      if (it != map_.end()) {
-        order_.splice(order_.begin(), order_, it->second);
-        it->second->second = std::move(value);
-        return;
-      }
-      if (map_.size() >= capacity_) {
-        map_.erase(order_.back().first);
-        order_.pop_back();
-      }
-      order_.emplace_front(key, std::move(value));
-      map_.emplace(key, order_.begin());
-    }
-
-    std::size_t hits() const { return hits_; }
-    void reset_hits() { hits_ = 0; }
-
-   private:
-    using Order = std::list<std::pair<std::uint64_t, Value>>;
-    std::size_t capacity_;
-    std::size_t hits_ = 0;
-    Order order_;  // front = most recent
-    std::unordered_map<std::uint64_t, typename Order::iterator> map_;
-  };
-
   /// Estimates are symmetric, so their key is the unordered pair.
   static std::uint64_t pair_key(NodeId u, NodeId v) {
     const NodeId lo = u < v ? u : v;
@@ -186,7 +189,7 @@ class OracleEngine {
   }
 
   /// Pool/cache/shard setup shared by the public constructors; snapshot
-  /// state (labeling_ / location_) is attached afterwards by each of them.
+  /// state (labeling_ / epoch_) is attached afterwards by each of them.
   explicit OracleEngine(OracleOptions opts);
 
   void start_pool();
@@ -199,17 +202,27 @@ class OracleEngine {
                  const std::function<void(unsigned)>& shard_fn);
   void process_estimate_shard(unsigned w, std::span<const QueryPair> pairs,
                               std::vector<Dist>& results);
-  void process_locate_shard(unsigned w, std::span<const LocateQuery> queries,
+  void process_locate_shard(unsigned w, const LocationEpoch& epoch,
+                            std::span<const LocateQuery> queries,
                             std::vector<LocateResult>& results);
   std::size_t cache_hits() const;
+  void set_epoch(std::shared_ptr<const LocationEpoch> epoch,
+                 bool require_new_id);
 
   std::optional<DistanceLabeling> labeling_;
-  const LocationService* location_ = nullptr;
   LocateOptions locate_opts_;
   unsigned workers_ = 1;
   std::size_t cache_capacity_per_shard_ = 0;
   std::vector<LruShard<Dist>> estimate_cache_;        // one shard per worker
   std::vector<LruShard<LocateResult>> locate_cache_;  // one shard per worker
+  // Epoch id each locate shard last served; a worker clears its shard when
+  // the pinned batch epoch differs (only that worker touches the shard, so
+  // the lazy clear is race-free).
+  std::vector<std::uint64_t> locate_cache_epoch_;
+  // The live epoch; guarded by its own mutex so apply() from a maintenance
+  // thread never contends with the worker pool's batch mutex.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const LocationEpoch> epoch_;
 
   // Pool state (guarded by mu_). Batches publish the shard function, bump
   // generation_ and wait for remaining_ to hit zero.

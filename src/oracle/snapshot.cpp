@@ -15,7 +15,7 @@ constexpr std::uint8_t kMagic[8] = {'R', 'O', 'N', 'S', 'N', 'A', 'P', '\n'};
 
 bool kind_is_known(std::uint32_t k) {
   return k >= static_cast<std::uint32_t>(SnapshotKind::kRings) &&
-         k <= static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory);
+         k <= static_cast<std::uint32_t>(SnapshotKind::kChurnBundle);
 }
 
 void check_writable_version(std::uint32_t version) {
@@ -37,7 +37,8 @@ void check_v1_representable(const ScenarioSpec& spec, bool keeps_family,
       (keeps_delta || spec.delta == dflt.delta) &&
       (keeps_overlay_seed || spec.overlay_seed == dflt.overlay_seed) &&
       spec.c_x == dflt.c_x && spec.c_y == dflt.c_y &&
-      spec.with_x == dflt.with_x && spec.params.empty();
+      spec.with_x == dflt.with_x && spec.params.empty() &&
+      spec.churn_ops == dflt.churn_ops && spec.churn_seed == dflt.churn_seed;
   RON_CHECK(ok, "snapshot: v1 " << what << " format cannot carry this "
                 "scenario spec (" << spec.to_string() << ") — non-default "
                 "fields would be silently dropped; write v2 or reset them");
@@ -611,6 +612,51 @@ void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
   }
   write_directory_payload(w, dir);
   write_snapshot(SnapshotKind::kObjectDirectory, w, path, version);
+}
+
+void save_churn_bundle(const ScenarioSpec& spec,
+                       const ObjectDirectory& initial,
+                       const ChurnTrace& trace, const std::string& path,
+                       std::uint32_t version) {
+  // v2-only by design: a churn bundle without an embedded recipe could not
+  // be replayed, so there is no legacy encoding to gate down to.
+  RON_CHECK(version == kSnapshotVersion,
+            "snapshot: churn bundles require format version "
+                << kSnapshotVersion);
+  RON_CHECK(!spec.family.empty(),
+            "save_churn_bundle: the scenario spec must name a metric family "
+            "(the stored recipe is what replay rebuilds from)");
+  RON_CHECK(spec.n == initial.n(), "save_churn_bundle: spec n "
+                                       << spec.n << " != directory n "
+                                       << initial.n());
+  trace.validate(initial.n());
+  WireWriter w;
+  write_spec(w, spec);
+  write_directory_payload(w, initial);
+  write_trace_payload(w, trace);
+  write_snapshot(SnapshotKind::kChurnBundle, w, path, version);
+}
+
+LoadedChurnBundle load_churn_bundle(const std::string& path,
+                                    SnapshotInfo* info) {
+  SnapshotInfo local;
+  const std::vector<std::uint8_t> file =
+      read_snapshot_of_kind(path, SnapshotKind::kChurnBundle, local);
+  if (info != nullptr) *info = local;
+  RON_CHECK(local.version >= kSnapshotVersion,
+            "snapshot: churn bundle labeled v" << local.version);
+  WireReader r(payload_view(file));
+  ScenarioSpec spec = read_spec(r);
+  RON_CHECK(!spec.family.empty(),
+            "snapshot: churn bundle recipe is missing its metric family");
+  RON_CHECK(spec.n <= kInvalidNode,
+            "snapshot: churn bundle node count " << spec.n);
+  const std::size_t n = static_cast<std::size_t>(spec.n);
+  ObjectDirectory initial = read_directory_payload(r, n);
+  ChurnTrace trace = read_trace_payload(r, n);
+  r.expect_done();
+  return LoadedChurnBundle{std::move(spec), std::move(initial),
+                           std::move(trace)};
 }
 
 LoadedDirectory load_directory(const std::string& path, SnapshotInfo* info) {

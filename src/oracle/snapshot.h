@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "churn/churn_trace.h"
 #include "common/check.h"
 #include "core/rings.h"
 #include "labeling/distance_labels.h"
@@ -59,6 +60,9 @@ enum class SnapshotKind : std::uint32_t {
   kDistanceLabeling = 3,
   kOracle = 4,           // serving bundle: scenario + distance labeling
   kObjectDirectory = 5,  // object-location bundle: scenario + directory
+  kChurnBundle = 6,      // dynamic bundle: scenario + initial directory +
+                         // churn trace (replay reproduces the mutated
+                         // overlay bit-for-bit; v2-only)
 };
 
 /// Header fields of a snapshot file, validated (magic/version/length/
@@ -222,5 +226,30 @@ void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
                     std::uint32_t version = kSnapshotVersion);
 LoadedDirectory load_directory(const std::string& path,
                                SnapshotInfo* info = nullptr);
+
+// --- Churn bundle -----------------------------------------------------------
+
+/// The dynamic-overlay serving artifact: the scenario recipe, the directory
+/// state the trace starts from, and the trace itself. Because the mutator
+/// is deterministic (spec.churn_seed drives every maintenance draw),
+/// rebuild(spec) + replay(trace) reproduces the exact post-churn overlay
+/// and directory — the bundle IS the patched snapshot.
+struct LoadedChurnBundle {
+  ScenarioSpec spec;
+  /// Publish state BEFORE the trace (replay applies the trace's
+  /// publish/unpublish/leave effects on top).
+  ObjectDirectory initial;
+  ChurnTrace trace;
+};
+
+/// spec.family must be non-empty and spec.n must equal initial.n(). Churn
+/// bundles are v2-only: the legacy format has no spec and therefore no
+/// replayable recipe.
+void save_churn_bundle(const ScenarioSpec& spec,
+                       const ObjectDirectory& initial,
+                       const ChurnTrace& trace, const std::string& path,
+                       std::uint32_t version = kSnapshotVersion);
+LoadedChurnBundle load_churn_bundle(const std::string& path,
+                                    SnapshotInfo* info = nullptr);
 
 }  // namespace ron

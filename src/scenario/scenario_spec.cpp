@@ -17,6 +17,13 @@ namespace {
 /// wire-loaded spec can never describe an unbuildable scenario (n = 0, a
 /// negative sample factor, delta outside the triangulation's domain).
 constexpr double kMaxRingFactor = 1e6;
+/// A churn trace op is ~9 wire bytes; 1e8 ops is already a multi-GB trace.
+constexpr std::uint64_t kMaxChurnOps = 100000000;
+/// Reserved scenario-level keys that travel inside the wire parameter
+/// stream (so churn-free specs keep their pre-churn bytes). They are popped
+/// back into the dedicated fields on read and may never appear as family
+/// params.
+constexpr const char* kReservedParamKeys[] = {"churn", "churn_seed"};
 
 double parse_double(const std::string& token, const std::string& value) {
   double v = 0.0;
@@ -56,6 +63,15 @@ void validate_ranges(const ScenarioSpec& spec) {
   RON_CHECK(std::isfinite(spec.c_y) && spec.c_y > 0.0 &&
                 spec.c_y <= kMaxRingFactor,
             "scenario spec: c_y=" << spec.c_y << " outside (0, 1e6]");
+  RON_CHECK(spec.churn_ops <= kMaxChurnOps,
+            "scenario spec: churn=" << spec.churn_ops << " exceeds "
+                                    << kMaxChurnOps);
+  // The wire format carries the churn keys as f64 param values; a seed
+  // beyond 2^53 would round-trip lossily, so it is rejected up front.
+  RON_CHECK(spec.churn_seed < (1ull << 53),
+            "scenario spec: churn_seed=" << spec.churn_seed
+                                         << " must fit an exact double "
+                                            "(< 2^53)");
 }
 
 /// The full invariant a spec must satisfy to travel on the wire — shared by
@@ -71,6 +87,12 @@ void validate_wire_spec(const ScenarioSpec& spec) {
               "scenario spec: param key of " << key.size() << " bytes");
     RON_CHECK(std::isfinite(value),
               "scenario spec: param '" << key << "' not finite");
+    for (const char* reserved : kReservedParamKeys) {
+      RON_CHECK(key != reserved, "scenario spec: '"
+                                     << key
+                                     << "' is a reserved scenario-level key, "
+                                        "not a family parameter");
+    }
   }
 }
 
@@ -128,6 +150,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       const std::uint64_t v = parse_u64(token, value);
       RON_CHECK(v <= 1, "scenario spec: '" << token << "' must be 0 or 1");
       spec.with_x = v == 1;
+    } else if (key == "churn") {
+      spec.churn_ops = parse_u64(token, value);
+    } else if (key == "churn_seed") {
+      spec.churn_seed = parse_u64(token, value);
     } else {
       spec.params[key] = parse_double(token, value);
     }
@@ -149,6 +175,10 @@ std::string ScenarioSpec::to_string() const {
   if (c_x != dflt.c_x) s += ",c_x=" + fmt_double(c_x);
   if (c_y != dflt.c_y) s += ",c_y=" + fmt_double(c_y);
   if (with_x != dflt.with_x) s += ",with_x=0";
+  if (churn_ops != dflt.churn_ops) s += ",churn=" + std::to_string(churn_ops);
+  if (churn_seed != dflt.churn_seed) {
+    s += ",churn_seed=" + std::to_string(churn_seed);
+  }
   for (const auto& [key, value] : params) {
     s += "," + key + "=" + fmt_double(value);
   }
@@ -165,8 +195,20 @@ void write_spec(WireWriter& w, const ScenarioSpec& spec) {
   w.f64(spec.c_x);
   w.f64(spec.c_y);
   w.u8(spec.with_x ? 1 : 0);
-  w.u64(spec.params.size());
-  for (const auto& [key, value] : spec.params) {  // map order = canonical
+  // The churn clause rides inside the param stream under reserved keys (a
+  // default/churn-free spec therefore serializes to exactly its pre-churn
+  // bytes, keeping the golden fixtures bit-identical). The values are small
+  // counts/seeds validated to be exact in a double.
+  std::map<std::string, double> wire_params = spec.params;
+  const ScenarioSpec dflt;
+  if (spec.churn_ops != dflt.churn_ops) {
+    wire_params.emplace("churn", static_cast<double>(spec.churn_ops));
+  }
+  if (spec.churn_seed != dflt.churn_seed) {
+    wire_params.emplace("churn_seed", static_cast<double>(spec.churn_seed));
+  }
+  w.u64(wire_params.size());
+  for (const auto& [key, value] : wire_params) {  // map order = canonical
     w.str(key);
     w.f64(value);
   }
@@ -196,6 +238,22 @@ ScenarioSpec read_spec(WireReader& r) {
     prev = key;
     spec.params.emplace(std::move(key), value);
   }
+  // Pop the reserved churn keys back out of the param stream into their
+  // dedicated fields (see write_spec).
+  const auto take_reserved_u64 = [&spec](const char* key,
+                                         std::uint64_t& out) {
+    const auto it = spec.params.find(key);
+    if (it == spec.params.end()) return;
+    const double v = it->second;
+    RON_CHECK(std::isfinite(v) && v >= 0.0 && v == std::floor(v) &&
+                  v < static_cast<double>(1ull << 53),
+              "snapshot: scenario " << key << "=" << v
+                                    << " is not a whole count");
+    out = static_cast<std::uint64_t>(v);
+    spec.params.erase(it);
+  };
+  take_reserved_u64("churn", spec.churn_ops);
+  take_reserved_u64("churn_seed", spec.churn_seed);
   validate_wire_spec(spec);
   return spec;
 }

@@ -23,9 +23,17 @@
 //   overlay_seed  ring-sampling (and synthetic-publish) seed
 //   c_x, c_y      Theorem 5.2(a) ring sample factors
 //   with_x        1 = X+Y rings, 0 = the Y-only O(log Δ) foil
+//   churn         optional dynamic-workload clause: number of synthetic
+//                 churn ops (join/leave/publish/unpublish) to generate and
+//                 apply on top of the static build (0 = static scenario)
+//   churn_seed    seed of the churn trace generator
 //
 // Every other key is a per-family parameter (numeric), validated by the
-// registry against the family's declared table.
+// registry against the family's declared table. The churn keys are
+// scenario-level but travel on the wire inside the parameter stream under
+// their own (reserved) names, so a churn-free spec's bytes are unchanged
+// from before the clause existed — committed golden snapshots stay
+// bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +56,12 @@ struct ScenarioSpec {
   double c_x = 2.0;
   double c_y = 2.0;
   bool with_x = true;
+  /// churn= clause: synthetic churn ops to layer on the static build
+  /// (0 = none). Consumed by the churn subsystem (src/churn/), the
+  /// `ron_oracle churn` subcommand and bench_churn; the static builders
+  /// ignore it.
+  std::uint64_t churn_ops = 0;
+  std::uint64_t churn_seed = 13;
   /// Per-family parameters, keyed canonically (sorted; std::map keeps them
   /// so). Only explicitly-set parameters appear; the registry fills in
   /// family defaults at build time.

@@ -168,9 +168,20 @@ TEST(Stats, Summary) {
 }
 
 TEST(Stats, EmptyIsZero) {
+  // summarize({}) stays a zero Summary — count=0 is the honest marker a
+  // JSON consumer must key off.
   auto s = summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Stats, PercentileOfEmptySampleThrows) {
+  // Silently returning 0.0 would let a bench with zero samples report a
+  // fabricated p99=0 in its artifact; the contract is to throw.
+  EXPECT_THROW(percentile({}, 0.99), Error);
+  EXPECT_THROW(percentile({}, 0.0), Error);
+  EXPECT_EQ(percentile({42.0}, 0.99), 42.0);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);  // q outside [0,1]
 }
 
 TEST(Table, PrintsAllCells) {

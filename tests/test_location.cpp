@@ -92,6 +92,22 @@ TEST(ObjectDirectory, UnpublishRemovesCopiesButKeepsTheObject) {
   EXPECT_TRUE(dir.holders(dir.find("a")).empty());
 }
 
+TEST(ObjectDirectory, UnpublishHolderStripsEveryObjectAtTheNode) {
+  // The churn layer's leave(node) hook: all copies at one node vanish in a
+  // single call, other holders are untouched, and accounting stays exact.
+  ObjectDirectory dir(8);
+  dir.publish("a", std::vector<NodeId>{1, 3, 5});
+  dir.publish("b", std::vector<NodeId>{3});
+  dir.publish("c", std::vector<NodeId>{2, 4});
+  EXPECT_EQ(dir.unpublish_holder(3), 2u);
+  EXPECT_EQ(dir.total_replicas(), 4u);
+  EXPECT_FALSE(dir.is_holder(dir.find("a"), 3));
+  EXPECT_TRUE(dir.holders(dir.find("b")).empty());  // zero-holder: defined
+  EXPECT_EQ(dir.holders(dir.find("c")).size(), 2u);
+  EXPECT_EQ(dir.unpublish_holder(3), 0u);  // idempotent
+  EXPECT_THROW(dir.unpublish_holder(8), Error);
+}
+
 TEST(ObjectDirectory, RejectsBadArguments) {
   ObjectDirectory dir(4);
   EXPECT_THROW(dir.publish("", 0), Error);       // empty name
@@ -181,18 +197,52 @@ TEST(LocationService, QuerierHoldingACopyIsZeroHops) {
   EXPECT_EQ(r.route_stretch, 1.0);
 }
 
-TEST(LocationService, FullyUnpublishedObjectIsUnreachable) {
+TEST(LocationService, ZeroHolderObjectThrowsNamingIt) {
+  // The zero-holder contract (object_directory.h): a live name whose every
+  // copy is unpublished stays resolvable, but locate throws ron::Error
+  // naming the object — churn makes this state routine, and a silent
+  // found=false would masquerade as a routing failure.
   GeometricLineMetric metric(32, 1.5);
   ProximityIndex prox(metric);
   LocationOverlay overlay(prox, RingsModelParams{}, 9);
   ObjectDirectory dir(32);
   dir.declare("ghost");
+  dir.publish("drained", std::vector<NodeId>{4, 7});
+  dir.unpublish_all("drained");
   LocationService svc(prox, overlay.rings(), dir);
-  const LocateResult r = svc.locate(0, dir.find("ghost"));
-  EXPECT_FALSE(r.found);
-  EXPECT_EQ(r.holder, kInvalidNode);
+  for (const char* name : {"ghost", "drained"}) {
+    try {
+      svc.locate(0, dir.find(name));
+      FAIL() << name << " should have thrown";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "error must name the object: " << e.what();
+    }
+  }
   EXPECT_THROW(svc.locate(0, "never-published"), Error);
   EXPECT_THROW(svc.locate(32, dir.find("ghost")), Error);  // bad querier
+}
+
+TEST(EngineLocate, ZeroHolderObjectThrowsThroughTheBatchPath) {
+  // The engine's worker pool must surface the zero-holder error as
+  // ron::Error on the dispatcher thread, for any worker count.
+  GeometricLineMetric metric(32, 1.5);
+  ProximityIndex prox(metric);
+  LocationOverlay overlay(prox, RingsModelParams{}, 9);
+  ObjectDirectory dir(32);
+  dir.publish("ok", 5);
+  dir.publish("drained", 9);
+  dir.unpublish_all("drained");
+  LocationService svc(prox, overlay.rings(), dir);
+  for (unsigned threads : {1u, 4u}) {
+    OracleEngine engine(svc, OracleOptions{threads, 0});
+    const std::vector<LocateQuery> good = {{0, dir.find("ok")}};
+    EXPECT_TRUE(engine.locate_batch(good)[0].found);
+    const std::vector<LocateQuery> bad = {{0, dir.find("ok")},
+                                          {1, dir.find("drained")}};
+    EXPECT_THROW(engine.locate_batch(bad), Error);
+    EXPECT_THROW(engine.locate(0, dir.find("drained")), Error);
+  }
 }
 
 TEST(LocationService, StopAtAnyHolderReportsTheFartherReplica) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "churn/churn_trace.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "labeling/distance_labels.h"
@@ -25,6 +26,7 @@
 #include "metric/euclidean.h"
 #include "metric/proximity.h"
 #include "oracle/engine.h"
+#include "oracle/lru.h"
 #include "oracle/snapshot.h"
 #include "oracle/wire.h"
 
@@ -126,6 +128,87 @@ ObjectDirectory make_directory(std::size_t n) {
   }
   dir.declare("unpublished");
   return dir;
+}
+
+ChurnTrace make_trace() {
+  ChurnTrace trace;
+  trace.objects = {"obj0", "obj1"};
+  trace.ops = {{ChurnOpKind::kLeave, 3, kInvalidObject},
+               {ChurnOpKind::kPublish, 5, 0},
+               {ChurnOpKind::kJoin, 3, kInvalidObject},
+               {ChurnOpKind::kUnpublish, 5, 0},
+               {ChurnOpKind::kPublish, 9, 1}};
+  return trace;
+}
+
+// --- LruShard: the per-worker result cache ----------------------------------
+//
+// Serving correctness, tested directly: a duplicate-key put must OVERWRITE
+// the cached value (a kept-stale value would pin a pre-mutation result
+// forever once epochs swap), and eviction must discard the least recently
+// USED entry, counting gets as use.
+
+TEST(LruShard, DuplicatePutOverwritesValue) {
+  LruShard<int> cache(4);
+  cache.put(7, 100);
+  cache.put(8, 200);
+  int out = 0;
+  ASSERT_TRUE(cache.get(7, out));
+  EXPECT_EQ(out, 100);
+  cache.put(7, 111);  // same key, new value: must replace, not refresh-only
+  ASSERT_TRUE(cache.get(7, out));
+  EXPECT_EQ(out, 111);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruShard, EvictsLeastRecentlyUsed) {
+  LruShard<int> cache(3);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, out));  // 1 becomes most recent; 2 is now LRU
+  cache.put(4, 40);                // evicts 2
+  EXPECT_FALSE(cache.get(2, out));
+  ASSERT_TRUE(cache.get(1, out));
+  ASSERT_TRUE(cache.get(3, out));
+  ASSERT_TRUE(cache.get(4, out));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruShard, DuplicatePutRefreshesRecency) {
+  LruShard<int> cache(3);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  cache.put(1, 11);  // refresh: 2 is now the LRU entry
+  cache.put(4, 40);  // evicts 2, not 1
+  int out = 0;
+  EXPECT_FALSE(cache.get(2, out));
+  ASSERT_TRUE(cache.get(1, out));
+  EXPECT_EQ(out, 11);
+  EXPECT_EQ(cache.keys_by_recency().back(), 1u);  // most recent last
+}
+
+TEST(LruShard, ClearDropsEntriesKeepsHitAccounting) {
+  LruShard<int> cache(3);
+  cache.put(1, 10);
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, out));
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1, out));
+  EXPECT_EQ(cache.hits(), 1u);  // hits are per-batch accounting, not state
+}
+
+TEST(LruShard, ZeroCapacityIsDisabledNoOp) {
+  LruShard<int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put(1, 10);
+  int out = 0;
+  EXPECT_FALSE(cache.get(1, out));
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 // --- round trips -----------------------------------------------------------
@@ -247,6 +330,91 @@ TEST(SnapshotOracle, V1WriterGateRoundTripsWithoutFamily) {
   EXPECT_EQ(loaded.metric_name, "euclid-48");
 }
 
+TEST(SnapshotChurnBundle, RoundTripsSpecDirectoryAndTrace) {
+  TempFile file("churn_bundle");
+  ScenarioSpec spec =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3,overlay_seed=7");
+  spec.churn_ops = 5;
+  spec.churn_seed = 99;
+  const ObjectDirectory dir = make_directory(32);
+  const ChurnTrace trace = make_trace();
+  save_churn_bundle(spec, dir, trace, file.path());
+  const SnapshotInfo info = inspect_snapshot(file.path());
+  EXPECT_EQ(info.kind, SnapshotKind::kChurnBundle);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  const LoadedChurnBundle loaded = load_churn_bundle(file.path());
+  EXPECT_EQ(loaded.spec, spec);
+  EXPECT_EQ(loaded.trace, trace);
+  ASSERT_EQ(loaded.initial.num_objects(), dir.num_objects());
+  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
+    EXPECT_EQ(loaded.initial.name(obj), dir.name(obj));
+    const auto a = loaded.initial.holders(obj);
+    const auto b = dir.holders(obj);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  // Resaving the loaded bundle must reproduce the bytes (canonical form).
+  TempFile resaved("churn_bundle_resave");
+  save_churn_bundle(loaded.spec, loaded.initial, loaded.trace,
+                    resaved.path());
+  EXPECT_EQ(slurp(file.path()), slurp(resaved.path()));
+}
+
+TEST(SnapshotChurnBundle, RefusesV1AndRecipeFreeSaves) {
+  TempFile file("churn_bundle_bad");
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3");
+  // v1 has no spec, hence no replayable recipe: the gate must refuse.
+  EXPECT_THROW(save_churn_bundle(spec, make_directory(32), make_trace(),
+                                 file.path(), kSnapshotVersionV1),
+               Error);
+  // And a family-less spec cannot rebuild anything either.
+  EXPECT_THROW(save_churn_bundle(ScenarioSpec{}, make_directory(32),
+                                 make_trace(), file.path()),
+               Error);
+}
+
+TEST(SnapshotChurnBundle, InvalidTraceRejectedOnSaveAndLoad) {
+  TempFile file("churn_trace_bad");
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3");
+  ChurnTrace bad = make_trace();
+  bad.ops.push_back({ChurnOpKind::kLeave, 32, kInvalidObject});  // node >= n
+  EXPECT_THROW(save_churn_bundle(spec, make_directory(32), bad, file.path()),
+               Error);
+  bad = make_trace();
+  bad.ops.push_back({ChurnOpKind::kPublish, 1, 2});  // object index >= 2
+  EXPECT_THROW(bad.validate(32), Error);
+  bad = make_trace();
+  bad.ops.push_back({ChurnOpKind::kJoin, 1, 0});  // join with object index
+  EXPECT_THROW(bad.validate(32), Error);
+  bad = make_trace();
+  bad.objects.push_back(bad.objects[0]);  // duplicate name
+  EXPECT_THROW(bad.validate(32), Error);
+}
+
+TEST(SnapshotDirectory, ZeroHolderObjectsRoundTripBitIdentically) {
+  // The zero-holder contract's snapshot half: a live name with an empty
+  // holder set must survive save -> load -> save with identical bytes (the
+  // payload declares the name, then lists zero holders).
+  TempFile file("zero_holder");
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("metric=geoline,n=16,seed=3,overlay_seed=7");
+  ObjectDirectory dir(16);
+  dir.publish("kept", std::vector<NodeId>{2, 5});
+  dir.publish("drained", std::vector<NodeId>{1, 9});
+  EXPECT_EQ(dir.unpublish_all("drained"), 2u);
+  dir.declare("never_published");
+  save_directory(spec, dir, file.path());
+  const LoadedDirectory loaded = load_directory(file.path());
+  ASSERT_EQ(loaded.directory.num_objects(), 3u);
+  EXPECT_TRUE(loaded.directory.holders(dir.find("drained")).empty());
+  EXPECT_TRUE(loaded.directory.holders(dir.find("never_published")).empty());
+  EXPECT_EQ(loaded.directory.total_replicas(), 2u);
+  TempFile resaved("zero_holder_resave");
+  save_directory(loaded.spec, loaded.directory, resaved.path());
+  EXPECT_EQ(slurp(file.path()), slurp(resaved.path()));
+}
+
 TEST(SnapshotSpec, RefusesLossyV1Saves) {
   // The v1 writer gate must throw — not silently drop — when the spec
   // carries fields the legacy format cannot represent. A dropped ring
@@ -277,6 +445,13 @@ TEST(SnapshotSpec, RefusesLossyV1Saves) {
       ScenarioSpec::parse("metric=geoline,n=32,seed=3,base=1.25");
   EXPECT_THROW(
       save_directory(with_param, make_directory(32), file.path(),
+                     kSnapshotVersionV1),
+      Error);
+  // ...and not the churn clause either.
+  ScenarioSpec with_churn =
+      ScenarioSpec::parse("metric=geoline,n=32,seed=3,churn=10");
+  EXPECT_THROW(
+      save_directory(with_churn, make_directory(32), file.path(),
                      kSnapshotVersionV1),
       Error);
   // ...while the representable subset still writes v1 bytes fine.
@@ -372,6 +547,11 @@ std::vector<FuzzTarget> fuzz_targets(const LabelingFixture& fx) {
          save_directory(spec32, make_directory(32), p);
        },
        [](const std::string& p) { load_directory(p); }},
+      {"churn_bundle",
+       [spec32](const std::string& p) {
+         save_churn_bundle(spec32, make_directory(32), make_trace(), p);
+       },
+       [](const std::string& p) { load_churn_bundle(p); }},
   };
 }
 

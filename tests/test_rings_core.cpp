@@ -77,6 +77,62 @@ TEST(RingsContainer, AccountingConsistentAcrossIncrementalAddRing) {
   }
 }
 
+TEST(RingsContainer, MemberMutationsKeepCachesAndAccountingExact) {
+  // The churn subsystem patches rings in place; the neighbor cache and the
+  // degree accounting must stay exact under add/remove/clear, including
+  // the subtle case of a node present in TWO rings of the same owner.
+  RingsOfNeighbors rings(10);
+  rings.add_ring(0, Ring{1.0, {3, 5}});
+  rings.add_ring(0, Ring{2.0, {5, 7}});
+  rings.add_ring(1, Ring{1.0, {0, 2, 4}});
+  ASSERT_EQ(rings.out_degree(0), 3u);  // {3,5,7}
+  EXPECT_EQ(rings.max_out_degree(), 3u);
+
+  // Adding an existing member is a no-op.
+  EXPECT_FALSE(rings.add_member(0, 0, 5));
+  // Adding a new member grows the ring and the cache.
+  EXPECT_TRUE(rings.add_member(0, 0, 9));
+  EXPECT_TRUE(rings.ring_contains(0, 0, 9));
+  EXPECT_EQ(rings.out_degree(0), 4u);
+  EXPECT_EQ(rings.max_out_degree(), 4u);
+  EXPECT_TRUE(std::is_sorted(rings.all_neighbors(0).begin(),
+                             rings.all_neighbors(0).end()));
+
+  // Removing 5 from ring 0 must KEEP it in the cache: ring 1 still holds it.
+  EXPECT_TRUE(rings.remove_member(0, 0, 5));
+  EXPECT_FALSE(rings.remove_member(0, 0, 5));  // already gone
+  EXPECT_FALSE(rings.ring_contains(0, 0, 5));
+  EXPECT_TRUE(rings.ring_contains(0, 1, 5));
+  EXPECT_EQ(rings.out_degree(0), 4u);
+  // Removing it from ring 1 too finally drops it from the cache — and the
+  // shrink re-derives the max degree.
+  EXPECT_TRUE(rings.remove_member(0, 1, 5));
+  EXPECT_EQ(rings.out_degree(0), 3u);
+  EXPECT_EQ(rings.max_out_degree(), 3u);
+  const std::vector<NodeId> want = {3, 7, 9};
+  EXPECT_TRUE(std::equal(want.begin(), want.end(),
+                         rings.all_neighbors(0).begin(),
+                         rings.all_neighbors(0).end()));
+
+  // clear_members dissolves the pointers but keeps the ring skeleton.
+  rings.clear_members(0);
+  EXPECT_EQ(rings.out_degree(0), 0u);
+  EXPECT_EQ(rings.rings(0).size(), 2u);
+  EXPECT_EQ(rings.rings(0)[0].scale, 1.0);
+  EXPECT_EQ(rings.max_out_degree(), 3u);  // node 1 now holds the max
+  rings.set_ring_scale(0, 0, 4.5);
+  EXPECT_EQ(rings.rings(0)[0].scale, 4.5);
+
+  // avg accounting survived the whole dance: recompute from scratch.
+  EXPECT_NEAR(rings.avg_out_degree(), 3.0 / 10.0, 1e-12);
+
+  // Out-of-range arguments throw.
+  EXPECT_THROW(rings.add_member(0, 5, 1), Error);   // no such ring
+  EXPECT_THROW(rings.add_member(0, 0, 10), Error);  // member out of range
+  EXPECT_THROW(rings.remove_member(10, 0, 1), Error);
+  EXPECT_THROW(rings.ring_contains(0, 9, 1), Error);
+}
+
 TEST(RingsContainer, RejectsBadMembers) {
   RingsOfNeighbors rings(4);
   EXPECT_THROW(rings.add_ring(0, Ring{1.0, {7}}), Error);

@@ -160,6 +160,12 @@ TEST(SpecParse, BadSpecsThrowNamingTheOffendingToken) {
        "'per_cluster=2.5' must be an integer", true},
       {"metric=euclid,n=3", "outside [4, 100000]", true},
       {"metric=euclid,n=999999", "outside [4, 100000]", true},
+      // churn clause: counts only, within sane bounds
+      {"metric=euclid,churn=abc", "bad count in 'churn=abc'"},
+      {"metric=euclid,churn=-5", "bad count in 'churn=-5'"},
+      {"metric=euclid,churn=200000000", "churn=200000000 exceeds"},
+      {"metric=euclid,churn_seed=1e9", "bad count in 'churn_seed=1e9'"},
+      {"metric=euclid,churn=1,churn=2", "duplicate key 'churn'"},
   };
   for (const BadSpec& c : cases) {
     SCOPED_TRACE(c.text);
@@ -171,7 +177,59 @@ TEST(SpecParse, BadSpecsThrowNamingTheOffendingToken) {
   }
 }
 
+TEST(SpecParse, ChurnClauseParsesPrintsAndStaysOutOfParams) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "metric=geoline,n=64,seed=9,churn=1000,churn_seed=5,base=1.25");
+  EXPECT_EQ(spec.churn_ops, 1000u);
+  EXPECT_EQ(spec.churn_seed, 5u);
+  // The churn keys are scenario-level: they never leak into the family
+  // param map the registry validates.
+  ASSERT_EQ(spec.params.size(), 1u);
+  EXPECT_EQ(spec.params.at("base"), 1.25);
+  EXPECT_EQ(spec.to_string(),
+            "metric=geoline,n=64,seed=9,churn=1000,churn_seed=5,base=1.25");
+  EXPECT_EQ(ScenarioSpec::parse(spec.to_string()), spec);
+  // Defaults are omitted from the canonical form.
+  const ScenarioSpec plain = ScenarioSpec::parse("metric=geoline,n=64,seed=9");
+  EXPECT_EQ(plain.churn_ops, 0u);
+  EXPECT_EQ(plain.churn_seed, 13u);
+  EXPECT_EQ(plain.to_string(), "metric=geoline,n=64,seed=9");
+}
+
 // --- spec wire format ------------------------------------------------------
+
+TEST(SpecWire, ChurnClauseRoundTripsAndChurnFreeBytesAreUnchanged) {
+  // The churn keys travel inside the wire param stream under reserved
+  // names; a churn-free spec must serialize to exactly its pre-churn bytes
+  // (that is what keeps the committed golden fixtures bit-identical).
+  const ScenarioSpec plain =
+      ScenarioSpec::parse("metric=euclid,n=32,seed=1,dim=3");
+  WireWriter w_plain;
+  write_spec(w_plain, plain);
+  {
+    WireReader r(w_plain.bytes());
+    EXPECT_EQ(read_spec(r), plain);
+  }
+  ScenarioSpec churny = plain;
+  churny.churn_ops = 500;
+  churny.churn_seed = 21;
+  WireWriter w_churny;
+  write_spec(w_churny, churny);
+  EXPECT_GT(w_churny.size(), w_plain.size());
+  {
+    WireReader r(w_churny.bytes());
+    const ScenarioSpec back = read_spec(r);
+    EXPECT_EQ(back, churny);
+    EXPECT_TRUE(back.params.count("churn") == 0 &&
+                back.params.count("churn_seed") == 0);
+  }
+  // A programmatic spec that smuggles the reserved keys as family params
+  // is rejected rather than silently re-interpreted.
+  ScenarioSpec smuggler = plain;
+  smuggler.params["churn"] = 3.0;
+  WireWriter w_bad;
+  expect_error_with("reserved", [&] { write_spec(w_bad, smuggler); });
+}
 
 TEST(SpecWire, RoundTripsAllFields) {
   const ScenarioSpec spec = ScenarioSpec::parse(

@@ -1,0 +1,101 @@
+# End-to-end churn serving contract: publish a directory, churn it through
+# the incremental OverlayMutator, and serve the post-churn state. Asserts:
+#   - `churn` writes a kind-6 bundle and its built-in verification locates
+#     all deliver within the hop bound (exit status);
+#   - `info` prints the bundle's spec (with the churn= clause), trace stats
+#     and initial directory;
+#   - `locate` on a bundle replays the trace deterministically and delivers
+#     every random servable query within the hop bound (exit status);
+#   - churning a bundle EXTENDS its trace, and the result still serves;
+#   - `--emit-directory` writes a loadable kind-5 snapshot of the patched
+#     holder sets;
+#   - determinism: churning the same input twice produces byte-identical
+#     bundles.
+# Runs on three metric families so the churn path is exercised off the
+# geometric line too. Invoked by ctest as:
+#   cmake -DORACLE_EXE=<path> -DWORK_DIR=<dir> -P churn_cli_test.cmake
+if(NOT DEFINED ORACLE_EXE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "churn_cli_test.cmake: pass -DORACLE_EXE and -DWORK_DIR")
+endif()
+
+function(run_step)
+  execute_process(
+    COMMAND ${ARGV}
+    OUTPUT_VARIABLE step_stdout
+    RESULT_VARIABLE step_rc)
+  if(NOT step_rc EQUAL 0)
+    message(FATAL_ERROR "'${ARGV}' exited with status ${step_rc}")
+  endif()
+  set(step_stdout "${step_stdout}" PARENT_SCOPE)
+endfunction()
+
+foreach(family geoline clustered euclid)
+  set(spec "metric=${family},n=64,seed=5,overlay_seed=11")
+  set(dir "${WORK_DIR}/churn_${family}_dir.ron")
+  set(bundle "${WORK_DIR}/churn_${family}_bundle.ron")
+  set(bundle2 "${WORK_DIR}/churn_${family}_bundle2.ron")
+  set(patched "${WORK_DIR}/churn_${family}_patched.ron")
+
+  run_step(${ORACLE_EXE} publish --scenario ${spec} --out ${dir}
+    --objects 6 --replicas 2)
+
+  # Churn + built-in verification (exit status enforces the hop bound).
+  run_step(${ORACLE_EXE} churn ${dir} --ops 120 --churn-seed 9
+    --out ${bundle} --verify 24 --emit-directory ${patched})
+  if(NOT step_stdout MATCHES "# 24/24 located")
+    message(FATAL_ERROR
+      "churn verification lost lookups on ${family}:\n${step_stdout}")
+  endif()
+
+  run_step(${ORACLE_EXE} info ${bundle})
+  if(NOT step_stdout MATCHES "churn=120,churn_seed=9")
+    message(FATAL_ERROR
+      "bundle spec is missing the churn clause on ${family}:\n${step_stdout}")
+  endif()
+  if(NOT step_stdout MATCHES "churn trace: 120 ops")
+    message(FATAL_ERROR
+      "info did not describe the ${family} trace:\n${step_stdout}")
+  endif()
+
+  # Serving a bundle replays the trace; every servable query must deliver.
+  run_step(${ORACLE_EXE} locate ${bundle} --queries 16 --seed 3)
+  if(NOT step_stdout MATCHES "# 16/16 located")
+    message(FATAL_ERROR
+      "locate over the churned ${family} overlay lost lookups:\n"
+      "${step_stdout}")
+  endif()
+
+  # The patched directory snapshot is a loadable kind-5 artifact.
+  run_step(${ORACLE_EXE} info ${patched})
+  if(NOT step_stdout MATCHES "section kind 5")
+    message(FATAL_ERROR
+      "--emit-directory did not write a directory snapshot on ${family}:\n"
+      "${step_stdout}")
+  endif()
+
+  # Churning a bundle extends the trace and the result still serves.
+  run_step(${ORACLE_EXE} churn ${bundle} --ops 40 --churn-seed 10
+    --out ${bundle2} --verify 12)
+  if(NOT step_stdout MATCHES "trace total 160")
+    message(FATAL_ERROR
+      "bundle churn did not extend the ${family} trace:\n${step_stdout}")
+  endif()
+  run_step(${ORACLE_EXE} locate ${bundle2} --queries 8 --seed 4)
+  if(NOT step_stdout MATCHES "# 8/8 located")
+    message(FATAL_ERROR
+      "locate over the extended ${family} bundle lost lookups:\n"
+      "${step_stdout}")
+  endif()
+
+  # Determinism: the same churn invocation must write identical bytes.
+  set(redo "${WORK_DIR}/churn_${family}_redo.ron")
+  run_step(${ORACLE_EXE} churn ${dir} --ops 120 --churn-seed 9
+    --out ${redo} --verify 0)
+  file(READ ${bundle} bundle_bytes HEX)
+  file(READ ${redo} redo_bytes HEX)
+  if(NOT bundle_bytes STREQUAL redo_bytes)
+    message(FATAL_ERROR "churn is not deterministic on ${family}")
+  endif()
+endforeach()
+
+message(STATUS "churn CLI end-to-end passed")

@@ -14,6 +14,8 @@
 //   ron_oracle bench --scenario "metric=euclid,n=128" --queries 50000
 //   ron_oracle publish --scenario "metric=geoline,n=256" --out dir.ron
 //   ron_oracle locate dir.ron --from "0;9" --object obj3
+//   ron_oracle churn dir.ron --ops 1000 --out churned.ron
+//   ron_oracle locate churned.ron --queries 64
 //
 // `build` runs the ScenarioBuilder pipeline (metric -> proximity ->
 // neighbor system -> labeling, or the Theorem 5.2(a) overlay) and snapshots
@@ -22,7 +24,13 @@
 // labelings. `publish` snapshots an object directory together with its
 // scenario recipe; `locate` replays the recipe (builders are pure functions
 // of the spec) and serves greedy ring-walk lookups through the engine's
-// worker pool.
+// worker pool. `churn` applies a generated (seeded) churn trace to a
+// directory snapshot through the incremental OverlayMutator and emits a
+// churn bundle — recipe + initial directory + trace — which IS the patched
+// snapshot: `locate` on a bundle rebuilds the static overlay and replays
+// the trace (the mutator is deterministic), then serves the post-churn
+// state through an epoch-swapped engine. Churning a bundle extends its
+// trace.
 //
 // Exit codes: 0 success, 1 runtime failure (ron::Error), 2 usage error
 // (unknown subcommand, unknown or malformed flag — usage is printed).
@@ -37,6 +45,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "churn/churn_trace.h"
+#include "churn/overlay_mutator.h"
+#include "churn/trace_generator.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "location/location_service.h"
@@ -75,10 +86,14 @@ int usage(std::ostream& os) {
         "--queries Q)\n"
         "                    [--scenario SPEC] [--threads T] [--cache C]\n"
         "                    [--max-hops H] [--seed S]\n"
+        "  ron_oracle churn FILE --out FILE [--ops N] [--churn-seed S]\n"
+        "                   [--threads T] [--verify Q] "
+        "[--emit-directory FILE]\n"
         "\n"
         "scenario spec grammar (key=value, comma separated):\n"
         "  metric=FAMILY (required), n=N, seed=S, delta=D, overlay_seed=O,\n"
-        "  c_x=CX, c_y=CY, with_x=0|1, plus per-family parameters\n"
+        "  c_x=CX, c_y=CY, with_x=0|1, churn=OPS, churn_seed=S,\n"
+        "  plus per-family parameters\n"
         "metric families:\n";
   for (const MetricFamily* fam : MetricRegistry::global().families()) {
     os << "  " << fam->key;
@@ -337,6 +352,22 @@ int cmd_info(const Args& args) {
   SnapshotInfo info;
   ScenarioSpec spec;
   switch (static_cast<SnapshotKind>(kind)) {
+    case SnapshotKind::kChurnBundle: {
+      const LoadedChurnBundle bundle = load_churn_bundle(path, &info);
+      print_snapshot_header(path, info);
+      print_scenario_line(std::cout, bundle.spec);
+      std::cout << "  churn trace: " << bundle.trace.ops.size()
+                << " ops (join " << bundle.trace.count(ChurnOpKind::kJoin)
+                << ", leave " << bundle.trace.count(ChurnOpKind::kLeave)
+                << ", publish " << bundle.trace.count(ChurnOpKind::kPublish)
+                << ", unpublish "
+                << bundle.trace.count(ChurnOpKind::kUnpublish) << ") over "
+                << bundle.trace.objects.size() << " object names\n";
+      std::cout << "  initial directory: " << bundle.initial.num_objects()
+                << " objects, " << bundle.initial.total_replicas()
+                << " replicas over n = " << bundle.initial.n() << "\n";
+      return 0;
+    }
     case SnapshotKind::kObjectDirectory: {
       const LoadedDirectory dir = load_directory(path, &info);
       print_snapshot_header(path, info);
@@ -508,65 +539,108 @@ int cmd_publish(const Args& args) {
   return 0;
 }
 
-int cmd_locate(const Args& args) {
-  args.expect_known({"scenario", "object", "from", "queries", "threads",
-                     "cache", "max-hops", "seed"});
-  args.expect_positionals(1, "locate: exactly one directory snapshot file");
-  const LoadedDirectory loaded = load_directory(args.positional()[0]);
+/// Serving state for locate: a builder (kept alive for the metric), an
+/// epoch to serve, and the active-node view for query synthesis.
+struct LocateState {
+  std::unique_ptr<ScenarioBuilder> builder;
+  std::unique_ptr<OverlayMutator> mutator;  // null for static directories
+  std::shared_ptr<const LocationEpoch> epoch;
+
+  const ObjectDirectory& directory() const { return *epoch->directory; }
+  bool is_active(NodeId u) const {
+    return mutator == nullptr || mutator->is_active(u);
+  }
+};
+
+/// Loads a directory or churn-bundle snapshot into serving state: rebuild
+/// the overlay from the embedded recipe, and for bundles replay the trace
+/// through the incremental mutator (deterministic, so the served state is
+/// exactly the one `churn` verified).
+LocateState load_locate_state(const std::string& path, const Args& args) {
+  LocateState state;
+  const std::uint32_t kind = peek_snapshot_kind(path);
+  if (kind == static_cast<std::uint32_t>(SnapshotKind::kChurnBundle)) {
+    if (args.has("scenario")) {
+      throw UsageError(
+          "locate: --scenario cannot override a churn bundle's recipe (the "
+          "trace is only valid against the embedded scenario)");
+    }
+    LoadedChurnBundle bundle = load_churn_bundle(path);
+    state.builder =
+        std::make_unique<ScenarioBuilder>(bundle.spec, thread_count(args));
+    state.mutator = std::make_unique<OverlayMutator>(
+        state.builder->prox(), state.builder->spec(),
+        std::move(bundle.initial));
+    state.mutator->apply(bundle.trace);
+    state.epoch = state.mutator->commit();
+    return state;
+  }
+  LoadedDirectory loaded = load_directory(path);
   // The embedded recipe is the default; --scenario overrides it (e.g. to
   // relocate the same directory over a different ring profile).
   const ScenarioSpec spec = args.has("scenario")
                                 ? ScenarioSpec::parse(args.get("scenario", ""))
                                 : loaded.spec;
-  ScenarioBuilder builder(spec, thread_count(args));
-  RON_CHECK(builder.n() == loaded.directory.n(),
-            "locate: scenario rebuilds n = " << builder.n()
+  state.builder = std::make_unique<ScenarioBuilder>(spec, thread_count(args));
+  RON_CHECK(state.builder->n() == loaded.directory.n(),
+            "locate: scenario rebuilds n = " << state.builder->n()
                                              << ", snapshot directory has n = "
                                              << loaded.directory.n());
-  LocationService svc(builder.prox(), builder.rings(), loaded.directory);
+  auto epoch = std::make_shared<LocationEpoch>();
+  epoch->id = 1;
+  auto directory =
+      std::make_shared<const ObjectDirectory>(std::move(loaded.directory));
+  // The builder outlives the epoch (LocateState declares it first), so the
+  // service borrows its rings directly — no point deep-copying the whole
+  // ring structure; epoch->rings stays null as the legacy-borrow contract
+  // allows.
+  epoch->service = std::make_shared<const LocationService>(
+      state.builder->prox(), state.builder->rings(), *directory);
+  epoch->directory = std::move(directory);
+  state.epoch = std::move(epoch);
+  return state;
+}
 
-  LocateOptions locate_opts;
-  locate_opts.max_hops = static_cast<std::size_t>(
-      parse_u64(args.get("max-hops", "10000"), "--max-hops"));
-  OracleEngine engine(svc, engine_options(args), locate_opts);
-
-  std::vector<LocateQuery> queries;
-  if (args.has("object")) {
-    RON_CHECK(args.has("from"), "locate: --object requires --from "
-                                "\"u;u;...\"");
-    const ObjectId obj = loaded.directory.find(args.get("object", ""));
-    RON_CHECK(obj != kInvalidObject, "locate: object '"
-                                         << args.get("object", "")
-                                         << "' is not in the directory");
-    for (NodeId u : parse_node_list(args.get("from", ""), "--from node")) {
-      queries.emplace_back(u, obj);
-    }
-  } else {
-    if (!args.has("queries")) {
-      throw UsageError(
-          "locate: pass --object NAME --from \"u;...\" or --queries Q");
-    }
-    const std::size_t count = static_cast<std::size_t>(
-        parse_u64(args.get("queries", "0"), "--queries"));
-    RON_CHECK(count >= 1, "--queries must be >= 1");
-    Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
-    for (std::size_t q = 0; q < count; ++q) {
-      queries.emplace_back(
-          static_cast<NodeId>(rng.index(svc.n())),
-          static_cast<ObjectId>(
-              rng.index(loaded.directory.num_objects())));
-    }
+/// Random (querier, object) pairs that are servable by contract: active
+/// queriers, objects that still have at least one holder (zero-holder
+/// objects throw by design — see object_directory.h).
+std::vector<LocateQuery> random_servable_locates(const LocateState& state,
+                                                 std::size_t count,
+                                                 Rng& rng) {
+  const ObjectDirectory& dir = state.directory();
+  std::vector<NodeId> actives;
+  for (NodeId u = 0; u < dir.n(); ++u) {
+    if (state.is_active(u)) actives.push_back(u);
   }
+  std::vector<ObjectId> stocked;
+  for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
+    if (!dir.holders(obj).empty()) stocked.push_back(obj);
+  }
+  RON_CHECK(!actives.empty(), "locate: no active nodes");
+  RON_CHECK(!stocked.empty(), "locate: every object has zero holders");
+  std::vector<LocateQuery> queries;
+  queries.reserve(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    queries.emplace_back(actives[rng.index(actives.size())],
+                         stocked[rng.index(stocked.size())]);
+  }
+  return queries;
+}
 
+/// Runs the batch, prints per-query lines and the summary, and returns the
+/// exit status enforcing the Theorem 5.2(a) instantiation end-to-end:
+/// every walk delivered within the hop bound.
+int serve_locates(OracleEngine& engine, const ObjectDirectory& dir,
+                  std::span<const LocateQuery> queries) {
   const std::vector<LocateResult> results = engine.locate_batch(queries);
-  const std::size_t hop_bound = location_hop_bound(svc.n());
+  const std::size_t hop_bound = location_hop_bound(engine.n());
   std::size_t found = 0;
   std::size_t max_hops = 0;
   double max_stretch = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const LocateResult& r = results[i];
-    std::cout << queries[i].first << " "
-              << loaded.directory.name(queries[i].second) << " ";
+    std::cout << queries[i].first << " " << dir.name(queries[i].second)
+              << " ";
     if (!r.found) {
       std::cout << "NOT-FOUND hops " << r.hops << "\n";
       continue;
@@ -584,9 +658,197 @@ int cmd_locate(const Args& args) {
             << stats.cache_hits << " cache hits, " << engine.num_workers()
             << " workers); max hops " << max_hops << " (bound " << hop_bound
             << "), max stretch " << max_stretch << "\n";
-  // Exit status enforces the Theorem 5.2(a) instantiation end-to-end: every
-  // delivered walk inside the hop bound, and every walk delivered.
   return found == results.size() && max_hops <= hop_bound ? 0 : 1;
+}
+
+int cmd_locate(const Args& args) {
+  args.expect_known({"scenario", "object", "from", "queries", "threads",
+                     "cache", "max-hops", "seed"});
+  args.expect_positionals(
+      1, "locate: exactly one directory or churn-bundle snapshot file");
+  const LocateState state = load_locate_state(args.positional()[0], args);
+  const ObjectDirectory& dir = state.directory();
+
+  LocateOptions locate_opts;
+  locate_opts.max_hops = static_cast<std::size_t>(
+      parse_u64(args.get("max-hops", "10000"), "--max-hops"));
+  OracleEngine engine(state.epoch, engine_options(args), locate_opts);
+
+  std::vector<LocateQuery> queries;
+  if (args.has("object")) {
+    RON_CHECK(args.has("from"), "locate: --object requires --from "
+                                "\"u;u;...\"");
+    const ObjectId obj = dir.find(args.get("object", ""));
+    RON_CHECK(obj != kInvalidObject, "locate: object '"
+                                         << args.get("object", "")
+                                         << "' is not in the directory");
+    for (NodeId u : parse_node_list(args.get("from", ""), "--from node")) {
+      RON_CHECK(state.is_active(u),
+                "locate: querier " << u << " has left the overlay");
+      queries.emplace_back(u, obj);
+    }
+  } else {
+    if (!args.has("queries")) {
+      throw UsageError(
+          "locate: pass --object NAME --from \"u;...\" or --queries Q");
+    }
+    const std::size_t count = static_cast<std::size_t>(
+        parse_u64(args.get("queries", "0"), "--queries"));
+    RON_CHECK(count >= 1, "--queries must be >= 1");
+    Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
+    queries = random_servable_locates(state, count, rng);
+  }
+  return serve_locates(engine, dir, queries);
+}
+
+int cmd_churn(const Args& args) {
+  args.expect_known({"out", "ops", "churn-seed", "threads", "verify",
+                     "emit-directory"});
+  args.expect_positionals(
+      1, "churn: exactly one directory or churn-bundle snapshot file");
+  if (!args.has("out")) throw UsageError("churn: --out FILE is required");
+  const std::string path = args.positional()[0];
+  const std::string out = args.get("out", "");
+
+  // Load the starting state: a directory snapshot starts a fresh trace, a
+  // churn bundle is replayed and its trace extended.
+  ScenarioSpec spec;
+  ObjectDirectory initial(1);
+  ChurnTrace prior;
+  const std::uint32_t kind = peek_snapshot_kind(path);
+  if (kind == static_cast<std::uint32_t>(SnapshotKind::kChurnBundle)) {
+    LoadedChurnBundle bundle = load_churn_bundle(path);
+    spec = std::move(bundle.spec);
+    initial = std::move(bundle.initial);
+    prior = std::move(bundle.trace);
+  } else {
+    LoadedDirectory loaded = load_directory(path);
+    spec = std::move(loaded.spec);
+    initial = std::move(loaded.directory);
+  }
+
+  // Two distinct seeds, resolved BEFORE the mutator exists:
+  //   - the MAINTENANCE seed (spec.churn_seed) drives every ring-repair /
+  //     eviction / measure draw and must equal the seed recorded in the
+  //     emitted bundle, or replay would serve a different overlay than the
+  //     one verified below. A fresh bundle adopts --churn-seed; extending a
+  //     bundle keeps its original seed (the prior trace segment must replay
+  //     through the exact draws it was built with).
+  //   - the GENERATOR seed (--churn-seed, default spec.churn_seed) only
+  //     shapes which ops get generated — the ops themselves travel in the
+  //     trace, so it needs no provenance.
+  const bool extends_bundle =
+      kind == static_cast<std::uint32_t>(SnapshotKind::kChurnBundle);
+  const std::uint64_t generator_seed = parse_u64(
+      args.get("churn-seed", std::to_string(spec.churn_seed)),
+      "--churn-seed");
+  ScenarioBuilder builder(spec, thread_count(args));
+  ScenarioSpec mut_spec = builder.spec();
+  if (!extends_bundle) mut_spec.churn_seed = generator_seed;
+  auto mutator = std::make_unique<OverlayMutator>(builder.prox(), mut_spec,
+                                                  std::move(initial));
+  if (!prior.ops.empty()) mutator->apply(prior);
+
+  ChurnTraceParams params;
+  // spec.churn_ops is the requested workload for a directory's churn=
+  // clause; on a bundle it is the size of the trace already applied, so
+  // defaulting to it would double the trace every extension.
+  params.ops = static_cast<std::size_t>(parse_u64(
+      args.get("ops", !extends_bundle && spec.churn_ops > 0
+                          ? std::to_string(spec.churn_ops)
+                          : "256"),
+      "--ops"));
+  const ChurnTrace fresh =
+      generate_churn_trace(*mutator, params, generator_seed);
+  mutator->apply(fresh);
+
+  // Extend the stored trace: remap the fresh ops' object indices into the
+  // combined name table (the two traces number their names independently).
+  ChurnTrace combined = std::move(prior);
+  std::unordered_map<std::string, ObjectId> index;
+  for (ObjectId i = 0; i < combined.objects.size(); ++i) {
+    index.emplace(combined.objects[i], i);
+  }
+  for (const ChurnOp& op : fresh.ops) {
+    ChurnOp remapped = op;
+    if (op.kind == ChurnOpKind::kPublish ||
+        op.kind == ChurnOpKind::kUnpublish) {
+      const std::string& name = fresh.objects[op.object];
+      const auto [it, inserted] = index.try_emplace(
+          name, static_cast<ObjectId>(combined.objects.size()));
+      if (inserted) combined.objects.push_back(name);
+      remapped.object = it->second;
+    }
+    combined.ops.push_back(remapped);
+  }
+
+  ScenarioSpec out_spec = mut_spec;
+  out_spec.churn_ops = combined.ops.size();
+  // The bundle stores the directory BEFORE the combined trace — for a
+  // directory input that is the loaded one, for a bundle input it is the
+  // bundle's own initial state.
+  ObjectDirectory bundle_initial(builder.n());
+  {
+    // Reload cheaply from the input file rather than keeping two copies
+    // alive through the replay: the initial directory is authoritative.
+    if (kind == static_cast<std::uint32_t>(SnapshotKind::kChurnBundle)) {
+      bundle_initial = load_churn_bundle(path).initial;
+    } else {
+      bundle_initial = load_directory(path).directory;
+    }
+  }
+  save_churn_bundle(out_spec, bundle_initial, combined, out);
+
+  const ChurnCounters& c = mutator->counters();
+  std::cout << "churned " << fresh.ops.size() << " ops (trace total "
+            << combined.ops.size() << "): join " << c.joins << ", leave "
+            << c.leaves << ", publish " << c.publishes << ", unpublish "
+            << c.unpublishes << "\n  active " << mutator->active_count()
+            << "/" << mutator->n() << ", max out-degree "
+            << mutator->rings().max_out_degree() << ", ring repairs "
+            << c.ring_repairs << ", evictions " << c.evictions
+            << ", net promotions " << c.net_promotions << "\n  directory: "
+            << mutator->directory().num_objects() << " objects, "
+            << mutator->directory().total_replicas() << " replicas\n";
+  print_wrote(out);
+
+  if (args.has("emit-directory")) {
+    // Interop artifact: the patched holder sets as a plain directory
+    // snapshot (locate on it walks the STATIC overlay of the recipe). The
+    // churn clause is reset: it means "ops to generate and apply", and
+    // this directory's workload has already been applied — carrying it
+    // over would mislabel the artifact and re-run a full-size workload if
+    // the file is churned again.
+    ScenarioSpec dir_spec = out_spec;
+    dir_spec.churn_ops = ScenarioSpec{}.churn_ops;
+    dir_spec.churn_seed = ScenarioSpec{}.churn_seed;
+    save_directory(dir_spec, mutator->directory(),
+                   args.get("emit-directory", ""));
+    print_wrote(args.get("emit-directory", ""));
+  }
+
+  // Post-churn guarantee check over the very state the bundle will replay:
+  // every verification locate must deliver within the hop bound, or the
+  // exit status flags the bundle as bad.
+  const std::size_t verify = static_cast<std::size_t>(
+      parse_u64(args.get("verify", "64"), "--verify"));
+  if (verify > 0) {
+    LocateState state;
+    state.mutator = std::move(mutator);
+    state.epoch = state.mutator->commit();
+    const ObjectDirectory& dir = *state.epoch->directory;
+    if (dir.total_replicas() == 0) {
+      // Every object drained — a defined (if extreme) state with nothing
+      // servable to verify.
+      std::cout << "# verify skipped: every object has zero holders\n";
+      return 0;
+    }
+    OracleEngine engine(state.epoch, OracleOptions{1, 0});
+    Rng rng(generator_seed ^ 0x5eedULL);
+    return serve_locates(engine, dir,
+                         random_servable_locates(state, verify, rng));
+  }
+  return 0;
 }
 
 int run(int argc, char** argv) {
@@ -600,6 +862,7 @@ int run(int argc, char** argv) {
   if (cmd == "bench") return cmd_bench(args);
   if (cmd == "publish") return cmd_publish(args);
   if (cmd == "locate") return cmd_locate(args);
+  if (cmd == "churn") return cmd_churn(args);
   throw UsageError("unknown subcommand '" + cmd + "'");
 }
 
