@@ -27,6 +27,15 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DRON_BUILD_TESTS=OFF -DRON_BUILD_EXAMPLES=OFF >&2
 cmake --build "$BUILD" -j"$NPROC" >&2
 
+# Numbers are only comparable across runs when toolchain and sanitizer mode
+# are known: a TSan build is 5-15x slower and a different compiler shifts
+# every microbench. Both are read from the configured cache so they describe
+# the binaries actually run, not the ambient environment.
+CXX_BIN="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD/CMakeCache.txt" | head -1)"
+COMPILER="$("$CXX_BIN" --version 2>/dev/null | head -1 || echo unknown)"
+SANITIZE="$(sed -n 's/^RON_SANITIZE:[^=]*=//p' "$BUILD/CMakeCache.txt" | head -1)"
+SANITIZE="${SANITIZE:-OFF}"
+
 : > "$OUT"
 shopt -s nullglob
 for exe in "$BUILD"/bench/bench_*; do
@@ -59,8 +68,8 @@ done
 
 # One self-contained JSON artifact per run for the cross-PR trajectory.
 {
-  printf '{"commit":"%s","nproc":%s,"quick":%s,"benches":[\n' \
-    "$COMMIT" "$NPROC" "$QUICK"
+  printf '{"commit":"%s","nproc":%s,"quick":%s,"compiler":"%s","sanitize":"%s","benches":[\n' \
+    "$COMMIT" "$NPROC" "$QUICK" "$COMPILER" "$SANITIZE"
   sed '$!s/$/,/' "$OUT"
   printf ']}\n'
 } > "$ARTIFACT"

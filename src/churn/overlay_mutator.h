@@ -47,10 +47,17 @@
 // trace through a fresh mutator reproduces the same overlay bit-for-bit,
 // which is what lets a ChurnTrace travel in snapshots as a recipe.
 //
-// Serving: the mutator itself is single-threaded working state. commit()
-// freezes the current state into an immutable LocationEpoch (rings +
-// directory copies + a LocationService over them) that OracleEngine::apply
-// swaps in; in-flight batches keep the epoch they pinned.
+// Serving: the mutator itself is single-threaded working state — it takes
+// no locks and carries no thread-safety annotations (there is no shared
+// mutable state to guard; see common/thread_annotations.h for where those
+// apply). The commit/freeze boundary IS its concurrency contract: commit()
+// deep-copies the current rings+directory into an immutable LocationEpoch
+// (everything reachable from it is const) and hands it across threads only
+// through OracleEngine::apply()'s epoch_mu_ — after that publication the
+// mutator may keep mutating its working state freely while in-flight
+// batches serve the frozen epoch they pinned. The tsan.* stress shard runs
+// exactly that topology (mutate+commit on a maintenance thread racing
+// locate batches) under ThreadSanitizer.
 #pragma once
 
 #include <cstdint>

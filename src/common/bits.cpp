@@ -7,7 +7,7 @@
 namespace ron {
 
 int floor_log2(std::uint64_t x) {
-  RON_CHECK(x >= 1);
+  RON_CHECK(x >= 1, "floor_log2 of x=" << x);
   int r = 0;
   while (x > 1) {
     x >>= 1;
@@ -17,13 +17,13 @@ int floor_log2(std::uint64_t x) {
 }
 
 int ceil_log2(std::uint64_t x) {
-  RON_CHECK(x >= 1);
+  RON_CHECK(x >= 1, "ceil_log2 of x=" << x);
   int f = floor_log2(x);
   return (std::uint64_t{1} << f) == x ? f : f + 1;
 }
 
 std::uint64_t bits_for_index(std::uint64_t k) {
-  RON_CHECK(k >= 1);
+  RON_CHECK(k >= 1, "bits_for_index of k=" << k);
   int b = ceil_log2(k);
   return b < 1 ? 1 : static_cast<std::uint64_t>(b);
 }

@@ -20,7 +20,7 @@ std::string escape(const std::string& s) {
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> columns)
     : out_(path), columns_(columns.size()) {
-  RON_CHECK(columns_ > 0);
+  RON_CHECK(columns_ > 0, "CsvWriter needs at least one column");
   for (std::size_t i = 0; i < columns.size(); ++i) {
     if (i) out_ << ',';
     out_ << escape(columns[i]);

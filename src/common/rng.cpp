@@ -5,7 +5,7 @@
 namespace ron {
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
-  RON_CHECK(!weights.empty());
+  RON_CHECK(!weights.empty(), "weighted_index over empty weights");
   double total = 0.0;
   for (double w : weights) {
     RON_CHECK(w >= 0.0, "negative weight");

@@ -27,7 +27,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
-    RON_CHECK(lo <= hi);
+    RON_CHECK(lo <= hi, "lo=" << lo << " > hi=" << hi);
     std::uniform_int_distribution<std::uint64_t> d(lo, hi);
     return d(engine_);
   }

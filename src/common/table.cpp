@@ -11,7 +11,7 @@ namespace ron {
 
 ConsoleTable::ConsoleTable(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
-  RON_CHECK(!headers_.empty());
+  RON_CHECK(!headers_.empty(), "ConsoleTable needs at least one header");
 }
 
 void ConsoleTable::add_row(std::vector<std::string> cells) {

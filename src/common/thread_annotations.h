@@ -1,0 +1,100 @@
+// Clang thread-safety annotation macros (no-ops elsewhere).
+//
+// These wrap clang's -Wthread-safety attribute set so locking contracts are
+// machine-checked at compile time on clang and cost nothing on gcc: which
+// mutex guards which field (RON_GUARDED_BY), which functions must hold or
+// must NOT hold a lock (RON_REQUIRES / RON_EXCLUDES), and which types are
+// lockable capabilities in the first place (RON_CAPABILITY). The CI tsan job
+// builds with clang and RON_WERROR=ON, so a new field that touches shared
+// state without an annotation — or an access path that skips the lock — is
+// a build error there, not a soak-test coin flip.
+//
+// The macro set follows the canonical mock_annotations layout from the clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html),
+// RON_-prefixed to keep the repo's namespace. std::mutex and the std lock
+// RAII types are already known to the analysis via the attributes libc++
+// ships; on libstdc++ clang treats them as capabilities through the
+// -Wthread-safety "beta" aliasing of lockable types, and every annotation
+// here names members/functions of our own classes, so the analysis stays
+// meaningful on both standard libraries.
+//
+// What the annotations CANNOT express — and how those contracts are checked
+// instead:
+//   - per-worker single-owner state (the engine's LRU shards and epoch
+//     tags): ownership is by sharding discipline, not by a lock. The
+//     tsan.* stress shard in tests/test_concurrency.cpp drives those paths
+//     under ThreadSanitizer.
+//   - publish/consume handoffs sequenced by a condition-variable protocol
+//     (the engine's shard_index_ / batch results): same answer — TSan sees
+//     the happens-before edges through the mutex+cv and flags any access
+//     outside them.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RON_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on gcc/msvc
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define RON_CAPABILITY(x) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability for its lifetime.
+#define RON_SCOPED_CAPABILITY \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field is protected by the given mutex; reads and writes require it held.
+#define RON_GUARDED_BY(x) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the mutex.
+#define RON_PT_GUARDED_BY(x) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define RON_ACQUIRED_BEFORE(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define RON_ACQUIRED_AFTER(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define RON_REQUIRES(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define RON_REQUIRES_SHARED(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define RON_ACQUIRE(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define RON_ACQUIRE_SHARED(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define RON_RELEASE(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RON_RELEASE_SHARED(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// calling with it held would deadlock a non-recursive mutex).
+#define RON_EXCLUDES(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Try-lock: acquires the capability iff the return value equals `b`.
+#define RON_TRY_ACQUIRE(...) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define RON_ASSERT_CAPABILITY(x) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RON_RETURN_CAPABILITY(x) \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the analysis is disabled for this function. Every use must
+/// carry a comment saying which discipline protects the access instead
+/// (tools/ron_lint.py has no rule for this yet, reviewers do).
+#define RON_NO_THREAD_SAFETY_ANALYSIS \
+  RON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -9,11 +9,11 @@
 namespace ron {
 
 RingsOfNeighbors::RingsOfNeighbors(std::size_t n) : rings_(n), neighbors_(n) {
-  RON_CHECK(n >= 1);
+  RON_CHECK(n >= 1, "n=" << n);
 }
 
 void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   std::sort(ring.members.begin(), ring.members.end());
   ring.members.erase(std::unique(ring.members.begin(), ring.members.end()),
                      ring.members.end());
@@ -33,7 +33,7 @@ void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
 }
 
 Ring& RingsOfNeighbors::ring_at(NodeId u, std::size_t ring_index) {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   RON_CHECK(ring_index < rings_[u].size(),
             "ring index " << ring_index << " out of range (node " << u
                           << " has " << rings_[u].size() << " rings)");
@@ -88,7 +88,7 @@ bool RingsOfNeighbors::remove_member(NodeId u, std::size_t ring_index,
 }
 
 void RingsOfNeighbors::clear_members(NodeId u) {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   for (Ring& ring : rings_[u]) ring.members.clear();
   std::vector<NodeId>& cache = neighbors_[u];
   const bool was_max = cache.size() == max_degree_;
@@ -104,7 +104,7 @@ void RingsOfNeighbors::set_ring_scale(NodeId u, std::size_t ring_index,
 
 bool RingsOfNeighbors::ring_contains(NodeId u, std::size_t ring_index,
                                      NodeId v) const {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   RON_CHECK(ring_index < rings_[u].size(),
             "ring index " << ring_index << " out of range");
   const std::vector<NodeId>& ms = rings_[u][ring_index].members;
@@ -112,12 +112,12 @@ bool RingsOfNeighbors::ring_contains(NodeId u, std::size_t ring_index,
 }
 
 std::span<const Ring> RingsOfNeighbors::rings(NodeId u) const {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   return rings_[u];
 }
 
 const std::vector<NodeId>& RingsOfNeighbors::all_neighbors(NodeId u) const {
-  RON_CHECK(u < rings_.size());
+  RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   return neighbors_[u];
 }
 
@@ -132,7 +132,8 @@ std::uint64_t RingsOfNeighbors::pointer_bits(NodeId u) const {
 Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
                               std::size_t min_ball_size, std::size_t count,
                               Rng& rng) {
-  RON_CHECK(min_ball_size >= 1 && min_ball_size <= prox.n());
+  RON_CHECK(min_ball_size >= 1 && min_ball_size <= prox.n(),
+            "min_ball_size=" << min_ball_size << ", n=" << prox.n());
   const Dist r = prox.kth_radius(u, min_ball_size);
   auto ball = prox.ball(u, r);
   Ring ring;

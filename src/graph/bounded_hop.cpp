@@ -10,8 +10,10 @@ BoundedHopResult bounded_hop_paths(const WeightedGraph& g, NodeId target,
                                    const std::vector<Dist>& exact_dist,
                                    double delta, std::uint32_t max_hops) {
   const std::size_t n = g.n();
-  RON_CHECK(target < n && exact_dist.size() == n);
-  RON_CHECK(delta >= 0.0);
+  RON_CHECK(target < n && exact_dist.size() == n,
+            "target=" << target << ", n=" << n << ", dists="
+                      << exact_dist.size());
+  RON_CHECK(delta >= 0.0, "delta=" << delta);
   BoundedHopResult r;
   r.best_dist.assign(n, kInfDist);
   r.hops.assign(n, max_hops + 1);
@@ -70,7 +72,7 @@ BoundedHopResult bounded_hop_paths(const WeightedGraph& g, NodeId target,
 
 std::vector<NodeId> bounded_hop_path(const BoundedHopResult& r, NodeId v,
                                      NodeId target) {
-  RON_CHECK(v < r.hops.size());
+  RON_CHECK(v < r.hops.size(), "node v=" << v << ", n=" << r.hops.size());
   RON_CHECK(r.hops[v] < r.hops.size() + 1 && r.best_dist[v] != kInfDist,
             "no bounded-hop path recorded for node " << v);
   std::vector<NodeId> path{v};
@@ -89,7 +91,9 @@ std::uint32_t estimate_hop_bound(const WeightedGraph& g,
                                  const std::vector<NodeId>& sample_targets,
                                  const std::vector<std::vector<Dist>>& dists,
                                  double delta, std::uint32_t max_hops) {
-  RON_CHECK(sample_targets.size() == dists.size());
+  RON_CHECK(sample_targets.size() == dists.size(),
+            "targets=" << sample_targets.size() << ", dists="
+                       << dists.size());
   std::uint32_t worst = 0;
   for (std::size_t i = 0; i < sample_targets.size(); ++i) {
     auto r = bounded_hop_paths(g, sample_targets[i], dists[i], delta,

@@ -8,7 +8,7 @@
 namespace ron {
 
 SsspResult dijkstra(const WeightedGraph& g, NodeId source) {
-  RON_CHECK(source < g.n());
+  RON_CHECK(source < g.n(), "source=" << source << ", n=" << g.n());
   const std::size_t n = g.n();
   SsspResult r;
   r.dist.assign(n, kInfDist);
@@ -40,7 +40,8 @@ SsspResult dijkstra(const WeightedGraph& g, NodeId source) {
 std::vector<EdgeIndex> first_hops(const WeightedGraph& g, NodeId source,
                                   const SsspResult& sssp) {
   const std::size_t n = g.n();
-  RON_CHECK(sssp.dist.size() == n);
+  RON_CHECK(sssp.dist.size() == n,
+            "dists=" << sssp.dist.size() << ", n=" << n);
   std::vector<EdgeIndex> fh(n, kInvalidEdge);
   // Process nodes in order of increasing distance so that a node's first hop
   // can be copied from its parent (unless its parent is the source).

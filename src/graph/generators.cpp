@@ -11,8 +11,9 @@ namespace ron {
 
 WeightedGraph grid_graph(std::size_t width, std::size_t height,
                          double perturb, std::uint64_t seed) {
-  RON_CHECK(width >= 1 && height >= 1 && width * height >= 2);
-  RON_CHECK(perturb >= 0.0);
+  RON_CHECK(width >= 1 && height >= 1 && width * height >= 2,
+            "grid " << width << "x" << height);
+  RON_CHECK(perturb >= 0.0, "perturb=" << perturb);
   Rng rng(seed);
   WeightedGraph g(width * height, "grid-graph");
   auto id = [&](std::size_t x, std::size_t y) {
@@ -29,7 +30,7 @@ WeightedGraph grid_graph(std::size_t width, std::size_t height,
 }
 
 WeightedGraph cycle_graph(std::size_t n) {
-  RON_CHECK(n >= 3);
+  RON_CHECK(n >= 3, "ring generator needs n>=3, n=" << n);
   WeightedGraph g(n, "cycle");
   for (NodeId u = 0; u < n; ++u) {
     g.add_undirected_edge(u, static_cast<NodeId>((u + 1) % n), 1.0);
@@ -49,7 +50,8 @@ bool is_connected(const WeightedGraph& g) {
 
 WeightedGraph random_geometric_graph(std::size_t n, double radius,
                                      std::uint64_t seed, double side) {
-  RON_CHECK(n >= 2 && radius > 0.0 && side > 0.0);
+  RON_CHECK(n >= 2 && radius > 0.0 && side > 0.0,
+            "n=" << n << ", radius=" << radius << ", side=" << side);
   Rng rng(seed);
   std::vector<double> x(n), y(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -75,7 +77,8 @@ WeightedGraph random_geometric_graph(std::size_t n, double radius,
 
 WeightedGraph ring_of_cliques(std::size_t k, std::size_t m,
                               double bridge_weight) {
-  RON_CHECK(k >= 3 && m >= 2 && bridge_weight > 0.0);
+  RON_CHECK(k >= 3 && m >= 2 && bridge_weight > 0.0,
+            "k=" << k << ", m=" << m << ", bridge_weight=" << bridge_weight);
   WeightedGraph g(k * m, "ring-of-cliques");
   auto id = [&](std::size_t clique, std::size_t member) {
     return static_cast<NodeId>(clique * m + member);

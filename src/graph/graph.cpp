@@ -9,7 +9,7 @@ namespace ron {
 
 WeightedGraph::WeightedGraph(std::size_t n, std::string name)
     : n_(n), adj_(n), name_(std::move(name)) {
-  RON_CHECK(n_ >= 1);
+  RON_CHECK(n_ >= 1, "n=" << n_);
 }
 
 void WeightedGraph::add_edge(NodeId u, NodeId v, Dist weight) {
@@ -27,7 +27,7 @@ void WeightedGraph::add_undirected_edge(NodeId u, NodeId v, Dist weight) {
 }
 
 std::span<const Edge> WeightedGraph::out_edges(NodeId u) const {
-  RON_CHECK(u < n_);
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
   return adj_[u];
 }
 

@@ -6,7 +6,7 @@ namespace ron {
 
 GraphMetric::GraphMetric(std::shared_ptr<const Apsp> apsp, std::string name)
     : apsp_(std::move(apsp)), name_(std::move(name)) {
-  RON_CHECK(apsp_ != nullptr);
+  RON_CHECK(apsp_ != nullptr, "GraphMetric needs an APSP table");
 }
 
 GraphMetric::GraphMetric(const WeightedGraph& g)

@@ -43,7 +43,7 @@ BeaconTriangulation::BeaconTriangulation(const ProximityIndex& prox,
 }
 
 const TriangulationLabel& BeaconTriangulation::label(NodeId u) const {
-  RON_CHECK(u < labels_.size());
+  RON_CHECK(u < labels_.size(), "node u=" << u << ", n=" << labels_.size());
   return labels_[u];
 }
 

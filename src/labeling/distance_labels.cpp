@@ -69,7 +69,9 @@ std::size_t walk_chain(const DlsLabel& a, const DlsLabel& b, Dist& upper) {
       } else {
         const std::uint32_t za = a.zeta[j][p].z;
         const std::uint32_t zb = b.zeta[j][q].z;
-        RON_CHECK(za < a.host_dist.size() && zb < b.host_dist.size());
+        RON_CHECK(za < a.host_dist.size() && zb < b.host_dist.size(),
+                  "za=" << za << "/" << a.host_dist.size() << ", zb=" << zb
+                        << "/" << b.host_dist.size());
         upper = std::min(upper, a.host_dist[za] + b.host_dist[zb]);
         ++candidates;
         ++p;
@@ -227,7 +229,7 @@ DistanceLabeling DistanceLabeling::from_parts(DistanceCodec codec,
 }
 
 const DlsLabel& DistanceLabeling::label(NodeId u) const {
-  RON_CHECK(u < labels_.size());
+  RON_CHECK(u < labels_.size(), "node u=" << u << ", n=" << labels_.size());
   return labels_[u];
 }
 
@@ -245,7 +247,7 @@ DlsEstimate DistanceLabeling::estimate(const DlsLabel& a, const DlsLabel& b) {
 }
 
 std::uint64_t DistanceLabeling::label_bits(NodeId u) const {
-  RON_CHECK(u < labels_.size());
+  RON_CHECK(u < labels_.size(), "node u=" << u << ", n=" << labels_.size());
   const DlsLabel& lab = labels_[u];
   const std::uint64_t phi_bits = bits_for_index(
       std::max<std::size_t>(lab.host_dist.size(), 2));

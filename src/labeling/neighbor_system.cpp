@@ -173,67 +173,76 @@ void NeighborSystem::build_host_and_virtual() {
 }
 
 const EpsMuPacking& NeighborSystem::packing(int i) const {
-  RON_CHECK(i >= 0 && i < num_levels_);
+  RON_CHECK(i >= 0 && i < num_levels_,
+            "level i=" << i << ", num_levels=" << num_levels_);
   return *packings_[i];
 }
 
 Dist NeighborSystem::r(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return r_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 Dist NeighborSystem::r_prev(NodeId u, int i) const {
-  RON_CHECK(i >= 0);
+  RON_CHECK(i >= 0, "level i=" << i);
   return i == 0 ? kInfDist : r(u, i - 1);
 }
 
 std::span<const NodeId> NeighborSystem::X(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return x_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 std::span<const NodeId> NeighborSystem::Y(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return y_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 NodeId NeighborSystem::nearest_x(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return nearest_x_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 NodeId NeighborSystem::f(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return f_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 int NeighborSystem::y_level(NodeId u, int i) const {
-  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_);
+  RON_CHECK(u < prox_.n() && i >= 0 && i < num_levels_,
+            "u=" << u << "/" << prox_.n() << ", i=" << i << "/" << num_levels_);
   return y_level_[static_cast<std::size_t>(u) * num_levels_ + i];
 }
 
 std::span<const NodeId> NeighborSystem::Z(NodeId u, int j) const {
-  RON_CHECK(u < prox_.n() && j >= 1 && j <= num_z_scales_);
+  RON_CHECK(u < prox_.n() && j >= 1 && j <= num_z_scales_,
+            "u=" << u << "/" << prox_.n() << ", j=" << j << "/"
+                 << num_z_scales_);
   return z_[static_cast<std::size_t>(u) * num_z_scales_ + (j - 1)];
 }
 
 std::span<const NodeId> NeighborSystem::Z_all(NodeId u) const {
-  RON_CHECK(u < prox_.n());
+  RON_CHECK(u < prox_.n(), "node u=" << u << ", n=" << prox_.n());
   return z_all_[u];
 }
 
 std::span<const NodeId> NeighborSystem::X_all(NodeId u) const {
-  RON_CHECK(u < prox_.n());
+  RON_CHECK(u < prox_.n(), "node u=" << u << ", n=" << prox_.n());
   return x_all_[u];
 }
 
 std::span<const NodeId> NeighborSystem::host_set(NodeId u) const {
-  RON_CHECK(u < prox_.n());
+  RON_CHECK(u < prox_.n(), "node u=" << u << ", n=" << prox_.n());
   return host_[u];
 }
 
 std::span<const NodeId> NeighborSystem::virtual_set(NodeId u) const {
-  RON_CHECK(u < prox_.n());
+  RON_CHECK(u < prox_.n(), "node u=" << u << ", n=" << prox_.n());
   return virtual_[u];
 }
 

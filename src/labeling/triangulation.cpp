@@ -51,7 +51,7 @@ Triangulation::Triangulation(const NeighborSystem& sys) {
 }
 
 const TriangulationLabel& Triangulation::label(NodeId u) const {
-  RON_CHECK(u < labels_.size());
+  RON_CHECK(u < labels_.size(), "node u=" << u << ", n=" << labels_.size());
   return labels_[u];
 }
 
@@ -69,7 +69,7 @@ double Triangulation::avg_order() const {
 
 std::uint64_t Triangulation::label_bits(NodeId u,
                                         const DistanceCodec& codec) const {
-  RON_CHECK(u < labels_.size());
+  RON_CHECK(u < labels_.size(), "node u=" << u << ", n=" << labels_.size());
   const std::uint64_t per_beacon =
       bits_for_index(labels_.size()) + codec.bits();
   return labels_[u].beacons.size() * per_beacon;

@@ -8,7 +8,7 @@
 namespace ron {
 
 std::size_t location_hop_bound(std::size_t n) {
-  RON_CHECK(n >= 1);
+  RON_CHECK(n >= 1, "n=" << n);
   const auto log_n = static_cast<std::size_t>(
       std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
   return 4 * log_n + 8;

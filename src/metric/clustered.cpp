@@ -9,8 +9,10 @@ namespace ron {
 
 EuclideanMetric clustered_metric(const ClusteredParams& p,
                                  std::uint64_t seed) {
-  RON_CHECK(p.clusters >= 1 && p.per_cluster >= 1 && p.dim >= 1);
-  RON_CHECK(p.subclusters >= 1);
+  RON_CHECK(p.clusters >= 1 && p.per_cluster >= 1 && p.dim >= 1,
+            "clusters=" << p.clusters << ", per_cluster=" << p.per_cluster
+                        << ", dim=" << p.dim);
+  RON_CHECK(p.subclusters >= 1, "subclusters=" << p.subclusters);
   RON_CHECK(p.world_side > p.cluster_side && p.cluster_side > p.subcluster_side,
             "scales must be separated: world > cluster > subcluster");
   Rng rng(seed);

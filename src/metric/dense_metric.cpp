@@ -9,7 +9,7 @@ namespace ron {
 DenseMetric::DenseMetric(std::size_t n, std::vector<Dist> matrix,
                          std::string name)
     : n_(n), matrix_(std::move(matrix)), name_(std::move(name)) {
-  RON_CHECK(n_ >= 1);
+  RON_CHECK(n_ >= 1, "n=" << n_);
   RON_CHECK(matrix_.size() == n_ * n_, "matrix size must be n*n");
   check_axioms();
 }
@@ -18,7 +18,7 @@ DenseMetric::DenseMetric(std::size_t n,
                          const std::function<Dist(NodeId, NodeId)>& dist_fn,
                          std::string name)
     : n_(n), matrix_(n * n), name_(std::move(name)) {
-  RON_CHECK(n_ >= 1);
+  RON_CHECK(n_ >= 1, "n=" << n_);
   for (NodeId u = 0; u < n_; ++u) {
     for (NodeId v = 0; v < n_; ++v) {
       matrix_[static_cast<std::size_t>(u) * n_ + v] = dist_fn(u, v);

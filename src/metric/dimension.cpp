@@ -38,7 +38,7 @@ std::size_t greedy_half_cover_size(const ProximityIndex& prox,
 DimensionEstimate estimate_doubling_dimension(const ProximityIndex& prox,
                                               std::size_t center_samples,
                                               std::uint64_t seed) {
-  RON_CHECK(center_samples >= 1);
+  RON_CHECK(center_samples >= 1, "center_samples=" << center_samples);
   Rng rng(seed);
   DimensionEstimate est;
   double sum = 0.0;
@@ -65,7 +65,7 @@ DimensionEstimate estimate_doubling_dimension(const ProximityIndex& prox,
 DimensionEstimate estimate_grid_dimension(const ProximityIndex& prox,
                                           std::size_t center_samples,
                                           std::uint64_t seed) {
-  RON_CHECK(center_samples >= 1);
+  RON_CHECK(center_samples >= 1, "center_samples=" << center_samples);
   Rng rng(seed);
   DimensionEstimate est;
   double sum = 0.0;

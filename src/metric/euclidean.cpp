@@ -14,7 +14,7 @@ EuclideanMetric::EuclideanMetric(std::vector<double> points, std::size_t dim,
       dim_(dim),
       p_(p),
       name_(std::move(name)) {
-  RON_CHECK(dim_ >= 1);
+  RON_CHECK(dim_ >= 1, "dim=" << dim_);
   RON_CHECK(!points_.empty() && points_.size() % dim_ == 0,
             "points size must be a multiple of dim");
   RON_CHECK(p_ >= 1.0, "l_p norm needs p >= 1");
@@ -48,7 +48,8 @@ Dist EuclideanMetric::distance(NodeId u, NodeId v) const {
 
 EuclideanMetric random_cube_metric(std::size_t n, std::size_t dim,
                                    std::uint64_t seed, double side) {
-  RON_CHECK(n >= 1 && dim >= 1 && side > 0.0);
+  RON_CHECK(n >= 1 && dim >= 1 && side > 0.0,
+            "n=" << n << ", dim=" << dim << ", side=" << side);
   Rng rng(seed);
   std::vector<double> pts(n * dim);
   for (double& x : pts) x = rng.uniform(0.0, side);
@@ -56,7 +57,7 @@ EuclideanMetric random_cube_metric(std::size_t n, std::size_t dim,
 }
 
 EuclideanMetric grid_metric(std::size_t width, std::size_t height) {
-  RON_CHECK(width >= 1 && height >= 1);
+  RON_CHECK(width >= 1 && height >= 1, "grid " << width << "x" << height);
   std::vector<double> pts;
   pts.reserve(width * height * 2);
   for (std::size_t y = 0; y < height; ++y) {

@@ -28,7 +28,7 @@ Dist GeometricLineMetric::distance(NodeId u, NodeId v) const {
 
 UniformLineMetric::UniformLineMetric(std::size_t n, double spacing)
     : n_(n), spacing_(spacing) {
-  RON_CHECK(n_ >= 1 && spacing_ > 0.0);
+  RON_CHECK(n_ >= 1 && spacing_ > 0.0, "n=" << n_ << ", spacing=" << spacing_);
 }
 
 Dist UniformLineMetric::distance(NodeId u, NodeId v) const {
@@ -39,7 +39,7 @@ Dist UniformLineMetric::distance(NodeId u, NodeId v) const {
 
 RingMetric::RingMetric(std::size_t n, double spacing)
     : n_(n), spacing_(spacing) {
-  RON_CHECK(n_ >= 3 && spacing_ > 0.0);
+  RON_CHECK(n_ >= 3 && spacing_ > 0.0, "n=" << n_ << ", spacing=" << spacing_);
 }
 
 Dist RingMetric::distance(NodeId u, NodeId v) const {

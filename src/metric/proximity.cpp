@@ -94,7 +94,7 @@ ProximityIndex::ProximityIndex(const MetricSpace& metric, unsigned num_threads)
 }
 
 std::span<const ProximityIndex::Neighbor> ProximityIndex::row(NodeId u) const {
-  RON_CHECK(u < n_);
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
   return {&rows_[static_cast<std::size_t>(u) * n_], n_};
 }
 

@@ -31,6 +31,13 @@ class ProximityIndex {
   /// (0 = one per hardware core, or serial for small metrics); results are
   /// identical for any thread count. `metric.distance()` must be safe to
   /// call concurrently.
+  ///
+  /// Parallel-construction handoff: each worker writes only its own slice
+  /// of rows_ and its own dmin/dmax accumulator slot; the spawning thread
+  /// reads them strictly after join() (the happens-before edge TSan checks
+  /// — the tsan.* stress shard builds the index multi-threaded and asserts
+  /// bit-identical results against a serial build). No locks, so no
+  /// thread-safety annotations: disjointness is the whole contract.
   explicit ProximityIndex(const MetricSpace& metric,
                           unsigned num_threads = 0);
 

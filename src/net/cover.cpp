@@ -6,7 +6,7 @@ namespace ron {
 
 std::vector<NodeId> greedy_cover(const ProximityIndex& prox,
                                  std::span<const NodeId> set, Dist r) {
-  RON_CHECK(r >= 0.0);
+  RON_CHECK(r >= 0.0, "cover radius r=" << r);
   std::vector<NodeId> remaining(set.begin(), set.end());
   std::vector<NodeId> centers;
   while (!remaining.empty()) {

@@ -16,7 +16,7 @@ std::vector<double> doubling_measure(const NetHierarchy& nets) {
   // processed. Start at the top level with equal mass per root.
   std::vector<double> mass(n, 0.0);
   auto roots = nets.members(top);
-  RON_CHECK(!roots.empty());
+  RON_CHECK(!roots.empty(), "hierarchy has no roots");
   for (NodeId r : roots) {
     mass[r] = 1.0 / static_cast<double>(roots.size());
   }
@@ -35,7 +35,7 @@ std::vector<double> doubling_measure(const NetHierarchy& nets) {
     }
     for (NodeId q : fine) {
       const NodeId p = nets.nearest_member(l, q);
-      RON_CHECK(child_count[p] > 0);
+      RON_CHECK(child_count[p] > 0, "node p=" << p << " has no children");
       next_mass[q] += mass[p] / static_cast<double>(child_count[p]);
     }
     mass.swap(next_mass);
@@ -48,7 +48,7 @@ std::vector<double> doubling_measure(const NetHierarchy& nets) {
 }
 
 std::vector<double> counting_measure(std::size_t n) {
-  RON_CHECK(n >= 1);
+  RON_CHECK(n >= 1, "n=" << n);
   return std::vector<double>(n, 1.0 / static_cast<double>(n));
 }
 

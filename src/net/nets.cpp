@@ -10,7 +10,7 @@ namespace ron {
 
 std::vector<NodeId> greedy_net(const ProximityIndex& prox, Dist r,
                                std::span<const NodeId> initial) {
-  RON_CHECK(r > 0.0);
+  RON_CHECK(r > 0.0, "net radius r=" << r);
   const std::size_t n = prox.n();
   std::vector<NodeId> net(initial.begin(), initial.end());
   // Track, for every node, the distance to the closest net point seen so
@@ -34,7 +34,7 @@ std::vector<NodeId> greedy_net(const ProximityIndex& prox, Dist r,
 
 NetHierarchy::NetHierarchy(const ProximityIndex& prox, int l_max)
     : prox_(prox), l_max_(l_max) {
-  RON_CHECK(l_max_ >= 0);
+  RON_CHECK(l_max_ >= 0, "l_max=" << l_max_);
   const std::size_t n = prox_.n();
   members_.resize(l_max_ + 1);
   is_member_.assign(l_max_ + 1, std::vector<bool>(n, false));
@@ -66,33 +66,36 @@ NetHierarchy::NetHierarchy(const ProximityIndex& prox, int l_max)
 }
 
 Dist NetHierarchy::spacing(int l) const {
-  RON_CHECK(l >= 0 && l <= l_max_);
+  RON_CHECK(l >= 0 && l <= l_max_, "level l=" << l << ", l_max=" << l_max_);
   return prox_.dmin() * std::ldexp(1.0, l);
 }
 
 bool NetHierarchy::is_member(int l, NodeId v) const {
-  RON_CHECK(l >= 0 && l <= l_max_ && v < prox_.n());
+  RON_CHECK(l >= 0 && l <= l_max_ && v < prox_.n(),
+            "l=" << l << "/" << l_max_ << ", v=" << v << "/" << prox_.n());
   return is_member_[l][v];
 }
 
 std::span<const NodeId> NetHierarchy::members(int l) const {
-  RON_CHECK(l >= 0 && l <= l_max_);
+  RON_CHECK(l >= 0 && l <= l_max_, "level l=" << l << ", l_max=" << l_max_);
   return members_[l];
 }
 
 NodeId NetHierarchy::nearest_member(int l, NodeId u) const {
-  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n());
+  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n(),
+            "l=" << l << "/" << l_max_ << ", u=" << u << "/" << prox_.n());
   return nearest_[l][u];
 }
 
 Dist NetHierarchy::nearest_member_dist(int l, NodeId u) const {
-  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n());
+  RON_CHECK(l >= 0 && l <= l_max_ && u < prox_.n(),
+            "l=" << l << "/" << l_max_ << ", u=" << u << "/" << prox_.n());
   return nearest_dist_[l][u];
 }
 
 std::vector<NodeId> NetHierarchy::members_in_ball(int l, NodeId u,
                                                   Dist R) const {
-  RON_CHECK(l >= 0 && l <= l_max_);
+  RON_CHECK(l >= 0 && l <= l_max_, "level l=" << l << ", l_max=" << l_max_);
   std::vector<NodeId> out;
   for (const auto& nb : prox_.ball(u, R)) {
     if (is_member_[l][nb.v]) out.push_back(nb.v);
@@ -101,7 +104,7 @@ std::vector<NodeId> NetHierarchy::members_in_ball(int l, NodeId u,
 }
 
 int NetHierarchy::level_for_radius(Dist r) const {
-  RON_CHECK(r > 0.0);
+  RON_CHECK(r > 0.0, "net radius r=" << r);
   int l = floor_log2_real(r / prox_.dmin());
   if (l < 0) l = 0;
   if (l > l_max_) l = l_max_;

@@ -83,7 +83,7 @@ EpsMuPacking::EpsMuPacking(const MeasureView& mu, double eps)
     for (NodeId v : cand.members) taken[v] = true;
     balls_.push_back(std::move(cand));
   }
-  RON_CHECK(!balls_.empty());
+  RON_CHECK(!balls_.empty(), "packing produced no balls");
   // Certify every node (Lemma A.1's coverage guarantee).
   cert_.assign(n, balls_.size());
   for (NodeId u = 0; u < n; ++u) {
@@ -103,7 +103,7 @@ EpsMuPacking::EpsMuPacking(const MeasureView& mu, double eps)
 }
 
 std::size_t EpsMuPacking::certified_ball(NodeId u) const {
-  RON_CHECK(u < cert_.size());
+  RON_CHECK(u < cert_.size(), "node u=" << u << ", n=" << cert_.size());
   return cert_[u];
 }
 

@@ -63,7 +63,7 @@ OracleEngine::OracleEngine(std::shared_ptr<const LocationEpoch> epoch,
 
 OracleEngine::~OracleEngine() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -83,7 +83,7 @@ const DistanceLabeling& OracleEngine::labeling() const {
 }
 
 std::shared_ptr<const LocationEpoch> OracleEngine::current_epoch() const {
-  std::lock_guard<std::mutex> lk(epoch_mu_);
+  MutexLock lk(epoch_mu_);
   return epoch_;
 }
 
@@ -95,7 +95,7 @@ void OracleEngine::set_epoch(std::shared_ptr<const LocationEpoch> epoch,
             "OracleEngine: labeling over " << labeling_->n()
                                            << " nodes, location over "
                                            << epoch->service->n());
-  std::lock_guard<std::mutex> lk(epoch_mu_);
+  MutexLock lk(epoch_mu_);
   if (epoch_ != nullptr) {
     RON_CHECK(epoch_->service->n() == epoch->service->n(),
               "OracleEngine: epoch over " << epoch->service->n()
@@ -159,22 +159,29 @@ LocateResult OracleEngine::locate(NodeId querier, ObjectId obj) const {
 
 void OracleEngine::worker_main(unsigned w) {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  // Explicit lock/unlock rather than a scoped guard: the protocol holds
+  // mu_ across the park/claim edge and releases it around the shard work.
+  // The predicate is an inline loop (not a wait(lk, pred) lambda) so the
+  // thread-safety analysis can see the guarded reads under the lock.
+  mu_.lock();
   while (true) {
-    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
+    while (!stop_ && generation_ == seen) cv_start_.wait(mu_);
+    if (stop_) {
+      mu_.unlock();
+      return;
+    }
     seen = generation_;
     // Copy the shard function so it survives the unlocked region even if
     // the dispatcher publishes the next batch before this worker reawakens.
     auto fn = batch_fn_;
-    lk.unlock();
+    mu_.unlock();
     std::exception_ptr err;
     try {
       fn(w);
     } catch (...) {
       err = std::current_exception();
     }
-    lk.lock();
+    mu_.lock();
     if (err != nullptr && batch_error_ == nullptr) batch_error_ = err;
     if (--remaining_ == 0) cv_done_.notify_one();
   }
@@ -249,22 +256,22 @@ void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
     shard_fn(0);
   } else {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       batch_fn_ = shard_fn;
       batch_error_ = nullptr;
       remaining_ = workers_;
       ++generation_;
     }
     cv_start_.notify_all();
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return remaining_ == 0; });
-    batch_fn_ = nullptr;
-    if (batch_error_ != nullptr) {
-      std::exception_ptr err = batch_error_;
+    std::exception_ptr err;
+    {
+      MutexLock lk(mu_);
+      while (remaining_ != 0) cv_done_.wait(mu_);
+      batch_fn_ = nullptr;
+      err = batch_error_;
       batch_error_ = nullptr;
-      lk.unlock();
-      std::rethrow_exception(err);
     }
+    if (err != nullptr) std::rethrow_exception(err);
   }
 
   const std::chrono::duration<double> elapsed =

@@ -21,7 +21,12 @@
 // Threading contract: batches are submitted from one dispatcher thread at a
 // time (the engine is the concurrency). Workers park on a condition variable
 // between batches and run whatever shard function the dispatcher published;
-// the pool is joined on destruction.
+// the pool is joined on destruction. The two locking domains are annotated
+// for clang's -Wthread-safety (see common/thread_annotations.h): pool state
+// under mu_, the live epoch pointer under epoch_mu_, and the two are never
+// held together. Per-worker state (cache shards, epoch tags, shard_index_)
+// is single-owner by the batch protocol — outside the annotations' reach,
+// covered by the tsan.* stress shard instead.
 //
 // Epochs: location state is served through LocationEpoch bundles. apply()
 // swaps the current epoch atomically (it may be called from a maintenance
@@ -32,19 +37,19 @@
 // served across an epoch boundary.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "labeling/distance_labels.h"
 #include "location/location_service.h"
 #include "oracle/lru.h"
@@ -119,7 +124,7 @@ class OracleEngine {
   OracleEngine(std::shared_ptr<const LocationEpoch> epoch, OracleOptions opts,
                LocateOptions locate_opts = {});
 
-  ~OracleEngine();
+  ~OracleEngine() RON_EXCLUDES(mu_, epoch_mu_);
 
   OracleEngine(const OracleEngine&) = delete;
   OracleEngine& operator=(const OracleEngine&) = delete;
@@ -138,7 +143,8 @@ class OracleEngine {
   /// attached — locate results are cached. Internally this wraps `svc` in a
   /// non-owning epoch with id 0; apply() can later swap it for owned ones.
   void attach_location(const LocationService& svc,
-                       LocateOptions locate_opts = {});
+                       LocateOptions locate_opts = {})
+      RON_EXCLUDES(epoch_mu_);
 
   /// Swaps the serving epoch. Requires a complete epoch (non-null service)
   /// over the same node count, with an id STRICTLY GREATER than the current
@@ -149,14 +155,16 @@ class OracleEngine {
   /// in-flight batches finish against the epoch they pinned at submission,
   /// and each worker's locate cache shard is invalidated lazily when it
   /// first serves the new epoch. The fixed locate_opts are kept.
-  void apply(std::shared_ptr<const LocationEpoch> epoch);
+  void apply(std::shared_ptr<const LocationEpoch> epoch)
+      RON_EXCLUDES(epoch_mu_);
 
   bool has_location() const { return current_epoch() != nullptr; }
   const LocationService& location() const;
 
   /// The live epoch (null when no location state is attached). Batches pin
   /// their own copy, so this is a peek, not a serving handle.
-  std::shared_ptr<const LocationEpoch> current_epoch() const;
+  std::shared_ptr<const LocationEpoch> current_epoch() const
+      RON_EXCLUDES(epoch_mu_);
 
   /// Single query (validated); computed inline, bypassing pool and cache.
   Dist estimate(NodeId u, NodeId v) const;
@@ -193,13 +201,14 @@ class OracleEngine {
   explicit OracleEngine(OracleOptions opts);
 
   void start_pool();
-  void worker_main(unsigned w);
+  void worker_main(unsigned w) RON_EXCLUDES(mu_);
   /// Shards `count` queries by `source_of(i) % workers`, publishes
   /// `shard_fn` to the pool (or runs it inline for one worker), rethrows
   /// the first worker error, and accounts stats for `count` queries.
   template <typename SourceOf>
   void run_batch(std::size_t count, SourceOf&& source_of,
-                 const std::function<void(unsigned)>& shard_fn);
+                 const std::function<void(unsigned)>& shard_fn)
+      RON_EXCLUDES(mu_);
   void process_estimate_shard(unsigned w, std::span<const QueryPair> pairs,
                               std::vector<Dist>& results);
   void process_locate_shard(unsigned w, const LocationEpoch& epoch,
@@ -207,12 +216,17 @@ class OracleEngine {
                             std::vector<LocateResult>& results);
   std::size_t cache_hits() const;
   void set_epoch(std::shared_ptr<const LocationEpoch> epoch,
-                 bool require_new_id);
+                 bool require_new_id) RON_EXCLUDES(epoch_mu_);
 
   std::optional<DistanceLabeling> labeling_;
   LocateOptions locate_opts_;
   unsigned workers_ = 1;
   std::size_t cache_capacity_per_shard_ = 0;
+  // Per-worker single-owner state: shard w is touched only by worker w
+  // while a batch runs, and only by the dispatcher between batches (the
+  // batch mutex+condvar protocol orders the handoff). That ownership
+  // discipline cannot be spelled as a RON_GUARDED_BY — it is exercised
+  // under TSan by the tsan.* stress shard instead.
   std::vector<LruShard<Dist>> estimate_cache_;        // one shard per worker
   std::vector<LruShard<LocateResult>> locate_cache_;  // one shard per worker
   // Epoch id each locate shard last served; a worker clears its shard when
@@ -220,23 +234,26 @@ class OracleEngine {
   // the lazy clear is race-free).
   std::vector<std::uint64_t> locate_cache_epoch_;
   // The live epoch; guarded by its own mutex so apply() from a maintenance
-  // thread never contends with the worker pool's batch mutex.
-  mutable std::mutex epoch_mu_;
-  std::shared_ptr<const LocationEpoch> epoch_;
+  // thread never contends with the worker pool's batch mutex. Never hold
+  // both: every epoch_mu_ critical section is a leaf.
+  mutable Mutex epoch_mu_;
+  std::shared_ptr<const LocationEpoch> epoch_ RON_GUARDED_BY(epoch_mu_);
 
   // Pool state (guarded by mu_). Batches publish the shard function, bump
   // generation_ and wait for remaining_ to hit zero.
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::vector<std::thread> pool_;
-  bool stop_ = false;
-  std::uint64_t generation_ = 0;
-  unsigned remaining_ = 0;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  std::vector<std::thread> pool_;  // written before the pool runs, then const
+  bool stop_ RON_GUARDED_BY(mu_) = false;
+  std::uint64_t generation_ RON_GUARDED_BY(mu_) = 0;
+  unsigned remaining_ RON_GUARDED_BY(mu_) = 0;
   // First exception a worker hit this batch; rethrown to the dispatcher so
   // a malformed query/snapshot surfaces as ron::Error, never std::terminate.
-  std::exception_ptr batch_error_;
-  std::function<void(unsigned)> batch_fn_;
+  std::exception_ptr batch_error_ RON_GUARDED_BY(mu_);
+  std::function<void(unsigned)> batch_fn_ RON_GUARDED_BY(mu_);
+  // Built by the dispatcher before a batch is published, read by workers
+  // during it (ordered by the mu_/cv protocol, like the shards above).
   std::vector<std::vector<std::uint32_t>> shard_index_;  // per worker
 
   BatchStats last_;

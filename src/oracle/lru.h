@@ -7,6 +7,14 @@
 // worker and shards batches by source node, so a shard is only ever touched
 // by its worker during a batch — no locking here by design.
 //
+// Concurrency contract: deliberately lock-free AND annotation-free. There
+// is no mutex to hang a RON_GUARDED_BY off (common/thread_annotations.h);
+// the single-owner discipline is the engine's batch protocol, and it is
+// checked dynamically — the tsan.* stress shard (tests/test_concurrency.cpp)
+// drives shard invalidation during in-flight batches under ThreadSanitizer,
+// and the deterministic epoch-tag unit tests in the same file pin the
+// invalidation semantics single-threaded.
+//
 // Contract highlights:
 //   - put() on an existing key REFRESHES recency and OVERWRITES the value.
 //     Keeping the stale value would pin a pre-mutation result in cache

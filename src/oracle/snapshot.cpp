@@ -78,10 +78,8 @@ void write_snapshot(SnapshotKind kind, const WireWriter& payload,
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   RON_CHECK(out.good(), "snapshot: cannot open " << path << " for writing");
-  out.write(reinterpret_cast<const char*>(header.bytes().data()),
-            static_cast<std::streamsize>(header.size()));
-  out.write(reinterpret_cast<const char*>(payload.bytes().data()),
-            static_cast<std::streamsize>(payload.size()));
+  write_stream_bytes(out, header.bytes(), "header");
+  write_stream_bytes(out, payload.bytes(), "payload");
   out.flush();
   RON_CHECK(out.good(), "snapshot: short write to " << path);
 }
@@ -102,10 +100,7 @@ std::vector<std::uint8_t> read_snapshot(const std::string& path,
   RON_CHECK(size >= 0, "snapshot: cannot stat " << path);
   in.seekg(0, std::ios::beg);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(bytes.data()), size);
-    RON_CHECK(in.gcount() == size, "snapshot: short read from " << path);
-  }
+  if (size > 0) read_stream_bytes(in, bytes, path.c_str());
   RON_CHECK(bytes.size() >= kHeaderBytes,
             "snapshot: " << path << " is " << bytes.size()
                          << " bytes, smaller than the header");
@@ -358,13 +353,11 @@ std::uint32_t peek_snapshot_kind(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   // Layout written by write_snapshot: magic[8], version u32, kind u32.
   std::uint8_t hdr[sizeof(kMagic) + 2 * sizeof(std::uint32_t)];
-  if (!in.read(reinterpret_cast<char*>(hdr), sizeof(hdr))) return 0;
+  if (read_stream_prefix(in, hdr) != sizeof(hdr)) return 0;
   if (std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0) return 0;
-  std::uint32_t kind = 0;
-  for (std::size_t i = 0; i < sizeof(std::uint32_t); ++i) {
-    kind |= static_cast<std::uint32_t>(hdr[sizeof(kMagic) + 4 + i]) << (8 * i);
-  }
-  return kind;
+  WireReader rd(std::span(hdr + sizeof(kMagic), 2 * sizeof(std::uint32_t)));
+  rd.u32();  // version (the caller routes on kind alone)
+  return rd.u32();
 }
 
 void save_rings(const RingsOfNeighbors& rings, const std::string& path,

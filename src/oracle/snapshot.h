@@ -140,16 +140,18 @@ class NeighborSystemSnapshot {
                                                      SnapshotInfo*);
 
   std::size_t check_u(NodeId u) const {
-    RON_CHECK(u < n_);
+    RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
     return u;
   }
   std::size_t idx(NodeId u, int i) const {
-    RON_CHECK(u < n_ && i >= 0 && i < num_levels_);
+    RON_CHECK(u < n_ && i >= 0 && i < num_levels_,
+              "u=" << u << "/" << n_ << ", i=" << i << "/" << num_levels_);
     return u * static_cast<std::size_t>(num_levels_) +
            static_cast<std::size_t>(i);
   }
   std::size_t zidx(NodeId u, int j) const {
-    RON_CHECK(u < n_ && j >= 1 && j <= num_z_scales_);
+    RON_CHECK(u < n_ && j >= 1 && j <= num_z_scales_,
+              "u=" << u << "/" << n_ << ", j=" << j << "/" << num_z_scales_);
     return u * static_cast<std::size_t>(num_z_scales_) +
            static_cast<std::size_t>(j - 1);
   }

@@ -1,6 +1,34 @@
 #include "oracle/wire.h"
 
+#include <istream>
+#include <ostream>
+
 namespace ron {
+
+void write_stream_bytes(std::ostream& out, std::span<const std::uint8_t> bytes,
+                        const char* what) {
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  RON_CHECK(out.good(), "snapshot: short write (" << what << ", "
+                                                  << bytes.size()
+                                                  << " bytes)");
+}
+
+void read_stream_bytes(std::istream& in, std::span<std::uint8_t> bytes,
+                       const char* what) {
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  RON_CHECK(static_cast<std::size_t>(in.gcount()) == bytes.size(),
+            "snapshot: short read (" << what << ", wanted " << bytes.size()
+                                     << " bytes, got " << in.gcount() << ")");
+}
+
+std::size_t read_stream_prefix(std::istream& in,
+                               std::span<std::uint8_t> bytes) {
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<std::size_t>(in.gcount());
+}
 
 std::uint64_t fnv1a64_continue(std::uint64_t state,
                                std::span<const std::uint8_t> bytes) {

@@ -16,6 +16,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +24,24 @@
 #include "common/check.h"
 
 namespace ron {
+
+/// Writes `bytes` to `out` (binary), throwing ron::Error naming `what` on a
+/// short write. This and read_stream_bytes are the ONLY place snapshot code
+/// touches raw char buffers: tools/ron_lint.py forbids memcpy and
+/// reinterpret_cast in src/oracle/ outside wire.{h,cpp}, so every byte that
+/// crosses a stream boundary goes through these bounds-checked helpers.
+void write_stream_bytes(std::ostream& out, std::span<const std::uint8_t> bytes,
+                        const char* what);
+
+/// Reads exactly `bytes.size()` bytes from `in` into `bytes`, throwing
+/// ron::Error naming `what` on a short read.
+void read_stream_bytes(std::istream& in, std::span<std::uint8_t> bytes,
+                       const char* what);
+
+/// Best-effort prefix read for sniffing: fills as much of `bytes` as the
+/// stream yields and returns the byte count (no throw — callers that probe
+/// a possibly-foreign file decide what a short prefix means).
+std::size_t read_stream_prefix(std::istream& in, std::span<std::uint8_t> bytes);
 
 /// FNV-1a 64-bit checksum (the snapshot header's corruption detector; this
 /// guards against accidental damage, not adversaries). The _continue form

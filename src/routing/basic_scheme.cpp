@@ -35,8 +35,10 @@ BasicRoutingScheme::BasicRoutingScheme(const ProximityIndex& prox,
       apsp_(std::move(apsp)),
       rings_(prox, delta),
       labels_(build_labels(rings_)) {
-  RON_CHECK(g.n() == prox.n());
-  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+  RON_CHECK(g.n() == prox.n(),
+            "graph n=" << g.n() << " vs metric n=" << prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n(),
+            "APSP table missing or mis-sized");
 }
 
 BasicRoutingScheme::BasicRoutingScheme(const ProximityIndex& prox,
@@ -45,7 +47,7 @@ BasicRoutingScheme::BasicRoutingScheme(const ProximityIndex& prox,
 
 const std::vector<std::uint32_t>& BasicRoutingScheme::label_of(
     NodeId t) const {
-  RON_CHECK(t < labels_.size());
+  RON_CHECK(t < labels_.size(), "target t=" << t << ", n=" << labels_.size());
   return labels_[t];
 }
 
@@ -76,7 +78,7 @@ std::vector<std::uint32_t> BasicRoutingScheme::decode_chain(
 
 RouteResult BasicRoutingScheme::route(NodeId s, NodeId t,
                                       std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   const auto& label = label_of(t);
   RouteResult r;
   NodeId cur = s;
@@ -117,7 +119,7 @@ RouteResult BasicRoutingScheme::route(NodeId s, NodeId t,
 }
 
 std::uint64_t BasicRoutingScheme::table_bits(NodeId u) const {
-  RON_CHECK(u < n());
+  RON_CHECK(u < n(), "node u=" << u << ", n=" << n());
   const int J = rings_.num_scales();
   std::uint64_t bits = 0;
   // Translation functions: for each scale j, a |Y_{u,j}| x K_{j+1} table of
@@ -142,7 +144,7 @@ std::uint64_t BasicRoutingScheme::table_bits(NodeId u) const {
 }
 
 std::uint64_t BasicRoutingScheme::label_bits(NodeId t) const {
-  RON_CHECK(t < n());
+  RON_CHECK(t < n(), "target t=" << t << ", n=" << n());
   const int J = rings_.num_scales();
   std::uint64_t bits = bits_for_index(n());  // ID(t), footnote 9
   for (int j = 0; j < J; ++j) {

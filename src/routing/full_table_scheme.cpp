@@ -8,12 +8,13 @@ namespace ron {
 FullTableScheme::FullTableScheme(const WeightedGraph& g,
                                  std::shared_ptr<const Apsp> apsp)
     : g_(g), apsp_(std::move(apsp)) {
-  RON_CHECK(apsp_ != nullptr && apsp_->n() == g_.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == g_.n(),
+            "APSP table missing or mis-sized");
 }
 
 RouteResult FullTableScheme::route(NodeId s, NodeId t,
                                    std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   RouteResult r;
   NodeId cur = s;
   while (cur != t) {
@@ -31,7 +32,7 @@ RouteResult FullTableScheme::route(NodeId s, NodeId t,
 }
 
 std::uint64_t FullTableScheme::table_bits(NodeId u) const {
-  RON_CHECK(u < n());
+  RON_CHECK(u < n(), "node u=" << u << ", n=" << n());
   // (n-1) entries of (target id, first-hop pointer).
   return (n() - 1) *
          (bits_for_index(n()) + bits_for_index(g_.max_out_degree()));

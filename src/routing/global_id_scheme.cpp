@@ -9,8 +9,10 @@ GlobalIdScheme::GlobalIdScheme(const ProximityIndex& prox,
                                const WeightedGraph& g,
                                std::shared_ptr<const Apsp> apsp, double delta)
     : prox_(prox), graph_(&g), apsp_(std::move(apsp)), rings_(prox, delta) {
-  RON_CHECK(g.n() == prox.n());
-  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+  RON_CHECK(g.n() == prox.n(),
+            "graph n=" << g.n() << " vs metric n=" << prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n(),
+            "APSP table missing or mis-sized");
 }
 
 GlobalIdScheme::GlobalIdScheme(const ProximityIndex& prox, double delta)
@@ -31,7 +33,7 @@ int GlobalIdScheme::deepest_shared_scale(NodeId u, NodeId t) const {
 
 RouteResult GlobalIdScheme::route(NodeId s, NodeId t,
                                   std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   RouteResult r;
   NodeId cur = s;
   int int_level = -1;
@@ -66,7 +68,7 @@ RouteResult GlobalIdScheme::route(NodeId s, NodeId t,
 }
 
 std::uint64_t GlobalIdScheme::table_bits(NodeId u) const {
-  RON_CHECK(u < n());
+  RON_CHECK(u < n(), "node u=" << u << ", n=" << n());
   std::uint64_t bits = bits_for_index(n());  // own id
   const std::uint64_t hop_bits =
       graph_ != nullptr

@@ -14,8 +14,10 @@ LabelGuidedScheme::LabelGuidedScheme(const ProximityIndex& prox,
                                      double delta)
     : prox_(prox), graph_(&g), apsp_(std::move(apsp)), dls_(dls),
       delta_(delta) {
-  RON_CHECK(g.n() == prox.n());
-  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n());
+  RON_CHECK(g.n() == prox.n(),
+            "graph n=" << g.n() << " vs metric n=" << prox.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox.n(),
+            "APSP table missing or mis-sized");
   build(delta);
 }
 
@@ -29,7 +31,8 @@ LabelGuidedScheme::LabelGuidedScheme(const ProximityIndex& prox,
 void LabelGuidedScheme::build(double delta) {
   RON_CHECK(delta > 0.0 && delta < 2.0 / 3.0,
             "need delta < 2/3 so that 1.5*delta < 1");
-  RON_CHECK(dls_.n() == prox_.n());
+  RON_CHECK(dls_.n() == prox_.n(),
+            "labels n=" << dls_.n() << " vs metric n=" << prox_.n());
   const int L = std::max(1, ceil_log2_real(prox_.aspect_ratio()));
   NetHierarchy nets(prox_, L);
   const std::size_t n = prox_.n();
@@ -49,7 +52,8 @@ void LabelGuidedScheme::build(double delta) {
 }
 
 std::span<const NodeId> LabelGuidedScheme::neighbors(NodeId u) const {
-  RON_CHECK(u < neighbors_.size());
+  RON_CHECK(u < neighbors_.size(),
+            "node u=" << u << ", n=" << neighbors_.size());
   return neighbors_[u];
 }
 
@@ -59,7 +63,7 @@ bool LabelGuidedScheme::is_neighbor(NodeId u, NodeId v) const {
 
 RouteResult LabelGuidedScheme::route(NodeId s, NodeId t,
                                      std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   const DlsLabel& lt = dls_.label(t);
   RouteResult r;
   NodeId cur = s;
@@ -108,7 +112,7 @@ RouteResult LabelGuidedScheme::route(NodeId s, NodeId t,
 }
 
 std::uint64_t LabelGuidedScheme::table_bits(NodeId u) const {
-  RON_CHECK(u < n());
+  RON_CHECK(u < n(), "node u=" << u << ", n=" << n());
   const std::uint64_t hop_bits =
       graph_ != nullptr
           ? bits_for_index(graph_->max_out_degree())

@@ -47,12 +47,13 @@ ScaleRings::ScaleRings(const ProximityIndex& prox, double delta)
 }
 
 Dist ScaleRings::net_scale(int j) const {
-  RON_CHECK(j >= 0 && j < J_);
+  RON_CHECK(j >= 0 && j < J_, "ring j=" << j << ", J=" << J_);
   return nets_->spacing(J_ - 1 - j);
 }
 
 std::span<const NodeId> ScaleRings::ring(NodeId u, int j) const {
-  RON_CHECK(u < prox_.n() && j >= 0 && j < J_);
+  RON_CHECK(u < prox_.n() && j >= 0 && j < J_,
+            "u=" << u << "/" << prox_.n() << ", j=" << j << "/" << J_);
   return rings_[static_cast<std::size_t>(u) * J_ + j];
 }
 
@@ -64,7 +65,8 @@ std::uint32_t ScaleRings::index_in_ring(NodeId u, int j, NodeId w) const {
 }
 
 NodeId ScaleRings::f(NodeId t, int j) const {
-  RON_CHECK(t < prox_.n() && j >= 0 && j < J_);
+  RON_CHECK(t < prox_.n() && j >= 0 && j < J_,
+            "t=" << t << "/" << prox_.n() << ", j=" << j << "/" << J_);
   return f_[static_cast<std::size_t>(t) * J_ + j];
 }
 

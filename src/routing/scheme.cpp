@@ -30,7 +30,7 @@ RoutingStats evaluate_scheme(const RoutingScheme& scheme,
                              const ProximityIndex& prox, std::size_t pairs,
                              std::uint64_t seed, std::size_t max_hops) {
   RON_CHECK(scheme.n() == prox.n(), "scheme/metric size mismatch");
-  RON_CHECK(prox.n() >= 2);
+  RON_CHECK(prox.n() >= 2, "routing needs n>=2, n=" << prox.n());
   Rng rng(seed);
   std::vector<double> stretches, hops;
   RoutingStats stats;

@@ -24,8 +24,10 @@ TwoModeScheme::TwoModeScheme(const NeighborSystem& sys,
       delta_(sys.delta()),
       delta_prime_(sys.delta() / (1.0 - sys.delta())),
       codec_(prox_.dmin(), 2.0 * prox_.dmax(), sys.delta() / 8.0) {
-  RON_CHECK(g_.n() == prox_.n());
-  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox_.n());
+  RON_CHECK(g_.n() == prox_.n(),
+            "graph n=" << g_.n() << " vs metric n=" << prox_.n());
+  RON_CHECK(apsp_ != nullptr && apsp_->n() == prox_.n(),
+            "APSP table missing or mis-sized");
   RON_CHECK(delta_ <= 0.125 + 1e-12,
             "Theorem B.1 is proved for delta <= 1/8");
   // Host sets (with their common level-0 prefix) come from the system.
@@ -80,7 +82,7 @@ void TwoModeScheme::build_labels() {
     lab.id = t;
     lab.friends.resize(levels);
     lab.zoom0 = phi_of(t, sys_.f(t, 0));
-    RON_CHECK(lab.zoom0 != kNull);
+    RON_CHECK(lab.zoom0 != kNull, "node t=" << t << " has no zoom-0 landmark");
     lab.zoom.resize(levels - 1);
     for (int i = 0; i + 1 < levels; ++i) {
       lab.zoom[i] = psi_of(sys_.f(t, i), sys_.f(t, i + 1));
@@ -138,7 +140,8 @@ void TwoModeScheme::build_balls() {
       auto member_index = [&](NodeId m) {
         auto it = std::lower_bound(info.members.begin(), info.members.end(),
                                    m);
-        RON_CHECK(it != info.members.end() && *it == m);
+        RON_CHECK(it != info.members.end() && *it == m,
+                  "m=" << m << " not in ball member list");
         return static_cast<std::size_t>(it - info.members.begin());
       };
       for (std::size_t k = 0; k < bn; ++k) {
@@ -189,7 +192,7 @@ void TwoModeScheme::build_balls() {
           info.assignee[next_id++] = info.members[k];
         }
       }
-      RON_CHECK(next_id == n);
+      RON_CHECK(next_id == n, "next_id=" << next_id << ", n=" << n);
       balls_[i].push_back(std::move(info));
     }
   }
@@ -376,14 +379,15 @@ bool TwoModeScheme::run_mode2(NodeId u, NodeId t, std::size_t max_hops,
   // Leg 2: descend the tree to v_t = assignee of ID(t): walk the tree path
   // root -> v_t (each tree edge realized by first-hop forwarding).
   const NodeId vt = info.assignee[t];
-  RON_CHECK(vt != kInvalidNode);
+  RON_CHECK(vt != kInvalidNode, "no assignee for target t=" << t);
   std::vector<NodeId> up_path;  // v_t -> ... -> root over tree parents
   {
     NodeId m = vt;
     auto member_index = [&](NodeId mm) {
       auto it = std::lower_bound(info.members.begin(), info.members.end(),
                                  mm);
-      RON_CHECK(it != info.members.end() && *it == mm);
+      RON_CHECK(it != info.members.end() && *it == mm,
+                "mm=" << mm << " not in ball member list");
       return static_cast<std::size_t>(it - info.members.begin());
     };
     std::size_t guard = 0;
@@ -421,7 +425,7 @@ bool TwoModeScheme::run_mode2(NodeId u, NodeId t, std::size_t max_hops,
 
 RouteResult TwoModeScheme::route(NodeId s, NodeId t,
                                  std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   const Label& lt = labels_[t];
   RouteResult r;
   NodeId cur = s;
@@ -471,7 +475,7 @@ RouteResult TwoModeScheme::route(NodeId s, NodeId t,
 
 RouteResult TwoModeScheme::route_force_m2(NodeId s, NodeId t,
                                           std::size_t max_hops) const {
-  RON_CHECK(s < n() && t < n());
+  RON_CHECK(s < n() && t < n(), "s=" << s << ", t=" << t << ", n=" << n());
   RouteResult r;
   if (s == t) {
     r.delivered = true;
@@ -490,7 +494,7 @@ RouteResult TwoModeScheme::route_force_m2(NodeId s, NodeId t,
 // --------------------------------------------------------------------------
 
 TwoModeSizes TwoModeScheme::mode_sizes(NodeId u) const {
-  RON_CHECK(u < n());
+  RON_CHECK(u < n(), "node u=" << u << ", n=" << n());
   TwoModeSizes s;
   const int levels = sys_.num_levels();
   // psi width (max virtual set), phi width (max host set).
@@ -579,7 +583,7 @@ std::uint64_t TwoModeScheme::table_bits(NodeId u) const {
 }
 
 std::uint64_t TwoModeScheme::label_bits(NodeId t) const {
-  RON_CHECK(t < n());
+  RON_CHECK(t < n(), "target t=" << t << ", n=" << n());
   const Label& lab = labels_[t];
   std::size_t max_t = 1;
   for (NodeId v = 0; v < n(); ++v) {

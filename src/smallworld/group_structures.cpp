@@ -12,7 +12,7 @@ GroupStructuresSmallWorld::GroupStructuresSmallWorld(
     const ProximityIndex& prox, const GroupStructuresParams& params,
     std::uint64_t seed)
     : prox_(prox) {
-  RON_CHECK(params.c > 0.0);
+  RON_CHECK(params.c > 0.0, "c=" << params.c);
   const std::size_t n = prox_.n();
   const double log_n = std::log2(static_cast<double>(n));
   const auto k =
@@ -42,7 +42,7 @@ double GroupStructuresSmallWorld::x_uv(NodeId u, NodeId v) const {
 }
 
 std::span<const NodeId> GroupStructuresSmallWorld::contacts(NodeId u) const {
-  RON_CHECK(u < contacts_.size());
+  RON_CHECK(u < contacts_.size(), "node u=" << u << ", n=" << contacts_.size());
   return contacts_[u];
 }
 

@@ -9,7 +9,7 @@
 namespace ron {
 
 TorusMetric::TorusMetric(std::size_t side) : side_(side) {
-  RON_CHECK(side_ >= 2);
+  RON_CHECK(side_ >= 2, "grid side=" << side_);
 }
 
 Dist TorusMetric::distance(NodeId u, NodeId v) const {
@@ -24,7 +24,7 @@ Dist TorusMetric::distance(NodeId u, NodeId v) const {
 KleinbergGrid::KleinbergGrid(std::size_t side, std::size_t q,
                              std::uint64_t seed)
     : metric_(side) {
-  RON_CHECK(q >= 1);
+  RON_CHECK(q >= 1, "q=" << q);
   const std::size_t n = metric_.n();
   contacts_.resize(n);
   Rng root(seed);
@@ -94,7 +94,7 @@ NodeId KleinbergGrid::sample_long_contact(NodeId u, Rng& rng) const {
 }
 
 std::span<const NodeId> KleinbergGrid::contacts(NodeId u) const {
-  RON_CHECK(u < contacts_.size());
+  RON_CHECK(u < contacts_.size(), "node u=" << u << ", n=" << contacts_.size());
   return contacts_[u];
 }
 

@@ -44,7 +44,8 @@ NodeId greedy_next_hop(const MetricSpace& d, std::span<const NodeId> contacts,
 
 SwRouteResult route_query(const SmallWorldModel& model, NodeId s, NodeId t,
                           std::size_t max_hops) {
-  RON_CHECK(s < model.n() && t < model.n());
+  RON_CHECK(s < model.n() && t < model.n(),
+            "s=" << s << ", t=" << t << ", n=" << model.n());
   SwRouteResult r;
   NodeId cur = s;
   while (cur != t) {
@@ -65,7 +66,7 @@ SwRouteResult route_query(const SmallWorldModel& model, NodeId s, NodeId t,
 
 SwStats evaluate_model(const SmallWorldModel& model, std::size_t queries,
                        std::uint64_t seed, std::size_t max_hops) {
-  RON_CHECK(model.n() >= 2);
+  RON_CHECK(model.n() >= 2, "greedy routing needs n>=2, n=" << model.n());
   Rng rng(seed);
   SwStats stats;
   stats.queries = queries;

@@ -13,8 +13,9 @@ PrunedSmallWorld::PrunedSmallWorld(const ProximityIndex& prox,
                                    const PrunedModelParams& params,
                                    std::uint64_t seed)
     : prox_(prox), params_(params) {
-  RON_CHECK(&mu.prox() == &prox);
-  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0);
+  RON_CHECK(&mu.prox() == &prox, "mu built over a different ProximityIndex");
+  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0,
+            "c_x=" << params_.c_x << ", c_y=" << params_.c_y);
   const std::size_t n = prox_.n();
   const double log_n = std::log2(static_cast<double>(n));
   const double log_delta =
@@ -94,12 +95,13 @@ PrunedSmallWorld::PrunedSmallWorld(const ProximityIndex& prox,
 }
 
 std::span<const NodeId> PrunedSmallWorld::contacts(NodeId u) const {
-  RON_CHECK(u < contacts_.size());
+  RON_CHECK(u < contacts_.size(), "node u=" << u << ", n=" << contacts_.size());
   return contacts_[u];
 }
 
 std::size_t PrunedSmallWorld::z_contact_count(NodeId u) const {
-  RON_CHECK(u < z_contacts_.size());
+  RON_CHECK(u < z_contacts_.size(),
+            "node u=" << u << ", n=" << z_contacts_.size());
   return z_contacts_[u].size();
 }
 

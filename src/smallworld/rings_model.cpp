@@ -12,7 +12,8 @@ RingsSmallWorld::RingsSmallWorld(const ProximityIndex& prox,
                                  std::uint64_t seed)
     : prox_(prox), params_(params), rings_(prox.n()) {
   RON_CHECK(&mu.prox() == &prox, "measure must be over the same metric");
-  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0);
+  RON_CHECK(params_.c_x > 0.0 && params_.c_y > 0.0,
+            "c_x=" << params_.c_x << ", c_y=" << params_.c_y);
   const std::size_t n = prox_.n();
   const double log_n = std::log2(static_cast<double>(n));
   const auto x_samples =

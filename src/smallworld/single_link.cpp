@@ -14,8 +14,9 @@ SingleLinkSmallWorld::SingleLinkSmallWorld(const WeightedGraph& local,
                                            const MeasureView& mu,
                                            std::uint64_t seed)
     : prox_(prox) {
-  RON_CHECK(local.n() == prox.n());
-  RON_CHECK(&mu.prox() == &prox);
+  RON_CHECK(local.n() == prox.n(),
+            "local n=" << local.n() << " vs metric n=" << prox.n());
+  RON_CHECK(&mu.prox() == &prox, "mu built over a different ProximityIndex");
   const std::size_t n = prox_.n();
   contacts_.resize(n);
   long_contact_.resize(n);
@@ -58,12 +59,13 @@ SingleLinkSmallWorld::SingleLinkSmallWorld(const WeightedGraph& local,
 }
 
 std::span<const NodeId> SingleLinkSmallWorld::contacts(NodeId u) const {
-  RON_CHECK(u < contacts_.size());
+  RON_CHECK(u < contacts_.size(), "node u=" << u << ", n=" << contacts_.size());
   return contacts_[u];
 }
 
 NodeId SingleLinkSmallWorld::long_range_contact(NodeId u) const {
-  RON_CHECK(u < long_contact_.size());
+  RON_CHECK(u < long_contact_.size(),
+            "node u=" << u << ", n=" << long_contact_.size());
   return long_contact_[u];
 }
 

@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""ron_lint: house invariants no generic linter can check.
+
+Four rules, each load-bearing for this repo specifically:
+
+  raw-bytes      Snapshot code must not hand-roll byte access: no memcpy/
+                 memmove/reinterpret_cast anywhere in src/oracle/ outside
+                 wire.h/wire.cpp. Every snapshot byte crosses the
+                 bounds-checked WireReader/WireWriter (or the stream helpers
+                 next to them) so a corrupt length can never become UB.
+
+  determinism    No wall-clock or ambient randomness in src/: rand()/srand(),
+                 std::random_device, system_clock, time()/clock()/localtime/
+                 gmtime are all banned. Determinism is a load-bearing
+                 contract — churn replay, golden fixtures and the
+                 "save -> load -> serve bit-identical" invariant all assume
+                 outputs are a pure function of (spec, seed). steady_clock
+                 is allowed: it times batches, it never shapes results.
+
+  check-message  Every RON_CHECK carries a message. A bare condition throws
+                 "RON_CHECK failed: (x < n_)" with no operand values; the
+                 repro then starts with adding the message this rule asks
+                 for up front.
+
+  test-timeout   Every registered test carries a TIMEOUT property (both
+                 gtest_discover_tests and raw add_test registrations). A
+                 hung interleaving in the tsan shard — or a degenerate
+                 overlay walk — must fail fast, not eat the ctest budget.
+
+A finding can be waived per line with a trailing comment naming the rule:
+    foo();  // ron-lint: allow(determinism) — <why>
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CXX_EXTENSIONS = (".h", ".cpp")
+SKIP_DIRS = {".git", ".github"}
+
+ALLOW_RE = re.compile(r"ron-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_BYTES_RE = re.compile(
+    r"\bmemcpy\s*\(|\bmemmove\s*\(|\breinterpret_cast\b")
+RAW_BYTES_EXEMPT = {"wire.h", "wire.cpp"}
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\bclock\s*\("), "clock()"),
+    (re.compile(r"\blocaltime\b"), "localtime"),
+    (re.compile(r"\bgmtime\b"), "gmtime"),
+]
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noncode(line: str) -> str:
+    """Removes string/char literals and // comments so banned tokens inside
+    them (docs, messages) don't trip the source-token rules. Block comments
+    are handled by the caller, which tracks /* ... */ state across lines."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(" ")
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(path: str):
+    """Yields (lineno, code, raw) with literals/comments blanked in `code`."""
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+    in_block = False
+    for lineno, raw in enumerate(raw_lines, start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, "", raw
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        code = strip_noncode(line)
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block = True
+                break
+            code = code[:start] + " " * (end + 2 - start) + code[end + 2:]
+        yield lineno, code, raw
+
+
+def allowed(raw: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw)
+    return bool(m) and m.group(1) == rule
+
+
+def cxx_files(*roots: str):
+    for root in roots:
+        base = os.path.join(REPO_ROOT, root)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def check_raw_bytes(findings: list):
+    for path in cxx_files("src/oracle"):
+        if os.path.basename(path) in RAW_BYTES_EXEMPT:
+            continue
+        for lineno, code, raw in iter_code_lines(path):
+            m = RAW_BYTES_RE.search(code)
+            if m and not allowed(raw, "raw-bytes"):
+                findings.append(Finding(
+                    path, lineno, "raw-bytes",
+                    f"'{m.group(0).strip()}' in snapshot code — route bytes "
+                    "through wire.h's bounds-checked reader/writer/stream "
+                    "helpers"))
+
+
+def check_determinism(findings: list):
+    for path in cxx_files("src"):
+        for lineno, code, raw in iter_code_lines(path):
+            for pattern, label in DETERMINISM_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "determinism"):
+                    findings.append(Finding(
+                        path, lineno, "determinism",
+                        f"{label} in src/ — outputs must be a pure function "
+                        "of (spec, seed); draw randomness from ron::Rng and "
+                        "time batches with steady_clock"))
+
+
+def split_check_args(text: str, start: int):
+    """Given text and the index just past 'RON_CHECK(', returns
+    (top_level_comma_count, end_index) or None if the call never closes
+    (macro spans something we can't see — treated as a parse error)."""
+    depth = 1
+    commas = 0
+    i = start
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    break
+                i += 1
+        elif c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                return commas, i
+        elif c == "," and depth == 1:
+            commas += 1
+        i += 1
+    return None
+
+
+def check_messages(findings: list):
+    call_re = re.compile(r"\bRON_CHECK\s*\(")
+    for path in cxx_files("src", "tools", "bench"):
+        if os.path.basename(path) == "check.h":
+            continue  # the macro definition itself
+        lines = list(iter_code_lines(path))
+        # Join the comment-stripped code so multi-line calls parse; remember
+        # where each line starts to map offsets back to line numbers.
+        offsets = []
+        pos = 0
+        joined_parts = []
+        for lineno, code, raw in lines:
+            offsets.append((pos, lineno, raw))
+            joined_parts.append(code)
+            pos += len(code) + 1
+        joined = "\n".join(joined_parts)
+
+        def line_of(offset: int):
+            best = offsets[0]
+            for entry in offsets:
+                if entry[0] <= offset:
+                    best = entry
+                else:
+                    break
+            return best[1], best[2]
+
+        for m in call_re.finditer(joined):
+            parsed = split_check_args(joined, m.end())
+            lineno, raw = line_of(m.start())
+            if parsed is None:
+                findings.append(Finding(
+                    path, lineno, "check-message",
+                    "unterminated RON_CHECK( call (parse error)"))
+                continue
+            commas, _ = parsed
+            if commas == 0 and not allowed(raw, "check-message"):
+                findings.append(Finding(
+                    path, lineno, "check-message",
+                    "RON_CHECK without a message — say which invariant "
+                    "broke and include the operand values"))
+
+
+def check_test_timeouts(findings: list):
+    cmake_files = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name == "CMakeLists.txt":
+                cmake_files.append(os.path.join(dirpath, name))
+    discover_re = re.compile(r"gtest_discover_tests\s*\(", re.MULTILINE)
+    add_test_re = re.compile(r"add_test\s*\(\s*NAME\s+([A-Za-z0-9_.${}]+)")
+    for path in sorted(cmake_files):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for m in discover_re.finditer(text):
+            parsed = split_check_args(text, m.end())
+            lineno = text.count("\n", 0, m.start()) + 1
+            if parsed is None:
+                findings.append(Finding(path, lineno, "test-timeout",
+                                        "unterminated gtest_discover_tests("))
+                continue
+            _, end = parsed
+            body = text[m.end():end]
+            # DISCOVERY_TIMEOUT is a different knob — require the property.
+            if not re.search(r"(?<![A-Z_])TIMEOUT\b", body):
+                findings.append(Finding(
+                    path, lineno, "test-timeout",
+                    "gtest_discover_tests without PROPERTIES TIMEOUT — a "
+                    "hung test must fail fast, not eat the ctest budget"))
+        for m in add_test_re.finditer(text):
+            name = m.group(1)
+            lineno = text.count("\n", 0, m.start()) + 1
+            props_re = re.compile(
+                r"set_tests_properties\s*\(\s*" + re.escape(name)
+                + r"[^)]*(?<![A-Z_])TIMEOUT\b")
+            if not props_re.search(text):
+                findings.append(Finding(
+                    path, lineno, "test-timeout",
+                    f"add_test({name}) has no set_tests_properties(... "
+                    "TIMEOUT ...) in this file"))
+
+
+RULES = {
+    "raw-bytes": check_raw_bytes,
+    "determinism": check_determinism,
+    "check-message": check_messages,
+    "test-timeout": check_test_timeouts,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only this rule (repeatable; default: all)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+    findings: list = []
+    for name in (args.rule or sorted(RULES)):
+        RULES[name](findings)
+    findings.sort(key=lambda f: (f.path, f.line))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"ron_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("ron_lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
