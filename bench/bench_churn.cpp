@@ -20,7 +20,6 @@
 //
 // RON_BENCH_QUICK=1 (or --quick) shrinks the workload to CI-smoke size.
 #include <algorithm>
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "location/location_service.h"
 #include "oracle/engine.h"
 #include "scenario/scenario_builder.h"
+#include "telemetry/clock.h"
 
 namespace ron {
 namespace {
@@ -56,13 +56,9 @@ struct CaseResult {
   std::size_t hop_bound_violations = 0;
   std::size_t max_hops = 0;
   std::size_t hop_bound = 0;
+  /// Mutator telemetry (ron_churn_* registry JSON) for the artifact line.
+  std::string telemetry;
 };
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 CaseResult run_case(const std::string& key, const std::string& spec_text,
                     std::size_t ops, std::size_t num_locates) {
@@ -84,23 +80,24 @@ CaseResult run_case(const std::string& key, const std::string& spec_text,
   const ChurnTrace trace =
       generate_churn_trace(mutator, params, builder.spec().churn_seed);
 
-  auto t0 = std::chrono::steady_clock::now();
+  Stopwatch watch(Clock::real());
   mutator.apply(trace);
-  res.apply_seconds = seconds_since(t0);
+  res.apply_seconds = watch.elapsed_seconds();
 
-  t0 = std::chrono::steady_clock::now();
+  watch.restart();
   const std::shared_ptr<const LocationEpoch> epoch = mutator.commit();
-  res.commit_seconds = seconds_since(t0);
+  res.commit_seconds = watch.elapsed_seconds();
 
   // The yardstick: the static pipeline the mutator replaces. The
   // ProximityIndex is shared (the universe metric never changes), so this
   // UNDERSTATES a true from-scratch rebuild — the incremental path has to
   // beat a conservative baseline.
-  t0 = std::chrono::steady_clock::now();
+  watch.restart();
   const LocationOverlay rebuilt(builder.prox(), builder.spec().ring_params(),
                                 builder.spec().overlay_seed);
-  res.rebuild_seconds = seconds_since(t0);
+  res.rebuild_seconds = watch.elapsed_seconds();
   (void)rebuilt;
+  res.telemetry = mutator.metrics().to_json();
 
   res.us_per_op =
       res.apply_seconds * 1e6 / static_cast<double>(std::max<std::size_t>(
@@ -225,6 +222,13 @@ int main(int argc, char** argv) {
               << "_max_degree\":" << r.max_degree << ",\"" << r.key
               << "_max_hops\":" << r.max_hops;
   }
+  // Per-case mutator telemetry rides along in the artifact line (schema 2).
+  std::cout << ",\"telemetry\":{";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::cout << (i > 0 ? "," : "") << "\"" << results[i].key
+              << "\":" << results[i].telemetry;
+  }
+  std::cout << "}";
   std::cout << ",\"not_found\":" << total_not_found
             << ",\"hop_bound_violations\":" << total_violations
             << ",\"incremental_wins\":" << (incremental_wins ? 1 : 0)

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <iostream>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "analysis/report.h"
@@ -29,7 +30,8 @@ namespace {
 
 double run_qps(const DistanceLabeling& labeling, unsigned threads,
                std::size_t cache, std::span<const QueryPair> pairs,
-               std::size_t batch, std::size_t* hits = nullptr) {
+               std::size_t batch, std::size_t* hits = nullptr,
+               std::string* telemetry = nullptr) {
   OracleOptions opts;
   opts.num_threads = threads;
   opts.cache_capacity = cache;
@@ -42,6 +44,8 @@ double run_qps(const DistanceLabeling& labeling, unsigned threads,
     seconds += engine.last_batch_stats().seconds;
     if (hits != nullptr) *hits += engine.last_batch_stats().cache_hits;
   }
+  // ron_engine_* registry JSON of this run, for the artifact line.
+  if (telemetry != nullptr) *telemetry = engine.metrics().to_json();
   return seconds > 0.0 ? static_cast<double>(pairs.size()) / seconds : 0.0;
 }
 
@@ -92,8 +96,11 @@ int main(int argc, char** argv) {
   ConsoleTable table({"workers", "qps", "speedup vs 1"});
   double qps1 = 0.0;
   double qps8 = 0.0;
+  std::string telemetry1;  // single-worker engine registry JSON
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    const double qps = run_qps(loaded.labeling, threads, 0, pairs, batch);
+    const double qps =
+        run_qps(loaded.labeling, threads, 0, pairs, batch, nullptr,
+                threads == 1 ? &telemetry1 : nullptr);
     if (threads == 1) qps1 = qps;
     if (threads == 8) qps8 = qps;
     table.add_row({std::to_string(threads), fmt_double(qps, 0),
@@ -122,7 +129,7 @@ int main(int argc, char** argv) {
             << ",\"qps_1\":" << qps1 << ",\"qps_8\":" << qps8
             << ",\"speedup_8\":" << (qps1 > 0.0 ? qps8 / qps1 : 0.0)
             << ",\"cached_qps\":" << qps_cached << ",\"cache_hits\":" << hits
-            << "}\n";
+            << ",\"telemetry\":" << telemetry1 << "}\n";
   std::cout << "CSV written to bench_oracle_qps.csv\n";
   return mismatches == 0 ? 0 : 1;
 }

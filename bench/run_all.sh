@@ -67,8 +67,10 @@ for exe in "$BUILD"/bench/bench_*; do
 done
 
 # One self-contained JSON artifact per run for the cross-PR trajectory.
+# schema 2: bench detail lines may carry an embedded "telemetry" object
+# (the serving-path metrics registries of telemetry/metrics.h).
 {
-  printf '{"commit":"%s","nproc":%s,"quick":%s,"compiler":"%s","sanitize":"%s","benches":[\n' \
+  printf '{"schema":2,"commit":"%s","nproc":%s,"quick":%s,"compiler":"%s","sanitize":"%s","benches":[\n' \
     "$COMMIT" "$NPROC" "$QUICK" "$COMPILER" "$SANITIZE"
   sed '$!s/$/,/' "$OUT"
   printf ']}\n'

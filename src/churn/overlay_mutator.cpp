@@ -12,12 +12,18 @@ namespace ron {
 
 OverlayMutator::OverlayMutator(const ProximityIndex& prox,
                                const ScenarioSpec& spec,
-                               ObjectDirectory initial)
+                               ObjectDirectory initial, const Clock* clock)
     : prox_(prox),
       params_(spec.ring_params()),
       rings_(prox.n()),
       directory_(std::move(initial)),
-      rng_(spec.churn_seed) {
+      rng_(spec.churn_seed),
+      clock_(clock != nullptr ? clock : &Clock::real()) {
+  m_join_seconds_ = &metrics_.histogram("ron_churn_join_seconds");
+  m_leave_seconds_ = &metrics_.histogram("ron_churn_leave_seconds");
+  m_publish_seconds_ = &metrics_.histogram("ron_churn_publish_seconds");
+  m_unpublish_seconds_ = &metrics_.histogram("ron_churn_unpublish_seconds");
+  m_commit_seconds_ = &metrics_.histogram("ron_churn_commit_seconds");
   RON_CHECK(directory_.n() == prox_.n(),
             "OverlayMutator: directory over " << directory_.n()
                                               << " nodes, metric has "
@@ -348,7 +354,29 @@ void OverlayMutator::net_join(NodeId u) {
 
 // --- mutations --------------------------------------------------------------
 
+void OverlayMutator::sync_counter_metrics() {
+  // The maintenance counters are bumped at many interior sites; mirroring
+  // them into the registry by delta after each public op keeps those sites
+  // untouched while scrapes stay current.
+  const std::pair<const char*, std::size_t ChurnCounters::*> mirror[] = {
+      {"ron_churn_joins_total", &ChurnCounters::joins},
+      {"ron_churn_leaves_total", &ChurnCounters::leaves},
+      {"ron_churn_publishes_total", &ChurnCounters::publishes},
+      {"ron_churn_unpublishes_total", &ChurnCounters::unpublishes},
+      {"ron_churn_ring_repairs_total", &ChurnCounters::ring_repairs},
+      {"ron_churn_inlink_inserts_total", &ChurnCounters::inlink_inserts},
+      {"ron_churn_evictions_total", &ChurnCounters::evictions},
+      {"ron_churn_net_promotions_total", &ChurnCounters::net_promotions}};
+  for (const auto& [name, field] : mirror) {
+    const std::size_t now = counters_.*field;
+    const std::size_t seen = exported_.*field;
+    if (now > seen) metrics_.counter(name).add(0, now - seen);
+    exported_.*field = now;
+  }
+}
+
 void OverlayMutator::leave(NodeId u) {
+  const Stopwatch op_watch(*clock_);
   RON_CHECK(u < n(), "leave: node " << u << " out of range");
   RON_CHECK(active_[u], "leave: node " << u << " is not active");
   RON_CHECK(active_count_ > 1, "leave: node " << u
@@ -379,9 +407,12 @@ void OverlayMutator::leave(NodeId u) {
   rings_.clear_members(u);
   net_leave(u);
   ++counters_.leaves;
+  m_leave_seconds_->record(0, op_watch.elapsed_seconds());
+  sync_counter_metrics();
 }
 
 void OverlayMutator::join(NodeId u) {
+  const Stopwatch op_watch(*clock_);
   RON_CHECK(u < n(), "join: node " << u << " out of range");
   RON_CHECK(!active_[u], "join: node " << u << " is already active");
   active_[u] = 1;
@@ -400,9 +431,12 @@ void OverlayMutator::join(NodeId u) {
   }
   push_inlinks(u);
   ++counters_.joins;
+  m_join_seconds_->record(0, op_watch.elapsed_seconds());
+  sync_counter_metrics();
 }
 
 void OverlayMutator::publish(const std::string& name, NodeId holder) {
+  const Stopwatch op_watch(*clock_);
   RON_CHECK(holder < n() && active_[holder],
             "publish: holder " << holder << " is not active");
   const ObjectId existing = directory_.find(name);
@@ -411,13 +445,18 @@ void OverlayMutator::publish(const std::string& name, NodeId holder) {
             "publish: node " << holder << " already holds '" << name << "'");
   directory_.publish(name, holder);
   ++counters_.publishes;
+  m_publish_seconds_->record(0, op_watch.elapsed_seconds());
+  sync_counter_metrics();
 }
 
 void OverlayMutator::unpublish(const std::string& name, NodeId holder) {
+  const Stopwatch op_watch(*clock_);
   RON_CHECK(directory_.unpublish(name, holder),
             "unpublish: node " << holder << " does not hold '" << name
                                << "'");
   ++counters_.unpublishes;
+  m_unpublish_seconds_->record(0, op_watch.elapsed_seconds());
+  sync_counter_metrics();
 }
 
 void OverlayMutator::apply(const ChurnTrace& trace) {
@@ -441,6 +480,7 @@ void OverlayMutator::apply(const ChurnTrace& trace) {
 }
 
 std::shared_ptr<const LocationEpoch> OverlayMutator::commit() {
+  const Stopwatch op_watch(*clock_);
   auto epoch = std::make_shared<LocationEpoch>();
   epoch->id = next_epoch_id_++;
   auto rings = std::make_shared<const RingsOfNeighbors>(rings_);
@@ -449,6 +489,9 @@ std::shared_ptr<const LocationEpoch> OverlayMutator::commit() {
       std::make_shared<const LocationService>(prox_, *rings, *directory);
   epoch->rings = std::move(rings);
   epoch->directory = std::move(directory);
+  // The freeze deep-copy is the serving-path cost of churn (ROADMAP item
+  // 3's question); its distribution lives here.
+  m_commit_seconds_->record(0, op_watch.elapsed_seconds());
   return epoch;
 }
 

@@ -74,6 +74,8 @@
 #include "oracle/engine.h"
 #include "scenario/scenario_spec.h"
 #include "smallworld/rings_model.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
 
 namespace ron {
 
@@ -99,9 +101,12 @@ class OverlayMutator {
   /// (bit-identical to ScenarioBuilder's: nets over [log Δ] -> doubling
   /// measure -> X+Y rings with spec.ring_params() and spec.overlay_seed)
   /// and takes ownership of the publish state. `prox` is borrowed and must
-  /// outlive the mutator and every epoch it commits.
+  /// outlive the mutator and every epoch it commits. `clock` (borrowed;
+  /// null = Clock::real()) only feeds the op-cost histograms — maintenance
+  /// randomness never touches it, so a FakeClock changes timings, not the
+  /// overlay.
   OverlayMutator(const ProximityIndex& prox, const ScenarioSpec& spec,
-                 ObjectDirectory initial);
+                 ObjectDirectory initial, const Clock* clock = nullptr);
 
   std::size_t n() const { return prox_.n(); }
   std::size_t active_count() const { return active_count_; }
@@ -110,6 +115,13 @@ class OverlayMutator {
   const RingsOfNeighbors& rings() const { return rings_; }
   const ObjectDirectory& directory() const { return directory_; }
   const ChurnCounters& counters() const { return counters_; }
+
+  /// Telemetry (ron_churn_* names): per-op-kind cost histograms
+  /// (join/leave/publish/unpublish/commit seconds) plus counters mirroring
+  /// ChurnCounters for scrape consumers. Single-sharded — the mutator is
+  /// single-threaded working state; scraping from another thread is safe
+  /// (the registry reads atomics).
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Live doubling-measure weight of u (0 for inactive nodes).
   double weight(NodeId u) const;
@@ -211,6 +223,21 @@ class OverlayMutator {
   Rng rng_;
   std::uint64_t next_epoch_id_ = 1;
   ChurnCounters counters_;
+
+  // Telemetry: registered once in the constructor, recorded at op
+  // granularity (ops are milliseconds-scale — recording cost is noise, so
+  // unlike the engine's per-query path none of this is gated).
+  // sync_counter_metrics() pushes the ChurnCounters deltas since the last
+  // sync into the registry counters after every public mutation.
+  void sync_counter_metrics();
+  const Clock* clock_ = nullptr;  // never null after construction
+  MetricsRegistry metrics_{1};
+  Histogram* m_join_seconds_ = nullptr;
+  Histogram* m_leave_seconds_ = nullptr;
+  Histogram* m_publish_seconds_ = nullptr;
+  Histogram* m_unpublish_seconds_ = nullptr;
+  Histogram* m_commit_seconds_ = nullptr;
+  ChurnCounters exported_;  // counters_ state already in the registry
 };
 
 }  // namespace ron

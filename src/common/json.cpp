@@ -1,0 +1,22 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ron {
+
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  RON_CHECK(ec == std::errc(), "write_json_double: value does not fit");
+  os.write(buf, ptr - buf);
+}
+
+}  // namespace ron

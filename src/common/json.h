@@ -1,0 +1,15 @@
+// Minimal JSON emission helpers shared by the hand-rolled serializers
+// (telemetry snapshots, bench summary lines, Summary::to_json). This repo
+// writes JSON, it never parses it — no dependency is warranted.
+#pragma once
+
+#include <iosfwd>
+
+namespace ron {
+
+/// Shortest-round-trip JSON number. NaN and infinities, which JSON cannot
+/// represent, are written as 0 — values that can legally be non-finite
+/// must be filtered by the caller before serialization.
+void write_json_double(std::ostream& os, double v);
+
+}  // namespace ron

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/json.h"
 
 namespace ron {
 
@@ -36,6 +37,7 @@ Summary summarize(std::vector<double> values) {
   s.p50 = sorted_percentile(values, 0.50);
   s.p90 = sorted_percentile(values, 0.90);
   s.p99 = sorted_percentile(values, 0.99);
+  s.p999 = sorted_percentile(values, 0.999);
   return s;
 }
 
@@ -50,7 +52,22 @@ std::string Summary::to_string(int precision) const {
   std::ostringstream os;
   os.precision(precision);
   os << "n=" << count << " min=" << min << " p50=" << p50 << " mean=" << mean
-     << " p90=" << p90 << " p99=" << p99 << " max=" << max;
+     << " p90=" << p90 << " p99=" << p99 << " p999=" << p999
+     << " max=" << max;
+  return os.str();
+}
+
+std::string Summary::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count;
+  const std::pair<const char*, double> fields[] = {
+      {"min", min}, {"max", max},   {"mean", mean}, {"p50", p50},
+      {"p90", p90}, {"p99", p99}, {"p999", p999}};
+  for (const auto& [name, v] : fields) {
+    os << ",\"" << name << "\":";
+    write_json_double(os, v);
+  }
+  os << "}";
   return os.str();
 }
 

@@ -15,8 +15,14 @@ struct Summary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  // tail percentile (ROADMAP item 4)
 
   std::string to_string(int precision = 3) const;
+
+  /// Single-line JSON object with every field; consumers must key off
+  /// `count` (0 means the percentile fields are the honest-empty zeros,
+  /// not measurements).
+  std::string to_json() const;
 };
 
 /// Summarize a sample. An empty input yields a zero Summary whose count=0

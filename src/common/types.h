@@ -12,6 +12,16 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// Dense index of a published object within one ObjectDirectory (see
+/// location/object_directory.h for the id contract). Lives here so layers
+/// below location/ — telemetry traces in particular — can talk about
+/// objects without depending on the directory.
+using ObjectId = std::uint32_t;
+
+/// Sentinel for "no such object".
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
 /// Distances are doubles throughout; metrics are expected to be finite,
 /// symmetric, and to satisfy the triangle inequality.
 using Dist = double;

@@ -31,8 +31,24 @@ LocationService::LocationService(const ProximityIndex& prox,
                                                << prox.n());
 }
 
+namespace {
+
+/// Ring level of u through which neighbor v is reachable (the first ring
+/// containing v); -1 if v is in no ring of u. Only the traced (sampled)
+/// walks pay this scan.
+int ring_level_of(const RingsOfNeighbors& rings, NodeId u, NodeId v) {
+  const std::size_t num_rings = rings.rings(u).size();
+  for (std::size_t r = 0; r < num_rings; ++r) {
+    if (rings.ring_contains(u, r, v)) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+}  // namespace
+
 LocateResult LocationService::locate(NodeId querier, ObjectId obj,
-                                     const LocateOptions& opts) const {
+                                     const LocateOptions& opts,
+                                     LocateTrace* trace) const {
   RON_CHECK(querier < n(), "locate: querier " << querier << " out of range");
   const std::span<const NodeId> holders = directory_.holders(obj);
   // Zero-holder contract (see object_directory.h): a live name whose every
@@ -48,6 +64,15 @@ LocateResult LocationService::locate(NodeId querier, ObjectId obj,
   // the strongly local part and must reach it through ring contacts only.
   const NodeId target = prox_.nearest_in(querier, holders);
   r.nearest_dist = prox_.dist(querier, target);
+  if (trace != nullptr) {
+    // `found` stays false on the undelivered/stuck returns below — the
+    // trace mirrors the result it was sampled with.
+    *trace = LocateTrace{};
+    trace->querier = querier;
+    trace->object = obj;
+    trace->target = target;
+    trace->nearest_dist = r.nearest_dist;
+  }
   NodeId cur = querier;
   while (cur != target) {
     if (r.hops >= opts.max_hops) return r;  // undelivered
@@ -55,12 +80,17 @@ LocateResult LocationService::locate(NodeId querier, ObjectId obj,
         greedy_next_hop(prox_.metric(), rings_.all_neighbors(cur), cur,
                         target);
     if (next == kInvalidNode || next == cur) return r;  // stuck
+    if (trace != nullptr) {
+      trace->hops.push_back(TraceHop{next, ring_level_of(rings_, cur, next),
+                                     prox_.dist(next, target)});
+    }
     r.path_length += prox_.dist(cur, next);
     ++r.hops;
     cur = next;
     if (opts.stop_at_any_holder && directory_.is_holder(obj, cur)) break;
   }
   r.found = true;
+  if (trace != nullptr) trace->found = true;
   r.holder = cur;
   r.holder_dist = prox_.dist(querier, cur);
   r.route_stretch =

@@ -36,6 +36,7 @@
 #include "net/doubling_measure.h"
 #include "net/nets.h"
 #include "smallworld/rings_model.h"
+#include "telemetry/trace.h"
 
 namespace ron {
 
@@ -95,8 +96,16 @@ class LocationService {
   /// for out-of-range ids and for a zero-holder object (naming it — see the
   /// contract in object_directory.h); a walk that stalls or exhausts
   /// max_hops yields found = false.
+  ///
+  /// When `trace` is non-null the walk is recorded hop by hop into it
+  /// (telemetry/trace.h): endpoint fields plus, per step, the node moved
+  /// to, the ring level of the previous node it was found through, and the
+  /// remaining distance to the target copy. Tracing changes nothing about
+  /// the walk; it only adds the per-hop ring-level scan, so callers sample
+  /// (see TraceSink) rather than trace every query.
   LocateResult locate(NodeId querier, ObjectId obj,
-                      const LocateOptions& opts = {}) const;
+                      const LocateOptions& opts = {},
+                      LocateTrace* trace = nullptr) const;
 
   /// Name-resolving convenience; throws if the name was never published.
   LocateResult locate(NodeId querier, const std::string& object,

@@ -39,12 +39,8 @@
 
 namespace ron {
 
-/// Dense index of a published object within one directory.
-using ObjectId = std::uint32_t;
-
-/// Sentinel for "no such object".
-inline constexpr ObjectId kInvalidObject =
-    std::numeric_limits<ObjectId>::max();
+// ObjectId and kInvalidObject moved to common/types.h so telemetry (a layer
+// below location/) can reference objects in locate traces.
 
 class ObjectDirectory {
  public:

@@ -1,11 +1,35 @@
 #include "oracle/engine.h"
 
 #include <algorithm>
-#include <chrono>
+#include <limits>
 
 #include "common/check.h"
 
 namespace ron {
+namespace {
+
+// Batch-local histogram scratch: a shard loop records every sample here
+// with plain arithmetic (stack-hot cache lines, no atomics) and folds the
+// whole batch into the shared shard once via Histogram::merge_single_owner.
+// min/max start at the infinities so the NaN rule matches record(): a NaN
+// sample lands in the underflow bucket but never becomes min/max.
+struct LocalHistogram {
+  HistogramSnapshot h{.count = 0,
+                      .sum = 0.0,
+                      .min = std::numeric_limits<double>::infinity(),
+                      .max = -std::numeric_limits<double>::infinity(),
+                      .buckets = {}};
+
+  void record(double v) {
+    ++h.buckets[Histogram::bucket_index(v)];
+    ++h.count;
+    h.sum += v;
+    if (v < h.min) h.min = v;
+    if (v > h.max) h.max = v;
+  }
+};
+
+}  // namespace
 
 std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
                                           Rng& rng) {
@@ -16,7 +40,10 @@ std::vector<QueryPair> random_query_pairs(std::size_t count, std::size_t n,
   return pairs;
 }
 
-OracleEngine::OracleEngine(OracleOptions opts) {
+OracleEngine::OracleEngine(OracleOptions opts)
+    : clock_(opts.clock != nullptr ? opts.clock : &Clock::real()),
+      clock_is_real_(clock_ == &Clock::real()),
+      trace_sink_(opts.trace_sink) {
   if (opts.num_threads != 0) {
     RON_CHECK(opts.num_threads <= 256,
               "OracleEngine: " << opts.num_threads << " threads");
@@ -40,7 +67,38 @@ OracleEngine::OracleEngine(OracleOptions opts) {
   }
   locate_cache_epoch_.assign(workers_, 0);
   shard_index_.resize(workers_);
+  init_metrics();
   start_pool();
+}
+
+void OracleEngine::init_metrics() {
+  // workers_+1 shards: one per worker plus the shared dispatcher/
+  // maintenance shard (index workers_) — see the member comment.
+  metrics_ = std::make_unique<MetricsRegistry>(workers_ + 1);
+  MetricsRegistry& r = *metrics_;
+  m_estimate_latency_ = &r.histogram("ron_engine_estimate_latency_seconds");
+  m_locate_latency_ = &r.histogram("ron_engine_locate_latency_seconds");
+  m_estimate_batch_seconds_ =
+      &r.histogram("ron_engine_estimate_batch_seconds");
+  m_locate_batch_seconds_ = &r.histogram("ron_engine_locate_batch_seconds");
+  m_estimate_cache_hits_ = &r.counter("ron_engine_estimate_cache_hits_total");
+  m_estimate_cache_misses_ =
+      &r.counter("ron_engine_estimate_cache_misses_total");
+  m_locate_cache_hits_ = &r.counter("ron_engine_locate_cache_hits_total");
+  m_locate_cache_misses_ = &r.counter("ron_engine_locate_cache_misses_total");
+  m_epoch_swaps_ = &r.counter("ron_engine_epoch_swaps_total");
+  m_epoch_swap_seconds_ = &r.histogram("ron_engine_epoch_swap_seconds");
+  m_epoch_mu_hold_seconds_ =
+      &r.histogram("ron_engine_epoch_mu_hold_seconds");
+  m_mu_hold_seconds_ = &r.histogram("ron_engine_mu_hold_seconds");
+  m_locate_hops_ = &r.histogram("ron_engine_locate_hops");
+  m_locate_route_stretch_ = &r.histogram("ron_engine_locate_route_stretch");
+  m_hop_bound_violations_ =
+      &r.counter("ron_engine_locate_hop_bound_violations_total");
+  m_locate_not_found_ = &r.counter("ron_engine_locate_not_found_total");
+  m_cache_invalidations_ =
+      &r.counter("ron_engine_locate_cache_invalidations_total");
+  m_hop_bound_ = &r.gauge("ron_engine_locate_hop_bound");
 }
 
 OracleEngine::OracleEngine(DistanceLabeling labeling, OracleOptions opts)
@@ -83,35 +141,74 @@ const DistanceLabeling& OracleEngine::labeling() const {
 }
 
 std::shared_ptr<const LocationEpoch> OracleEngine::current_epoch() const {
-  MutexLock lk(epoch_mu_);
-  return epoch_;
+  // Hold time is clocked from acquisition to just before release (the
+  // Stopwatch lives inside the critical section); recording happens after
+  // the unlock so the histogram update is never under the lock. The
+  // dispatcher/maintenance shard is shared — its cells are atomics.
+  std::uint64_t hold_ns = 0;
+  std::shared_ptr<const LocationEpoch> epoch;
+  {
+    MutexLock lk(epoch_mu_);
+    if constexpr (kTelemetryEnabled) {
+      const Stopwatch hold(*clock_);
+      epoch = epoch_;
+      hold_ns = hold.elapsed_ns();
+    } else {
+      epoch = epoch_;
+    }
+  }
+  if constexpr (kTelemetryEnabled) {
+    m_epoch_mu_hold_seconds_->record(workers_,
+                                     static_cast<double>(hold_ns) * 1e-9);
+  }
+  return epoch;
 }
 
 void OracleEngine::set_epoch(std::shared_ptr<const LocationEpoch> epoch,
                              bool require_new_id) {
+  // Swap duration covers validation + the guarded swap; the epoch_mu_ hold
+  // time covers only the critical section. Both recorded after the unlock.
+  std::optional<Stopwatch> swap_watch;
+  if constexpr (kTelemetryEnabled) swap_watch.emplace(*clock_);
   RON_CHECK(epoch != nullptr && epoch->service != nullptr,
             "OracleEngine: epoch must carry a location service");
   RON_CHECK(!labeling_.has_value() || labeling_->n() == epoch->service->n(),
             "OracleEngine: labeling over " << labeling_->n()
                                            << " nodes, location over "
                                            << epoch->service->n());
-  MutexLock lk(epoch_mu_);
-  if (epoch_ != nullptr) {
-    RON_CHECK(epoch_->service->n() == epoch->service->n(),
-              "OracleEngine: epoch over " << epoch->service->n()
-                                          << " nodes, serving "
-                                          << epoch_->service->n());
-    // Cache shards are invalidated by id comparison, and a worker's tag
-    // can hold ANY previously served id — so applied ids must strictly
-    // increase (not merely differ), or an id reused across sources (e.g.
-    // epochs from two different mutators, both of which number from 1)
-    // could silently serve the old epoch's cached results.
-    RON_CHECK(!require_new_id || epoch->id > epoch_->id,
-              "OracleEngine: epoch id " << epoch->id
-                                        << " must exceed the current epoch's "
-                                        << epoch_->id);
+  const std::size_t hop_bound = location_hop_bound(epoch->service->n());
+  std::uint64_t hold_ns = 0;
+  {
+    MutexLock lk(epoch_mu_);
+    std::optional<Stopwatch> hold_watch;
+    if constexpr (kTelemetryEnabled) hold_watch.emplace(*clock_);
+    if (epoch_ != nullptr) {
+      RON_CHECK(epoch_->service->n() == epoch->service->n(),
+                "OracleEngine: epoch over " << epoch->service->n()
+                                            << " nodes, serving "
+                                            << epoch_->service->n());
+      // Cache shards are invalidated by id comparison, and a worker's tag
+      // can hold ANY previously served id — so applied ids must strictly
+      // increase (not merely differ), or an id reused across sources (e.g.
+      // epochs from two different mutators, both of which number from 1)
+      // could silently serve the old epoch's cached results.
+      RON_CHECK(!require_new_id || epoch->id > epoch_->id,
+                "OracleEngine: epoch id " << epoch->id
+                                          << " must exceed the current epoch's "
+                                          << epoch_->id);
+    }
+    epoch_ = std::move(epoch);
+    if constexpr (kTelemetryEnabled) hold_ns = hold_watch->elapsed_ns();
   }
-  epoch_ = std::move(epoch);
+  if constexpr (kTelemetryEnabled) {
+    m_epoch_mu_hold_seconds_->record(workers_,
+                                     static_cast<double>(hold_ns) * 1e-9);
+    m_epoch_swaps_->add(workers_);
+    m_epoch_swap_seconds_->record(workers_, swap_watch->elapsed_seconds());
+    // Visible yardstick for the violation counter (Theorem 5.2(a)'s
+    // 4*ceil(log2 n)+8 for the current epoch's node count).
+    m_hop_bound_->set(static_cast<double>(hop_bound));
+  }
 }
 
 void OracleEngine::attach_location(const LocationService& svc,
@@ -192,17 +289,40 @@ void OracleEngine::process_estimate_shard(unsigned w,
                                           std::vector<Dist>& results) {
   const DistanceLabeling& dls = *labeling_;
   LruShard<Dist>& cache = estimate_cache_[w];
+  // Per-query telemetry goes into batch-local plain scratch (one clock
+  // read per query via chained stamps: each query's end stamp is the next
+  // one's start, and the telescoped sum equals the shard's true wall
+  // time). The shared atomic shards are touched once per batch, below —
+  // shard w is single-owner here (batch protocol), so the single-owner
+  // merge/add fast paths apply.
+  [[maybe_unused]] LocalHistogram latency;
+  [[maybe_unused]] std::uint64_t hits_n = 0;
+  [[maybe_unused]] std::uint64_t misses_n = 0;
+  std::uint64_t t0 = 0;
+  if constexpr (kTelemetryEnabled) t0 = query_now_ns();
   for (std::uint32_t i : shard_index_[w]) {
     const auto [u, v] = pairs[i];
     const std::uint64_t key = pair_key(u, v);
     Dist d;
-    if (cache.enabled() && cache.get(key, d)) {
-      results[i] = d;
-      continue;
+    const bool hit = cache.enabled() && cache.get(key, d);
+    if (!hit) {
+      d = DistanceLabeling::estimate(dls.label(u), dls.label(v)).upper;
+      if (cache.enabled()) cache.put(key, d);
     }
-    d = DistanceLabeling::estimate(dls.label(u), dls.label(v)).upper;
-    if (cache.enabled()) cache.put(key, d);
     results[i] = d;
+    if constexpr (kTelemetryEnabled) {
+      // Latency covers cache hits too — a hit's latency is the latency the
+      // caller saw. Hit/miss counters split the population.
+      const std::uint64_t t1 = query_now_ns();
+      latency.record(static_cast<double>(t1 - t0) * 1e-9);
+      ++(hit ? hits_n : misses_n);
+      t0 = t1;
+    }
+  }
+  if constexpr (kTelemetryEnabled) {
+    m_estimate_latency_->merge_single_owner(w, latency.h);
+    m_estimate_cache_hits_->add_single_owner(w, hits_n);
+    m_estimate_cache_misses_->add_single_owner(w, misses_n);
   }
 }
 
@@ -218,18 +338,72 @@ void OracleEngine::process_locate_shard(unsigned w,
   if (locate_cache_epoch_[w] != epoch.id) {
     cache.clear();
     locate_cache_epoch_[w] = epoch.id;
+    if constexpr (kTelemetryEnabled) m_cache_invalidations_->add(w);
   }
+  const std::size_t hop_bound = location_hop_bound(svc.n());
+  // Batch-local scratch + chained clock reads, exactly as in
+  // process_estimate_shard (shard w is this worker's alone for the whole
+  // batch).
+  [[maybe_unused]] LocalHistogram latency;
+  [[maybe_unused]] LocalHistogram hops;
+  [[maybe_unused]] LocalHistogram stretch;
+  [[maybe_unused]] std::uint64_t hits_n = 0;
+  [[maybe_unused]] std::uint64_t misses_n = 0;
+  [[maybe_unused]] std::uint64_t not_found_n = 0;
+  [[maybe_unused]] std::uint64_t violations_n = 0;
+  std::uint64_t t0 = 0;
+  if constexpr (kTelemetryEnabled) t0 = query_now_ns();
   for (std::uint32_t i : shard_index_[w]) {
     const auto [querier, obj] = queries[i];
     const std::uint64_t key = locate_key(querier, obj);
     LocateResult r;
-    if (cache.enabled() && cache.get(key, r)) {
-      results[i] = r;
-      continue;
+    const bool hit = cache.enabled() && cache.get(key, r);
+    if (!hit) {
+      bool traced = false;
+      if constexpr (kTelemetryEnabled) {
+        // Trace only real walks (a cache hit repeats no hops), sampled by
+        // the sink so the per-hop ring-level scan stays off the common
+        // path.
+        if (trace_sink_ != nullptr && trace_sink_->should_sample()) {
+          LocateTrace trace;
+          r = svc.locate(querier, obj, locate_opts_, &trace);
+          trace_sink_->record(std::move(trace));
+          traced = true;
+        }
+      }
+      if (!traced) r = svc.locate(querier, obj, locate_opts_);
+      if (cache.enabled()) cache.put(key, r);
     }
-    r = svc.locate(querier, obj, locate_opts_);
-    if (cache.enabled()) cache.put(key, r);
     results[i] = r;
+    if constexpr (kTelemetryEnabled) {
+      const std::uint64_t t1 = query_now_ns();
+      latency.record(static_cast<double>(t1 - t0) * 1e-9);
+      t0 = t1;
+      ++(hit ? hits_n : misses_n);
+      // Hop/stretch distributions (and the bound-violation counter) cover
+      // real ring walks only: a cache hit repeats no hops, and counting
+      // cached copies would skew the overlay's routing distribution toward
+      // hot keys (and double-count a violating walk). Histogram counts
+      // therefore line up with the miss counter, not the query count.
+      if (!hit) {
+        hops.record(static_cast<double>(r.hops));
+        if (r.found) {
+          stretch.record(r.route_stretch);
+        } else {
+          ++not_found_n;
+        }
+        if (r.hops > hop_bound) ++violations_n;
+      }
+    }
+  }
+  if constexpr (kTelemetryEnabled) {
+    m_locate_latency_->merge_single_owner(w, latency.h);
+    m_locate_hops_->merge_single_owner(w, hops.h);
+    m_locate_route_stretch_->merge_single_owner(w, stretch.h);
+    m_locate_cache_hits_->add_single_owner(w, hits_n);
+    m_locate_cache_misses_->add_single_owner(w, misses_n);
+    m_locate_not_found_->add_single_owner(w, not_found_n);
+    m_hop_bound_violations_->add_single_owner(w, violations_n);
   }
 }
 
@@ -243,7 +417,10 @@ std::size_t OracleEngine::cache_hits() const {
 template <typename SourceOf>
 void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
                              const std::function<void(unsigned)>& shard_fn) {
-  const auto start = std::chrono::steady_clock::now();
+  // Batch wall time is always measured (one clock read pair per batch):
+  // last_batch_stats()/totals() stay live even with telemetry compiled
+  // out.
+  const Stopwatch batch_watch(*clock_);
 
   // Shard by source node: all queries from one source land on one worker
   // (and one cache shard), so a hot source stays cache-local.
@@ -255,12 +432,25 @@ void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
   if (workers_ == 1) {
     shard_fn(0);
   } else {
+    std::uint64_t publish_hold_ns = 0;
     {
       MutexLock lk(mu_);
+      std::optional<Stopwatch> hold_watch;
+      if constexpr (kTelemetryEnabled) hold_watch.emplace(*clock_);
       batch_fn_ = shard_fn;
       batch_error_ = nullptr;
       remaining_ = workers_;
       ++generation_;
+      if constexpr (kTelemetryEnabled) {
+        publish_hold_ns = hold_watch->elapsed_ns();
+      }
+    }
+    if constexpr (kTelemetryEnabled) {
+      // Only the publish section is hold-timed: the wait section below
+      // releases mu_ inside cv_done_.wait, so "time in the block" there
+      // would mostly be time the lock was NOT held.
+      m_mu_hold_seconds_->record(
+          workers_, static_cast<double>(publish_hold_ns) * 1e-9);
     }
     cv_start_.notify_all();
     std::exception_ptr err;
@@ -274,18 +464,28 @@ void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
     if (err != nullptr) std::rethrow_exception(err);
   }
 
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  const std::uint64_t elapsed_ns = batch_watch.elapsed_ns();
   last_.queries = count;
-  last_.seconds = elapsed.count();
+  last_.seconds = static_cast<double>(elapsed_ns) * 1e-9;
   last_.qps = last_.seconds > 0.0
                   ? static_cast<double>(count) / last_.seconds
                   : 0.0;
   last_.cache_hits = cache_hits();  // shards were reset at batch start
-  ++totals_.batches;
-  totals_.queries += last_.queries;
-  totals_.seconds += last_.seconds;
-  totals_.cache_hits += last_.cache_hits;
+  total_batches_.fetch_add(1, std::memory_order_relaxed);
+  total_queries_.fetch_add(count, std::memory_order_relaxed);
+  total_busy_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  total_cache_hits_.fetch_add(last_.cache_hits, std::memory_order_relaxed);
+}
+
+EngineTotals OracleEngine::totals() const {
+  EngineTotals t;
+  t.batches = total_batches_.load(std::memory_order_relaxed);
+  t.queries = total_queries_.load(std::memory_order_relaxed);
+  t.seconds =
+      static_cast<double>(total_busy_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
+  t.cache_hits = total_cache_hits_.load(std::memory_order_relaxed);
+  return t;
 }
 
 std::vector<Dist> OracleEngine::estimate_batch(
@@ -305,6 +505,9 @@ std::vector<Dist> OracleEngine::estimate_batch(
             [this, pairs, &results](unsigned w) {
               process_estimate_shard(w, pairs, results);
             });
+  if constexpr (kTelemetryEnabled) {
+    m_estimate_batch_seconds_->record(workers_, last_.seconds);
+  }
   return results;
 }
 
@@ -332,6 +535,9 @@ std::vector<LocateResult> OracleEngine::locate_batch(
             [this, &epoch, queries, &results](unsigned w) {
               process_locate_shard(w, *epoch, queries, results);
             });
+  if constexpr (kTelemetryEnabled) {
+    m_locate_batch_seconds_->record(workers_, last_.seconds);
+  }
   return results;
 }
 

@@ -35,8 +35,17 @@
 // epoch, and each worker's locate LRU shard is cleared the first time that
 // worker serves the new epoch — a cached pre-mutation result is never
 // served across an epoch boundary.
+//
+// Telemetry: every serving event is recorded into a sharded
+// MetricsRegistry (telemetry/metrics.h; ron_engine_* names) — per-query
+// latency histograms, per-shard LRU hit/miss counters, epoch-swap events
+// with swap-duration and lock hold-time histograms, and hop/stretch
+// distributions checked against location_hop_bound. Recording is lock-free
+// (worker w writes only shard w) and compiled out entirely under
+// -DRON_TELEMETRY=OFF; the lifetime totals() atomics stay live regardless.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -53,6 +62,9 @@
 #include "labeling/distance_labels.h"
 #include "location/location_service.h"
 #include "oracle/lru.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ron {
 
@@ -74,6 +86,14 @@ struct OracleOptions {
   /// LRU result-cache entries across all worker shards, per query kind
   /// (estimate and locate caches are separate); 0 disables caching.
   std::size_t cache_capacity = 0;
+  /// Timing source for batch stats and latency histograms (borrowed, must
+  /// outlive the engine); null = Clock::real(). Tests inject a FakeClock
+  /// for deterministic timings.
+  const Clock* clock = nullptr;
+  /// Sampled locate ring-walk traces land here when non-null (borrowed,
+  /// must outlive the engine). Only cache-miss walks are offered to the
+  /// sink; its sample_every does the thinning.
+  TraceSink* trace_sink = nullptr;
 };
 
 /// Measurements of one estimate_batch/locate_batch call.
@@ -85,10 +105,13 @@ struct BatchStats {
 };
 
 /// Running totals across the engine's lifetime (both query kinds).
+/// Returned by value from totals(): the underlying counters are relaxed
+/// atomics written per batch, so a snapshot taken while batches run is a
+/// consistent-enough monitoring read, never a data race.
 struct EngineTotals {
   std::size_t batches = 0;
   std::size_t queries = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  // summed batch wall time ("busy seconds")
   std::size_t cache_hits = 0;
 };
 
@@ -179,8 +202,19 @@ class OracleEngine {
   /// last_batch_stats().
   std::vector<LocateResult> locate_batch(std::span<const LocateQuery> queries);
 
+  /// Stats of the most recent batch. Dispatcher-owned: call from the
+  /// thread that submitted the batch (concurrent readers should use
+  /// totals() or metrics() instead).
   const BatchStats& last_batch_stats() const { return last_; }
-  const EngineTotals& totals() const { return totals_; }
+  /// Lifetime totals, safe to read from any thread at any time. Always
+  /// live, even in RON_TELEMETRY=OFF builds.
+  EngineTotals totals() const;
+
+  /// The engine's metric registry (telemetry/metrics.h): per-query latency
+  /// and lock hold-time histograms, cache hit/miss and epoch-swap
+  /// counters, hop/stretch distributions — all ron_engine_*-prefixed.
+  /// Scraping (to_json / to_prometheus) is safe while batches run.
+  const MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   /// Estimates are symmetric, so their key is the unordered pair.
@@ -215,8 +249,16 @@ class OracleEngine {
                             std::span<const LocateQuery> queries,
                             std::vector<LocateResult>& results);
   std::size_t cache_hits() const;
+  /// Per-query timestamp for the shard loops: the inline steady_clock read
+  /// when the engine runs on the real clock (the common case), virtual
+  /// dispatch for injected test clocks.
+  std::uint64_t query_now_ns() const {
+    return clock_is_real_ ? real_now_ns() : clock_->now_ns();
+  }
   void set_epoch(std::shared_ptr<const LocationEpoch> epoch,
                  bool require_new_id) RON_EXCLUDES(epoch_mu_);
+  /// Registers every ron_engine_* metric and caches the handles below.
+  void init_metrics();
 
   std::optional<DistanceLabeling> labeling_;
   LocateOptions locate_opts_;
@@ -256,8 +298,49 @@ class OracleEngine {
   // during it (ordered by the mu_/cv protocol, like the shards above).
   std::vector<std::vector<std::uint32_t>> shard_index_;  // per worker
 
+  // Dispatcher-owned, like shard_index_ (see last_batch_stats()).
   BatchStats last_;
-  EngineTotals totals_;
+
+  // Lifetime totals as relaxed atomics: written once per batch by the
+  // dispatcher, readable from any thread (the satellite fix for the
+  // previously annotation-free EngineTotals member). Always recorded,
+  // independent of RON_TELEMETRY.
+  std::atomic<std::uint64_t> total_batches_{0};
+  std::atomic<std::uint64_t> total_queries_{0};
+  std::atomic<std::uint64_t> total_busy_ns_{0};
+  std::atomic<std::uint64_t> total_cache_hits_{0};
+
+  // Telemetry. The registry has workers_+1 shards: shard w belongs to
+  // worker w during a batch; shard workers_ is shared by the dispatcher
+  // and any maintenance thread (cells are atomics, so sharing a shard is
+  // slower under contention, never incorrect). Metric handles are cached
+  // raw pointers into the registry (stable for its lifetime) so the hot
+  // path never does a name lookup.
+  const Clock* clock_ = nullptr;  // never null after construction
+  // True when clock_ is Clock::real(): the per-query stamps in the shard
+  // loops then take the inline real_now_ns() path instead of a virtual
+  // call (one perfectly-predicted branch).
+  bool clock_is_real_ = false;
+  TraceSink* trace_sink_ = nullptr;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  Histogram* m_estimate_latency_ = nullptr;
+  Histogram* m_locate_latency_ = nullptr;
+  Histogram* m_estimate_batch_seconds_ = nullptr;
+  Histogram* m_locate_batch_seconds_ = nullptr;
+  Counter* m_estimate_cache_hits_ = nullptr;
+  Counter* m_estimate_cache_misses_ = nullptr;
+  Counter* m_locate_cache_hits_ = nullptr;
+  Counter* m_locate_cache_misses_ = nullptr;
+  Counter* m_epoch_swaps_ = nullptr;
+  Histogram* m_epoch_swap_seconds_ = nullptr;
+  Histogram* m_epoch_mu_hold_seconds_ = nullptr;
+  Histogram* m_mu_hold_seconds_ = nullptr;
+  Histogram* m_locate_hops_ = nullptr;
+  Histogram* m_locate_route_stretch_ = nullptr;
+  Counter* m_hop_bound_violations_ = nullptr;
+  Counter* m_locate_not_found_ = nullptr;
+  Counter* m_cache_invalidations_ = nullptr;
+  Gauge* m_hop_bound_ = nullptr;
 };
 
 }  // namespace ron

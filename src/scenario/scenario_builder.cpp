@@ -4,28 +4,47 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "telemetry/clock.h"
 
 namespace ron {
+
+template <typename BuildFn>
+void ScenarioBuilder::timed_stage(const char* name, BuildFn&& build) {
+  const Stopwatch stage_watch(Clock::real());
+  build();
+  metrics_.gauge(name).set(stage_watch.elapsed_seconds());
+}
 
 ScenarioBuilder::ScenarioBuilder(const ScenarioSpec& spec,
                                  unsigned num_threads,
                                  const MetricRegistry& registry)
     : spec_(spec) {
-  metric_ = registry.make(spec_);
+  timed_stage("ron_build_metric_seconds",
+              [&] { metric_ = registry.make(spec_); });
   spec_.n = metric_->n();  // canonical: families may round n up
-  prox_ = std::make_unique<ProximityIndex>(*metric_, num_threads);
+  timed_stage("ron_build_prox_seconds", [&] {
+    prox_ = std::make_unique<ProximityIndex>(*metric_, num_threads);
+  });
+  metrics_.gauge("ron_build_n").set(static_cast<double>(prox_->n()));
 }
 
 const NeighborSystem& ScenarioBuilder::neighbor_system() {
   if (sys_ == nullptr) {
-    sys_ = std::make_unique<NeighborSystem>(*prox_, spec_.delta);
+    timed_stage("ron_build_neighbor_system_seconds", [&] {
+      sys_ = std::make_unique<NeighborSystem>(*prox_, spec_.delta);
+    });
   }
   return *sys_;
 }
 
 const DistanceLabeling& ScenarioBuilder::labeling() {
   if (labeling_ == nullptr) {
-    labeling_ = std::make_unique<DistanceLabeling>(neighbor_system());
+    // Build the dependency first so the labeling gauge reports only its
+    // own stage, not a hidden neighbor-system build.
+    neighbor_system();
+    timed_stage("ron_build_labeling_seconds", [&] {
+      labeling_ = std::make_unique<DistanceLabeling>(*sys_);
+    });
   }
   return *labeling_;
 }
@@ -39,8 +58,10 @@ DistanceLabeling ScenarioBuilder::take_labeling() {
 
 const LocationOverlay& ScenarioBuilder::overlay() {
   if (overlay_ == nullptr) {
-    overlay_ = std::make_unique<LocationOverlay>(*prox_, spec_.ring_params(),
-                                                 spec_.overlay_seed);
+    timed_stage("ron_build_overlay_seconds", [&] {
+      overlay_ = std::make_unique<LocationOverlay>(
+          *prox_, spec_.ring_params(), spec_.overlay_seed);
+    });
   }
   return *overlay_;
 }

@@ -27,6 +27,7 @@
 #include "metric/proximity.h"
 #include "scenario/metric_registry.h"
 #include "scenario/scenario_spec.h"
+#include "telemetry/metrics.h"
 
 namespace ron {
 
@@ -77,8 +78,19 @@ class ScenarioBuilder {
   ObjectDirectory make_directory(std::size_t objects, std::size_t replicas,
                                  std::uint64_t seed) const;
 
+  /// Build telemetry (ron_build_* names): per-stage wall seconds as
+  /// gauges (each lazy stage builds at most once) plus the node count.
+  /// Timings come from Clock::real() — they annotate, never influence,
+  /// the deterministic pipeline.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
+  /// Runs `build`, recording its wall time as gauge `name`.
+  template <typename BuildFn>
+  void timed_stage(const char* name, BuildFn&& build);
+
   ScenarioSpec spec_;
+  MetricsRegistry metrics_{1};
   std::unique_ptr<MetricSpace> metric_;
   std::unique_ptr<ProximityIndex> prox_;
   std::unique_ptr<NeighborSystem> sys_;

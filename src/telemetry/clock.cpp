@@ -1,0 +1,61 @@
+#include "telemetry/clock.h"
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace ron {
+
+namespace clock_internal {
+
+TscCalibration calibrate_tsc() {
+  TscCalibration cal;
+#if defined(__x86_64__)
+  // CPUID leaf 0x80000007, EDX bit 8: invariant TSC (constant rate,
+  // never stops in idle states) — the property that makes rdtsc a valid
+  // monotonic time base.
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (__get_cpuid(0x80000007u, &a, &b, &c, &d) == 0 || (d & (1u << 8)) == 0) {
+    return cal;
+  }
+  const std::uint64_t ns_begin = chrono_now_ns();
+  const std::uint64_t tsc_begin = __rdtsc();
+  // ~2ms busy spin: long enough for ~1e-5 rate accuracy (drift that small
+  // is invisible in latency histograms), short enough to be invisible at
+  // process start.
+  std::uint64_t ns_end = ns_begin;
+  std::uint64_t tsc_end = tsc_begin;
+  while (ns_end - ns_begin < 2'000'000) {
+    ns_end = chrono_now_ns();
+    tsc_end = __rdtsc();
+  }
+  if (tsc_end <= tsc_begin) return cal;
+  cal.ns_per_tick = static_cast<double>(ns_end - ns_begin) /
+                    static_cast<double>(tsc_end - tsc_begin);
+  cal.tsc0 = __rdtsc();
+  cal.ns0 = chrono_now_ns();
+  cal.usable = true;
+#endif
+  return cal;
+}
+
+}  // namespace clock_internal
+
+namespace {
+
+// The virtual face of real_now_ns() (clock.h) — the ONE sanctioned
+// <chrono> timing source; everything else must go through ron::Clock
+// (enforced by tools/ron_lint.py rule "clock").
+class RealClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override { return real_now_ns(); }
+};
+
+}  // namespace
+
+const Clock& Clock::real() {
+  static const RealClock kReal;
+  return kReal;
+}
+
+}  // namespace ron

@@ -1,0 +1,125 @@
+// The repo's single sanctioned timing source (see tools/ron_lint.py rule
+// "clock"): every duration measured in src/, tools/ and bench/ flows through
+// a ron::Clock so tests can inject a FakeClock and get deterministic
+// timings. The real implementation wraps std::chrono::steady_clock in
+// clock.cpp — the one file exempt from the lint rule.
+//
+// Times are plain nanosecond counts (std::uint64_t) rather than
+// std::chrono durations on purpose: the telemetry hot path stores and
+// subtracts raw integers. <chrono> appears here (the lint-exempt file)
+// solely to define the inline real_now_ns() fast path; callers only ever
+// see uint64_t nanoseconds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ron {
+
+namespace clock_internal {
+
+/// One-time TSC↔steady_clock calibration. When the invariant TSC is
+/// usable, real_now_ns() turns into a single rdtsc plus one multiply —
+/// unlike the vDSO clock_gettime path it touches no shared kernel data
+/// pages, which is what makes it ~4x cheaper inside cache-hostile serving
+/// loops (the vvar/vDSO lines get evicted between queries). `usable` stays
+/// false on non-x86 builds or when the kernel doesn't advertise an
+/// invariant TSC, falling back to steady_clock.
+struct TscCalibration {
+  std::uint64_t tsc0 = 0;
+  std::uint64_t ns0 = 0;
+  double ns_per_tick = 0.0;
+  bool usable = false;
+};
+
+/// Defined in clock.cpp: spins ~2ms against steady_clock to fit
+/// ns_per_tick (rate error ~1e-5, irrelevant for latency histograms).
+TscCalibration calibrate_tsc();
+
+inline std::uint64_t chrono_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Initialized before main (inline variable, const thereafter). If some
+/// other static initializer reads the clock first it sees the
+/// zero-initialized struct (usable == false) and takes the chrono
+/// fallback — benign, and worker threads only start after main.
+inline const TscCalibration kTscCalibration = calibrate_tsc();
+
+}  // namespace clock_internal
+
+/// Inline monotonic-nanosecond read — the devirtualized fast path for hot
+/// loops that have checked (once, outside the loop) that their injected
+/// Clock is Clock::real(). Same epoch as Clock::real().now_ns(), which is
+/// implemented in terms of this function.
+inline std::uint64_t real_now_ns() {
+#if defined(__x86_64__)
+  const auto& cal = clock_internal::kTscCalibration;
+  if (cal.usable) {
+    return cal.ns0 +
+           static_cast<std::uint64_t>(
+               static_cast<double>(__rdtsc() - cal.tsc0) * cal.ns_per_tick);
+  }
+#endif
+  return clock_internal::chrono_now_ns();
+}
+
+/// Monotonic nanosecond clock. Implementations must be safe to read from
+/// any thread. The epoch is arbitrary; only differences are meaningful.
+class Clock {
+ public:
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+  virtual ~Clock() = default;
+
+  virtual std::uint64_t now_ns() const = 0;
+
+  /// The process-wide steady_clock-backed instance.
+  static const Clock& real();
+};
+
+/// Deterministic clock for tests: reads return exactly what was set, and
+/// advance() is atomic so concurrent readers observe a monotonic sequence.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set_ns(std::uint64_t ns) { now_.store(ns, std::memory_order_relaxed); }
+  void advance_ns(std::uint64_t ns) {
+    now_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+/// Elapsed-time helper over a borrowed Clock (which must outlive it).
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock)
+      : clock_(&clock), start_ns_(clock.now_ns()) {}
+
+  void restart() { start_ns_ = clock_->now_ns(); }
+  std::uint64_t elapsed_ns() const { return clock_->now_ns() - start_ns_; }
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  const Clock* clock_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace ron

@@ -1,0 +1,78 @@
+#include "telemetry/trace.h"
+
+#include <ostream>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+
+namespace ron {
+
+void LocateTrace::to_json(std::ostream& os) const {
+  os << "{\"querier\":" << querier << ",\"object\":" << object
+     << ",\"target\":" << target << ",\"found\":"
+     << (found ? "true" : "false") << ",\"nearest_dist\":";
+  write_json_double(os, nearest_dist);
+  os << ",\"hops\":[";
+  bool first = true;
+  for (const TraceHop& h : hops) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"node\":" << h.node << ",\"ring_level\":" << h.ring_level
+       << ",\"dist_to_target\":";
+    write_json_double(os, h.dist_to_target);
+    os << "}";
+  }
+  os << "]}";
+}
+
+TraceSink::TraceSink(std::uint64_t sample_every, std::size_t capacity)
+    : sample_every_(sample_every), capacity_(capacity) {
+  RON_CHECK(sample_every == 0 || capacity >= 1,
+            "TraceSink: sampling enabled with zero capacity");
+  RON_CHECK(capacity <= (1u << 20),
+            "TraceSink: capacity " << capacity << " is unreasonably large");
+}
+
+void TraceSink::record(LocateTrace trace) {
+  if (sample_every_ == 0) return;
+  MutexLock lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(trace);
+  }
+  ++recorded_;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  MutexLock lk(mu_);
+  return recorded_;
+}
+
+std::vector<LocateTrace> TraceSink::snapshot() const {
+  MutexLock lk(mu_);
+  std::vector<LocateTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: insertion order is oldest-first
+  } else {
+    // Wrapped: the slot recorded_ % capacity_ holds the oldest trace.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(recorded_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void TraceSink::to_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const LocateTrace& t : snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    t.to_json(os);
+  }
+  os << "]";
+}
+
+}  // namespace ron

@@ -1,0 +1,97 @@
+// Sampled structured tracing of locate ring-walks.
+//
+// A LocateTrace records one greedy walk hop by hop: which node the walk
+// moved to, through which ring level it was found, and how far the walk
+// still was from the target copy afterwards. Traces make Theorem 5.2
+// observable in production ("4 log n + 8 hops, each roughly halving the
+// remaining distance") the way hop/stretch histograms cannot: a histogram
+// says a walk was long, a trace says where it stalled.
+//
+// TraceSink is the collection point. The hot path pays one relaxed atomic
+// increment per locate (should_sample); only the sampled few build a trace
+// and take the sink's mutex to deposit it into a bounded ring buffer
+// (oldest traces are overwritten — recent walks are the interesting ones).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+#include "common/types.h"
+
+namespace ron {
+
+/// One step of a greedy ring-walk.
+struct TraceHop {
+  /// Node the walk moved to.
+  NodeId node = kInvalidNode;
+  /// Ring level of the current node through which `node` was found
+  /// (index into RingsOfNeighbors::rings(cur)); -1 when unknown.
+  int ring_level = -1;
+  /// Distance from `node` to the target copy after the step.
+  Dist dist_to_target = 0.0;
+
+  bool operator==(const TraceHop&) const = default;
+};
+
+/// One sampled locate walk, end to end.
+struct LocateTrace {
+  NodeId querier = kInvalidNode;
+  ObjectId object = kInvalidObject;
+  /// The nearest copy the walk steers toward.
+  NodeId target = kInvalidNode;
+  bool found = false;
+  /// Distance querier -> target (the walk's starting remaining distance).
+  Dist nearest_dist = 0.0;
+  std::vector<TraceHop> hops;
+
+  /// Single-line JSON object (embeds into --metrics-out snapshots).
+  void to_json(std::ostream& os) const;
+
+  bool operator==(const LocateTrace&) const = default;
+};
+
+/// Thread-safe bounded trace collector.
+class TraceSink {
+ public:
+  /// Keep every `sample_every`-th walk (1 = all, 0 = tracing disabled),
+  /// retaining the most recent `capacity` traces.
+  TraceSink(std::uint64_t sample_every, std::size_t capacity);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Hot-path gate: one relaxed fetch_add, no lock. True for the walks the
+  /// caller should trace and record().
+  bool should_sample() {
+    if (sample_every_ == 0) return false;
+    return seen_.fetch_add(1, std::memory_order_relaxed) % sample_every_ == 0;
+  }
+
+  void record(LocateTrace trace) RON_EXCLUDES(mu_);
+
+  /// Walks offered to should_sample() so far.
+  std::uint64_t seen() const { return seen_.load(std::memory_order_relaxed); }
+  /// Traces deposited so far (including ones since overwritten).
+  std::uint64_t recorded() const RON_EXCLUDES(mu_);
+
+  /// Retained traces, oldest first.
+  std::vector<LocateTrace> snapshot() const RON_EXCLUDES(mu_);
+
+  /// JSON array of the retained traces (single line, oldest first).
+  void to_json(std::ostream& os) const RON_EXCLUDES(mu_);
+
+ private:
+  const std::uint64_t sample_every_;
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> seen_{0};
+  mutable Mutex mu_;
+  std::vector<LocateTrace> ring_ RON_GUARDED_BY(mu_);
+  std::uint64_t recorded_ RON_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ron

@@ -167,6 +167,46 @@ TEST(Stats, Summary) {
   EXPECT_NEAR(s.p90, 90.1, 1.0);
 }
 
+TEST(Stats, SummaryP999OrderedInTheTail) {
+  // 10k samples with a thin far tail: p999 must sit between p99 and max,
+  // and actually resolve the tail (for this workload p999 > p99).
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(1.0);
+  for (int i = 0; i < 90; ++i) v.push_back(100.0);
+  for (int i = 0; i < 10; ++i) v.push_back(1000.0);
+  const auto s = summarize(v);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+  EXPECT_GT(s.p999, s.p99);
+  // Interpolation position 0.999*(10100-1) = 10088.901 lands inside the
+  // run of 100.0s (indices 10000..10089), so p999 is exactly 100.
+  EXPECT_NEAR(s.p999, 100.0, 1e-9);
+  // The printed line carries the new percentile too.
+  EXPECT_NE(s.to_string().find("p999="), std::string::npos);
+}
+
+TEST(Stats, SummaryToJson) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Stats, SummaryToJsonEmptyIsHonestZero) {
+  // count=0 stays the marker consumers key off: all-zero fields, no
+  // fabricated percentiles.
+  const std::string json = summarize({}).to_json();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":0"), std::string::npos);
+}
+
 TEST(Stats, EmptyIsZero) {
   // summarize({}) stays a zero Summary — count=0 is the honest marker a
   // JSON consumer must key off.

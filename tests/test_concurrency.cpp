@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -266,6 +267,65 @@ TEST(ConcurrencyStress, ConstReadersRacingBatchesAndEpochSwaps) {
   r2.join();
   EXPECT_EQ(reader_violations.load(), 0u);
   EXPECT_EQ(maintenance_violations.load(), 0u);
+}
+
+// --- telemetry scrapes and totals racing the serving path -------------------
+
+TEST(ConcurrencyStress, TotalsAndMetricScrapesRacingBatchesAndEpochSwaps) {
+  StressFixture fx;
+  OracleEngine engine(fx.builder.take_labeling(), OracleOptions{2, 64});
+  engine.apply(fx.mutator.commit());
+
+  // Two scraper threads hammer totals() and the registry while the
+  // dispatcher serves batches, worker shards record latencies, and a
+  // maintenance thread swaps epochs (recording swap/hold histograms from
+  // its own thread). This is the monitoring topology the telemetry layer
+  // promises is safe: scrapes never lock the hot path, and the relaxed
+  // totals are monotone under any interleaving.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> scrape_violations{0};
+  auto scraper = [&] {
+    std::size_t bad = 0;
+    EngineTotals prev;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const EngineTotals t = engine.totals();
+      if (t.batches < prev.batches || t.queries < prev.queries ||
+          t.cache_hits < prev.cache_hits || t.seconds < prev.seconds) {
+        ++bad;  // a lifetime counter ran backwards
+      }
+      prev = t;
+      const std::string json = engine.metrics().to_json();
+      if (json.empty() || json.front() != '{') ++bad;
+    }
+    scrape_violations += bad;
+  };
+  std::thread s1(scraper), s2(scraper);
+  std::atomic<std::size_t> maintenance_violations{0};
+  std::thread maintenance([&] {
+    maintenance_violations += fx.churn_loop(engine);
+  });
+  std::size_t queries = 0;
+  for (std::size_t b = 0; b < kBatchesPerTest; ++b) {
+    if (b % 2 == 0) {
+      const auto results = engine.locate_batch(fx.locates);
+      expect_locates_valid(results, fx.builder.n());
+      queries += fx.locates.size();
+    } else {
+      engine.estimate_batch(fx.estimates);
+      queries += fx.estimates.size();
+    }
+  }
+  maintenance.join();
+  stop.store(true);
+  s1.join();
+  s2.join();
+  EXPECT_EQ(scrape_violations.load(), 0u);
+  EXPECT_EQ(maintenance_violations.load(), 0u);
+
+  // Quiescent totals are exact, not merely monotone.
+  const EngineTotals total = engine.totals();
+  EXPECT_EQ(total.batches, kBatchesPerTest);
+  EXPECT_EQ(total.queries, queries);
 }
 
 // --- deterministic epoch-tag invalidation semantics -------------------------

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""check_metrics_json: validate a ron.metrics.v1 telemetry snapshot.
+
+Reads the JSON file `ron_oracle --metrics-out` (or `stats --format json`)
+writes and checks the envelope and every metric against the shapes
+telemetry/metrics.cpp emits:
+
+  envelope    {"schema":"ron.metrics.v1","metrics":{...},
+               "locate_traces":[...]} — schema string exact, metrics an
+              object, locate_traces (optional) an array of trace objects.
+  names       [a-z_][a-z0-9_]* (MetricsRegistry's own validation rule).
+  counter     {"type":"counter","value":<non-negative int>}
+  gauge       {"type":"gauge","value":<number>}
+  histogram   count/sum/min/max/mean numbers; bucket counts sum to count;
+              bucket upper edges strictly increasing, "+Inf" only last;
+              quantiles present iff count > 0 and ordered
+              p50 <= p90 <= p99 <= p999 <= max.
+
+--require NAME (repeatable) additionally asserts the named metric exists
+and recorded something (counter value > 0, histogram count > 0, gauge
+value != 0) — the teeth of the bench-smoke CI gate: a wiring regression
+that silently stops recording fails the check, not just a malformed file.
+
+Exit status: 0 valid, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+QUANTILES = ("p50", "p90", "p99", "p999")
+
+
+def is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+class Checker:
+    def __init__(self):
+        self.findings: list[str] = []
+
+    def fail(self, where: str, message: str):
+        self.findings.append(f"{where}: {message}")
+
+    def check_counter(self, name: str, m: dict):
+        v = m.get("value")
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            self.fail(name, f"counter value must be a non-negative "
+                            f"integer, got {v!r}")
+
+    def check_gauge(self, name: str, m: dict):
+        if not is_num(m.get("value")):
+            self.fail(name, f"gauge value must be a finite number, "
+                            f"got {m.get('value')!r}")
+
+    def check_histogram(self, name: str, m: dict):
+        for key in ("count", "sum", "min", "max", "mean"):
+            if not is_num(m.get(key)):
+                self.fail(name, f"histogram field '{key}' must be a finite "
+                                f"number, got {m.get(key)!r}")
+                return
+        count = m["count"]
+        if not isinstance(count, int) or count < 0:
+            self.fail(name, f"histogram count must be a non-negative "
+                            f"integer, got {count!r}")
+            return
+        buckets = m.get("buckets")
+        if not isinstance(buckets, list):
+            self.fail(name, "histogram is missing its buckets array")
+            return
+        total = 0
+        prev_upper = None
+        for i, entry in enumerate(buckets):
+            if (not isinstance(entry, list) or len(entry) != 2
+                    or not (is_num(entry[0]) or entry[0] == "+Inf")
+                    or not isinstance(entry[1], int) or entry[1] <= 0):
+                self.fail(name, f"bucket {i} must be [upper, positive "
+                                f"count], got {entry!r}")
+                return
+            upper, n = entry
+            if upper == "+Inf":
+                if i + 1 != len(buckets):
+                    self.fail(name, '"+Inf" bucket must be last')
+                    return
+            elif prev_upper is not None and upper <= prev_upper:
+                self.fail(name, f"bucket edges must be strictly increasing "
+                                f"({upper} after {prev_upper})")
+                return
+            if upper != "+Inf":
+                prev_upper = upper
+            total += n
+        if total != count:
+            self.fail(name, f"bucket counts sum to {total}, count says "
+                            f"{count}")
+        have_q = [q for q in QUANTILES if q in m]
+        if count == 0 and have_q:
+            # Honest-empty contract: no samples, no quantiles.
+            self.fail(name, f"empty histogram must not report quantiles, "
+                            f"has {have_q}")
+        if count > 0:
+            if have_q != list(QUANTILES):
+                self.fail(name, f"non-empty histogram must report "
+                                f"{list(QUANTILES)}, has {have_q}")
+                return
+            values = [m[q] for q in QUANTILES]
+            if any(not is_num(v) for v in values):
+                self.fail(name, f"quantiles must be finite numbers, "
+                                f"got {values!r}")
+                return
+            if sorted(values) != values:
+                self.fail(name, f"quantiles must be non-decreasing, "
+                                f"got {values!r}")
+            if values[-1] > m["max"] and not math.isclose(values[-1],
+                                                          m["max"]):
+                self.fail(name, f"p999 {values[-1]} exceeds max {m['max']}")
+
+    def check_metric(self, name: str, m) -> None:
+        if not NAME_RE.match(name):
+            self.fail(name, "invalid metric name (want [a-z_][a-z0-9_]*)")
+        if not isinstance(m, dict):
+            self.fail(name, f"metric must be an object, got {type(m).__name__}")
+            return
+        kind = m.get("type")
+        if kind == "counter":
+            self.check_counter(name, m)
+        elif kind == "gauge":
+            self.check_gauge(name, m)
+        elif kind == "histogram":
+            self.check_histogram(name, m)
+        else:
+            self.fail(name, f"unknown metric type {kind!r}")
+
+    def check_traces(self, traces) -> None:
+        if not isinstance(traces, list):
+            self.fail("locate_traces", "must be an array")
+            return
+        for i, t in enumerate(traces):
+            where = f"locate_traces[{i}]"
+            if not isinstance(t, dict):
+                self.fail(where, "trace must be an object")
+                continue
+            for key in ("querier", "object", "target", "found",
+                        "nearest_dist", "hops"):
+                if key not in t:
+                    self.fail(where, f"missing field '{key}'")
+            if not isinstance(t.get("hops"), list):
+                self.fail(where, "hops must be an array")
+
+    def check_required(self, metrics: dict, name: str) -> None:
+        m = metrics.get(name)
+        if not isinstance(m, dict):
+            self.fail(name, "required metric is missing")
+            return
+        kind = m.get("type")
+        if kind == "counter" and m.get("value") == 0:
+            self.fail(name, "required counter never incremented")
+        elif kind == "gauge" and m.get("value") == 0:
+            self.fail(name, "required gauge was never set (value 0)")
+        elif kind == "histogram" and m.get("count") == 0:
+            self.fail(name, "required histogram recorded no samples")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="metrics JSON file (ron.metrics.v1)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="assert NAME exists and recorded something "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_metrics_json: cannot read {args.file}: {e}",
+              file=sys.stderr)
+        return 2
+
+    c = Checker()
+    if not isinstance(doc, dict):
+        c.fail("envelope", "top level must be an object")
+    else:
+        if doc.get("schema") != "ron.metrics.v1":
+            c.fail("envelope", f"schema must be 'ron.metrics.v1', "
+                               f"got {doc.get('schema')!r}")
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, dict):
+            c.fail("envelope", "'metrics' must be an object")
+            metrics = {}
+        for name in sorted(metrics):
+            c.check_metric(name, metrics[name])
+        if "locate_traces" in doc:
+            c.check_traces(doc["locate_traces"])
+        for name in args.require:
+            c.check_required(metrics, name)
+
+    for finding in c.findings:
+        print(finding)
+    if c.findings:
+        print(f"check_metrics_json: {len(c.findings)} finding(s) in "
+              f"{args.file}", file=sys.stderr)
+        return 1
+    print(f"check_metrics_json: {args.file} valid "
+          f"({len(doc.get('metrics', {}))} metrics)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

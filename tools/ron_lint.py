@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ron_lint: house invariants no generic linter can check.
 
-Four rules, each load-bearing for this repo specifically:
+Five rules, each load-bearing for this repo specifically:
 
   raw-bytes      Snapshot code must not hand-roll byte access: no memcpy/
                  memmove/reinterpret_cast anywhere in src/oracle/ outside
@@ -14,8 +14,17 @@ Four rules, each load-bearing for this repo specifically:
                  gmtime are all banned. Determinism is a load-bearing
                  contract — churn replay, golden fixtures and the
                  "save -> load -> serve bit-identical" invariant all assume
-                 outputs are a pure function of (spec, seed). steady_clock
-                 is allowed: it times batches, it never shapes results.
+                 outputs are a pure function of (spec, seed). Timing goes
+                 through telemetry/clock.h (see the clock rule), which only
+                 annotates results, never shapes them.
+
+  clock          One sanctioned timing source: no <chrono>, std::chrono,
+                 steady_clock or high_resolution_clock anywhere in src/,
+                 tools/ or bench/ outside telemetry/clock.{h,cpp}. Every
+                 timing site goes through ron::Clock / Stopwatch so tests
+                 can inject a FakeClock and telemetry stays deterministic
+                 under test — a raw steady_clock call is untestable and
+                 invisible to that seam.
 
   check-message  Every RON_CHECK carries a message. A bare condition throws
                  "RON_CHECK failed: (x < n_)" with no operand values; the
@@ -60,6 +69,19 @@ DETERMINISM_PATTERNS = [
     (re.compile(r"\blocaltime\b"), "localtime"),
     (re.compile(r"\bgmtime\b"), "gmtime"),
 ]
+
+CLOCK_PATTERNS = [
+    (re.compile(r"^\s*#\s*include\s*<chrono>"), "#include <chrono>"),
+    (re.compile(r"\bstd\s*::\s*chrono\b"), "std::chrono"),
+    (re.compile(r"\bsteady_clock\b"), "steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
+]
+# The one place allowed to touch <chrono>: the Clock::real() implementation
+# (and its header, so doc-adjacent code stays free to evolve).
+CLOCK_EXEMPT = {
+    os.path.join("src", "telemetry", "clock.cpp"),
+    os.path.join("src", "telemetry", "clock.h"),
+}
 
 
 class Finding:
@@ -169,7 +191,21 @@ def check_determinism(findings: list):
                         path, lineno, "determinism",
                         f"{label} in src/ — outputs must be a pure function "
                         "of (spec, seed); draw randomness from ron::Rng and "
-                        "time batches with steady_clock"))
+                        "time batches via telemetry/clock.h"))
+
+
+def check_clock(findings: list):
+    for path in cxx_files("src", "tools", "bench"):
+        if os.path.relpath(path, REPO_ROOT) in CLOCK_EXEMPT:
+            continue
+        for lineno, code, raw in iter_code_lines(path):
+            for pattern, label in CLOCK_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "clock"):
+                    findings.append(Finding(
+                        path, lineno, "clock",
+                        f"{label} outside telemetry/clock.h — time through "
+                        "ron::Clock/Stopwatch so a FakeClock can be "
+                        "injected under test"))
 
 
 def split_check_args(text: str, start: int):
@@ -290,6 +326,7 @@ def check_test_timeouts(findings: list):
 RULES = {
     "raw-bytes": check_raw_bytes,
     "determinism": check_determinism,
+    "clock": check_clock,
     "check-message": check_messages,
     "test-timeout": check_test_timeouts,
 }

@@ -37,9 +37,11 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdint>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -56,6 +58,8 @@
 #include "oracle/snapshot.h"
 #include "scenario/metric_registry.h"
 #include "scenario/scenario_builder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ron {
 namespace {
@@ -89,6 +93,13 @@ int usage(std::ostream& os) {
         "  ron_oracle churn FILE --out FILE [--ops N] [--churn-seed S]\n"
         "                   [--threads T] [--verify Q] "
         "[--emit-directory FILE]\n"
+        "  ron_oracle stats FILE [--queries Q] [--threads T] [--cache C]\n"
+        "                   [--seed S] [--format json|prometheus] "
+        "[--scenario SPEC]\n"
+        "\n"
+        "every subcommand accepts --metrics-out FILE (telemetry snapshot,\n"
+        "schema ron.metrics.v1); bench/locate/stats also accept\n"
+        "--trace-sample N (record every Nth locate ring-walk)\n"
         "\n"
         "scenario spec grammar (key=value, comma separated):\n"
         "  metric=FAMILY (required), n=N, seed=S, delta=D, overlay_seed=O,\n"
@@ -206,6 +217,47 @@ OracleOptions engine_options(const Args& args) {
   return opts;
 }
 
+/// --trace-sample N -> a sink keeping the most recent sampled ring-walks
+/// (null when the flag is absent; the engine treats null as "no tracing").
+std::unique_ptr<TraceSink> make_trace_sink(const Args& args) {
+  if (!args.has("trace-sample")) return nullptr;
+  return std::make_unique<TraceSink>(
+      parse_u64(args.get("trace-sample", "0"), "--trace-sample"),
+      /*capacity=*/256);
+}
+
+/// The --metrics-out / `stats --format json` envelope:
+///   {"schema":"ron.metrics.v1","metrics":{...},"locate_traces":[...]}
+/// Null registry entries are skipped so call sites can pass optional
+/// sources (mutator, verify engine) unconditionally.
+void write_metrics_json(std::ostream& os,
+                        std::vector<const MetricsRegistry*> registries,
+                        const TraceSink* traces) {
+  std::erase(registries, nullptr);
+  os << "{\"schema\":\"ron.metrics.v1\",\"metrics\":";
+  dump_metrics_json(os, registries);
+  os << ",\"locate_traces\":";
+  if (traces != nullptr) {
+    traces->to_json(os);
+  } else {
+    os << "[]";
+  }
+  os << "}\n";
+}
+
+/// Honors --metrics-out if present: writes the merged telemetry snapshot
+/// of every registry the subcommand touched. No-op without the flag.
+void write_metrics_out(const Args& args,
+                       std::vector<const MetricsRegistry*> registries,
+                       const TraceSink* traces = nullptr) {
+  if (!args.has("metrics-out")) return;
+  const std::string path = args.get("metrics-out", "");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  RON_CHECK(os, "cannot open --metrics-out '" << path << "'");
+  write_metrics_json(os, std::move(registries), traces);
+  RON_CHECK(os.good(), "failed writing --metrics-out '" << path << "'");
+}
+
 void print_label_stats(std::ostream& os, const DistanceLabeling& dls) {
   std::uint64_t max_bits = 0;
   double avg_bits = 0.0;
@@ -284,7 +336,7 @@ ObjectDirectory build_directory(const ScenarioBuilder& builder,
 
 int cmd_build(const Args& args) {
   args.expect_known({"scenario", "out", "kind", "objects", "replicas",
-                     "threads"});
+                     "threads", "metrics-out"});
   args.expect_positionals(0, "no positional arguments for build");
   if (!args.has("out")) throw UsageError("build: --out FILE is required");
   const std::string out = args.get("out", "");
@@ -332,6 +384,7 @@ int cmd_build(const Args& args) {
                      "' (want oracle|rings|labeling|neighbor-system|"
                      "directory)");
   }
+  write_metrics_out(args, {&builder.metrics()});
   return 0;
 }
 
@@ -343,8 +396,12 @@ void print_snapshot_header(const std::string& path, const SnapshotInfo& info) {
 }
 
 int cmd_info(const Args& args) {
-  args.expect_known({});
+  args.expect_known({"metrics-out"});
   args.expect_positionals(1, "info: exactly one snapshot file");
+  // info serves no queries and builds nothing, so its snapshot is the
+  // empty envelope — kept anyway so "--metrics-out on every subcommand"
+  // holds without a carve-out.
+  write_metrics_out(args, {});
   const std::string path = args.positional()[0];
   // Header peek picks the path so each case does ONE full read; the
   // follow-up load performs the real validation.
@@ -445,7 +502,7 @@ std::vector<QueryPair> parse_pairs(const std::string& spec) {
 }
 
 int cmd_query(const Args& args) {
-  args.expect_known({"pairs", "threads", "cache"});
+  args.expect_known({"pairs", "threads", "cache", "metrics-out"});
   args.expect_positionals(1, "query: exactly one snapshot file");
   if (!args.has("pairs")) {
     throw UsageError("query: --pairs \"u,v;u,v\" is required");
@@ -463,28 +520,43 @@ int cmd_query(const Args& args) {
             << stats.seconds * 1e3 << " ms (" << stats.qps << " qps, "
             << stats.cache_hits << " cache hits, " << engine.num_workers()
             << " workers)\n";
+  write_metrics_out(args, {&engine.metrics()});
   return 0;
 }
 
 int cmd_bench(const Args& args) {
   args.expect_known({"scenario", "queries", "batch", "threads", "cache",
-                     "seed"});
+                     "seed", "locate-queries", "metrics-out",
+                     "trace-sample"});
   const bool from_spec = args.has("scenario");
   if (from_spec) {
     args.expect_positionals(0, "bench --scenario: no snapshot file");
   } else {
     args.expect_positionals(1,
                             "bench: one snapshot file (or --scenario SPEC)");
+    // The locate phase (and hence walk tracing) needs the scenario's
+    // overlay; an oracle snapshot carries only the labeling.
+    for (const char* flag : {"locate-queries", "trace-sample"}) {
+      if (args.has(flag)) {
+        throw UsageError(std::string("bench: --") + flag +
+                         " only applies to bench --scenario");
+      }
+    }
   }
   // Either serve a snapshot from disk or build the scenario in memory —
-  // the same engine path either way.
+  // the same engine path either way. The builder (and the directory /
+  // location service borrowed from it below) must outlive the engine,
+  // hence the function-scope declarations before its construction.
+  std::unique_ptr<ScenarioBuilder> builder;
+  std::optional<ObjectDirectory> dir;
+  std::optional<LocationService> svc;
   DistanceLabeling labeling = [&] {
     if (from_spec) {
-      ScenarioBuilder builder(require_scenario(args, "bench"),
-                              thread_count(args));
+      builder = std::make_unique<ScenarioBuilder>(
+          require_scenario(args, "bench"), thread_count(args));
       std::cout << "# built in-memory scenario: "
-                << builder.spec().to_string() << "\n";
-      return builder.take_labeling();
+                << builder->spec().to_string() << "\n";
+      return builder->take_labeling();
     }
     return load_oracle(args.positional()[0]).labeling;
   }();
@@ -494,7 +566,15 @@ int cmd_bench(const Args& args) {
       parse_u64(args.get("batch", "8192"), "--batch"));
   RON_CHECK(batch >= 1, "--batch must be >= 1");
   const std::size_t n = labeling.n();
-  OracleEngine engine(std::move(labeling), engine_options(args));
+
+  const std::unique_ptr<TraceSink> sink = make_trace_sink(args);
+  OracleOptions opts = engine_options(args);
+  // bench defaults to a real LRU (unlike query/locate, which default off):
+  // the cache is part of the serving path being measured, and it keeps the
+  // hit/miss telemetry non-degenerate. --cache 0 still disables it.
+  if (!args.has("cache")) opts.cache_capacity = 8192;
+  opts.trace_sink = sink.get();
+  OracleEngine engine(std::move(labeling), opts);
 
   Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
   std::size_t done = 0;
@@ -508,20 +588,63 @@ int cmd_bench(const Args& args) {
     hits += engine.last_batch_stats().cache_hits;
     done += count;
   }
+
+  // Scenario benches also exercise the locate path: a synthetic directory
+  // over the freshly built overlay, served through the same engine.
+  std::size_t locate_done = 0;
+  double locate_seconds = 0.0;
+  std::size_t locate_hits = 0;
+  if (from_spec) {
+    const std::size_t locate_queries = static_cast<std::size_t>(parse_u64(
+        args.get("locate-queries", "10000"), "--locate-queries"));
+    if (locate_queries > 0) {
+      dir.emplace(builder->make_directory(16, 3));
+      svc.emplace(builder->prox(), builder->rings(), *dir);
+      engine.attach_location(*svc);
+      while (locate_done < locate_queries) {
+        const std::size_t count =
+            std::min(batch, locate_queries - locate_done);
+        std::vector<LocateQuery> lq;
+        lq.reserve(count);
+        for (std::size_t q = 0; q < count; ++q) {
+          lq.emplace_back(static_cast<NodeId>(rng.index(n)),
+                          static_cast<ObjectId>(rng.index(dir->num_objects())));
+        }
+        engine.locate_batch(lq);
+        locate_seconds += engine.last_batch_stats().seconds;
+        locate_hits += engine.last_batch_stats().cache_hits;
+        locate_done += count;
+      }
+    }
+  }
+
   std::cout << "{\"tool\":\"ron_oracle bench\",\"n\":" << n
             << ",\"queries\":" << done << ",\"batch\":" << batch
             << ",\"threads\":" << engine.num_workers()
             << ",\"cache_hits\":" << hits << ",\"seconds\":" << seconds
             << ",\"qps\":" << (seconds > 0.0
                                    ? static_cast<double>(done) / seconds
-                                   : 0.0)
-            << "}\n";
+                                   : 0.0);
+  if (locate_done > 0) {
+    std::cout << ",\"locate_queries\":" << locate_done
+              << ",\"locate_cache_hits\":" << locate_hits
+              << ",\"locate_seconds\":" << locate_seconds
+              << ",\"locate_qps\":"
+              << (locate_seconds > 0.0
+                      ? static_cast<double>(locate_done) / locate_seconds
+                      : 0.0);
+  }
+  std::cout << "}\n";
+  write_metrics_out(args,
+                    {builder != nullptr ? &builder->metrics() : nullptr,
+                     &engine.metrics()},
+                    sink.get());
   return 0;
 }
 
 int cmd_publish(const Args& args) {
   args.expect_known({"scenario", "out", "objects", "replicas", "object",
-                     "holders", "threads"});
+                     "holders", "threads", "metrics-out"});
   args.expect_positionals(0, "no positional arguments for publish");
   if (!args.has("out")) throw UsageError("publish: --out FILE is required");
   const std::string out = args.get("out", "");
@@ -536,6 +659,7 @@ int cmd_publish(const Args& args) {
             << dir.total_replicas() << " replicas)\n  scenario: "
             << builder.spec().to_string() << "\n";
   print_wrote(out);
+  write_metrics_out(args, {&builder.metrics()});
   return 0;
 }
 
@@ -663,7 +787,8 @@ int serve_locates(OracleEngine& engine, const ObjectDirectory& dir,
 
 int cmd_locate(const Args& args) {
   args.expect_known({"scenario", "object", "from", "queries", "threads",
-                     "cache", "max-hops", "seed"});
+                     "cache", "max-hops", "seed", "metrics-out",
+                     "trace-sample"});
   args.expect_positionals(
       1, "locate: exactly one directory or churn-bundle snapshot file");
   const LocateState state = load_locate_state(args.positional()[0], args);
@@ -672,7 +797,10 @@ int cmd_locate(const Args& args) {
   LocateOptions locate_opts;
   locate_opts.max_hops = static_cast<std::size_t>(
       parse_u64(args.get("max-hops", "10000"), "--max-hops"));
-  OracleEngine engine(state.epoch, engine_options(args), locate_opts);
+  const std::unique_ptr<TraceSink> sink = make_trace_sink(args);
+  OracleOptions opts = engine_options(args);
+  opts.trace_sink = sink.get();
+  OracleEngine engine(state.epoch, opts, locate_opts);
 
   std::vector<LocateQuery> queries;
   if (args.has("object")) {
@@ -698,12 +826,19 @@ int cmd_locate(const Args& args) {
     Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
     queries = random_servable_locates(state, count, rng);
   }
-  return serve_locates(engine, dir, queries);
+  const int rc = serve_locates(engine, dir, queries);
+  write_metrics_out(
+      args,
+      {&state.builder->metrics(),
+       state.mutator != nullptr ? &state.mutator->metrics() : nullptr,
+       &engine.metrics()},
+      sink.get());
+  return rc;
 }
 
 int cmd_churn(const Args& args) {
   args.expect_known({"out", "ops", "churn-seed", "threads", "verify",
-                     "emit-directory"});
+                     "emit-directory", "metrics-out"});
   args.expect_positionals(
       1, "churn: exactly one directory or churn-bundle snapshot file");
   if (!args.has("out")) throw UsageError("churn: --out FILE is required");
@@ -841,14 +976,88 @@ int cmd_churn(const Args& args) {
       // Every object drained — a defined (if extreme) state with nothing
       // servable to verify.
       std::cout << "# verify skipped: every object has zero holders\n";
+      write_metrics_out(args,
+                        {&builder.metrics(), &state.mutator->metrics()});
       return 0;
     }
     OracleEngine engine(state.epoch, OracleOptions{1, 0});
     Rng rng(generator_seed ^ 0x5eedULL);
-    return serve_locates(engine, dir,
-                         random_servable_locates(state, verify, rng));
+    const int rc = serve_locates(engine, dir,
+                                 random_servable_locates(state, verify, rng));
+    write_metrics_out(args, {&builder.metrics(), &state.mutator->metrics(),
+                             &engine.metrics()});
+    return rc;
   }
+  write_metrics_out(args, {&builder.metrics(), &mutator->metrics()});
   return 0;
+}
+
+/// `stats`: serve a sample workload from any servable snapshot and emit
+/// the telemetry it generated — JSON envelope or prometheus exposition on
+/// stdout. The observability quickstart: one command from snapshot to a
+/// scrapeable metrics document.
+int cmd_stats(const Args& args) {
+  args.expect_known({"scenario", "queries", "threads", "cache", "seed",
+                     "format", "trace-sample", "metrics-out"});
+  args.expect_positionals(1, "stats: exactly one snapshot file");
+  const std::string path = args.positional()[0];
+  const std::string format = args.get("format", "json");
+  if (format != "json" && format != "prometheus") {
+    throw UsageError("stats: unknown --format '" + format +
+                     "' (want json|prometheus)");
+  }
+  const std::size_t queries = static_cast<std::size_t>(
+      parse_u64(args.get("queries", "10000"), "--queries"));
+  RON_CHECK(queries >= 1, "--queries must be >= 1");
+  const std::unique_ptr<TraceSink> sink = make_trace_sink(args);
+  Rng rng(parse_u64(args.get("seed", "7"), "--seed"));
+
+  // Everything below prints through this, so the engine and its borrowed
+  // state are still alive whichever branch built them.
+  const auto finish = [&](std::vector<const MetricsRegistry*> registries) {
+    std::erase(registries, nullptr);
+    if (format == "prometheus") {
+      dump_metrics_prometheus(std::cout, registries);
+    } else {
+      write_metrics_json(std::cout, registries, sink.get());
+    }
+    write_metrics_out(args, std::move(registries), sink.get());
+    return 0;
+  };
+
+  const std::uint32_t kind = peek_snapshot_kind(path);
+  if (kind == static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory) ||
+      kind == static_cast<std::uint32_t>(SnapshotKind::kChurnBundle)) {
+    // Locate serving: rebuild the overlay from the embedded recipe (replay
+    // the trace for bundles) and walk random servable queries through it.
+    const LocateState state = load_locate_state(path, args);
+    OracleOptions opts = engine_options(args);
+    opts.trace_sink = sink.get();
+    OracleEngine engine(state.epoch, opts);
+    engine.locate_batch(random_servable_locates(state, queries, rng));
+    return finish(
+        {&state.builder->metrics(),
+         state.mutator != nullptr ? &state.mutator->metrics() : nullptr,
+         &engine.metrics()});
+  }
+  if (args.has("scenario")) {
+    throw UsageError("stats: --scenario only applies to directory snapshots "
+                     "(estimate snapshots carry their own labeling)");
+  }
+  if (kind == static_cast<std::uint32_t>(SnapshotKind::kOracle) ||
+      kind == static_cast<std::uint32_t>(SnapshotKind::kDistanceLabeling)) {
+    DistanceLabeling labeling =
+        kind == static_cast<std::uint32_t>(SnapshotKind::kOracle)
+            ? load_oracle(path).labeling
+            : load_labeling(path);
+    const std::size_t n = labeling.n();
+    OracleEngine engine(std::move(labeling), engine_options(args));
+    engine.estimate_batch(random_query_pairs(queries, n, rng));
+    return finish({&engine.metrics()});
+  }
+  RON_CHECK(false, "stats: snapshot kind " << kind << " serves no queries "
+            "(want oracle, labeling, directory or churn-bundle)");
+  return 1;  // unreachable
 }
 
 int run(int argc, char** argv) {
@@ -863,6 +1072,7 @@ int run(int argc, char** argv) {
   if (cmd == "publish") return cmd_publish(args);
   if (cmd == "locate") return cmd_locate(args);
   if (cmd == "churn") return cmd_churn(args);
+  if (cmd == "stats") return cmd_stats(args);
   throw UsageError("unknown subcommand '" + cmd + "'");
 }
 
