@@ -1,0 +1,120 @@
+// Experiment E-SERVED — the oracle on the wire: daemon throughput under
+// live churn.
+//
+// Claims checked (systems bench for the PR-8 serving layer; the paper's
+// structures answer the queries, this measures putting them behind a
+// socket):
+//   (1) closed-loop locate serving over loopback TCP sustains well above
+//       10k queries/sec across concurrent connections;
+//   (2) an open-loop (coordinated-omission-aware) load at a fixed target
+//       rate keeps its latency tail bounded WHILE the churn admin channel
+//       applies >= 100 trace ops — every epoch swap lands under traffic
+//       with zero error frames, zero failed walks and zero hop-bound
+//       violations;
+//   (3) the daemon's metrics registry accounts for every frame served.
+//
+// RON_BENCH_QUICK=1 (or --quick) shrinks the workload to CI-smoke size.
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "analysis/report.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "oracle/snapshot.h"
+#include "scenario/scenario_builder.h"
+#include "served/client.h"
+#include "served/loadgen.h"
+#include "served/served_state.h"
+#include "served/server.h"
+
+int main(int argc, char** argv) {
+  using namespace ron;
+  const bool quick = bench_quick(argc, argv);
+  print_banner(std::cout, "E-SERVED",
+               "ron_served daemon — loopback QPS and churn under load",
+               quick ? "clustered metric n=96 (quick mode)"
+                     : "clustered metric n=480, 16 objects x 3 replicas");
+
+  // A directory snapshot (the churn-capable kind) written the way the CLI
+  // would write it, then loaded the way ron_served loads it.
+  ScenarioBuilder builder(ScenarioSpec::parse(
+      "metric=clustered,seed=2025,per_cluster=16,n=" +
+      std::to_string(16 * (quick ? 6 : 30))));
+  const std::string snapshot = "bench_served.snapshot.ron";
+  save_directory(builder.spec(), builder.make_directory(16, 3), snapshot);
+
+  ServedStateOptions state_opts;
+  state_opts.engine.num_threads = 4;
+  state_opts.build_threads = 2;
+  ServedState state = load_served_state(snapshot, state_opts);
+  Server server(state, {});
+  const std::uint16_t port = server.start();
+  std::thread loop([&] { server.run(); });
+
+  // (1) Closed-loop throughput: every connection keeps one frame in
+  // flight, so this is the serving path's sustainable rate, not a burst.
+  LoadgenOptions closed;
+  closed.port = port;
+  closed.connections = 4;
+  closed.batch = 64;
+  closed.frames = quick ? 50 : 400;
+  closed.locate = true;
+  const LoadgenReport base = run_loadgen(closed);
+  std::cout << "closed loop: " << base.connections << " conns x "
+            << closed.frames << " frames x " << closed.batch << " queries: "
+            << fmt_double(base.qps, 0) << " qps, p50 "
+            << fmt_double(base.frame_latency_seconds.p50 * 1e3, 3)
+            << " ms, p99 "
+            << fmt_double(base.frame_latency_seconds.p99 * 1e3, 3)
+            << " ms/frame\n";
+
+  // (2) Open loop at a fixed target with the churn admin applying
+  // publish-only traces the whole time: epoch swaps under live traffic.
+  LoadgenOptions churned;
+  churned.port = port;
+  churned.connections = 4;
+  churned.batch = 64;
+  churned.locate = true;
+  churned.target_qps = 20000.0;
+  churned.duration_ns = quick ? 500'000'000 : 2'000'000'000;
+  churned.churn_ops = quick ? 100 : 200;
+  churned.churn_chunk = 10;
+  const LoadgenReport swap = run_loadgen(churned);
+  std::cout << "open loop @20k qps target with churn: "
+            << fmt_double(swap.qps, 0) << " qps served, "
+            << swap.churn_ops_applied << " churn ops across "
+            << swap.epoch_swaps << " epoch swaps (last epoch "
+            << swap.last_epoch_id << "), errors " << swap.errors
+            << ", failed walks " << swap.not_found
+            << ", hop-bound violations " << swap.hop_bound_violations
+            << ", p99 "
+            << fmt_double(swap.frame_latency_seconds.p99 * 1e3, 3)
+            << " ms/frame\n";
+
+  // (3) The daemon accounted for every frame both loads sent.
+  const std::string telemetry = server.metrics().to_json();
+
+  Client stop;
+  stop.connect("127.0.0.1", port);
+  stop.shutdown_server();
+  loop.join();
+
+  const bool clean = swap.errors == 0 && swap.not_found == 0 &&
+                     swap.hop_bound_violations == 0 &&
+                     swap.churn_ops_applied == churned.churn_ops &&
+                     base.qps >= 10000.0;
+  std::cout << "\n{\"bench\":\"served\",\"n\":" << state.engine->n()
+            << ",\"quick\":" << (quick ? 1 : 0)
+            << ",\"closed_qps\":" << base.qps
+            << ",\"closed_p99_ms\":" << base.frame_latency_seconds.p99 * 1e3
+            << ",\"open_qps\":" << swap.qps
+            << ",\"open_p99_ms\":" << swap.frame_latency_seconds.p99 * 1e3
+            << ",\"churn_ops\":" << swap.churn_ops_applied
+            << ",\"epoch_swaps\":" << swap.epoch_swaps
+            << ",\"errors\":" << swap.errors
+            << ",\"not_found\":" << swap.not_found
+            << ",\"hop_bound_violations\":" << swap.hop_bound_violations
+            << ",\"telemetry\":" << telemetry << "}\n";
+  return clean ? 0 : 1;
+}

@@ -464,12 +464,15 @@ void OracleEngine::run_batch(std::size_t count, SourceOf&& source_of,
     if (err != nullptr) std::rethrow_exception(err);
   }
 
-  const std::uint64_t elapsed_ns = batch_watch.elapsed_ns();
+  // Clamp to >= 1ns: a tiny batch can finish inside one clock tick, and a
+  // 0-second batch would report qps = 0 — a *fast* batch masquerading as
+  // zero throughput in bench JSON and the loadgen. One nanosecond is the
+  // clock's own resolution, so the clamp never understates a real duration.
+  const std::uint64_t elapsed_ns =
+      std::max<std::uint64_t>(batch_watch.elapsed_ns(), 1);
   last_.queries = count;
   last_.seconds = static_cast<double>(elapsed_ns) * 1e-9;
-  last_.qps = last_.seconds > 0.0
-                  ? static_cast<double>(count) / last_.seconds
-                  : 0.0;
+  last_.qps = static_cast<double>(count) / last_.seconds;
   last_.cache_hits = cache_hits();  // shards were reset at batch start
   total_batches_.fetch_add(1, std::memory_order_relaxed);
   total_queries_.fetch_add(count, std::memory_order_relaxed);

@@ -27,6 +27,13 @@ std::size_t read_stream_prefix(std::istream& in,
                                std::span<std::uint8_t> bytes) {
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
+  // A short read at EOF sets failbit+eofbit and is the expected "foreign or
+  // short file" answer. badbit is different: the underlying stream FAILED
+  // mid-read (disk error, throwing streambuf), and returning the partial
+  // count would make a kind-sniffing caller mistake a broken device for a
+  // short file — that must surface as an error, not a guess.
+  RON_CHECK(!in.bad(), "snapshot: stream error reading " << bytes.size()
+                           << "-byte prefix (got " << in.gcount() << ")");
   return static_cast<std::size_t>(in.gcount());
 }
 

@@ -39,8 +39,11 @@ void read_stream_bytes(std::istream& in, std::span<std::uint8_t> bytes,
                        const char* what);
 
 /// Best-effort prefix read for sniffing: fills as much of `bytes` as the
-/// stream yields and returns the byte count (no throw — callers that probe
-/// a possibly-foreign file decide what a short prefix means).
+/// stream yields and returns the byte count. A short read at EOF is NOT an
+/// error (callers that probe a possibly-foreign file decide what a short
+/// prefix means), but a stream-level failure (badbit: disk error, throwing
+/// streambuf) throws ron::Error — a failing device must never look like a
+/// short foreign file.
 std::size_t read_stream_prefix(std::istream& in, std::span<std::uint8_t> bytes);
 
 /// FNV-1a 64-bit checksum (the snapshot header's corruption detector; this

@@ -1,0 +1,96 @@
+// Client: a blocking connection to a ron_served daemon.
+//
+// The socket is blocking on purpose — callers are tools and tests that
+// want straight-line round trips, not an event loop. Partial send()/recv()
+// and EINTR are still the normal case and handled here (send loops with
+// MSG_NOSIGNAL; recv feeds a FrameAssembler until a whole frame is out),
+// so callers only ever see whole payloads or ron::Error.
+//
+// Two layers:
+//   - frame I/O: send_frame / recv_frame move raw payloads. Pipelining
+//     clients (the loadgen) use these directly and match responses to
+//     requests by the echoed request id.
+//   - typed round trips: estimate() / locate() / churn() / ... send one
+//     request, wait for its response, and decode it. A kError response
+//     surfaces as ron::Error carrying the server's code and message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "served/protocol.h"
+
+namespace ron {
+
+class Client {
+ public:
+  /// `max_frame_bytes` bounds the response payload this client will accept
+  /// before declaring the stream broken.
+  explicit Client(std::size_t max_frame_bytes = 64u << 20)
+      : in_(max_frame_bytes) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  /// Movable so factories can hand out connected clients by value.
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), next_id_(other.next_id_), in_(std::move(other.in_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&&) = delete;
+
+  /// Connects to host:port (IPv4 literal). Throws ron::Error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  /// The connection's fd, for callers that poll (the open-loop loadgen).
+  int fd() const { return fd_; }
+
+  /// Next request id this client will stamp (ids increase by one per
+  /// encoded request; responses echo them).
+  std::uint64_t next_request_id() const { return next_id_; }
+
+  // --- frame layer ---------------------------------------------------------
+
+  /// Frames and sends `payload`, handling partial writes and EINTR.
+  void send_frame(std::span<const std::uint8_t> payload);
+  /// Sends bytes with NO framing — the malformed/truncated-frame tests'
+  /// hammer (a correct client never needs it).
+  void send_raw(std::span<const std::uint8_t> bytes);
+  /// Blocks until one whole payload arrives. Throws ron::Error on EOF or
+  /// stream error.
+  std::vector<std::uint8_t> recv_frame();
+  /// Drains whatever is readable without blocking and returns true when a
+  /// whole payload was extracted (for pipelined/open-loop callers between
+  /// sends). Throws ron::Error on EOF or stream error.
+  bool poll_frame(std::vector<std::uint8_t>& payload);
+
+  // --- typed round trips ---------------------------------------------------
+
+  void ping();
+  std::vector<Dist> estimate(std::span<const QueryPair> pairs);
+  std::vector<ServedLocate> locate(std::span<const LocateQuery> queries);
+  std::string stats(bool prometheus);
+  ChurnResult churn(const ChurnTrace& trace);
+  InfoResult info();
+  /// Requests a graceful server drain-and-exit and waits for the ack.
+  void shutdown_server();
+
+ private:
+  /// Sends `request` and blocks for the frame echoing its id; throws the
+  /// decoded error for kError responses, checks the type otherwise.
+  FrameView round_trip(const std::vector<std::uint8_t>& request,
+                       std::uint64_t request_id, MsgType expect,
+                       std::vector<std::uint8_t>& storage);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  FrameAssembler in_;
+};
+
+/// Raises ron::Error describing a kError payload (code + server message).
+/// Exposed for callers that decode frames themselves.
+[[noreturn]] void throw_error_frame(WireReader body);
+
+}  // namespace ron

@@ -1,0 +1,331 @@
+#include "served/loadgen.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "churn/churn_trace.h"
+#include "common/check.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "served/client.h"
+#include "telemetry/clock.h"
+
+namespace ron {
+
+namespace {
+
+/// Per-thread tallies, merged after join (threads never share state).
+struct WorkerTally {
+  std::size_t frames_sent = 0;
+  std::size_t frames_answered = 0;
+  std::size_t queries = 0;
+  std::size_t errors = 0;
+  std::size_t zero_holder = 0;
+  std::size_t not_found = 0;
+  std::size_t hop_bound_violations = 0;
+  std::vector<double> latency_seconds;
+  std::string failure;  // non-empty when the worker died on an exception
+};
+
+struct Workload {
+  bool locate = false;
+  std::uint64_t n = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t hop_bound = 0;
+};
+
+std::vector<std::uint8_t> encode_request(std::uint64_t id,
+                                         const Workload& load,
+                                         std::size_t batch, Rng& rng) {
+  if (load.locate) {
+    std::vector<LocateQuery> queries;
+    queries.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      queries.emplace_back(
+          static_cast<NodeId>(rng.index(load.n)),
+          static_cast<ObjectId>(rng.index(load.num_objects)));
+    }
+    return encode_locate_request(id, queries);
+  }
+  std::vector<QueryPair> pairs;
+  pairs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.index(load.n)),
+                       static_cast<NodeId>(rng.index(load.n)));
+  }
+  return encode_estimate_request(id, pairs);
+}
+
+/// Tallies one response payload against the workload's validity rules.
+void tally_response(const std::vector<std::uint8_t>& payload,
+                    const Workload& load, WorkerTally& tally) {
+  FrameView f = parse_frame(payload);
+  ++tally.frames_answered;
+  if (f.type == MsgType::kError) {
+    ++tally.errors;
+    return;
+  }
+  if (load.locate) {
+    const std::vector<ServedLocate> results = decode_locate_result(f.body);
+    tally.queries += results.size();
+    for (const ServedLocate& s : results) {
+      if (s.status == LocateStatus::kZeroHolders) {
+        ++tally.zero_holder;
+      } else if (!s.result.found) {
+        ++tally.not_found;
+      } else if (s.result.hops > load.hop_bound) {
+        ++tally.hop_bound_violations;
+      }
+    }
+  } else {
+    tally.queries += decode_estimate_result(f.body).size();
+  }
+}
+
+void run_closed_loop(const LoadgenOptions& opts, const Workload& load,
+                     std::size_t worker, WorkerTally& tally) {
+  Client cli;
+  cli.connect(opts.host, opts.port);
+  Rng rng = Rng(opts.seed).fork(worker);
+  for (std::size_t i = 0; i < opts.frames; ++i) {
+    const std::uint64_t id = i + 1;
+    const std::vector<std::uint8_t> request =
+        encode_request(id, load, opts.batch, rng);
+    const std::uint64_t t0 = real_now_ns();
+    cli.send_frame(request);
+    ++tally.frames_sent;
+    const std::vector<std::uint8_t> response = cli.recv_frame();
+    tally.latency_seconds.push_back(
+        static_cast<double>(real_now_ns() - t0) * 1e-9);
+    tally_response(response, load, tally);
+  }
+}
+
+void run_open_loop(const LoadgenOptions& opts, const Workload& load,
+                   std::size_t worker, WorkerTally& tally) {
+  Client cli;
+  cli.connect(opts.host, opts.port);
+  Rng rng = Rng(opts.seed).fork(worker);
+  const double frames_per_sec =
+      opts.target_qps /
+      (static_cast<double>(opts.batch) *
+       static_cast<double>(opts.connections));
+  RON_CHECK(frames_per_sec > 0.0, "loadgen: target qps "
+                                      << opts.target_qps
+                                      << " rounds to zero frames/sec");
+  const auto interval_ns =
+      static_cast<std::uint64_t>(1e9 / frames_per_sec);
+  const std::uint64_t start = real_now_ns();
+  const std::uint64_t end = start + opts.duration_ns;
+  std::uint64_t next_send = start;
+  std::uint64_t next_id = 1;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight;  // id, t0
+  std::vector<std::uint8_t> payload;
+
+  const auto drain_ready = [&] {
+    while (cli.poll_frame(payload)) {
+      RON_CHECK(!inflight.empty(),
+                "loadgen: response with no request in flight");
+      tally.latency_seconds.push_back(
+          static_cast<double>(real_now_ns() - inflight.front().second) *
+          1e-9);
+      inflight.pop_front();
+      tally_response(payload, load, tally);
+    }
+  };
+
+  while (true) {
+    const std::uint64_t now = real_now_ns();
+    if (now >= end) break;
+    if (now >= next_send) {
+      // The schedule does not yield to a slow server (open loop). It DOES
+      // bound pipelining depth so a stalled server turns into tail
+      // latency, not an unbounded client heap.
+      if (inflight.size() < 1024) {
+        const std::uint64_t id = next_id++;
+        cli.send_frame(encode_request(id, load, opts.batch, rng));
+        inflight.emplace_back(id, real_now_ns());
+        ++tally.frames_sent;
+      }
+      next_send += interval_ns;
+      if (next_send < now) next_send = now;  // fell behind: don't burst
+      continue;
+    }
+    drain_ready();
+    const std::uint64_t wake = std::min(next_send, end);
+    const std::uint64_t now2 = real_now_ns();
+    if (wake > now2) {
+      pollfd pfd{cli.fd(), POLLIN, 0};
+      const int timeout_ms =
+          static_cast<int>((wake - now2) / 1'000'000 + 1);
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      RON_CHECK(ready >= 0 || errno == EINTR,
+                "loadgen: poll: " << std::strerror(errno));
+    }
+  }
+  // Sending is over; collect every outstanding answer.
+  while (!inflight.empty()) {
+    payload = cli.recv_frame();
+    tally.latency_seconds.push_back(
+        static_cast<double>(real_now_ns() - inflight.front().second) *
+        1e-9);
+    inflight.pop_front();
+    tally_response(payload, load, tally);
+  }
+}
+
+/// The admin thread: publish-only churn in chunks through its own
+/// connection. Fresh names at random nodes are always state-valid and only
+/// grow holder sets, so the concurrent locate load stays fully servable.
+void run_churn_admin(const LoadgenOptions& opts, const Workload& load,
+                     WorkerTally& tally, std::size_t& ops_applied,
+                     std::size_t& swaps, std::uint64_t& last_epoch) {
+  Client cli;
+  cli.connect(opts.host, opts.port);
+  Rng rng = Rng(opts.seed).fork(0xad31);
+  std::size_t seq = 0;
+  while (ops_applied < opts.churn_ops) {
+    const std::size_t chunk =
+        std::min(opts.churn_chunk, opts.churn_ops - ops_applied);
+    ChurnTrace trace;
+    trace.objects.reserve(chunk);
+    trace.ops.reserve(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      trace.objects.push_back("lgadmin" + std::to_string(opts.seed) + "_" +
+                              std::to_string(seq++));
+      trace.ops.push_back(
+          ChurnOp{ChurnOpKind::kPublish,
+                  static_cast<NodeId>(rng.index(load.n)),
+                  static_cast<ObjectId>(i)});
+    }
+    const ChurnResult result = cli.churn(trace);
+    ops_applied += result.ops_applied;
+    ++swaps;
+    last_epoch = result.epoch_id;
+  }
+  (void)tally;
+}
+
+}  // namespace
+
+void LoadgenReport::to_json(std::ostream& os) const {
+  os << "{\"tool\":\"ron_loadgen\",\"connections\":" << connections
+     << ",\"frames_sent\":" << frames_sent
+     << ",\"frames_answered\":" << frames_answered
+     << ",\"queries\":" << queries << ",\"errors\":" << errors
+     << ",\"zero_holder\":" << zero_holder
+     << ",\"not_found\":" << not_found
+     << ",\"hop_bound_violations\":" << hop_bound_violations
+     << ",\"churn_ops_applied\":" << churn_ops_applied
+     << ",\"epoch_swaps\":" << epoch_swaps
+     << ",\"last_epoch_id\":" << last_epoch_id << ",\"seconds\":";
+  write_json_double(os, seconds);
+  os << ",\"qps\":";
+  write_json_double(os, qps);
+  os << ",\"frame_latency_seconds\":" << frame_latency_seconds.to_json()
+     << "}";
+}
+
+LoadgenReport run_loadgen(const LoadgenOptions& opts) {
+  RON_CHECK(opts.connections >= 1, "loadgen: need at least one connection");
+  RON_CHECK(opts.batch >= 1, "loadgen: need at least one query per frame");
+
+  // Discover the query space (and fail fast on an unservable workload)
+  // over a throwaway connection.
+  Workload load;
+  load.locate = opts.locate;
+  load.n = opts.n;
+  load.num_objects = opts.num_objects;
+  {
+    Client probe;
+    probe.connect(opts.host, opts.port);
+    const InfoResult info = probe.info();
+    load.hop_bound = info.hop_bound;
+    if (load.n == 0) load.n = info.n;
+    if (opts.locate) {
+      RON_CHECK(info.has_location,
+                "loadgen: snapshot serves no locates (estimate-only)");
+      if (load.num_objects == 0) load.num_objects = info.num_objects;
+      RON_CHECK(load.num_objects > 0,
+                "loadgen: directory has no objects to locate");
+    } else {
+      RON_CHECK(info.has_labeling,
+                "loadgen: snapshot serves no estimates (locate-only)");
+    }
+    RON_CHECK(load.n > 0, "loadgen: server reports n = 0");
+  }
+
+  std::vector<WorkerTally> tallies(opts.connections);
+  WorkerTally admin_tally;
+  std::size_t churn_applied = 0;
+  std::size_t epoch_swaps = 0;
+  std::uint64_t last_epoch = 0;
+
+  const std::uint64_t t0 = real_now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(opts.connections + 1);
+  for (std::size_t w = 0; w < opts.connections; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        if (opts.target_qps > 0.0) {
+          run_open_loop(opts, load, w, tallies[w]);
+        } else {
+          run_closed_loop(opts, load, w, tallies[w]);
+        }
+      } catch (const std::exception& e) {
+        tallies[w].failure = e.what();
+      }
+    });
+  }
+  if (opts.churn_ops > 0) {
+    threads.emplace_back([&] {
+      try {
+        run_churn_admin(opts, load, admin_tally, churn_applied, epoch_swaps,
+                        last_epoch);
+      } catch (const std::exception& e) {
+        admin_tally.failure = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = static_cast<double>(real_now_ns() - t0) * 1e-9;
+
+  for (const WorkerTally& t : tallies) {
+    RON_CHECK(t.failure.empty(), "loadgen worker failed: " << t.failure);
+  }
+  RON_CHECK(admin_tally.failure.empty(),
+            "loadgen churn admin failed: " << admin_tally.failure);
+
+  LoadgenReport report;
+  report.connections = opts.connections;
+  std::vector<double> latencies;
+  for (WorkerTally& t : tallies) {
+    report.frames_sent += t.frames_sent;
+    report.frames_answered += t.frames_answered;
+    report.queries += t.queries;
+    report.errors += t.errors;
+    report.zero_holder += t.zero_holder;
+    report.not_found += t.not_found;
+    report.hop_bound_violations += t.hop_bound_violations;
+    latencies.insert(latencies.end(), t.latency_seconds.begin(),
+                     t.latency_seconds.end());
+  }
+  report.churn_ops_applied = churn_applied;
+  report.epoch_swaps = epoch_swaps;
+  report.last_epoch_id = last_epoch;
+  report.seconds = seconds;
+  report.qps = seconds > 0.0
+                   ? static_cast<double>(report.queries) / seconds
+                   : 0.0;
+  report.frame_latency_seconds = summarize(std::move(latencies));
+  return report;
+}
+
+}  // namespace ron

@@ -1,0 +1,87 @@
+// Loadgen: multi-connection load generation against a ron_served daemon.
+//
+// N connections (one thread each) fire estimate or locate batches and
+// measure per-frame round-trip latency. Two pacing modes:
+//
+//   closed loop (target_qps == 0): each connection keeps exactly one frame
+//     in flight — send, wait, repeat, `frames` times. Measures the
+//     serving path's best-case latency and the throughput one-at-a-time
+//     clients reach.
+//   open loop (target_qps > 0): each connection sends on a fixed schedule
+//     (the aggregate target split evenly) for duration_ns, pipelining
+//     frames without waiting — the arrival process does not slow down when
+//     the server does, so queueing delay shows up in the latency tail
+//     instead of being silently absorbed (the coordinated-omission trap).
+//
+// An optional admin thread drives the churn channel DURING the load: it
+// applies publish-only traces (fresh object names at random nodes — always
+// state-valid, and holder sets only grow, so concurrent locate answers
+// stay servable) in chunks until churn_ops have landed, forcing live epoch
+// swaps under traffic.
+//
+// Error frames and invalid answers are counted, not thrown: the report's
+// errors/not_found columns are the acceptance evidence for "zero dropped
+// or invalid answers under churn".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/stats.h"
+
+namespace ron {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 4;
+  /// Queries per frame.
+  std::size_t batch = 64;
+  /// Closed loop: frames per connection.
+  std::size_t frames = 128;
+  /// > 0 switches to open loop at this aggregate queries/sec.
+  double target_qps = 0.0;
+  /// Open loop: how long to keep sending.
+  std::uint64_t duration_ns = 1'000'000'000;
+  /// false = estimate workload, true = locate workload.
+  bool locate = false;
+  std::uint64_t seed = 7;
+  /// Query-space sizes; 0 = discover via an info round trip.
+  std::uint64_t n = 0;
+  std::uint64_t num_objects = 0;
+  /// > 0: apply this many churn ops through the admin channel while the
+  /// load runs (publish-only, `churn_chunk` ops per admin frame).
+  std::size_t churn_ops = 0;
+  std::size_t churn_chunk = 16;
+};
+
+struct LoadgenReport {
+  std::size_t connections = 0;
+  std::size_t frames_sent = 0;
+  std::size_t frames_answered = 0;
+  std::size_t queries = 0;  // queries answered (not merely sent)
+  /// Error frames received in place of results.
+  std::size_t errors = 0;
+  /// Locate answers: per-query unservable (zero holders) and walk-failed.
+  std::size_t zero_holder = 0;
+  std::size_t not_found = 0;
+  /// Locate answers whose hop count exceeded the info frame's hop bound.
+  std::size_t hop_bound_violations = 0;
+  std::size_t churn_ops_applied = 0;
+  std::size_t epoch_swaps = 0;
+  std::uint64_t last_epoch_id = 0;
+  double seconds = 0.0;  // wall time of the load phase
+  double qps = 0.0;      // queries answered / seconds
+  Summary frame_latency_seconds;
+
+  /// Single-line JSON object (the bench artifact detail line).
+  void to_json(std::ostream& os) const;
+};
+
+/// Runs the workload and returns the merged report. Throws ron::Error when
+/// the server is unreachable or the workload cannot be synthesized (e.g. a
+/// locate workload against an estimate-only snapshot).
+LoadgenReport run_loadgen(const LoadgenOptions& opts);
+
+}  // namespace ron

@@ -1,0 +1,355 @@
+#include "served/protocol.h"
+
+#include <limits>
+#include <utility>
+
+#include "churn/churn_trace.h"
+
+namespace ron {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kEstimate: return "estimate";
+    case MsgType::kLocate: return "locate";
+    case MsgType::kStats: return "stats";
+    case MsgType::kChurnAdmin: return "churn-admin";
+    case MsgType::kInfo: return "info";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kPong: return "pong";
+    case MsgType::kEstimateResult: return "estimate-result";
+    case MsgType::kLocateResult: return "locate-result";
+    case MsgType::kStatsResult: return "stats-result";
+    case MsgType::kChurnResult: return "churn-result";
+    case MsgType::kInfoResult: return "info-result";
+    case MsgType::kShutdownAck: return "shutdown-ack";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kBadType: return "bad-type";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kTooLarge: return "too-large";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kServer: return "server";
+  }
+  return "unknown";
+}
+
+FrameView parse_frame(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const std::uint8_t version = r.u8();
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint64_t request_id = r.u64();
+  return FrameView{version, type, request_id, r};
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  RON_CHECK(payload.size() <= std::numeric_limits<std::uint32_t>::max(),
+            "served: frame payload of " << payload.size()
+                                        << " bytes exceeds the u32 prefix");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+namespace {
+
+/// Every payload starts with the same header; the builders below append
+/// their body onto this.
+WireWriter header(MsgType type, std::uint64_t request_id) {
+  WireWriter w;
+  w.u8(kServedProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(request_id);
+  return w;
+}
+
+std::vector<std::uint8_t> take(WireWriter&& w) {
+  return std::vector<std::uint8_t>(w.bytes().begin(), w.bytes().end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t request_id) {
+  return take(header(MsgType::kPing, request_id));
+}
+
+std::vector<std::uint8_t> encode_estimate_request(
+    std::uint64_t request_id, std::span<const QueryPair> pairs) {
+  WireWriter w = header(MsgType::kEstimate, request_id);
+  w.u64(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    w.u32(u);
+    w.u32(v);
+  }
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_locate_request(
+    std::uint64_t request_id, std::span<const LocateQuery> queries) {
+  WireWriter w = header(MsgType::kLocate, request_id);
+  w.u64(queries.size());
+  for (const auto& [querier, obj] : queries) {
+    w.u32(querier);
+    w.u32(obj);
+  }
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id,
+                                               bool prometheus) {
+  WireWriter w = header(MsgType::kStats, request_id);
+  w.u8(prometheus ? 1 : 0);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_churn_request(std::uint64_t request_id,
+                                               const ChurnTrace& trace) {
+  WireWriter w = header(MsgType::kChurnAdmin, request_id);
+  write_trace_payload(w, trace);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_info_request(std::uint64_t request_id) {
+  return take(header(MsgType::kInfo, request_id));
+}
+
+std::vector<std::uint8_t> encode_shutdown_request(std::uint64_t request_id) {
+  return take(header(MsgType::kShutdown, request_id));
+}
+
+std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
+  return take(header(MsgType::kPong, request_id));
+}
+
+std::vector<std::uint8_t> encode_estimate_result(
+    std::uint64_t request_id, std::span<const Dist> dists) {
+  WireWriter w = header(MsgType::kEstimateResult, request_id);
+  w.u64(dists.size());
+  for (const Dist d : dists) w.f64(d);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_locate_result(
+    std::uint64_t request_id, std::span<const ServedLocate> results) {
+  WireWriter w = header(MsgType::kLocateResult, request_id);
+  w.u64(results.size());
+  for (const ServedLocate& s : results) {
+    w.u8(static_cast<std::uint8_t>(s.status));
+    w.u8(s.result.found ? 1 : 0);
+    w.u32(s.result.holder);
+    w.u64(s.result.hops);
+    w.f64(s.result.nearest_dist);
+    w.f64(s.result.holder_dist);
+    w.f64(s.result.path_length);
+    w.f64(s.result.route_stretch);
+    w.f64(s.result.distance_stretch);
+  }
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_stats_result(std::uint64_t request_id,
+                                              const std::string& text) {
+  WireWriter w = header(MsgType::kStatsResult, request_id);
+  w.str(text);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_churn_result(std::uint64_t request_id,
+                                              const ChurnResult& result) {
+  WireWriter w = header(MsgType::kChurnResult, request_id);
+  w.u64(result.ops_applied);
+  w.u64(result.epoch_id);
+  w.u64(result.active_count);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_info_result(std::uint64_t request_id,
+                                             const InfoResult& info) {
+  WireWriter w = header(MsgType::kInfoResult, request_id);
+  w.u64(info.n);
+  w.u8(info.has_labeling ? 1 : 0);
+  w.u8(info.has_location ? 1 : 0);
+  w.u64(info.num_objects);
+  w.u64(info.epoch_id);
+  w.u64(info.hop_bound);
+  return take(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_shutdown_ack(std::uint64_t request_id) {
+  return take(header(MsgType::kShutdownAck, request_id));
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
+                                       ErrorCode code,
+                                       const std::string& message) {
+  WireWriter w = header(MsgType::kError, request_id);
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str(message);
+  return take(std::move(w));
+}
+
+namespace {
+
+/// Shared (count, per-element u32 pair) request decode for estimate and
+/// locate bodies: the count is validated against the bytes present (lying
+/// headers cannot size an allocation) AND against the server's batch limit.
+template <typename Pair>
+std::vector<Pair> decode_pair_request(WireReader& body, std::size_t max_batch,
+                                      const char* what) {
+  const std::uint64_t count = body.read_count(8, what);
+  if (count > max_batch) {
+    throw BatchLimitError("served: " + std::string(what) + " batch of " +
+                          std::to_string(count) + " exceeds the limit of " +
+                          std::to_string(max_batch));
+  }
+  std::vector<Pair> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t first = body.u32();
+    const std::uint32_t second = body.u32();
+    items.emplace_back(first, second);
+  }
+  body.expect_done();
+  return items;
+}
+
+}  // namespace
+
+std::vector<QueryPair> decode_estimate_request(WireReader& body,
+                                               std::size_t max_batch) {
+  return decode_pair_request<QueryPair>(body, max_batch, "estimate query");
+}
+
+std::vector<LocateQuery> decode_locate_request(WireReader& body,
+                                               std::size_t max_batch) {
+  return decode_pair_request<LocateQuery>(body, max_batch, "locate query");
+}
+
+bool decode_stats_request(WireReader& body) {
+  const std::uint8_t format = body.u8();
+  body.expect_done();
+  RON_CHECK(format <= 1, "served: unknown stats format " << int{format});
+  return format == 1;
+}
+
+ChurnTrace decode_churn_request(WireReader& body, std::size_t n) {
+  ChurnTrace trace = read_trace_payload(body, n);
+  body.expect_done();
+  return trace;
+}
+
+std::vector<Dist> decode_estimate_result(WireReader& body) {
+  const std::uint64_t count = body.read_count(8, "estimate result");
+  std::vector<Dist> dists;
+  dists.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) dists.push_back(body.f64());
+  body.expect_done();
+  return dists;
+}
+
+std::vector<ServedLocate> decode_locate_result(WireReader& body) {
+  const std::uint64_t count = body.read_count(54, "locate result");
+  std::vector<ServedLocate> results;
+  results.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ServedLocate s;
+    const std::uint8_t status = body.u8();
+    RON_CHECK(status <= 1, "served: unknown locate status " << int{status});
+    s.status = static_cast<LocateStatus>(status);
+    const std::uint8_t found = body.u8();
+    RON_CHECK(found <= 1, "served: locate found flag " << int{found});
+    s.result.found = found == 1;
+    s.result.holder = body.u32();
+    s.result.hops = static_cast<std::size_t>(body.u64());
+    s.result.nearest_dist = body.f64();
+    s.result.holder_dist = body.f64();
+    s.result.path_length = body.f64();
+    s.result.route_stretch = body.f64();
+    s.result.distance_stretch = body.f64();
+    results.push_back(s);
+  }
+  body.expect_done();
+  return results;
+}
+
+std::string decode_stats_result(WireReader& body) {
+  std::string text = body.str();
+  body.expect_done();
+  return text;
+}
+
+ChurnResult decode_churn_result(WireReader& body) {
+  ChurnResult r;
+  r.ops_applied = body.u64();
+  r.epoch_id = body.u64();
+  r.active_count = body.u64();
+  body.expect_done();
+  return r;
+}
+
+InfoResult decode_info_result(WireReader& body) {
+  InfoResult info;
+  info.n = body.u64();
+  const std::uint8_t has_labeling = body.u8();
+  const std::uint8_t has_location = body.u8();
+  RON_CHECK(has_labeling <= 1 && has_location <= 1,
+            "served: info flag bytes " << int{has_labeling} << "/"
+                                       << int{has_location});
+  info.has_labeling = has_labeling == 1;
+  info.has_location = has_location == 1;
+  info.num_objects = body.u64();
+  info.epoch_id = body.u64();
+  info.hop_bound = body.u64();
+  body.expect_done();
+  return info;
+}
+
+std::pair<ErrorCode, std::string> decode_error(WireReader& body) {
+  const auto code = static_cast<ErrorCode>(body.u32());
+  std::string message = body.str();
+  body.expect_done();
+  return {code, std::move(message)};
+}
+
+void FrameAssembler::append(std::span<const std::uint8_t> bytes) {
+  // Compact before growing: everything before pos_ is consumed, and
+  // erasing it once per append keeps the buffer bounded by (one frame +
+  // one recv worth) instead of growing with connection lifetime.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameAssembler::next(std::vector<std::uint8_t>& payload) {
+  if (buffered() < kFrameHeaderBytes) return false;
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  if (len > max_frame_bytes_) {
+    throw FramingError("served: frame length prefix " + std::to_string(len) +
+                       " exceeds the " + std::to_string(max_frame_bytes_) +
+                       "-byte limit");
+  }
+  if (buffered() < kFrameHeaderBytes + len) return false;
+  const auto begin =
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes);
+  payload.assign(begin, begin + static_cast<std::ptrdiff_t>(len));
+  pos_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace ron

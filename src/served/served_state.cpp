@@ -1,0 +1,88 @@
+#include "served/served_state.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "oracle/snapshot.h"
+
+namespace ron {
+
+namespace {
+
+/// Overlay serving state for a directory or churn bundle: rebuild the
+/// static overlay from the embedded recipe, replay any stored trace, and
+/// commit the first epoch. Mirrors ron_oracle's load path, except the
+/// mutator is unconditional so the admin channel can keep mutating.
+ServedState load_overlay(const std::string& path, SnapshotKind kind,
+                         const ServedStateOptions& opts) {
+  ServedState state;
+  ScenarioSpec spec;
+  ObjectDirectory initial(1);
+  ChurnTrace trace;
+  if (kind == SnapshotKind::kChurnBundle) {
+    LoadedChurnBundle bundle = load_churn_bundle(path);
+    spec = std::move(bundle.spec);
+    initial = std::move(bundle.initial);
+    trace = std::move(bundle.trace);
+  } else {
+    LoadedDirectory loaded = load_directory(path);
+    spec = std::move(loaded.spec);
+    initial = std::move(loaded.directory);
+  }
+  state.builder =
+      std::make_unique<ScenarioBuilder>(spec, opts.build_threads);
+  RON_CHECK(state.builder->n() == initial.n(),
+            "served: scenario rebuilds n = "
+                << state.builder->n() << ", snapshot directory has n = "
+                << initial.n());
+  state.mutator = std::make_unique<OverlayMutator>(
+      state.builder->prox(), state.builder->spec(), std::move(initial),
+      opts.engine.clock);
+  if (!trace.ops.empty()) state.mutator->apply(trace);
+  state.engine = std::make_unique<OracleEngine>(state.mutator->commit(),
+                                                opts.engine, opts.locate);
+  return state;
+}
+
+}  // namespace
+
+ServedState load_served_state(const std::string& path,
+                              const ServedStateOptions& opts) {
+  // Header peek picks the load path; the follow-up load performs the real
+  // validation (magic, checksum, bounds) — same pattern as ron_oracle.
+  const auto kind = static_cast<SnapshotKind>(peek_snapshot_kind(path));
+  switch (kind) {
+    case SnapshotKind::kOracle: {
+      ServedState state;
+      state.engine = std::make_unique<OracleEngine>(
+          load_oracle(path).labeling, opts.engine);
+      return state;
+    }
+    case SnapshotKind::kDistanceLabeling: {
+      ServedState state;
+      state.engine =
+          std::make_unique<OracleEngine>(load_labeling(path), opts.engine);
+      return state;
+    }
+    case SnapshotKind::kObjectDirectory:
+    case SnapshotKind::kChurnBundle:
+      return load_overlay(path, kind, opts);
+    case SnapshotKind::kRings:
+    case SnapshotKind::kNeighborSystem:
+      RON_CHECK(false, "served: snapshot '"
+                           << path << "' (kind "
+                           << static_cast<std::uint32_t>(kind)
+                           << ") is a construction artifact with no query "
+                              "surface — serve an oracle, labeling, "
+                              "directory or churn-bundle snapshot");
+  }
+  // Unknown kind byte: run the full validation for the real error message
+  // (bad magic, truncation, wrong checksum, ...).
+  inspect_snapshot(path);
+  RON_CHECK(false, "served: snapshot '"
+                       << path << "' has unservable kind "
+                       << static_cast<std::uint32_t>(kind));
+  return {};  // unreachable
+}
+
+}  // namespace ron

@@ -1,0 +1,149 @@
+// Server: the ron_served daemon's poll(2) event loop.
+//
+// One thread runs the loop; the engine's worker pool is the parallelism
+// (batches submitted from the loop fan out across the pool and return
+// before the next frame is touched — the engine's single-dispatcher
+// contract holds by construction). Everything socket-shaped in the repo
+// lives in src/served/ (tools/ron_lint.py enforces it): tools and tests
+// talk to Server/Client, never to recv(2).
+//
+// Robustness contract, per connection:
+//   - non-blocking sockets with per-connection reassembly buffers
+//     (FrameAssembler) and send buffers; partial reads and writes are the
+//     normal case, EINTR is retried, sends use MSG_NOSIGNAL (a dead peer
+//     surfaces as EPIPE, never SIGPIPE).
+//   - a malformed-but-framed payload gets an error frame and the
+//     connection lives on; a broken frame layer (oversized length prefix)
+//     or a batch of unflushable responses beyond drop_outbuf_bytes kills
+//     only that connection. The daemon itself never dies on client bytes.
+//   - backpressure: a client whose responses pile up past
+//     max_outbuf_bytes stops being READ (its POLLIN is withdrawn) until
+//     the backlog drains — a slow reader throttles itself, not the server.
+//   - fairness: at most max_frames_per_cycle frames are served per
+//     connection per loop iteration, so one pipelining firehose cannot
+//     starve its neighbors.
+//   - idle connections are closed after idle_timeout_ns (0 = never).
+//
+// stop() is async-signal-safe (one write(2) to a self-pipe), so SIGINT/
+// SIGTERM handlers can request a graceful drain: the loop stops accepting,
+// flushes what it can within drain_timeout_ns, and returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "served/protocol.h"
+#include "served/served_state.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+
+namespace ron {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port; start() returns the bound port.
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_connections = 64;
+  /// Largest payload a peer may announce; beyond it the connection drops
+  /// (FramingError — there is no next frame boundary to resync to).
+  std::size_t max_frame_bytes = 1u << 20;
+  /// Largest query batch per frame (kTooLarge error frame above it).
+  std::size_t max_batch = 1u << 16;
+  /// Unsent-response backlog beyond which the connection stops being read.
+  std::size_t max_outbuf_bytes = 4u << 20;
+  /// Unsent-response backlog beyond which the connection is dropped
+  /// outright (a peer that neither reads nor disconnects cannot hold
+  /// server memory forever).
+  std::size_t drop_outbuf_bytes = 64u << 20;
+  /// Frames served per connection per loop iteration.
+  std::size_t max_frames_per_cycle = 8;
+  /// 0 = never time out idle connections.
+  std::uint64_t idle_timeout_ns = 0;
+  /// Grace period for flushing responses after stop()/shutdown.
+  std::uint64_t drain_timeout_ns = 1'000'000'000;
+  /// Timing source (borrowed, must outlive the server); null = real clock.
+  const Clock* clock = nullptr;
+};
+
+class Server {
+ public:
+  /// `state` is borrowed and must outlive the server; the server is its
+  /// engine's sole dispatcher while run() executes.
+  Server(ServedState& state, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; returns the bound port (the ephemeral one when
+  /// options.port was 0). Call once, before run().
+  std::uint16_t start();
+
+  /// Runs the event loop until stop() or a shutdown frame, then drains and
+  /// closes every connection. Call from one thread.
+  void run();
+
+  /// Requests a graceful drain-and-exit. Async-signal-safe and callable
+  /// from any thread (also before run(), which then exits immediately).
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  /// ron_served_* metrics: connections gauge, accept/frame/byte/protocol-
+  /// error counters, per-frame serving latency histogram.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The stats-frame / --metrics-out document: the ron.metrics.v1 JSON
+  /// envelope (or prometheus exposition) over every registry behind this
+  /// server — its own, the engine's, and the mutator's/builder's when the
+  /// snapshot has an overlay.
+  std::string metrics_text(bool prometheus) const;
+
+ private:
+  struct Conn;
+
+  void accept_ready();
+  /// Returns false when the connection died (peer closed, framing broken).
+  bool read_ready(Conn& c);
+  bool flush_out(Conn& c);
+  /// Serves up to max_frames_per_cycle buffered frames.
+  bool process_frames(Conn& c);
+  void handle_payload(Conn& c, const std::vector<std::uint8_t>& payload);
+  std::vector<std::uint8_t> serve_estimate(const FrameView& f);
+  std::vector<std::uint8_t> serve_locate(const FrameView& f);
+  std::vector<std::uint8_t> serve_churn(const FrameView& f);
+  std::vector<std::uint8_t> serve_info(const FrameView& f);
+  void queue(Conn& c, const std::vector<std::uint8_t>& payload);
+  void close_all();
+  std::uint64_t now_ns() const { return clock_->now_ns(); }
+
+  ServedState& state_;
+  ServerOptions opts_;
+  const Clock* clock_;  // never null after construction
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  // self-pipe: stop() writes, the loop reads
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  std::uint64_t stop_deadline_ = 0;  // drain cutoff once stopping_
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  MetricsRegistry metrics_{1};
+  Gauge* m_connections_;
+  Counter* m_accepts_;
+  Counter* m_disconnects_;
+  Counter* m_idle_closes_;
+  Counter* m_frames_;
+  Counter* m_bytes_in_;
+  Counter* m_bytes_out_;
+  Counter* m_protocol_errors_;
+  Counter* m_backpressure_pauses_;
+  Counter* m_epoch_swaps_;
+  Histogram* m_frame_seconds_;
+};
+
+}  // namespace ron

@@ -75,4 +75,19 @@ void TraceSink::to_json(std::ostream& os) const {
   os << "]";
 }
 
+void write_metrics_envelope(std::ostream& os,
+                            std::vector<const MetricsRegistry*> registries,
+                            const TraceSink* traces) {
+  std::erase(registries, nullptr);
+  os << "{\"schema\":\"ron.metrics.v1\",\"metrics\":";
+  dump_metrics_json(os, registries);
+  os << ",\"locate_traces\":";
+  if (traces != nullptr) {
+    traces->to_json(os);
+  } else {
+    os << "[]";
+  }
+  os << "}\n";
+}
+
 }  // namespace ron

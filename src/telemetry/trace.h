@@ -94,4 +94,17 @@ class TraceSink {
   std::uint64_t recorded_ RON_GUARDED_BY(mu_) = 0;
 };
 
+class MetricsRegistry;
+
+/// The shared telemetry-snapshot envelope (schema ron.metrics.v1):
+///   {"schema":"ron.metrics.v1","metrics":{...},"locate_traces":[...]}
+/// One writer for every producer — ron_oracle --metrics-out, ron_served
+/// --metrics-out and the served stats frame — so tools/check_metrics_json.py
+/// validates one format, not three dialects. Null registry entries are
+/// skipped (call sites pass optional sources unconditionally); a null
+/// `traces` sink yields an empty array.
+void write_metrics_envelope(std::ostream& os,
+                            std::vector<const MetricsRegistry*> registries,
+                            const TraceSink* traces);
+
 }  // namespace ron

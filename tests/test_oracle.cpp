@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -88,6 +91,49 @@ TEST(Wire, ImplausibleCountThrows) {
   w.u64(1u << 20);  // promises a million elements, provides none
   WireReader r(w.bytes());
   EXPECT_THROW(r.read_count(4, "test element"), Error);
+}
+
+TEST(Wire, StreamPrefixShortAtEofIsNotAnError) {
+  // Sniffing a short (possibly foreign) file: the prefix read reports how
+  // much was there and must NOT throw — short-at-EOF is an answer.
+  std::istringstream in(std::string("abc"), std::ios::binary);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_EQ(read_stream_prefix(in, buf), 3u);
+  EXPECT_TRUE(in.eof());
+  EXPECT_FALSE(in.bad());
+}
+
+/// Streambuf that yields a fixed prefix, then fails hard (underflow
+/// throws): basic_istream::read converts that into badbit — the signature
+/// of a failing device, as opposed to a clean EOF.
+class FailingStreambuf : public std::streambuf {
+ public:
+  explicit FailingStreambuf(std::string prefix)
+      : prefix_(std::move(prefix)) {
+    setg(prefix_.data(), prefix_.data(), prefix_.data() + prefix_.size());
+  }
+
+ private:
+  int_type underflow() override { throw std::runtime_error("disk error"); }
+  std::string prefix_;
+};
+
+TEST(Wire, StreamPrefixStreamErrorThrows) {
+  // A mid-read stream FAILURE must surface as ron::Error: returning the
+  // partial count would make kind-sniffing mistake a broken disk for a
+  // short foreign file.
+  FailingStreambuf sb("ab");
+  std::istream in(&sb);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_THROW(read_stream_prefix(in, buf), Error);
+  EXPECT_TRUE(in.bad());
+}
+
+TEST(Wire, StreamPrefixImmediateErrorThrows) {
+  FailingStreambuf sb("");
+  std::istream in(&sb);
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_THROW(read_stream_prefix(in, buf), Error);
 }
 
 // --- fixtures --------------------------------------------------------------
@@ -965,6 +1011,29 @@ TEST_F(EngineTest, StatsAccumulate) {
   EXPECT_EQ(engine.totals().batches, 2u);
   EXPECT_EQ(engine.totals().queries, 2 * pairs.size());
   EXPECT_GT(engine.totals().seconds, 0.0);
+}
+
+TEST_F(EngineTest, SubTickBatchReportsPositiveQps) {
+  // Regression: a batch that completes within one clock tick (elapsed 0ns
+  // on a frozen FakeClock) used to report qps = 0.0 — a *fast* tiny batch
+  // masquerading as zero throughput in bench JSON. Elapsed is clamped to
+  // the clock's own 1ns resolution instead.
+  FakeClock clock;
+  OracleOptions opts;
+  opts.num_threads = 1;
+  opts.clock = &clock;
+  OracleEngine engine(fx_.dls, opts);
+  const std::vector<QueryPair> pairs = {{0, 1}, {2, 3}};
+  engine.estimate_batch(pairs);
+  const BatchStats& stats = engine.last_batch_stats();
+  EXPECT_EQ(stats.queries, pairs.size());
+  EXPECT_DOUBLE_EQ(stats.seconds, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.qps, static_cast<double>(pairs.size()) / 1e-9);
+  // An honestly-empty batch still reports zero qps: 0 queries / clamped
+  // time, not a fabricated throughput.
+  const std::vector<QueryPair> none;
+  engine.estimate_batch(none);
+  EXPECT_DOUBLE_EQ(engine.last_batch_stats().qps, 0.0);
 }
 
 TEST_F(EngineTest, EmptyBatchIsFine) {

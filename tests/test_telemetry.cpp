@@ -458,13 +458,15 @@ TEST(TelemetryEngine, EstimateServingRecordsExactCountsUnderFakeClock) {
   EXPECT_EQ(r1, r2);
   EXPECT_EQ(engine.last_batch_stats().cache_hits, 48u);
 
-  // Lifetime totals are always live, telemetry build or not — and with a
-  // frozen clock the busy time is exactly zero.
+  // Lifetime totals are always live, telemetry build or not. With a frozen
+  // clock each batch's elapsed time clamps to the 1ns clock resolution
+  // (sub-tick batches must never report qps = 0), so the busy time is
+  // exactly one tick per batch.
   const EngineTotals totals = engine.totals();
   EXPECT_EQ(totals.batches, 2u);
   EXPECT_EQ(totals.queries, 96u);
   EXPECT_EQ(totals.cache_hits, 48u);
-  EXPECT_EQ(totals.seconds, 0.0);
+  EXPECT_EQ(totals.seconds, 2e-9);
 
   if (!kTelemetryEnabled) GTEST_SKIP() << "metric recording is compiled out";
   const auto* lat = find_metric<Histogram>(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ron_lint: house invariants no generic linter can check.
 
-Five rules, each load-bearing for this repo specifically:
+Six rules, each load-bearing for this repo specifically:
 
   raw-bytes      Snapshot code must not hand-roll byte access: no memcpy/
                  memmove/reinterpret_cast anywhere in src/oracle/ outside
@@ -30,6 +30,12 @@ Five rules, each load-bearing for this repo specifically:
                  "RON_CHECK failed: (x < n_)" with no operand values; the
                  repro then starts with adding the message this rule asks
                  for up front.
+
+  sockets        Raw socket/errno syscalls (socket/bind/connect/recv/send/
+                 poll/...) live only in src/served/. Everything else talks
+                 to Server/Client, which own the EINTR/partial-I/O/SIGPIPE
+                 handling — a stray recv() elsewhere would re-open exactly
+                 the robustness holes src/served/ exists to close.
 
   test-timeout   Every registered test carries a TIMEOUT property (both
                  gtest_discover_tests and raw add_test registrations). A
@@ -82,6 +88,17 @@ CLOCK_EXEMPT = {
     os.path.join("src", "telemetry", "clock.cpp"),
     os.path.join("src", "telemetry", "clock.h"),
 }
+
+
+# Bare or ::-qualified calls only: `cli.connect(...)` (a member) stays
+# legal everywhere, `::connect(...)` / `connect(...)` (the syscall) does
+# not. Names like send_frame fail the `\s*\(` tail and never match.
+SOCKETS_RE = re.compile(
+    r"(?<![\w.>])(?:::\s*)?"
+    r"(?:socket|bind|listen|accept4?|connect|recvfrom|recv|sendto|send|"
+    r"setsockopt|getsockname|getpeername|inet_pton|inet_ntop|htons|ntohs|"
+    r"poll|epoll_\w+|pipe2?)\s*\(")
+SOCKETS_EXEMPT_DIR = os.path.join("src", "served") + os.sep
 
 
 class Finding:
@@ -208,6 +225,20 @@ def check_clock(findings: list):
                         "injected under test"))
 
 
+def check_sockets(findings: list):
+    for path in cxx_files("src", "tools", "bench"):
+        if os.path.relpath(path, REPO_ROOT).startswith(SOCKETS_EXEMPT_DIR):
+            continue
+        for lineno, code, raw in iter_code_lines(path):
+            m = SOCKETS_RE.search(code)
+            if m and not allowed(raw, "sockets"):
+                findings.append(Finding(
+                    path, lineno, "sockets",
+                    f"'{m.group(0).strip()}' outside src/served/ — raw "
+                    "socket I/O goes through Server/Client, which own the "
+                    "EINTR/partial-I/O/SIGPIPE handling"))
+
+
 def split_check_args(text: str, start: int):
     """Given text and the index just past 'RON_CHECK(', returns
     (top_level_comma_count, end_index) or None if the call never closes
@@ -328,6 +359,7 @@ RULES = {
     "determinism": check_determinism,
     "clock": check_clock,
     "check-message": check_messages,
+    "sockets": check_sockets,
     "test-timeout": check_test_timeouts,
 }
 

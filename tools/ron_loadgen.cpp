@@ -1,0 +1,172 @@
+// ron_loadgen — drive load at a ron_served daemon and report latency.
+//
+// N connections fire estimate or locate batches, closed-loop (one frame in
+// flight per connection) or open-loop (--qps: fixed aggregate schedule,
+// pipelined, so server queueing shows up in the latency tail instead of
+// slowing the arrival process — the coordinated-omission trap). --churn-ops
+// adds an admin connection that applies publish-only churn traces DURING
+// the load, forcing live epoch swaps under traffic.
+//
+//   ron_served dir.ron --port 0 |
+//     ron_loadgen --port stdin --workload locate --qps 20000
+//       --churn-ops 200 --shutdown 1
+//
+// `--port stdin` reads the port from the first stdin line, which is
+// exactly what ron_served prints — the two tools pipeline. The report is
+// one JSON object on stdout (ron::Summary latency percentiles included);
+// --shutdown 1 asks the server to drain and exit after the report.
+//
+// Exit codes: 0 success, 1 runtime failure (ron::Error, including any
+// error frames received when --fail-on-errors 1), 2 usage error.
+#include <charconv>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "cli_util.h"
+#include "common/check.h"
+#include "served/client.h"
+#include "served/loadgen.h"
+
+namespace ron {
+namespace {
+
+using cli::Args;
+using cli::parse_u64;
+using cli::UsageError;
+
+int usage(std::ostream& os) {
+  os << "usage: ron_loadgen --port P [options]\n"
+        "\n"
+        "Generates estimate/locate load against a running ron_served and\n"
+        "prints a one-line JSON report (QPS + latency percentiles).\n"
+        "\n"
+        "options:\n"
+        "  --host ADDR         server address (default 127.0.0.1)\n"
+        "  --port P|stdin      server port; 'stdin' reads the first line\n"
+        "                      of stdin (ron_served prints its port there)\n"
+        "  --workload KIND     estimate (default) or locate\n"
+        "  --connections N     client connections / threads (default 4)\n"
+        "  --batch N           queries per frame (default 64)\n"
+        "  --frames N          closed loop: frames per connection\n"
+        "                      (default 128)\n"
+        "  --qps Q             open loop: aggregate target queries/sec\n"
+        "                      (default 0 = closed loop)\n"
+        "  --duration-ms N     open loop: sending window (default 1000)\n"
+        "  --seed S            workload rng seed (default 7)\n"
+        "  --churn-ops N       apply N publish ops through the admin\n"
+        "                      channel while the load runs (default 0)\n"
+        "  --churn-chunk N     ops per admin frame (default 16)\n"
+        "  --fail-on-errors B  1 = exit 1 if any error frame or invalid\n"
+        "                      answer came back (default 0: report only)\n"
+        "  --shutdown B        1 = send a shutdown frame after the report\n"
+        "                      so the server drains and exits (default 0)\n";
+  return 2;
+}
+
+double parse_f64(const std::string& s, const char* what) {
+  double v = 0.0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  RON_CHECK(ec == std::errc() && p == s.data() + s.size(),
+            "bad " << what << ": '" << s << "'");
+  return v;
+}
+
+bool parse_bool(const std::string& s, const char* what) {
+  const std::uint64_t v = parse_u64(s, what);
+  RON_CHECK(v <= 1, "bad " << what << ": " << v << " (want 0 or 1)");
+  return v == 1;
+}
+
+std::uint16_t resolve_port(const Args& args) {
+  if (!args.has("port")) {
+    throw UsageError("--port is required (a number, or 'stdin')");
+  }
+  std::string token = args.get("port", "");
+  if (token == "stdin") {
+    RON_CHECK(static_cast<bool>(std::getline(std::cin, token)),
+              "--port stdin: no line on stdin (pipe ron_served's stdout "
+              "here)");
+  }
+  const std::uint64_t port = parse_u64(token, "--port");
+  RON_CHECK(port >= 1 && port <= 65535,
+            "--port " << port << " is outside 1..65535");
+  return static_cast<std::uint16_t>(port);
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "help") return usage(std::cout), 0;
+  }
+  Args args(argc, argv, 1);
+  args.expect_known({"host", "port", "workload", "connections", "batch",
+                     "frames", "qps", "duration-ms", "seed", "churn-ops",
+                     "churn-chunk", "fail-on-errors", "shutdown"});
+  args.expect_positionals(0, "no positional arguments");
+
+  LoadgenOptions opts;
+  opts.host = args.get("host", opts.host);
+  opts.port = resolve_port(args);
+  const std::string workload = args.get("workload", "estimate");
+  if (workload == "locate") {
+    opts.locate = true;
+  } else if (workload != "estimate") {
+    throw UsageError("unknown --workload '" + workload +
+                     "' (want estimate or locate)");
+  }
+  opts.connections =
+      parse_u64(args.get("connections", "4"), "--connections");
+  RON_CHECK(opts.connections >= 1, "--connections must be at least 1");
+  opts.batch = parse_u64(args.get("batch", "64"), "--batch");
+  opts.frames = parse_u64(args.get("frames", "128"), "--frames");
+  opts.target_qps = parse_f64(args.get("qps", "0"), "--qps");
+  RON_CHECK(opts.target_qps >= 0.0, "--qps must be non-negative");
+  opts.duration_ns =
+      parse_u64(args.get("duration-ms", "1000"), "--duration-ms") *
+      1'000'000;
+  opts.seed = parse_u64(args.get("seed", "7"), "--seed");
+  opts.churn_ops = parse_u64(args.get("churn-ops", "0"), "--churn-ops");
+  opts.churn_chunk =
+      parse_u64(args.get("churn-chunk", "16"), "--churn-chunk");
+  RON_CHECK(opts.churn_chunk >= 1, "--churn-chunk must be at least 1");
+  const bool fail_on_errors =
+      parse_bool(args.get("fail-on-errors", "0"), "--fail-on-errors");
+  const bool shutdown =
+      parse_bool(args.get("shutdown", "0"), "--shutdown");
+
+  const LoadgenReport report = run_loadgen(opts);
+  report.to_json(std::cout);
+  std::cout << "\n";
+
+  if (shutdown) {
+    Client cli;
+    cli.connect(opts.host, opts.port);
+    cli.shutdown_server();
+  }
+
+  if (fail_on_errors) {
+    const std::size_t bad =
+        report.errors + report.not_found + report.hop_bound_violations;
+    RON_CHECK(bad == 0, "loadgen saw " << report.errors
+                                       << " error frame(s), "
+                                       << report.not_found
+                                       << " failed walk(s) and "
+                                       << report.hop_bound_violations
+                                       << " hop-bound violation(s)");
+    RON_CHECK(report.churn_ops_applied == opts.churn_ops,
+              "loadgen applied " << report.churn_ops_applied << " of "
+                                 << opts.churn_ops
+                                 << " requested churn ops");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ron
+
+int main(int argc, char** argv) {
+  return ron::cli::tool_main(
+      "ron_loadgen", [&] { return ron::run(argc, argv); },
+      [](std::ostream& os) { ron::usage(os); });
+}

@@ -35,10 +35,8 @@
 // Exit codes: 0 success, 1 runtime failure (ron::Error), 2 usage error
 // (unknown subcommand, unknown or malformed flag — usage is printed).
 #include <algorithm>
-#include <charconv>
 #include <cstdint>
 #include <fstream>
-#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -48,6 +46,7 @@
 #include <vector>
 
 #include "churn/churn_trace.h"
+#include "cli_util.h"
 #include "churn/overlay_mutator.h"
 #include "churn/trace_generator.h"
 #include "common/check.h"
@@ -64,12 +63,12 @@
 namespace ron {
 namespace {
 
-/// Malformed command line (vs a runtime Error): main prints usage and
-/// exits 2.
-class UsageError : public Error {
- public:
-  using Error::Error;
-};
+// The command-line plumbing (flag map, numeric parsing, exit-code
+// contract) is shared with ron_served/ron_loadgen — see tools/cli_util.h.
+using cli::Args;
+using cli::parse_node;
+using cli::parse_u64;
+using cli::UsageError;
 
 int usage(std::ostream& os) {
   os << "usage:\n"
@@ -123,80 +122,6 @@ int usage(std::ostream& os) {
   return 2;
 }
 
-std::uint64_t parse_u64(const std::string& s, const char* what) {
-  std::uint64_t v = 0;
-  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  RON_CHECK(ec == std::errc() && p == s.data() + s.size(),
-            "bad " << what << ": '" << s << "'");
-  return v;
-}
-
-/// parse_u64 narrowed to a NodeId with an explicit range check — a plain
-/// static_cast would wrap 2^32 to node 0 and sail through the < n checks.
-NodeId parse_node(const std::string& s, const char* what) {
-  const std::uint64_t v = parse_u64(s, what);
-  RON_CHECK(v < kInvalidNode,
-            "bad " << what << ": " << v << " exceeds the node id range");
-  return static_cast<NodeId>(v);
-}
-
-/// "--flag value" option map over argv[first..). Each subcommand declares
-/// its accepted flags and positional arity up front (expect_known /
-/// expect_positionals), so a typo'd flag is a usage error instead of being
-/// silently ignored.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        if (i + 1 >= argc) {
-          throw UsageError("missing value for " + a);
-        }
-        const std::string key = a.substr(2);
-        if (key.empty() || flags_.count(key) > 0) {
-          throw UsageError(key.empty() ? "malformed flag '--'"
-                                       : "duplicate flag --" + key);
-        }
-        flags_[key] = argv[++i];
-      } else {
-        positional_.push_back(std::move(a));
-      }
-    }
-  }
-
-  /// Throws UsageError for any flag outside `known`.
-  void expect_known(std::initializer_list<const char*> known) const {
-    for (const auto& [key, value] : flags_) {
-      bool ok = false;
-      for (const char* k : known) ok = ok || key == k;
-      if (!ok) {
-        throw UsageError("unknown flag --" + key);
-      }
-    }
-  }
-
-  /// Throws UsageError unless exactly `count` positionals were given.
-  void expect_positionals(std::size_t count, const char* what) const {
-    if (positional_.size() != count) {
-      throw UsageError(std::string("expected ") + what + ", got " +
-                       std::to_string(positional_.size()) +
-                       " positional argument(s)");
-    }
-  }
-
-  std::string get(const std::string& key, const std::string& dflt) const {
-    auto it = flags_.find(key);
-    return it == flags_.end() ? dflt : it->second;
-  }
-  bool has(const std::string& key) const { return flags_.count(key) > 0; }
-  const std::vector<std::string>& positional() const { return positional_; }
-
- private:
-  std::unordered_map<std::string, std::string> flags_;
-  std::vector<std::string> positional_;
-};
-
 ScenarioSpec require_scenario(const Args& args, const char* cmd) {
   if (!args.has("scenario")) {
     throw UsageError(std::string(cmd) + ": --scenario SPEC is required");
@@ -226,23 +151,12 @@ std::unique_ptr<TraceSink> make_trace_sink(const Args& args) {
       /*capacity=*/256);
 }
 
-/// The --metrics-out / `stats --format json` envelope:
-///   {"schema":"ron.metrics.v1","metrics":{...},"locate_traces":[...]}
-/// Null registry entries are skipped so call sites can pass optional
-/// sources (mutator, verify engine) unconditionally.
+/// The --metrics-out / `stats --format json` envelope — the shared
+/// ron.metrics.v1 writer (telemetry/trace.h), also used by ron_served.
 void write_metrics_json(std::ostream& os,
                         std::vector<const MetricsRegistry*> registries,
                         const TraceSink* traces) {
-  std::erase(registries, nullptr);
-  os << "{\"schema\":\"ron.metrics.v1\",\"metrics\":";
-  dump_metrics_json(os, registries);
-  os << ",\"locate_traces\":";
-  if (traces != nullptr) {
-    traces->to_json(os);
-  } else {
-    os << "[]";
-  }
-  os << "}\n";
+  write_metrics_envelope(os, std::move(registries), traces);
 }
 
 /// Honors --metrics-out if present: writes the merged telemetry snapshot
@@ -1080,13 +994,7 @@ int run(int argc, char** argv) {
 }  // namespace ron
 
 int main(int argc, char** argv) {
-  try {
-    return ron::run(argc, argv);
-  } catch (const ron::UsageError& e) {
-    std::cerr << "ron_oracle: " << e.what() << "\n";
-    return ron::usage(std::cerr);
-  } catch (const std::exception& e) {
-    std::cerr << "ron_oracle: " << e.what() << "\n";
-    return 1;
-  }
+  return ron::cli::tool_main(
+      "ron_oracle", [&] { return ron::run(argc, argv); },
+      [](std::ostream& os) { ron::usage(os); });
 }

@@ -1,0 +1,62 @@
+# End-to-end serving over the wire: build a directory snapshot, pipe
+# ron_served's port line straight into ron_loadgen, run an open-loop locate
+# load with live churn-admin epoch swaps, shut the daemon down gracefully,
+# and check both the loadgen report (zero errors, every churn op applied)
+# and the daemon's --metrics-out envelope.
+# Invoked by ctest as:
+#   cmake -DORACLE_EXE=<path> -DSERVED_EXE=<path> -DLOADGEN_EXE=<path>
+#         -DWORK_DIR=<dir> -P served_cli_test.cmake
+foreach(var ORACLE_EXE SERVED_EXE LOADGEN_EXE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "served_cli_test.cmake: pass -D${var}")
+  endif()
+endforeach()
+
+set(snapshot "${WORK_DIR}/served_e2e_dir.ron")
+set(metrics "${WORK_DIR}/served_e2e_metrics.json")
+file(REMOVE "${snapshot}" "${metrics}")
+
+execute_process(
+  COMMAND ${ORACLE_EXE} publish
+    --scenario "metric=clustered,n=256,seed=5" --out "${snapshot}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "publish failed (${rc}):\n${err}")
+endif()
+
+# The pipeline under test: ron_served prints its ephemeral port on stdout,
+# ron_loadgen reads it from stdin (--port stdin), drives the load, then
+# sends a shutdown frame so the daemon drains and exits 0. --fail-on-errors
+# makes the loadgen itself the assertion: any error frame, failed walk,
+# hop-bound violation or missing churn op fails the pipeline.
+execute_process(
+  COMMAND ${SERVED_EXE} "${snapshot}" --port 0 --threads 2
+    --metrics-out "${metrics}"
+  COMMAND ${LOADGEN_EXE} --port stdin --workload locate
+    --connections 2 --batch 16 --qps 4000 --duration-ms 1000
+    --churn-ops 60 --churn-chunk 12 --fail-on-errors 1 --shutdown 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE report ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "served/loadgen pipeline failed (${rc}):\n${err}")
+endif()
+
+foreach(want "\"errors\":0" "\"not_found\":0" "\"hop_bound_violations\":0"
+        "\"churn_ops_applied\":60" "\"epoch_swaps\":5")
+  if(NOT report MATCHES "${want}")
+    message(FATAL_ERROR "loadgen report missing ${want}:\n${report}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${metrics}")
+  message(FATAL_ERROR "ron_served exited without writing ${metrics}")
+endif()
+file(READ "${metrics}" metrics_text)
+foreach(want "\"schema\":\"ron.metrics.v1\"" "ron_served_frames_total"
+        "ron_served_epoch_swaps_total" "ron_engine_" "ron_churn_")
+  if(NOT metrics_text MATCHES "${want}")
+    message(FATAL_ERROR
+      "metrics envelope missing ${want}:\n${metrics_text}")
+  endif()
+endforeach()
+
+message(STATUS "served pipeline: clean load under churn, metrics written")
