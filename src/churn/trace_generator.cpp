@@ -1,6 +1,7 @@
 #include "churn/trace_generator.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,21 @@ NodeId pick_inactive(const Mirror& m, Rng& rng) {
 ChurnTrace generate_churn_trace(const OverlayMutator& state,
                                 const ChurnTraceParams& params,
                                 std::uint64_t seed) {
+  std::vector<char> active(state.n());
+  for (NodeId u = 0; u < state.n(); ++u) {
+    active[u] = state.is_active(u) ? 1 : 0;
+  }
+  return generate_churn_trace(state.n(), active, state.directory(), params,
+                              seed);
+}
+
+ChurnTrace generate_churn_trace(std::size_t n, std::span<const char> active,
+                                const ObjectDirectory& dir,
+                                const ChurnTraceParams& params,
+                                std::uint64_t seed) {
+  RON_CHECK(active.size() == n,
+            "churn generator: " << active.size() << " active flags for " << n
+                                << " nodes");
   RON_CHECK(params.ops >= 1, "churn generator: ops must be >= 1");
   RON_CHECK(params.p_join >= 0 && params.p_leave >= 0 &&
                 params.p_publish >= 0 && params.p_unpublish >= 0,
@@ -65,13 +81,11 @@ ChurnTrace generate_churn_trace(const OverlayMutator& state,
             "churn generator: min_active_fraction outside (0, 1]");
 
   Mirror m;
-  m.n = state.n();
-  m.active.resize(m.n);
+  m.n = n;
+  m.active.assign(active.begin(), active.end());
   for (NodeId u = 0; u < m.n; ++u) {
-    m.active[u] = state.is_active(u) ? 1 : 0;
     if (m.active[u]) ++m.active_count;
   }
-  const ObjectDirectory& dir = state.directory();
   for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
     m.names.push_back(dir.name(obj));
     const auto hs = dir.holders(obj);

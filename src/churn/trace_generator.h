@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "churn/churn_trace.h"
 #include "churn/overlay_mutator.h"
+#include "location/object_directory.h"
 
 namespace ron {
 
@@ -36,6 +38,17 @@ struct ChurnTraceParams {
 /// of `state` (apply it to that same state — or to a bit-identical replay —
 /// for the ops to remain valid).
 ChurnTrace generate_churn_trace(const OverlayMutator& state,
+                                const ChurnTraceParams& params,
+                                std::uint64_t seed);
+
+/// Protocol-view variant: the same trace from a plain snapshot of the state
+/// — node count, per-node active flags (1 = active) and the directory —
+/// with no OverlayMutator in sight. The message-passing simulator
+/// (src/sim/) carves per-node local state and has no shared mutator to hand
+/// in. Identical (n, active, dir, params, seed) yield a bit-identical trace
+/// from either overload.
+ChurnTrace generate_churn_trace(std::size_t n, std::span<const char> active,
+                                const ObjectDirectory& dir,
                                 const ChurnTraceParams& params,
                                 std::uint64_t seed);
 

@@ -180,4 +180,14 @@ Ring net_intersection_ring(const ProximityIndex& prox, NodeId u, Dist radius,
   return ring;
 }
 
+int ring_level_of(std::span<const Ring> rings, NodeId v) {
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    const auto& members = rings[r].members;
+    if (std::binary_search(members.begin(), members.end(), v)) {
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
 }  // namespace ron

@@ -121,4 +121,10 @@ Ring sample_measure_ball_ring(const MeasureView& mu, NodeId u, Dist radius,
 Ring net_intersection_ring(const ProximityIndex& prox, NodeId u, Dist radius,
                            std::span<const NodeId> net_members);
 
+/// Ring level of the first ring in `rings` containing v; -1 if v is in no
+/// ring. Takes the ring list itself (not the container + node id) because
+/// the protocol view (src/sim/) asks it of a node's *local* rings copy,
+/// while the traced in-process walks pass RingsOfNeighbors::rings(u).
+int ring_level_of(std::span<const Ring> rings, NodeId v);
+
 }  // namespace ron

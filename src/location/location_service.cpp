@@ -31,21 +31,6 @@ LocationService::LocationService(const ProximityIndex& prox,
                                                << prox.n());
 }
 
-namespace {
-
-/// Ring level of u through which neighbor v is reachable (the first ring
-/// containing v); -1 if v is in no ring of u. Only the traced (sampled)
-/// walks pay this scan.
-int ring_level_of(const RingsOfNeighbors& rings, NodeId u, NodeId v) {
-  const std::size_t num_rings = rings.rings(u).size();
-  for (std::size_t r = 0; r < num_rings; ++r) {
-    if (rings.ring_contains(u, r, v)) return static_cast<int>(r);
-  }
-  return -1;
-}
-
-}  // namespace
-
 LocateResult LocationService::locate(NodeId querier, ObjectId obj,
                                      const LocateOptions& opts,
                                      LocateTrace* trace) const {
@@ -81,7 +66,8 @@ LocateResult LocationService::locate(NodeId querier, ObjectId obj,
                         target);
     if (next == kInvalidNode || next == cur) return r;  // stuck
     if (trace != nullptr) {
-      trace->hops.push_back(TraceHop{next, ring_level_of(rings_, cur, next),
+      // Only the traced (sampled) walks pay the ring-level scan.
+      trace->hops.push_back(TraceHop{next, ring_level_of(rings_.rings(cur), next),
                                      prox_.dist(next, target)});
     }
     r.path_length += prox_.dist(cur, next);

@@ -1,0 +1,57 @@
+// Carving a shared overlay into per-node local state.
+//
+// ScenarioBuilder materializes the usual god's-eye structures (metric rows,
+// rings container, directory). The partitioner slices them into SimNodes:
+// node u receives copies of exactly its own rings, its neighbor union, its
+// label, the ids of the copies it holds — and the directory entries whose
+// home u is. Homes come from a deterministic hash sequence over the object
+// NAME (reusing wire.h's FNV-1a), so any node can compute where an entry
+// should live without global state: candidate i is
+//     home_of(name, i) = (fnv1a64(name) + i * golden) mod n
+// and the entry lives at the first alive candidate, found by probing. At
+// partition time every node is alive, so each entry starts at candidate 0.
+//
+// The metric itself stays shared (read-only) as the transport's geography:
+// link latencies and the "measure distance to a neighbor" primitive are
+// treated as ping infrastructure every real deployment has, not as protocol
+// state — messages and per-node bytes are accounted, metric lookups are not.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/rings.h"
+#include "labeling/distance_labels.h"
+#include "location/object_directory.h"
+#include "metric/proximity.h"
+#include "sim/sim_node.h"
+
+namespace ron::sim {
+
+/// The carved network the Simulator runs: per-node local state plus the
+/// shared read-only geography.
+struct SimNetwork {
+  const ProximityIndex* prox = nullptr;
+  std::vector<SimNode> nodes;
+  /// Sim-global object name table (ObjectId -> name). Ids are carved from
+  /// the initial directory; churn-created names are appended by
+  /// Simulator::register_object.
+  std::vector<std::string> object_names;
+  /// location_hop_bound(n), cached for accounting.
+  std::size_t hop_bound = 0;
+};
+
+/// Candidate `rank` of `name`'s directory home sequence over n nodes.
+NodeId home_of(const std::string& name, std::uint32_t rank, std::size_t n);
+
+/// Slices (prox, rings, directory[, labels]) into a SimNetwork. `prox` and
+/// `labels` must outlive the returned network (rings and directory are
+/// copied; the metric and labels are borrowed read-only).
+SimNetwork partition_overlay(const ProximityIndex& prox,
+                             const RingsOfNeighbors& rings,
+                             const ObjectDirectory& dir,
+                             const DistanceLabeling* labels = nullptr);
+
+}  // namespace ron::sim

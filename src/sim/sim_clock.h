@@ -1,0 +1,51 @@
+// Virtual time for the protocol-view simulator.
+//
+// The simulator never consults a real clock (tools/ron_lint.py enforces it:
+// src/sim/ is banned from <chrono>, telemetry/clock.h and wall-clock calls).
+// SimClock is the one timing source: a monotone nanosecond counter advanced
+// by the event loop to each event's timestamp. Everything downstream —
+// latency histograms, completion times, the event log — is therefore a pure
+// function of (scenario, seed), which is what makes two runs bit-identical.
+//
+// LatencyParams maps metric distance to link latency: a fixed per-message
+// base, a propagation term proportional to d(u,v)/dmax (the scenario metric
+// is the geography), and a seeded jitter term so message orderings are
+// adversarial-ish rather than synchronized, yet reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ron::sim {
+
+class SimClock {
+ public:
+  std::uint64_t now_ns() const { return now_ns_; }
+
+  /// Advances to an event's timestamp. Virtual time never flows backwards:
+  /// the event queue pops in (at_ns, seq) order and every message is posted
+  /// with a non-negative latency.
+  void advance_to(std::uint64_t at_ns) {
+    RON_CHECK(at_ns >= now_ns_, "SimClock: event at " << at_ns
+                                    << "ns behind virtual now " << now_ns_
+                                    << "ns");
+    now_ns_ = at_ns;
+  }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+struct LatencyParams {
+  /// Fixed per-message cost (serialization, handoff to the wire).
+  std::uint64_t base_ns = 1000;
+  /// Propagation cost at the metric's diameter; a link of distance d costs
+  /// span_ns * d / dmax of this.
+  std::uint64_t span_ns = 4000;
+  /// Uniform seeded jitter in [0, jitter_ns], drawn per message at post
+  /// time from the simulator's forked Rng.
+  std::uint64_t jitter_ns = 1000;
+};
+
+}  // namespace ron::sim

@@ -1,0 +1,82 @@
+// A simulated node: strictly local state, as the paper's model demands.
+//
+// Everything a SimNode knows was either carved out of the shared overlay by
+// the partitioner (its own X/Y rings, its label, the directory entries whose
+// home it is, the copies it holds) or learned from received messages (the
+// tombstones — neighbors it believes dead). Nothing here references the
+// god's-eye structures the in-process LocationService walks; the simulator
+// event loop is the only router between nodes.
+//
+// state_bytes() prices the whole local state in the wire.h encoding, so the
+// "per-node state" the theorems bound is measured in real serialized bytes,
+// consistent with the message accounting in messages.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/rings.h"
+#include "labeling/distance_labels.h"
+
+namespace ron::sim {
+
+class SimNode {
+ public:
+  /// One directory entry this node is the current home of.
+  struct HostedEntry {
+    std::string name;
+    std::vector<NodeId> holders;  // sorted unique
+    /// Index in the object's home sequence at which this node adopted the
+    /// entry; a graceful leave hands the entry to the next index.
+    std::uint32_t home_rank = 0;
+  };
+
+  NodeId id = kInvalidNode;
+  bool active = true;
+  /// This node's rings, copied out of the shared overlay at partition time.
+  /// Ring membership is static for a run; liveness belief lives in
+  /// `tombstones` instead, so a rejoining neighbor is un-tombstoned without
+  /// resampling any ring.
+  std::vector<Ring> rings;
+  /// Sorted-unique union of all ring members (the node's contact list
+  /// before liveness filtering).
+  std::vector<NodeId> neighbors;
+  /// Neighbors this node believes dead (sorted unique); learned from
+  /// LEAVE_ANNOUNCE and transport bounces, reverted by JOIN traffic.
+  std::vector<NodeId> tombstones;
+  /// Object copies held here (sorted unique object ids).
+  std::vector<ObjectId> held;
+  /// Directory entries hosted here (std::map: deterministic iteration
+  /// order, e.g. for a leaver's handoff sequence).
+  std::map<ObjectId, HostedEntry> hosted;
+  /// Borrowed distance label (immutable for a run); null when the scenario
+  /// carves no labeling.
+  const DlsLabel* label = nullptr;
+
+  bool believes_dead(NodeId w) const;
+  void tombstone(NodeId w);
+  void revive(NodeId w);
+
+  /// The live contact list greedy routing sees: `neighbors` minus
+  /// `tombstones`. With no tombstones this is the neighbor union itself
+  /// (no copy — and bit-identical to RingsOfNeighbors::all_neighbors, which
+  /// the zero-churn differential tests rely on); otherwise the filtered
+  /// list is built into `scratch`.
+  std::span<const NodeId> contacts(std::vector<NodeId>& scratch) const;
+
+  bool holds(ObjectId obj) const;
+  void add_copy(ObjectId obj);
+  void drop_copy(ObjectId obj);
+
+  HostedEntry* hosted_find(ObjectId obj);
+
+  /// Serialized size of the node's local state (rings, tombstones, held
+  /// copies, hosted entries, label) in the wire.h encoding.
+  std::uint64_t state_bytes() const;
+};
+
+}  // namespace ron::sim

@@ -1,0 +1,974 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+#include "location/location_service.h"
+#include "smallworld/model.h"
+
+namespace ron::sim {
+
+const char* to_string(SimLocateOutcome o) {
+  switch (o) {
+    case SimLocateOutcome::kFound: return "FOUND";
+    case SimLocateOutcome::kNoHolders: return "NO_HOLDERS";
+    case SimLocateOutcome::kStuck: return "STUCK";
+    case SimLocateOutcome::kStaleHolder: return "STALE_HOLDER";
+    case SimLocateOutcome::kHopBudget: return "HOP_BUDGET";
+    case SimLocateOutcome::kDirExhausted: return "DIR_EXHAUSTED";
+    case SimLocateOutcome::kAbandoned: return "ABANDONED";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+void sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  const auto pos = std::lower_bound(v.begin(), v.end(), x);
+  if (pos == v.end() || *pos != x) v.insert(pos, x);
+}
+
+void sorted_erase(std::vector<NodeId>& v, NodeId x) {
+  const auto pos = std::lower_bound(v.begin(), v.end(), x);
+  if (pos != v.end() && *pos == x) v.erase(pos);
+}
+
+}  // namespace
+
+Simulator::Simulator(SimNetwork net, const SimOptions& opts)
+    : net_(std::move(net)), opts_(opts), rng_(opts.seed) {
+  RON_CHECK(net_.prox != nullptr, "Simulator: network has no metric");
+  RON_CHECK(!net_.nodes.empty(), "Simulator: empty network");
+  RON_CHECK(opts_.max_dir_probes >= 1,
+            "Simulator: max_dir_probes=" << opts_.max_dir_probes);
+  RON_CHECK(opts_.max_attempts >= 1,
+            "Simulator: max_attempts=" << opts_.max_attempts);
+}
+
+ObjectId Simulator::register_object(const std::string& name) {
+  RON_CHECK(!name.empty(), "sim register_object: empty object name");
+  for (ObjectId i = 0; i < net_.object_names.size(); ++i) {
+    if (net_.object_names[i] == name) return i;
+  }
+  net_.object_names.push_back(name);
+  return static_cast<ObjectId>(net_.object_names.size() - 1);
+}
+
+void Simulator::schedule_locate(std::uint64_t at_ns, NodeId origin,
+                                ObjectId obj) {
+  RON_CHECK(origin < n(), "schedule_locate: origin " << origin
+                              << " out of range (n=" << n() << ")");
+  RON_CHECK(obj < net_.object_names.size(),
+            "schedule_locate: unknown object id " << obj);
+  SimEvent ev;
+  ev.at_ns = at_ns;
+  ev.kind = SimEvent::Kind::kLocateIssue;
+  ev.a = origin;
+  ev.obj = obj;
+  push_event(std::move(ev));
+}
+
+void Simulator::schedule_churn(std::uint64_t at_ns, const ChurnOp& op) {
+  RON_CHECK(op.node < n(), "schedule_churn: node " << op.node
+                               << " out of range (n=" << n() << ")");
+  if (op.kind == ChurnOpKind::kPublish || op.kind == ChurnOpKind::kUnpublish) {
+    RON_CHECK(op.object < net_.object_names.size(),
+              "schedule_churn: unknown object id "
+                  << op.object << " (register_object the trace names first)");
+  }
+  SimEvent ev;
+  ev.at_ns = at_ns;
+  ev.kind = SimEvent::Kind::kChurn;
+  ev.op = op;
+  push_event(std::move(ev));
+}
+
+void Simulator::schedule_estimate(std::uint64_t at_ns, NodeId a, NodeId b) {
+  RON_CHECK(a < n() && b < n(),
+            "schedule_estimate: endpoints " << a << "," << b
+                                            << " out of range (n=" << n()
+                                            << ")");
+  RON_CHECK(net_.nodes[a].label != nullptr && net_.nodes[b].label != nullptr,
+            "schedule_estimate: the scenario carved no distance labels");
+  SimEvent ev;
+  ev.at_ns = at_ns;
+  ev.kind = SimEvent::Kind::kEstimateIssue;
+  ev.a = a;
+  ev.b = b;
+  push_event(std::move(ev));
+}
+
+void Simulator::push_event(SimEvent ev) {
+  RON_CHECK(ev.at_ns >= clock_.now_ns(),
+            "sim event scheduled at " << ev.at_ns << "ns, virtual now is "
+                                      << clock_.now_ns() << "ns");
+  ev.seq = next_seq_++;
+  queue_.push(std::move(ev));
+}
+
+std::uint64_t Simulator::link_latency_ns(NodeId u, NodeId v) {
+  const LatencyParams& lp = opts_.latency;
+  double frac = 0.0;
+  const Dist dmax = net_.prox->dmax();
+  if (u != v && dmax > 0.0) frac = net_.prox->dist(u, v) / dmax;
+  std::uint64_t lat =
+      lp.base_ns +
+      static_cast<std::uint64_t>(static_cast<double>(lp.span_ns) * frac);
+  if (lp.jitter_ns > 0) lat += rng_.uniform_u64(0, lp.jitter_ns);
+  return lat;
+}
+
+void Simulator::post(SimMessage msg) {
+  RON_CHECK(msg.from < n() && msg.to < n(),
+            "sim post: endpoints " << msg.from << "->" << msg.to
+                                   << " out of range (n=" << n() << ")");
+  const std::uint64_t bytes = wire_bytes(msg);
+  ++totals_.sent;
+  totals_.bytes += bytes;
+  registry_.counter("ron_sim_messages_total").add(0);
+  registry_.counter("ron_sim_bytes_total").add(0, bytes);
+  if (msg.locate_id != 0) {
+    const auto it = pending_.find(msg.locate_id);
+    if (it != pending_.end()) {
+      ++it->second.messages;
+      it->second.bytes += bytes;
+    }
+  }
+  SimEvent ev;
+  ev.at_ns = clock_.now_ns() + link_latency_ns(msg.from, msg.to);
+  ev.kind = SimEvent::Kind::kDeliver;
+  ev.msg = std::move(msg);
+  push_event(std::move(ev));
+}
+
+NodeId Simulator::greedy_from(const SimNode& at, NodeId target) {
+  const std::span<const NodeId> cs = at.contacts(scratch_);
+  const NodeId next = greedy_next_hop(net_.prox->metric(), cs, at.id, target);
+  return next == at.id ? kInvalidNode : next;
+}
+
+void Simulator::log_line(const char* verb, const SimMessage& m) {
+  if (log_ == nullptr) return;
+  *log_ << "t=" << clock_.now_ns() << ' ' << verb << ' '
+        << to_string(m.type == SimMsgType::kBounce ? m.failed_type : m.type)
+        << (m.type == SimMsgType::kBounce ? "!" : "") << ' ' << m.from << "->"
+        << m.to << " loc=" << m.locate_id << " obj=" << m.obj
+        << " hops=" << m.hops << '\n';
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    SimEvent ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.at_ns);
+    switch (ev.kind) {
+      case SimEvent::Kind::kDeliver:
+        handle_deliver(ev.msg);
+        break;
+      case SimEvent::Kind::kChurn:
+        switch (ev.op.kind) {
+          case ChurnOpKind::kJoin: do_join(ev.op.node); break;
+          case ChurnOpKind::kLeave: do_leave(ev.op.node); break;
+          case ChurnOpKind::kPublish: do_publish(ev.op.node, ev.op.object); break;
+          case ChurnOpKind::kUnpublish:
+            do_unpublish(ev.op.node, ev.op.object);
+            break;
+        }
+        break;
+      case SimEvent::Kind::kLocateIssue:
+        issue_locate(ev.a, ev.obj);
+        break;
+      case SimEvent::Kind::kLocateRetry: {
+        const auto it = pending_.find(ev.locate_id);
+        if (it == pending_.end()) break;
+        if (!net_.nodes[it->second.origin].active) {
+          abandon_locate(ev.locate_id);
+          break;
+        }
+        start_attempt(ev.locate_id);
+        break;
+      }
+      case SimEvent::Kind::kEstimateIssue: {
+        if (!net_.nodes[ev.a].active || !net_.nodes[ev.b].active) {
+          ++totals_.estimates_failed;
+          registry_.counter("ron_sim_estimates_failed_total").add(0);
+          break;
+        }
+        SimMessage m;
+        m.type = SimMsgType::kEstimateReq;
+        m.from = ev.a;
+        m.to = ev.b;
+        post(std::move(m));
+        break;
+      }
+    }
+  }
+  RON_CHECK(pending_.empty(),
+            "sim run: queue drained with " << pending_.size()
+                                           << " locates still pending");
+
+  // End-state accounting: liveness gauges and the per-node state-bytes
+  // distribution over the nodes still in the overlay.
+  std::size_t active = 0;
+  std::uint64_t max_state = 0;
+  Histogram& state_hist = registry_.histogram("ron_sim_node_state_bytes");
+  for (const SimNode& node : net_.nodes) {
+    if (!node.active) continue;
+    ++active;
+    const std::uint64_t b = node.state_bytes();
+    state_hist.record(0, static_cast<double>(b));
+    max_state = std::max(max_state, b);
+  }
+  registry_.gauge("ron_sim_nodes").set(static_cast<double>(n()));
+  registry_.gauge("ron_sim_active_nodes").set(static_cast<double>(active));
+  registry_.gauge("ron_sim_hop_bound")
+      .set(static_cast<double>(net_.hop_bound));
+  registry_.gauge("ron_sim_state_bytes_max")
+      .set(static_cast<double>(max_state));
+  registry_.gauge("ron_sim_virtual_seconds")
+      .set(static_cast<double>(clock_.now_ns()) / 1e9);
+  registry_.gauge("ron_sim_messages_lost")
+      .set(static_cast<double>(totals_.sent - totals_.delivered -
+                               totals_.bounced));
+}
+
+void Simulator::handle_deliver(const SimMessage& m) {
+  SimNode& dst = net_.nodes[m.to];
+  // Graceful-leave linger: a node that left keeps consuming the replies of
+  // maintenance chains it originated (handoff/unpublish probing), and
+  // bounce notifications always reach their sender. Everything else
+  // addressed to an inactive node bounces.
+  const bool linger =
+      m.type == SimMsgType::kBounce ||
+      (m.locate_id == 0 && (m.type == SimMsgType::kDirMiss ||
+                            m.type == SimMsgType::kDirAck));
+  if (!dst.active && !linger) {
+    ++totals_.bounced;
+    registry_.counter("ron_sim_messages_bounced_total").add(0);
+    log_line("bounce", m);
+    SimMessage b = m;  // echo every payload field back to the sender
+    b.type = SimMsgType::kBounce;
+    b.failed_type = m.type;
+    b.from = m.to;
+    b.to = m.from;
+    post(std::move(b));
+    return;
+  }
+  ++totals_.delivered;
+  registry_.counter("ron_sim_messages_delivered_total").add(0);
+  log_line("deliver", m);
+  switch (m.type) {
+    case SimMsgType::kDirLookup: handle_dir_lookup(m); break;
+    case SimMsgType::kDirReply: handle_dir_reply(m); break;
+    case SimMsgType::kDirMiss: handle_dir_miss(m); break;
+    case SimMsgType::kDirPublish: handle_dir_publish(m); break;
+    case SimMsgType::kDirUnpublish: handle_dir_unpublish(m); break;
+    case SimMsgType::kDirAck: break;  // chain closed; nothing to resume
+    case SimMsgType::kDirHandoff: handle_dir_handoff(m); break;
+    case SimMsgType::kLocateStep: handle_locate_step(m); break;
+    case SimMsgType::kLocateFound: handle_locate_found(m); break;
+    case SimMsgType::kLocateNack: handle_locate_nack(m); break;
+    case SimMsgType::kJoinAnnounce: {
+      net_.nodes[m.to].revive(m.from);
+      SimMessage r;
+      r.type = SimMsgType::kJoinAck;
+      r.from = m.to;
+      r.to = m.from;
+      post(std::move(r));
+      break;
+    }
+    case SimMsgType::kJoinAck:
+      net_.nodes[m.to].revive(m.from);
+      break;
+    case SimMsgType::kLeaveAnnounce:
+      net_.nodes[m.to].tombstone(m.from);
+      break;
+    case SimMsgType::kEstimateReq: handle_estimate_req(m); break;
+    case SimMsgType::kEstimateReply: handle_estimate_reply(m); break;
+    case SimMsgType::kBounce: handle_bounce_notice(m); break;
+  }
+}
+
+void Simulator::handle_dir_lookup(const SimMessage& m) {
+  SimNode& h = net_.nodes[m.to];
+  if (SimNode::HostedEntry* e = h.hosted_find(m.obj)) {
+    SimMessage r;
+    r.type = SimMsgType::kDirReply;
+    r.from = m.to;
+    r.to = m.from;
+    r.locate_id = m.locate_id;
+    r.obj = m.obj;
+    r.holders = e->holders;
+    post(std::move(r));
+    return;
+  }
+  SimMessage r;
+  r.type = SimMsgType::kDirMiss;
+  r.failed_type = SimMsgType::kDirLookup;
+  r.from = m.to;
+  r.to = m.from;
+  r.locate_id = m.locate_id;
+  r.name = m.name;
+  r.obj = m.obj;
+  r.subject = m.subject;
+  r.probe = m.probe;
+  r.first_alive = m.first_alive;
+  post(std::move(r));
+}
+
+void Simulator::handle_dir_reply(const SimMessage& m) {
+  const auto it = pending_.find(m.locate_id);
+  if (it == pending_.end()) return;  // stale reply of an abandoned locate
+  PendingLocate& p = it->second;
+  registry_.histogram("ron_sim_dir_probe_depth")
+      .record(0, static_cast<double>(p.probe));
+  if (m.holders.empty()) {
+    finish_failed(m.locate_id, SimLocateOutcome::kNoHolders, 0);
+    return;
+  }
+  p.target = net_.prox->nearest_in(p.origin, m.holders);
+  p.nearest_dist = net_.prox->dist(p.origin, p.target);
+  p.trace = LocateTrace{};
+  p.trace.querier = p.origin;
+  p.trace.object = p.obj;
+  p.trace.target = p.target;
+  p.trace.nearest_dist = p.nearest_dist;
+  walk_or_finish(m.locate_id, p);
+}
+
+void Simulator::walk_or_finish(std::uint64_t locate_id, PendingLocate& p) {
+  if (p.target == p.origin) {
+    // The querier is itself in the directory's holder set: a zero-hop hit,
+    // exactly like the in-process walk's target == querier case.
+    complete_found(locate_id, p.origin, 0, 0.0);
+    return;
+  }
+  const NodeId next = greedy_from(net_.nodes[p.origin], p.target);
+  if (next == kInvalidNode) {
+    maybe_retry(locate_id, SimLocateOutcome::kStuck, 0);
+    return;
+  }
+  SimMessage s;
+  s.type = SimMsgType::kLocateStep;
+  s.from = p.origin;
+  s.to = next;
+  s.locate_id = locate_id;
+  s.obj = p.obj;
+  s.origin = p.origin;
+  s.subject = p.target;
+  s.hops = 1;
+  s.path_length = net_.prox->dist(p.origin, next);
+  post(std::move(s));
+}
+
+void Simulator::send_nack(NodeId from, const SimMessage& m,
+                          SimNackReason why) {
+  SimMessage r;
+  r.type = SimMsgType::kLocateNack;
+  r.from = from;
+  r.to = m.origin;
+  r.locate_id = m.locate_id;
+  r.obj = m.obj;
+  r.reason = static_cast<std::uint8_t>(why);
+  r.hops = m.hops;
+  post(std::move(r));
+}
+
+void Simulator::handle_locate_step(const SimMessage& m) {
+  SimNode& v = net_.nodes[m.to];
+  const auto it = pending_.find(m.locate_id);
+  if (it != pending_.end()) {
+    // Observer-side trace: the simulator (not the protocol) records the
+    // hop, priced at zero bytes — it is instrumentation, not payload.
+    it->second.trace.hops.push_back(
+        TraceHop{v.id, ring_level_of(net_.nodes[m.from].rings, v.id),
+                 net_.prox->dist(v.id, m.subject)});
+  }
+  if (v.id == m.subject) {
+    if (v.holds(m.obj)) {
+      SimMessage f;
+      f.type = SimMsgType::kLocateFound;
+      f.from = v.id;
+      f.to = m.origin;
+      f.locate_id = m.locate_id;
+      f.obj = m.obj;
+      f.subject = v.id;
+      f.hops = m.hops;
+      f.path_length = m.path_length;
+      post(std::move(f));
+    } else {
+      // Bounded staleness: the directory steered us to a holder whose copy
+      // is already gone (its unpublish chain is still in flight).
+      registry_.counter("ron_sim_stale_holder_nacks_total").add(0);
+      send_nack(v.id, m, SimNackReason::kStaleHolder);
+    }
+    return;
+  }
+  if (m.hops >= opts_.max_hops) {
+    send_nack(v.id, m, SimNackReason::kHopBudget);
+    return;
+  }
+  const NodeId next = greedy_from(v, m.subject);
+  if (next == kInvalidNode) {
+    send_nack(v.id, m, SimNackReason::kStuck);
+    return;
+  }
+  SimMessage s = m;
+  s.from = v.id;
+  s.to = next;
+  s.hops = m.hops + 1;
+  s.path_length = m.path_length + net_.prox->dist(v.id, next);
+  post(std::move(s));
+}
+
+void Simulator::handle_locate_found(const SimMessage& m) {
+  complete_found(m.locate_id, m.subject, m.hops, m.path_length);
+}
+
+void Simulator::handle_locate_nack(const SimMessage& m) {
+  SimLocateOutcome would_be = SimLocateOutcome::kStuck;
+  switch (static_cast<SimNackReason>(m.reason)) {
+    case SimNackReason::kStuck: would_be = SimLocateOutcome::kStuck; break;
+    case SimNackReason::kStaleHolder:
+      would_be = SimLocateOutcome::kStaleHolder;
+      break;
+    case SimNackReason::kHopBudget:
+      would_be = SimLocateOutcome::kHopBudget;
+      break;
+  }
+  maybe_retry(m.locate_id, would_be, m.hops);
+}
+
+void Simulator::handle_dir_miss(const SimMessage& m) {
+  if (m.locate_id != 0) {
+    const auto it = pending_.find(m.locate_id);
+    if (it == pending_.end()) return;
+    PendingLocate& p = it->second;
+    ++p.probe;
+    if (p.probe >= opts_.max_dir_probes) {
+      finish_failed(m.locate_id, SimLocateOutcome::kDirExhausted, 0);
+      return;
+    }
+    SimMessage l;
+    l.type = SimMsgType::kDirLookup;
+    l.from = p.origin;
+    l.to = home_of(m.name, p.probe, n());
+    l.locate_id = m.locate_id;
+    l.name = m.name;
+    l.obj = m.obj;
+    l.probe = p.probe;
+    post(std::move(l));
+    return;
+  }
+  continue_dir_chain(m, /*alive_miss=*/true);
+}
+
+void Simulator::continue_dir_chain(const SimMessage& echo, bool alive_miss) {
+  const SimMsgType kind = echo.failed_type;
+  std::uint32_t fa = echo.first_alive;
+  if (alive_miss && kind == SimMsgType::kDirPublish) {
+    fa = std::min(fa, echo.probe);
+  }
+  if (echo.create) {
+    // The create-phase candidate died between its miss and the create —
+    // give up on this chain; the copy stays unregistered (counted).
+    ++totals_.chain_drops;
+    registry_.counter("ron_sim_dir_chain_drops_total").add(0);
+    return;
+  }
+  std::uint32_t next_probe = echo.probe + 1;
+  // A leaver handing off an entry must skip its own slot in the sequence.
+  if (kind == SimMsgType::kDirHandoff) {
+    while (next_probe < opts_.max_dir_probes &&
+           home_of(echo.name, next_probe, n()) == echo.to) {
+      ++next_probe;
+    }
+  }
+  if (next_probe >= opts_.max_dir_probes) {
+    if (kind == SimMsgType::kDirPublish && fa != kNoAliveCandidate) {
+      // Every candidate missed or bounced; the entry exists nowhere.
+      // Create it at the first candidate that answered alive.
+      SimMessage c;
+      c.type = SimMsgType::kDirPublish;
+      c.from = echo.to;
+      c.to = home_of(echo.name, fa, n());
+      c.name = echo.name;
+      c.obj = echo.obj;
+      c.subject = echo.subject;
+      c.probe = fa;
+      c.first_alive = fa;
+      c.create = true;
+      post(std::move(c));
+      return;
+    }
+    ++totals_.chain_drops;
+    registry_.counter("ron_sim_dir_chain_drops_total").add(0);
+    return;
+  }
+  SimMessage m;
+  m.type = kind;
+  m.from = echo.to;
+  m.to = home_of(echo.name, next_probe, n());
+  m.name = echo.name;
+  m.obj = echo.obj;
+  m.subject = echo.subject;
+  m.probe = next_probe;
+  m.first_alive = fa;
+  m.holders = echo.holders;  // handoff payload rides along
+  post(std::move(m));
+}
+
+void Simulator::handle_dir_publish(const SimMessage& m) {
+  SimNode& c = net_.nodes[m.to];
+  if (SimNode::HostedEntry* e = c.hosted_find(m.obj)) {
+    sorted_insert(e->holders, m.subject);
+  } else if (m.create) {
+    c.hosted[m.obj] = SimNode::HostedEntry{m.name, {m.subject}, m.probe};
+  } else {
+    SimMessage r;
+    r.type = SimMsgType::kDirMiss;
+    r.failed_type = SimMsgType::kDirPublish;
+    r.from = m.to;
+    r.to = m.from;
+    r.name = m.name;
+    r.obj = m.obj;
+    r.subject = m.subject;
+    r.probe = m.probe;
+    r.first_alive = m.first_alive;
+    post(std::move(r));
+    return;
+  }
+  SimMessage a;
+  a.type = SimMsgType::kDirAck;
+  a.from = m.to;
+  a.to = m.from;
+  a.obj = m.obj;
+  post(std::move(a));
+}
+
+void Simulator::handle_dir_unpublish(const SimMessage& m) {
+  SimNode& c = net_.nodes[m.to];
+  if (SimNode::HostedEntry* e = c.hosted_find(m.obj)) {
+    sorted_erase(e->holders, m.subject);
+    SimMessage a;
+    a.type = SimMsgType::kDirAck;
+    a.from = m.to;
+    a.to = m.from;
+    a.obj = m.obj;
+    post(std::move(a));
+    return;
+  }
+  SimMessage r;
+  r.type = SimMsgType::kDirMiss;
+  r.failed_type = SimMsgType::kDirUnpublish;
+  r.from = m.to;
+  r.to = m.from;
+  r.name = m.name;
+  r.obj = m.obj;
+  r.subject = m.subject;
+  r.probe = m.probe;
+  r.first_alive = m.first_alive;
+  post(std::move(r));
+}
+
+void Simulator::handle_dir_handoff(const SimMessage& m) {
+  SimNode& c = net_.nodes[m.to];
+  if (SimNode::HostedEntry* e = c.hosted_find(m.obj)) {
+    // Duplicate home (e.g. a create raced the handoff): merge holder sets.
+    for (const NodeId h : m.holders) sorted_insert(e->holders, h);
+  } else {
+    c.hosted[m.obj] = SimNode::HostedEntry{m.name, m.holders, m.probe};
+  }
+  SimMessage a;
+  a.type = SimMsgType::kDirAck;
+  a.from = m.to;
+  a.to = m.from;
+  a.obj = m.obj;
+  post(std::move(a));
+}
+
+void Simulator::handle_estimate_req(const SimMessage& m) {
+  SimNode& v = net_.nodes[m.to];
+  RON_CHECK(v.label != nullptr,
+            "sim estimate: node " << v.id << " has no label");
+  SimMessage r;
+  r.type = SimMsgType::kEstimateReply;
+  r.from = m.to;
+  r.to = m.from;
+  r.label = v.label;
+  post(std::move(r));
+}
+
+void Simulator::handle_estimate_reply(const SimMessage& m) {
+  SimNode& u = net_.nodes[m.to];
+  RON_CHECK(u.label != nullptr && m.label != nullptr,
+            "sim estimate reply without labels at node " << u.id);
+  const DlsEstimate est = DistanceLabeling::estimate(*u.label, *m.label);
+  const Dist d = net_.prox->dist(u.id, m.from);
+  const double ratio = d > 0.0 ? est.upper / d : 1.0;
+  registry_.histogram("ron_sim_estimate_stretch").record(0, ratio);
+  ++totals_.estimates_done;
+  registry_.counter("ron_sim_estimates_total").add(0);
+}
+
+void Simulator::handle_bounce_notice(const SimMessage& m) {
+  switch (m.failed_type) {
+    case SimMsgType::kLocateStep: {
+      // The forwarder learns its contact is gone: tombstone it and reroute
+      // from the same walk position (undoing the failed hop's accounting).
+      SimNode& s = net_.nodes[m.to];
+      s.tombstone(m.from);
+      ++totals_.reroutes;
+      registry_.counter("ron_sim_locate_reroutes_total").add(0);
+      const double prev_path =
+          m.path_length - net_.prox->dist(m.to, m.from);
+      const std::uint32_t prev_hops = m.hops - 1;
+      const NodeId next = greedy_from(s, m.subject);
+      if (next == kInvalidNode) {
+        if (m.to == m.origin) {
+          maybe_retry(m.locate_id, SimLocateOutcome::kStuck, prev_hops);
+        } else {
+          SimMessage r;
+          r.type = SimMsgType::kLocateNack;
+          r.from = m.to;
+          r.to = m.origin;
+          r.locate_id = m.locate_id;
+          r.obj = m.obj;
+          r.reason = static_cast<std::uint8_t>(SimNackReason::kStuck);
+          r.hops = prev_hops;
+          post(std::move(r));
+        }
+        return;
+      }
+      SimMessage s2;
+      s2.type = SimMsgType::kLocateStep;
+      s2.from = m.to;
+      s2.to = next;
+      s2.locate_id = m.locate_id;
+      s2.obj = m.obj;
+      s2.origin = m.origin;
+      s2.subject = m.subject;
+      s2.hops = prev_hops + 1;
+      s2.path_length = prev_path + net_.prox->dist(m.to, next);
+      post(std::move(s2));
+      return;
+    }
+    case SimMsgType::kDirLookup: {
+      if (m.locate_id == 0) return;
+      const auto it = pending_.find(m.locate_id);
+      if (it == pending_.end()) return;
+      PendingLocate& p = it->second;
+      ++p.probe;
+      if (p.probe >= opts_.max_dir_probes) {
+        finish_failed(m.locate_id, SimLocateOutcome::kDirExhausted, 0);
+        return;
+      }
+      SimMessage l;
+      l.type = SimMsgType::kDirLookup;
+      l.from = p.origin;
+      l.to = home_of(m.name, p.probe, n());
+      l.locate_id = m.locate_id;
+      l.name = m.name;
+      l.obj = m.obj;
+      l.probe = p.probe;
+      post(std::move(l));
+      return;
+    }
+    case SimMsgType::kDirPublish:
+    case SimMsgType::kDirUnpublish:
+    case SimMsgType::kDirHandoff:
+      continue_dir_chain(m, /*alive_miss=*/false);
+      return;
+    case SimMsgType::kDirReply:
+    case SimMsgType::kDirMiss:
+    case SimMsgType::kLocateFound:
+    case SimMsgType::kLocateNack:
+      // A reply could not reach the querier: it left mid-locate.
+      if (m.locate_id != 0) abandon_locate(m.locate_id);
+      return;
+    case SimMsgType::kJoinAnnounce:
+    case SimMsgType::kLeaveAnnounce:
+      // The probed/announced-to neighbor is itself gone.
+      net_.nodes[m.to].tombstone(m.from);
+      return;
+    case SimMsgType::kEstimateReq:
+      ++totals_.estimates_failed;
+      registry_.counter("ron_sim_estimates_failed_total").add(0);
+      return;
+    case SimMsgType::kJoinAck:
+    case SimMsgType::kDirAck:
+    case SimMsgType::kEstimateReply:
+    case SimMsgType::kBounce:
+      return;  // nothing to resume
+  }
+}
+
+void Simulator::do_join(NodeId u) {
+  SimNode& node = net_.nodes[u];
+  RON_CHECK(!node.active, "sim join: node " << u << " is already active");
+  node.active = true;
+  ++totals_.joins;
+  registry_.counter("ron_sim_joins_total").add(0);
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " churn join node=" << u << '\n';
+  }
+  // Rejoin with the cached rings; re-probe every remembered neighbor. Alive
+  // ones ack (and un-tombstone us), dead ones bounce into fresh tombstones.
+  for (const NodeId w : node.neighbors) {
+    if (w == u) continue;
+    SimMessage m;
+    m.type = SimMsgType::kJoinAnnounce;
+    m.from = u;
+    m.to = w;
+    post(std::move(m));
+  }
+}
+
+void Simulator::do_leave(NodeId u) {
+  SimNode& node = net_.nodes[u];
+  RON_CHECK(node.active, "sim leave: node " << u << " is already inactive");
+  ++totals_.leaves;
+  registry_.counter("ron_sim_leaves_total").add(0);
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " churn leave node=" << u << '\n';
+  }
+  for (const NodeId w : node.neighbors) {
+    if (w == u || node.believes_dead(w)) continue;
+    SimMessage m;
+    m.type = SimMsgType::kLeaveAnnounce;
+    m.from = u;
+    m.to = w;
+    post(std::move(m));
+  }
+  // Hand every hosted entry to the next candidate in its home sequence.
+  for (const auto& [obj, e] : node.hosted) {
+    std::uint32_t probe = e.home_rank + 1;
+    while (probe < opts_.max_dir_probes && home_of(e.name, probe, n()) == u) {
+      ++probe;
+    }
+    if (probe >= opts_.max_dir_probes) {
+      ++totals_.chain_drops;
+      registry_.counter("ron_sim_dir_chain_drops_total").add(0);
+      continue;
+    }
+    SimMessage m;
+    m.type = SimMsgType::kDirHandoff;
+    m.from = u;
+    m.to = home_of(e.name, probe, n());
+    m.name = e.name;
+    m.obj = obj;
+    m.probe = probe;
+    m.holders = e.holders;
+    post(std::move(m));
+  }
+  node.hosted.clear();
+  // Unpublish the copies this node held (probing from candidate 0; the
+  // linger rule lets the chain run to completion after we deactivate).
+  for (const ObjectId obj : node.held) {
+    SimMessage m;
+    m.type = SimMsgType::kDirUnpublish;
+    m.from = u;
+    m.to = home_of(net_.object_names[obj], 0, n());
+    m.name = net_.object_names[obj];
+    m.obj = obj;
+    m.subject = u;
+    m.probe = 0;
+    post(std::move(m));
+  }
+  node.held.clear();
+  node.active = false;
+}
+
+void Simulator::do_publish(NodeId v, ObjectId obj) {
+  SimNode& node = net_.nodes[v];
+  RON_CHECK(node.active, "sim publish: node " << v << " is inactive");
+  RON_CHECK(!node.holds(obj), "sim publish: node "
+                                  << v << " already holds object " << obj);
+  node.add_copy(obj);
+  ++totals_.publishes;
+  registry_.counter("ron_sim_publishes_total").add(0);
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " churn publish node=" << v
+          << " obj=" << obj << '\n';
+  }
+  SimMessage m;
+  m.type = SimMsgType::kDirPublish;
+  m.from = v;
+  m.to = home_of(net_.object_names[obj], 0, n());
+  m.name = net_.object_names[obj];
+  m.obj = obj;
+  m.subject = v;
+  m.probe = 0;
+  post(std::move(m));
+}
+
+void Simulator::do_unpublish(NodeId v, ObjectId obj) {
+  SimNode& node = net_.nodes[v];
+  RON_CHECK(node.active, "sim unpublish: node " << v << " is inactive");
+  RON_CHECK(node.holds(obj), "sim unpublish: node "
+                                 << v << " does not hold object " << obj);
+  node.drop_copy(obj);
+  ++totals_.unpublishes;
+  registry_.counter("ron_sim_unpublishes_total").add(0);
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " churn unpublish node=" << v
+          << " obj=" << obj << '\n';
+  }
+  SimMessage m;
+  m.type = SimMsgType::kDirUnpublish;
+  m.from = v;
+  m.to = home_of(net_.object_names[obj], 0, n());
+  m.name = net_.object_names[obj];
+  m.obj = obj;
+  m.subject = v;
+  m.probe = 0;
+  post(std::move(m));
+}
+
+void Simulator::issue_locate(NodeId origin, ObjectId obj) {
+  if (!net_.nodes[origin].active) {
+    ++totals_.locates_skipped;
+    registry_.counter("ron_sim_locates_skipped_total").add(0);
+    return;
+  }
+  const std::uint64_t id = next_locate_id_++;
+  PendingLocate p;
+  p.origin = origin;
+  p.obj = obj;
+  p.issued_ns = clock_.now_ns();
+  pending_[id] = std::move(p);
+  ++totals_.locates_issued;
+  registry_.counter("ron_sim_locates_total").add(0);
+  start_attempt(id);
+}
+
+void Simulator::start_attempt(std::uint64_t locate_id) {
+  PendingLocate& p = pending_.at(locate_id);
+  p.probe = 0;
+  const std::string& name = net_.object_names[p.obj];
+  SimMessage m;
+  m.type = SimMsgType::kDirLookup;
+  m.from = p.origin;
+  m.to = home_of(name, 0, n());
+  m.locate_id = locate_id;
+  m.name = name;
+  m.obj = p.obj;
+  m.probe = 0;
+  post(std::move(m));
+}
+
+void Simulator::maybe_retry(std::uint64_t locate_id,
+                            SimLocateOutcome would_be, std::uint32_t hops) {
+  const auto it = pending_.find(locate_id);
+  if (it == pending_.end()) return;
+  PendingLocate& p = it->second;
+  if (p.attempt >= opts_.max_attempts) {
+    finish_failed(locate_id, would_be, hops);
+    return;
+  }
+  ++p.attempt;
+  ++totals_.retries;
+  registry_.counter("ron_sim_locate_retries_total").add(0);
+  SimEvent ev;
+  ev.at_ns = clock_.now_ns() + opts_.retry_delay_ns;
+  ev.kind = SimEvent::Kind::kLocateRetry;
+  ev.locate_id = locate_id;
+  push_event(std::move(ev));
+}
+
+void Simulator::complete_found(std::uint64_t locate_id, NodeId holder,
+                               std::uint32_t hops, double path_length) {
+  const auto it = pending_.find(locate_id);
+  if (it == pending_.end()) return;
+  PendingLocate& p = it->second;
+  SimLocateResult r;
+  r.locate_id = locate_id;
+  r.origin = p.origin;
+  r.obj = p.obj;
+  r.outcome = SimLocateOutcome::kFound;
+  r.found = true;
+  r.holder = holder;
+  r.hops = hops;
+  r.attempts = p.attempt;
+  r.nearest_dist = p.nearest_dist;
+  r.path_length = path_length;
+  r.route_stretch =
+      p.nearest_dist > 0.0 ? path_length / p.nearest_dist : 1.0;
+  r.messages = p.messages;
+  r.bytes = p.bytes;
+  r.issued_ns = p.issued_ns;
+  r.completed_ns = clock_.now_ns();
+  p.trace.found = true;
+  r.trace = std::move(p.trace);
+
+  ++totals_.locates_found;
+  registry_.counter("ron_sim_locates_found_total").add(0);
+  registry_.histogram("ron_sim_locate_hops")
+      .record(0, static_cast<double>(hops));
+  registry_.histogram("ron_sim_locate_stretch").record(0, r.route_stretch);
+  registry_.histogram("ron_sim_locate_messages")
+      .record(0, static_cast<double>(r.messages));
+  registry_.histogram("ron_sim_locate_bytes")
+      .record(0, static_cast<double>(r.bytes));
+  registry_.histogram("ron_sim_locate_virtual_seconds")
+      .record(0, static_cast<double>(r.completed_ns - r.issued_ns) / 1e9);
+  if (hops > net_.hop_bound) {
+    registry_.counter("ron_sim_hop_bound_violations_total").add(0);
+  }
+  if (hops > 0 && r.route_stretch >= location_stretch_bound(hops)) {
+    registry_.counter("ron_sim_stretch_violations_total").add(0);
+  }
+  if (traces_ != nullptr && traces_->should_sample()) {
+    traces_->record(r.trace);
+  }
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " locate id=" << locate_id
+          << " outcome=FOUND holder=" << holder << " hops=" << hops
+          << " attempts=" << r.attempts << '\n';
+  }
+  results_.push_back(std::move(r));
+  pending_.erase(it);
+}
+
+void Simulator::finish_failed(std::uint64_t locate_id,
+                              SimLocateOutcome outcome, std::uint32_t hops) {
+  const auto it = pending_.find(locate_id);
+  if (it == pending_.end()) return;
+  PendingLocate& p = it->second;
+  SimLocateResult r;
+  r.locate_id = locate_id;
+  r.origin = p.origin;
+  r.obj = p.obj;
+  r.outcome = outcome;
+  r.found = false;
+  r.hops = hops;
+  r.attempts = p.attempt;
+  r.nearest_dist = p.nearest_dist;
+  r.messages = p.messages;
+  r.bytes = p.bytes;
+  r.issued_ns = p.issued_ns;
+  r.completed_ns = clock_.now_ns();
+  r.trace = std::move(p.trace);
+  if (outcome == SimLocateOutcome::kAbandoned) {
+    ++totals_.locates_abandoned;
+    registry_.counter("ron_sim_locates_abandoned_total").add(0);
+  } else {
+    ++totals_.locates_failed;
+    registry_.counter("ron_sim_locates_failed_total").add(0);
+  }
+  if (log_ != nullptr) {
+    *log_ << "t=" << clock_.now_ns() << " locate id=" << locate_id
+          << " outcome=" << to_string(outcome) << " hops=" << hops
+          << " attempts=" << r.attempts << '\n';
+  }
+  results_.push_back(std::move(r));
+  pending_.erase(it);
+}
+
+void Simulator::abandon_locate(std::uint64_t locate_id) {
+  finish_failed(locate_id, SimLocateOutcome::kAbandoned, 0);
+}
+
+}  // namespace ron::sim

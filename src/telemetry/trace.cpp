@@ -25,6 +25,14 @@ void LocateTrace::to_json(std::ostream& os) const {
   os << "]}";
 }
 
+std::vector<NodeId> LocateTrace::node_path() const {
+  std::vector<NodeId> path;
+  path.reserve(hops.size() + 1);
+  path.push_back(querier);
+  for (const TraceHop& h : hops) path.push_back(h.node);
+  return path;
+}
+
 TraceSink::TraceSink(std::uint64_t sample_every, std::size_t capacity)
     : sample_every_(sample_every), capacity_(capacity) {
   RON_CHECK(sample_every == 0 || capacity >= 1,

@@ -53,6 +53,11 @@ struct LocateTrace {
   /// Single-line JSON object (embeds into --metrics-out snapshots).
   void to_json(std::ostream& os) const;
 
+  /// The visited-node sequence: querier first, then each hop's node. Two
+  /// walks are route-identical iff their node paths and found flags match —
+  /// the spine the sim-vs-LocationService differential tests compare on.
+  std::vector<NodeId> node_path() const;
+
   bool operator==(const LocateTrace&) const = default;
 };
 

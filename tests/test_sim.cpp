@@ -1,0 +1,497 @@
+// Tests for the protocol-view simulator (src/sim/): the zero-churn
+// differential against the in-process LocationService (same holder, same
+// hop-by-hop walk, three metric families x three seeds), byte-determinism
+// of equal-seed runs, message/byte accounting identities, concurrent-churn
+// races (reroute on a mid-walk leave, stale-holder retry after an
+// unpublish, directory handoff on a home's leave, publish create-phase),
+// and the estimate exchange. Everything runs at small n so the suite stays
+// fast enough for the sanitizer jobs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "churn/trace_generator.h"
+#include "common/rng.h"
+#include "core/rings.h"
+#include "location/location_service.h"
+#include "scenario/scenario_builder.h"
+#include "sim/messages.h"
+#include "sim/partition.h"
+#include "sim/sim_node.h"
+#include "sim/simulator.h"
+#include "telemetry/trace.h"
+
+namespace ron {
+namespace {
+
+constexpr std::uint64_t kSpacingNs = 10'000;
+
+/// Builder + directory + carved sim over one spec; keeps the borrowed
+/// metric alive for the network's lifetime.
+struct SimFixture {
+  explicit SimFixture(const std::string& spec_text, std::size_t objects = 8,
+                      std::size_t replicas = 3, bool with_labels = false)
+      : builder(ScenarioSpec::parse(spec_text)),
+        directory(builder.make_directory(objects, replicas)) {
+    if (with_labels) {
+      labeling.emplace(builder.take_labeling());
+    }
+    service.emplace(builder.prox(), builder.rings(), directory);
+  }
+
+  sim::SimNetwork carve() {
+    return sim::partition_overlay(builder.prox(), builder.rings(), directory,
+                                  labeling ? &*labeling : nullptr);
+  }
+
+  ScenarioBuilder builder;
+  ObjectDirectory directory;
+  std::optional<DistanceLabeling> labeling;
+  std::optional<LocationService> service;
+};
+
+std::map<std::uint64_t, const sim::SimLocateResult*> by_locate_id(
+    const sim::Simulator& sim) {
+  std::map<std::uint64_t, const sim::SimLocateResult*> out;
+  for (const sim::SimLocateResult& r : sim.results()) {
+    out[r.locate_id] = &r;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: with zero churn the message-passing walk must return the
+// same holder through the same hop sequence as LocationService::locate —
+// the LocateTrace spine (node path, ring levels, remaining distances and
+// the found flag) compares equal, and so do the scalar results.
+// ---------------------------------------------------------------------------
+
+void run_differential(const std::string& spec_prefix, std::uint64_t seed) {
+  SCOPED_TRACE(spec_prefix + ",seed=" + std::to_string(seed));
+  SimFixture fx(spec_prefix + ",seed=" + std::to_string(seed));
+  const std::size_t n = fx.builder.n();
+
+  sim::SimOptions opts;
+  opts.seed = 1000 + seed;
+  sim::Simulator sim(fx.carve(), opts);
+
+  Rng pick(7700 + seed);
+  std::vector<std::pair<NodeId, ObjectId>> queries;
+  for (std::size_t i = 0; i < 24; ++i) {
+    queries.emplace_back(static_cast<NodeId>(pick.index(n)),
+                         static_cast<ObjectId>(pick.index(8)));
+    sim.schedule_locate((i + 1) * kSpacingNs, queries.back().first,
+                        queries.back().second);
+  }
+  sim.run();
+  ASSERT_EQ(sim.results().size(), queries.size());
+  const auto results = by_locate_id(sim);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [querier, obj] = queries[i];
+    const sim::SimLocateResult& r = *results.at(i + 1);
+    LocateTrace svc_trace;
+    const LocateResult svc =
+        fx.service->locate(querier, obj, LocateOptions{}, &svc_trace);
+    EXPECT_EQ(r.found, svc.found);
+    EXPECT_TRUE(r.trace == svc_trace)
+        << "walk diverged for querier " << querier << " obj " << obj;
+    if (svc.found) {
+      EXPECT_EQ(r.holder, svc.holder);
+      EXPECT_EQ(static_cast<std::size_t>(r.hops), svc.hops);
+      EXPECT_EQ(r.nearest_dist, svc.nearest_dist);
+      EXPECT_EQ(r.path_length, svc.path_length);
+      EXPECT_EQ(r.route_stretch, svc.route_stretch);
+      EXPECT_EQ(r.attempts, 1u);
+    }
+  }
+}
+
+TEST(SimDifferential, GeolineMatchesLocationService) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    run_differential("metric=geoline,n=128", seed);
+  }
+}
+
+TEST(SimDifferential, ClusteredMatchesLocationService) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    run_differential("metric=clustered,n=96", seed);
+  }
+}
+
+TEST(SimDifferential, EuclidMatchesLocationService) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    run_differential("metric=euclid,n=128", seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: two equal-seed runs (same carve, same schedule, churn
+// included) emit byte-identical event logs and metrics envelopes; a
+// different sim seed changes the delivery schedule.
+// ---------------------------------------------------------------------------
+
+std::string run_logged(std::uint64_t sim_seed) {
+  SimFixture fx("metric=clustered,n=96,seed=3,overlay_seed=41");
+  const std::size_t n = fx.builder.n();
+
+  sim::SimOptions opts;
+  opts.seed = sim_seed;
+  sim::Simulator sim(fx.carve(), opts);
+
+  std::ostringstream log;
+  sim.set_event_log(&log);
+
+  Rng pick(99);
+  for (std::size_t i = 0; i < 80; ++i) {
+    sim.schedule_locate((i + 1) * kSpacingNs,
+                        static_cast<NodeId>(pick.index(n)),
+                        static_cast<ObjectId>(pick.index(8)));
+  }
+  ChurnTraceParams params;
+  params.ops = 40;
+  const std::vector<char> all_active(n, 1);
+  const ChurnTrace trace =
+      generate_churn_trace(n, all_active, fx.directory, params, 17);
+  std::vector<ObjectId> objmap;
+  for (const std::string& name : trace.objects) {
+    objmap.push_back(sim.register_object(name));
+  }
+  for (std::size_t j = 0; j < trace.ops.size(); ++j) {
+    ChurnOp op = trace.ops[j];
+    if (op.kind == ChurnOpKind::kPublish ||
+        op.kind == ChurnOpKind::kUnpublish) {
+      op.object = objmap[op.object];
+    }
+    sim.schedule_churn((j + 1) * 2 * kSpacingNs + kSpacingNs / 2, op);
+  }
+  sim.run();
+
+  std::ostringstream envelope;
+  write_metrics_envelope(envelope, {&sim.metrics()}, nullptr);
+  return log.str() + "\n=== envelope ===\n" + envelope.str();
+}
+
+TEST(SimDeterminism, EqualSeedsAreByteIdentical) {
+  const std::string a = run_logged(5);
+  EXPECT_EQ(a, run_logged(5));
+  EXPECT_NE(a, run_logged(6)) << "the sim seed never reached the run";
+}
+
+// ---------------------------------------------------------------------------
+// Accounting: zero churn, every message belongs to exactly one locate, so
+// the per-locate counts obey the protocol arithmetic and sum to the run
+// totals. A found walk of h hops costs 1 lookup + 1 reply + h steps +
+// 1 found report = h + 3 messages (h >= 1), a local hit exactly 2.
+// ---------------------------------------------------------------------------
+
+TEST(SimAccounting, MessageAndByteIdentities) {
+  SimFixture fx("metric=euclid,n=128,seed=5");
+  const std::size_t n = fx.builder.n();
+
+  sim::Simulator sim(fx.carve(), sim::SimOptions{});
+  Rng pick(4242);
+  const std::size_t locates = 40;
+  for (std::size_t i = 0; i < locates; ++i) {
+    sim.schedule_locate((i + 1) * kSpacingNs,
+                        static_cast<NodeId>(pick.index(n)),
+                        static_cast<ObjectId>(pick.index(8)));
+  }
+  sim.run();
+
+  const sim::SimTotals& t = sim.totals();
+  EXPECT_EQ(t.sent, t.delivered + t.bounced);
+  EXPECT_EQ(t.bounced, 0u);
+  EXPECT_EQ(t.locates_issued, locates);
+  EXPECT_EQ(t.locates_found, sim.results().size());
+
+  std::uint64_t sum_messages = 0;
+  std::uint64_t sum_bytes = 0;
+  for (const sim::SimLocateResult& r : sim.results()) {
+    ASSERT_TRUE(r.found);
+    const std::uint64_t expect =
+        r.hops == 0 ? 2 : static_cast<std::uint64_t>(r.hops) + 3;
+    EXPECT_EQ(r.messages, expect) << "locate " << r.locate_id;
+    EXPECT_GE(r.bytes, r.messages * 9) << "under the 9-byte header floor";
+    EXPECT_LE(r.completed_ns - r.issued_ns,
+              r.messages * (sim::LatencyParams{}.base_ns +
+                            sim::LatencyParams{}.span_ns +
+                            sim::LatencyParams{}.jitter_ns));
+    sum_messages += r.messages;
+    sum_bytes += r.bytes;
+  }
+  EXPECT_EQ(t.sent, sum_messages);
+  EXPECT_EQ(t.bytes, sum_bytes);
+}
+
+TEST(SimAccounting, StateBytesCoverCarvedState) {
+  SimFixture fx("metric=clustered,n=96,seed=3");
+  const sim::SimNetwork net = fx.carve();
+  for (const sim::SimNode& node : net.nodes) {
+    // id + active + the length-prefixed rings/tombstones/held/hosted
+    // sections + the label marker: never smaller than the fixed header.
+    EXPECT_GT(node.state_bytes(), 40u);
+  }
+  // Hosting an entry must cost bytes: compare a hosting node against a
+  // copy of it with the entry dropped.
+  const NodeId home = sim::home_of(fx.directory.name(0), 0, net.nodes.size());
+  sim::SimNode stripped = net.nodes[home];
+  ASSERT_EQ(stripped.hosted.count(0), 1u);
+  const std::uint64_t with = stripped.state_bytes();
+  stripped.hosted.erase(0);
+  EXPECT_GT(with, stripped.state_bytes());
+}
+
+TEST(SimAccounting, RingLevelOfFindsCarvedRings) {
+  SimFixture fx("metric=euclid,n=64,seed=2", 4, 2);
+  const sim::SimNetwork net = fx.carve();
+  const sim::SimNode& node = net.nodes[0];
+  ASSERT_FALSE(node.neighbors.empty());
+  for (const NodeId v : node.neighbors) {
+    EXPECT_GE(ring_level_of(node.rings, v), 0);
+  }
+  // A node id that appears in no ring (kInvalidNode can't be a member).
+  EXPECT_EQ(ring_level_of(node.rings, kInvalidNode), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Churn races. Fixed latencies (no jitter, no distance term) make the
+// interleavings exact, so each scenario pins one concurrency outcome.
+// ---------------------------------------------------------------------------
+
+sim::SimOptions fixed_latency_opts(std::uint64_t base_ns = 50'000) {
+  sim::SimOptions opts;
+  opts.latency.base_ns = base_ns;
+  opts.latency.span_ns = 0;
+  opts.latency.jitter_ns = 0;
+  return opts;
+}
+
+/// First (querier, obj) whose static walk has >= min_hops hops.
+std::pair<NodeId, ObjectId> find_walk(const SimFixture& fx,
+                                      std::size_t min_hops) {
+  for (NodeId q = 0; q < fx.builder.n(); ++q) {
+    for (ObjectId o = 0; o < fx.directory.num_objects(); ++o) {
+      const LocateResult r = fx.service->locate(q, o);
+      if (r.found && r.hops >= min_hops) return {q, o};
+    }
+  }
+  ADD_FAILURE() << "no walk with " << min_hops << "+ hops in the fixture";
+  return {0, 0};
+}
+
+TEST(SimChurn, MidWalkLeaveReroutes) {
+  SimFixture fx("metric=clustered,n=96,seed=3");
+  const auto [querier, obj] = find_walk(fx, 2);
+  LocateTrace trace;
+  fx.service->locate(querier, obj, LocateOptions{}, &trace);
+  const NodeId first_hop = trace.node_path().at(1);
+
+  sim::Simulator sim(fx.carve(), fixed_latency_opts());
+  // t=10k issue; lookup lands 60k, reply 110k, step at first_hop 160k.
+  // The leave at 130k deactivates first_hop while the step is in flight:
+  // the step bounces, the querier tombstones it and reroutes.
+  sim.schedule_locate(10'000, querier, obj);
+  sim.schedule_churn(130'000, ChurnOp{ChurnOpKind::kLeave, first_hop,
+                                      kInvalidObject});
+  sim.run();
+
+  const sim::SimTotals& t = sim.totals();
+  EXPECT_EQ(t.sent, t.delivered + t.bounced);
+  EXPECT_GE(t.reroutes, 1u);
+  ASSERT_EQ(sim.results().size(), 1u);
+  const sim::SimLocateResult& r = sim.results()[0];
+  EXPECT_NE(r.outcome, sim::SimLocateOutcome::kAbandoned);
+  if (r.found) {
+    EXPECT_NE(r.holder, first_hop);
+    for (const TraceHop& hop : r.trace.hops) {
+      EXPECT_NE(hop.node, first_hop) << "walk routed through the leaver";
+    }
+  }
+}
+
+TEST(SimChurn, StaleHolderRetriesToFreshReplica) {
+  SimFixture fx("metric=clustered,n=96,seed=3", 8, 3);
+  const auto [querier, obj] = find_walk(fx, 1);
+  const NodeId nearest = fx.service->locate(querier, obj).holder;
+
+  sim::Simulator sim(fx.carve(), fixed_latency_opts());
+  // The unpublish fires after the locate is issued; its directory chain
+  // lands (70k) before the lookup is answered — but the lookup was
+  // DELIVERED at 60k, so the reply still lists the now-stale holder. The
+  // walk reaches it, gets a STALE_HOLDER nack, retries, and the second
+  // attempt's reply no longer lists the leaver's copy.
+  sim.schedule_locate(10'000, querier, obj);
+  sim.schedule_churn(20'000, ChurnOp{ChurnOpKind::kUnpublish, nearest, obj});
+  sim.run();
+
+  ASSERT_EQ(sim.results().size(), 1u);
+  const sim::SimLocateResult& r = sim.results()[0];
+  EXPECT_TRUE(r.found) << to_string(r.outcome);
+  EXPECT_NE(r.holder, nearest);
+  EXPECT_GE(r.attempts, 2u);
+  EXPECT_EQ(sim.totals().retries, r.attempts - 1);
+  EXPECT_EQ(sim.totals().sent,
+            sim.totals().delivered + sim.totals().bounced);
+}
+
+TEST(SimChurn, HomeLeaveHandsEntryToNextCandidate) {
+  SimFixture fx("metric=clustered,n=96,seed=3");
+  const std::size_t n = fx.builder.n();
+  // Pick an object whose rank-0 and rank-1 homes differ (the stride makes
+  // collisions rare; assert we find one).
+  ObjectId obj = kInvalidObject;
+  NodeId h0 = kInvalidNode;
+  NodeId h1 = kInvalidNode;
+  for (ObjectId o = 0; o < fx.directory.num_objects(); ++o) {
+    h0 = sim::home_of(fx.directory.name(o), 0, n);
+    h1 = sim::home_of(fx.directory.name(o), 1, n);
+    if (h0 != h1) {
+      obj = o;
+      break;
+    }
+  }
+  ASSERT_NE(obj, kInvalidObject);
+
+  sim::Simulator sim(fx.carve(), fixed_latency_opts());
+  sim.schedule_churn(10'000, ChurnOp{ChurnOpKind::kLeave, h0, kInvalidObject});
+  // Well after the handoff chain settles: the locate must probe candidate
+  // 0 (bounce), advance to candidate 1 and find the migrated entry.
+  NodeId querier = static_cast<NodeId>((h0 + 1) % n);
+  if (querier == h1) querier = static_cast<NodeId>((h1 + 1) % n);
+  sim.schedule_locate(1'000'000, querier, obj);
+  sim.run();
+
+  const auto it = sim.network().nodes[h1].hosted.find(obj);
+  ASSERT_NE(it, sim.network().nodes[h1].hosted.end())
+      << "entry did not migrate to the rank-1 home";
+  EXPECT_EQ(it->second.name, fx.directory.name(obj));
+  ASSERT_EQ(sim.results().size(), 1u);
+  EXPECT_TRUE(sim.results()[0].found)
+      << to_string(sim.results()[0].outcome);
+  EXPECT_EQ(sim.totals().sent,
+            sim.totals().delivered + sim.totals().bounced);
+}
+
+TEST(SimChurn, PublishOfNewObjectCreatesEntryAndServesLocates) {
+  SimFixture fx("metric=clustered,n=96,seed=3");
+  const std::size_t n = fx.builder.n();
+  sim::Simulator sim(fx.carve(), fixed_latency_opts());
+
+  const ObjectId fresh = sim.register_object("churn_obj_fresh");
+  const NodeId publisher = 7;
+  sim.schedule_churn(10'000, ChurnOp{ChurnOpKind::kPublish, publisher, fresh});
+  // The create phase probes all 32 home candidates before installing the
+  // entry — 32 round trips at 100k ns each. Locate well after that.
+  const NodeId querier = 55;
+  sim.schedule_locate(10'000'000, querier, fresh);
+  sim.run();
+
+  // No entry existed anywhere, so the publish chain's create phase must
+  // have installed one at the first alive candidate — rank 0, everyone
+  // is alive.
+  const NodeId home = sim::home_of("churn_obj_fresh", 0, n);
+  const auto it = sim.network().nodes[home].hosted.find(fresh);
+  ASSERT_NE(it, sim.network().nodes[home].hosted.end());
+  EXPECT_EQ(it->second.holders, std::vector<NodeId>{publisher});
+  ASSERT_EQ(sim.results().size(), 1u);
+  EXPECT_TRUE(sim.results()[0].found);
+  EXPECT_EQ(sim.results()[0].holder, publisher);
+}
+
+TEST(SimChurn, SoakKeepsGuaranteesAndLosesNothing) {
+  SimFixture fx("metric=geoline,n=256,seed=1");
+  const std::size_t n = fx.builder.n();
+  sim::Simulator sim(fx.carve(), sim::SimOptions{});
+
+  Rng pick(31337);
+  const std::size_t locates = 150;
+  for (std::size_t i = 0; i < locates; ++i) {
+    sim.schedule_locate((i + 1) * kSpacingNs,
+                        static_cast<NodeId>(pick.index(n)),
+                        static_cast<ObjectId>(pick.index(8)));
+  }
+  ChurnTraceParams params;
+  params.ops = 80;
+  const std::vector<char> all_active(n, 1);
+  const ChurnTrace trace =
+      generate_churn_trace(n, all_active, fx.directory, params, 23);
+  std::vector<ObjectId> objmap;
+  for (const std::string& name : trace.objects) {
+    objmap.push_back(sim.register_object(name));
+  }
+  for (std::size_t j = 0; j < trace.ops.size(); ++j) {
+    ChurnOp op = trace.ops[j];
+    if (op.kind == ChurnOpKind::kPublish ||
+        op.kind == ChurnOpKind::kUnpublish) {
+      op.object = objmap[op.object];
+    }
+    sim.schedule_churn((j * locates / trace.ops.size() + 1) * kSpacingNs +
+                           kSpacingNs / 3,
+                       op);
+  }
+  sim.run();
+
+  const sim::SimTotals& t = sim.totals();
+  EXPECT_EQ(t.sent, t.delivered + t.bounced) << "messages were lost";
+  EXPECT_EQ(t.joins + t.leaves + t.publishes + t.unpublishes, 80u);
+  EXPECT_EQ(t.locates_issued + t.locates_skipped, locates);
+  EXPECT_EQ(t.locates_found + t.locates_failed + t.locates_abandoned,
+            t.locates_issued);
+  EXPECT_GE(t.locates_found, locates * 9 / 10)
+      << "churn at this rate must not break most locates";
+  for (const sim::SimLocateResult& r : sim.results()) {
+    if (!r.found) continue;
+    EXPECT_LE(static_cast<std::size_t>(r.hops), sim.hop_bound());
+    if (r.hops > 0) {
+      EXPECT_LT(r.route_stretch, location_stretch_bound(r.hops));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimates: the label exchange answers with the Theorem 3.2 upper bound —
+// never below the true distance — and failed exchanges (dead peer) are
+// counted, not lost.
+// ---------------------------------------------------------------------------
+
+TEST(SimEstimate, ExchangeComputesUpperBounds) {
+  SimFixture fx("metric=euclid,n=64,seed=2", 4, 2, /*with_labels=*/true);
+  const std::size_t n = fx.builder.n();
+  sim::Simulator sim(fx.carve(), sim::SimOptions{});
+
+  Rng pick(555);
+  const std::size_t exchanges = 30;
+  for (std::size_t i = 0; i < exchanges; ++i) {
+    const NodeId a = static_cast<NodeId>(pick.index(n));
+    NodeId b = static_cast<NodeId>(pick.index(n));
+    if (b == a) b = static_cast<NodeId>((b + 1) % n);
+    sim.schedule_estimate((i + 1) * kSpacingNs, a, b);
+  }
+  sim.run();
+  EXPECT_EQ(sim.totals().estimates_done, exchanges);
+  EXPECT_EQ(sim.totals().estimates_failed, 0u);
+  EXPECT_EQ(sim.totals().sent, 2 * exchanges);
+}
+
+TEST(SimEstimate, DeadPeerCountsAsFailed) {
+  SimFixture fx("metric=euclid,n=64,seed=2", 4, 2, /*with_labels=*/true);
+  sim::Simulator sim(fx.carve(), fixed_latency_opts());
+  sim.schedule_churn(1'000, ChurnOp{ChurnOpKind::kLeave, 5, kInvalidObject});
+  sim.schedule_estimate(500'000, 3, 5);   // dead at issue time: counted
+  sim.schedule_estimate(600'000, 5, 3);   // dead querier: counted
+  sim.schedule_estimate(700'000, 3, 7);   // alive pair: answered
+  sim.run();
+  EXPECT_EQ(sim.totals().estimates_done, 1u);
+  EXPECT_EQ(sim.totals().estimates_failed, 2u);
+  EXPECT_EQ(sim.totals().sent,
+            sim.totals().delivered + sim.totals().bounced);
+}
+
+}  // namespace
+}  // namespace ron

@@ -16,7 +16,11 @@ Six rules, each load-bearing for this repo specifically:
                  "save -> load -> serve bit-identical" invariant all assume
                  outputs are a pure function of (spec, seed). Timing goes
                  through telemetry/clock.h (see the clock rule), which only
-                 annotates results, never shapes them.
+                 annotates results, never shapes them. src/sim/ additionally
+                 bans unordered containers and std::hash: the simulator's
+                 event log and metrics envelope are byte-compared across
+                 equal-seed runs, and hash-table iteration order is not part
+                 of that contract.
 
   clock          One sanctioned timing source: no <chrono>, std::chrono,
                  steady_clock or high_resolution_clock anywhere in src/,
@@ -24,7 +28,12 @@ Six rules, each load-bearing for this repo specifically:
                  timing site goes through ron::Clock / Stopwatch so tests
                  can inject a FakeClock and telemetry stays deterministic
                  under test — a raw steady_clock call is untestable and
-                 invisible to that seam.
+                 invisible to that seam. src/sim/ is held to a stricter
+                 bar: the simulator runs on VIRTUAL time (sim::SimClock),
+                 so even the sanctioned wall-clock seam (ron::Clock,
+                 Stopwatch, real_now_ns) is banned there — a wall-time
+                 read inside the event loop would leak host timing into
+                 the byte-reproducible event stream.
 
   check-message  Every RON_CHECK carries a message. A bare condition throws
                  "RON_CHECK failed: (x < n_)" with no operand values; the
@@ -75,6 +84,13 @@ DETERMINISM_PATTERNS = [
     (re.compile(r"\blocaltime\b"), "localtime"),
     (re.compile(r"\bgmtime\b"), "gmtime"),
 ]
+# Extra determinism bans inside src/sim/ (see the docstring): equal-seed
+# runs byte-compare their event logs, so iteration order must be defined.
+SIM_DETERMINISM_PATTERNS = [
+    (re.compile(r"\bunordered_map\b"), "std::unordered_map"),
+    (re.compile(r"\bunordered_set\b"), "std::unordered_set"),
+    (re.compile(r"\bstd\s*::\s*hash\b"), "std::hash"),
+]
 
 CLOCK_PATTERNS = [
     (re.compile(r"^\s*#\s*include\s*<chrono>"), "#include <chrono>"),
@@ -82,6 +98,19 @@ CLOCK_PATTERNS = [
     (re.compile(r"\bsteady_clock\b"), "steady_clock"),
     (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
 ]
+# src/sim/ runs on virtual time only (sim::SimClock): even the sanctioned
+# wall-clock seam is off-limits inside the simulator, because a real-time
+# read in the event loop would make equal-seed runs diverge byte-for-byte.
+SIM_CLOCK_PATTERNS = [
+    (re.compile(r"\bClock\s*::\s*real\b"), "Clock::real()"),
+    (re.compile(r"\bStopwatch\b"), "Stopwatch"),
+    (re.compile(r"\breal_now_ns\b"), "real_now_ns()"),
+]
+# Matched against the RAW line (the include path is a string literal, which
+# strip_noncode blanks out of `code`).
+SIM_CLOCK_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*"telemetry/clock\.h"')
+SIM_DIR = os.path.join("src", "sim") + os.sep
 # The one place allowed to touch <chrono>: the Clock::real() implementation
 # (and its header, so doc-adjacent code stays free to evolve).
 CLOCK_EXEMPT = {
@@ -201,6 +230,7 @@ def check_raw_bytes(findings: list):
 
 def check_determinism(findings: list):
     for path in cxx_files("src"):
+        in_sim = os.path.relpath(path, REPO_ROOT).startswith(SIM_DIR)
         for lineno, code, raw in iter_code_lines(path):
             for pattern, label in DETERMINISM_PATTERNS:
                 if pattern.search(code) and not allowed(raw, "determinism"):
@@ -209,12 +239,24 @@ def check_determinism(findings: list):
                         f"{label} in src/ — outputs must be a pure function "
                         "of (spec, seed); draw randomness from ron::Rng and "
                         "time batches via telemetry/clock.h"))
+            if not in_sim:
+                continue
+            for pattern, label in SIM_DETERMINISM_PATTERNS:
+                if pattern.search(code) and not allowed(raw, "determinism"):
+                    findings.append(Finding(
+                        path, lineno, "determinism",
+                        f"{label} in src/sim/ — equal-seed runs byte-compare "
+                        "their event logs, so every container the simulator "
+                        "iterates must have a defined order (use sorted "
+                        "vectors or std::map)"))
 
 
 def check_clock(findings: list):
     for path in cxx_files("src", "tools", "bench"):
-        if os.path.relpath(path, REPO_ROOT) in CLOCK_EXEMPT:
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel in CLOCK_EXEMPT:
             continue
+        in_sim = rel.startswith(SIM_DIR)
         for lineno, code, raw in iter_code_lines(path):
             for pattern, label in CLOCK_PATTERNS:
                 if pattern.search(code) and not allowed(raw, "clock"):
@@ -223,6 +265,21 @@ def check_clock(findings: list):
                         f"{label} outside telemetry/clock.h — time through "
                         "ron::Clock/Stopwatch so a FakeClock can be "
                         "injected under test"))
+            if not in_sim:
+                continue
+            sim_hits = [label for pattern, label in SIM_CLOCK_PATTERNS
+                        if pattern.search(code)]
+            if SIM_CLOCK_INCLUDE_RE.search(raw):
+                sim_hits.append('#include "telemetry/clock.h"')
+            for label in sim_hits:
+                if allowed(raw, "clock"):
+                    continue
+                findings.append(Finding(
+                    path, lineno, "clock",
+                    f"{label} in src/sim/ — the simulator runs on "
+                    "virtual time only (sim::SimClock); a wall-clock "
+                    "read would leak host timing into the "
+                    "byte-reproducible event stream"))
 
 
 def check_sockets(findings: list):

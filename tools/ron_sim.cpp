@@ -1,0 +1,278 @@
+// ron_sim — the protocol-view simulator as a command-line experiment.
+//
+// Builds a scenario overlay (ScenarioBuilder), carves it into per-node
+// local state (partition_overlay), then replays a schedule of locates,
+// synthetic churn ops and optional label exchanges through the
+// deterministic discrete-event Simulator. Everything a node "knows" had to
+// arrive in a message; the run therefore measures the protocol costs the
+// in-process oracle cannot: messages and bytes per locate, per-node state
+// bytes, and how concurrent churn (joins/leaves racing in-flight walks)
+// degrades the Theorem 5.2 guarantees.
+//
+//   ron_sim --scenario metric=geoline,n=2048,seed=1
+//     --locates 1000 --churn 200 --metrics-out sim.json
+//
+// Stdout is one JSON summary line (messages/bytes per locate, hop and
+// stretch extremes, loss accounting). --metrics-out writes the standard
+// ron.metrics.v1 envelope; --event-log writes the deterministic per-event
+// log (two equal-seed runs emit byte-identical files of both).
+//
+// Exit codes: 0 success, 1 runtime failure or a --check 1 guarantee
+// violation, 2 usage error.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "churn/trace_generator.h"
+#include "cli_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "location/location_service.h"
+#include "scenario/scenario_builder.h"
+#include "sim/partition.h"
+#include "sim/simulator.h"
+#include "telemetry/trace.h"
+
+namespace ron {
+namespace {
+
+using cli::Args;
+using cli::parse_u64;
+using cli::UsageError;
+
+int usage(std::ostream& os) {
+  os << "usage: ron_sim --scenario SPEC [options]\n"
+        "\n"
+        "Runs the message-passing protocol simulation over a scenario\n"
+        "overlay and prints a one-line JSON summary.\n"
+        "\n"
+        "options:\n"
+        "  --scenario SPEC     key=value,... scenario (required)\n"
+        "  --objects N         synthetic directory objects (default 32)\n"
+        "  --replicas R        copies per object (default 4)\n"
+        "  --locates Q         locate queries to schedule (default 1000)\n"
+        "  --churn N           churn ops racing the locates (default:\n"
+        "                      the spec's churn= clause, else 0)\n"
+        "  --churn-seed S      churn trace seed (default: spec churn_seed)\n"
+        "  --estimates N       label-exchange estimates (default 0)\n"
+        "  --seed S            simulator seed: latency jitter and the\n"
+        "                      schedule's querier/object draws (default 42)\n"
+        "  --spacing-ns T      virtual gap between locate issues\n"
+        "                      (default 10000)\n"
+        "  --threads N         overlay build threads, results unaffected\n"
+        "                      (default 0 = auto)\n"
+        "  --metrics-out FILE  write the ron.metrics.v1 envelope to FILE\n"
+        "  --event-log FILE    write the deterministic event log to FILE\n"
+        "  --check B           1 = exit 1 on any Theorem 5.2 guarantee\n"
+        "                      violation or lost message (default 1)\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "help") return usage(std::cout), 0;
+  }
+  Args args(argc, argv, 1);
+  args.expect_known({"scenario", "objects", "replicas", "locates", "churn",
+                     "churn-seed", "estimates", "seed", "spacing-ns",
+                     "threads", "metrics-out", "event-log", "check"});
+  args.expect_positionals(0, "no positional arguments");
+  if (!args.has("scenario")) {
+    throw UsageError("--scenario is required");
+  }
+
+  const ScenarioSpec spec = ScenarioSpec::parse(args.get("scenario", ""));
+  const std::size_t objects =
+      parse_u64(args.get("objects", "32"), "--objects");
+  const std::size_t replicas =
+      parse_u64(args.get("replicas", "4"), "--replicas");
+  RON_CHECK(objects >= 1 && replicas >= 1,
+            "--objects and --replicas must be at least 1");
+  const std::size_t locates =
+      parse_u64(args.get("locates", "1000"), "--locates");
+  const std::size_t churn_ops = args.has("churn")
+                                    ? parse_u64(args.get("churn", ""), "--churn")
+                                    : spec.churn_ops;
+  const std::uint64_t churn_seed =
+      args.has("churn-seed")
+          ? parse_u64(args.get("churn-seed", ""), "--churn-seed")
+          : spec.churn_seed;
+  const std::size_t estimates =
+      parse_u64(args.get("estimates", "0"), "--estimates");
+  const std::uint64_t spacing_ns =
+      parse_u64(args.get("spacing-ns", "10000"), "--spacing-ns");
+  RON_CHECK(spacing_ns >= 1, "--spacing-ns must be at least 1");
+  const bool check = parse_u64(args.get("check", "1"), "--check") != 0;
+  const unsigned threads = static_cast<unsigned>(
+      parse_u64(args.get("threads", "0"), "--threads"));
+
+  sim::SimOptions sopts;
+  sopts.seed = parse_u64(args.get("seed", "42"), "--seed");
+
+  ScenarioBuilder builder(spec, threads);
+  const std::size_t n = builder.n();
+  const ObjectDirectory dir = builder.make_directory(objects, replicas);
+  std::optional<DistanceLabeling> labeling;
+  const DistanceLabeling* labels = nullptr;
+  if (estimates > 0) {
+    labeling.emplace(builder.take_labeling());
+    labels = &*labeling;
+  }
+
+  sim::Simulator sim(
+      sim::partition_overlay(builder.prox(), builder.rings(), dir, labels),
+      sopts);
+
+  std::ofstream log_file;
+  if (args.has("event-log")) {
+    const std::string path = args.get("event-log", "");
+    log_file.open(path, std::ios::binary | std::ios::trunc);
+    RON_CHECK(log_file.is_open(), "cannot open --event-log " << path);
+    sim.set_event_log(&log_file);
+  }
+  TraceSink traces(/*sample_every=*/1, /*capacity=*/64);
+  sim.set_trace_sink(&traces);
+
+  // Schedule: locates at a fixed spacing; churn ops spread over the same
+  // horizon so they race the in-flight walks; estimates ride along. All
+  // draws come from forks of the sim seed — one seed, one run.
+  Rng sched = Rng(sopts.seed).fork(0x5c4ed01e);
+  const std::uint64_t horizon =
+      spacing_ns * static_cast<std::uint64_t>(
+                       std::max<std::size_t>(std::max(locates, churn_ops), 1));
+  for (std::size_t i = 0; i < locates; ++i) {
+    const NodeId origin = static_cast<NodeId>(sched.index(n));
+    const ObjectId obj = static_cast<ObjectId>(sched.index(objects));
+    sim.schedule_locate((i + 1) * spacing_ns, origin, obj);
+  }
+  if (churn_ops > 0) {
+    ChurnTraceParams cp;
+    cp.ops = churn_ops;
+    const std::vector<char> all_active(n, 1);
+    const ChurnTrace trace =
+        generate_churn_trace(n, all_active, dir, cp, churn_seed);
+    std::vector<ObjectId> objmap;
+    objmap.reserve(trace.objects.size());
+    for (const std::string& name : trace.objects) {
+      objmap.push_back(sim.register_object(name));
+    }
+    for (std::size_t j = 0; j < trace.ops.size(); ++j) {
+      ChurnOp op = trace.ops[j];
+      if (op.kind == ChurnOpKind::kPublish ||
+          op.kind == ChurnOpKind::kUnpublish) {
+        op.object = objmap[op.object];
+      }
+      // Deterministic interleave: op j fires inside locate j's window.
+      const std::uint64_t at =
+          (static_cast<std::uint64_t>(j) + 1) * horizon /
+              (static_cast<std::uint64_t>(trace.ops.size()) + 1) +
+          spacing_ns / 2;
+      sim.schedule_churn(at, op);
+    }
+  }
+  for (std::size_t i = 0; i < estimates; ++i) {
+    const NodeId a = static_cast<NodeId>(sched.index(n));
+    NodeId b = static_cast<NodeId>(sched.index(n));
+    if (b == a) b = static_cast<NodeId>((b + 1) % n);
+    sim.schedule_estimate((i + 1) * spacing_ns, a, b);
+  }
+
+  sim.run();
+
+  const sim::SimTotals& t = sim.totals();
+  const std::uint64_t lost = t.sent - t.delivered - t.bounced;
+  std::size_t max_hops_seen = 0;
+  std::size_t hop_violations = 0;
+  std::size_t stretch_violations = 0;
+  double max_stretch = 0.0;
+  double sum_hops = 0.0;
+  double sum_messages = 0.0;
+  double sum_bytes = 0.0;
+  std::uint64_t found = 0;
+  for (const sim::SimLocateResult& r : sim.results()) {
+    if (!r.found) continue;
+    ++found;
+    max_hops_seen = std::max<std::size_t>(max_hops_seen, r.hops);
+    max_stretch = std::max(max_stretch, r.route_stretch);
+    sum_hops += r.hops;
+    sum_messages += static_cast<double>(r.messages);
+    sum_bytes += static_cast<double>(r.bytes);
+    if (r.hops > sim.hop_bound()) ++hop_violations;
+    if (r.hops > 0 && r.route_stretch >= location_stretch_bound(r.hops)) {
+      ++stretch_violations;
+    }
+  }
+  const double denom = found > 0 ? static_cast<double>(found) : 1.0;
+
+  std::cout.precision(std::numeric_limits<double>::max_digits10);
+  std::cout << "{\"tool\":\"ron_sim\",\"spec\":\"" << builder.spec().to_string()
+            << "\",\"n\":" << n << ",\"hop_bound\":" << sim.hop_bound()
+            << ",\"locates\":" << t.locates_issued << ",\"found\":" << found
+            << ",\"failed\":" << t.locates_failed
+            << ",\"abandoned\":" << t.locates_abandoned
+            << ",\"skipped\":" << t.locates_skipped
+            << ",\"churn_ops\":" << (t.joins + t.leaves + t.publishes +
+                                     t.unpublishes)
+            << ",\"estimates\":" << t.estimates_done
+            << ",\"messages\":" << t.sent << ",\"bytes\":" << t.bytes
+            << ",\"bounced\":" << t.bounced << ",\"lost\":" << lost
+            << ",\"reroutes\":" << t.reroutes << ",\"retries\":" << t.retries
+            << ",\"chain_drops\":" << t.chain_drops
+            << ",\"max_hops\":" << max_hops_seen
+            << ",\"mean_hops\":" << sum_hops / denom
+            << ",\"max_stretch\":" << max_stretch
+            << ",\"mean_messages_per_locate\":" << sum_messages / denom
+            << ",\"mean_bytes_per_locate\":" << sum_bytes / denom
+            << ",\"hop_violations\":" << hop_violations
+            << ",\"stretch_violations\":" << stretch_violations
+            << ",\"virtual_seconds\":"
+            << static_cast<double>(sim.now_ns()) / 1e9 << "}\n";
+
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "");
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    RON_CHECK(os.is_open(), "cannot open --metrics-out " << path);
+    write_metrics_envelope(os, {&sim.metrics()}, &traces);
+  }
+
+  if (check) {
+    RON_CHECK(lost == 0, "sim lost " << lost << " message(s): sent=" << t.sent
+                                     << " delivered=" << t.delivered
+                                     << " bounced=" << t.bounced);
+    RON_CHECK(hop_violations == 0,
+              "" << hop_violations << " locate(s) exceeded location_hop_bound("
+                 << n << ")=" << sim.hop_bound() << " (max seen "
+                 << max_hops_seen << ")");
+    RON_CHECK(stretch_violations == 0,
+              "" << stretch_violations
+                 << " locate(s) breached the 2*hops stretch bound (max "
+                 << max_stretch << ")");
+    // "Messages per locate is a constant multiple of the hop bound":
+    // each attempt costs O(dir probes) + O(hops); 6x leaves room for
+    // retries and bounces without masking a super-logarithmic regression.
+    if (found > 0) {
+      const double mean_messages = sum_messages / denom;
+      RON_CHECK(mean_messages <=
+                    6.0 * static_cast<double>(sim.hop_bound()),
+                "mean messages/locate " << mean_messages
+                                        << " exceeds 6*hop_bound="
+                                        << 6.0 * static_cast<double>(
+                                                     sim.hop_bound()));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ron
+
+int main(int argc, char** argv) {
+  return ron::cli::tool_main(
+      "ron_sim", [&] { return ron::run(argc, argv); },
+      [](std::ostream& os) { ron::usage(os); });
+}

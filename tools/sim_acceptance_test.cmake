@@ -1,0 +1,58 @@
+# The ISSUE's Theorem 5.2 protocol-view acceptance run: geoline n=2048,
+# >=1000 locates racing >=200 concurrent churn ops. ron_sim --check 1
+# enforces the guarantees internally (exit 1 on violation): every completed
+# locate within location_hop_bound(n), route stretch < 2*hops, zero lost
+# messages, mean messages/locate a constant multiple of the hop bound. This
+# script just runs it and sanity-checks the summary shape.
+# Invoked by ctest as:
+#   cmake -DSIM_EXE=<path> -DWORK_DIR=<dir> -P sim_acceptance_test.cmake
+if(NOT DEFINED SIM_EXE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "sim_acceptance_test.cmake: pass -DSIM_EXE and "
+    "-DWORK_DIR")
+endif()
+
+execute_process(
+  COMMAND ${SIM_EXE} --scenario metric=geoline,n=2048,seed=1
+    --locates 1000 --churn 200 --check 1
+    --event-log ${WORK_DIR}/sim_acceptance.log
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE sim_stdout
+  ERROR_VARIABLE sim_stderr
+  RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+  message(FATAL_ERROR "acceptance run exited ${sim_rc}\nstdout: "
+    "${sim_stdout}\nstderr: ${sim_stderr}")
+endif()
+# Numeric gates (a querier that left before its issue time is skipped with
+# a counter, so issued can be slightly under the scheduled 1000).
+string(REGEX MATCH "\"locates\":([0-9]+)" _m "${sim_stdout}")
+set(issued ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"skipped\":([0-9]+)" _m "${sim_stdout}")
+set(skipped ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"found\":([0-9]+)" _m "${sim_stdout}")
+set(found ${CMAKE_MATCH_1})
+math(EXPR scheduled "${issued} + ${skipped}")
+if(NOT scheduled EQUAL 1000)
+  message(FATAL_ERROR "acceptance run scheduled ${scheduled} locates, "
+    "wanted 1000:\n${sim_stdout}")
+endif()
+if(found LESS 900)
+  message(FATAL_ERROR "acceptance run found only ${found}/1000 locates:\n"
+    "${sim_stdout}")
+endif()
+if(NOT sim_stdout MATCHES "\"churn_ops\":200")
+  message(FATAL_ERROR "acceptance run applied fewer than 200 churn ops:\n"
+    "${sim_stdout}")
+endif()
+if(NOT sim_stdout MATCHES "\"lost\":0[,}]")
+  message(FATAL_ERROR "acceptance run lost messages:\n${sim_stdout}")
+endif()
+if(NOT sim_stdout MATCHES "\"hop_violations\":0[,}]")
+  message(FATAL_ERROR "acceptance run breached the hop bound:\n${sim_stdout}")
+endif()
+if(NOT sim_stdout MATCHES "\"stretch_violations\":0[,}]")
+  message(FATAL_ERROR "acceptance run breached the stretch bound:\n"
+    "${sim_stdout}")
+endif()
+
+message(STATUS "sim acceptance passed: ${sim_stdout}")

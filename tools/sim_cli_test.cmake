@@ -1,0 +1,84 @@
+# Protocol-sim acceptance smoke: ron_sim must EMIT the ron_sim_* metrics the
+# simulator promises (message/byte/state accounting, hop histograms) into a
+# valid ron.metrics.v1 envelope, and two equal-seed runs must be
+# byte-deterministic — identical envelopes AND identical event logs. The
+# event-log comparison is the stronger claim: it pins the full delivery
+# order, not just the aggregates.
+# Invoked by ctest as:
+#   cmake -DSIM_EXE=<path> -DWORK_DIR=<dir> -DPYTHON_EXE=<python3>
+#         -DCHECKER=<check_metrics_json.py> -P sim_cli_test.cmake
+if(NOT DEFINED SIM_EXE OR NOT DEFINED WORK_DIR OR NOT DEFINED PYTHON_EXE
+   OR NOT DEFINED CHECKER)
+  message(FATAL_ERROR "sim_cli_test.cmake: pass -DSIM_EXE, -DWORK_DIR, "
+    "-DPYTHON_EXE and -DCHECKER")
+endif()
+
+# run_ok(<out-var> <command...>): run, require exit 0, capture stdout.
+function(run_ok out_var)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE step_stdout
+    ERROR_VARIABLE step_stderr
+    RESULT_VARIABLE step_rc)
+  if(NOT step_rc EQUAL 0)
+    message(FATAL_ERROR "'${ARGN}' exited ${step_rc}\nstdout: "
+      "${step_stdout}\nstderr: ${step_stderr}")
+  endif()
+  set(${out_var} "${step_stdout}" PARENT_SCOPE)
+endfunction()
+
+# --- 1. Churny run with every output: summary + envelope + event log ---------
+set(sim_args --scenario metric=geoline,n=256,seed=1 --locates 300 --churn 80
+  --estimates 40 --seed 42)
+run_ok(sim_out ${SIM_EXE} ${sim_args}
+  --metrics-out ${WORK_DIR}/sim_m1.json --event-log ${WORK_DIR}/sim_e1.log)
+if(NOT sim_out MATCHES "\"tool\":\"ron_sim\"")
+  message(FATAL_ERROR "ron_sim did not print its JSON summary:\n${sim_out}")
+endif()
+if(NOT sim_out MATCHES "\"lost\":0[,}]")
+  message(FATAL_ERROR "ron_sim reported lost messages:\n${sim_out}")
+endif()
+
+run_ok(check_out ${PYTHON_EXE} ${CHECKER} ${WORK_DIR}/sim_m1.json
+  --require ron_sim_messages_total
+  --require ron_sim_messages_delivered_total
+  --require ron_sim_bytes_total
+  --require ron_sim_locates_total
+  --require ron_sim_locates_found_total
+  --require ron_sim_locate_hops
+  --require ron_sim_locate_stretch
+  --require ron_sim_locate_messages
+  --require ron_sim_locate_bytes
+  --require ron_sim_dir_probe_depth
+  --require ron_sim_node_state_bytes
+  --require ron_sim_estimate_stretch
+  --require ron_sim_joins_total
+  --require ron_sim_leaves_total)
+
+# --- 2. Same spec + seeds again: bit-reproducible ----------------------------
+run_ok(sim2_out ${SIM_EXE} ${sim_args}
+  --metrics-out ${WORK_DIR}/sim_m2.json --event-log ${WORK_DIR}/sim_e2.log)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/sim_m1.json ${WORK_DIR}/sim_m2.json RESULT_VARIABLE env_diff)
+if(NOT env_diff EQUAL 0)
+  message(FATAL_ERROR "equal-seed runs produced different metrics envelopes")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/sim_e1.log ${WORK_DIR}/sim_e2.log RESULT_VARIABLE log_diff)
+if(NOT log_diff EQUAL 0)
+  message(FATAL_ERROR "equal-seed runs produced different event logs")
+endif()
+
+# --- 3. A different sim seed must actually change the schedule ---------------
+run_ok(sim3_out ${SIM_EXE} --scenario metric=geoline,n=256,seed=1
+  --locates 300 --churn 80 --estimates 40 --seed 43
+  --event-log ${WORK_DIR}/sim_e3.log)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/sim_e1.log ${WORK_DIR}/sim_e3.log RESULT_VARIABLE seed_diff)
+if(seed_diff EQUAL 0)
+  message(FATAL_ERROR "--seed 43 replayed the --seed 42 event log verbatim; "
+    "the seed is not reaching the simulator")
+endif()
+
+message(STATUS "sim CLI smoke passed")
