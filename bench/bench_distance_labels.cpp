@@ -32,7 +32,7 @@ namespace {
 
 void run_metric(const std::string& name, const MetricSpace& metric,
                 double delta, CsvWriter* csv) {
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   NeighborSystem sys(prox, delta);
   DistanceLabeling dls(sys);
   Triangulation tri(sys);

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   const std::size_t side = quick ? 10 : 16;
   const std::size_t queries = quick ? 200 : 1000;
   auto metric = grid_metric(side, side);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
                                           std::log2(prox.aspect_ratio()))) +
                                           1));

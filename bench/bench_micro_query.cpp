@@ -28,7 +28,7 @@ struct LabelFixture {
         dls(sys),
         tri(sys) {}
   EuclideanMetric metric;
-  ProximityIndex prox;
+  DenseProximityIndex prox;  // ron-lint: allow(dense) — small-n microbench
   NeighborSystem sys;
   DistanceLabeling dls;
   Triangulation tri;
@@ -64,7 +64,7 @@ void BM_BasicSchemeRoute(benchmark::State& state) {
   static auto g = random_geometric_graph(256, 0.12, 5);
   static auto apsp = std::make_shared<Apsp>(g);
   static GraphMetric metric(apsp, "spm");
-  static ProximityIndex prox(metric);
+  static DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   static BasicRoutingScheme scheme(prox, g, apsp, 0.25);
   NodeId s = 0, t = 128;
   for (auto _ : state) {
@@ -79,7 +79,7 @@ BENCHMARK(BM_BasicSchemeRoute);
 
 void BM_SmallWorldQuery(benchmark::State& state) {
   static auto metric = random_cube_metric(256, 2, 9);
-  static ProximityIndex prox(metric);
+  static DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   static NetHierarchy nets(
       prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   static MeasureView mu(prox, doubling_measure(nets));

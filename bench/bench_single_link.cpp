@@ -26,7 +26,7 @@ namespace {
 void run_graph(const std::string& name, WeightedGraph g, std::size_t queries,
                CsvWriter* csv) {
   GraphMetric gm(g);
-  ProximityIndex prox(gm);
+  DenseProximityIndex prox(gm);  // ron-lint: allow(dense) — small-n microbench
   NetHierarchy nets(prox, std::max(1, static_cast<int>(std::ceil(
                                           std::log2(prox.aspect_ratio()))) +
                                           1));

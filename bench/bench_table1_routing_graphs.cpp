@@ -40,7 +40,7 @@ void run_on_graph(const std::string& graph_name, WeightedGraph g,
                   double delta, std::size_t queries, CsvWriter* csv) {
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric metric(apsp, "spm(" + graph_name + ")");
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
 
   ConsoleTable table({"scheme", "stretch p50/max", "table bits max/avg",
                       "label bits max/avg", "header bits", "hops mean"});

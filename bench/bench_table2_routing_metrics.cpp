@@ -34,7 +34,7 @@ namespace {
 void run_on_metric(const MetricSpace& metric, double delta,
                    std::size_t queries, bool with_label_scheme,
                    CsvWriter* csv) {
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   std::cout << "\n--- metric: " << metric.name() << " (n=" << metric.n()
             << ", logΔ=" << static_cast<int>(std::log2(prox.aspect_ratio()))
             << ", delta=" << delta << ") ---\n";

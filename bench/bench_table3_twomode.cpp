@@ -26,7 +26,7 @@ namespace {
 void run(const std::string& name, WeightedGraph g, CsvWriter* csv) {
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric metric(apsp, "spm");
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   NeighborSystem sys(prox, 0.125);
   TwoModeScheme scheme(sys, g, apsp);
 

@@ -68,7 +68,7 @@ Quality pair_quality(const ProximityIndex& prox, LabelFn&& label_of,
 
 void run_metric(const std::string& name, const MetricSpace& metric,
                 double delta, CsvWriter* csv) {
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);  // ron-lint: allow(dense) — small-n microbench
   std::cout << "\n--- metric: " << name << " (n=" << metric.n()
             << ", delta=" << delta << ") ---\n";
   ConsoleTable table({"scheme", "order max/avg", "worst D+/D-",

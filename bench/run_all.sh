@@ -48,6 +48,17 @@ for exe in "$BUILD"/bench/bench_*; do
   if [ "$QUICK" = "1" ] && [[ "$name" == bench_micro_* ]]; then
     args+=(--benchmark_min_time=0.05)
   fi
+  # Large-n sparse scaling run (see bench_micro_construction.cpp): one
+  # O(n)-memory geoline build + locate sweep, 10^5 nodes in quick mode and
+  # the full 10^6-node acceptance scale otherwise. Its {...} summary line
+  # carries build seconds, peak RSS and bytes/node into the artifact.
+  if [[ "$name" == bench_micro_construction ]]; then
+    if [ "$QUICK" = "1" ]; then
+      args+=(--sparse-scale=100000)
+    else
+      args+=(--sparse-scale=1000000)
+    fi
+  fi
   start="$(date +%s.%N)"
   status=ok
   (cd "$BUILD" && "$exe" ${args[@]+"${args[@]}"}) > "$log" 2>&1 || status=fail

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   auto g = grid_graph(side, side, /*perturb=*/0.3, seed);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric gm(apsp, "spm");
-  ProximityIndex prox(gm);
+  DenseProximityIndex prox(gm);
   const double delta = 0.25;
 
   FullTableScheme full(g, apsp);

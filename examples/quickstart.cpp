@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   auto g = random_geometric_graph(n, 0.15, argc > 2 ? seed + 7 : 7);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric gm(apsp, "spm");
-  ProximityIndex gprox(gm);
+  DenseProximityIndex gprox(gm);
   BasicRoutingScheme scheme(gprox, g, apsp, delta);
   const RouteResult r = scheme.route(src, dst, 100000);
   std::cout << "\nrouting " << src << " -> " << dst

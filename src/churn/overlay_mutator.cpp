@@ -28,6 +28,11 @@ OverlayMutator::OverlayMutator(const ProximityIndex& prox,
             "OverlayMutator: directory over " << directory_.n()
                                               << " nodes, metric has "
                                               << prox_.n());
+  RON_CHECK(prox_.has_full_rows(),
+            "OverlayMutator: incremental repair walks full distance-sorted "
+            "rows and needs the dense proximity backend; rebuild with "
+            "--backend dense (n <= " << DenseProximityIndex::kMaxDenseNodes
+                                     << ")");
   const std::size_t n = prox_.n();
   RON_CHECK(spec.family.empty() || spec.n == n,
             "OverlayMutator: spec n=" << spec.n << " != metric n=" << n);

@@ -8,11 +8,53 @@
 
 namespace ron {
 
-RingsOfNeighbors::RingsOfNeighbors(std::size_t n) : rings_(n), neighbors_(n) {
+namespace {
+
+void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+/// Appends [count][first][deltas...] for a sorted-unique id list.
+void encode_ids(std::vector<std::uint8_t>& out,
+                std::span<const NodeId> ids) {
+  encode_varint(out, ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    encode_varint(out, i == 0 ? ids[0] : ids[i] - ids[i - 1]);
+  }
+}
+
+std::uint64_t read_varint(const std::uint8_t*& p) {
+  std::uint64_t x = 0;
+  int shift = 0;
+  std::uint8_t byte;
+  do {
+    byte = *p++;
+    x |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    shift += 7;
+  } while ((byte & 0x80) != 0);
+  return x;
+}
+
+/// Advances p past one [count][ids...] group.
+void skip_ids(const std::uint8_t*& p) {
+  const std::uint64_t count = read_varint(p);
+  for (std::uint64_t i = 0; i < count; ++i) read_varint(p);
+}
+
+}  // namespace
+
+RingsOfNeighbors::RingsOfNeighbors(std::size_t n)
+    : n_(n), rings_(n), neighbors_(n) {
   RON_CHECK(n >= 1, "n=" << n);
 }
 
 void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
+  RON_CHECK(!sealed_, "rings are sealed (compact storage): add_ring "
+                      "requires the mutable representation");
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   std::sort(ring.members.begin(), ring.members.end());
   ring.members.erase(std::unique(ring.members.begin(), ring.members.end()),
@@ -33,6 +75,8 @@ void RingsOfNeighbors::add_ring(NodeId u, Ring ring) {
 }
 
 Ring& RingsOfNeighbors::ring_at(NodeId u, std::size_t ring_index) {
+  RON_CHECK(!sealed_, "rings are sealed (compact storage): in-place ring "
+                      "mutation requires the mutable representation");
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   RON_CHECK(ring_index < rings_[u].size(),
             "ring index " << ring_index << " out of range (node " << u
@@ -88,6 +132,8 @@ bool RingsOfNeighbors::remove_member(NodeId u, std::size_t ring_index,
 }
 
 void RingsOfNeighbors::clear_members(NodeId u) {
+  RON_CHECK(!sealed_, "rings are sealed (compact storage): clear_members "
+                      "requires the mutable representation");
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   for (Ring& ring : rings_[u]) ring.members.clear();
   std::vector<NodeId>& cache = neighbors_[u];
@@ -104,6 +150,11 @@ void RingsOfNeighbors::set_ring_scale(NodeId u, std::size_t ring_index,
 
 bool RingsOfNeighbors::ring_contains(NodeId u, std::size_t ring_index,
                                      NodeId v) const {
+  if (sealed_) {
+    bool found = false;
+    visit_ring(u, ring_index, [&](NodeId m) { found = found || m == v; });
+    return found;
+  }
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   RON_CHECK(ring_index < rings_[u].size(),
             "ring index " << ring_index << " out of range");
@@ -112,21 +163,133 @@ bool RingsOfNeighbors::ring_contains(NodeId u, std::size_t ring_index,
 }
 
 std::span<const Ring> RingsOfNeighbors::rings(NodeId u) const {
+  RON_CHECK(!sealed_, "rings are sealed (compact storage): the rings() span "
+                      "is only available on the mutable representation — use "
+                      "num_rings/ring_scale/visit_ring");
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   return rings_[u];
 }
 
+std::size_t RingsOfNeighbors::num_rings(NodeId u) const {
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+  if (sealed_) return node_ring_first_[u + 1] - node_ring_first_[u];
+  return rings_[u].size();
+}
+
 const std::vector<NodeId>& RingsOfNeighbors::all_neighbors(NodeId u) const {
+  RON_CHECK(!sealed_, "rings are sealed (compact storage): the "
+                      "all_neighbors() reference is only available on the "
+                      "mutable representation — use visit_neighbors");
   RON_CHECK(u < rings_.size(), "node u=" << u << ", n=" << rings_.size());
   return neighbors_[u];
 }
 
 std::size_t RingsOfNeighbors::out_degree(NodeId u) const {
+  if (sealed_) {
+    RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+    return degree_[u];
+  }
   return all_neighbors(u).size();
 }
 
 std::uint64_t RingsOfNeighbors::pointer_bits(NodeId u) const {
-  return out_degree(u) * bits_for_index(rings_.size());
+  return out_degree(u) * bits_for_index(n_);
+}
+
+void RingsOfNeighbors::seal() {
+  if (sealed_) return;
+  node_blob_begin_.assign(n_ + 1, 0);
+  node_ring_first_.assign(n_ + 1, 0);
+  nbr_begin_.assign(n_ + 1, 0);
+  degree_.resize(n_);
+  std::size_t total_rings = 0;
+  for (NodeId u = 0; u < n_; ++u) total_rings += rings_[u].size();
+  ring_scale_.reserve(total_rings);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const Ring& ring : rings_[u]) {
+      ring_scale_.push_back(ring.scale);
+      encode_ids(blob_, ring.members);
+    }
+    node_ring_first_[u + 1] = ring_scale_.size();
+    node_blob_begin_[u + 1] = blob_.size();
+    // The neighbor blob omits the count prefix: degree_ already holds it,
+    // and the walk passes it to decode_ids directly.
+    const std::vector<NodeId>& nbrs = neighbors_[u];
+    degree_[u] = static_cast<std::uint32_t>(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      encode_varint(nbr_blob_, i == 0 ? nbrs[0] : nbrs[i] - nbrs[i - 1]);
+    }
+    nbr_begin_[u + 1] = nbr_blob_.size();
+    // Free each node's mutable storage as it is encoded, so the peak is
+    // one representation plus a single node, not two full copies.
+    rings_[u].clear();
+    rings_[u].shrink_to_fit();
+    neighbors_[u].clear();
+    neighbors_[u].shrink_to_fit();
+  }
+  rings_.clear();
+  rings_.shrink_to_fit();
+  neighbors_.clear();
+  neighbors_.shrink_to_fit();
+  blob_.shrink_to_fit();
+  nbr_blob_.shrink_to_fit();
+  sealed_ = true;
+}
+
+double RingsOfNeighbors::ring_scale(NodeId u, std::size_t ring_index) const {
+  RON_CHECK(ring_index < num_rings(u),
+            "ring index " << ring_index << " out of range (node " << u
+                          << " has " << num_rings(u) << " rings)");
+  if (sealed_) return ring_scale_[node_ring_first_[u] + ring_index];
+  return rings_[u][ring_index].scale;
+}
+
+void RingsOfNeighbors::visit_ring(
+    NodeId u, std::size_t ring_index,
+    const std::function<void(NodeId)>& fn) const {
+  RON_CHECK(ring_index < num_rings(u),
+            "ring index " << ring_index << " out of range (node " << u
+                          << " has " << num_rings(u) << " rings)");
+  if (!sealed_) {
+    for (NodeId v : rings_[u][ring_index].members) fn(v);
+    return;
+  }
+  const std::uint8_t* p = blob_.data() + node_blob_begin_[u];
+  for (std::size_t k = 0; k < ring_index; ++k) skip_ids(p);
+  const std::uint64_t count = read_varint(p);
+  decode_ids(p, count, fn);
+}
+
+int RingsOfNeighbors::ring_level_of(NodeId u, NodeId v) const {
+  if (!sealed_) return ron::ring_level_of(rings(u), v);
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+  const std::uint8_t* p = blob_.data() + node_blob_begin_[u];
+  const std::size_t nr = node_ring_first_[u + 1] - node_ring_first_[u];
+  for (std::size_t k = 0; k < nr; ++k) {
+    const std::uint64_t count = read_varint(p);
+    bool found = false;
+    decode_ids(p, count, [&](NodeId m) { found = found || m == v; });
+    if (found) return static_cast<int>(k);
+    for (std::uint64_t i = 0; i < count; ++i) read_varint(p);
+  }
+  return -1;
+}
+
+std::uint64_t RingsOfNeighbors::memory_bytes() const {
+  auto bytes = [](const auto& vec) {
+    return static_cast<std::uint64_t>(vec.capacity()) *
+           sizeof(typename std::decay_t<decltype(vec)>::value_type);
+  };
+  std::uint64_t total = bytes(blob_) + bytes(node_blob_begin_) +
+                        bytes(node_ring_first_) + bytes(ring_scale_) +
+                        bytes(nbr_blob_) + bytes(nbr_begin_) + bytes(degree_);
+  total += bytes(rings_) + bytes(neighbors_);
+  for (const auto& node_rings : rings_) {
+    total += bytes(node_rings);
+    for (const Ring& ring : node_rings) total += bytes(ring.members);
+  }
+  for (const auto& cache : neighbors_) total += bytes(cache);
+  return total;
 }
 
 Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
@@ -135,12 +298,14 @@ Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
   RON_CHECK(min_ball_size >= 1 && min_ball_size <= prox.n(),
             "min_ball_size=" << min_ball_size << ", n=" << prox.n());
   const Dist r = prox.kth_radius(u, min_ball_size);
-  auto ball = prox.ball(u, r);
+  const BallIds ball = prox.ball_ids(u, r);
   Ring ring;
   ring.scale = static_cast<double>(ball.size());
   ring.members.reserve(count);
+  // Canonical draw: uniform rank resolved in ascending id order, so both
+  // proximity backends sample the same nodes from the same rng stream.
   for (std::size_t i = 0; i < count; ++i) {
-    ring.members.push_back(ball[rng.index(ball.size())].v);
+    ring.members.push_back(ball.at(rng.index(ball.size())));
   }
   std::sort(ring.members.begin(), ring.members.end());
   ring.members.erase(
@@ -151,16 +316,11 @@ Ring sample_uniform_ball_ring(const ProximityIndex& prox, NodeId u,
 
 Ring sample_measure_ball_ring(const MeasureView& mu, NodeId u, Dist radius,
                               std::size_t count, Rng& rng) {
-  auto ball = mu.prox().ball(u, radius);
-  RON_CHECK(!ball.empty(), "empty ball at radius " << radius);
-  std::vector<double> weights;
-  weights.reserve(ball.size());
-  for (const auto& nb : ball) weights.push_back(mu.weight(nb.v));
   Ring ring;
   ring.scale = radius;
   ring.members.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    ring.members.push_back(ball[rng.weighted_index(weights)].v);
+    ring.members.push_back(mu.sample_in_ball(u, radius, rng));
   }
   std::sort(ring.members.begin(), ring.members.end());
   ring.members.erase(

@@ -17,10 +17,24 @@
 // (src/churn/): add_member/remove_member/clear_members keep the per-node
 // neighbor caches and the degree accounting exact under mutation, which is
 // what makes incremental overlay maintenance possible without a rebuild.
+//
+// Two storage modes. The container starts mutable (vector-of-vectors per
+// node — what churn patches in place). seal() freezes it into compact
+// storage: per-node varint-delta blobs for ring member sets and for the
+// deduped neighbor union, built for the million-node serving regime where
+// the mutable form's per-ring vector headers dominate the ids themselves.
+// After sealing, mutators and the span/reference accessors (rings(),
+// all_neighbors()) throw ron::Error; the visitation accessors
+// (visit_neighbors, visit_ring, ring_level_of) and all O(1) accounting
+// (out_degree, max/avg degree, pointer_bits) work in both modes and
+// enumerate members in the same ascending-id order, so walks and snapshot
+// writers behave identically on either representation.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,12 +57,12 @@ class RingsOfNeighbors {
  public:
   explicit RingsOfNeighbors(std::size_t n);
 
-  std::size_t n() const { return rings_.size(); }
+  std::size_t n() const { return n_; }
 
   /// Appends a ring to node u (members are deduped and sorted).
   void add_ring(NodeId u, Ring ring);
 
-  std::size_t num_rings(NodeId u) const { return rings(u).size(); }
+  std::size_t num_rings(NodeId u) const;
 
   /// Inserts v into u's `ring_index`-th ring, keeping the ring and the
   /// neighbor cache sorted. Returns false (no-op) if v is already a member.
@@ -82,27 +96,103 @@ class RingsOfNeighbors {
 
   std::size_t max_out_degree() const { return max_degree_; }
   double avg_out_degree() const {
-    return static_cast<double>(total_degree_) /
-           static_cast<double>(rings_.size());
+    // n_, not rings_.size(): seal() frees the mutable per-node vector.
+    return static_cast<double>(total_degree_) / static_cast<double>(n_);
   }
 
   /// Bits to store u's neighbor pointers as global node ids
   /// (#neighbors * ceil(log2 n) — the paper's baseline encoding).
   std::uint64_t pointer_bits(NodeId u) const;
 
+  // ---- compact storage -----------------------------------------------
+
+  /// Freezes the container into the compact varint-delta representation
+  /// and frees the mutable vectors. Idempotent. After sealing, every
+  /// mutator and the span/reference accessors throw ron::Error; use the
+  /// visit_* accessors instead.
+  void seal();
+
+  bool sealed() const { return sealed_; }
+
+  /// Scale annotation of u's ring_index-th ring (both modes).
+  double ring_scale(NodeId u, std::size_t ring_index) const;
+
+  /// Visits the members of u's ring_index-th ring in ascending id order
+  /// (both modes).
+  void visit_ring(NodeId u, std::size_t ring_index,
+                  const std::function<void(NodeId)>& fn) const;
+
+  /// Visits u's distinct neighbors in ascending id order (both modes) —
+  /// the compact-mode counterpart of all_neighbors(). Inline so the
+  /// serving walk's greedy scan does not pay an indirect call per member.
+  template <typename Fn>
+  void visit_neighbors(NodeId u, Fn&& fn) const {
+    if (!sealed_) {
+      for (NodeId v : all_neighbors(u)) fn(v);
+      return;
+    }
+    RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+    decode_ids(nbr_blob_.data() + nbr_begin_[u], degree_[u],
+               std::forward<Fn>(fn));
+  }
+
+  /// Ring level of the first ring of u containing v; -1 if none. The
+  /// member-function counterpart of the free ring_level_of below, working
+  /// in both modes.
+  int ring_level_of(NodeId u, NodeId v) const;
+
+  /// Heap bytes held by the ring storage (the bench's bytes-per-node
+  /// metric; both modes).
+  std::uint64_t memory_bytes() const;
+
  private:
   Ring& ring_at(NodeId u, std::size_t ring_index);
+
+  /// Decodes `count` varint-delta ids (first absolute, rest deltas) and
+  /// feeds them to fn in ascending order.
+  template <typename Fn>
+  static void decode_ids(const std::uint8_t* p, std::uint64_t count,
+                         Fn&& fn) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t delta = 0;
+      int shift = 0;
+      std::uint8_t byte;
+      do {
+        byte = *p++;
+        delta |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        shift += 7;
+      } while ((byte & 0x80) != 0);
+      acc = (i == 0) ? delta : acc + delta;
+      fn(static_cast<NodeId>(acc));
+    }
+  }
   /// O(n) re-derivation of max_degree_; only needed when a mutation shrinks
   /// the node currently holding the maximum (growth keeps the max exact
   /// incrementally).
   void recompute_max_degree();
 
+  std::size_t n_ = 0;
   std::vector<std::vector<Ring>> rings_;
   // Accounting caches, updated by every mutation (add_ring, add_member,
   // remove_member, clear_members) so the degree views stay O(1).
   std::vector<std::vector<NodeId>> neighbors_;  // sorted-unique union per node
   std::size_t max_degree_ = 0;
   std::uint64_t total_degree_ = 0;
+
+  // Compact mode (seal()). Ring member sets live in blob_, grouped by node:
+  // per ring, a member-count varint followed by the varint-delta ids.
+  // Scales are flat per ring; node_ring_first_ slices them per node. The
+  // deduped neighbor unions get their own blob so the serving walk decodes
+  // exactly one delta stream per hop.
+  bool sealed_ = false;
+  std::vector<std::uint8_t> blob_;
+  std::vector<std::uint64_t> node_blob_begin_;  // n+1 offsets into blob_
+  std::vector<std::uint64_t> node_ring_first_;  // n+1 indices into ring_scale_
+  std::vector<double> ring_scale_;              // flat, one per ring
+  std::vector<std::uint8_t> nbr_blob_;
+  std::vector<std::uint64_t> nbr_begin_;        // n+1 offsets into nbr_blob_
+  std::vector<std::uint32_t> degree_;           // distinct neighbors per node
 };
 
 /// Policy (1): `count` nodes sampled uniformly (with replacement, then

@@ -7,8 +7,15 @@
 namespace ron {
 
 Apsp::Apsp(const WeightedGraph& g) : n_(g.n()) {
-  dist_.resize(n_ * n_);
-  hop_.resize(n_ * n_);
+  // Same guardrail rationale as DenseProximityIndex: the two n*n matrices
+  // below are ~12 bytes/pair, so a typo'd million-node graph must fail
+  // loudly here instead of OOMing the container. Graph families have no
+  // PointSource, so they stay within the dense regime by design.
+  RON_CHECK(n_ <= 20000,
+            "Apsp: n=" << n_ << " exceeds the dense all-pairs cap of 20000 "
+            "nodes (matrices would need " << (n_ * n_ * 12) << " bytes)");
+  dist_.resize(n_ * n_);  // ron-lint: allow(dense) — guardrailed above
+  hop_.resize(n_ * n_);  // ron-lint: allow(dense) — guardrailed above
   for (NodeId u = 0; u < n_; ++u) {
     SsspResult sssp = dijkstra(g, u);
     auto fh = first_hops(g, u, sssp);

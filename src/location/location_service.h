@@ -138,6 +138,10 @@ class LocationOverlay {
   const RingsSmallWorld& model() const { return *model_; }
   const MeasureView& measure() const { return *mu_view_; }
 
+  /// Freezes the overlay's rings into compact storage — the million-node
+  /// serving mode (see RingsSmallWorld::seal_rings for the caveat).
+  void seal_rings() { model_->seal_rings(); }
+
  private:
   std::unique_ptr<NetHierarchy> nets_;     // null when the measure is borrowed
   std::unique_ptr<MeasureView> mu_;        // null when the measure is borrowed

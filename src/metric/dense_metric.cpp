@@ -6,10 +6,26 @@
 
 namespace ron {
 
+namespace {
+// Shared by both constructors: the guardrail must fire before the n*n
+// allocation is attempted, i.e. before the member-init list runs.
+std::vector<Dist> checked_matrix_alloc(std::size_t n) {
+  RON_CHECK(n <= DenseMetric::kMaxDenseMetricNodes,
+            "DenseMetric: n=" << n << " exceeds the dense-matrix cap of "
+            << DenseMetric::kMaxDenseMetricNodes << " nodes; keep large "
+            "metrics implicit (coordinate-backed families)");
+  return std::vector<Dist>(n * n);
+}
+}  // namespace
+
 DenseMetric::DenseMetric(std::size_t n, std::vector<Dist> matrix,
                          std::string name)
     : n_(n), matrix_(std::move(matrix)), name_(std::move(name)) {
   RON_CHECK(n_ >= 1, "n=" << n_);
+  RON_CHECK(n_ <= kMaxDenseMetricNodes,
+            "DenseMetric: n=" << n_ << " exceeds the dense-matrix cap of "
+            << kMaxDenseMetricNodes << " nodes; keep large metrics implicit "
+            "(coordinate-backed families)");
   RON_CHECK(matrix_.size() == n_ * n_, "matrix size must be n*n");
   check_axioms();
 }
@@ -17,7 +33,7 @@ DenseMetric::DenseMetric(std::size_t n, std::vector<Dist> matrix,
 DenseMetric::DenseMetric(std::size_t n,
                          const std::function<Dist(NodeId, NodeId)>& dist_fn,
                          std::string name)
-    : n_(n), matrix_(n * n), name_(std::move(name)) {
+    : n_(n), matrix_(checked_matrix_alloc(n)), name_(std::move(name)) {
   RON_CHECK(n_ >= 1, "n=" << n_);
   for (NodeId u = 0; u < n_; ++u) {
     for (NodeId v = 0; v < n_; ++v) {

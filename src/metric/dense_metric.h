@@ -11,6 +11,12 @@ namespace ron {
 
 class DenseMetric final : public MetricSpace {
  public:
+  /// Largest n an explicit matrix may have. The matrix costs n^2 * 8 bytes
+  /// (~3.2 GB at the cap); a typo'd n=1000000 must throw a named
+  /// ron::Error, not OOM the container. Large metrics stay implicit
+  /// (coordinate-backed families + SparseProximityIndex).
+  static constexpr std::size_t kMaxDenseMetricNodes = 20000;
+
   /// From a row-major n*n matrix. Checks symmetry and the zero diagonal;
   /// the triangle inequality is the caller's responsibility (use
   /// validate_metric in tests).

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "metric/point_source.h"
 
 namespace ron {
 
@@ -44,6 +45,10 @@ Dist EuclideanMetric::distance(NodeId u, NodeId v) const {
     s += std::pow(std::abs(a[k] - b[k]), p_);
   }
   return std::pow(s, 1.0 / p_);
+}
+
+std::unique_ptr<PointSource> EuclideanMetric::make_point_source() const {
+  return std::make_unique<ScanSource>(*this);
 }
 
 EuclideanMetric random_cube_metric(std::size_t n, std::size_t dim,

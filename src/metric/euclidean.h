@@ -25,6 +25,10 @@ class EuclideanMetric final : public MetricSpace {
   Dist distance(NodeId u, NodeId v) const override;
   std::string name() const override { return name_; }
 
+  /// No exploitable id order: sparse proximity via the ScanSource fallback
+  /// (O(n) probes per query, O(1) extra memory).
+  std::unique_ptr<PointSource> make_point_source() const override;
+
   std::size_t dim() const { return dim_; }
   const double* point(NodeId u) const { return &points_[u * dim_]; }
 

@@ -1,8 +1,10 @@
 #include "metric/line_metrics.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
+#include "metric/point_source.h"
 
 namespace ron {
 
@@ -26,6 +28,10 @@ Dist GeometricLineMetric::distance(NodeId u, NodeId v) const {
   return std::abs(coords_[u] - coords_[v]);
 }
 
+std::unique_ptr<PointSource> GeometricLineMetric::make_point_source() const {
+  return std::make_unique<LineSource>(*this);
+}
+
 UniformLineMetric::UniformLineMetric(std::size_t n, double spacing)
     : n_(n), spacing_(spacing) {
   RON_CHECK(n_ >= 1 && spacing_ > 0.0, "n=" << n_ << ", spacing=" << spacing_);
@@ -37,6 +43,10 @@ Dist UniformLineMetric::distance(NodeId u, NodeId v) const {
   return std::abs(du - dv) * spacing_;
 }
 
+std::unique_ptr<PointSource> UniformLineMetric::make_point_source() const {
+  return std::make_unique<LineSource>(*this);
+}
+
 RingMetric::RingMetric(std::size_t n, double spacing)
     : n_(n), spacing_(spacing) {
   RON_CHECK(n_ >= 3 && spacing_ > 0.0, "n=" << n_ << ", spacing=" << spacing_);
@@ -46,6 +56,10 @@ Dist RingMetric::distance(NodeId u, NodeId v) const {
   const std::size_t a = u < v ? v - u : u - v;
   const std::size_t b = n_ - a;
   return static_cast<double>(a < b ? a : b) * spacing_;
+}
+
+std::unique_ptr<PointSource> RingMetric::make_point_source() const {
+  return std::make_unique<RingSource>(*this);
 }
 
 }  // namespace ron

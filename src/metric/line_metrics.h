@@ -25,6 +25,9 @@ class GeometricLineMetric final : public MetricSpace {
   Dist distance(NodeId u, NodeId v) const override;
   std::string name() const override { return name_; }
 
+  /// Ids are sorted along the line: sparse proximity via LineSource.
+  std::unique_ptr<PointSource> make_point_source() const override;
+
   double coordinate(NodeId u) const { return coords_[u]; }
   double base() const { return base_; }
 
@@ -44,6 +47,9 @@ class UniformLineMetric final : public MetricSpace {
   Dist distance(NodeId u, NodeId v) const override;
   std::string name() const override { return "uniform-line"; }
 
+  /// Ids are sorted along the line: sparse proximity via LineSource.
+  std::unique_ptr<PointSource> make_point_source() const override;
+
  private:
   std::size_t n_;
   double spacing_;
@@ -57,6 +63,9 @@ class RingMetric final : public MetricSpace {
   std::size_t n() const override { return n_; }
   Dist distance(NodeId u, NodeId v) const override;
   std::string name() const override { return "ring"; }
+
+  /// Ids are sorted around the cycle: sparse proximity via RingSource.
+  std::unique_ptr<PointSource> make_point_source() const override;
 
  private:
   std::size_t n_;

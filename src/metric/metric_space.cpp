@@ -3,8 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "metric/point_source.h"
 
 namespace ron {
+
+std::unique_ptr<PointSource> MetricSpace::make_point_source() const {
+  return nullptr;
+}
 
 void validate_metric(const MetricSpace& m, bool check_triangle,
                      double tolerance) {

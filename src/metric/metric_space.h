@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/types.h"
 
 namespace ron {
+
+class PointSource;
 
 class MetricSpace {
  public:
@@ -23,6 +26,13 @@ class MetricSpace {
   virtual Dist distance(NodeId u, NodeId v) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// The family's spatial structure for sparse proximity (point_source.h),
+  /// or nullptr if the family has none (graph metrics, explicit matrices) —
+  /// those stay on the dense backend. The source holds a reference to this
+  /// metric and must not outlive it. Defined out of line (metric_space.cpp)
+  /// so this header needs only the forward declaration.
+  virtual std::unique_ptr<PointSource> make_point_source() const;
 };
 
 /// Exhaustively validates metric axioms (O(n^3) for the triangle inequality;

@@ -1,0 +1,317 @@
+#include "metric/point_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ron {
+
+namespace {
+
+std::vector<BallIds::Run> runs_of(std::span<const NodeId> ids) {
+  std::vector<BallIds::Run> runs;
+  std::size_t i = 0;
+  while (i < ids.size()) {
+    std::size_t j = i + 1;
+    while (j < ids.size() && ids[j] == ids[j - 1] + 1) ++j;
+    runs.push_back({ids[i], static_cast<NodeId>(ids[j - 1] + 1)});
+    i = j;
+  }
+  return runs;
+}
+
+/// k-th smallest (k >= 1) of {0} ∪ L ∪ R, where left(i), i < len_l, and
+/// right(j), j < len_r, are nondecreasing virtual arrays of positive
+/// distances (the two monotone branches away from u). O(log) probes.
+template <typename LeftFn, typename RightFn>
+Dist select_kth(std::size_t k, std::size_t len_l, std::size_t len_r,
+                LeftFn&& left, RightFn&& right) {
+  const std::size_t kk = k - 1;  // elements drawn from L ∪ R
+  if (kk == 0) return 0.0;
+  std::size_t lo = kk > len_r ? kk - len_r : 0;
+  std::size_t hi = std::min(kk, len_l);
+  // Smallest valid split (i from L, kk-i from R): monotone predicate
+  // left(i) >= right(kk-i-1), with i == hi accepted implicitly.
+  while (lo < hi) {
+    const std::size_t i = lo + (hi - lo) / 2;
+    if (left(i) >= right(kk - i - 1)) {
+      hi = i;
+    } else {
+      lo = i + 1;
+    }
+  }
+  const std::size_t i = lo;
+  const std::size_t j = kk - i;
+  Dist best = 0.0;  // distances are positive and i + j >= 1
+  if (i > 0) best = std::max(best, left(i - 1));
+  if (j > 0) best = std::max(best, right(j - 1));
+  return best;
+}
+
+}  // namespace
+
+BallIds BallIds::from_sorted_ids(std::vector<NodeId> ids) {
+  BallIds b;
+  b.size_ = ids.size();
+  auto runs = runs_of(ids);
+  if (runs.size() <= 2) {
+    b.runs_ = std::move(runs);
+  } else {
+    b.ids_ = std::move(ids);
+  }
+  return b;
+}
+
+BallIds BallIds::from_runs(std::vector<Run> runs) {
+  std::erase_if(runs, [](const Run& r) { return r.begin >= r.end; });
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.begin < b.begin; });
+  std::vector<Run> merged;
+  for (const Run& r : runs) {
+    if (!merged.empty() && r.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  BallIds b;
+  for (const Run& r : merged) b.size_ += r.end - r.begin;
+  if (merged.size() <= 2) {
+    b.runs_ = std::move(merged);
+  } else {
+    // Not a line/ring shape after all: fall back to the sorted-id form the
+    // canonicalization rule demands for > 2 maximal runs.
+    b.ids_.reserve(b.size_);
+    for (const Run& r : merged) {
+      for (NodeId v = r.begin; v < r.end; ++v) b.ids_.push_back(v);
+    }
+  }
+  return b;
+}
+
+NodeId BallIds::at(std::size_t rank) const {
+  RON_CHECK(rank < size_, "BallIds::at: rank=" << rank << ", size=" << size_);
+  if (!runs_backed()) return ids_[rank];
+  for (const Run& r : runs_) {
+    const std::size_t len = r.end - r.begin;
+    if (rank < len) return static_cast<NodeId>(r.begin + rank);
+    rank -= len;
+  }
+  RON_CHECK(false, "BallIds::at: runs shorter than size " << size_);
+  return kInvalidNode;
+}
+
+bool BallIds::contains(NodeId v) const {
+  if (runs_backed()) {
+    for (const Run& r : runs_) {
+      if (v >= r.begin && v < r.end) return true;
+    }
+    return false;
+  }
+  return std::binary_search(ids_.begin(), ids_.end(), v);
+}
+
+// ---------------------------------------------------------------------------
+// LineSource
+
+LineSource::LineSource(const MetricSpace& metric)
+    : metric_(metric), n_(metric.n()) {
+  RON_CHECK(n_ >= 2, "LineSource needs >= 2 nodes");
+}
+
+NodeId LineSource::reach_right(NodeId u, Dist r) const {
+  NodeId lo = u;
+  auto hi = static_cast<NodeId>(n_ - 1);
+  while (lo < hi) {
+    const NodeId mid = lo + (hi - lo + 1) / 2;
+    if (metric_.distance(u, mid) <= r) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+NodeId LineSource::reach_left(NodeId u, Dist r) const {
+  NodeId lo = 0;
+  NodeId hi = u;
+  while (lo < hi) {
+    const NodeId mid = lo + (hi - lo) / 2;
+    if (metric_.distance(u, mid) <= r) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+BallIds LineSource::ball_ids(NodeId u, Dist r) const {
+  if (r < 0.0) return {};
+  return BallIds::from_runs(
+      {{reach_left(u, r), static_cast<NodeId>(reach_right(u, r) + 1)}});
+}
+
+std::size_t LineSource::ball_size(NodeId u, Dist r) const {
+  if (r < 0.0) return 0;
+  return static_cast<std::size_t>(reach_right(u, r)) - reach_left(u, r) + 1;
+}
+
+Dist LineSource::kth_radius(NodeId u, std::size_t k) const {
+  RON_CHECK(k >= 1 && k <= n_, "kth_radius: k out of range");
+  return select_kth(
+      k, u, n_ - 1 - u,
+      [&](std::size_t i) { return metric_.distance(u, u - 1 - i); },
+      [&](std::size_t j) {
+        return metric_.distance(u, static_cast<NodeId>(u + 1 + j));
+      });
+}
+
+PointSource::Extremes LineSource::extremes() const {
+  Extremes e{kInfDist, 0.0};
+  for (NodeId u = 0; u < n_; ++u) {
+    // Per-node nearest is an adjacent node and farthest is an endpoint
+    // (monotone branches) — the same values the dense rows reduce.
+    Dist nearest = kInfDist;
+    if (u > 0) nearest = std::min(nearest, metric_.distance(u, u - 1));
+    if (u + 1 < n_) nearest = std::min(nearest, metric_.distance(u, u + 1));
+    const Dist farthest =
+        std::max(metric_.distance(u, 0),
+                 metric_.distance(u, static_cast<NodeId>(n_ - 1)));
+    e.dmin = std::min(e.dmin, nearest);
+    e.dmax = std::max(e.dmax, farthest);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// RingSource
+
+RingSource::RingSource(const MetricSpace& metric)
+    : metric_(metric),
+      n_(metric.n()),
+      len_left_((n_ - 1) / 2),
+      len_right_(n_ - 1 - len_left_) {
+  RON_CHECK(n_ >= 3, "RingSource needs >= 3 nodes");
+}
+
+NodeId RingSource::offset(NodeId u, std::size_t t, bool left) const {
+  const std::size_t v = left ? (u + n_ - t) % n_ : (u + t) % n_;
+  return static_cast<NodeId>(v);
+}
+
+std::size_t RingSource::reach(NodeId u, Dist r, std::size_t len,
+                              bool left) const {
+  std::size_t lo = 0;
+  std::size_t hi = len;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (metric_.distance(u, offset(u, mid, left)) <= r) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+BallIds RingSource::ball_ids(NodeId u, Dist r) const {
+  if (r < 0.0) return {};
+  const std::size_t a = reach(u, r, len_left_, true);
+  const std::size_t b = reach(u, r, len_right_, false);
+  const std::size_t count = a + b + 1;
+  if (count == n_) {
+    return BallIds::from_runs({{0, static_cast<NodeId>(n_)}});
+  }
+  const std::size_t start = (u + n_ - a) % n_;
+  if (start + count <= n_) {
+    return BallIds::from_runs({{static_cast<NodeId>(start),
+                                static_cast<NodeId>(start + count)}});
+  }
+  return BallIds::from_runs(
+      {{static_cast<NodeId>(start), static_cast<NodeId>(n_)},
+       {0, static_cast<NodeId>(start + count - n_)}});
+}
+
+std::size_t RingSource::ball_size(NodeId u, Dist r) const {
+  if (r < 0.0) return 0;
+  return reach(u, r, len_left_, true) + reach(u, r, len_right_, false) + 1;
+}
+
+Dist RingSource::kth_radius(NodeId u, std::size_t k) const {
+  RON_CHECK(k >= 1 && k <= n_, "kth_radius: k out of range");
+  return select_kth(
+      k, len_left_, len_right_,
+      [&](std::size_t i) { return metric_.distance(u, offset(u, i + 1, true)); },
+      [&](std::size_t j) {
+        return metric_.distance(u, offset(u, j + 1, false));
+      });
+}
+
+PointSource::Extremes RingSource::extremes() const {
+  Extremes e{kInfDist, 0.0};
+  for (NodeId u = 0; u < n_; ++u) {
+    const Dist nearest = std::min(metric_.distance(u, offset(u, 1, true)),
+                                  metric_.distance(u, offset(u, 1, false)));
+    const Dist farthest =
+        std::max(metric_.distance(u, offset(u, len_left_, true)),
+                 metric_.distance(u, offset(u, len_right_, false)));
+    e.dmin = std::min(e.dmin, nearest);
+    e.dmax = std::max(e.dmax, farthest);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// ScanSource
+
+ScanSource::ScanSource(const MetricSpace& metric)
+    : metric_(metric), n_(metric.n()) {
+  RON_CHECK(n_ >= 2, "ScanSource needs >= 2 nodes");
+}
+
+BallIds ScanSource::ball_ids(NodeId u, Dist r) const {
+  std::vector<NodeId> ids;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (metric_.distance(u, v) <= r) ids.push_back(v);
+  }
+  return BallIds::from_sorted_ids(std::move(ids));
+}
+
+std::size_t ScanSource::ball_size(NodeId u, Dist r) const {
+  std::size_t count = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (metric_.distance(u, v) <= r) ++count;
+  }
+  return count;
+}
+
+Dist ScanSource::kth_radius(NodeId u, std::size_t k) const {
+  RON_CHECK(k >= 1 && k <= n_, "kth_radius: k out of range");
+  std::vector<Dist> ds(n_);
+  for (NodeId v = 0; v < n_; ++v) ds[v] = metric_.distance(u, v);
+  std::nth_element(ds.begin(), ds.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   ds.end());
+  return ds[k - 1];
+}
+
+PointSource::Extremes ScanSource::extremes() const {
+  Extremes e{kInfDist, 0.0};
+  for (NodeId u = 0; u < n_; ++u) {
+    Dist nearest = kInfDist;
+    Dist farthest = 0.0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v == u) continue;
+      const Dist d = metric_.distance(u, v);
+      nearest = std::min(nearest, d);
+      farthest = std::max(farthest, d);
+    }
+    e.dmin = std::min(e.dmin, nearest);
+    e.dmax = std::max(e.dmax, farthest);
+  }
+  return e;
+}
+
+}  // namespace ron

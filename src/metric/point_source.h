@@ -1,0 +1,182 @@
+// PointSource: the metric-family hook that makes sparse proximity possible.
+//
+// The dense ProximityIndex answers every ball/rank query from n^2
+// precomputed rows. The synthetic families all have structure (sorted 1-D
+// coordinates, a cycle, low-dimensional point clouds) that answers the same
+// queries in O(log n) or O(n) per query with O(1) extra memory — a
+// PointSource is that structure behind one interface, so SparseProximityIndex
+// is one backend, not nine special cases. A family opts in by overriding
+// MetricSpace::make_point_source(); families without one (graph metrics,
+// explicit matrices) stay on the dense backend.
+//
+// Bit-identity contract: a PointSource never computes a distance itself — it
+// only decides WHICH (u, v) pairs to probe and answers with
+// metric.distance(u, v) values, so the sparse backend agrees bitwise with
+// the dense rows built from the same metric. Member sets are returned as
+// BallIds, whose representation is a pure function of the set (see below),
+// so consumers shared by both backends take identical branches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "metric/metric_space.h"
+
+namespace ron {
+
+/// A ball's member set in canonical compressed form.
+///
+/// Representation is a pure function of the member set: decompose the sorted
+/// ids into maximal runs of consecutive ids; if there are at most two runs
+/// (always true for line/ring geometry) the set is stored as those runs,
+/// otherwise as the sorted id vector. Both proximity backends therefore
+/// build the exact same object for the same ball, and code that branches on
+/// runs_backed() — the measure prefix-sum fast path — branches the same way
+/// under either backend.
+class BallIds {
+ public:
+  struct Run {
+    NodeId begin;  // inclusive
+    NodeId end;    // exclusive
+  };
+
+  BallIds() = default;
+
+  /// From strictly increasing ids. Canonicalizes to runs when possible.
+  static BallIds from_sorted_ids(std::vector<NodeId> ids);
+
+  /// From id runs in any order (at most two after merging adjacent /
+  /// overlapping ones — the line/ring case). Canonicalizes.
+  static BallIds from_runs(std::vector<Run> runs);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool runs_backed() const { return ids_.empty(); }
+
+  /// Valid iff runs_backed(); runs are disjoint, non-adjacent, ascending.
+  std::span<const Run> runs() const { return runs_; }
+  /// Valid iff !runs_backed(); strictly increasing.
+  std::span<const NodeId> ids() const { return ids_; }
+
+  /// rank-th member in ascending id order (rank < size()).
+  NodeId at(std::size_t rank) const;
+
+  bool contains(NodeId v) const;
+
+  /// Visits members in ascending id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (runs_backed()) {
+      for (const Run& r : runs_) {
+        for (NodeId v = r.begin; v < r.end; ++v) fn(v);
+      }
+    } else {
+      for (NodeId v : ids_) fn(v);
+    }
+  }
+
+ private:
+  std::vector<Run> runs_;    // canonical when the set has <= 2 maximal runs
+  std::vector<NodeId> ids_;  // otherwise: sorted ids
+  std::size_t size_ = 0;
+};
+
+/// Family-aware spatial structure answering the queries SparseProximityIndex
+/// needs. All distance values returned (or compared) come from
+/// metric.distance() probes — see the bit-identity contract above.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  virtual std::size_t n() const = 0;
+
+  /// Members of the closed ball B_u(r) (always including u for r >= 0;
+  /// empty for r < 0), canonical.
+  virtual BallIds ball_ids(NodeId u, Dist r) const = 0;
+
+  /// |B_u(r)| without materializing the set.
+  virtual std::size_t ball_size(NodeId u, Dist r) const = 0;
+
+  /// Distance from u to its k-th nearest node counting u itself
+  /// (k = 1 gives 0). Requires 1 <= k <= n.
+  virtual Dist kth_radius(NodeId u, std::size_t k) const = 0;
+
+  struct Extremes {
+    Dist dmin;  // smallest positive pairwise distance
+    Dist dmax;  // diameter
+  };
+  /// Reduced exactly as the dense build reduces them (per-node nearest /
+  /// farthest, then min/max over nodes), so the values match bitwise.
+  virtual Extremes extremes() const = 0;
+};
+
+/// 1-D metrics whose node ids are sorted along the line (geoline, uniline):
+/// distance from u is monotone nondecreasing walking away from u in either
+/// id direction. Balls are a single id run found by binary search; k-th
+/// radii select across the two monotone branches in O(log n) probes.
+class LineSource final : public PointSource {
+ public:
+  explicit LineSource(const MetricSpace& metric);
+
+  std::size_t n() const override { return n_; }
+  BallIds ball_ids(NodeId u, Dist r) const override;
+  std::size_t ball_size(NodeId u, Dist r) const override;
+  Dist kth_radius(NodeId u, std::size_t k) const override;
+  Extremes extremes() const override;
+
+ private:
+  // Largest v in [u, n-1] with d(u, v) <= r, and smallest v in [0, u].
+  NodeId reach_right(NodeId u, Dist r) const;
+  NodeId reach_left(NodeId u, Dist r) const;
+
+  const MetricSpace& metric_;
+  std::size_t n_;
+};
+
+/// Cycle metrics (the `ring` family): from u the two arc directions are
+/// monotone, covering offsets 1..(n-1)/2 (left) and 1..n-1-(n-1)/2 (right).
+/// Balls are one arc — at most two id runs.
+class RingSource final : public PointSource {
+ public:
+  explicit RingSource(const MetricSpace& metric);
+
+  std::size_t n() const override { return n_; }
+  BallIds ball_ids(NodeId u, Dist r) const override;
+  std::size_t ball_size(NodeId u, Dist r) const override;
+  Dist kth_radius(NodeId u, std::size_t k) const override;
+  Extremes extremes() const override;
+
+ private:
+  NodeId offset(NodeId u, std::size_t t, bool left) const;
+  // Largest arc reach a <= len with d(u, u -+ a) <= r.
+  std::size_t reach(NodeId u, Dist r, std::size_t len, bool left) const;
+
+  const MetricSpace& metric_;
+  std::size_t n_;
+  std::size_t len_left_;   // (n-1)/2
+  std::size_t len_right_;  // n-1-len_left_
+};
+
+/// Fallback for point families with no exploitable id order (euclid,
+/// clustered, torus): every query is an O(n) probe scan in O(1) extra
+/// memory — linear per query instead of a quadratic precomputation, which
+/// is the trade the sparse backend wants at large n. extremes() is the one
+/// O(n^2) call; it runs once per index build.
+class ScanSource final : public PointSource {
+ public:
+  explicit ScanSource(const MetricSpace& metric);
+
+  std::size_t n() const override { return n_; }
+  BallIds ball_ids(NodeId u, Dist r) const override;
+  std::size_t ball_size(NodeId u, Dist r) const override;
+  Dist kth_radius(NodeId u, std::size_t k) const override;
+  Extremes extremes() const override;
+
+ private:
+  const MetricSpace& metric_;
+  std::size_t n_;
+};
+
+}  // namespace ron

@@ -1,0 +1,89 @@
+#include "metric/sparse_proximity.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ron {
+
+SparseProximityIndex::SparseProximityIndex(const MetricSpace& metric)
+    : ProximityIndex(metric), source_(metric.make_point_source()) {
+  RON_CHECK(source_ != nullptr,
+            "SparseProximityIndex: metric '" << metric.name()
+            << "' has no PointSource (make_point_source returned null); "
+            "only point-based families support the sparse backend");
+  RON_CHECK(source_->n() == n_, "PointSource n=" << source_->n()
+                                << " != metric n=" << n_);
+  const auto [dmin, dmax] = source_->extremes();
+  dmin_ = dmin;
+  dmax_ = dmax;
+  RON_CHECK(dmin_ > 0.0, "duplicate point detected (dmin=" << dmin_ << ")");
+  init_scales();
+
+  // Truncated rows: for each node the k0 nearest as (d, v) sorted by
+  // (d, v) — exactly the dense row prefix (row_prefix() semantics, inlined
+  // so the build is one ball enumeration per node).
+  k0_ = std::min(kTruncatedRowLen, n_);
+  rows_.reserve(n_ * k0_);
+  std::vector<Neighbor> scratch;
+  for (NodeId u = 0; u < n_; ++u) {
+    const Dist r = source_->kth_radius(u, k0_);
+    scratch.clear();
+    source_->ball_ids(u, r).for_each(
+        [&](NodeId v) { scratch.push_back({metric_.distance(u, v), v}); });
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.d != b.d) return a.d < b.d;
+                return a.v < b.v;
+              });
+    RON_CHECK(scratch.size() >= k0_,
+              "PointSource ball at kth_radius(u=" << u << ", k=" << k0_
+              << ") returned only " << scratch.size() << " members");
+    rows_.insert(rows_.end(), scratch.begin(), scratch.begin() +
+                                  static_cast<std::ptrdiff_t>(k0_));
+  }
+}
+
+std::size_t SparseProximityIndex::ball_size(NodeId u, Dist r) const {
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+  return source_->ball_size(u, r);
+}
+
+BallIds SparseProximityIndex::ball_ids(NodeId u, Dist r) const {
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+  return source_->ball_ids(u, r);
+}
+
+Dist SparseProximityIndex::kth_radius(NodeId u, std::size_t k) const {
+  RON_CHECK(u < n_, "node u=" << u << ", n=" << n_);
+  RON_CHECK(k >= 1 && k <= n_, "kth_radius: k out of range");
+  if (k <= k0_) return rows_[static_cast<std::size_t>(u) * k0_ + k - 1].d;
+  return source_->kth_radius(u, k);
+}
+
+std::unique_ptr<ProximityIndex> make_proximity_index(const MetricSpace& metric,
+                                                     ProxBackend backend,
+                                                     unsigned num_threads) {
+  if (backend == ProxBackend::kAuto) {
+    backend = (metric.n() > kAutoSparseCutoff && metric.make_point_source())
+                  ? ProxBackend::kSparse
+                  : ProxBackend::kDense;
+  }
+  if (backend == ProxBackend::kSparse) {
+    return std::make_unique<SparseProximityIndex>(metric);
+  }
+  return std::make_unique<DenseProximityIndex>(metric, num_threads);
+}
+
+ProxBackend parse_prox_backend(const std::string& text) {
+  if (text == "auto") return ProxBackend::kAuto;
+  if (text == "dense") return ProxBackend::kDense;
+  if (text == "sparse") return ProxBackend::kSparse;
+  RON_CHECK(false, "unknown proximity backend '" << text
+                   << "' (want auto|dense|sparse)");
+  return ProxBackend::kAuto;
+}
+
+}  // namespace ron

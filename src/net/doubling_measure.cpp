@@ -58,34 +58,81 @@ MeasureView::MeasureView(const ProximityIndex& prox,
   const std::size_t n = prox_.n();
   RON_CHECK(weights_.size() == n, "one weight per node required");
   for (double w : weights_) RON_CHECK(w >= 0.0, "negative weight");
-  prefix_.resize(n * n);
-  for (NodeId u = 0; u < n; ++u) {
-    auto row = prox_.row(u);
-    double acc = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      acc += weights_[row[k].v];
-      prefix_[static_cast<std::size_t>(u) * n + k] = acc;
-    }
-  }
+  G_.resize(n + 1);
+  G_[0] = 0.0;
+  for (std::size_t v = 0; v < n; ++v) G_[v + 1] = G_[v] + weights_[v];
 }
 
 double MeasureView::ball_measure(NodeId u, Dist r) const {
-  const std::size_t k = prox_.ball_size(u, r);
-  if (k == 0) return 0.0;
-  return prefix_[static_cast<std::size_t>(u) * prox_.n() + (k - 1)];
+  // Sequential sum in ascending id order on both BallIds branches: the
+  // member enumeration is canonical, so either proximity backend produces
+  // the bit-identical double, and for equal weights the value matches any
+  // other summation order (the packing layer compares masses of
+  // equal-cardinality counting-measure balls and must not see ulp noise
+  // from a prefix-difference fast path). Only sample_in_ball, the hot
+  // million-node call, uses the G_ prefix.
+  double acc = 0.0;
+  prox_.ball_ids(u, r).for_each([&](NodeId v) { acc += weights_[v]; });
+  return acc;
 }
 
 Dist MeasureView::rank_radius(NodeId u, double eps) const {
   const std::size_t n = prox_.n();
   RON_CHECK(eps > 0.0, "rank_radius: eps must be positive");
-  const double* pre = &prefix_[static_cast<std::size_t>(u) * n];
-  RON_CHECK(eps <= pre[n - 1] + 1e-12,
+  RON_CHECK(eps <= ball_measure(u, prox_.dmax()) + 1e-12,
             "rank_radius: eps exceeds total mass around node " << u);
-  // First k with prefix >= eps (tolerate fp slack on the last element).
-  auto it = std::lower_bound(pre, pre + n, eps - 1e-15);
-  std::size_t k = static_cast<std::size_t>(it - pre);
-  if (k >= n) k = n - 1;
-  return prox_.row(u)[k].d;
+  // Measure of the closed k-th-radius ball is nondecreasing in the rank k,
+  // so binary search for the smallest rank whose ball reaches eps
+  // (tolerating fp slack), then report that ball's radius.
+  std::size_t lo = 1, hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ball_measure(u, prox_.kth_radius(u, mid)) >= eps - 1e-15) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return prox_.kth_radius(u, lo);
+}
+
+NodeId MeasureView::sample_in_ball(NodeId u, Dist r, Rng& rng) const {
+  const BallIds ids = prox_.ball_ids(u, r);
+  RON_CHECK(!ids.empty(), "empty ball at radius " << r);
+  // Both branches consume exactly one uniform draw, and the branch follows
+  // the canonical BallIds form, so either proximity backend advances the
+  // rng stream identically and picks the same node. Zero-weight members are
+  // never chosen (their cumulative mass never exceeds the draw).
+  if (ids.runs_backed()) {
+    const auto runs = ids.runs();
+    double mass = 0.0;
+    for (const auto& run : runs) mass += G_[run.end] - G_[run.begin];
+    RON_CHECK(mass > 0.0, "zero-mass ball at radius " << r);
+    double x = rng.uniform(0.0, mass);
+    for (const auto& run : runs) {
+      const double w = G_[run.end] - G_[run.begin];
+      if (x < w) {
+        // Smallest v in [run.begin, run.end) with G_[v + 1] > G_[run.begin]
+        // + x; x < w guarantees a hit within the run.
+        const auto it = std::upper_bound(G_.begin() + run.begin + 1,
+                                         G_.begin() + run.end + 1,
+                                         G_[run.begin] + x);
+        return static_cast<NodeId>((it - G_.begin()) - 1);
+      }
+      x -= w;
+    }
+    return runs.back().end - 1;  // fp slack: clamp to the last member
+  }
+  const auto member_ids = ids.ids();
+  double mass = 0.0;
+  for (NodeId v : member_ids) mass += weights_[v];
+  RON_CHECK(mass > 0.0, "zero-mass ball at radius " << r);
+  double x = rng.uniform(0.0, mass);
+  for (NodeId v : member_ids) {
+    x -= weights_[v];
+    if (x < 0.0) return v;
+  }
+  return member_ids.back();  // fp slack: clamp to the last member
 }
 
 double MeasureView::doubling_ratio(std::size_t center_samples,

@@ -21,6 +21,8 @@
 
 namespace ron {
 
+class Rng;
+
 /// Node weights of the Theorem 1.3 doubling measure; sums to 1.
 std::vector<double> doubling_measure(const NetHierarchy& nets);
 
@@ -42,6 +44,10 @@ class MeasureView {
   /// u of measure >= eps. Requires 0 < eps <= total mass.
   Dist rank_radius(NodeId u, double eps) const;
 
+  /// One node of B_u(r) drawn with probability weight / ball mass,
+  /// consuming exactly one uniform rng draw on either internal branch.
+  NodeId sample_in_ball(NodeId u, Dist r, Rng& rng) const;
+
   /// Empirical doubling constant: max over sampled (u, dyadic r) of
   /// mu(B_u(r)) / mu(B_u(r/2)).
   double doubling_ratio(std::size_t center_samples, std::uint64_t seed) const;
@@ -51,8 +57,13 @@ class MeasureView {
  private:
   const ProximityIndex& prox_;
   std::vector<double> weights_;
-  // prefix_[u*n + k] = sum of weights of the k+1 nearest nodes to u.
-  std::vector<double> prefix_;
+  // G_[i] = sum of weights_[0..i), so a contiguous id-range [b, e) weighs
+  // G_[e] - G_[b]. Ball measures are canonical sums over BallIds: runs-backed
+  // balls use prefix differences, id-backed balls sum sequentially — the
+  // branch depends only on the canonical ball form, so both proximity
+  // backends produce bit-identical measures. O(n) memory (the previous
+  // per-node nearest-prefix table was O(n^2)).
+  std::vector<double> G_;
 };
 
 }  // namespace ron

@@ -18,9 +18,11 @@ std::vector<NodeId> greedy_net(const ProximityIndex& prox, Dist r,
   std::vector<Dist> to_net(n, kInfDist);
   auto absorb = [&](NodeId p) {
     // Only nodes within r of p can be excluded by p; walk its ball.
-    for (const auto& nb : prox.ball(p, r)) {
-      to_net[nb.v] = std::min(to_net[nb.v], nb.d);
-    }
+    // ball_ids + a distance probe per member is portable across backends,
+    // and the per-node min makes the result independent of member order.
+    prox.ball_ids(p, r).for_each([&](NodeId v) {
+      to_net[v] = std::min(to_net[v], prox.dist(p, v));
+    });
   };
   for (NodeId p : net) absorb(p);
   for (NodeId v = 0; v < n; ++v) {
@@ -50,13 +52,14 @@ NetHierarchy::NetHierarchy(const ProximityIndex& prox, int l_max)
     for (NodeId p : members_[l]) {
       // Every node's nearest member is within spacing(l) (covering), so
       // scanning each member's spacing-ball touches all relevant pairs.
-      for (const auto& nb : prox_.ball(p, spacing(l))) {
-        if (nb.d < nearest_dist_[l][nb.v] ||
-            (nb.d == nearest_dist_[l][nb.v] && p < nearest_[l][nb.v])) {
-          nearest_dist_[l][nb.v] = nb.d;
-          nearest_[l][nb.v] = p;
+      prox_.ball_ids(p, spacing(l)).for_each([&](NodeId v) {
+        const Dist d = prox_.dist(p, v);
+        if (d < nearest_dist_[l][v] ||
+            (d == nearest_dist_[l][v] && p < nearest_[l][v])) {
+          nearest_dist_[l][v] = d;
+          nearest_[l][v] = p;
         }
-      }
+      });
     }
     for (NodeId v = 0; v < n; ++v) {
       RON_CHECK(nearest_[l][v] != kInvalidNode,
@@ -96,10 +99,18 @@ Dist NetHierarchy::nearest_member_dist(int l, NodeId u) const {
 std::vector<NodeId> NetHierarchy::members_in_ball(int l, NodeId u,
                                                   Dist R) const {
   RON_CHECK(l >= 0 && l <= l_max_, "level l=" << l << ", l_max=" << l_max_);
+  // Callers depend on the dense backend's historical (distance, id) order,
+  // so collect members with their probe distances and sort explicitly.
+  std::vector<ProximityIndex::Neighbor> hits;
+  prox_.ball_ids(u, R).for_each([&](NodeId v) {
+    if (is_member_[l][v]) hits.push_back({prox_.dist(u, v), v});
+  });
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.d != b.d ? a.d < b.d : a.v < b.v;
+  });
   std::vector<NodeId> out;
-  for (const auto& nb : prox_.ball(u, R)) {
-    if (is_member_[l][nb.v]) out.push_back(nb.v);
-  }
+  out.reserve(hits.size());
+  for (const auto& nb : hits) out.push_back(nb.v);
   return out;
 }
 

@@ -10,8 +10,9 @@ namespace ron {
 
 namespace {
 
-constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
-constexpr std::uint8_t kMagic[8] = {'R', 'O', 'N', 'S', 'N', 'A', 'P', '\n'};
+// Container framing (magic, header layout) is shared with the streaming
+// wire classes — see kSnapshotMagic / kSnapshotHeaderBytes in wire.h.
+constexpr std::size_t kHeaderBytes = kSnapshotHeaderBytes;
 
 bool kind_is_known(std::uint32_t k) {
   return k >= static_cast<std::uint32_t>(SnapshotKind::kRings) &&
@@ -67,10 +68,58 @@ std::uint64_t snapshot_checksum(std::uint32_t version, SnapshotKind kind,
   return fnv1a64_continue(fnv1a64(prefix.bytes()), payload);
 }
 
+/// Initial FNV state for the streaming wire classes, mirroring
+/// snapshot_checksum's two domains: v2 folds the version/kind prefix in
+/// front of the payload, v1 starts at the basis.
+std::uint64_t stream_checksum_seed(std::uint32_t version, SnapshotKind kind) {
+  if (version < kSnapshotVersion) return kFnv1a64Basis;
+  WireWriter prefix;
+  prefix.u32(version);
+  prefix.u32(static_cast<std::uint32_t>(kind));
+  return fnv1a64(prefix.bytes());
+}
+
+/// Validates a freshly-opened streaming reader the way read_snapshot
+/// validates a loaded file (known version, known kind) and seeds its
+/// checksum domain. The checksum itself is verified by expect_done() at the
+/// end of the parse — the reader never sees the whole payload at once —
+/// and read_count bounds any allocation a corrupt prefix could request in
+/// the meantime, so corruption still surfaces as ron::Error before a
+/// loaded object escapes.
+SnapshotInfo open_stream_section(WireStreamReader& r,
+                                 const std::string& path) {
+  const WireStreamReader::Header& h = r.header();
+  SnapshotInfo info;
+  info.version = h.version;
+  RON_CHECK(h.version == kSnapshotVersion || h.version == kSnapshotVersionV1,
+            "snapshot: " << path << " has format version " << h.version
+                         << ", this build reads " << kSnapshotVersionV1
+                         << " and " << kSnapshotVersion);
+  RON_CHECK(kind_is_known(h.kind),
+            "snapshot: " << path << " has unknown section kind " << h.kind);
+  info.kind = static_cast<SnapshotKind>(h.kind);
+  info.payload_bytes = h.payload_bytes;
+  info.checksum = h.checksum;
+  r.seed_checksum(stream_checksum_seed(h.version, info.kind));
+  return info;
+}
+
+SnapshotInfo open_stream_section_of_kind(WireStreamReader& r,
+                                         const std::string& path,
+                                         SnapshotKind want) {
+  SnapshotInfo info = open_stream_section(r, path);
+  RON_CHECK(info.kind == want,
+            "snapshot: " << path << " holds section kind "
+                         << static_cast<std::uint32_t>(info.kind)
+                         << ", expected "
+                         << static_cast<std::uint32_t>(want));
+  return info;
+}
+
 void write_snapshot(SnapshotKind kind, const WireWriter& payload,
                     const std::string& path, std::uint32_t version) {
   WireWriter header;
-  for (std::uint8_t b : kMagic) header.u8(b);
+  for (std::uint8_t b : kSnapshotMagic) header.u8(b);
   header.u32(version);
   header.u32(static_cast<std::uint32_t>(kind));
   header.u64(payload.size());
@@ -104,10 +153,10 @@ std::vector<std::uint8_t> read_snapshot(const std::string& path,
   RON_CHECK(bytes.size() >= kHeaderBytes,
             "snapshot: " << path << " is " << bytes.size()
                          << " bytes, smaller than the header");
-  RON_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+  RON_CHECK(std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) == 0,
             "snapshot: " << path << " has wrong magic (not a RON snapshot)");
-  WireReader header(std::span(bytes.data() + sizeof(kMagic),
-                              kHeaderBytes - sizeof(kMagic)));
+  WireReader header(std::span(bytes.data() + sizeof(kSnapshotMagic),
+                              kHeaderBytes - sizeof(kSnapshotMagic)));
   info.version = header.u32();
   RON_CHECK(info.version == kSnapshotVersion ||
                 info.version == kSnapshotVersionV1,
@@ -153,17 +202,20 @@ std::vector<std::uint8_t> read_snapshot_of_kind(const std::string& path,
 /// Payload prefix shared by every v2 section: the embedded scenario. v1
 /// sections have no prefix; the loader synthesizes an empty-family spec
 /// (kOracle/kObjectDirectory override it from their legacy metas).
-ScenarioSpec read_spec_prefix(WireReader& r, std::uint32_t version) {
+template <typename Reader>
+ScenarioSpec read_spec_prefix(Reader& r, std::uint32_t version) {
   return version >= kSnapshotVersion ? read_spec(r) : ScenarioSpec{};
 }
 
-void write_node_list(WireWriter& w, std::span<const NodeId> xs) {
+template <typename Writer>
+void write_node_list(Writer& w, std::span<const NodeId> xs) {
   w.u64(xs.size());
   for (NodeId v : xs) w.u32(v);
 }
 
 /// Node list with every id validated against n (kInvalidNode rejected).
-std::vector<NodeId> read_node_list(WireReader& r, std::size_t n,
+template <typename Reader>
+std::vector<NodeId> read_node_list(Reader& r, std::size_t n,
                                    const char* what) {
   const std::uint64_t count = r.read_count(sizeof(NodeId), what);
   std::vector<NodeId> xs;
@@ -289,14 +341,16 @@ void read_oracle_meta_v1(WireReader& r, ScenarioSpec& spec,
             "snapshot: oracle meta delta " << spec.delta << " outside (0,1)");
 }
 
-void write_directory_meta_v1(WireWriter& w, const ScenarioSpec& spec) {
+template <typename Writer>
+void write_directory_meta_v1(Writer& w, const ScenarioSpec& spec) {
   w.str(spec.family);
   w.u64(spec.n);
   w.u64(spec.seed);
   w.u64(spec.overlay_seed);
 }
 
-ScenarioSpec read_directory_meta_v1(WireReader& r) {
+template <typename Reader>
+ScenarioSpec read_directory_meta_v1(Reader& r) {
   // v1 directories always rebuilt their overlay with the default ring
   // profile and delta, so the synthesized spec's defaults are exact.
   ScenarioSpec spec;
@@ -312,7 +366,8 @@ ScenarioSpec read_directory_meta_v1(WireReader& r) {
   return spec;
 }
 
-void write_directory_payload(WireWriter& w, const ObjectDirectory& dir) {
+template <typename Writer>
+void write_directory_payload(Writer& w, const ObjectDirectory& dir) {
   w.u64(dir.num_objects());
   for (ObjectId obj = 0; obj < dir.num_objects(); ++obj) {
     w.str(dir.name(obj));
@@ -320,7 +375,8 @@ void write_directory_payload(WireWriter& w, const ObjectDirectory& dir) {
   }
 }
 
-ObjectDirectory read_directory_payload(WireReader& r, std::size_t n) {
+template <typename Reader>
+ObjectDirectory read_directory_payload(Reader& r, std::size_t n) {
   ObjectDirectory dir(n);
   // Every object costs at least a name length + a holder count.
   const std::uint64_t objects =
@@ -344,18 +400,22 @@ ObjectDirectory read_directory_payload(WireReader& r, std::size_t n) {
 }  // namespace
 
 SnapshotInfo inspect_snapshot(const std::string& path) {
-  SnapshotInfo info;
-  read_snapshot(path, info);
+  // Streaming: verifies length and checksum in one bounded-memory pass,
+  // so inspecting a multi-GB snapshot never loads it.
+  WireStreamReader r(path);
+  const SnapshotInfo info = open_stream_section(r, path);
+  r.drain();
+  r.expect_done();
   return info;
 }
 
 std::uint32_t peek_snapshot_kind(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   // Layout written by write_snapshot: magic[8], version u32, kind u32.
-  std::uint8_t hdr[sizeof(kMagic) + 2 * sizeof(std::uint32_t)];
+  std::uint8_t hdr[sizeof(kSnapshotMagic) + 2 * sizeof(std::uint32_t)];
   if (read_stream_prefix(in, hdr) != sizeof(hdr)) return 0;
-  if (std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0) return 0;
-  WireReader rd(std::span(hdr + sizeof(kMagic), 2 * sizeof(std::uint32_t)));
+  if (std::memcmp(hdr, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) return 0;
+  WireReader rd(std::span(hdr + sizeof(kSnapshotMagic), 2 * sizeof(std::uint32_t)));
   rd.u32();  // version (the caller routes on kind alone)
   return rd.u32();
 }
@@ -364,31 +424,40 @@ void save_rings(const RingsOfNeighbors& rings, const std::string& path,
                 const ScenarioSpec& spec, std::uint32_t version) {
   check_writable_version(version);
   check_spec_n(spec, rings.n(), "rings");
-  WireWriter w;
+  // Streaming writer: the rings section is the big one (a million-node
+  // overlay is multiple GB), so the payload goes to disk a chunk at a time
+  // instead of being materialized.
+  WireStreamWriter w(path, version,
+                     static_cast<std::uint32_t>(SnapshotKind::kRings),
+                     stream_checksum_seed(version, SnapshotKind::kRings));
   if (version >= kSnapshotVersion) {
     write_spec(w, spec);
   } else {
     check_v1_representable(spec, false, false, false, "rings");
   }
   w.u64(rings.n());
+  // Visitation accessors instead of the rings() span, so sealed (compact)
+  // and mutable containers write byte-identical snapshots.
+  std::vector<NodeId> members;
   for (NodeId u = 0; u < rings.n(); ++u) {
-    auto rs = rings.rings(u);
-    w.u64(rs.size());
-    for (const Ring& ring : rs) {
-      w.f64(ring.scale);
-      write_node_list(w, ring.members);
+    const std::size_t nr = rings.num_rings(u);
+    w.u64(nr);
+    for (std::size_t k = 0; k < nr; ++k) {
+      w.f64(rings.ring_scale(u, k));
+      members.clear();
+      rings.visit_ring(u, k, [&](NodeId v) { members.push_back(v); });
+      write_node_list(w, members);
     }
   }
-  write_snapshot(SnapshotKind::kRings, w, path, version);
+  w.finish();
 }
 
 RingsOfNeighbors load_rings(const std::string& path, ScenarioSpec* spec,
                             SnapshotInfo* info) {
-  SnapshotInfo local;
-  const std::vector<std::uint8_t> file =
-      read_snapshot_of_kind(path, SnapshotKind::kRings, local);
+  WireStreamReader r(path);
+  const SnapshotInfo local =
+      open_stream_section_of_kind(r, path, SnapshotKind::kRings);
   if (info != nullptr) *info = local;
-  WireReader r(payload_view(file));
   const ScenarioSpec embedded = read_spec_prefix(r, local.version);
   if (spec != nullptr) *spec = embedded;
   const std::uint64_t n = r.read_count(sizeof(std::uint64_t), "node");
@@ -596,7 +665,13 @@ void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
             "(the stored recipe is what locate rebuilds from)");
   RON_CHECK(spec.n == dir.n(), "save_directory: spec n " << spec.n
                                    << " != directory n " << dir.n());
-  WireWriter w;
+  // Streaming: a directory over a million-node overlay can be large too
+  // (names + holder lists), and the serving path writes it alongside the
+  // rings section.
+  WireStreamWriter w(
+      path, version,
+      static_cast<std::uint32_t>(SnapshotKind::kObjectDirectory),
+      stream_checksum_seed(version, SnapshotKind::kObjectDirectory));
   if (version >= kSnapshotVersion) {
     write_spec(w, spec);
   } else {
@@ -604,7 +679,7 @@ void save_directory(const ScenarioSpec& spec, const ObjectDirectory& dir,
     write_directory_meta_v1(w, spec);
   }
   write_directory_payload(w, dir);
-  write_snapshot(SnapshotKind::kObjectDirectory, w, path, version);
+  w.finish();
 }
 
 void save_churn_bundle(const ScenarioSpec& spec,
@@ -653,11 +728,10 @@ LoadedChurnBundle load_churn_bundle(const std::string& path,
 }
 
 LoadedDirectory load_directory(const std::string& path, SnapshotInfo* info) {
-  SnapshotInfo local;
-  const std::vector<std::uint8_t> file =
-      read_snapshot_of_kind(path, SnapshotKind::kObjectDirectory, local);
+  WireStreamReader r(path);
+  const SnapshotInfo local =
+      open_stream_section_of_kind(r, path, SnapshotKind::kObjectDirectory);
   if (info != nullptr) *info = local;
-  WireReader r(payload_view(file));
   ScenarioSpec spec = local.version >= kSnapshotVersion
                           ? read_spec(r)
                           : read_directory_meta_v1(r);

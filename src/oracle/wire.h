@@ -16,6 +16,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -52,6 +53,13 @@ std::size_t read_stream_prefix(std::istream& in, std::span<std::uint8_t> bytes);
 /// fnv1a64_continue(fnv1a64(a), b) — the snapshot layer uses it to fold the
 /// header's version/kind fields into the v2 checksum domain without
 /// materializing a concatenated buffer.
+/// Snapshot container framing, shared by the in-memory path (snapshot.cpp)
+/// and the streaming classes below: magic[8] + u32 version + u32 kind +
+/// u64 payload length + u64 checksum, then the payload.
+inline constexpr std::uint8_t kSnapshotMagic[8] = {'R', 'O', 'N', 'S',
+                                                   'N', 'A', 'P', '\n'};
+inline constexpr std::size_t kSnapshotHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
 inline constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
 std::uint64_t fnv1a64_continue(std::uint64_t state,
@@ -82,6 +90,68 @@ class WireWriter {
   }
 
   std::vector<std::uint8_t> buf_;
+};
+
+/// Chunked streaming counterpart of WireWriter for large sections (the
+/// million-node rings/directory snapshots): payload bytes are folded into a
+/// running FNV-1a state and flushed to disk kStreamChunkBytes at a time, so
+/// peak memory is one chunk instead of the whole payload. The snapshot
+/// header is written up front with placeholder length/checksum fields;
+/// finish() seeks back and patches them. The primitive API mirrors
+/// WireWriter, so payload helpers can be written once as templates.
+inline constexpr std::size_t kStreamChunkBytes = 1 << 20;
+
+class WireStreamWriter {
+ public:
+  /// Opens `path`, writes the magic/version/kind header with placeholder
+  /// length and checksum. `checksum_seed` is the initial FNV state (the
+  /// v2 domain folds the version/kind prefix in; v1 starts at the basis).
+  WireStreamWriter(const std::string& path, std::uint32_t version,
+                   std::uint32_t kind, std::uint64_t checksum_seed);
+  ~WireStreamWriter();
+  WireStreamWriter(const WireStreamWriter&) = delete;
+  WireStreamWriter& operator=(const WireStreamWriter&) = delete;
+
+  void u8(std::uint8_t v) {
+    chunk_.push_back(v);
+    if (chunk_.size() >= kStreamChunkBytes) flush_chunk();
+  }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u64) byte string.
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+
+  /// Payload bytes emitted so far.
+  std::uint64_t size() const { return total_ + chunk_.size(); }
+
+  /// Flushes the tail chunk, patches the header's payload length and
+  /// checksum, and closes the file. Must be called exactly once for a
+  /// valid snapshot. Destroying an unfinished writer (the exception path)
+  /// leaves the placeholder header in place — an unloadable file, which is
+  /// the safe failure mode.
+  void finish();
+
+ private:
+  void flush_chunk();
+
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<std::uint8_t> chunk_;
+  std::uint64_t total_ = 0;  // payload bytes already flushed
+  std::uint64_t sum_;        // running checksum over flushed bytes
+  bool finished_ = false;
 };
 
 class WireReader {
@@ -147,6 +217,93 @@ class WireReader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+};
+
+/// Bounded-memory streaming counterpart of WireReader: serves the same
+/// primitive API from a sliding window over the file, so loading a
+/// million-node section holds one chunk plus the data structure being
+/// built, never the whole payload. The running checksum is folded over
+/// bytes as they are buffered; expect_done() — which every loader must
+/// reach — verifies full consumption AND the checksum, so a corrupt tail
+/// still surfaces as ron::Error before the loaded object is returned.
+/// The construction-time validation mirrors read_snapshot: magic, known
+/// version, plausible kind, and exact file length against the header's
+/// payload promise.
+class WireStreamReader {
+ public:
+  struct Header {
+    std::uint32_t version = 0;
+    std::uint32_t kind = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t checksum = 0;  // the header's claimed checksum
+  };
+
+  explicit WireStreamReader(const std::string& path);
+  WireStreamReader(const WireStreamReader&) = delete;
+  WireStreamReader& operator=(const WireStreamReader&) = delete;
+
+  const Header& header() const { return header_; }
+
+  /// Re-seeds the running checksum (must be called before any payload read).
+  /// The construction default is the FNV basis (the v1 domain); v2 loaders
+  /// seed with the version/kind prefix hash after inspecting header().
+  void seed_checksum(std::uint64_t seed);
+
+  /// Consumes the rest of the payload unparsed (the inspect path: verifies
+  /// length and checksum without building anything).
+  void drain();
+
+  std::uint64_t remaining() const { return header_.payload_bytes - consumed_; }
+  bool done() const { return consumed_ == header_.payload_bytes; }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    ++consumed_;
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() { return get_le<std::uint32_t>("u32"); }
+  std::uint64_t u64() { return get_le<std::uint64_t>("u64"); }
+  double f64() { return std::bit_cast<double>(get_le<std::uint64_t>("f64")); }
+
+  std::string str();
+
+  /// An element count that will size an allocation (see WireReader).
+  std::uint64_t read_count(std::size_t min_elem_bytes, const char* what) {
+    const std::uint64_t count = u64();
+    RON_CHECK(min_elem_bytes == 0 || count <= remaining() / min_elem_bytes,
+              "snapshot: implausible " << what << " count " << count << " ("
+                                       << remaining() << " bytes left)");
+    return count;
+  }
+
+  /// Verifies the payload was consumed exactly and the checksum matches.
+  void expect_done();
+
+ private:
+  /// Ensures >= n contiguous unread bytes are buffered (n <= chunk size).
+  void need(std::size_t n, const char* what);
+
+  template <typename T>
+  T get_le(const char* what) {
+    need(sizeof(T), what);
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    consumed_ += sizeof(T);
+    return v;
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  Header header_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;        // next unread byte in buf_
+  std::size_t avail_ = 0;      // valid bytes in buf_
+  std::uint64_t fetched_ = 0;  // payload bytes pulled off the stream
+  std::uint64_t consumed_ = 0; // payload bytes handed to the parser
+  std::uint64_t sum_;          // running checksum over fetched bytes
 };
 
 }  // namespace ron

@@ -234,9 +234,12 @@ ResolvedParams MetricRegistry::resolve_params(const ScenarioSpec& spec) const {
 std::unique_ptr<MetricSpace> MetricRegistry::make(
     const ScenarioSpec& spec) const {
   const MetricFamily& fam = family(spec.family);
-  RON_CHECK(spec.n >= 4 && spec.n <= 100000,
+  // The upper bound is the sparse backend's regime, not the dense one:
+  // dense structures have their own guardrails (DenseProximityIndex /
+  // DenseMetric / Apsp) far below it.
+  RON_CHECK(spec.n >= 4 && spec.n <= 4000000,
             "scenario: metric size n=" << spec.n
-                                       << " outside [4, 100000]");
+                                       << " outside [4, 4000000]");
   const ResolvedParams params = resolve_params(spec);
   std::unique_ptr<MetricSpace> metric = fam.make(spec, params);
   RON_CHECK(metric != nullptr && metric->n() >= spec.n,

@@ -16,20 +16,25 @@ void ScenarioBuilder::timed_stage(const char* name, BuildFn&& build) {
 }
 
 ScenarioBuilder::ScenarioBuilder(const ScenarioSpec& spec,
-                                 unsigned num_threads,
+                                 unsigned num_threads, ProxBackend backend,
                                  const MetricRegistry& registry)
     : spec_(spec) {
   timed_stage("ron_build_metric_seconds",
               [&] { metric_ = registry.make(spec_); });
   spec_.n = metric_->n();  // canonical: families may round n up
   timed_stage("ron_build_prox_seconds", [&] {
-    prox_ = std::make_unique<ProximityIndex>(*metric_, num_threads);
+    prox_ = make_proximity_index(*metric_, backend, num_threads);
   });
   metrics_.gauge("ron_build_n").set(static_cast<double>(prox_->n()));
 }
 
 const NeighborSystem& ScenarioBuilder::neighbor_system() {
   if (sys_ == nullptr) {
+    RON_CHECK(prox_->has_full_rows(),
+              "scenario: the labeling pipeline (NeighborSystem) needs full "
+              "proximity rows; rebuild with the dense backend "
+              "(--backend dense, n <= " << DenseProximityIndex::kMaxDenseNodes
+              << ")");
     timed_stage("ron_build_neighbor_system_seconds", [&] {
       sys_ = std::make_unique<NeighborSystem>(*prox_, spec_.delta);
     });
@@ -61,6 +66,10 @@ const LocationOverlay& ScenarioBuilder::overlay() {
     timed_stage("ron_build_overlay_seconds", [&] {
       overlay_ = std::make_unique<LocationOverlay>(
           *prox_, spec_.ring_params(), spec_.overlay_seed);
+      // Large sparse-backend builds are served through LocationService
+      // (visitation accessors), so compact the rings; small dense builds
+      // keep the mutable form for churn and the span accessors.
+      if (sparse_backend()) overlay_->seal_rings();
     });
   }
   return *overlay_;

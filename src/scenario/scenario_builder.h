@@ -25,6 +25,7 @@
 #include "location/object_directory.h"
 #include "metric/metric_space.h"
 #include "metric/proximity.h"
+#include "metric/sparse_proximity.h"
 #include "scenario/metric_registry.h"
 #include "scenario/scenario_spec.h"
 #include "telemetry/metrics.h"
@@ -35,11 +36,19 @@ class ScenarioBuilder {
  public:
   /// Resolves spec.family through `registry` and builds the metric and
   /// proximity index eagerly (everything else is lazy). `num_threads`
-  /// parallelizes the proximity rows (0 = auto) and never affects results.
-  /// Throws ron::Error for an unknown family or invalid parameters.
+  /// parallelizes the dense proximity rows (0 = auto) and never affects
+  /// results. `backend` picks the proximity backend (kAuto: sparse iff the
+  /// family has a PointSource and n > kAutoSparseCutoff); sparse builds
+  /// also store their rings compactly (delta-coded, frozen). Throws
+  /// ron::Error for an unknown family or invalid parameters.
   explicit ScenarioBuilder(const ScenarioSpec& spec, unsigned num_threads = 0,
+                           ProxBackend backend = ProxBackend::kAuto,
                            const MetricRegistry& registry =
                                MetricRegistry::global());
+
+  /// True iff this build serves queries through the sparse backend (and
+  /// therefore builds compact, frozen rings).
+  bool sparse_backend() const { return !prox_->has_full_rows(); }
 
   /// The canonicalized spec (n = the metric's effective node count).
   const ScenarioSpec& spec() const { return spec_; }

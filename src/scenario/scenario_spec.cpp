@@ -185,7 +185,8 @@ std::string ScenarioSpec::to_string() const {
   return s;
 }
 
-void write_spec(WireWriter& w, const ScenarioSpec& spec) {
+template <typename Writer>
+void write_spec_impl(Writer& w, const ScenarioSpec& spec) {
   validate_wire_spec(spec);
   w.str(spec.family);
   w.u64(spec.n);
@@ -214,7 +215,15 @@ void write_spec(WireWriter& w, const ScenarioSpec& spec) {
   }
 }
 
-ScenarioSpec read_spec(WireReader& r) {
+void write_spec(WireWriter& w, const ScenarioSpec& spec) {
+  write_spec_impl(w, spec);
+}
+void write_spec(WireStreamWriter& w, const ScenarioSpec& spec) {
+  write_spec_impl(w, spec);
+}
+
+template <typename Reader>
+ScenarioSpec read_spec_impl(Reader& r) {
   ScenarioSpec spec;
   spec.family = r.str();
   spec.n = r.u64();
@@ -257,5 +266,8 @@ ScenarioSpec read_spec(WireReader& r) {
   validate_wire_spec(spec);
   return spec;
 }
+
+ScenarioSpec read_spec(WireReader& r) { return read_spec_impl(r); }
+ScenarioSpec read_spec(WireStreamReader& r) { return read_spec_impl(r); }
 
 }  // namespace ron

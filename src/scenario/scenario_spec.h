@@ -45,6 +45,8 @@
 namespace ron {
 
 class WireReader;
+class WireStreamReader;
+class WireStreamWriter;
 class WireWriter;
 
 struct ScenarioSpec {
@@ -92,7 +94,11 @@ struct ScenarioSpec {
 /// Wire-format round trip (the snapshot payload embedding). read_spec
 /// validates every field range and the canonical param ordering, so a
 /// corrupted spec throws ron::Error instead of producing a nonsense recipe.
+/// Both the in-memory and streaming wire classes are accepted (one template
+/// implementation, so the byte encodings cannot diverge).
 void write_spec(WireWriter& w, const ScenarioSpec& spec);
+void write_spec(WireStreamWriter& w, const ScenarioSpec& spec);
 ScenarioSpec read_spec(WireReader& r);
+ScenarioSpec read_spec(WireStreamReader& r);
 
 }  // namespace ron

@@ -30,11 +30,29 @@ ServedState load_overlay(const std::string& path, SnapshotKind kind,
     initial = std::move(loaded.directory);
   }
   state.builder =
-      std::make_unique<ScenarioBuilder>(spec, opts.build_threads);
+      std::make_unique<ScenarioBuilder>(spec, opts.build_threads,
+                                        opts.backend);
   RON_CHECK(state.builder->n() == initial.n(),
             "served: scenario rebuilds n = "
                 << state.builder->n() << ", snapshot directory has n = "
                 << initial.n());
+  if (state.builder->sparse_backend() &&
+      kind != SnapshotKind::kChurnBundle) {
+    // Million-node serving mode: no mutator (it needs full distance rows),
+    // one static epoch over the compact sealed rings. A churn bundle falls
+    // through to the mutator below so its replay requirement surfaces as
+    // the mutator's named error rather than silently skipping the trace.
+    auto epoch = std::make_shared<LocationEpoch>();
+    epoch->id = 1;
+    auto directory =
+        std::make_shared<const ObjectDirectory>(std::move(initial));
+    epoch->service = std::make_shared<const LocationService>(
+        state.builder->prox(), state.builder->rings(), *directory);
+    epoch->directory = std::move(directory);
+    state.engine = std::make_unique<OracleEngine>(std::move(epoch),
+                                                  opts.engine, opts.locate);
+    return state;
+  }
   state.mutator = std::make_unique<OverlayMutator>(
       state.builder->prox(), state.builder->spec(), std::move(initial),
       opts.engine.clock);

@@ -7,13 +7,16 @@
 //   kObjectDirectory              locate serving over the rebuilt overlay
 //   kChurnBundle                  locate serving over the replayed trace
 //
-// The two locate kinds ALWAYS go through an OverlayMutator, even when the
-// snapshot carries no churn: the daemon's admin channel feeds further
-// ChurnTrace ops through OverlayMutator::apply + commit() and swaps the
-// resulting LocationEpoch into the live engine with OracleEngine::apply —
-// zero-downtime epoch swaps under live traffic. Building the mutator up
-// front (bit-identical to the static ScenarioBuilder overlay) means a
-// directory snapshot is churnable from frame one, not a special case.
+// With the dense backend (the default) the two locate kinds go through an
+// OverlayMutator, even when the snapshot carries no churn: the daemon's
+// admin channel feeds further ChurnTrace ops through
+// OverlayMutator::apply + commit() and swaps the resulting LocationEpoch
+// into the live engine with OracleEngine::apply — zero-downtime epoch
+// swaps under live traffic. Building the mutator up front (bit-identical
+// to the static ScenarioBuilder overlay) means a directory snapshot is
+// churnable from frame one, not a special case. Under the sparse backend
+// (the million-node serving mode) the mutator — which needs full distance
+// rows — is skipped and the directory is served as one static epoch.
 //
 // kRings / kNeighborSystem snapshots are construction artifacts with no
 // query surface; loading one throws ron::Error.
@@ -23,6 +26,7 @@
 #include <string>
 
 #include "churn/overlay_mutator.h"
+#include "metric/sparse_proximity.h"
 #include "oracle/engine.h"
 #include "scenario/scenario_builder.h"
 
@@ -37,6 +41,13 @@ struct ServedStateOptions {
   LocateOptions locate;
   /// ScenarioBuilder threads for the overlay rebuild at load time.
   unsigned build_threads = 1;
+  /// Proximity backend for the overlay rebuild. Dense (the default) keeps
+  /// directory snapshots churnable through the admin channel; sparse (or
+  /// auto above the cutoff) serves static locate at scales where dense
+  /// rows cannot exist — the mutator is skipped and admin churn is
+  /// rejected. Churn bundles always need dense (the replay walks full
+  /// rows), so a sparse rebuild of one throws the mutator's named error.
+  ProxBackend backend = ProxBackend::kDense;
 };
 
 /// Declaration order is the lifetime order: the builder owns the metric the

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "metric/point_source.h"
 
 namespace ron {
 
@@ -19,6 +20,10 @@ Dist TorusMetric::distance(NodeId u, NodeId v) const {
   const std::size_t dy = uy > vy ? uy - vy : vy - uy;
   return static_cast<Dist>(std::min(dx, side_ - dx) +
                            std::min(dy, side_ - dy));
+}
+
+std::unique_ptr<PointSource> TorusMetric::make_point_source() const {
+  return std::make_unique<ScanSource>(*this);
 }
 
 KleinbergGrid::KleinbergGrid(std::size_t side, std::size_t q,

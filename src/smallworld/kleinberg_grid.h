@@ -22,6 +22,8 @@ class TorusMetric final : public MetricSpace {
   std::size_t n() const override { return side_ * side_; }
   Dist distance(NodeId u, NodeId v) const override;
   std::string name() const override { return "torus-l1"; }
+  /// Sparse proximity via the ScanSource fallback (O(n) probes per query).
+  std::unique_ptr<PointSource> make_point_source() const override;
   std::size_t side() const { return side_; }
 
  private:

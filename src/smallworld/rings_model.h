@@ -44,6 +44,12 @@ class RingsSmallWorld final : public SmallWorldModel {
 
   const RingsOfNeighbors& rings() const { return rings_; }
 
+  /// Freezes the ring container into compact storage (core/rings.h). The
+  /// walk-facing accessors keep working; contacts() — a span into the
+  /// mutable neighbor cache — throws afterwards, so seal only when the
+  /// overlay is consumed through LocationService.
+  void seal_rings() { rings_.seal(); }
+
   /// Ring slots per node (#rings x samples) — the quantity Theorem 5.2(a)
   /// bounds by 2^O(alpha)(log n)(log Δ). The materialized out-degree is
   /// min(slots after dedup, n), which saturates at laptop scale on the

@@ -12,7 +12,7 @@
 //     (epoch_mu_ handoff + batch epoch pinning),
 //   - per-worker LRU shard invalidation while batches are in flight (the
 //     single-owner lazy-clear discipline the annotations cannot express),
-//   - multi-threaded ProximityIndex construction (disjoint-slice handoff,
+//   - multi-threaded DenseProximityIndex construction (disjoint-slice handoff,
 //     results bit-identical to a serial build),
 //   - concurrent const readers (estimate/locate/current_epoch) against a
 //     dispatching thread and a maintenance thread.
@@ -208,9 +208,9 @@ TEST(ConcurrencyStress, ParallelProximityBuildsAreBitIdenticalToSerial) {
   ScenarioBuilder builder(ScenarioSpec::parse("metric=euclid,n=256,seed=9"),
                           /*num_threads=*/1);
   const MetricSpace& metric = builder.metric();
-  const ProximityIndex serial(metric, 1);
+  const DenseProximityIndex serial(metric, 1);
   for (std::size_t round = 0; round < kProxBuilds; ++round) {
-    const ProximityIndex parallel(metric, 4);
+    const DenseProximityIndex parallel(metric, 4);
     ASSERT_EQ(parallel.n(), serial.n());
     EXPECT_EQ(parallel.dmin(), serial.dmin());
     EXPECT_EQ(parallel.dmax(), serial.dmax());

@@ -20,7 +20,7 @@ namespace {
 
 void check_all_pairs_dls(const MetricSpace& metric, double delta,
                          double slack) {
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, delta);
   DistanceLabeling dls(sys);
   for (NodeId u = 0; u < prox.n(); ++u) {
@@ -62,7 +62,7 @@ TEST(DistanceLabeling, GuaranteeTighterDelta) {
 
 TEST(DistanceLabeling, SelfEstimateIsZero) {
   auto metric = random_cube_metric(32, 2, 7);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   const auto est = DistanceLabeling::estimate(dls.label(5), dls.label(5));
@@ -71,7 +71,7 @@ TEST(DistanceLabeling, SelfEstimateIsZero) {
 
 TEST(DistanceLabeling, EstimateIsSymmetric) {
   auto metric = random_cube_metric(48, 2, 13);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   for (NodeId u = 0; u < prox.n(); u += 5) {
@@ -85,7 +85,7 @@ TEST(DistanceLabeling, EstimateIsSymmetric) {
 
 TEST(DistanceLabeling, QuantizedDistancesAreRoundedUp) {
   auto metric = random_cube_metric(40, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   for (NodeId u = 0; u < prox.n(); u += 3) {
@@ -106,7 +106,7 @@ TEST(DistanceLabeling, ZetaTriplesAreConsistent) {
   // x = phi_u(v) for some v in N(i), y = psi_v(w), z = phi_u(w), and the
   // distances stored at x and z match d(u,v), d(u,w) up to rounding.
   auto metric = random_cube_metric(48, 2, 29);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   for (NodeId u = 0; u < prox.n(); u += 11) {
@@ -128,7 +128,7 @@ TEST(DistanceLabeling, ZetaTriplesAreConsistent) {
 
 TEST(DistanceLabeling, LabelBitsAccounting) {
   auto metric = random_cube_metric(40, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   for (NodeId u = 0; u < prox.n(); u += 13) {
@@ -151,7 +151,7 @@ TEST(DistanceLabeling, LineLabelsGrowSlowly) {
   std::vector<double> avg_bits;
   for (auto n : ns) {
     GeometricLineMetric metric(n, 1.5);
-    ProximityIndex prox(metric);
+    DenseProximityIndex prox(metric);
     NeighborSystem sys(prox, delta);
     DistanceLabeling dls(sys);
     double total = 0.0;

@@ -106,7 +106,7 @@ TEST(GraphMetric, IsAValidMetric) {
 TEST(GraphMetric, GridGraphMetricIsDoubling) {
   auto g = grid_graph(12, 12, /*perturb=*/0.1, /*seed=*/2);
   GraphMetric m(g);
-  ProximityIndex prox(m);
+  DenseProximityIndex prox(m);
   auto est = estimate_doubling_dimension(prox, 20, 4);
   EXPECT_LT(est.dimension, 5.0);
 }

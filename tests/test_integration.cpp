@@ -31,7 +31,7 @@ TEST(Integration, AllFourFamiliesOnOneClusteredMetric) {
   p.clusters = 6;
   p.per_cluster = 10;
   auto metric = clustered_metric(p, 77);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   const double delta = 0.125;
   NeighborSystem sys(prox, delta);
 
@@ -74,7 +74,7 @@ TEST(Integration, TiedDistancesGridMetric) {
   // Integer grids produce massive distance ties; every construction must
   // tolerate them (no strictness assumptions).
   auto metric = grid_metric(8, 8);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   Triangulation tri(sys);
   for (NodeId u = 0; u < prox.n(); ++u) {
@@ -93,7 +93,7 @@ TEST(Integration, TinyMetrics) {
   // n = 2 and n = 3 exercise every boundary convention at once.
   for (std::size_t n : {2u, 3u}) {
     auto metric = random_cube_metric(n, 2, 5 + n);
-    ProximityIndex prox(metric);
+    DenseProximityIndex prox(metric);
     NeighborSystem sys(prox, 0.25);
     Triangulation tri(sys);
     DistanceLabeling dls(sys);
@@ -116,7 +116,7 @@ TEST(Integration, RoutingSchemesAgreeOnDelivery) {
   auto g = random_geometric_graph(32, 0.3, 41);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric gm(apsp, "spm");
-  ProximityIndex prox(gm);
+  DenseProximityIndex prox(gm);
   NeighborSystem sys(prox, 0.125);
   DistanceLabeling dls(sys);
   BasicRoutingScheme basic(prox, g, apsp, 0.125);
@@ -135,7 +135,7 @@ TEST(Integration, RoutingSchemesAgreeOnDelivery) {
 TEST(Integration, DeterminismAcrossRebuilds) {
   // Same seed -> byte-identical structures and identical routing outcomes.
   auto metric = random_cube_metric(48, 2, 9);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(
       prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));

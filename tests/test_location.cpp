@@ -139,7 +139,7 @@ std::unique_ptr<MetricSpace> make_test_metric(const std::string& kind,
 void check_invariants(const std::string& kind, std::uint64_t seed) {
   SCOPED_TRACE(kind + " seed " + std::to_string(seed));
   auto metric = make_test_metric(kind, seed);
-  ProximityIndex prox(*metric);
+  DenseProximityIndex prox(*metric);
   LocationOverlay overlay(prox, RingsModelParams{}, seed + 100);
   ObjectDirectory dir(prox.n());
   Rng rng(seed);
@@ -184,7 +184,7 @@ TEST(LocationInvariants, EuclidAcrossSeeds) {
 
 TEST(LocationService, QuerierHoldingACopyIsZeroHops) {
   GeometricLineMetric metric(32, 1.5);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   LocationOverlay overlay(prox, RingsModelParams{}, 9);
   ObjectDirectory dir(32);
   dir.publish("x", 7);
@@ -203,7 +203,7 @@ TEST(LocationService, ZeroHolderObjectThrowsNamingIt) {
   // naming the object — churn makes this state routine, and a silent
   // found=false would masquerade as a routing failure.
   GeometricLineMetric metric(32, 1.5);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   LocationOverlay overlay(prox, RingsModelParams{}, 9);
   ObjectDirectory dir(32);
   dir.declare("ghost");
@@ -227,7 +227,7 @@ TEST(EngineLocate, ZeroHolderObjectThrowsThroughTheBatchPath) {
   // The engine's worker pool must surface the zero-holder error as
   // ron::Error on the dispatcher thread, for any worker count.
   GeometricLineMetric metric(32, 1.5);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   LocationOverlay overlay(prox, RingsModelParams{}, 9);
   ObjectDirectory dir(32);
   dir.publish("ok", 5);
@@ -252,7 +252,7 @@ TEST(LocationService, StopAtAnyHolderReportsTheFartherReplica) {
   //   d(Q,T)=10 < d(Q,H)~=11.00, but d(H,T)~=5.00 < 10, so Q -> H is a
   //   valid strict-progress greedy step toward T.
   EuclideanMetric metric({0.0, 0.0, 10.0, 0.0, 9.8, 5.0}, 2);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   RingsOfNeighbors rings(3);
   rings.add_ring(0, Ring{1.0, {2}});  // Q's only contact is H
   rings.add_ring(2, Ring{1.0, {1}});  // H's only contact is T
@@ -280,7 +280,7 @@ TEST(LocationService, StopAtAnyHolderReportsTheFartherReplica) {
 
 TEST(LocationService, MaxHopsCutsTheWalkOff) {
   GeometricLineMetric metric(64, 1.5);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   LocationOverlay overlay(prox, RingsModelParams{}, 9);
   ObjectDirectory dir(64);
   dir.publish("far", 63);
@@ -298,7 +298,7 @@ TEST(LocationService, MaxHopsCutsTheWalkOff) {
 TEST(LocationFoil, YOnlyDegradesOnTheGeometricLine) {
   const std::size_t n = 256;
   GeometricLineMetric metric(n, 1.5);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   RingsModelParams y_only;
   y_only.with_x = false;
   LocationOverlay xy(prox, RingsModelParams{}, 11);
@@ -414,7 +414,7 @@ struct LocateEngineFixture {
   }
 
   EuclideanMetric metric;
-  ProximityIndex prox;
+  DenseProximityIndex prox;
   LocationOverlay overlay;
   ObjectDirectory dir;
   std::unique_ptr<LocationService> svc;
@@ -502,7 +502,7 @@ TEST(EngineLocate, AttachToEstimateEngineChecksNodeCount) {
   LocateEngineFixture fx;
   // A labeling over a different node count must be rejected.
   EuclideanMetric other(random_cube_metric(48, 2, 23));
-  ProximityIndex other_prox(other);
+  DenseProximityIndex other_prox(other);
   NeighborSystem other_sys(other_prox, 0.25);
   OracleEngine engine(DistanceLabeling(other_sys), OracleOptions{2, 0});
   EXPECT_THROW(engine.attach_location(*fx.svc), Error);

@@ -129,7 +129,7 @@ class ProximityTest : public ::testing::Test {
  protected:
   ProximityTest() : metric_(random_cube_metric(64, 2, 5)), prox_(metric_) {}
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
 };
 
 TEST_F(ProximityTest, RowSortedAndStartsAtSelf) {
@@ -196,9 +196,9 @@ TEST(Proximity, ParallelBuildMatchesSingleThreaded) {
   // Rows, extrema, and derived counts must be bit-identical for any thread
   // count (the build partitions rows; it never partitions work within a row).
   auto metric = random_cube_metric(73, 3, 21);
-  ProximityIndex serial(metric, 1);
+  DenseProximityIndex serial(metric, 1);
   for (unsigned threads : {2u, 3u, 8u}) {
-    ProximityIndex parallel(metric, threads);
+    DenseProximityIndex parallel(metric, threads);
     EXPECT_EQ(parallel.dmin(), serial.dmin());
     EXPECT_EQ(parallel.dmax(), serial.dmax());
     EXPECT_EQ(parallel.num_levels(), serial.num_levels());
@@ -223,7 +223,7 @@ TEST(Proximity, LevelRadiusExactIntegerRanks) {
   // power-of-two n exercises the exactly-divisible one.
   for (std::size_t n : {97u, 128u}) {
     auto metric = random_cube_metric(n, 2, 7);
-    ProximityIndex prox(metric);
+    DenseProximityIndex prox(metric);
     std::size_t k_ref = n;
     for (int i = 0; i <= prox.num_levels() + 4; ++i) {
       for (NodeId u : {NodeId{0}, static_cast<NodeId>(n / 2),
@@ -256,14 +256,14 @@ TEST_F(ProximityTest, NearestIn) {
 
 TEST(Proximity, DuplicatePointsRejected) {
   EuclideanMetric m({1.0, 1.0, 1.0, 1.0}, 2);  // two identical points
-  EXPECT_THROW(ProximityIndex p(m), Error);
+  EXPECT_THROW(DenseProximityIndex p(m), Error);
 }
 
 TEST(Proximity, Lemma12_AspectRatioLowerBound) {
   // 1 + logΔ >= (log n)/alpha for every doubling metric. Check on a grid
   // (alpha ~ 2): log2(n)/alpha <= 1 + log2(aspect).
   auto m = grid_metric(16, 16);
-  ProximityIndex prox(m);
+  DenseProximityIndex prox(m);
   auto est = estimate_doubling_dimension(prox, 20, 3);
   const double lhs = 1.0 + std::log2(prox.aspect_ratio());
   const double rhs = std::log2(static_cast<double>(prox.n())) / est.dimension;
@@ -276,7 +276,7 @@ TEST(Proximity, Lemma12_AspectRatioLowerBound) {
 
 TEST(Dimension, GridIsLowDoubling) {
   auto m = grid_metric(16, 16);
-  ProximityIndex prox(m);
+  DenseProximityIndex prox(m);
   auto est = estimate_doubling_dimension(prox, 30, 1);
   EXPECT_GT(est.dimension, 1.0);
   EXPECT_LT(est.dimension, 4.5);  // planar grid: alpha ~= 2-3
@@ -284,7 +284,7 @@ TEST(Dimension, GridIsLowDoubling) {
 
 TEST(Dimension, UniformLineIsOneDimensional) {
   UniformLineMetric m(128);
-  ProximityIndex prox(m);
+  DenseProximityIndex prox(m);
   auto est = estimate_doubling_dimension(prox, 30, 1);
   EXPECT_LE(est.dimension, 2.5);
 }
@@ -293,7 +293,7 @@ TEST(Dimension, GeometricLineSeparatesDoublingFromGrid) {
   // The paper's example {1, 2, 4, ..., 2^n}: doubling dimension O(1),
   // grid dimension super-constant (Θ(log n) in the worst ball).
   GeometricLineMetric m(64, 2.0);
-  ProximityIndex prox(m);
+  DenseProximityIndex prox(m);
   auto doubling = estimate_doubling_dimension(prox, 64, 1);
   auto grid = estimate_grid_dimension(prox, 64, 1);
   EXPECT_LT(doubling.dimension, 3.5);
@@ -303,7 +303,7 @@ TEST(Dimension, GeometricLineSeparatesDoublingFromGrid) {
 TEST(Dimension, HigherDimCloudsRankCorrectly) {
   auto m2 = random_cube_metric(256, 2, 11);
   auto m5 = random_cube_metric(256, 5, 11);
-  ProximityIndex p2(m2), p5(m5);
+  DenseProximityIndex p2(m2), p5(m5);
   auto e2 = estimate_doubling_dimension(p2, 25, 2);
   auto e5 = estimate_doubling_dimension(p5, 25, 2);
   EXPECT_LT(e2.mean, e5.mean);

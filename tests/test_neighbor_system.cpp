@@ -28,7 +28,7 @@ class NeighborSystemTest : public ::testing::Test {
         sys_(prox_, /*delta=*/0.25) {}
 
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
   NeighborSystem sys_;
 };
 
@@ -193,7 +193,7 @@ TEST_F(NeighborSystemTest, ZSetsAreBallNetIntersections) {
 
 TEST(NeighborSystem, RejectsBadDelta) {
   auto metric = random_cube_metric(16, 2, 1);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   EXPECT_THROW(NeighborSystem(prox, 0.0), Error);
   EXPECT_THROW(NeighborSystem(prox, 0.5), Error);
   EXPECT_THROW(NeighborSystem(prox, -0.1), Error);
@@ -202,7 +202,7 @@ TEST(NeighborSystem, RejectsBadDelta) {
 TEST(NeighborSystem, WorksOnGeometricLine) {
   // The super-polynomial aspect-ratio regime.
   GeometricLineMetric metric(48, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   EXPECT_EQ(sys.num_levels(), 6);           // ceil(log2 48)
   EXPECT_GE(sys.num_z_scales(), 40);        // logΔ ~ n

@@ -24,7 +24,7 @@ class NetTest : public ::testing::TestWithParam<int> {
  protected:
   NetTest() : metric_(random_cube_metric(128, 2, 21)), prox_(metric_) {}
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
 };
 
 TEST_P(NetTest, SeparationAndCovering) {
@@ -66,7 +66,7 @@ INSTANTIATE_TEST_SUITE_P(Scales, NetTest, ::testing::Values(1, 3, 5, 7));
 
 TEST(Nets, SeededNetKeepsInitialPoints) {
   auto metric = random_cube_metric(64, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   const Dist r = prox.dmax() / 8.0;
   auto coarse = greedy_net(prox, r * 2.0);
   auto fine = greedy_net(prox, r, coarse);
@@ -87,11 +87,11 @@ class HierarchyTest : public ::testing::Test {
 
   int ceil_log2_needed() const {
     return static_cast<int>(
-        std::ceil(std::log2(ProximityIndex(metric_).aspect_ratio()))) + 1;
+        std::ceil(std::log2(DenseProximityIndex(metric_).aspect_ratio()))) + 1;
   }
 
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
   NetHierarchy nets_;
 };
 
@@ -155,7 +155,7 @@ TEST_F(HierarchyTest, LevelForRadius) {
 
 TEST(Cover, CoversEverything) {
   auto metric = random_cube_metric(100, 2, 4);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   std::vector<NodeId> all(prox.n());
   for (NodeId v = 0; v < prox.n(); ++v) all[v] = v;
   const Dist r = prox.dmax() / 4.0;
@@ -177,7 +177,7 @@ TEST(Cover, Lemma11_CoverSizeBound) {
   // Covering a diameter-d set with radius d/2^k balls needs <= 2^(alpha k)
   // balls; alpha <= 3 generous for a 2-D cloud.
   auto metric = random_cube_metric(128, 2, 6);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   std::vector<NodeId> all(prox.n());
   for (NodeId v = 0; v < prox.n(); ++v) all[v] = v;
   const double d = prox.dmax();
@@ -199,7 +199,7 @@ class MeasureTest : public ::testing::Test {
 
 TEST_F(MeasureTest, SumsToOneAndPositive) {
   auto metric = random_cube_metric(80, 2, 2);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(prox, levels_for(prox));
   auto mu = doubling_measure(nets);
   double total = 0.0;
@@ -212,7 +212,7 @@ TEST_F(MeasureTest, SumsToOneAndPositive) {
 
 TEST_F(MeasureTest, IsDoublingOnEuclideanCloud) {
   auto metric = random_cube_metric(128, 2, 12);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(prox, levels_for(prox));
   MeasureView mu(prox, doubling_measure(nets));
   // 2-D cloud: s = 2^O(alpha) with alpha ~ 2; allow a generous 2^7.
@@ -223,7 +223,7 @@ TEST_F(MeasureTest, IsDoublingOnGeometricLine) {
   // The exponential line is where the *counting* measure fails to be
   // doubling but the Theorem 1.3 measure succeeds.
   GeometricLineMetric metric(48, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(prox, levels_for(prox));
   MeasureView mu(prox, doubling_measure(nets));
   EXPECT_LE(mu.doubling_ratio(48, 5), 64.0);
@@ -237,7 +237,7 @@ TEST_F(MeasureTest, IsDoublingOnGeometricLine) {
 
 TEST_F(MeasureTest, ExponentialLineMassProfile) {
   GeometricLineMetric metric(32, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(prox,
                     static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));
@@ -255,7 +255,7 @@ TEST(Measure, CountingMeasureUniform) {
 
 TEST(MeasureView, BallMeasureAndRank) {
   auto metric = random_cube_metric(50, 2, 9);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   MeasureView mu(prox, counting_measure(50));
   for (NodeId u = 0; u < 50; u += 11) {
     EXPECT_NEAR(mu.ball_measure(u, prox.dmax() + 1.0), 1.0, 1e-12);
@@ -278,7 +278,7 @@ class PackingTest : public ::testing::TestWithParam<double> {
         prox_(metric_),
         mu_(prox_, counting_measure(prox_.n())) {}
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
   MeasureView mu_;
 };
 
@@ -323,7 +323,7 @@ INSTANTIATE_TEST_SUITE_P(Epsilons, PackingTest,
 
 TEST(Packing, WorksWithDoublingMeasureOnLine) {
   GeometricLineMetric metric(40, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(prox,
                     static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));
@@ -338,7 +338,7 @@ TEST(Packing, WorksWithDoublingMeasureOnLine) {
 
 TEST(Packing, RejectsBadEps) {
   auto metric = random_cube_metric(20, 2, 1);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   MeasureView mu(prox, counting_measure(20));
   EXPECT_THROW(EpsMuPacking(mu, 0.0), Error);
   EXPECT_THROW(EpsMuPacking(mu, 1.5), Error);

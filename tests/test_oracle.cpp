@@ -161,7 +161,7 @@ struct LabelingFixture {
         sys(prox, 0.25),
         dls(sys) {}
   EuclideanMetric metric;
-  ProximityIndex prox;
+  DenseProximityIndex prox;
   NeighborSystem sys;
   DistanceLabeling dls;
 };

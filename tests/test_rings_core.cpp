@@ -148,7 +148,7 @@ class RingPolicyTest : public ::testing::Test {
         mu_(prox_, doubling_measure(nets_)),
         rng_(5) {}
   EuclideanMetric metric_;
-  ProximityIndex prox_;
+  DenseProximityIndex prox_;
   NetHierarchy nets_;
   MeasureView mu_;
   Rng rng_;
@@ -210,7 +210,7 @@ TEST(RingPolicies, TwoCanonicalCollections) {
   // Build both on the exponential line and verify the radius rings give
   // logΔ scales while cardinality rings give log n scales.
   GeometricLineMetric metric(64, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NetHierarchy nets(
       prox, static_cast<int>(std::ceil(std::log2(prox.aspect_ratio()))) + 1);
   MeasureView mu(prox, doubling_measure(nets));

@@ -33,7 +33,7 @@ struct GraphFixture {
   WeightedGraph g;
   std::shared_ptr<const Apsp> apsp;
   GraphMetric metric;
-  ProximityIndex prox;
+  DenseProximityIndex prox;
 };
 
 void expect_all_pairs_stretch(const RoutingScheme& scheme,
@@ -104,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(Deltas, BasicSchemeTest,
 
 TEST(BasicScheme, OverlayModeAllPairs) {
   auto metric = random_cube_metric(48, 2, 31);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   BasicRoutingScheme scheme(prox, 0.25);
   expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
   EXPECT_GT(scheme.out_degree(0), 0u);
@@ -113,7 +113,7 @@ TEST(BasicScheme, OverlayModeAllPairs) {
 TEST(BasicScheme, OverlayOnGeometricLine) {
   // Super-polynomial aspect ratio: still delivers with (1+O(delta)) stretch.
   GeometricLineMetric metric(40, 2.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   BasicRoutingScheme scheme(prox, 0.25);
   expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
 }
@@ -168,7 +168,7 @@ TEST(GlobalIdScheme, GridGraphAllPairs) {
 
 TEST(GlobalIdScheme, OverlayAllPairs) {
   auto metric = random_cube_metric(40, 2, 21);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   GlobalIdScheme scheme(prox, 0.25);
   expect_all_pairs_stretch(scheme, prox, 1.0 + 3.0 * 0.25);
 }
@@ -219,7 +219,7 @@ TEST(LabelScheme, GeometricGraphAllPairs) {
 
 TEST(LabelScheme, OverlayAllPairs) {
   auto metric = random_cube_metric(40, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 1.0 / 6.0);
   DistanceLabeling dls(sys);
   LabelGuidedScheme scheme(prox, dls, 0.25);
@@ -228,7 +228,7 @@ TEST(LabelScheme, OverlayAllPairs) {
 
 TEST(LabelScheme, RejectsTooLargeDelta) {
   auto metric = random_cube_metric(20, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 1.0 / 6.0);
   DistanceLabeling dls(sys);
   EXPECT_THROW(LabelGuidedScheme(prox, dls, 0.7), Error);

@@ -158,8 +158,8 @@ TEST(SpecParse, BadSpecsThrowNamingTheOffendingToken) {
       {"metric=euclid,n=32,dim=0", "'dim=0' out of range", true},
       {"metric=clustered,n=32,per_cluster=2.5",
        "'per_cluster=2.5' must be an integer", true},
-      {"metric=euclid,n=3", "outside [4, 100000]", true},
-      {"metric=euclid,n=999999", "outside [4, 100000]", true},
+      {"metric=euclid,n=3", "outside [4, 4000000]", true},
+      {"metric=euclid,n=5000000", "outside [4, 4000000]", true},
       // churn clause: counts only, within sane bounds
       {"metric=euclid,churn=abc", "bad count in 'churn=abc'"},
       {"metric=euclid,churn=-5", "bad count in 'churn=-5'"},
@@ -335,7 +335,7 @@ TEST(Registry, RegistrationHookMakesNewFamilyBuildable) {
       }});
   EXPECT_TRUE(registry.has("halfline"));
   ScenarioBuilder builder(ScenarioSpec::parse("metric=halfline,n=16,seed=1"),
-                          0, registry);
+                          0, ProxBackend::kAuto, registry);
   EXPECT_EQ(builder.n(), 16u);
   EXPECT_EQ(builder.prox().dist(0, 2), 1.0);  // 2 * 0.5 spacing
   EXPECT_FALSE(MetricRegistry::global().has("halfline"));
@@ -389,7 +389,7 @@ TEST(Builder, MatchesHandAssembledPipelineBitForBit) {
   ScenarioBuilder builder(spec);
 
   EuclideanMetric metric = random_cube_metric(32, 2, 7, 1000.0);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   DistanceLabeling dls(sys);
   LocationOverlay overlay(prox, RingsModelParams{}, 5);

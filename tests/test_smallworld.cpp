@@ -30,7 +30,7 @@ struct SwFixture {
         nets(prox, std::max(1, static_cast<int>(std::ceil(
                                    std::log2(prox.aspect_ratio()))) + 1)),
         mu(prox, doubling_measure(nets)) {}
-  ProximityIndex prox;
+  DenseProximityIndex prox;
   NetHierarchy nets;
   MeasureView mu;
 };
@@ -202,7 +202,7 @@ TEST(KleinbergGrid, MoreLongLinksHelp) {
 
 TEST(GroupStructures, DegreeIsLogSquared) {
   auto metric = grid_metric(16, 16);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   GroupStructuresSmallWorld model(prox, GroupStructuresParams{}, 81);
   const double log_n = std::log2(256.0);
   EXPECT_LE(model.max_out_degree(),
@@ -212,7 +212,7 @@ TEST(GroupStructures, DegreeIsLogSquared) {
 
 TEST(GroupStructures, DeliversOnGridMetric) {
   auto metric = grid_metric(16, 16);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   // The w.h.p. guarantee needs a sufficient sampling constant: the final
   // greedy step requires the target itself among the penultimate node's
   // contacts (no guaranteed local links in STRUCTURES).
@@ -228,7 +228,7 @@ TEST(GroupStructures, ContactProbabilityTracksInverseBallSize) {
   // Theorem 5.4(d): Pr[v is a contact of u] = Theta(log n)/x_uv. Compare
   // the empirical frequency over seeds for near vs far pairs.
   auto metric = grid_metric(12, 12);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   const NodeId u = 5 * 12 + 5;
   const NodeId near = u + 1;
   const NodeId far = 11 * 12 + 11;

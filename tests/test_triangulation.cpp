@@ -30,7 +30,7 @@ class TriangulationGuarantee
     : public ::testing::TestWithParam<TriCase> {};
 
 void check_all_pairs(const MetricSpace& metric, double delta) {
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, delta);
   Triangulation tri(sys);
   const double bound = (1.0 + 2.0 * delta) / (1.0 - 2.0 * delta);
@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Triangulation, LabelsMatchMetric) {
   auto metric = random_cube_metric(50, 2, 3);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   Triangulation tri(sys);
   for (NodeId u = 0; u < prox.n(); u += 7) {
@@ -99,7 +99,7 @@ TEST(Triangulation, LabelsMatchMetric) {
 
 TEST(Triangulation, SelfEstimateIsZero) {
   auto metric = random_cube_metric(30, 2, 8);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   Triangulation tri(sys);
   const TriBounds b = triangulate(tri.label(4), tri.label(4));
@@ -115,7 +115,7 @@ TEST(Triangulation, LeanProfileShrinksLabels) {
   // must only ever shrink them.
   const double delta = 0.25;
   auto metric = random_cube_metric(512, 2, 77);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem paper_sys(prox, delta, NeighborProfile::paper());
   NeighborSystem lean_sys(prox, delta, NeighborProfile::lean());
   Triangulation paper_tri(paper_sys), lean_tri(lean_sys);
@@ -132,7 +132,7 @@ TEST(Triangulation, OrderGrowsLogarithmicallyOnGeometricLine) {
   std::vector<double> orders;
   for (auto n : ns) {
     GeometricLineMetric metric(n, 1.5);
-    ProximityIndex prox(metric);
+    DenseProximityIndex prox(metric);
     NeighborSystem sys(prox, delta);
     Triangulation tri(sys);
     orders.push_back(static_cast<double>(tri.order()));
@@ -144,7 +144,7 @@ TEST(Triangulation, OrderGrowsLogarithmicallyOnGeometricLine) {
 
 TEST(Triangulation, LeanProfileStillAccurateEmpirically) {
   auto metric = random_cube_metric(128, 2, 99);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   const double delta = 0.25;
   NeighborSystem sys(prox, delta, NeighborProfile::lean());
   Triangulation tri(sys);
@@ -163,7 +163,7 @@ TEST(Triangulation, LeanProfileStillAccurateEmpirically) {
 
 TEST(Triangulation, LabelBitsAccounting) {
   auto metric = random_cube_metric(64, 2, 9);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);
   Triangulation tri(sys);
   DistanceCodec codec(prox.dmin(), prox.dmax(), 0.25 / 8.0);
@@ -178,7 +178,7 @@ TEST(Triangulation, LabelBitsAccounting) {
 
 TEST(BeaconTriangulation, LabelsAndEstimates) {
   auto metric = random_cube_metric(80, 2, 4);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   BeaconTriangulation bt(prox, 10, BeaconPlacement::kUniformRandom, 42);
   EXPECT_EQ(bt.order(), 10u);
   const TriBounds b = triangulate(bt.label(3), bt.label(9));
@@ -190,7 +190,7 @@ TEST(BeaconTriangulation, LabelsAndEstimates) {
 
 TEST(BeaconTriangulation, NetPlacementSpreadsBeacons) {
   auto metric = random_cube_metric(100, 2, 6);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   BeaconTriangulation bt(prox, 12, BeaconPlacement::kNet, 7);
   EXPECT_EQ(bt.beacons().size(), 12u);
 }
@@ -204,7 +204,7 @@ TEST(BeaconTriangulation, SharedBeaconsFailOnSomePairs) {
   p.clusters = 8;
   p.per_cluster = 10;
   auto metric = clustered_metric(p, 11);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   const double delta = 0.25;
   BeaconTriangulation bt(prox, 6, BeaconPlacement::kUniformRandom, 1);
   std::size_t bad = 0, total = 0;
@@ -222,7 +222,7 @@ TEST(BeaconTriangulation, SharedBeaconsFailOnSomePairs) {
 
 TEST(BeaconTriangulation, RejectsBadK) {
   auto metric = random_cube_metric(20, 2, 2);
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   EXPECT_THROW(
       BeaconTriangulation(prox, 0, BeaconPlacement::kUniformRandom, 3),
       Error);

@@ -24,7 +24,7 @@ struct TwoModeFixture {
   WeightedGraph g;
   std::shared_ptr<const Apsp> apsp;
   GraphMetric metric;
-  ProximityIndex prox;
+  DenseProximityIndex prox;
   NeighborSystem sys;
   TwoModeScheme scheme;
 };
@@ -97,7 +97,7 @@ TEST(TwoMode, RejectsLargeDelta) {
   auto g = grid_graph(4, 4, 0.2, 3);
   auto apsp = std::make_shared<Apsp>(g);
   GraphMetric metric(apsp, "spm");
-  ProximityIndex prox(metric);
+  DenseProximityIndex prox(metric);
   NeighborSystem sys(prox, 0.25);  // > 1/8
   EXPECT_THROW(TwoModeScheme(sys, g, apsp), Error);
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """ron_lint: house invariants no generic linter can check.
 
-Six rules, each load-bearing for this repo specifically:
+Seven rules, each load-bearing for this repo specifically:
 
   raw-bytes      Snapshot code must not hand-roll byte access: no memcpy/
                  memmove/reinterpret_cast anywhere in src/oracle/ outside
@@ -45,6 +45,16 @@ Six rules, each load-bearing for this repo specifically:
                  to Server/Client, which own the EINTR/partial-I/O/SIGPIPE
                  handling — a stray recv() elsewhere would re-open exactly
                  the robustness holes src/served/ exists to close.
+
+  dense          O(n^2) structures live only in src/metric/: constructing
+                 DenseMetric / DenseProximityIndex, or resizing a container
+                 to n*n, anywhere else in src/, tools/ or bench/ is a
+                 finding. Everything outside src/metric/ reaches proximity
+                 data through make_proximity_index() and the backend-
+                 portable ProximityIndex surface (ball_ids/row_prefix/
+                 kth_radius/...), which is what lets a sparse backend serve
+                 10^6 nodes. Small-n benches and the guardrailed APSP
+                 matrices carry per-line waivers.
 
   test-timeout   Every registered test carries a TIMEOUT property (both
                  gtest_discover_tests and raw add_test registrations). A
@@ -128,6 +138,18 @@ SOCKETS_RE = re.compile(
     r"setsockopt|getsockname|getpeername|inet_pton|inet_ntop|htons|ntohs|"
     r"poll|epoll_\w+|pipe2?)\s*\(")
 SOCKETS_EXEMPT_DIR = os.path.join("src", "served") + os.sep
+
+# Construction of a dense type (declaration, make_unique<...>, temporary).
+# `(?!\s*::)` keeps scope access legal everywhere: error messages that print
+# DenseProximityIndex::kMaxDenseNodes are guidance, not a dense matrix.
+DENSE_TYPE_RE = re.compile(r"\bDense(?:ProximityIndex|Metric)\b(?!\s*::)")
+# A container sized to n*n is a dense matrix whatever its element type.
+DENSE_ALLOC_RE = re.compile(
+    r"\b(?:resize|reserve|assign)\s*\(\s*(?:n|n_|num_nodes_?)\s*\*\s*"
+    r"(?:n|n_|num_nodes_?)\b"
+    r"|\bvector\s*<[^<>]*>\s*\(\s*(?:n|n_|num_nodes_?)\s*\*\s*"
+    r"(?:n|n_|num_nodes_?)\b")
+DENSE_EXEMPT_DIR = os.path.join("src", "metric") + os.sep
 
 
 class Finding:
@@ -328,6 +350,28 @@ def split_check_args(text: str, start: int):
     return None
 
 
+def check_dense(findings: list):
+    for path in cxx_files("src", "tools", "bench"):
+        if os.path.relpath(path, REPO_ROOT).startswith(DENSE_EXEMPT_DIR):
+            continue
+        for lineno, code, raw in iter_code_lines(path):
+            m = DENSE_TYPE_RE.search(code)
+            if m and not allowed(raw, "dense"):
+                findings.append(Finding(
+                    path, lineno, "dense",
+                    f"'{m.group(0)}' constructed outside src/metric/ — go "
+                    "through make_proximity_index() and the backend-portable "
+                    "ProximityIndex surface so the code path also works at "
+                    "sparse scale"))
+            m = DENSE_ALLOC_RE.search(code)
+            if m and not allowed(raw, "dense"):
+                findings.append(Finding(
+                    path, lineno, "dense",
+                    f"'{m.group(0).strip()}' allocates an n*n matrix outside "
+                    "src/metric/ — dense-quadratic storage is confined there "
+                    "(or waive with a justified guardrail)"))
+
+
 def check_messages(findings: list):
     call_re = re.compile(r"\bRON_CHECK\s*\(")
     for path in cxx_files("src", "tools", "bench"):
@@ -416,6 +460,7 @@ RULES = {
     "determinism": check_determinism,
     "clock": check_clock,
     "check-message": check_messages,
+    "dense": check_dense,
     "sockets": check_sockets,
     "test-timeout": check_test_timeouts,
 }

@@ -53,6 +53,7 @@
 #include "common/rng.h"
 #include "location/location_service.h"
 #include "location/object_directory.h"
+#include "metric/sparse_proximity.h"
 #include "oracle/engine.h"
 #include "oracle/snapshot.h"
 #include "scenario/metric_registry.h"
@@ -76,6 +77,7 @@ int usage(std::ostream& os) {
         "                   [--kind oracle|rings|labeling|neighbor-system|"
         "directory]\n"
         "                   [--objects K] [--replicas R] [--threads T]\n"
+        "                   [--backend auto|dense|sparse]\n"
         "  ron_oracle info FILE\n"
         "  ron_oracle query FILE --pairs \"u,v;u,v;...\" [--threads T] "
         "[--cache C]\n"
@@ -99,6 +101,11 @@ int usage(std::ostream& os) {
         "every subcommand accepts --metrics-out FILE (telemetry snapshot,\n"
         "schema ron.metrics.v1); bench/locate/stats also accept\n"
         "--trace-sample N (record every Nth locate ring-walk)\n"
+        "\n"
+        "--backend auto|dense|sparse picks the proximity index (bench,\n"
+        "publish, locate, stats too): auto uses dense rows up to n=4096 and\n"
+        "the sparse per-node index above; labeling builds and churn repair\n"
+        "need --backend dense (n <= 20000)\n"
         "\n"
         "scenario spec grammar (key=value, comma separated):\n"
         "  metric=FAMILY (required), n=N, seed=S, delta=D, overlay_seed=O,\n"
@@ -132,6 +139,14 @@ ScenarioSpec require_scenario(const Args& args, const char* cmd) {
 unsigned thread_count(const Args& args) {
   return static_cast<unsigned>(parse_u64(args.get("threads", "1"),
                                          "--threads"));
+}
+
+/// --backend auto|dense|sparse (default auto: dense up to the cutoff in
+/// metric/sparse_proximity.h, sparse above it). Subcommands whose pipeline
+/// requires full proximity rows (labeling builds, churn repair) throw a
+/// named error under sparse that says to pass --backend dense.
+ProxBackend prox_backend(const Args& args) {
+  return parse_prox_backend(args.get("backend", "auto"));
 }
 
 OracleOptions engine_options(const Args& args) {
@@ -250,7 +265,7 @@ ObjectDirectory build_directory(const ScenarioBuilder& builder,
 
 int cmd_build(const Args& args) {
   args.expect_known({"scenario", "out", "kind", "objects", "replicas",
-                     "threads", "metrics-out"});
+                     "threads", "backend", "metrics-out"});
   args.expect_positionals(0, "no positional arguments for build");
   if (!args.has("out")) throw UsageError("build: --out FILE is required");
   const std::string out = args.get("out", "");
@@ -265,7 +280,7 @@ int cmd_build(const Args& args) {
     }
   }
   ScenarioBuilder builder(require_scenario(args, "build"),
-                          thread_count(args));
+                          thread_count(args), prox_backend(args));
   const ScenarioSpec& spec = builder.spec();
   std::cout << "building " << kind << " over " << builder.metric().name()
             << "\n  scenario: " << spec.to_string() << "\n";
@@ -440,7 +455,7 @@ int cmd_query(const Args& args) {
 
 int cmd_bench(const Args& args) {
   args.expect_known({"scenario", "queries", "batch", "threads", "cache",
-                     "seed", "locate-queries", "metrics-out",
+                     "seed", "locate-queries", "backend", "metrics-out",
                      "trace-sample"});
   const bool from_spec = args.has("scenario");
   if (from_spec) {
@@ -467,7 +482,8 @@ int cmd_bench(const Args& args) {
   DistanceLabeling labeling = [&] {
     if (from_spec) {
       builder = std::make_unique<ScenarioBuilder>(
-          require_scenario(args, "bench"), thread_count(args));
+          require_scenario(args, "bench"), thread_count(args),
+          prox_backend(args));
       std::cout << "# built in-memory scenario: "
                 << builder->spec().to_string() << "\n";
       return builder->take_labeling();
@@ -558,7 +574,7 @@ int cmd_bench(const Args& args) {
 
 int cmd_publish(const Args& args) {
   args.expect_known({"scenario", "out", "objects", "replicas", "object",
-                     "holders", "threads", "metrics-out"});
+                     "holders", "threads", "backend", "metrics-out"});
   args.expect_positionals(0, "no positional arguments for publish");
   if (!args.has("out")) throw UsageError("publish: --out FILE is required");
   const std::string out = args.get("out", "");
@@ -566,7 +582,7 @@ int cmd_publish(const Args& args) {
   // etc.); the directory and the embedded recipe both use the effective
   // count so locate rebuilds the identical space.
   ScenarioBuilder builder(require_scenario(args, "publish"),
-                          thread_count(args));
+                          thread_count(args), prox_backend(args));
   const ObjectDirectory dir = build_directory(builder, args);
   save_directory(builder.spec(), dir, out);
   std::cout << "published " << dir.num_objects() << " objects ("
@@ -604,8 +620,10 @@ LocateState load_locate_state(const std::string& path, const Args& args) {
           "trace is only valid against the embedded scenario)");
     }
     LoadedChurnBundle bundle = load_churn_bundle(path);
-    state.builder =
-        std::make_unique<ScenarioBuilder>(bundle.spec, thread_count(args));
+    // Churn replay goes through OverlayMutator, whose incremental repair
+    // walks full distance-sorted rows — dense backend by construction.
+    state.builder = std::make_unique<ScenarioBuilder>(
+        bundle.spec, thread_count(args), ProxBackend::kDense);
     state.mutator = std::make_unique<OverlayMutator>(
         state.builder->prox(), state.builder->spec(),
         std::move(bundle.initial));
@@ -619,7 +637,8 @@ LocateState load_locate_state(const std::string& path, const Args& args) {
   const ScenarioSpec spec = args.has("scenario")
                                 ? ScenarioSpec::parse(args.get("scenario", ""))
                                 : loaded.spec;
-  state.builder = std::make_unique<ScenarioBuilder>(spec, thread_count(args));
+  state.builder = std::make_unique<ScenarioBuilder>(spec, thread_count(args),
+                                                    prox_backend(args));
   RON_CHECK(state.builder->n() == loaded.directory.n(),
             "locate: scenario rebuilds n = " << state.builder->n()
                                              << ", snapshot directory has n = "
@@ -701,7 +720,7 @@ int serve_locates(OracleEngine& engine, const ObjectDirectory& dir,
 
 int cmd_locate(const Args& args) {
   args.expect_known({"scenario", "object", "from", "queries", "threads",
-                     "cache", "max-hops", "seed", "metrics-out",
+                     "cache", "max-hops", "seed", "backend", "metrics-out",
                      "trace-sample"});
   args.expect_positionals(
       1, "locate: exactly one directory or churn-bundle snapshot file");
@@ -791,7 +810,8 @@ int cmd_churn(const Args& args) {
   const std::uint64_t generator_seed = parse_u64(
       args.get("churn-seed", std::to_string(spec.churn_seed)),
       "--churn-seed");
-  ScenarioBuilder builder(spec, thread_count(args));
+  // Incremental repair needs full distance-sorted rows (see OverlayMutator).
+  ScenarioBuilder builder(spec, thread_count(args), ProxBackend::kDense);
   ScenarioSpec mut_spec = builder.spec();
   if (!extends_bundle) mut_spec.churn_seed = generator_seed;
   auto mutator = std::make_unique<OverlayMutator>(builder.prox(), mut_spec,
@@ -912,7 +932,7 @@ int cmd_churn(const Args& args) {
 /// scrapeable metrics document.
 int cmd_stats(const Args& args) {
   args.expect_known({"scenario", "queries", "threads", "cache", "seed",
-                     "format", "trace-sample", "metrics-out"});
+                     "format", "backend", "trace-sample", "metrics-out"});
   args.expect_positionals(1, "stats: exactly one snapshot file");
   const std::string path = args.positional()[0];
   const std::string format = args.get("format", "json");

@@ -51,6 +51,10 @@ int usage(std::ostream& os) {
         "  --cache N              engine result-cache capacity (default 0)\n"
         "  --build-threads N      overlay rebuild threads for directory/\n"
         "                         bundle snapshots (default 1)\n"
+        "  --backend B            proximity backend for the overlay rebuild\n"
+        "                         (auto|dense|sparse, default dense; sparse\n"
+        "                         serves million-node directories statically\n"
+        "                         — admin churn frames are rejected)\n"
         "  --max-hops N           locate walk abandonment bound\n"
         "  --max-connections N    concurrent client cap (default 64)\n"
         "  --max-frame-bytes N    largest payload a client may send;\n"
@@ -82,8 +86,9 @@ int run(int argc, char** argv) {
   }
   Args args(argc, argv, 1);
   args.expect_known({"host", "port", "threads", "cache", "build-threads",
-                     "max-hops", "max-connections", "max-frame-bytes",
-                     "max-batch", "idle-timeout-ms", "metrics-out"});
+                     "backend", "max-hops", "max-connections",
+                     "max-frame-bytes", "max-batch", "idle-timeout-ms",
+                     "metrics-out"});
   args.expect_positionals(1, "one snapshot path");
   const std::string path = args.positional()[0];
 
@@ -98,6 +103,7 @@ int run(int argc, char** argv) {
       parse_u64(args.get("build-threads", "1"), "--build-threads"));
   RON_CHECK(state_opts.build_threads >= 1,
             "--build-threads must be at least 1");
+  state_opts.backend = parse_prox_backend(args.get("backend", "dense"));
   if (args.has("max-hops")) {
     state_opts.locate.max_hops =
         parse_u64(args.get("max-hops", ""), "--max-hops");
